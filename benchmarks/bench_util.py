@@ -1,0 +1,18 @@
+"""Shared helper for the experiment benchmarks.
+
+Every benchmark runs one experiment from ``repro.harness.experiments``
+exactly once (the experiments are deterministic end-to-end simulations, so
+single-shot wall-clock is the meaningful number), asserts the paper claim's
+shape verdict, and prints the regenerated table (visible with ``-s`` /
+captured in the bench log).
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, fn, **kwargs):
+    table = benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    assert table.verdict == "SHAPE HOLDS", table.render()
+    return table

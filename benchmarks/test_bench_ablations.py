@@ -1,0 +1,9 @@
+"""A1 — ablations: batching vs unbatched anchor load; the δ window."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import a1_ablations
+
+
+def test_bench_a1_ablations(benchmark):
+    run_experiment(benchmark, a1_ablations, n=12, total_ops=72)

@@ -1,0 +1,9 @@
+"""T9 — elements are stored uniformly: m/n per node (Lemma 2.2(iv))."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t9_dht_fairness
+
+
+def test_bench_t9_dht_fairness(benchmark):
+    run_experiment(benchmark, t9_dht_fairness, ns=(16, 32), elements_per_node=24)

@@ -1,0 +1,9 @@
+"""F1 — Figure 1's 4-phase Skeap trace reproduces exactly."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import f1_figure1_trace
+
+
+def test_bench_f1_figure1_trace(benchmark):
+    run_experiment(benchmark, f1_figure1_trace)

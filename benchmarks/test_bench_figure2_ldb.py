@@ -1,0 +1,9 @@
+"""F2 — Figure 2's 6-virtual-node LDB structure reproduces exactly."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import f2_figure2_ldb
+
+
+def test_bench_f2_figure2_ldb(benchmark):
+    run_experiment(benchmark, f2_figure2_ldb)

@@ -1,0 +1,9 @@
+"""T5 — KSelect survivor counts match Lemmas 4.4 and 4.7."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t5_kselect_reduction
+
+
+def test_bench_t5_kselect_reduction(benchmark):
+    run_experiment(benchmark, t5_kselect_reduction, n=48, elements_per_node=48)

@@ -1,0 +1,9 @@
+"""T4 — KSelect runs in O(log n) rounds w.h.p. (Theorem 4.2)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t4_kselect_rounds
+
+
+def test_bench_t4_kselect_rounds(benchmark):
+    run_experiment(benchmark, t4_kselect_rounds, ns=(8, 16, 32, 64))

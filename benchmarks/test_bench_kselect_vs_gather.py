@@ -1,0 +1,9 @@
+"""T6 — KSelect's O(log n)-bit messages vs the Θ(m)-bit gather baseline."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t6_kselect_vs_gather
+
+
+def test_bench_t6_kselect_vs_gather(benchmark):
+    run_experiment(benchmark, t6_kselect_vs_gather, ns=(8, 16, 32))

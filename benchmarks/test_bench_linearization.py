@@ -1,0 +1,9 @@
+"""T14 — the sorted overlay list self-constructs (Appendix A substrate)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t14_linearization
+
+
+def test_bench_t14_linearization(benchmark):
+    run_experiment(benchmark, t14_linearization, ns=(8, 16, 32, 64))

@@ -1,0 +1,9 @@
+"""T13 — join/leave probes cost O(log n) hops; no elements are lost."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t13_membership
+
+
+def test_bench_t13_membership(benchmark):
+    run_experiment(benchmark, t13_membership, ns=(8, 16, 32))

@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the hot data-structure paths.
+
+These are the only benchmarks where statistical timing matters (many
+rounds/iterations): batch combining, anchor interval assignment, candidate
+pruning, sequential-heap ops, and single-message routing steps — the inner
+loops every protocol phase turns on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import BinaryHeap
+from repro.kselect import CandidateSet
+from repro.skeap import AnchorState, Batch, BatchEntry, encode_ops
+
+
+def test_bench_micro_encode_ops(benchmark):
+    rng = np.random.default_rng(0)
+    ops = [
+        ("ins", int(p)) if p > 0 else ("del", None)
+        for p in rng.integers(0, 4, size=2000)
+    ]
+    benchmark(encode_ops, ops, 3)
+
+
+def test_bench_micro_batch_combine(benchmark):
+    rng = np.random.default_rng(1)
+    entries = [
+        BatchEntry(tuple(int(x) for x in rng.integers(0, 5, size=4)), int(rng.integers(0, 5)))
+        for _ in range(200)
+    ]
+    a = Batch(4, entries)
+    b = Batch(4, entries[::-1])
+    benchmark(a.combine, b)
+
+
+def test_bench_micro_anchor_assign(benchmark):
+    rng = np.random.default_rng(2)
+    entries = [
+        BatchEntry(tuple(int(x) for x in rng.integers(0, 10, size=4)), int(rng.integers(0, 10)))
+        for _ in range(100)
+    ]
+
+    def assign():
+        anchor = AnchorState(4)
+        return anchor.assign(Batch(4, entries))
+
+    benchmark(assign)
+
+
+def test_bench_micro_candidate_prune(benchmark):
+    rng = np.random.default_rng(3)
+    keys = [(int(p), uid) for uid, p in enumerate(rng.integers(0, 1 << 24, size=20_000))]
+
+    def prune():
+        cs = CandidateSet(keys)
+        cs.prune((1 << 22, 0), (3 << 22, 0))
+        return len(cs)
+
+    benchmark(prune)
+
+
+def test_bench_micro_binary_heap(benchmark):
+    rng = np.random.default_rng(4)
+    keys = [(int(p), uid) for uid, p in enumerate(rng.integers(0, 1 << 30, size=5000))]
+
+    def churn():
+        heap = BinaryHeap()
+        for key in keys:
+            heap.insert(key)
+        out = 0
+        while heap:
+            out ^= heap.delete_min()[1]
+        return out
+
+    benchmark(churn)
+
+
+def test_bench_micro_skeap_iteration(benchmark):
+    """One full empty-batch protocol iteration on a 16-node cluster."""
+    from repro import SkeapHeap
+
+    heap = SkeapHeap(16, n_priorities=3, seed=0, record_history=False)
+
+    def one_iteration():
+        target = heap.anchor_node.iteration + 1
+        heap.runner.run_until(
+            lambda: heap.anchor_node.iteration >= target, max_rounds=10_000
+        )
+
+    benchmark.pedantic(one_iteration, rounds=5, iterations=1)

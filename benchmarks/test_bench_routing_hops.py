@@ -1,0 +1,9 @@
+"""T10 — LDB point routing takes O(log n) hops w.h.p. (Lemma A.2)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t10_routing_hops
+
+
+def test_bench_t10_routing_hops(benchmark):
+    run_experiment(benchmark, t10_routing_hops, ns=(8, 16, 32, 64, 128), probes=30)

@@ -1,0 +1,9 @@
+"""T12 — batching removes the coordinator hot spot (§1 headline)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t12_scalability_baselines
+
+
+def test_bench_t12_scalability_baselines(benchmark):
+    run_experiment(benchmark, t12_scalability_baselines, n=24, lams=(1, 2, 4), n_rounds=25)

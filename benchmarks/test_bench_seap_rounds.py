@@ -1,0 +1,9 @@
+"""T7 — Seap's phases finish in O(log n) rounds (Theorem 5.1(3))."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t7_seap_rounds
+
+
+def test_bench_t7_seap_rounds(benchmark):
+    run_experiment(benchmark, t7_seap_rounds, ns=(8, 16, 32, 64))

@@ -1,0 +1,9 @@
+"""A2 — the §6 sequentially consistent Seap variant and its cost."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import a2_seap_sc_cost
+
+
+def test_bench_a2_seap_sc_cost(benchmark):
+    run_experiment(benchmark, a2_seap_sc_cost, n=6, n_elements=30)

@@ -1,0 +1,10 @@
+"""T8 — the headline: Seap's messages stay O(log n) bits as Λ grows;
+Skeap's grow linearly in Λ (Lemma 5.5 vs Lemma 3.8)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t8_seap_vs_skeap_msgsize
+
+
+def test_bench_t8_seap_vs_skeap_msgsize(benchmark):
+    run_experiment(benchmark, t8_seap_vs_skeap_msgsize, lams=(1, 2, 4, 8), n=12, n_rounds=20)

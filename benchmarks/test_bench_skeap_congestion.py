@@ -1,0 +1,9 @@
+"""T2 — Skeap congestion is O~(Λ) (Theorem 3.2(4))."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t2_skeap_congestion
+
+
+def test_bench_t2_skeap_congestion(benchmark):
+    run_experiment(benchmark, t2_skeap_congestion, lams=(1, 2, 4), n=24, n_rounds=30)

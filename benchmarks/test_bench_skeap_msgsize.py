@@ -1,0 +1,9 @@
+"""T3 — Skeap message size grows with Λ: O(Λ log² n) bits (Lemma 3.8)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t3_skeap_msgsize
+
+
+def test_bench_t3_skeap_msgsize(benchmark):
+    run_experiment(benchmark, t3_skeap_msgsize, lams=(1, 2, 4, 8), n=24, n_rounds=25)

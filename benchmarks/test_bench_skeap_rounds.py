@@ -1,0 +1,9 @@
+"""T1 — Skeap processes a batch in O(log n) rounds (Cor. 3.6)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t1_skeap_rounds
+
+
+def test_bench_t1_skeap_rounds(benchmark):
+    run_experiment(benchmark, t1_skeap_rounds, ns=(8, 16, 32, 64))

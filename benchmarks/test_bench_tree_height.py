@@ -1,0 +1,9 @@
+"""T11 — the aggregation tree has height O(log n) w.h.p. (Cor. A.4)."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t11_tree_height
+
+
+def test_bench_t11_tree_height(benchmark):
+    run_experiment(benchmark, t11_tree_height, ns=(8, 16, 32, 64, 128, 256), n_seeds=6)

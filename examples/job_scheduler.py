@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Priority job scheduling — the paper's motivating application (Section 1).
+
+Producers submit jobs with urgency classes into a Seap heap; worker
+processes pull jobs with DeleteMin.  The demo verifies the scheduler
+invariant the heap provides: no job is served while a strictly more
+urgent job that was already scheduled is still waiting.
+
+Run:  python examples/job_scheduler.py
+"""
+
+from collections import Counter
+
+from repro import BOTTOM, SeapHeap, check_seap_history
+from repro.workloads import scheduling_trace
+
+N_NODES = 12
+N_JOBS = 60
+N_WORK_CYCLES = 4
+
+
+def main() -> None:
+    heap = SeapHeap(n_nodes=N_NODES, seed=42)
+    trace = scheduling_trace(N_JOBS, N_NODES, n_urgency_classes=3, seed=42)
+
+    print(f"submitting {N_JOBS} jobs from {N_NODES} processes")
+    submitted = Counter()
+    for job in trace:
+        # Seap takes arbitrary integer priorities; use urgency directly.
+        heap.insert(priority=job.urgency, value=job.payload, at=job.submitted_by)
+        submitted[job.urgency] += 1
+    print(f"  urgency mix: {dict(sorted(submitted.items()))}")
+
+    served: list[tuple[int, str]] = []
+    jobs_per_cycle = N_JOBS // N_WORK_CYCLES
+    for cycle in range(N_WORK_CYCLES):
+        pulls = [
+            heap.delete_min(at=worker % N_NODES)
+            for worker in range(jobs_per_cycle)
+        ]
+        heap.settle()
+        got = [p.result for p in pulls if p.result is not BOTTOM]
+        served.extend((e.priority, e.value) for e in got)
+        top = Counter(e.priority for e in got)
+        print(f"  work cycle {cycle}: served {len(got)} jobs, urgencies {dict(sorted(top.items()))}")
+
+    assert len(served) == N_JOBS, "every job must be served exactly once"
+    assert len({v for _, v in served}) == N_JOBS
+
+    # Scheduler invariant: within each cycle, jobs served are a most-urgent
+    # prefix of what was in the heap — verified by the serializability and
+    # heap-consistency checker over the full history.
+    check_seap_history(heap.history)
+    print("history check: serializable and heap consistent ✓")
+    print(f"max message size observed: {heap.metrics.max_message_bits} bits "
+          f"(O(log n) — Seap's headline property)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""repro — Skeap & Seap: scalable distributed priority queues (SPAA 2019).
+
+A complete executable reproduction of Feldmann & Scheideler's protocols:
+
+* :class:`SkeapHeap` — sequentially consistent distributed heap for a
+  constant number of priorities (Section 3);
+* :class:`SeapHeap` — serializable distributed heap for arbitrary
+  priorities with O(log n)-bit messages (Section 5);
+* :class:`KSelectCluster` / :func:`distributed_select` — distributed
+  k-selection in O(log n) rounds w.h.p. (Section 4);
+
+plus every substrate they stand on (LDB overlay, aggregation tree, DHT,
+simulation kernel), machine-checked consistency semantics, baselines, and
+the experiment harness that regenerates every quantitative claim::
+
+    from repro import SkeapHeap
+
+    heap = SkeapHeap(n_nodes=16, n_priorities=3, seed=7)
+    heap.insert(priority=2, value="job-a", at=0)
+    handle = heap.delete_min(at=5)
+    heap.settle()
+    print(handle.result)
+"""
+
+from .baselines import (
+    BinaryHeap,
+    CentralHeapCluster,
+    GatherSelectCluster,
+    UnbatchedHeapCluster,
+)
+from .cluster import OverlayCluster
+from .element import BOTTOM, Element
+from .errors import (
+    ConsistencyError,
+    MembershipError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from .kselect import KSelectCluster, distributed_select
+from .overlay.membership import MembershipReport, join_node, leave_node
+from .seap import SeapHeap, SeapNode, SeapSCHeap, SeapSCNode
+from .semantics import (
+    History,
+    check_heap_consistency,
+    check_local_consistency,
+    check_seap_history,
+    check_seap_sc_history,
+    check_skack_history,
+    check_skeap_history,
+)
+from .skeap import OpHandle, SkeapHeap, SkeapNode
+from .skack import SkackStack
+from .skueue import SkueueQueue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "BinaryHeap",
+    "CentralHeapCluster",
+    "ConsistencyError",
+    "Element",
+    "GatherSelectCluster",
+    "History",
+    "KSelectCluster",
+    "MembershipError",
+    "MembershipReport",
+    "OpHandle",
+    "OverlayCluster",
+    "ProtocolError",
+    "ReproError",
+    "RoutingError",
+    "SeapHeap",
+    "SeapNode",
+    "SeapSCHeap",
+    "SeapSCNode",
+    "SimulationError",
+    "SkackStack",
+    "SkeapHeap",
+    "SkeapNode",
+    "SkueueQueue",
+    "TopologyError",
+    "UnbatchedHeapCluster",
+    "WorkloadError",
+    "check_heap_consistency",
+    "check_local_consistency",
+    "check_seap_history",
+    "check_seap_sc_history",
+    "check_skack_history",
+    "check_skeap_history",
+    "distributed_select",
+    "join_node",
+    "leave_node",
+]

@@ -1,0 +1,13 @@
+"""Baselines and ablations the experiments compare against."""
+
+from .central import CentralHeapCluster
+from .gather_select import GatherSelectCluster
+from .seqheap import BinaryHeap
+from .unbatched import UnbatchedHeapCluster
+
+__all__ = [
+    "BinaryHeap",
+    "CentralHeapCluster",
+    "GatherSelectCluster",
+    "UnbatchedHeapCluster",
+]

@@ -1,0 +1,131 @@
+"""Centralized-coordinator heap — the scalability strawman.
+
+Every client forwards each request as an individual message to a single
+coordinator process holding a sequential binary heap; the coordinator
+replies per request.  Latency per op is a constant two hops, but the
+coordinator's congestion equals the *total* injection rate ``n·Λ`` — the
+bottleneck the paper's aggregation-tree batching exists to avoid
+(experiment T12 measures the contrast).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..element import BOTTOM, Element
+from ..errors import ProtocolError
+from ..sim.node import ProtocolNode
+from ..sim.sync_runner import SyncRunner
+from ..skeap.protocol import OpHandle
+from .seqheap import BinaryHeap
+
+__all__ = ["CentralHeapCluster"]
+
+
+class _Coordinator(ProtocolNode):
+    """Holds the one heap; serves every request itself."""
+
+    def __init__(self, node_id: int):
+        super().__init__(node_id)
+        self.heap = BinaryHeap()
+        self.elements: dict[tuple, Element] = {}
+
+    def on_central_insert(self, sender: int, priority: int, uid: int, value: Any, req: int) -> None:
+        element = Element(priority, uid, value)
+        self.heap.insert(element.key)
+        self.elements[element.key] = element
+        self.send(sender, "central_ins_ack", req=req)
+
+    def on_central_delete(self, sender: int, req: int) -> None:
+        if len(self.heap) == 0:
+            self.send(sender, "central_del_reply", req=req, element=None)
+            return
+        key = self.heap.delete_min()
+        element = self.elements.pop(key)
+        self.send(sender, "central_del_reply", req=req, element=element)
+
+
+class _Client(ProtocolNode):
+    """Buffers client requests; ships one message per request per round."""
+
+    def __init__(self, node_id: int, coordinator_id: int):
+        super().__init__(node_id)
+        self.coordinator_id = coordinator_id
+        self.buffered: deque[tuple[str, OpHandle]] = deque()
+        self.pending: dict[int, OpHandle] = {}
+        self._req = 0
+
+    def has_work(self) -> bool:
+        return bool(self.buffered) or bool(self.pending)
+
+    def on_activate(self) -> None:
+        while self.buffered:
+            kind, handle = self.buffered.popleft()
+            self._req += 1
+            self.pending[self._req] = handle
+            if kind == "ins":
+                self.send(
+                    self.coordinator_id,
+                    "central_insert",
+                    priority=handle.priority,
+                    uid=handle.uid,
+                    value=handle.value,
+                    req=self._req,
+                )
+            else:
+                self.send(self.coordinator_id, "central_delete", req=self._req)
+
+    def on_central_ins_ack(self, sender: int, req: int) -> None:
+        handle = self.pending.pop(req)
+        handle.done = True
+        handle.result = True
+
+    def on_central_del_reply(self, sender: int, req: int, element: Element | None) -> None:
+        handle = self.pending.pop(req)
+        handle.done = True
+        handle.result = element if element is not None else BOTTOM
+
+
+class CentralHeapCluster:
+    """n clients, one coordinator, a synchronous driver (experiment T12)."""
+
+    def __init__(self, n_nodes: int, seed: int = 0):
+        if n_nodes < 1:
+            raise ProtocolError("need at least one client")
+        self.n_nodes = n_nodes
+        self.runner = SyncRunner(seed=seed)
+        self.coordinator = _Coordinator(node_id=n_nodes)  # ids 0..n-1 are clients
+        self.clients = [_Client(i, self.coordinator.id) for i in range(n_nodes)]
+        self.runner.register(self.coordinator)
+        self.runner.register_all(self.clients)
+        self._outstanding: list[OpHandle] = []
+        self._uid = 0
+
+    @property
+    def metrics(self):
+        return self.runner.metrics
+
+    def insert(self, priority: int, value: Any = None, at: int = 0) -> OpHandle:
+        self._uid += 1
+        handle = OpHandle(
+            op_id=(at, self._uid), kind="ins", priority=priority,
+            uid=self._uid, value=value,
+        )
+        self.clients[at].buffered.append(("ins", handle))
+        self._outstanding.append(handle)
+        return handle
+
+    def delete_min(self, at: int = 0) -> OpHandle:
+        self._uid += 1
+        handle = OpHandle(op_id=(at, self._uid), kind="del")
+        self.clients[at].buffered.append(("del", handle))
+        self._outstanding.append(handle)
+        return handle
+
+    def outstanding(self) -> int:
+        self._outstanding = [h for h in self._outstanding if not h.done]
+        return len(self._outstanding)
+
+    def settle(self, max_rounds: int = 100_000) -> int:
+        return self.runner.run_until(lambda: self.outstanding() == 0, max_rounds)

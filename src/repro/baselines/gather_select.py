@@ -1,0 +1,86 @@
+"""Naive distributed selection: gather everything at the root.
+
+The obvious alternative to KSelect: aggregate the full (sorted) candidate
+lists up the tree and index the k-th element at the anchor.  The hop count
+is a single aggregation phase — but the messages near the root carry
+Θ(m log m) bits and the root handles Θ(m)-sized payloads, which is exactly
+what Theorem 4.2's O(log n)-bit-message claim is measured against
+(experiment T6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cluster import OverlayCluster
+from ..dht.hashing import KeySpace
+from ..element import PrioKey
+from ..errors import ProtocolError
+from ..overlay.aggregation import AggSpec
+from ..overlay.base import OverlayNode
+from ..overlay.ldb import LocalView
+
+__all__ = ["GatherSelectCluster"]
+
+
+class _GatherNode(OverlayNode):
+    def __init__(self, view: LocalView, keyspace: KeySpace):
+        super().__init__(view, keyspace)
+        self.local_elements: list[PrioKey] = []
+        self.results: dict[int, PrioKey] = {}
+        self._pending_k: dict[int, int] = {}
+        self.register_bcast("gatherB", _GatherNode._bc_begin)
+        self.register_agg(
+            "gatherV",
+            AggSpec(combine=_GatherNode._combine, at_root=_GatherNode._at_root),
+        )
+
+    def begin(self, session: int, k: int) -> None:
+        if not self.view.is_anchor:
+            raise ProtocolError("gather-select starts at the anchor")
+        self._pending_k[session] = k
+        self.bcast(("gatherB", session), None)
+
+    def _bc_begin(self, tag, payload) -> None:
+        self.agg_contribute(("gatherV", tag[1]), sorted(self.local_elements))
+
+    def _combine(self, tag, own, children):
+        merged = list(own)
+        for _, keys in children:
+            merged.extend(tuple(k) for k in keys)
+        merged.sort()
+        return merged
+
+    def _at_root(self, tag, merged) -> None:
+        session = tag[1]
+        k = self._pending_k.pop(session)
+        if not 1 <= k <= len(merged):
+            raise ProtocolError(f"k={k} outside 1..{len(merged)}")
+        self.results[session] = tuple(merged[k - 1])
+
+
+class GatherSelectCluster(OverlayCluster):
+    """Baseline comparator for KSelect (same overlay, naive algorithm)."""
+
+    def __init__(self, n_nodes: int, seed: int = 0, **kwargs):
+        self._next_session = 0
+        super().__init__(n_nodes, seed=seed, **kwargs)
+
+    def make_node(self, view: LocalView) -> _GatherNode:
+        return _GatherNode(view, self.keyspace)
+
+    def scatter(self, keys: Iterable[PrioKey]) -> None:
+        rng = self.runner.rng.stream("gather-scatter")
+        for key in keys:
+            target = int(rng.integers(0, self.n_nodes))
+            self.middle_node(target).local_elements.append(tuple(key))
+
+    def select(self, k: int, max_rounds: int = 100_000) -> PrioKey:
+        session = self._next_session
+        self._next_session += 1
+        anchor = self.anchor
+        anchor.begin(session, k)
+        self.runner.run_until(
+            lambda: session in anchor.results, max_rounds=max_rounds
+        )
+        return anchor.results[session]

@@ -1,0 +1,80 @@
+"""Sequential binary min-heap — the classical single-machine reference.
+
+Implemented from scratch (array-based sift-up/sift-down) rather than via
+``heapq`` so that the reference the distributed protocols are measured
+against is itself a first-class, tested implementation.  Ordered by the
+element total order ``(priority, uid)``.
+"""
+
+from __future__ import annotations
+
+from ..element import PrioKey
+from ..errors import ProtocolError
+
+__all__ = ["BinaryHeap"]
+
+
+class BinaryHeap:
+    """Array-based binary min-heap over ``(priority, uid)`` keys."""
+
+    def __init__(self) -> None:
+        self._a: list[PrioKey] = []
+
+    def __len__(self) -> int:
+        return len(self._a)
+
+    def __bool__(self) -> bool:
+        return bool(self._a)
+
+    def insert(self, key: PrioKey) -> None:
+        self._a.append(tuple(key))
+        self._sift_up(len(self._a) - 1)
+
+    def peek(self) -> PrioKey:
+        if not self._a:
+            raise ProtocolError("peek on empty heap")
+        return self._a[0]
+
+    def delete_min(self) -> PrioKey:
+        if not self._a:
+            raise ProtocolError("delete_min on empty heap")
+        top = self._a[0]
+        last = self._a.pop()
+        if self._a:
+            self._a[0] = last
+            self._sift_down(0)
+        return top
+
+    def _sift_up(self, i: int) -> None:
+        item = self._a[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if self._a[parent] <= item:
+                break
+            self._a[i] = self._a[parent]
+            i = parent
+        self._a[i] = item
+
+    def _sift_down(self, i: int) -> None:
+        n = len(self._a)
+        item = self._a[i]
+        while True:
+            left = 2 * i + 1
+            if left >= n:
+                break
+            child = left
+            right = left + 1
+            if right < n and self._a[right] < self._a[left]:
+                child = right
+            if item <= self._a[child]:
+                break
+            self._a[i] = self._a[child]
+            i = child
+        self._a[i] = item
+
+    def check_invariant(self) -> None:
+        """Every parent ≤ both children (used by property tests)."""
+        for i in range(1, len(self._a)):
+            parent = (i - 1) >> 1
+            if self._a[parent] > self._a[i]:
+                raise ProtocolError(f"heap property violated at index {i}")

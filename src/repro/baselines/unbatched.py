@@ -1,0 +1,153 @@
+"""Skeap without batching — the ablation for aggregation-tree combining.
+
+Identical overlay, identical anchor position logic, but every request
+travels to the anchor as its *own* message (no combining at inner nodes)
+and receives its own reply.  The anchor's congestion becomes Θ(total
+injected ops) instead of Skeap's O~(Λ); experiment A1 measures the gap,
+which is the paper's core scalability argument for batching.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..dht.hashing import KeySpace
+from ..element import BOTTOM, Element
+from ..errors import ProtocolError
+from ..overlay.base import OverlayNode
+from ..overlay.ldb import LocalView
+from ..cluster import OverlayCluster
+from ..skeap.intervals import AnchorState
+from ..skeap.protocol import OpHandle
+
+__all__ = ["UnbatchedHeapCluster"]
+
+
+class _UnbatchedNode(OverlayNode):
+    def __init__(self, view: LocalView, keyspace: KeySpace, n_priorities: int):
+        super().__init__(view, keyspace)
+        self.n_priorities = n_priorities
+        self.buffered: deque[OpHandle] = deque()
+        self.pending: dict[int, OpHandle] = {}
+        self._req = 0
+        self.anchor_state = AnchorState(n_priorities) if view.is_anchor else None
+
+    def has_work(self) -> bool:
+        return bool(self.buffered) or bool(self.pending)
+
+    # -- client side ------------------------------------------------------
+
+    def on_activate(self) -> None:
+        while self.buffered:
+            handle = self.buffered.popleft()
+            self._req += 1
+            self.pending[self._req] = handle
+            if handle.kind == "ins":
+                self._to_anchor(
+                    "ub_insert", priority=handle.priority, req=self._req
+                )
+            else:
+                self._to_anchor("ub_delete", req=self._req)
+
+    def _to_anchor(self, action: str, **payload) -> None:
+        payload["client"] = self.id
+        if self.view.is_anchor:
+            getattr(self, "on_" + action)(self.id, **payload)
+        else:
+            self.send(self.view.parent, "ub_fwd", action_name=action, payload=payload)
+
+    def on_ub_fwd(self, sender: int, action_name: str, payload: dict) -> None:
+        if self.view.is_anchor:
+            getattr(self, "on_" + action_name)(sender, **payload)
+        else:
+            self.send(self.view.parent, "ub_fwd", action_name=action_name, payload=payload)
+
+    # -- anchor side --------------------------------------------------------
+
+    def on_ub_insert(self, sender: int, priority: int, req: int, client: int) -> None:
+        state = self.anchor_state
+        if state is None:
+            raise ProtocolError("insert reached a non-anchor node")
+        state.last[priority - 1] += 1
+        pos = state.last[priority - 1]
+        self.send(client, "ub_ins_pos", req=req, priority=priority, pos=pos)
+
+    def on_ub_delete(self, sender: int, req: int, client: int) -> None:
+        state = self.anchor_state
+        if state is None:
+            raise ProtocolError("delete reached a non-anchor node")
+        for p_idx in range(self.n_priorities):
+            if state.first[p_idx] <= state.last[p_idx]:
+                pos = state.first[p_idx]
+                state.first[p_idx] += 1
+                self.send(client, "ub_del_pos", req=req, priority=p_idx + 1, pos=pos)
+                return
+        self.send(client, "ub_del_bot", req=req)
+
+    # -- client completions ----------------------------------------------------
+
+    def on_ub_ins_pos(self, sender: int, req: int, priority: int, pos: int) -> None:
+        handle = self.pending.pop(req)
+        element = Element(priority, handle.uid, handle.value)
+        dht_req = self.dht_put(self.keyspace.skeap_key(priority, pos), element)
+        # DHT request ids share the per-node counter with anchor requests;
+        # offset them into a disjoint key range.
+        self.pending[dht_req + (1 << 40)] = handle
+
+    def on_ub_del_pos(self, sender: int, req: int, priority: int, pos: int) -> None:
+        handle = self.pending.pop(req)
+        dht_req = self.dht_get(self.keyspace.skeap_key(priority, pos))
+        self.pending[dht_req + (1 << 40)] = handle
+
+    def on_ub_del_bot(self, sender: int, req: int) -> None:
+        handle = self.pending.pop(req)
+        handle.done = True
+        handle.result = BOTTOM
+
+    def dht_put_confirmed(self, request_id: int) -> None:
+        handle = self.pending.pop(request_id + (1 << 40))
+        handle.done = True
+        handle.result = True
+
+    def dht_get_returned(self, request_id: int, key: float, element: Element) -> None:
+        handle = self.pending.pop(request_id + (1 << 40))
+        handle.done = True
+        handle.result = element
+
+
+class UnbatchedHeapCluster(OverlayCluster):
+    """Skeap-minus-batching ablation (experiment A1)."""
+
+    def __init__(self, n_nodes: int, n_priorities: int = 2, seed: int = 0, **kwargs):
+        self.n_priorities = n_priorities
+        self._outstanding: list[OpHandle] = []
+        self._uid = 0
+        super().__init__(n_nodes, seed=seed, **kwargs)
+
+    def make_node(self, view: LocalView) -> _UnbatchedNode:
+        return _UnbatchedNode(view, self.keyspace, self.n_priorities)
+
+    def insert(self, priority: int, value: Any = None, at: int = 0) -> OpHandle:
+        self._uid += 1
+        handle = OpHandle(
+            op_id=(at, self._uid), kind="ins", priority=priority,
+            uid=self._uid, value=value,
+        )
+        self.middle_node(at).buffered.append(handle)
+        self._outstanding.append(handle)
+        return handle
+
+    def delete_min(self, at: int = 0) -> OpHandle:
+        self._uid += 1
+        handle = OpHandle(op_id=(at, self._uid), kind="del")
+        self.middle_node(at).buffered.append(handle)
+        self._outstanding.append(handle)
+        return handle
+
+    def outstanding(self) -> int:
+        self._outstanding = [h for h in self._outstanding if not h.done]
+        return len(self._outstanding)
+
+    def settle(self, max_rounds: int = 200_000) -> int:
+        return self.runner.run_until(lambda: self.outstanding() == 0, max_rounds)

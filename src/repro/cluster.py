@@ -1,0 +1,108 @@
+"""Cluster construction: topology + nodes + runner, wired together.
+
+:class:`OverlayCluster` is the base harness both heap protocols and the
+standalone KSelect build on.  It constructs the LDB topology for ``n``
+real nodes, instantiates one protocol node per *virtual* node (the paper's
+emulation model), registers them with the chosen driver and exposes
+convenience accessors used by examples, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .dht.hashing import KeySpace
+from .errors import SimulationError
+from .overlay.base import OverlayNode
+from .overlay.ldb import LDBTopology, LocalView, VirtualKind, owner_of, vid_for
+from .sim.async_runner import AsyncRunner
+from .sim.sync_runner import SyncRunner
+
+__all__ = ["OverlayCluster"]
+
+
+class OverlayCluster:
+    """A running overlay of ``n_nodes`` real processes.
+
+    Subclasses override :meth:`make_node` to instantiate their protocol's
+    node class.  ``runner`` selects the execution model: ``"sync"`` (the
+    paper's round-based performance model) or ``"async"`` (arbitrary
+    delays, used for correctness-under-asynchrony tests).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        seed: int = 0,
+        runner: str = "sync",
+        delay_fn: Callable | None = None,
+    ):
+        if n_nodes < 1:
+            raise SimulationError("cluster needs at least one node")
+        self.seed = int(seed)
+        self.n_nodes = int(n_nodes)
+        self.topology = LDBTopology(list(range(n_nodes)), seed=seed)
+        self.keyspace = KeySpace(seed)
+        if runner == "sync":
+            self.runner = SyncRunner(seed=seed, owner_of=owner_of)
+        elif runner == "async":
+            kwargs = {"delay_fn": delay_fn} if delay_fn is not None else {}
+            self.runner = AsyncRunner(seed=seed, owner_of=owner_of, **kwargs)
+        else:
+            raise SimulationError(f"unknown runner kind {runner!r}")
+        self.nodes: dict[int, OverlayNode] = {}
+        for vid, view in self.topology.all_views().items():
+            node = self.make_node(view)
+            self.nodes[vid] = node
+            self.runner.register(node)
+
+    # -- subclass hook ---------------------------------------------------
+
+    def make_node(self, view: LocalView) -> OverlayNode:
+        """Instantiate the node for one virtual slot (subclass hook)."""
+        return OverlayNode(view, self.keyspace)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The runner's metrics collector (rounds, congestion, bits)."""
+        return self.runner.metrics
+
+    @property
+    def anchor(self) -> OverlayNode:
+        """The aggregation-tree root node."""
+        return self.nodes[self.topology.anchor]
+
+    def middle_node(self, real_id: int) -> OverlayNode:
+        """The middle virtual node of a real process — its 'client' face."""
+        return self.nodes[vid_for(real_id, VirtualKind.MIDDLE)]
+
+    def middles(self) -> list[OverlayNode]:
+        return [self.middle_node(r) for r in self.topology.real_ids]
+
+    def owner_store_sizes(self) -> dict[int, int]:
+        """Stored elements per real process (fairness experiment T9)."""
+        sizes: dict[int, int] = {r: 0 for r in self.topology.real_ids}
+        for vid, node in self.nodes.items():
+            sizes[owner_of(vid)] += len(node.store)
+        return sizes
+
+    def total_stored(self) -> int:
+        return sum(len(node.store) for node in self.nodes.values())
+
+    def all_route_hops(self) -> list[int]:
+        hops: list[int] = []
+        for node in self.nodes.values():
+            hops.extend(node.route_hops)
+        return hops
+
+    # -- execution ------------------------------------------------------------
+
+    def run_until(self, predicate, **kwargs):
+        """Drive the runner until ``predicate()`` holds."""
+        return self.runner.run_until(predicate, **kwargs)
+
+    def run_until_quiescent(self, **kwargs):
+        """Drive the runner until no messages/work remain."""
+        return self.runner.run_until_quiescent(**kwargs)

@@ -1,0 +1,7 @@
+"""DHT embedded in the LDB overlay (Lemma 2.2): keys, storage, protocol."""
+
+from .hashing import KeySpace
+from .protocol import DHTMixin
+from .store import KeyValueStore
+
+__all__ = ["DHTMixin", "KeySpace", "KeyValueStore"]

@@ -1,0 +1,52 @@
+"""Key derivation for the DHT — the paper's public hash function *h*.
+
+Every protocol phase that meets at a rendezvous node derives the meeting
+key here, so Put/Get pairs (Skeap Phase 4), copy/meet points (KSelect
+Phase 2b) and position stores (Seap DeleteMin) agree on keys by
+construction:
+
+* Skeap stores the element assigned ``(p, pos)`` under ``h(p, pos)``;
+* Seap's DeleteMin phase stores the rank-``pos`` element under
+  ``h(session, pos)``;
+* KSelect's pairwise comparison uses a *symmetric* key ``h(i, j) = h(j, i)``
+  so both copies of a candidate pair land on the same node.
+"""
+
+from __future__ import annotations
+
+from ..sim.rng import PseudoRandomHash
+
+__all__ = ["KeySpace"]
+
+
+class KeySpace:
+    """All DHT key derivations used by the protocols, from one seed."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._h = PseudoRandomHash(seed, namespace="dht-key")
+
+    def skeap_key(self, priority: int, pos: int) -> float:
+        """Key for the Skeap pair ``(p, pos)`` — Phase 4 rendezvous."""
+        return self._h.unit("skeap", priority, pos)
+
+    def seap_position_key(self, session: int, pos: int) -> float:
+        """Key for position ``pos`` of Seap DeleteMin session ``session``."""
+        return self._h.unit("seap-pos", session, pos)
+
+    def sort_position_key(self, session: int, pos: int) -> float:
+        """Key for the candidate holder ``v_i`` in KSelect Phase 2b."""
+        return self._h.unit("ksel-pos", session, pos)
+
+    def copy_key(self, session: int, pos: int, lo: int, hi: int) -> float:
+        """Key for a node of the copy-dissemination tree ``T(v_i)``."""
+        return self._h.unit("ksel-copy", session, pos, lo, hi)
+
+    def pair_key(self, session: int, i: int, j: int) -> float:
+        """Symmetric meeting key: ``pair_key(s, i, j) == pair_key(s, j, i)``."""
+        a, b = (i, j) if i <= j else (j, i)
+        return self._h.unit("ksel-pair", session, a, b)
+
+    def uniform_key(self, *tokens: object) -> float:
+        """A fresh pseudorandom key (Seap Insert's uniformly random storage)."""
+        return self._h.unit("uniform", *tokens)

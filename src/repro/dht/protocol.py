@@ -1,0 +1,94 @@
+"""The DHT protocol embedded in the overlay (Lemma 2.2 (ii)–(iv)).
+
+``Put(k, e)`` routes the element to the virtual node responsible for ``k``
+and acknowledges the originator; ``Get(k, v)`` routes there, removes the
+element (or parks until the Put arrives) and delivers it back to ``v``.
+Both need O(log n) rounds w.h.p. because routing does (Lemma A.2), and
+elements are spread uniformly because keys are pseudorandom (fairness,
+Lemma 2.2 (iv)).
+
+Client completion is surfaced through two overridable hooks:
+``dht_put_confirmed(request_id)`` and
+``dht_get_returned(request_id, key, element)``.
+"""
+
+from __future__ import annotations
+
+from ..element import Element
+from .store import KeyValueStore
+
+__all__ = ["DHTMixin"]
+
+
+class DHTMixin:
+    """Put/Get client and server roles; host provides routing and ``send``."""
+
+    def _init_dht(self) -> None:
+        self.store = KeyValueStore()
+        self._dht_next_request = 0
+
+    # -- client side ----------------------------------------------------
+
+    def _fresh_request_id(self) -> int:
+        self._dht_next_request += 1
+        # Request ids only need to be unique per requester; replies carry
+        # them back verbatim.
+        return self._dht_next_request
+
+    def dht_put(self, key: float, element: Element, request_id: int | None = None) -> int:
+        """Issue Put(key, element); returns the request id."""
+        if request_id is None:
+            request_id = self._fresh_request_id()
+        self.route_to_point(
+            key,
+            "dht_put_arrive",
+            {"key": key, "element": element, "request_id": request_id},
+        )
+        return request_id
+
+    def dht_get(self, key: float, request_id: int | None = None) -> int:
+        """Issue Get(key, self); returns the request id."""
+        if request_id is None:
+            request_id = self._fresh_request_id()
+        self.route_to_point(
+            key,
+            "dht_get_arrive",
+            {"key": key, "request_id": request_id},
+        )
+        return request_id
+
+    # -- completion hooks (override in protocols) ---------------------------
+
+    def dht_put_confirmed(self, request_id: int) -> None:
+        """Called when a Put issued by this node is acknowledged."""
+
+    def dht_get_returned(self, request_id: int, key: float, element: Element) -> None:
+        """Called when a Get issued by this node returns its element."""
+
+    # -- server side -------------------------------------------------------
+
+    def on_dht_put_arrive(self, origin: int, key: float, element: Element, request_id: int) -> None:
+        claim = self.store.put(key, element)
+        if claim is not None:
+            # A Get was parked on this key: hand the element straight over.
+            requester, get_request_id = claim
+            self.send(
+                requester,
+                "dht_reply",
+                key=key,
+                element=element,
+                request_id=get_request_id,
+            )
+        self.send(origin, "dht_put_ack", request_id=request_id)
+
+    def on_dht_get_arrive(self, origin: int, key: float, request_id: int) -> None:
+        element = self.store.get(key, origin, request_id)
+        if element is not None:
+            self.send(origin, "dht_reply", key=key, element=element, request_id=request_id)
+        # else: parked; the matching Put will reply (Get waits for Put).
+
+    def on_dht_reply(self, sender: int, key: float, element: Element, request_id: int) -> None:
+        self.dht_get_returned(request_id, key, element)
+
+    def on_dht_put_ack(self, sender: int, request_id: int) -> None:
+        self.dht_put_confirmed(request_id)

@@ -1,0 +1,98 @@
+"""Per-node key→element storage with Get-waits-for-Put parking.
+
+The paper (Skeap Phase 4) requires: "it may happen that a Get request
+arrives at the correct node in the DHT before the corresponding Put
+request.  In this case the Get request waits at that node until the
+corresponding Put request has arrived."  :class:`KeyValueStore` implements
+exactly that: a Get on an absent key parks; the matching Put hands its
+element straight to the oldest parked requester.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from ..element import Element, PrioKey
+
+__all__ = ["KeyValueStore", "ParkedGet"]
+
+#: A parked Get: (requester vid, request id).
+ParkedGet = tuple[int, int]
+
+
+class KeyValueStore:
+    """Element storage of one virtual node."""
+
+    def __init__(self) -> None:
+        self._items: dict[float, deque[Element]] = {}
+        self._parked: dict[float, deque[ParkedGet]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(d) for d in self._items.values())
+
+    @property
+    def parked_count(self) -> int:
+        return sum(len(d) for d in self._parked.values())
+
+    def put(self, key: float, element: Element) -> ParkedGet | None:
+        """Store ``element`` under ``key``.
+
+        If a Get is parked on ``key`` the element is *not* stored; the
+        parked requester is returned so the caller can reply to it.
+        """
+        waiting = self._parked.get(key)
+        if waiting:
+            claim = waiting.popleft()
+            if not waiting:
+                del self._parked[key]
+            return claim
+        self._items.setdefault(key, deque()).append(element)
+        return None
+
+    def get(self, key: float, requester: int, request_id: int) -> Element | None:
+        """Retrieve (and remove) an element under ``key``, or park the Get."""
+        bucket = self._items.get(key)
+        if bucket:
+            element = bucket.popleft()
+            if not bucket:
+                del self._items[key]
+            return element
+        self._parked.setdefault(key, deque()).append((requester, request_id))
+        return None
+
+    def elements(self) -> Iterator[Element]:
+        """Iterate all stored elements (order unspecified)."""
+        for bucket in self._items.values():
+            yield from bucket
+
+    def items(self) -> Iterator[tuple[float, Element]]:
+        for key, bucket in self._items.items():
+            for element in bucket:
+                yield key, element
+
+    def extract(self, predicate: Callable[[Element], bool]) -> list[tuple[float, Element]]:
+        """Remove and return all elements satisfying ``predicate``.
+
+        Used by Seap's DeleteMin phase to pull the locally stored elements
+        with rank ≤ k out of the uniform key space before re-storing them
+        under their position keys.
+        """
+        removed: list[tuple[float, Element]] = []
+        for key in list(self._items):
+            bucket = self._items[key]
+            kept = deque(e for e in bucket if not predicate(e))
+            if len(kept) != len(bucket):
+                removed.extend((key, e) for e in bucket if predicate(e))
+                if kept:
+                    self._items[key] = kept
+                else:
+                    del self._items[key]
+        return removed
+
+    def extract_leq(self, threshold: PrioKey) -> list[tuple[float, Element]]:
+        """Remove and return all elements with ``(priority, uid) <= threshold``."""
+        return self.extract(lambda e: e.key <= threshold)
+
+    def count_leq(self, threshold: PrioKey) -> int:
+        return sum(1 for e in self.elements() if e.key <= threshold)

@@ -1,0 +1,79 @@
+"""Heap elements and their total order.
+
+The paper draws elements from a universe :math:`\\mathcal{E}` where each
+element carries a priority from a totally ordered universe
+:math:`\\mathcal{P}` and ties between equal priorities are broken by a
+tiebreaker.  We make the tiebreaker explicit: every element carries a
+globally unique integer ``uid`` and elements are ordered by the pair
+``(priority, uid)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Element", "PrioKey", "BOTTOM"]
+
+#: Sort key type used everywhere ranks are computed.
+PrioKey = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Element:
+    """A heap element: a priority, a unique id, and an opaque payload.
+
+    Ordering is total via ``(priority, uid)``; two distinct elements never
+    compare equal, which is what the paper's tiebreaker assumption provides.
+    """
+
+    priority: int
+    uid: int
+    value: Any = field(default=None, compare=False)
+
+    @property
+    def key(self) -> PrioKey:
+        """The total-order sort key ``(priority, uid)``."""
+        return (self.priority, self.uid)
+
+    def __lt__(self, other: "Element") -> bool:
+        return self.key < other.key
+
+    def __le__(self, other: "Element") -> bool:
+        return self.key <= other.key
+
+    def __gt__(self, other: "Element") -> bool:
+        return self.key > other.key
+
+    def __ge__(self, other: "Element") -> bool:
+        return self.key >= other.key
+
+    def size_bits(self) -> int:
+        """Encoded size used for message-size accounting.
+
+        An element is its priority plus its uid; each is an integer encoded
+        in its binary width (the paper encodes priorities from
+        ``{1, ..., n^q}`` in ``O(log n)`` bits).
+        """
+        return max(self.priority.bit_length(), 1) + max(self.uid.bit_length(), 1)
+
+
+class _Bottom:
+    """Singleton for the paper's :math:`\\perp` (empty-heap DeleteMin result)."""
+
+    _instance: "_Bottom | None" = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "BOTTOM"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The value returned by DeleteMin on an empty heap.
+BOTTOM = _Bottom()

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state."""
+
+
+class TopologyError(ReproError):
+    """The overlay topology is malformed (broken cycle, orphan node, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routed message could not make progress toward its target."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (bad phase transition, bad batch)."""
+
+
+class ConsistencyError(ReproError):
+    """A recorded history violates the consistency model it claims."""
+
+
+class MembershipError(ReproError):
+    """An invalid join or leave request (duplicate id, unknown node, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid."""

@@ -1,0 +1,29 @@
+"""Experiment harness: runners, shape fits, tables, per-claim experiments."""
+
+from .experiments import ALL_EXPERIMENTS, run_all
+from .fitting import FitResult, fit_linear, fit_log2, is_logarithmic, is_sublinear
+from .runner import RunResult, drive_rounds, run_injection, run_workload
+from .sweep import SweepResult, sweep
+from .tables import Table
+from .tracing import render_activity, render_cycle, render_store_loads, render_tree
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "FitResult",
+    "RunResult",
+    "SweepResult",
+    "Table",
+    "drive_rounds",
+    "fit_linear",
+    "fit_log2",
+    "is_logarithmic",
+    "is_sublinear",
+    "run_all",
+    "run_injection",
+    "run_workload",
+    "render_activity",
+    "render_cycle",
+    "render_store_loads",
+    "render_tree",
+    "sweep",
+]

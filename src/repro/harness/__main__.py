@@ -1,0 +1,39 @@
+"""Regenerate experiment tables.
+
+Usage::
+
+    python -m repro.harness [--quick] [--markdown] [IDS...]
+
+``--quick`` shrinks the parameter grids; ``--markdown`` emits GitHub
+tables (how EXPERIMENTS.md's body is produced); ``IDS`` selects specific
+experiments (T1..T13, F1, F2, A1, A2).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import ALL_EXPERIMENTS, run_all
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    markdown = "--markdown" in argv
+    ids = [a for a in argv if not a.startswith("-")]
+    if ids:
+        unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+            print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        tables = [ALL_EXPERIMENTS[i]() for i in ids]
+    else:
+        tables = run_all(quick=quick)
+    for table in tables:
+        print(table.to_markdown() if markdown else table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

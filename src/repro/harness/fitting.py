@@ -1,0 +1,83 @@
+"""Shape checks for asymptotic claims.
+
+The paper's results are w.h.p. asymptotics; the reproducible content of
+"O(log n) rounds" is the *growth shape*: measured values should be well
+explained by ``a·log₂(n) + b`` and grow far slower than linearly.  This
+module provides the least-squares fits and the shape predicates the
+benchmarks assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["FitResult", "fit_log2", "fit_linear", "is_sublinear", "is_logarithmic"]
+
+
+@dataclass(frozen=True, slots=True)
+class FitResult:
+    """Least-squares fit ``y ≈ a·f(x) + b`` with coefficient of determination."""
+
+    a: float
+    b: float
+    r2: float
+
+    def predict_log2(self, x: float) -> float:
+        return self.a * float(np.log2(x)) + self.b
+
+    def predict_linear(self, x: float) -> float:
+        return self.a * x + self.b
+
+
+def _fit(basis: np.ndarray, ys: np.ndarray) -> FitResult:
+    A = np.vstack([basis, np.ones_like(basis)]).T
+    coef, *_ = np.linalg.lstsq(A, ys, rcond=None)
+    pred = A @ coef
+    ss_res = float(np.sum((ys - pred) ** 2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(a=float(coef[0]), b=float(coef[1]), r2=r2)
+
+
+def fit_log2(xs, ys) -> FitResult:
+    """Fit ``y = a·log₂(x) + b``."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) < 2 or np.any(xs <= 0):
+        raise WorkloadError("log fit needs >= 2 positive x values")
+    return _fit(np.log2(xs), ys)
+
+
+def fit_linear(xs, ys) -> FitResult:
+    """Fit ``y = a·x + b``."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if len(xs) < 2:
+        raise WorkloadError("linear fit needs >= 2 x values")
+    return _fit(xs, ys)
+
+
+def is_sublinear(xs, ys, factor: float = 0.5) -> bool:
+    """Does y grow at most ``factor`` times as fast as x, end to end?
+
+    The workhorse assertion for "O(log n), not Ω(n)": across the measured
+    range, the total growth of y must be well below the growth of x.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    y_lo = max(float(ys[0]), 1e-9)
+    return float(ys[-1]) / y_lo <= factor * float(xs[-1]) / float(xs[0])
+
+
+def is_logarithmic(xs, ys, min_r2: float = 0.85, sublinear_factor: float = 0.5) -> bool:
+    """Is the series consistent with Θ(log n) growth?
+
+    Requires both a good ``a·log₂(x)+b`` fit and end-to-end sublinearity
+    (a constant series fits log perfectly and passes, which is fine — the
+    claims are upper bounds).
+    """
+    return fit_log2(xs, ys).r2 >= min_r2 or is_sublinear(xs, ys, sublinear_factor)

@@ -1,0 +1,92 @@
+"""Generic parameter sweeps: run your own scaling studies in three lines.
+
+The built-in experiments (T1–T13) cover the paper's claims; ``sweep``
+exposes the same measure-fit-render pipeline for arbitrary user studies::
+
+    from repro import SkeapHeap
+    from repro.harness.sweep import sweep
+
+    result = sweep(
+        "my-study", "settle rounds vs cluster size",
+        xs=[8, 16, 32, 64],
+        measure=lambda n: run_my_workload(SkeapHeap(n, seed=1)),
+    )
+    print(result.table.render())
+    assert result.log_fit.r2 > 0.8
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import WorkloadError
+from .fitting import FitResult, fit_linear, fit_log2, is_logarithmic, is_sublinear
+from .tables import Table
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Measurements plus both fits and shape predicates, ready to assert."""
+
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    log_fit: FitResult
+    linear_fit: FitResult
+    table: Table
+
+    @property
+    def looks_logarithmic(self) -> bool:
+        return is_logarithmic(self.xs, self.ys)
+
+    @property
+    def looks_sublinear(self) -> bool:
+        return is_sublinear(self.xs, self.ys)
+
+    def ratio_end_to_end(self) -> float:
+        """Total growth of y across the sweep (``y_last / y_first``)."""
+        first = self.ys[0] if self.ys[0] != 0 else 1e-9
+        return self.ys[-1] / first
+
+
+def sweep(
+    name: str,
+    title: str,
+    xs: Sequence[float],
+    measure: Callable[[float], float],
+    x_label: str = "x",
+    y_label: str = "y",
+    claim: str = "",
+) -> SweepResult:
+    """Measure ``measure(x)`` for each x, fit both shapes, build a table.
+
+    ``measure`` should construct fresh state per call (sweeps must not
+    leak warm caches between points); failures propagate — a sweep with a
+    broken point is not a result.
+    """
+    if len(xs) < 2:
+        raise WorkloadError("a sweep needs at least two x values")
+    ys = [float(measure(x)) for x in xs]
+    log_fit = fit_log2(xs, ys)
+    linear_fit = fit_linear(xs, ys)
+    table = Table(
+        name, title, claim or f"{y_label} vs {x_label}",
+        [x_label, y_label, f"{y_label}/log2({x_label})"],
+    )
+    for x, y in zip(xs, ys):
+        denom = math.log2(x) if x > 1 else 1.0
+        table.add_row(x, y, y / denom)
+    table.add_note(
+        f"log fit: {log_fit.a:.3g}·log2(x)+{log_fit.b:.3g} (r²={log_fit.r2:.3f}); "
+        f"linear fit: {linear_fit.a:.3g}·x+{linear_fit.b:.3g} (r²={linear_fit.r2:.3f})"
+    )
+    return SweepResult(
+        xs=tuple(float(x) for x in xs),
+        ys=tuple(ys),
+        log_fit=log_fit,
+        linear_fit=linear_fit,
+        table=table,
+    )

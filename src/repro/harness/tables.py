@@ -1,0 +1,82 @@
+"""Plain-text result tables: what the harness prints for each experiment.
+
+One :class:`Table` per experiment row in DESIGN.md, with the paper's claim
+in the header so the printed output is self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An experiment's printable result."""
+
+    exp_id: str
+    title: str
+    claim: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    verdict: str = ""
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.exp_id}: row width {len(cells)} != header width {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"   claim: {self.claim}",
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        if self.verdict:
+            lines.append(f"   verdict: {self.verdict}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"### {self.exp_id}: {self.title}",
+            "",
+            f"*Claim:* {self.claim}",
+            "",
+            "| " + " | ".join(self.headers) + " |",
+            "| " + " | ".join("---" for _ in self.headers) + " |",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*Note:* {note}")
+        if self.verdict:
+            lines.append(f"\n**Verdict:** {self.verdict}")
+        return "\n".join(lines)

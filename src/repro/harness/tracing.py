@@ -1,0 +1,119 @@
+"""Protocol introspection: ASCII renderings of topology and activity.
+
+Distributed protocols are hard to debug from raw logs; these renderers
+turn a cluster's structure and a run's metrics into terminal-friendly
+pictures:
+
+* :func:`render_tree` — the aggregation tree with virtual-node roles and
+  labels (the structure behind Figure 2);
+* :func:`render_cycle` — the sorted LDB cycle with owner/kind markers;
+* :func:`render_activity` — a per-round message sparkline plus the action
+  mix of a run (where the rounds went);
+* :func:`render_store_loads` — a bar chart of per-process element loads
+  (the fairness picture behind experiment T9).
+
+All output is plain text so it can live in docstrings, test failures and
+CI logs.
+"""
+
+from __future__ import annotations
+
+from ..overlay.ldb import LDBTopology, VirtualKind, kind_of, owner_of
+
+__all__ = [
+    "render_tree",
+    "render_cycle",
+    "render_activity",
+    "render_store_loads",
+]
+
+_KIND_GLYPH = {VirtualKind.LEFT: "l", VirtualKind.MIDDLE: "m", VirtualKind.RIGHT: "r"}
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _name(vid: int) -> str:
+    return f"{_KIND_GLYPH[kind_of(vid)]}({owner_of(vid)})"
+
+
+def render_tree(topology: LDBTopology, max_nodes: int = 200) -> str:
+    """ASCII pre-order rendering of the aggregation tree."""
+    lines = [f"aggregation tree: {topology.n_real} processes, "
+             f"{topology.n_virtual} virtual nodes, height {topology.tree_height()}"]
+    count = 0
+
+    def visit(vid: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        nonlocal count
+        if count >= max_nodes:
+            return
+        count += 1
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        label = f"{_name(vid)} @{topology.label(vid):.4f}"
+        if vid == topology.anchor:
+            label += "  ← anchor"
+        lines.append(prefix + connector + label)
+        children = topology.children[vid]
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(children):
+            visit(child, child_prefix, i == len(children) - 1, False)
+
+    visit(topology.anchor, "", True, True)
+    if count >= max_nodes:
+        lines.append(f"... truncated at {max_nodes} nodes")
+    return "\n".join(lines)
+
+
+def render_cycle(topology: LDBTopology, width: int = 64) -> str:
+    """The sorted label cycle as a strip: where every virtual node sits."""
+    strip = ["·"] * width
+    for vid in topology.cycle:
+        slot = min(width - 1, int(topology.label(vid) * width))
+        glyph = _KIND_GLYPH[kind_of(vid)]
+        strip[slot] = glyph if strip[slot] == "·" else "*"
+    lines = [
+        "label space [0,1): l=left m=middle r=right *=crowded",
+        "".join(strip),
+        "0" + " " * (width - 2) + "1",
+    ]
+    return "\n".join(lines)
+
+
+def _sparkline(values: list[int], width: int = 60) -> str:
+    if not values:
+        return "(no rounds)"
+    if len(values) > width:
+        # bucket-max preserves the peaks that matter for congestion
+        size = -(-len(values) // width)
+        values = [
+            max(values[i : i + size]) for i in range(0, len(values), size)
+        ]
+    peak = max(max(values), 1)
+    return "".join(_BLOCKS[min(8, round(8 * v / peak))] for v in values)
+
+
+def render_activity(metrics, top_actions: int = 6) -> str:
+    """Per-round congestion sparkline and the run's action mix."""
+    lines = [
+        f"rounds={metrics.rounds}  messages={metrics.messages}  "
+        f"peak congestion={metrics.congestion}  max message={metrics.max_message_bits}b",
+        "congestion/round: " + _sparkline(metrics.congestion_by_round),
+    ]
+    total = sum(metrics.action_counts.values()) or 1
+    for action, count in metrics.action_counts.most_common(top_actions):
+        share = 100.0 * count / total
+        bar = "#" * max(1, int(share / 2))
+        lines.append(f"  {action:<14} {count:>8}  {share:5.1f}% {bar}")
+    return "\n".join(lines)
+
+
+def render_store_loads(cluster, width: int = 40) -> str:
+    """Per-process stored-element loads as horizontal bars (fairness)."""
+    loads = cluster.owner_store_sizes()
+    peak = max(max(loads.values()), 1)
+    total = sum(loads.values())
+    mean = total / max(len(loads), 1)
+    lines = [f"stored elements: total={total}  mean={mean:.1f}  max={max(loads.values())}"]
+    for owner in sorted(loads):
+        n = loads[owner]
+        bar = "█" * int(width * n / peak)
+        lines.append(f"  p{owner:<4} {n:>6} {bar}")
+    return "\n".join(lines)

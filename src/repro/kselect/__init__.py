@@ -1,0 +1,16 @@
+"""KSelect (Section 4): distributed k-selection in O(log n) rounds w.h.p."""
+
+from .candidates import CandidateSet
+from .cluster import KSelectCluster, KSelectNode, distributed_select
+from .protocol import KSelectMixin, KSelectRun
+from .sorting import SortingMixin
+
+__all__ = [
+    "CandidateSet",
+    "KSelectCluster",
+    "KSelectMixin",
+    "KSelectNode",
+    "KSelectRun",
+    "SortingMixin",
+    "distributed_select",
+]

@@ -1,0 +1,87 @@
+"""Per-node candidate bookkeeping for KSelect (the sets ``v.C``).
+
+Every node keeps, per KSelect session, the sorted list of its surviving
+candidate keys ``(priority, uid)``.  All pruning/counting steps reduce to
+order statistics on this sorted list, done with ``bisect`` in
+O(log |C|) — the natural vectorization of the paper's "remove candidates
+with priorities not in [P_min, P_max]" instructions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+from ..element import PrioKey
+from ..errors import ProtocolError
+
+__all__ = ["CandidateSet"]
+
+
+class CandidateSet:
+    """A node's surviving candidates for one selection session, sorted."""
+
+    def __init__(self, keys: Iterable[PrioKey] = ()):
+        self._keys: list[PrioKey] = sorted(keys)
+        if any(
+            self._keys[i] == self._keys[i + 1] for i in range(len(self._keys) - 1)
+        ):
+            raise ProtocolError("duplicate candidate keys in one node's set")
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    @property
+    def keys(self) -> list[PrioKey]:
+        return self._keys
+
+    # -- order statistics ----------------------------------------------------
+
+    def kth_smallest(self, rank: int) -> PrioKey:
+        """The candidate of local rank ``rank`` (1-based)."""
+        if not 1 <= rank <= len(self._keys):
+            raise ProtocolError(f"local rank {rank} outside 1..{len(self._keys)}")
+        return self._keys[rank - 1]
+
+    def local_minmax_ranks(self, k: int, n: int) -> tuple[PrioKey, PrioKey] | None:
+        """The paper's ``(v.P_min, v.P_max)`` for Phase 1.
+
+        ``v.P_min`` is the ⌊k/n⌋-th and ``v.P_max`` the ⌈k/n⌉-th smallest
+        local candidate; both ranks are clamped into ``[1, |C|]`` so sparse
+        nodes contribute safely (clamping can only widen the window, never
+        cut the target — see DESIGN.md's guard-rail note).
+        """
+        if not self._keys:
+            return None
+        lo_rank = max(1, min(k // n, len(self._keys)))
+        hi_rank = max(1, min(-(-k // n), len(self._keys)))
+        return self._keys[lo_rank - 1], self._keys[hi_rank - 1]
+
+    def count_below(self, key: PrioKey) -> int:
+        """Candidates strictly smaller than ``key``."""
+        return bisect.bisect_left(self._keys, key)
+
+    def count_above(self, key: PrioKey) -> int:
+        """Candidates strictly greater than ``key``."""
+        return len(self._keys) - bisect.bisect_right(self._keys, key)
+
+    # -- pruning ----------------------------------------------------------------
+
+    def prune(self, low: PrioKey | None, high: PrioKey | None) -> tuple[int, int]:
+        """Keep only candidates in ``[low, high]`` (inclusive, None = open).
+
+        Returns ``(removed_below, removed_above)``.
+        """
+        lo_idx = bisect.bisect_left(self._keys, low) if low is not None else 0
+        hi_idx = (
+            bisect.bisect_right(self._keys, high)
+            if high is not None
+            else len(self._keys)
+        )
+        removed_below = lo_idx
+        removed_above = len(self._keys) - hi_idx
+        self._keys = self._keys[lo_idx:hi_idx]
+        return removed_below, removed_above

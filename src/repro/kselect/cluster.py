@@ -1,0 +1,104 @@
+"""Standalone KSelect: select the k-th smallest of m distributed elements.
+
+:class:`KSelectCluster` hosts elements spread uniformly over ``n`` nodes
+(the paper's setting for Theorem 4.2) and exposes :meth:`select`;
+:func:`distributed_select` is the one-call convenience wrapper::
+
+    key = distributed_select([(prio, uid), ...], k=5, n_nodes=16)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..cluster import OverlayCluster
+from ..dht.hashing import KeySpace
+from ..element import PrioKey
+from ..errors import ProtocolError
+from ..overlay.base import OverlayNode
+from ..overlay.ldb import LocalView
+from .protocol import KSelectMixin
+
+__all__ = ["KSelectCluster", "KSelectNode", "distributed_select"]
+
+
+class KSelectNode(OverlayNode, KSelectMixin):
+    """Overlay node whose candidates come from an explicit local list."""
+
+    def __init__(self, view: LocalView, keyspace: KeySpace, delta_scale: float = 1.0):
+        super().__init__(view, keyspace)
+        self.local_elements: list[PrioKey] = []
+        self._init_kselect(delta_scale=delta_scale)
+
+    def kselect_candidates(self, session: int) -> list[PrioKey]:
+        return list(self.local_elements)
+
+
+
+class KSelectCluster(OverlayCluster):
+    """An overlay whose nodes hold explicit element keys, for selection."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        seed: int = 0,
+        runner: str = "sync",
+        delta_scale: float = 1.0,
+        **cluster_kwargs,
+    ):
+        self.delta_scale = float(delta_scale)
+        self._next_session = 0
+        super().__init__(n_nodes, seed=seed, runner=runner, **cluster_kwargs)
+
+    def make_node(self, view: LocalView) -> KSelectNode:
+        """Instantiate this protocol's node for one virtual overlay slot."""
+        return KSelectNode(view, self.keyspace, delta_scale=self.delta_scale)
+
+    # -- element placement ---------------------------------------------------
+
+    def scatter(self, keys: Iterable[PrioKey]) -> None:
+        """Distribute element keys uniformly at random over the real nodes.
+
+        Elements live at middle virtual nodes; uniformity over *real* nodes
+        is the paper's storage assumption (Section 4 preamble).
+        """
+        rng = self.runner.rng.stream("kselect-scatter")
+        keys = [tuple(k) for k in keys]
+        if len(set(keys)) != len(keys):
+            raise ProtocolError("duplicate element keys")
+        for key in keys:
+            target = int(rng.integers(0, self.n_nodes))
+            self.middle_node(target).local_elements.append(key)
+
+    def total_elements(self) -> int:
+        """How many element keys the cluster currently hosts."""
+        return sum(len(n.local_elements) for n in self.middles())
+
+    # -- selection -----------------------------------------------------------
+
+    def select(self, k: int, max_rounds: int = 500_000) -> PrioKey:
+        """Run one KSelect session; returns the k-th smallest key."""
+        session = self._next_session
+        self._next_session += 1
+        results: list[PrioKey] = []
+        self.anchor.kselect_begin(
+            k, session, lambda s, key: results.append(key)
+        )
+        if hasattr(self.runner, "step"):
+            self.runner.run_until(lambda: bool(results), max_rounds=max_rounds)
+        else:
+            self.runner.run_until(lambda: bool(results), max_time=float(max_rounds))
+        return results[0]
+
+    def last_run_stats(self) -> dict:
+        """Anchor statistics of the most recent session (experiment T5)."""
+        return dict(getattr(self.anchor, "ks_last_stats", {}))
+
+
+def distributed_select(
+    keys: Sequence[PrioKey], k: int, n_nodes: int = 16, seed: int = 0
+) -> PrioKey:
+    """Select the k-th smallest of ``keys`` with a fresh KSelect cluster."""
+    cluster = KSelectCluster(n_nodes, seed=seed)
+    cluster.scatter(keys)
+    return cluster.select(k)

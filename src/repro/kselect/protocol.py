@@ -1,0 +1,454 @@
+"""Protocol KSelect (Section 4): distributed k-selection in O(log n) rounds.
+
+The anchor drives a pipeline of aggregation phases over the tree:
+
+* **Phase 1 (sampling by local ranks)** — ``log₂(q)+1`` iterations; every
+  node reports the priorities of its ⌊k/n⌋-th and ⌈k/n⌉-th smallest local
+  candidates, the anchor combines them to ``P_min``/``P_max`` and all
+  candidates outside ``[P_min, P_max]`` are removed (Lemma 4.4: the
+  survivor count drops to ``O(n^{3/2} log n)``).
+* **Phase 2 (representatives)** — candidates are sampled with probability
+  ``√n / N``, distributedly sorted (``repro.kselect.sorting``), the anchor
+  picks ``c_l``/``c_r`` at sample orders ``k·n'/N ∓ δ`` with
+  ``δ = Θ(√log n · n^{1/4})``, computes their exact ranks and prunes to
+  ``[c_l, c_r]`` (Lemma 4.7: ``O(√n)`` survivors after O(1) iterations).
+* **Phase 3 (exact)** — one sorting round over *all* survivors; the
+  candidate of order ``k`` is the answer.
+
+Safety beyond the paper's w.h.p. arguments (see DESIGN.md): every prune is
+validated against the counting aggregation the paper already performs, and
+skipped on the unsafe side if it would cut the target rank; sampling
+rounds that yield no usable window escalate the sampling rate, bounded by
+the ``phase3_cap`` fallback — so the protocol is *always* correct,
+terminating, and w.h.p. identical to the paper's behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..element import PrioKey
+from ..errors import ProtocolError
+from ..overlay.aggregation import AggSpec, sum_combine, vector_sum_combine
+from .candidates import CandidateSet
+from .sorting import SortingMixin
+
+__all__ = ["KSelectMixin", "KSelectRun"]
+
+
+def _minmax_combine(node, tag, own, children):
+    """Combine (P_min, P_max) pairs; None means 'no candidates here'."""
+    mins = []
+    maxs = []
+    for value in [own] + [v for _, v in children]:
+        if value is None:
+            continue
+        lo, hi = value
+        mins.append(tuple(lo))
+        maxs.append(tuple(hi))
+    if not mins:
+        return None
+    return (min(mins), max(maxs))
+
+
+@dataclass(slots=True)
+class KSelectRun:
+    """Anchor-side state of one selection session."""
+
+    session: int
+    k: int
+    n: int
+    on_complete: Callable[[int, PrioKey], None]
+    N: int = 0
+    k_left: int = 0
+    p1_left: int = 0
+    p1_iter: int = 0
+    p2_iter: int = 0
+    sample_boost: float = 1.0
+    stalls: int = 0
+    token: tuple = ()
+    n_prime: int = 0
+    exact: bool = False
+    want_cl: bool = False
+    want_cr: bool = False
+    cl: PrioKey | None = None
+    cr: PrioKey | None = None
+    pending_p1_bounds: tuple | None = None
+    result: PrioKey | None = None
+    #: survivor counts per stage — the data behind experiment T5
+    stats: dict = field(default_factory=dict)
+
+
+class KSelectMixin(SortingMixin):
+    """KSelect participant role; anchors additionally run :class:`KSelectRun`."""
+
+    #: phase-2 iterations before escalating to the exhaustive fallback
+    P2_MAX_ITERS = 12
+
+    def _init_kselect(self, delta_scale: float = 1.0) -> None:
+        self._init_sorting()
+        self.delta_scale = float(delta_scale)
+        self._ks_sets: dict[int, CandidateSet] = {}
+        self._ks_samples: dict[tuple, list[PrioKey]] = {}
+        self._ks_runs: dict[int, KSelectRun] = {}  # anchor only
+
+        self.register_bcast("ksB", type(self)._bc_begin)
+        self.register_bcast("ks1", type(self)._bc_p1_ranks)
+        self.register_bcast("ks1c", type(self)._bc_p1_count)
+        self.register_bcast("ks1p", type(self)._bc_p1_prune)
+        self.register_bcast("ks2", type(self)._bc_p2_sample)
+        self.register_bcast("ks2r", type(self)._bc_p2_rank)
+        self.register_bcast("ks2p", type(self)._bc_p2_prune)
+        self.register_bcast("ksG", type(self)._bc_gather)
+        self.register_bcast("ksF", type(self)._bc_finished)
+
+        self.register_agg("ksC", AggSpec(combine=lambda s, t, o, c: sum_combine(o, c), at_root=type(self)._rt_count))
+        self.register_agg("ksMM", AggSpec(combine=_minmax_combine, at_root=type(self)._rt_p1_bounds))
+        self.register_agg("ks1n", AggSpec(combine=lambda s, t, o, c: vector_sum_combine(o, c), at_root=type(self)._rt_p1_counts))
+        self.register_agg("ks1r", AggSpec(combine=lambda s, t, o, c: vector_sum_combine(o, c), at_root=type(self)._rt_p1_removed))
+        self.register_agg(
+            "ks2n",
+            AggSpec(
+                combine=lambda s, t, o, c: sum_combine(o, c),
+                at_root=type(self)._rt_p2_count,
+                decompose=type(self)._dc_positions,
+                deliver=type(self)._dv_positions,
+            ),
+        )
+        self.register_agg("ks2rank", AggSpec(combine=lambda s, t, o, c: vector_sum_combine(o, c), at_root=type(self)._rt_p2_ranks))
+        self.register_agg("ks2rm", AggSpec(combine=lambda s, t, o, c: vector_sum_combine(o, c), at_root=type(self)._rt_p2_removed))
+        self.register_agg("ksGv", AggSpec(combine=type(self)._gather_combine, at_root=type(self)._rt_gather))
+
+    # -- hooks ------------------------------------------------------------
+
+    def kselect_candidates(self, session: int) -> list[PrioKey]:
+        """The local candidate keys ``v.C ⊆ v.E`` for a new session.
+
+        Defaults to the keys of the locally stored DHT elements (how Seap
+        uses KSelect); standalone clusters override this.
+        """
+        return [e.key for e in self.store.elements()]
+
+    def kselect_finished(self, session: int, result: PrioKey) -> None:
+        """Called at *every* node when a session completes (override)."""
+
+    # -- entry point (anchor only) --------------------------------------------
+
+    def kselect_begin(
+        self, k: int, session: int, on_complete: Callable[[int, PrioKey], None]
+    ) -> None:
+        """Start selecting the k-th smallest candidate (anchor only)."""
+        if not self.view.is_anchor:
+            raise ProtocolError("kselect_begin must run at the anchor")
+        if session in self._ks_runs:
+            raise ProtocolError(f"kselect session {session} already running")
+        if k < 1:
+            raise ProtocolError(f"k must be positive, got {k}")
+        self._ks_runs[session] = KSelectRun(
+            session=session,
+            k=k,
+            n=self.view.n_estimate,
+            on_complete=on_complete,
+        )
+        self.bcast(("ksB", session), None)
+
+    # -- session setup -----------------------------------------------------------
+
+    def _bc_begin(self, tag, payload) -> None:
+        session = tag[1]
+        self._ks_sets[session] = CandidateSet(self.kselect_candidates(session))
+        self.agg_contribute(("ksC", session), len(self._ks_sets[session]))
+
+    def _rt_count(self, tag, total: int) -> None:
+        run = self._ks_runs[tag[1]]
+        run.N = total
+        run.k_left = run.k
+        if run.k > total:
+            raise ProtocolError(
+                f"kselect: k={run.k} exceeds candidate count {total}"
+            )
+        run.stats["initial_N"] = total
+        n = max(2, run.n)
+        # m <= n^q  =>  q = ceil(log m / log n); phase 1 runs log2(q)+1 times.
+        q = max(1, math.ceil(math.log(max(total, 2)) / math.log(n)))
+        run.p1_left = math.ceil(math.log2(q)) + 1 if total > 2 * run.n else 0
+        self._anchor_advance(run)
+
+    # -- anchor scheduling -------------------------------------------------------
+
+    def _anchor_advance(self, run: KSelectRun) -> None:
+        """Pick the next stage from the anchor's (N, k, iteration) state."""
+        n = max(run.n, 1)
+        phase3_cap = max(64, int(4 * math.sqrt(n)))
+        if run.p1_left > 0 and run.N > 2 * run.n:
+            self._p1_start(run)
+            return
+        run.stats.setdefault("after_phase1", run.N)
+        if run.N <= max(math.isqrt(n), 2) or run.N <= phase3_cap:
+            self._p2_start(run, exact=True)
+            return
+        if run.p2_iter >= self.P2_MAX_ITERS:
+            self._gather_start(run)
+            return
+        self._p2_start(run, exact=False)
+
+    # -- Phase 1 ----------------------------------------------------------------
+
+    def _p1_start(self, run: KSelectRun) -> None:
+        run.p1_left -= 1
+        run.p1_iter += 1
+        self.bcast(("ks1", run.session, run.p1_iter), (run.k_left, run.n))
+
+    def _bc_p1_ranks(self, tag, payload) -> None:
+        _, session, it = tag
+        k, n = payload
+        cand = self._ks_sets[session]
+        self.agg_contribute(("ksMM", session, it), cand.local_minmax_ranks(k, max(n, 1)))
+
+    def _rt_p1_bounds(self, tag, bounds) -> None:
+        run = self._ks_runs[tag[1]]
+        if bounds is None:  # pragma: no cover - k<=N guarantees candidates
+            raise ProtocolError("phase 1 found no candidates anywhere")
+        run.pending_p1_bounds = bounds
+        self.bcast(("ks1c", run.session, tag[2]), bounds)
+
+    def _bc_p1_count(self, tag, payload) -> None:
+        _, session, it = tag
+        pmin, pmax = payload
+        cand = self._ks_sets[session]
+        self.agg_contribute(
+            ("ks1n", session, it),
+            (cand.count_below(tuple(pmin)), cand.count_above(tuple(pmax))),
+        )
+
+    def _rt_p1_counts(self, tag, counts) -> None:
+        run = self._ks_runs[tag[1]]
+        below, above = counts
+        pmin, pmax = run.pending_p1_bounds
+        # Guard rails: skip a side of the prune if it would cut rank k.
+        low = pmin if below < run.k_left else None
+        high = pmax if run.k_left <= run.N - above else None
+        self.bcast(("ks1p", run.session, tag[2]), (low, high))
+
+    def _bc_p1_prune(self, tag, payload) -> None:
+        _, session, it = tag
+        low, high = payload
+        cand = self._ks_sets[session]
+        removed = cand.prune(
+            tuple(low) if low is not None else None,
+            tuple(high) if high is not None else None,
+        )
+        self.agg_contribute(("ks1r", session, it), removed)
+
+    def _rt_p1_removed(self, tag, removed) -> None:
+        run = self._ks_runs[tag[1]]
+        below, above = removed
+        run.N -= below + above
+        run.k_left -= below
+        run.stats.setdefault("phase1_N", []).append(run.N)
+        self._anchor_advance(run)
+
+    # -- Phase 2a: sampling -------------------------------------------------------
+
+    def _p2_start(self, run: KSelectRun, exact: bool) -> None:
+        run.p2_iter += 1
+        run.exact = exact
+        run.token = (run.session, run.p2_iter)
+        prob = 1.0 if exact else min(
+            1.0, run.sample_boost * math.sqrt(max(run.n, 1)) / max(run.N, 1)
+        )
+        self.bcast(("ks2",) + run.token, (prob, exact))
+
+    def _bc_p2_sample(self, tag, payload) -> None:
+        _, session, it = tag
+        prob, exact = payload
+        cand = self._ks_sets[session]
+        token = (session, it)
+        if exact or prob >= 1.0:
+            sample = list(cand.keys)
+        else:
+            rng = self.ctx.rng.stream("kselect-sample", self.id)
+            sample = [key for key in cand.keys if rng.random() < prob]
+        self._ks_samples[token] = sample
+        self.agg_contribute(("ks2n",) + token, len(sample))
+
+    def _rt_p2_count(self, tag, n_prime: int) -> None:
+        run = self._ks_runs[tag[1]]
+        run.n_prime = n_prime
+        if run.exact:
+            if n_prime != run.N:  # pragma: no cover - structural
+                raise ProtocolError("exact phase sampled a strict subset")
+            self._distribute_positions(run, want_l=0, want_r=0, want_ans=run.k_left)
+            return
+        if n_prime == 0:
+            self._p2_stall(run)
+            return
+        n = max(run.n, 2)
+        delta = max(
+            1, math.ceil(self.delta_scale * math.sqrt(math.log2(n)) * n ** 0.25)
+        )
+        center = run.k_left * n_prime / run.N
+        l = math.floor(center - delta)
+        r = math.ceil(center + delta)
+        run.want_cl = l >= 1
+        run.want_cr = r <= n_prime
+        if not run.want_cl and not run.want_cr:
+            self._p2_stall(run)
+            return
+        run.cl = None
+        run.cr = None
+        self._distribute_positions(
+            run,
+            want_l=l if run.want_cl else 0,
+            want_r=r if run.want_cr else 0,
+            want_ans=0,
+        )
+
+    def _p2_stall(self, run: KSelectRun) -> None:
+        """Sample too small to carry a δ-window: escalate the sampling rate."""
+        run.stalls += 1
+        run.sample_boost *= 4.0
+        if run.stalls > 6:  # pragma: no cover - bounded by phase3_cap math
+            self._gather_start(run)
+            return
+        self._anchor_advance(run)
+
+    # -- Phase 2b: positions and sorting ---------------------------------------------
+
+    def _distribute_positions(self, run: KSelectRun, want_l, want_r, want_ans) -> None:
+        self.agg_distribute(
+            ("ks2n",) + run.token,
+            (1, run.n_prime, want_l, want_r, want_ans),
+        )
+
+    def _dc_positions(self, tag, payload):
+        start, n_prime, want_l, want_r, want_ans = payload
+        own_count, child_counts = self.agg_memory(tag)
+        own_part = (start, n_prime, want_l, want_r, want_ans)
+        cursor = start + own_count
+        child_parts = {}
+        for child, count in child_counts:
+            child_parts[child] = (cursor, n_prime, want_l, want_r, want_ans)
+            cursor += count
+        return own_part, child_parts
+
+    def _dv_positions(self, tag, part) -> None:
+        start, n_prime, want_l, want_r, want_ans = part
+        token = (tag[1], tag[2])
+        sample = self._ks_samples.pop(token, [])
+        for offset, candidate in enumerate(sample):
+            pos = start + offset
+            self.route_to_point(
+                self.keyspace.sort_position_key(token, pos),
+                "ks_hold",
+                {
+                    "token": token,
+                    "i": pos,
+                    "candidate": candidate,
+                    "n_prime": n_prime,
+                    "want_l": want_l,
+                    "want_r": want_r,
+                    "want_ans": want_ans,
+                },
+            )
+
+    # -- Phase 2c: c_l / c_r ranks and pruning -----------------------------------------
+
+    def on_ks_found(self, origin: int, token: tuple, which: str, candidate) -> None:
+        run = self._ks_runs.get(tuple(token)[0])
+        if run is None or run.token != tuple(token):
+            raise ProtocolError(f"ks_found for unknown session token {token}")
+        candidate = tuple(candidate)
+        if which == "ans":
+            self._complete(run, candidate)
+            return
+        if which == "cl":
+            run.cl = candidate
+        elif which == "cr":
+            run.cr = candidate
+        else:  # pragma: no cover - structural
+            raise ProtocolError(f"unknown ks_found kind {which!r}")
+        if (run.cl is not None) == run.want_cl and (run.cr is not None) == run.want_cr:
+            self.bcast(("ks2r",) + run.token, (run.cl, run.cr))
+
+    def _bc_p2_rank(self, tag, payload) -> None:
+        _, session, it = tag
+        cl, cr = payload
+        cand = self._ks_sets[session]
+        below_cl = cand.count_below(tuple(cl)) if cl is not None else 0
+        below_cr = cand.count_below(tuple(cr)) if cr is not None else 0
+        self.agg_contribute(("ks2rank", session, it), (below_cl, below_cr))
+
+    def _rt_p2_ranks(self, tag, ranks) -> None:
+        run = self._ks_runs[tag[1]]
+        L, R = ranks
+        low = run.cl
+        high = run.cr
+        # Guard rails around Lemma 4.6: keep the side that would cut rank k.
+        if low is not None and L >= run.k_left:
+            low = None
+        if high is not None and (R + 1) < run.k_left:
+            high = None
+        self.bcast(("ks2p",) + run.token, (low, high))
+
+    def _bc_p2_prune(self, tag, payload) -> None:
+        _, session, it = tag
+        low, high = payload
+        cand = self._ks_sets[session]
+        removed = cand.prune(
+            tuple(low) if low is not None else None,
+            tuple(high) if high is not None else None,
+        )
+        self.agg_contribute(("ks2rm", session, it), removed)
+
+    def _rt_p2_removed(self, tag, removed) -> None:
+        run = self._ks_runs[tag[1]]
+        below, above = removed
+        run.N -= below + above
+        run.k_left -= below
+        if run.k_left < 1 or run.k_left > run.N:  # pragma: no cover - guarded
+            raise ProtocolError("pruning cut the target rank")
+        run.stats.setdefault("phase2_N", []).append(run.N)
+        self._anchor_advance(run)
+
+    # -- fallback: gather everything (correct but unscalable; bounded use) -----------
+
+    def _gather_start(self, run: KSelectRun) -> None:
+        run.stats["gather_fallback"] = True
+        self.bcast(("ksG", run.session, run.p2_iter), None)
+
+    def _bc_gather(self, tag, payload) -> None:
+        _, session, it = tag
+        self.agg_contribute(("ksGv", session, it), list(self._ks_sets[session]))
+
+    def _gather_combine(self, tag, own, children):
+        merged = list(own)
+        for _, keys in children:
+            merged.extend(tuple(k) for k in keys)
+        merged.sort()
+        return merged
+
+    def _rt_gather(self, tag, merged) -> None:
+        run = self._ks_runs[tag[1]]
+        self._complete(run, tuple(merged[run.k_left - 1]))
+
+    # -- completion ----------------------------------------------------------------
+
+    def _complete(self, run: KSelectRun, result: PrioKey) -> None:
+        run.result = result
+        run.stats["final_N"] = run.N
+        #: kept for experiment T5 (survivor counts per stage)
+        self.ks_last_stats = dict(run.stats)
+        self.bcast(("ksF", run.session), result)
+        run.on_complete(run.session, result)
+        del self._ks_runs[run.session]
+
+    def _bc_finished(self, tag, payload) -> None:
+        session = tag[1]
+        self._ks_sets.pop(session, None)
+        stale = [t for t in self._ks_samples if t[0] == session]
+        for t in stale:
+            del self._ks_samples[t]
+        self.kselect_finished(session, tuple(payload))

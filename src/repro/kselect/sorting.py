@@ -1,0 +1,253 @@
+"""Distributed sorting of sampled candidates (KSelect Phase 2b, Alg. 3).
+
+Each sampled candidate ``c_i`` is routed to the holder node ``v_i``
+responsible for ``h(session, i)``.  The holder disseminates ``n'`` copies
+through a binary copy tree ``T(v_i)`` (ranges halve recursively; tree node
+``(lo, hi)`` lives at the node responsible for ``h(session, i, lo, hi)``).
+The leaf carrying copy ``c_{i,j}`` routes it to the *meeting node*
+responsible for the symmetric key ``h(session, {i, j})``, where it meets
+``c_{j,i}``; the meeting node compares priorities and returns ``(1,0)`` to
+the larger candidate's leaf and ``(0,1)`` to the smaller's.  Vectors are
+summed back up the copy tree; at the holder, ``order(c_i) = L + 1``.
+
+The holder then reports to the anchor if its candidate's order is one of
+the wanted orders (``c_l``, ``c_r`` in Phase 2, the answer in Phase 3),
+via parent-pointer forwarding up the aggregation tree (``anchor_cast``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..element import PrioKey
+from ..errors import ProtocolError
+
+__all__ = ["SortingMixin"]
+
+#: sentinel for "no wanted order"
+NONE_WANT = 0
+
+
+class SortingMixin:
+    """Copy-tree dissemination, pairwise meets and order aggregation."""
+
+    def _init_sorting(self) -> None:
+        # holder state: (token, i) -> dict(candidate, n_prime, wants)
+        self._ks_holdings: dict[tuple, dict[str, Any]] = {}
+        # internal copy-tree node state: (token, i, lo, hi) -> accumulation
+        self._ks_copy_nodes: dict[tuple, dict[str, Any]] = {}
+        # leaf copies awaiting their comparison: (token, i, j) -> parent ref
+        self._ks_leaves: dict[tuple, tuple[int, int, int]] = {}
+        # meeting points: (token, a, b) -> first arrival
+        self._ks_meets: dict[tuple, tuple[int, PrioKey, int]] = {}
+
+    # -- anchor-cast: parent-pointer forwarding to the tree root -------------
+
+    def anchor_cast(self, action: str, payload: dict[str, Any]) -> None:
+        """Deliver ``action`` at the anchor by walking up the tree."""
+        if self.view.is_anchor:
+            getattr(self, "on_" + action)(self.id, **payload)
+        else:
+            self.send(
+                self.view.parent, "anchor_fwd", inner=action, inner_payload=payload
+            )
+
+    def on_anchor_fwd(self, sender: int, inner: str, inner_payload: dict[str, Any]) -> None:
+        self.anchor_cast(inner, inner_payload)
+
+    # -- holder ------------------------------------------------------------
+
+    def on_ks_hold(
+        self,
+        origin: int,
+        token: tuple,
+        i: int,
+        candidate: PrioKey,
+        n_prime: int,
+        want_l: int,
+        want_r: int,
+        want_ans: int,
+        want_all: bool = False,
+        element=None,
+    ) -> None:
+        token = tuple(token)
+        key = (token, i)
+        if key in self._ks_holdings:
+            raise ProtocolError(f"duplicate holder state for {key}")
+        self._ks_holdings[key] = {
+            "candidate": tuple(candidate),
+            "n_prime": n_prime,
+            "wants": (want_l, want_r, want_ans),
+            "want_all": want_all,
+            "element": element,
+        }
+        # The holder is the root of T(v_i): handle the full range here.
+        self._ks_copy_range(token, i, 1, n_prime, tuple(candidate), parent=None)
+
+    # -- copy tree -------------------------------------------------------------
+
+    def on_ks_copy(
+        self,
+        origin: int,
+        token: tuple,
+        i: int,
+        lo: int,
+        hi: int,
+        candidate: PrioKey,
+        parent: tuple[int, int, int],
+    ) -> None:
+        self._ks_copy_range(tuple(token), i, lo, hi, tuple(candidate), tuple(parent))
+
+    def _ks_copy_range(self, token, i, lo, hi, candidate, parent) -> None:
+        """Handle responsibility for the copy range ``[lo, hi]`` of ``c_i``.
+
+        ``parent`` is ``(vid, parent_lo, parent_hi)`` or None at the holder.
+        """
+        if lo == hi:
+            j = lo
+            if j == i:
+                # A candidate is never compared with itself (Alg. 3 skips
+                # the diagonal); contribute a zero vector.
+                self._ks_vector_up(token, i, parent, (0, 0))
+                return
+            self._ks_leaves[(token, i, j)] = parent if parent is not None else (
+                self.id,
+                lo,
+                hi,
+            )
+            if parent is None:
+                raise ProtocolError("diagonal-free leaf cannot be the tree root")
+            self.route_to_point(
+                self.keyspace.pair_key(token, i, j),
+                "ks_meet",
+                {
+                    "token": token,
+                    "i": i,
+                    "j": j,
+                    "candidate": candidate,
+                    "leaf": self.id,
+                },
+            )
+            return
+        mid = (lo + hi) // 2
+        self._ks_copy_nodes[(token, i, lo, hi)] = {
+            "parent": parent,
+            "acc": [0, 0],
+            "pending": 2,
+        }
+        for sub_lo, sub_hi in ((lo, mid), (mid + 1, hi)):
+            self.route_to_point(
+                self.keyspace.copy_key(token, i, sub_lo, sub_hi),
+                "ks_copy",
+                {
+                    "token": token,
+                    "i": i,
+                    "lo": sub_lo,
+                    "hi": sub_hi,
+                    "candidate": candidate,
+                    "parent": (self.id, lo, hi),
+                },
+            )
+
+    # -- meeting points -------------------------------------------------------
+
+    def on_ks_meet(
+        self, origin: int, token: tuple, i: int, j: int, candidate: PrioKey, leaf: int
+    ) -> None:
+        token = tuple(token)
+        candidate = tuple(candidate)
+        a, b = (i, j) if i < j else (j, i)
+        key = (token, a, b)
+        other = self._ks_meets.pop(key, None)
+        if other is None:
+            self._ks_meets[key] = (i, candidate, leaf)
+            return
+        other_i, other_candidate, other_leaf = other
+        if other_i == i:  # pragma: no cover - structural
+            raise ProtocolError(f"meeting point {key} received the same copy twice")
+        # The copy with the larger key learns one candidate is smaller.
+        if candidate > other_candidate:
+            mine, theirs = (1, 0), (0, 1)
+        else:
+            mine, theirs = (0, 1), (1, 0)
+        self.send(leaf, "ks_cmp", token=token, i=i, j=j, vec=mine)
+        self.send(other_leaf, "ks_cmp", token=token, i=other_i, j=i, vec=theirs)
+
+    def on_ks_cmp(self, sender: int, token: tuple, i: int, j: int, vec) -> None:
+        token = tuple(token)
+        parent = self._ks_leaves.pop((token, i, j), None)
+        if parent is None:
+            raise ProtocolError(f"comparison result for unknown leaf ({token},{i},{j})")
+        self._ks_vector_up(token, i, parent, tuple(vec))
+
+    # -- vector aggregation back to the holder ------------------------------------
+
+    def _ks_vector_up(self, token, i, parent, vec) -> None:
+        if parent is None:
+            # Root-of-tree shortcut (n' == 1): resolve the holder directly.
+            self._ks_order_resolved(token, i, vec[0] + 1)
+            return
+        parent_vid, parent_lo, parent_hi = parent
+        self.send(
+            parent_vid,
+            "ks_vec",
+            token=token,
+            i=i,
+            lo=parent_lo,
+            hi=parent_hi,
+            vec=vec,
+        )
+
+    def on_ks_vec(self, sender: int, token: tuple, i: int, lo: int, hi: int, vec) -> None:
+        token = tuple(token)
+        state_key = (token, i, lo, hi)
+        holding_key = (token, i)
+        if state_key in self._ks_copy_nodes:
+            state = self._ks_copy_nodes[state_key]
+            state["acc"][0] += vec[0]
+            state["acc"][1] += vec[1]
+            state["pending"] -= 1
+            if state["pending"] == 0:
+                del self._ks_copy_nodes[state_key]
+                holding = self._ks_holdings.get(holding_key)
+                if state["parent"] is None:
+                    if holding is None or holding["n_prime"] != hi:
+                        raise ProtocolError("copy-tree root without holder state")
+                    self._ks_order_resolved(token, i, state["acc"][0] + 1)
+                else:
+                    self._ks_vector_up(token, i, state["parent"], tuple(state["acc"]))
+            return
+        raise ProtocolError(f"vector for unknown copy-tree node {state_key}")
+
+    def ks_order_resolved_hook(self, token, i, holding, order: int) -> None:
+        """Override to consume every resolved order (``want_all`` holdings).
+
+        Used by the sequentially consistent Seap variant: the holder learns
+        its element's exact global rank and stores it at that rank's
+        position key.
+        """
+        raise ProtocolError(f"no rank consumer for holding ({token}, {i})")
+
+    def _ks_order_resolved(self, token, i, order: int) -> None:
+        holding = self._ks_holdings.pop((token, i), None)
+        if holding is None:
+            raise ProtocolError(f"order resolved for unknown holding ({token}, {i})")
+        if holding.get("want_all"):
+            self.ks_order_resolved_hook(token, i, holding, order)
+            return
+        want_l, want_r, want_ans = holding["wants"]
+        if order == want_l:
+            self.anchor_cast(
+                "ks_found",
+                {"token": token, "which": "cl", "candidate": holding["candidate"]},
+            )
+        if order == want_r:
+            self.anchor_cast(
+                "ks_found",
+                {"token": token, "which": "cr", "candidate": holding["candidate"]},
+            )
+        if order == want_ans:
+            self.anchor_cast(
+                "ks_found",
+                {"token": token, "which": "ans", "candidate": holding["candidate"]},
+            )

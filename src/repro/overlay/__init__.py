@@ -1,0 +1,40 @@
+"""Overlay network: de Bruijn reference graph, LDB, aggregation tree, routing."""
+
+from .aggregation import (
+    AggregationMixin,
+    AggSpec,
+    first_combine,
+    max_combine,
+    min_combine,
+    sum_combine,
+    vector_sum_combine,
+)
+from .base import OverlayNode
+from .debruijn import DeBruijnGraph, bits_of, from_bits
+from .ldb import LDBTopology, LocalView, VirtualKind, kind_of, owner_of, vid_for
+from .routing import RoutingMixin, point_bits
+from .selfstab import LinearizationCluster, LinearizationNode
+
+__all__ = [
+    "AggSpec",
+    "AggregationMixin",
+    "DeBruijnGraph",
+    "LDBTopology",
+    "LinearizationCluster",
+    "LinearizationNode",
+    "LocalView",
+    "OverlayNode",
+    "RoutingMixin",
+    "VirtualKind",
+    "bits_of",
+    "first_combine",
+    "from_bits",
+    "kind_of",
+    "max_combine",
+    "min_combine",
+    "owner_of",
+    "point_bits",
+    "sum_combine",
+    "vector_sum_combine",
+    "vid_for",
+]

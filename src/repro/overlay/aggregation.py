@@ -1,0 +1,216 @@
+"""Generic aggregation phases over the LDB-induced tree (Lemma 2.2).
+
+The paper's protocols repeatedly run *aggregation phases*: every node
+contributes a value, inner nodes combine the values of their children with
+their own and forward the result up, the anchor consumes the combined value
+and usually *distributes* a result back down, decomposing it per sub-tree
+using what each node memorized about its children's contributions (Skeap
+Phase 1/3, Seap's count/interval phases, every KSelect step).
+
+:class:`AggregationMixin` implements this pattern once, generically.  A
+protocol registers named :class:`AggSpec` handlers; tags are
+``(name, token)`` tuples so many phases and iterations can be in flight
+concurrently, even under full asynchrony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ProtocolError
+
+__all__ = ["AggSpec", "AggregationMixin", "sum_combine", "min_combine", "max_combine", "vector_sum_combine", "first_combine"]
+
+Tag = tuple
+
+
+# -- reusable combiners ------------------------------------------------------
+
+
+def sum_combine(own, children):
+    """Addition, e.g. counting participants (the paper's n-count example)."""
+    return own + sum(v for _, v in children)
+
+
+def min_combine(own, children):
+    """Minimum over own + child values, ignoring None contributions."""
+    vals = [own] + [v for _, v in children]
+    vals = [v for v in vals if v is not None]
+    return min(vals) if vals else None
+
+
+def max_combine(own, children):
+    """Maximum over own + child values, ignoring None contributions."""
+    vals = [own] + [v for _, v in children]
+    vals = [v for v in vals if v is not None]
+    return max(vals) if vals else None
+
+
+def vector_sum_combine(own, children):
+    """Component-wise tuple addition (KSelect's (L, R) vectors)."""
+    acc = list(own)
+    for _, v in children:
+        for i, x in enumerate(v):
+            acc[i] += x
+    return tuple(acc)
+
+
+def first_combine(own, children):
+    """First non-None value (delegating a single found item to the anchor)."""
+    if own is not None:
+        return own
+    for _, v in children:
+        if v is not None:
+            return v
+    return None
+
+
+@dataclass(slots=True)
+class AggSpec:
+    """Behaviour of one named aggregation.
+
+    ``combine(node, tag, own, children)`` merges a node's own contribution
+    with its children's (``children`` is ``[(child_vid, value), ...]`` in
+    deterministic tree order).  ``at_root`` fires at the anchor with the
+    fully combined value.  ``decompose(node, tag, payload)`` splits a
+    downward payload into ``(own_part, {child_vid: part})`` — it may consult
+    :meth:`AggregationMixin.agg_memory`.  ``deliver`` fires at every node
+    with its own part.
+    """
+
+    combine: Callable[[Any, Tag, Any, list], Any]
+    at_root: Callable[[Any, Tag, Any], None] | None = None
+    decompose: Callable[[Any, Tag, Any], tuple[Any, dict[int, Any]]] | None = None
+    deliver: Callable[[Any, Tag, Any], None] | None = None
+
+
+class AggregationMixin:
+    """Convergecast / decompose-broadcast engine for tree nodes.
+
+    Host class must provide ``self.view`` (a :class:`~repro.overlay.ldb.LocalView`)
+    and ``self.send``.  Call :meth:`_init_aggregation` from ``__init__``.
+    """
+
+    def _init_aggregation(self) -> None:
+        self._agg_specs: dict[str, AggSpec] = {}
+        self._bcast_handlers: dict[str, Callable[[Any, Tag, Any], None]] = {}
+        self._agg_own: dict[Tag, Any] = {}
+        self._agg_children: dict[Tag, dict[int, Any]] = {}
+        self._agg_flushed: set[Tag] = set()
+
+    # -- registration ----------------------------------------------------
+
+    def register_agg(self, name: str, spec: AggSpec) -> None:
+        self._agg_specs[name] = spec
+
+    def register_bcast(self, name: str, handler: Callable[[Any, Tag, Any], None]) -> None:
+        self._bcast_handlers[name] = handler
+
+    def _spec(self, tag: Tag) -> AggSpec:
+        spec = self._agg_specs.get(tag[0])
+        if spec is None:
+            raise ProtocolError(f"node {self.id}: no aggregation named {tag[0]!r}")
+        return spec
+
+    # -- upward (convergecast) ---------------------------------------------
+
+    def agg_contribute(self, tag: Tag, value: Any) -> None:
+        """Provide this node's own contribution for ``tag``.
+
+        Leaves flush immediately; inner nodes wait for all children.  Stale
+        state from earlier iterations of the same name is purged (iterations
+        are strictly ordered by their numeric token).
+        """
+        tag = tuple(tag)
+        self._spec(tag)  # unknown names fail fast, not at flush time
+        if tag in self._agg_own:
+            raise ProtocolError(f"node {self.id}: duplicate contribution for {tag}")
+        self._expire_older(tag)
+        self._agg_own[tag] = value
+        self._try_flush(tag)
+
+    def on_agg_up(self, sender: int, tag: Tag, value: Any) -> None:
+        tag = tuple(tag)
+        bucket = self._agg_children.setdefault(tag, {})
+        if sender in bucket:
+            raise ProtocolError(f"node {self.id}: duplicate child value for {tag}")
+        bucket[sender] = value
+        self._try_flush(tag)
+
+    def _try_flush(self, tag: Tag) -> None:
+        if tag in self._agg_flushed or tag not in self._agg_own:
+            return
+        got = self._agg_children.get(tag, {})
+        if any(c not in got for c in self.view.children):
+            return
+        children = [(c, got[c]) for c in self.view.children]
+        spec = self._spec(tag)
+        combined = spec.combine(self, tag, self._agg_own[tag], children)
+        self._agg_flushed.add(tag)
+        if self.view.is_anchor:
+            if spec.at_root is None:
+                raise ProtocolError(f"aggregation {tag} reached anchor without at_root")
+            spec.at_root(self, tag, combined)
+        else:
+            self.send(self.view.parent, "agg_up", tag=tag, value=combined)
+
+    def _expire_older(self, tag: Tag) -> None:
+        """Drop memory of earlier iterations of the same aggregation name."""
+        if len(tag) < 2 or not isinstance(tag[-1], int):
+            return
+        stale = [
+            t
+            for t in self._agg_own
+            if t[:-1] == tag[:-1]
+            and isinstance(t[-1], int)
+            and t[-1] < tag[-1]
+            and t in self._agg_flushed
+        ]
+        for t in stale:
+            self._agg_own.pop(t, None)
+            self._agg_children.pop(t, None)
+            self._agg_flushed.discard(t)
+
+    # -- downward (decompose / broadcast) ------------------------------------
+
+    def agg_memory(self, tag: Tag) -> tuple[Any, list[tuple[int, Any]]]:
+        """What this node contributed and received for ``tag`` (for decompose)."""
+        tag = tuple(tag)
+        if tag not in self._agg_own:
+            raise ProtocolError(f"node {self.id}: no memory for {tag}")
+        got = self._agg_children.get(tag, {})
+        return self._agg_own[tag], [(c, got[c]) for c in self.view.children]
+
+    def agg_distribute(self, tag: Tag, payload: Any) -> None:
+        """Push a payload down the tree, decomposing per memorized sub-batches.
+
+        Called at the anchor to start Phase-3-style distribution; recurses
+        via ``agg_down`` messages.
+        """
+        tag = tuple(tag)
+        spec = self._spec(tag)
+        if spec.decompose is None or spec.deliver is None:
+            raise ProtocolError(f"aggregation {tag} is not distributable")
+        own_part, child_parts = spec.decompose(self, tag, payload)
+        for child in self.view.children:
+            if child not in child_parts:
+                raise ProtocolError(f"decompose for {tag} missed child {child}")
+            self.send(child, "agg_down", tag=tag, part=child_parts[child])
+        spec.deliver(self, tag, own_part)
+
+    def on_agg_down(self, sender: int, tag: Tag, part: Any) -> None:
+        self.agg_distribute(tuple(tag), part)
+
+    def bcast(self, tag: Tag, payload: Any) -> None:
+        """Uniform broadcast from the anchor: same payload to every node."""
+        tag = tuple(tag)
+        handler = self._bcast_handlers.get(tag[0])
+        if handler is None:
+            raise ProtocolError(f"node {self.id}: no broadcast named {tag[0]!r}")
+        for child in self.view.children:
+            self.send(child, "agg_bcast", tag=tag, payload=payload)
+        handler(self, tag, payload)
+
+    def on_agg_bcast(self, sender: int, tag: Tag, payload: Any) -> None:
+        self.bcast(tuple(tag), payload)

@@ -1,0 +1,40 @@
+"""The full overlay participant: process + routing + aggregation + DHT.
+
+Every protocol node in this library (Skeap, Seap, KSelect, baselines that
+use the overlay) derives from :class:`OverlayNode`, which wires together
+the simulation process model with the LDB local view, the de Bruijn
+routing engine, the tree aggregation engine and the DHT roles.
+"""
+
+from __future__ import annotations
+
+from ..dht.hashing import KeySpace
+from ..dht.protocol import DHTMixin
+from ..sim.node import ProtocolNode
+from .aggregation import AggregationMixin
+from .ldb import LocalView
+from .routing import RoutingMixin
+
+__all__ = ["OverlayNode"]
+
+
+class OverlayNode(ProtocolNode, RoutingMixin, AggregationMixin, DHTMixin):
+    """A virtual node of the LDB overlay with all substrates attached."""
+
+    def __init__(self, view: LocalView, keyspace: KeySpace):
+        super().__init__(view.vid)
+        self.view = view
+        self.keyspace = keyspace
+        self._init_routing()
+        self._init_aggregation()
+        self._init_dht()
+
+    @property
+    def is_anchor(self) -> bool:
+        return self.view.is_anchor
+
+    @property
+    def is_middle(self) -> bool:
+        from .ldb import VirtualKind
+
+        return self.view.kind is VirtualKind.MIDDLE

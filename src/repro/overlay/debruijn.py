@@ -1,0 +1,81 @@
+"""Classical d-dimensional de Bruijn graph (Definition 2.1).
+
+Nodes are bitstrings ``(x_1, ..., x_d)`` — represented as integers with
+``x_1`` the most significant bit — and edges go from ``(x_1, ..., x_d)`` to
+``(j, x_1, ..., x_{d-1})`` for ``j ∈ {0, 1}``.  Routing adjusts exactly
+``d`` bits by repeatedly prepending the target's bits, as in the paper's
+example for ``d = 3``.
+
+The LDB overlay (Appendix A) *emulates* this graph; this module is the
+reference implementation that the emulation and its tests are checked
+against.
+"""
+
+from __future__ import annotations
+
+from ..errors import RoutingError
+
+__all__ = ["DeBruijnGraph", "bits_of", "from_bits"]
+
+
+def bits_of(x: int, d: int) -> tuple[int, ...]:
+    """The bitstring ``(x_1, ..., x_d)`` of node ``x`` (MSB first)."""
+    if not 0 <= x < (1 << d):
+        raise RoutingError(f"node {x} out of range for dimension {d}")
+    return tuple((x >> (d - 1 - i)) & 1 for i in range(d))
+
+
+def from_bits(bits: tuple[int, ...]) -> int:
+    """Inverse of :func:`bits_of`."""
+    x = 0
+    for b in bits:
+        x = (x << 1) | (b & 1)
+    return x
+
+
+class DeBruijnGraph:
+    """The standard d-dimensional de Bruijn graph on ``2^d`` nodes."""
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise RoutingError("dimension must be >= 1")
+        self.d = int(d)
+        self.n = 1 << self.d
+
+    def neighbors(self, x: int) -> tuple[int, int]:
+        """Out-neighbors ``(j, x_1, ..., x_{d-1})`` for ``j = 0, 1``."""
+        if not 0 <= x < self.n:
+            raise RoutingError(f"node {x} out of range")
+        shifted = x >> 1
+        return (shifted, shifted | (1 << (self.d - 1)))
+
+    def hop(self, x: int, j: int) -> int:
+        """One bitshift hop prepending bit ``j``."""
+        if j not in (0, 1):
+            raise RoutingError("bit must be 0 or 1")
+        return (x >> 1) | (j << (self.d - 1))
+
+    def route(self, s: int, t: int) -> list[int]:
+        """The bitshift route from ``s`` to ``t`` (length exactly ``d + 1``).
+
+        Prepends ``t``'s bits from least to most significant, reproducing
+        the paper's example path
+        ``((s1,s2,s3), (t3,s1,s2), (t2,t3,s1), (t1,t2,t3))``.
+        """
+        if not (0 <= s < self.n and 0 <= t < self.n):
+            raise RoutingError("endpoints out of range")
+        path = [s]
+        cur = s
+        tbits = bits_of(t, self.d)
+        for i in range(self.d - 1, -1, -1):
+            cur = self.hop(cur, tbits[i])
+            path.append(cur)
+        if cur != t:  # pragma: no cover - structural impossibility
+            raise RoutingError("bitshift routing failed to converge")
+        return path
+
+    def edges(self):
+        """Iterate over all ``2^{d+1}`` directed edges."""
+        for x in range(self.n):
+            for y in self.neighbors(x):
+                yield (x, y)

@@ -1,0 +1,271 @@
+"""Linearized de Bruijn network and its induced aggregation tree.
+
+Implements Definition A.1 and the parent/child rules of Appendix A:
+
+* each real node ``v`` emulates three virtual nodes — ``m(v)`` with a
+  pseudorandom label in ``[0, 1)``, ``l(v) = m(v)/2`` and
+  ``r(v) = (m(v)+1)/2``;
+* all virtual nodes form a sorted cycle (linear edges), plus virtual edges
+  among the three nodes of one owner;
+* the aggregation tree is a subgraph: ``p(m(v)) = l(v)``,
+  ``p(left) = pred(left)``, ``p(r(v)) = m(v)``; the cycle's wrap-around edge
+  is cut, making the globally smallest virtual node the tree root (the
+  *anchor*).
+
+Virtual node ids are ``3 * owner + kind`` so ``owner_of`` is a cheap
+division — this is the mapping the congestion metric uses.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from ..errors import TopologyError
+from ..sim.rng import PseudoRandomHash
+
+__all__ = ["VirtualKind", "LocalView", "LDBTopology", "owner_of", "kind_of", "vid_for"]
+
+
+class VirtualKind(IntEnum):
+    """Which of its three virtual nodes a real node is acting as."""
+
+    LEFT = 0
+    MIDDLE = 1
+    RIGHT = 2
+
+
+def owner_of(vid: int) -> int:
+    """The real node emulating virtual node ``vid``."""
+    return vid // 3
+
+
+def kind_of(vid: int) -> VirtualKind:
+    """Which role (left/middle/right) virtual node ``vid`` plays."""
+    return VirtualKind(vid % 3)
+
+
+def vid_for(owner: int, kind: VirtualKind) -> int:
+    """The virtual node id of ``owner``'s node of the given kind."""
+    return owner * 3 + int(kind)
+
+
+@dataclass(slots=True)
+class LocalView:
+    """Everything a virtual node knows locally about the overlay.
+
+    This is the *distributed* state: protocol code only reads its own
+    ``LocalView`` (plus node references received in messages), never the
+    global topology object.
+    """
+
+    vid: int
+    kind: VirtualKind
+    owner: int
+    label: float
+    pred: int
+    succ: int
+    pred_label: float
+    succ_label: float
+    parent: int | None  # None only at the anchor
+    children: tuple[int, ...]
+    #: pre-order DFS rank in the aggregation tree (own-before-children, the
+    #: order in which Phase-3 decomposition consumes positions)
+    dfs_rank: int
+    siblings: tuple[int, int, int]  # (left vid, middle vid, right vid) of owner
+    middle_label: float
+    debruijn_dim: int
+    n_estimate: int  # number of real nodes (the paper's publicly known n)
+
+    @property
+    def is_anchor(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class LDBTopology:
+    """Builder and global view of the LDB overlay for ``n`` real nodes.
+
+    The constructor computes labels with the publicly known pseudorandom
+    hash, sorts the cycle, derives the aggregation tree and hands every
+    virtual node its :class:`LocalView`.  Tests and experiment harnesses may
+    also query the global structure (heights, responsibility) directly.
+    """
+
+    def __init__(self, real_ids: list[int], seed: int = 0):
+        if not real_ids:
+            raise TopologyError("an overlay needs at least one node")
+        if len(set(real_ids)) != len(real_ids):
+            raise TopologyError("duplicate real node ids")
+        self.seed = int(seed)
+        self.hash = PseudoRandomHash(seed, namespace="ldb-label")
+        self.real_ids: list[int] = sorted(real_ids)
+        self._labels: dict[int, float] = {}
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _middle_label(self, real_id: int) -> float:
+        return self.hash.unit("label", real_id)
+
+    def _compute_labels(self) -> None:
+        self._labels.clear()
+        seen: set[float] = set()
+        for real in self.real_ids:
+            m = self._middle_label(real)
+            for kind, lab in (
+                (VirtualKind.LEFT, m / 2.0),
+                (VirtualKind.MIDDLE, m),
+                (VirtualKind.RIGHT, (m + 1.0) / 2.0),
+            ):
+                if lab in seen:
+                    # Vanishingly unlikely with 53-bit labels; refuse rather
+                    # than silently break the strict order the cycle needs.
+                    raise TopologyError(f"label collision at {lab}")
+                seen.add(lab)
+                self._labels[vid_for(real, kind)] = lab
+
+    def _build(self) -> None:
+        self._compute_labels()
+        self.cycle: list[int] = sorted(self._labels, key=self._labels.__getitem__)
+        self.sorted_labels: list[float] = [self._labels[v] for v in self.cycle]
+        pos = {v: i for i, v in enumerate(self.cycle)}
+        nvirt = len(self.cycle)
+
+        pred: dict[int, int] = {}
+        succ: dict[int, int] = {}
+        for i, v in enumerate(self.cycle):
+            pred[v] = self.cycle[(i - 1) % nvirt]
+            succ[v] = self.cycle[(i + 1) % nvirt]
+
+        # Parent rules of Appendix A; the anchor (minimum label) has none.
+        anchor = self.cycle[0]
+        parent: dict[int, int | None] = {}
+        for v in self.cycle:
+            if v == anchor:
+                parent[v] = None
+                continue
+            kind = kind_of(v)
+            if kind is VirtualKind.MIDDLE:
+                parent[v] = vid_for(owner_of(v), VirtualKind.LEFT)
+            elif kind is VirtualKind.LEFT:
+                parent[v] = pred[v]
+            else:  # RIGHT
+                parent[v] = vid_for(owner_of(v), VirtualKind.MIDDLE)
+
+        children: dict[int, list[int]] = {v: [] for v in self.cycle}
+        for v, p in parent.items():
+            if p is not None:
+                children[p].append(v)
+        for v in children:
+            children[v].sort(key=pos.__getitem__)
+
+        self.pred = pred
+        self.succ = succ
+        self.parent = parent
+        self.children = {v: tuple(c) for v, c in children.items()}
+        self.anchor = anchor
+        # Pre-order DFS ranks: the global consumption order of Phase-3
+        # interval decomposition (own batch first, then child subtrees).
+        self.dfs_rank: dict[int, int] = {}
+        order = 0
+        stack = [anchor]
+        while stack:
+            v = stack.pop()
+            self.dfs_rank[v] = order
+            order += 1
+            stack.extend(reversed(self.children[v]))
+        # One bit of routing resolution per doubling of the *virtual* node
+        # count, so the post-bitshift linear walk stays O(log n) w.h.p.
+        n_real = len(self.real_ids)
+        self.debruijn_dim = max(1, math.ceil(math.log2(max(2, 3 * n_real))))
+        self._validate()
+
+    def _validate(self) -> None:
+        """Check the tree is a single tree obeying the paper's C(v) rules."""
+        seen = 0
+        stack = [self.anchor]
+        while stack:
+            v = stack.pop()
+            seen += 1
+            stack.extend(self.children[v])
+        if seen != len(self.cycle):
+            raise TopologyError(
+                f"aggregation tree covers {seen}/{len(self.cycle)} virtual nodes"
+            )
+        for v in self.cycle:
+            if kind_of(v) is VirtualKind.RIGHT and self.children[v]:
+                raise TopologyError("right virtual node must be a tree leaf")
+            if v != self.anchor:
+                p = self.parent[v]
+                if p is None or self._labels[p] >= self._labels[v]:
+                    raise TopologyError("parent labels must strictly decrease")
+
+    # -- global queries ----------------------------------------------------
+
+    @property
+    def n_real(self) -> int:
+        return len(self.real_ids)
+
+    @property
+    def n_virtual(self) -> int:
+        return len(self.cycle)
+
+    def label(self, vid: int) -> float:
+        return self._labels[vid]
+
+    def responsible_for(self, point: float) -> int:
+        """The virtual node whose key range contains ``point``.
+
+        A node is responsible for ``[label, succ_label)``; the node with the
+        largest label owns the wrap-around range.
+        """
+        if not 0.0 <= point < 1.0:
+            raise TopologyError(f"point {point} outside [0,1)")
+        i = bisect.bisect_right(self.sorted_labels, point) - 1
+        return self.cycle[i % len(self.cycle)]
+
+    def tree_height(self) -> int:
+        """Height of the aggregation tree (edges on the longest root path)."""
+        depth = {self.anchor: 0}
+        stack = [self.anchor]
+        best = 0
+        while stack:
+            v = stack.pop()
+            for c in self.children[v]:
+                depth[c] = depth[v] + 1
+                best = max(best, depth[c])
+                stack.append(c)
+        return best
+
+    def local_view(self, vid: int) -> LocalView:
+        owner = owner_of(vid)
+        return LocalView(
+            vid=vid,
+            kind=kind_of(vid),
+            owner=owner,
+            label=self._labels[vid],
+            pred=self.pred[vid],
+            succ=self.succ[vid],
+            pred_label=self._labels[self.pred[vid]],
+            succ_label=self._labels[self.succ[vid]],
+            parent=self.parent[vid],
+            children=self.children[vid],
+            dfs_rank=self.dfs_rank[vid],
+            siblings=(
+                vid_for(owner, VirtualKind.LEFT),
+                vid_for(owner, VirtualKind.MIDDLE),
+                vid_for(owner, VirtualKind.RIGHT),
+            ),
+            middle_label=self._labels[vid_for(owner, VirtualKind.MIDDLE)],
+            debruijn_dim=self.debruijn_dim,
+            n_estimate=len(self.real_ids),
+        )
+
+    def all_views(self) -> dict[int, LocalView]:
+        return {v: self.local_view(v) for v in self.cycle}

@@ -1,0 +1,196 @@
+"""Join and Leave (Contribution 4): churn without losing data.
+
+The paper states join/leave "work exactly the same as in Skueue": a
+request is routed to its splice position in O(log n) hops, admission is
+*lazy* (constant local work at the splice point), and the overlay/tree
+structure is restored within O(log n) rounds for batches of requests,
+without violating heap semantics or losing elements.
+
+We implement the contract at the cluster level, between protocol
+iterations (the lazy processing points):
+
+* **join** — a probe message is routed through the live overlay to the new
+  node's splice position (its measured hop count is the O(log n)
+  restoration cost, experiment T13); then the topology is re-derived, the
+  new node's three virtual nodes are spliced in, every existing node's
+  local view is refreshed, and stored elements whose keys now fall into
+  the newcomer's ranges are handed over from the (former) neighbours.
+* **leave** — the three virtual nodes are removed, their stored elements
+  and parked requests are handed to the nodes now responsible.
+
+Element conservation is asserted after every change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MembershipError
+from .ldb import LDBTopology, owner_of
+
+__all__ = ["MembershipReport", "join_node", "leave_node"]
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipReport:
+    """What a join/leave cost and moved."""
+
+    real_id: int
+    probe_hops: int
+    elements_moved: int
+    parked_moved: int
+
+
+def _quiesce_guard(cluster) -> None:
+    if not hasattr(cluster.runner, "pending_messages"):
+        raise MembershipError("membership changes run under the synchronous driver")
+    if cluster.runner.pending_messages() != 0:
+        raise MembershipError(
+            "membership changes apply at quiescent points (lazy processing); "
+            "messages are still in flight"
+        )
+
+
+def _probe_hops(cluster, target_label: float) -> int:
+    """Route a probe to ``target_label`` and return its hop count."""
+    if not hasattr(cluster.runner, "step"):
+        raise MembershipError("membership changes run under the synchronous driver")
+    gateway = cluster.middle_node(cluster.topology.real_ids[0])
+    before = len(gateway_probe_sink(cluster))
+    gateway.route_to_point(target_label, "membership_probe", {})
+    cluster.runner.run_until(
+        lambda: len(gateway_probe_sink(cluster)) > before, max_rounds=10_000
+    )
+    return gateway_probe_sink(cluster)[-1]
+
+
+def gateway_probe_sink(cluster) -> list[int]:
+    """Probe hop counts recorded so far; (re)installs handlers on all nodes."""
+    sink = getattr(cluster, "_membership_probe_hops", None)
+    if sink is None:
+        sink = []
+        cluster._membership_probe_hops = sink
+    for node in cluster.nodes.values():
+        if not hasattr(node, "on_membership_probe"):
+            node.on_membership_probe = (
+                lambda origin, _node=node: sink.append(_node.route_hops[-1])
+            )
+    return sink
+
+
+def _rebuild_views(cluster, new_topology: LDBTopology) -> None:
+    cluster.topology = new_topology
+    for vid, node in cluster.nodes.items():
+        node.view = new_topology.local_view(vid)
+
+
+def _redistribute(cluster) -> tuple[int, int]:
+    """Hand stored items/parked gets to their (new) responsible nodes.
+
+    Only items that are no longer in their holder's responsibility range
+    move — the neighbour-local handoff a real implementation performs.
+    """
+    moved_elements = 0
+    moved_parked = 0
+    relocations: list[tuple[float, object, int]] = []
+    parked_relocations: list[tuple[float, tuple, int]] = []
+    for vid, node in cluster.nodes.items():
+        store = node.store
+        for key in list(store._items):
+            target = cluster.topology.responsible_for(key)
+            if target != vid:
+                for element in store._items.pop(key):
+                    relocations.append((key, element, target))
+        for key in list(store._parked):
+            target = cluster.topology.responsible_for(key)
+            if target != vid:
+                for claim in store._parked.pop(key):
+                    parked_relocations.append((key, claim, target))
+    for key, element, target in relocations:
+        claim = cluster.nodes[target].store.put(key, element)
+        if claim is not None:
+            requester, request_id = claim
+            cluster.nodes[target].send(
+                requester, "dht_reply", key=key, element=element, request_id=request_id
+            )
+        moved_elements += 1
+    for key, claim, target in parked_relocations:
+        requester, request_id = claim
+        element = cluster.nodes[target].store.get(key, requester, request_id)
+        if element is not None:
+            cluster.nodes[target].send(
+                requester, "dht_reply", key=key, element=element, request_id=request_id
+            )
+        moved_parked += 1
+    return moved_elements, moved_parked
+
+
+def join_node(cluster, new_real_id: int) -> MembershipReport:
+    """Admit ``new_real_id`` into a quiescent cluster."""
+    _quiesce_guard(cluster)
+    if new_real_id in cluster.topology.real_ids:
+        raise MembershipError(f"node {new_real_id} already present")
+    total_before = cluster.total_stored()
+
+    new_topology = LDBTopology(
+        cluster.topology.real_ids + [new_real_id], seed=cluster.seed
+    )
+    hops = _probe_hops(cluster, new_topology.label(new_real_id * 3 + 1))
+
+    # Splice: refresh views, create & register the three new virtual nodes.
+    for vid, view in new_topology.all_views().items():
+        if owner_of(vid) == new_real_id:
+            node = cluster.make_node(view)
+            cluster.nodes[vid] = node
+            cluster.runner.register(node)
+    _rebuild_views(cluster, new_topology)
+    cluster.n_nodes = new_topology.n_real
+    moved, parked = _redistribute(cluster)
+
+    if cluster.total_stored() != total_before:
+        raise MembershipError("join lost or duplicated stored elements")
+    return MembershipReport(new_real_id, hops, moved, parked)
+
+
+def leave_node(cluster, real_id: int) -> MembershipReport:
+    """Remove ``real_id`` from a quiescent cluster, handing off its data."""
+    _quiesce_guard(cluster)
+    remaining = [r for r in cluster.topology.real_ids if r != real_id]
+    if len(remaining) == len(cluster.topology.real_ids):
+        raise MembershipError(f"node {real_id} not present")
+    if not remaining:
+        raise MembershipError("the last node cannot leave")
+    total_before = cluster.total_stored()
+
+    # Collect the departing node's data before removing it.
+    departing = [vid for vid in cluster.nodes if owner_of(vid) == real_id]
+    orphans: list[tuple[float, object]] = []
+    orphan_parked: list[tuple[float, tuple]] = []
+    for vid in departing:
+        store = cluster.nodes[vid].store
+        orphans.extend(store.items())
+        for key, claims in store._parked.items():
+            orphan_parked.extend((key, claim) for claim in claims)
+
+    new_topology = LDBTopology(remaining, seed=cluster.seed)
+    hops = _probe_hops(cluster, cluster.topology.label(real_id * 3 + 1))
+    for vid in departing:
+        del cluster.nodes[vid]
+        cluster.runner.deregister(vid)
+    _rebuild_views(cluster, new_topology)
+    cluster.n_nodes = new_topology.n_real
+
+    moved = 0
+    for key, element in orphans:
+        target = cluster.topology.responsible_for(key)
+        cluster.nodes[target].store.put(key, element)
+        moved += 1
+    for key, claim in orphan_parked:
+        target = cluster.topology.responsible_for(key)
+        requester, request_id = claim
+        cluster.nodes[target].store.get(key, requester, request_id)
+    moved_more, parked = _redistribute(cluster)
+
+    if cluster.total_stored() != total_before:
+        raise MembershipError("leave lost or duplicated stored elements")
+    return MembershipReport(real_id, hops, moved + moved_more, parked + len(orphan_parked))

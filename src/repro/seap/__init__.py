@@ -1,0 +1,7 @@
+"""Seap (Section 5): serializable distributed heap, arbitrary priorities."""
+
+from .heap import SeapHeap
+from .protocol import SeapNode
+from .sc import SeapSCHeap, SeapSCNode
+
+__all__ = ["SeapHeap", "SeapNode", "SeapSCHeap", "SeapSCNode"]

@@ -1,0 +1,179 @@
+"""User-facing Seap heap: serializable, arbitrary priorities.
+
+:class:`SeapHeap` mirrors :class:`~repro.skeap.heap.SkeapHeap`'s API but
+accepts priorities from an arbitrary integer range and trades local
+consistency for O(log n)-bit messages::
+
+    heap = SeapHeap(n_nodes=16, seed=7)
+    heap.insert(priority=123456, value="job-a", at=0)
+    handle = heap.delete_min(at=5)
+    heap.settle()
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..cluster import OverlayCluster
+from ..overlay.ldb import LocalView
+from ..overlay.membership import MembershipReport, join_node, leave_node
+from ..semantics.history import History
+from ..skeap.protocol import OpHandle
+from .protocol import SeapNode
+
+__all__ = ["SeapHeap"]
+
+
+class SeapHeap(OverlayCluster):
+    """A serializable distributed heap for arbitrary priorities."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        seed: int = 0,
+        runner: str = "sync",
+        record_history: bool = True,
+        delta_scale: float = 1.0,
+        **cluster_kwargs,
+    ):
+        self.history = History() if record_history else None
+        self.delta_scale = float(delta_scale)
+        self._outstanding: list[OpHandle] = []
+        self._submit_cursor = 0
+        super().__init__(n_nodes, seed=seed, runner=runner, **cluster_kwargs)
+
+    def make_node(self, view: LocalView) -> SeapNode:
+        """Instantiate this protocol's node for one virtual overlay slot."""
+        return SeapNode(
+            view, self.keyspace, history=self.history, delta_scale=self.delta_scale
+        )
+
+    # -- request submission ------------------------------------------------
+
+    def _client(self, at: int | None) -> SeapNode:
+        if at is None:
+            at = self._submit_cursor % self.n_nodes
+            self._submit_cursor += 1
+        return self.middle_node(at)  # type: ignore[return-value]
+
+    def insert(self, priority: int, value: Any = None, at: int | None = None) -> OpHandle:
+        """Issue Insert(e) at real node ``at`` (round-robin if omitted)."""
+        handle = self._client(at).submit_insert(priority, value)
+        self._outstanding.append(handle)
+        return handle
+
+    def delete_min(self, at: int | None = None) -> OpHandle:
+        """Issue DeleteMin() at real node ``at`` (round-robin if omitted)."""
+        handle = self._client(at).submit_delete_min()
+        self._outstanding.append(handle)
+        return handle
+
+    def insert_many(self, items, at: int | None = None) -> list[OpHandle]:
+        """Issue many inserts: ``items`` yields ``(priority, value)`` pairs."""
+        return [self.insert(priority=p, value=v, at=at) for p, v in items]
+
+    def delete_min_many(self, count: int, at: int | None = None) -> list[OpHandle]:
+        """Issue ``count`` DeleteMin requests."""
+        return [self.delete_min(at=at) for _ in range(count)]
+
+    # -- progress ----------------------------------------------------------
+
+    def outstanding(self) -> int:
+        """How many submitted requests have not resolved yet."""
+        self._outstanding = [h for h in self._outstanding if not h.done]
+        return len(self._outstanding)
+
+    def settle(self, limit: float = 1_000_000) -> float:
+        """Run until every submitted request resolved; returns rounds/time."""
+        done = lambda: self.outstanding() == 0  # noqa: E731
+        if hasattr(self.runner, "step"):
+            return self.runner.run_until(done, max_rounds=int(limit))
+        return self.runner.run_until(done, max_time=float(limit))
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def anchor_node(self) -> SeapNode:
+        return self.anchor  # type: ignore[return-value]
+
+    def heap_size(self) -> int:
+        """The anchor's live element count ``m``."""
+        return self.anchor_node.m_total
+
+    # -- membership (lazy processing at epoch boundaries) ----------------------
+
+    def pause(self, max_rounds: int = 200_000) -> None:
+        """Finish the running epoch and hold before the next one.
+
+        After this returns, requests submitted before :meth:`resume` are
+        guaranteed to be snapshotted together in the next epoch — the
+        epoch-aligned submission the integration tests and the sorting
+        example rely on.
+        """
+        anchor = self.anchor_node
+        anchor.pause_epochs()
+        self.runner.run_until(
+            lambda: anchor._held_epoch is not None
+            and self.runner.pending_messages() == 0,
+            max_rounds=max_rounds,
+        )
+
+    def resume(self) -> None:
+        """Release the held epoch after :meth:`pause`."""
+        self.anchor_node.resume_epochs()
+
+    def _transfer_anchor(self, old_anchor: SeapNode) -> None:
+        new_anchor = self.anchor_node
+        if new_anchor is old_anchor:
+            return
+        new_anchor.m_total = old_anchor.m_total
+        new_anchor._started = old_anchor._started
+        new_anchor._paused = old_anchor._paused
+        new_anchor._held_epoch = old_anchor._held_epoch
+        old_anchor._paused = False
+        old_anchor._held_epoch = None
+        old_anchor._started = True  # never bootstrap a second epoch stream
+
+    def add_node(self, real_id: int) -> MembershipReport:
+        """Join a new process, preserving heap contents and bookkeeping."""
+        self.pause()
+        old_anchor = self.anchor_node
+        report = join_node(self, real_id)
+        # The newcomer's epoch counter starts at -1 and adopts the next
+        # broadcast epoch naturally; mark it started so a second anchor
+        # bootstrap can never happen.
+        for kind in range(3):
+            self.nodes[real_id * 3 + kind]._started = True
+        self._transfer_anchor(old_anchor)
+        self.resume()
+        return report
+
+    def remove_node(self, real_id: int) -> MembershipReport:
+        """Leave: hand off stored elements, then depart."""
+        if real_id not in self.topology.real_ids:
+            from ..errors import MembershipError
+
+            raise MembershipError(f"node {real_id} not present")
+        self.pause()
+        old_anchor = self.anchor_node
+        departing = [self.nodes[real_id * 3 + k] for k in range(3)]
+        if any(n.has_work() for n in departing):
+            from ..errors import MembershipError
+
+            raise MembershipError(
+                f"node {real_id} still has buffered or unresolved requests"
+            )
+        held = old_anchor._held_epoch
+        m = old_anchor.m_total
+        started = old_anchor._started
+        report = leave_node(self, real_id)
+        new_anchor = self.anchor_node
+        if new_anchor is not old_anchor and old_anchor.id not in self.nodes:
+            new_anchor.m_total = m
+            new_anchor._started = started
+            new_anchor._paused = True
+            new_anchor._held_epoch = held
+        elif old_anchor.id in self.nodes:
+            self._transfer_anchor(old_anchor)
+        self.resume()
+        return report

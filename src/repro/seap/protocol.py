@@ -1,0 +1,352 @@
+"""Protocol Seap (Section 5): a serializable distributed heap for
+arbitrary priorities, with O(log n)-bit messages.
+
+Epochs alternate two global phases, driven by the anchor:
+
+**Insert phase** — the number of buffered Insert requests is aggregated to
+the anchor (updating its element count ``m``); the anchor broadcasts the
+go-signal; every node stores its elements under fresh uniformly random DHT
+keys and reports completion once all its Puts are acknowledged.
+
+**DeleteMin phase** — the number ``D`` of buffered DeleteMin requests is
+aggregated; the anchor runs KSelect for ``k = min(D, m)`` to find the
+rank-k element; every node then (a) moves its locally stored elements with
+key ≤ threshold to the DHT position keys ``h(epoch, pos)`` for the unique
+positions it was assigned out of ``[1, k]``, and (b) issues Gets for the
+position sub-interval covering its own DeleteMin requests.  Requests
+beyond ``k`` resolve to ⊥.  A completion barrier then opens the next
+epoch's insert phase.
+
+Unlike Skeap, no batch vectors ever travel: every message carries O(1)
+counters, intervals or element keys — O(log n) bits (Lemma 5.5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..dht.hashing import KeySpace
+from ..element import BOTTOM, Element, PrioKey
+from ..errors import ProtocolError
+from ..overlay.aggregation import AggSpec, sum_combine
+from ..overlay.base import OverlayNode
+from ..overlay.ldb import LocalView
+from ..semantics.history import DELETE, INSERT, History
+from ..skeap.protocol import OpHandle
+from ..kselect.protocol import KSelectMixin
+
+__all__ = ["SeapNode"]
+
+#: order-key sentinel placing ⊥ deletes after every real element
+_BOT_KEY: PrioKey = (1 << 62, 1 << 62)
+
+
+class SeapNode(OverlayNode, KSelectMixin):
+    """One virtual node running Seap (and KSelect as a sub-protocol)."""
+
+    def __init__(
+        self,
+        view: LocalView,
+        keyspace: KeySpace,
+        history: History | None = None,
+        delta_scale: float = 1.0,
+    ):
+        super().__init__(view, keyspace)
+        self._init_kselect(delta_scale=delta_scale)
+        self.history = history
+        self.epoch = -1  # last epoch whose insert phase this node entered
+        self.buffered_inserts: deque[OpHandle] = deque()
+        self.buffered_deletes: deque[OpHandle] = deque()
+        self._insert_snapshot: list[OpHandle] = []
+        self._delete_snapshot: list[OpHandle] = []
+        self._next_seq = 0
+        self._pending_put_acks: dict[int, OpHandle] = {}
+        self._pending_gets: dict[int, OpHandle] = {}
+        self._pending_move_acks: set[int] = set()
+        self._delete_interval_done = False
+        self._move_interval_done = False
+        self._move_threshold: PrioKey | None = None
+        self._move_buffer: list[Element] = []
+        self._started = False
+        # anchor-only epoch state
+        self._paused = False
+        self._held_epoch: int | None = None
+        self.m_total = 0
+        self._epoch_deletes = 0
+        self._epoch_k = 0
+
+        self.register_bcast("spI", type(self)._bc_insert_phase)
+        self.register_bcast("spIg", type(self)._bc_insert_go)
+        self.register_bcast("spD", type(self)._bc_delete_phase)
+        self.register_agg("spIc", AggSpec(combine=lambda s, t, o, c: sum_combine(o, c), at_root=type(self)._rt_insert_count))
+        self.register_agg("spId", AggSpec(combine=lambda s, t, o, c: sum_combine(o, c), at_root=type(self)._rt_insert_done))
+        self.register_agg(
+            "spDc",
+            AggSpec(
+                combine=lambda s, t, o, c: sum_combine(o, c),
+                at_root=type(self)._rt_delete_count,
+                decompose=type(self)._dc_interval,
+                deliver=type(self)._dv_delete_interval,
+            ),
+        )
+        self.register_agg(
+            "spTc",
+            AggSpec(
+                combine=lambda s, t, o, c: sum_combine(o, c),
+                at_root=type(self)._rt_move_count,
+                decompose=type(self)._dc_interval,
+                deliver=type(self)._dv_move_interval,
+            ),
+        )
+        self.register_agg("spDd", AggSpec(combine=lambda s, t, o, c: sum_combine(o, c), at_root=type(self)._rt_delete_done))
+
+    # -- client API -----------------------------------------------------
+
+    def submit_insert(self, priority: int, value: Any = None, uid: int | None = None) -> OpHandle:
+        if priority < 0:
+            raise ProtocolError("priorities must be non-negative integers")
+        handle = OpHandle(
+            op_id=(self.view.owner, self._take_seq()),
+            kind=INSERT,
+            priority=priority,
+            uid=uid if uid is not None else self._default_uid(),
+            value=value,
+        )
+        self.buffered_inserts.append(handle)
+        if self.history is not None:
+            self.history.record_submit(handle.op_id, INSERT, priority, handle.uid)
+        return handle
+
+    def submit_delete_min(self) -> OpHandle:
+        handle = OpHandle(op_id=(self.view.owner, self._take_seq()), kind=DELETE)
+        self.buffered_deletes.append(handle)
+        if self.history is not None:
+            self.history.record_submit(handle.op_id, DELETE)
+        return handle
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _default_uid(self) -> int:
+        return (self.view.owner << 32) | self._next_seq
+
+    def has_work(self) -> bool:
+        return bool(
+            self.buffered_inserts
+            or self.buffered_deletes
+            or self._pending_put_acks
+            or self._pending_gets
+            or self._pending_move_acks
+        )
+
+    # -- bootstrap ----------------------------------------------------------
+
+    def on_activate(self) -> None:
+        if self.view.is_anchor and not self._started:
+            self._started = True
+            self._next_epoch(0)
+
+    # -- insert phase -----------------------------------------------------------
+
+    def _bc_insert_phase(self, tag, payload) -> None:
+        epoch = tag[1]
+        if epoch <= self.epoch:  # pragma: no cover - structural
+            raise ProtocolError("insert phase for a stale epoch")
+        self.epoch = epoch
+        self._delete_interval_done = False
+        self._move_interval_done = False
+        self._insert_snapshot = list(self.buffered_inserts)
+        self.buffered_inserts.clear()
+        self.agg_contribute(("spIc", epoch), len(self._insert_snapshot))
+
+    def _rt_insert_count(self, tag, total: int) -> None:
+        self.m_total += total
+        self.bcast(("spIg", tag[1]), None)
+
+    def _bc_insert_go(self, tag, payload) -> None:
+        epoch = tag[1]
+        for handle in self._insert_snapshot:
+            element = Element(handle.priority, handle.uid, handle.value)
+            key = self.keyspace.uniform_key(epoch, self.id, handle.op_id[1])
+            request_id = self.dht_put(key, element)
+            self._pending_put_acks[request_id] = handle
+            if self.history is not None:
+                self.history.record_order(
+                    handle.op_id, (epoch, 0, handle.op_id[0], handle.op_id[1])
+                )
+        self._insert_snapshot = []
+        self._maybe_insert_done(epoch)
+
+    def _maybe_insert_done(self, epoch: int) -> None:
+        if not self._pending_put_acks:
+            self.agg_contribute(("spId", epoch), 1)
+
+    def _rt_insert_done(self, tag, _count) -> None:
+        self.bcast(("spD", tag[1]), None)
+
+    # -- delete phase: counting ----------------------------------------------------
+
+    def _bc_delete_phase(self, tag, payload) -> None:
+        epoch = tag[1]
+        self._delete_snapshot = list(self.buffered_deletes)
+        self.buffered_deletes.clear()
+        self.agg_contribute(("spDc", epoch), len(self._delete_snapshot))
+
+    def _rt_delete_count(self, tag, total: int) -> None:
+        epoch = tag[1]
+        self._epoch_deletes = total
+        self._epoch_k = min(total, self.m_total)
+        if total == 0:
+            # Nothing to delete anywhere: straight to the next insert phase.
+            self._next_epoch(epoch + 1)
+            return
+        if self._epoch_k == 0:
+            # Heap empty: every request resolves to ⊥ and no elements move.
+            self.agg_distribute(("spDc", epoch), (1, 0, False))
+            return
+        self.kselect_begin(self._epoch_k, epoch, self._kselect_complete)
+
+    # -- delete phase: selection and movement ------------------------------------------
+
+    def _kselect_complete(self, session: int, threshold: PrioKey) -> None:
+        """Anchor hook: the rank-k key is known; wait for spTc contributions."""
+        # Contributions arrive via kselect_finished at every node.
+
+    def kselect_finished(self, session: int, threshold: PrioKey) -> None:
+        """Every node: extract local elements ≤ threshold toward positions.
+
+        Extraction happens *now* — before any node starts moving — so an
+        element moved here by a peer (stored under a position key) can
+        never be extracted and moved a second time.
+        """
+        self._move_threshold = tuple(threshold)
+        extracted = self.store.extract_leq(self._move_threshold)
+        self._move_buffer = sorted((e for _, e in extracted), key=lambda e: e.key)
+        self.agg_contribute(("spTc", session), len(self._move_buffer))
+
+    def _rt_move_count(self, tag, total: int) -> None:
+        epoch = tag[1]
+        if total != self._epoch_k:  # pragma: no cover - uid-unique keys
+            raise ProtocolError(
+                f"epoch {epoch}: {total} elements ≤ threshold, expected {self._epoch_k}"
+            )
+        self.m_total -= self._epoch_k
+        # Positions [1, k] for moved elements, and the same interval carved
+        # up over the DeleteMin requesters (excess requests resolve ⊥).
+        self.agg_distribute(("spTc", epoch), (1, self._epoch_k))
+        self.agg_distribute(("spDc", epoch), (1, self._epoch_k, True))
+
+    def _dc_interval(self, tag, payload):
+        """Split ``(start, limit, *rest)`` by the memorized per-subtree counts."""
+        start, limit, *rest = payload
+        own_count, child_counts = self.agg_memory(tag)
+        own_part = (start, limit, *rest)
+        cursor = start + own_count
+        child_parts = {}
+        for child, count in child_counts:
+            child_parts[child] = (cursor, limit, *rest)
+            cursor += count
+        return own_part, child_parts
+
+    def _dv_move_interval(self, tag, part) -> None:
+        epoch = tag[1]
+        start, limit = part
+        moved = self._move_buffer
+        self._move_buffer = []
+        for offset, element in enumerate(moved):
+            pos = start + offset
+            if pos > limit:  # pragma: no cover - counts were validated
+                raise ProtocolError("move interval overflow")
+            request_id = self.dht_put(
+                self.keyspace.seap_position_key(epoch, pos), element
+            )
+            self._pending_move_acks.add(request_id)
+        self._move_interval_done = True
+        self._maybe_delete_done(epoch)
+
+    def _dv_delete_interval(self, tag, part) -> None:
+        epoch = tag[1]
+        start, limit, expect_moves = part
+        if not expect_moves:
+            self._move_interval_done = True
+        for offset, handle in enumerate(self._delete_snapshot):
+            pos = start + offset
+            if pos <= limit:
+                request_id = self.dht_get(self.keyspace.seap_position_key(epoch, pos))
+                self._pending_gets[request_id] = handle
+            else:
+                handle.done = True
+                handle.result = BOTTOM
+                if self.history is not None:
+                    self.history.record_order(
+                        handle.op_id, (epoch, 1) + _BOT_KEY + handle.op_id
+                    )
+                    self.history.record_bot(handle.op_id)
+        self._delete_snapshot = []
+        self._delete_interval_done = True
+        self._maybe_delete_done(epoch)
+
+    # -- completions and the epoch barrier ---------------------------------------------
+
+    def dht_put_confirmed(self, request_id: int) -> None:
+        handle = self._pending_put_acks.pop(request_id, None)
+        if handle is not None:
+            handle.done = True
+            handle.result = True
+            if self.history is not None:
+                self.history.record_insert_done(handle.op_id)
+            self._maybe_insert_done(self.epoch)
+            return
+        if request_id in self._pending_move_acks:
+            self._pending_move_acks.discard(request_id)
+            self._maybe_delete_done(self.epoch)
+            return
+        raise ProtocolError(f"unexpected put ack {request_id}")
+
+    def dht_get_returned(self, request_id: int, key: float, element: Element) -> None:
+        handle = self._pending_gets.pop(request_id)
+        handle.done = True
+        handle.result = element
+        if self.history is not None:
+            # Deletes serialize in the order of the elements they return,
+            # which makes the epoch's serial execution pop minima in order.
+            self.history.record_order(
+                handle.op_id, (self.epoch, 1) + element.key + handle.op_id
+            )
+            self.history.record_return(handle.op_id, element.uid)
+        self._maybe_delete_done(self.epoch)
+
+    def _maybe_delete_done(self, epoch: int) -> None:
+        if (
+            self._delete_interval_done
+            and self._move_interval_done
+            and not self._pending_gets
+            and not self._pending_move_acks
+        ):
+            self._delete_interval_done = False
+            self._move_interval_done = False
+            self.agg_contribute(("spDd", epoch), 1)
+
+    def _rt_delete_done(self, tag, _count) -> None:
+        self._next_epoch(tag[1] + 1)
+
+    # -- pausing at epoch boundaries (membership's lazy processing points) ------
+
+    def _next_epoch(self, epoch: int) -> None:
+        if self._paused:
+            self._held_epoch = epoch
+            return
+        self.bcast(("spI", epoch), None)
+
+    def pause_epochs(self) -> None:
+        """Anchor: finish the running epoch, then hold (membership point)."""
+        self._paused = True
+
+    def resume_epochs(self) -> None:
+        self._paused = False
+        if self._held_epoch is not None:
+            epoch, self._held_epoch = self._held_epoch, None
+            self.bcast(("spI", epoch), None)

@@ -1,0 +1,202 @@
+"""Seap-SC: the sequentially consistent Seap variant sketched in Section 6.
+
+The conclusion asks: *"can we modify Seap in order to also guarantee
+sequential consistency?  A first idea would be to maintain the same
+batches as in Skeap, but only aggregate the first amount of Insert() or
+DeleteMin() operations to the anchor."*  This module implements that
+sketch:
+
+* every node keeps **one** request buffer in local issue order; an epoch's
+  insert phase only takes the buffer's *leading run of inserts* and its
+  delete phase only the (new) *leading run of deletes* — so a request is
+  never overtaken by a locally later one;
+* the DeleteMin phase additionally sorts the k selected elements
+  **globally** (reusing KSelect's distributed sorting machinery with every
+  element as its own representative): the element of exact rank ``r`` is
+  stored under position key ``h(epoch, r)``, so consecutive positions
+  served to one node return ascending elements — the last piece local
+  consistency needs.
+
+As the paper warns, this "comes at the cost of scalability and message
+size": a node's buffer drains one alternation run per phase (requests can
+wait Θ(alternations) epochs), and the full sort costs Θ(k²) comparison
+messages per delete phase.  Experiment A2 measures that cost against
+plain Seap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ..element import Element
+from ..errors import ProtocolError
+from ..overlay.ldb import LocalView
+from ..semantics.history import DELETE, INSERT, History
+from ..skeap.protocol import OpHandle
+from ..cluster import OverlayCluster
+from ..overlay.membership import MembershipReport  # noqa: F401 (re-export parity)
+from .heap import SeapHeap
+from .protocol import SeapNode
+
+__all__ = ["SeapSCNode", "SeapSCHeap"]
+
+
+class SeapSCNode(SeapNode):
+    """Seap node with prefix-only batching and exact-rank positions."""
+
+    def __init__(self, view: LocalView, keyspace, history: History | None = None, delta_scale: float = 1.0):
+        super().__init__(view, keyspace, history=history, delta_scale=delta_scale)
+        #: single buffer preserving local issue order (the §6 sketch)
+        self.buffered_ops: deque[OpHandle] = deque()
+        #: holder-side pending rank-position puts of the current epoch
+        self._sc_rank_puts: set[int] = set()
+
+    # -- client API: one ordered buffer --------------------------------------
+
+    def submit_insert(self, priority: int, value: Any = None, uid: int | None = None) -> OpHandle:
+        handle = super().submit_insert(priority, value, uid)
+        # The base class buffered it by kind; rebuffer in issue order.
+        self.buffered_inserts.clear()
+        self.buffered_ops.append(handle)
+        return handle
+
+    def submit_delete_min(self) -> OpHandle:
+        handle = super().submit_delete_min()
+        self.buffered_deletes.clear()
+        self.buffered_ops.append(handle)
+        return handle
+
+    def _take_prefix(self, kind: str) -> list[OpHandle]:
+        """Pop the buffer's leading run of requests of ``kind``."""
+        taken: list[OpHandle] = []
+        while self.buffered_ops and self.buffered_ops[0].kind == kind:
+            taken.append(self.buffered_ops.popleft())
+        return taken
+
+    def has_work(self) -> bool:
+        return bool(
+            self.buffered_ops
+            or self._pending_put_acks
+            or self._pending_gets
+            or self._pending_move_acks
+            or self._sc_rank_puts
+        )
+
+    # -- phase snapshots: prefixes only ----------------------------------------
+
+    def _bc_insert_phase(self, tag, payload) -> None:
+        epoch = tag[1]
+        if epoch <= self.epoch:  # pragma: no cover - structural
+            raise ProtocolError("insert phase for a stale epoch")
+        self.epoch = epoch
+        self._delete_interval_done = False
+        self._move_interval_done = False
+        self._insert_snapshot = self._take_prefix(INSERT)
+        self.agg_contribute(("spIc", epoch), len(self._insert_snapshot))
+
+    def _bc_delete_phase(self, tag, payload) -> None:
+        epoch = tag[1]
+        self._delete_snapshot = self._take_prefix(DELETE)
+        self.agg_contribute(("spDc", epoch), len(self._delete_snapshot))
+
+    # -- exact-rank movement: sort the k selected elements globally --------------
+
+    def _dv_move_interval(self, tag, part) -> None:
+        epoch = tag[1]
+        start, limit = part
+        moved = self._move_buffer
+        self._move_buffer = []
+        token = ("sc", epoch)
+        for offset, element in enumerate(moved):
+            i = start + offset
+            if i > limit:  # pragma: no cover - counts were validated
+                raise ProtocolError("move interval overflow")
+            self.route_to_point(
+                self.keyspace.sort_position_key(token, i),
+                "ks_hold",
+                {
+                    "token": token,
+                    "i": i,
+                    "candidate": element.key,
+                    "n_prime": limit,
+                    "want_l": 0,
+                    "want_r": 0,
+                    "want_ans": 0,
+                    "want_all": True,
+                    "element": element,
+                },
+            )
+        # This node's movement duty ends once its elements are dispatched;
+        # the epoch barrier is carried by the delete-side Gets, which only
+        # complete after every rank put has landed.
+        self._move_interval_done = True
+        self._maybe_delete_done(epoch)
+
+    def ks_order_resolved_hook(self, token, i, holding, order: int) -> None:
+        """Holder role: the element's exact global rank is its position."""
+        if token[0] != "sc":  # pragma: no cover - structural
+            raise ProtocolError(f"unexpected want_all sort session {token}")
+        epoch = token[1]
+        element: Element = holding["element"]
+        request_id = self.dht_put(
+            self.keyspace.seap_position_key(epoch, order), element
+        )
+        self._sc_rank_puts.add(request_id)
+
+    def dht_put_confirmed(self, request_id: int) -> None:
+        if request_id in self._sc_rank_puts:
+            self._sc_rank_puts.discard(request_id)
+            return
+        super().dht_put_confirmed(request_id)
+
+    # -- serialization keys witnessing sequential consistency ----------------------
+
+    def _dv_delete_interval(self, tag, part) -> None:
+        epoch = tag[1]
+        start, limit, expect_moves = part
+        if not expect_moves:
+            self._move_interval_done = True
+        for offset, handle in enumerate(self._delete_snapshot):
+            pos = start + offset
+            if pos <= limit:
+                request_id = self.dht_get(self.keyspace.seap_position_key(epoch, pos))
+                self._pending_gets[request_id] = handle
+                if self.history is not None:
+                    # Position == exact rank, so (epoch, 1, pos) is both the
+                    # serial pop order and consistent with local order
+                    # (a node's positions are consecutive in seq order).
+                    self.history.record_order(
+                        handle.op_id, (epoch, 1, pos) + handle.op_id
+                    )
+            else:
+                handle.done = True
+                from ..element import BOTTOM
+
+                handle.result = BOTTOM
+                if self.history is not None:
+                    self.history.record_order(
+                        handle.op_id, (epoch, 1, limit + 1 + offset) + handle.op_id
+                    )
+                    self.history.record_bot(handle.op_id)
+        self._delete_snapshot = []
+        self._delete_interval_done = True
+        self._maybe_delete_done(epoch)
+
+    def dht_get_returned(self, request_id: int, key: float, element: Element) -> None:
+        handle = self._pending_gets.pop(request_id)
+        handle.done = True
+        handle.result = element
+        if self.history is not None:
+            # Order was already recorded at position-assignment time.
+            self.history.record_return(handle.op_id, element.uid)
+        self._maybe_delete_done(self.epoch)
+
+
+class SeapSCHeap(SeapHeap):
+    """User-facing heap for the sequentially consistent Seap variant."""
+
+    def make_node(self, view: LocalView) -> SeapSCNode:
+        return SeapSCNode(
+            view, self.keyspace, history=self.history, delta_scale=self.delta_scale
+        )

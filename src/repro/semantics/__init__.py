@@ -1,0 +1,39 @@
+"""Consistency semantics: histories, reference heaps, machine checkers."""
+
+from .checkers import (
+    check_heap_consistency,
+    check_local_consistency,
+    check_seap_history,
+    check_seap_sc_history,
+    check_settled,
+    check_skack_history,
+    check_skeap_history,
+    replay_fifo,
+    replay_lifo,
+    replay_ordered,
+    replay_ordered_exact,
+)
+from .history import DELETE, INSERT, History, OpId, OpRecord
+from .reference import FifoPriorityHeap, OrderedHeap, ReferenceStack
+
+__all__ = [
+    "DELETE",
+    "FifoPriorityHeap",
+    "History",
+    "INSERT",
+    "OpId",
+    "OpRecord",
+    "OrderedHeap",
+    "ReferenceStack",
+    "check_heap_consistency",
+    "check_local_consistency",
+    "check_seap_history",
+    "check_seap_sc_history",
+    "check_settled",
+    "check_skack_history",
+    "check_skeap_history",
+    "replay_fifo",
+    "replay_lifo",
+    "replay_ordered",
+    "replay_ordered_exact",
+]

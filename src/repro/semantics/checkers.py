@@ -1,0 +1,264 @@
+"""Machine-checked consistency: Definitions 1.1 and 1.2 of the paper.
+
+Each checker takes a *settled* :class:`~repro.semantics.history.History`
+(every submitted op completed) and raises
+:class:`~repro.errors.ConsistencyError` on violation.
+
+* :func:`check_local_consistency` — per node, the candidate serialization ≺
+  respects local issue order (the extra condition that upgrades
+  serializability to sequential consistency).
+* :func:`check_heap_consistency` — the three properties of Definition 1.2
+  for the matching M established by the protocol, verified by a single
+  sweep over ≺.
+* :func:`replay_fifo` / :func:`replay_ordered` — serial re-execution
+  against a sequential reference heap; exact equivalence witnesses
+  serializability.
+* :func:`check_skeap_history` / :func:`check_seap_history` — the full
+  bundles claimed by Theorems 3.2 and 5.1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import ConsistencyError
+from .history import DELETE, INSERT, History, OpRecord
+from .reference import FifoPriorityHeap, OrderedHeap, ReferenceStack, require
+
+__all__ = [
+    "check_settled",
+    "check_local_consistency",
+    "check_heap_consistency",
+    "replay_fifo",
+    "replay_ordered",
+    "replay_ordered_exact",
+    "replay_lifo",
+    "check_skeap_history",
+    "check_skack_history",
+    "check_seap_history",
+    "check_seap_sc_history",
+]
+
+
+def check_settled(history: History) -> None:
+    """Every submitted operation completed and was serialized."""
+    for rec in history.ops.values():
+        require(rec.completed, f"op {rec.op_id} never completed")
+        require(rec.order_key is not None, f"op {rec.op_id} never serialized")
+
+
+def check_local_consistency(history: History) -> None:
+    """For each node v: OP_{v,i} ≺ OP_{v,i+1} (Definition 1.1)."""
+    by_node: dict[int, list[OpRecord]] = defaultdict(list)
+    for rec in history.ops.values():
+        if rec.order_key is not None:
+            by_node[rec.node].append(rec)
+    for node, recs in by_node.items():
+        recs.sort(key=lambda r: r.seq)
+        for a, b in zip(recs, recs[1:]):
+            require(
+                a.order_key < b.order_key,
+                f"node {node}: local order violated between ops "
+                f"{a.op_id} and {b.op_id}",
+            )
+
+
+def check_heap_consistency(history: History, order: str = "min") -> None:
+    """The three matching properties of Definition 1.2, via one sweep of ≺.
+
+    ``order="max"`` checks the inverted (MaxHeap) variant the paper notes
+    after Definition 1.2: property (3) then forbids an unmatched insert of
+    strictly *greater* priority before a matched delete.
+    """
+    ops = history.serialized_ops()
+    matched_delete_of_uid: dict[int, OpRecord] = {}
+    for rec in ops:
+        if rec.kind == DELETE and rec.returned_uid is not None:
+            require(
+                rec.returned_uid not in matched_delete_of_uid,
+                f"element {rec.returned_uid} returned twice",
+            )
+            matched_delete_of_uid[rec.returned_uid] = rec
+
+    # Property (1): Ins ≺ Del for every matched pair.
+    for uid, del_rec in matched_delete_of_uid.items():
+        ins_rec = history.insert_of_uid(uid)
+        require(ins_rec.order_key is not None, f"matched insert {uid} unserialized")
+        require(
+            ins_rec.order_key < del_rec.order_key,
+            f"element {uid} deleted before its insert in ≺",
+        )
+
+    # Properties (2) and (3): sweep ≺ once.  In max order "better" means
+    # a greater priority.
+    better = (lambda a, b: a < b) if order == "min" else (lambda a, b: a > b)
+    open_matched = 0  # matched inserts whose delete lies ahead
+    best_unmatched_priority: int | None = None  # over unmatched inserts seen
+    for rec in ops:
+        if rec.kind == INSERT:
+            if rec.uid in matched_delete_of_uid:
+                open_matched += 1
+            else:
+                if (
+                    best_unmatched_priority is None
+                    or better(rec.priority, best_unmatched_priority)
+                ):
+                    best_unmatched_priority = rec.priority
+        else:  # DELETE
+            if rec.returned_uid is None:
+                require(rec.returned_bot, f"delete {rec.op_id} neither matched nor ⊥")
+                # Property (2): a ⊥ delete must not sit between a matched
+                # insert and its (later) matched delete.
+                require(
+                    open_matched == 0,
+                    f"⊥ delete {rec.op_id} while {open_matched} matched "
+                    f"element(s) were in the heap",
+                )
+            else:
+                ins_rec = history.insert_of_uid(rec.returned_uid)
+                open_matched -= 1
+                # Property (3): no unmatched insert of strictly better
+                # priority precedes this delete.
+                if best_unmatched_priority is not None:
+                    require(
+                        not better(best_unmatched_priority, ins_rec.priority),
+                        f"delete {rec.op_id} returned priority "
+                        f"{ins_rec.priority} although an unmatched insert of "
+                        f"priority {best_unmatched_priority} preceded it",
+                    )
+
+
+def replay_fifo(history: History, order: str = "min") -> None:
+    """Serial replay against the FIFO-within-priority reference heap.
+
+    Exact, pairwise equivalence: every DeleteMin must return exactly the
+    element the sequential heap returns — the strongest witness that
+    Skeap's distributed execution *is* the serial one.
+    """
+    heap = FifoPriorityHeap(order=order)
+    for rec in history.serialized_ops():
+        if rec.kind == INSERT:
+            heap.insert(rec.priority, rec.uid)
+        else:
+            expected = heap.delete_min()
+            if expected is None:
+                require(
+                    rec.returned_bot,
+                    f"delete {rec.op_id} returned an element from an empty heap",
+                )
+            else:
+                require(
+                    rec.returned_uid == expected[1],
+                    f"delete {rec.op_id} returned uid {rec.returned_uid}, "
+                    f"serial execution returns {expected[1]}",
+                )
+
+
+def replay_ordered(history: History) -> None:
+    """Serial replay against the (priority, uid)-ordered reference heap.
+
+    Priority-level equivalence: each DeleteMin must return an element whose
+    *priority* matches the serial execution's.  (Within a Seap DeleteMin
+    phase the pairing of equal-priority elements to requests is arbitrary,
+    so uid-exact comparison is deliberately not required.)
+    """
+    heap = OrderedHeap()
+    for rec in history.serialized_ops():
+        if rec.kind == INSERT:
+            heap.insert(rec.priority, rec.uid)
+        else:
+            expected = heap.delete_min()
+            if expected is None:
+                require(
+                    rec.returned_bot,
+                    f"delete {rec.op_id} returned an element from an empty heap",
+                )
+            else:
+                got = history.insert_of_uid(rec.returned_uid)
+                require(
+                    got.priority == expected[0],
+                    f"delete {rec.op_id} returned priority {got.priority}, "
+                    f"serial execution returns {expected[0]}",
+                )
+
+
+def replay_ordered_exact(history: History) -> None:
+    """Serial replay against the ordered reference heap, uid-exact.
+
+    The strongest serial-equivalence witness: every DeleteMin returns
+    exactly the element a sequential (priority, uid)-ordered heap pops.
+    Seap-SC satisfies this because positions equal exact global ranks;
+    plain Seap only satisfies the priority-level :func:`replay_ordered`.
+    """
+    heap = OrderedHeap()
+    for rec in history.serialized_ops():
+        if rec.kind == INSERT:
+            heap.insert(rec.priority, rec.uid)
+        else:
+            expected = heap.delete_min()
+            if expected is None:
+                require(
+                    rec.returned_bot,
+                    f"delete {rec.op_id} returned an element from an empty heap",
+                )
+            else:
+                require(
+                    rec.returned_uid == expected[1],
+                    f"delete {rec.op_id} returned uid {rec.returned_uid}, "
+                    f"serial execution returns uid {expected[1]}",
+                )
+
+
+def replay_lifo(history: History) -> None:
+    """Serial replay against a plain stack — the Skack (FSS18b) semantics.
+
+    Every Pop must return exactly the element a sequential stack returns
+    when operations execute in ≺ order.
+    """
+    stack = ReferenceStack()
+    for rec in history.serialized_ops():
+        if rec.kind == INSERT:
+            stack.push(rec.uid)
+        else:
+            expected = stack.pop()
+            if expected is None:
+                require(
+                    rec.returned_bot,
+                    f"pop {rec.op_id} returned an element from an empty stack",
+                )
+            else:
+                require(
+                    rec.returned_uid == expected,
+                    f"pop {rec.op_id} returned uid {rec.returned_uid}, "
+                    f"serial execution returns {expected}",
+                )
+
+
+def check_skack_history(history: History) -> None:
+    """The distributed stack: sequentially consistent LIFO."""
+    check_settled(history)
+    check_local_consistency(history)
+    replay_lifo(history)
+
+
+def check_skeap_history(history: History, order: str = "min") -> None:
+    """Theorem 3.2(2): Skeap is sequentially consistent and heap consistent."""
+    check_settled(history)
+    check_local_consistency(history)
+    check_heap_consistency(history, order=order)
+    replay_fifo(history, order=order)
+
+
+def check_seap_history(history: History) -> None:
+    """Theorem 5.1(2): Seap is serializable and heap consistent."""
+    check_settled(history)
+    check_heap_consistency(history)
+    replay_ordered(history)
+
+
+def check_seap_sc_history(history: History) -> None:
+    """The Section-6 variant: sequentially consistent *and* uid-exact serial."""
+    check_settled(history)
+    check_local_consistency(history)
+    check_heap_consistency(history)
+    replay_ordered_exact(history)

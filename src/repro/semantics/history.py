@@ -1,0 +1,125 @@
+"""Operation histories: the raw material of the consistency checkers.
+
+A :class:`History` records, for every Insert/DeleteMin request issued
+against a heap protocol:
+
+* its identity ``op_id = (real_node, local_seq)`` — ``local_seq`` encodes
+  the node's local issue order, which sequential consistency must respect;
+* what it carried (priority, element uid);
+* the *candidate serialization key* the protocol assigned to it (Skeap:
+  ``(iteration, entry, phase, node, seq)``; Seap: ``(session, phase, pos)``)
+  — checkers verify that sorting by this key witnesses the claimed
+  consistency model;
+* what it returned (an element uid, or ⊥ for an empty-heap DeleteMin).
+
+Recording is pure instrumentation: protocol nodes write facts here, but no
+protocol decision ever reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConsistencyError
+
+__all__ = ["OpId", "OpRecord", "History", "INSERT", "DELETE"]
+
+OpId = tuple[int, int]
+
+INSERT = "ins"
+DELETE = "del"
+
+
+@dataclass(slots=True)
+class OpRecord:
+    """Everything recorded about one heap request."""
+
+    op_id: OpId
+    kind: str
+    priority: int | None = None
+    uid: int | None = None
+    order_key: tuple | None = None
+    returned_uid: int | None = None
+    returned_bot: bool = False
+    completed: bool = False
+
+    @property
+    def node(self) -> int:
+        return self.op_id[0]
+
+    @property
+    def seq(self) -> int:
+        return self.op_id[1]
+
+
+class History:
+    """Mutable recorder shared by all nodes of one cluster."""
+
+    def __init__(self) -> None:
+        self.ops: dict[OpId, OpRecord] = {}
+        self._uid_to_insert: dict[int, OpId] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def record_submit(
+        self, op_id: OpId, kind: str, priority: int | None = None, uid: int | None = None
+    ) -> None:
+        if op_id in self.ops:
+            raise ConsistencyError(f"duplicate op id {op_id}")
+        rec = OpRecord(op_id=op_id, kind=kind, priority=priority, uid=uid)
+        self.ops[op_id] = rec
+        if kind == INSERT:
+            if uid is None:
+                raise ConsistencyError("insert recorded without uid")
+            if uid in self._uid_to_insert:
+                raise ConsistencyError(f"duplicate element uid {uid}")
+            self._uid_to_insert[uid] = op_id
+
+    def record_order(self, op_id: OpId, order_key: tuple) -> None:
+        rec = self.ops[op_id]
+        if rec.order_key is not None:
+            raise ConsistencyError(f"op {op_id} serialized twice")
+        rec.order_key = order_key
+
+    def record_return(self, op_id: OpId, uid: int) -> None:
+        rec = self.ops[op_id]
+        if rec.completed:
+            raise ConsistencyError(f"op {op_id} completed twice")
+        rec.returned_uid = uid
+        rec.completed = True
+
+    def record_bot(self, op_id: OpId) -> None:
+        rec = self.ops[op_id]
+        if rec.completed:
+            raise ConsistencyError(f"op {op_id} completed twice")
+        rec.returned_bot = True
+        rec.completed = True
+
+    def record_insert_done(self, op_id: OpId) -> None:
+        rec = self.ops[op_id]
+        rec.completed = True
+
+    # -- derived views ----------------------------------------------------------
+
+    def insert_of_uid(self, uid: int) -> OpRecord:
+        return self.ops[self._uid_to_insert[uid]]
+
+    def matchings(self) -> list[tuple[OpRecord, OpRecord]]:
+        """The set M: (Insert, DeleteMin) pairs matched by returned element."""
+        pairs = []
+        for rec in self.ops.values():
+            if rec.kind == DELETE and rec.returned_uid is not None:
+                pairs.append((self.insert_of_uid(rec.returned_uid), rec))
+        return pairs
+
+    def serialized_ops(self) -> list[OpRecord]:
+        """All ops with an order key, sorted by it (the candidate ≺)."""
+        ops = [r for r in self.ops.values() if r.order_key is not None]
+        ops.sort(key=lambda r: r.order_key)
+        return ops
+
+    def completed_count(self) -> int:
+        return sum(1 for r in self.ops.values() if r.completed)
+
+    def __len__(self) -> int:
+        return len(self.ops)

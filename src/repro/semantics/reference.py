@@ -1,0 +1,96 @@
+"""Sequential reference heaps used to replay candidate serializations.
+
+If executing a history's operations *serially* in the candidate order ≺
+against one of these reference heaps produces exactly the returns the
+distributed protocol produced, the history is equivalent to a serial
+execution — the definition of serializability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from ..errors import ConsistencyError
+
+__all__ = ["FifoPriorityHeap", "OrderedHeap", "ReferenceStack"]
+
+
+class FifoPriorityHeap:
+    """Min-heap over priorities with FIFO tie-breaking within a priority.
+
+    This is the sequential object Skeap implements: the anchor's
+    ``[first_p, last_p]`` intervals serve positions of each priority in
+    insertion order, lowest priority first.  ``order="max"`` inverts the
+    priority order (the paper's MaxHeap remark after Definition 1.2).
+    """
+
+    def __init__(self, order: str = "min") -> None:
+        if order not in ("min", "max"):
+            raise ConsistencyError(f"order must be 'min' or 'max', got {order!r}")
+        self.order = order
+        self._queues: dict[int, deque[int]] = {}
+
+    def insert(self, priority: int, uid: int) -> None:
+        self._queues.setdefault(priority, deque()).append(uid)
+
+    def delete_min(self) -> tuple[int, int] | None:
+        """Pop ``(priority, uid)`` — the extremal priority — or None."""
+        if not self._queues:
+            return None
+        p = min(self._queues) if self.order == "min" else max(self._queues)
+        q = self._queues[p]
+        uid = q.popleft()
+        if not q:
+            del self._queues[p]
+        return (p, uid)
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class ReferenceStack:
+    """A plain LIFO stack of uids — the serial object Skack implements."""
+
+    def __init__(self) -> None:
+        self._items: list[int] = []
+
+    def push(self, uid: int) -> None:
+        self._items.append(uid)
+
+    def pop(self) -> int | None:
+        return self._items.pop() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class OrderedHeap:
+    """Min-heap over the full element order ``(priority, uid)``.
+
+    The sequential object Seap implements: DeleteMin returns *some* element
+    of minimal priority; the uid tiebreaker makes replay deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int]] = []
+
+    def insert(self, priority: int, uid: int) -> None:
+        heapq.heappush(self._heap, (priority, uid))
+
+    def delete_min(self) -> tuple[int, int] | None:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> tuple[int, int] | None:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def require(cond: bool, message: str) -> None:
+    """Raise :class:`ConsistencyError` with ``message`` unless ``cond``."""
+    if not cond:
+        raise ConsistencyError(message)

@@ -1,0 +1,29 @@
+"""Simulation kernel: the paper's asynchronous message-passing model.
+
+Exports the node/message abstractions, both execution drivers (synchronous
+rounds for performance, asynchronous events for correctness-under-delay),
+metrics, and the seeded randomness utilities.
+"""
+
+from .async_runner import AsyncRunner, adversarial_delay, uniform_delay
+from .message import Message, payload_size_bits
+from .metrics import MetricsCollector, MetricsSnapshot
+from .node import ProtocolNode, SimContext
+from .rng import PseudoRandomHash, RngRegistry, derive_seed
+from .sync_runner import SyncRunner
+
+__all__ = [
+    "AsyncRunner",
+    "Message",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "ProtocolNode",
+    "PseudoRandomHash",
+    "RngRegistry",
+    "SimContext",
+    "SyncRunner",
+    "adversarial_delay",
+    "derive_seed",
+    "payload_size_bits",
+    "uniform_delay",
+]

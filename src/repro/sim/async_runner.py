@@ -1,0 +1,175 @@
+"""Asynchronous event driver — the paper's correctness model.
+
+Arbitrary finite message delays, non-FIFO channels, and nodes activated at
+unrelated speeds (Section 1.1): this driver exists to demonstrate that the
+protocols' *semantic* guarantees (sequential consistency, serializability,
+heap consistency) survive full asynchrony, not just the neat synchronous
+schedule.  Performance metrics are measured under the synchronous driver.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable
+
+from ..errors import SimulationError
+from .message import Message
+from .metrics import MetricsCollector
+from .node import ProtocolNode
+from .rng import RngRegistry
+
+__all__ = ["AsyncRunner", "uniform_delay", "adversarial_delay"]
+
+
+def uniform_delay(low: float = 0.1, high: float = 2.5):
+    """Message delays drawn uniformly from ``[low, high)`` — non-FIFO."""
+
+    def sample(msg: Message, rng) -> float:
+        return float(rng.uniform(low, high))
+
+    return sample
+
+
+def adversarial_delay(slow_fraction: float = 0.2, slow_factor: float = 20.0):
+    """A heavier-tailed schedule: a random fraction of messages straggle.
+
+    This exercises the reorderings that break naive (unserialized)
+    distributed queues: late Puts racing their Gets, children outrunning
+    parents, etc.
+    """
+
+    def sample(msg: Message, rng) -> float:
+        base = float(rng.uniform(0.1, 1.0))
+        if rng.random() < slow_fraction:
+            return base * slow_factor
+        return base
+
+    return sample
+
+
+class AsyncRunner:
+    """Drives nodes with randomized delays and activation jitter."""
+
+    _MSG, _ACTIVATE = 0, 1
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delay_fn: Callable[[Message, object], float] | None = None,
+        activation_period: float = 1.0,
+        owner_of: Callable[[int], int] | None = None,
+    ):
+        self.rng = RngRegistry(seed)
+        self.nodes: dict[int, ProtocolNode] = {}
+        self.metrics = MetricsCollector(owner_of=owner_of)
+        self._delay_fn = delay_fn or uniform_delay()
+        self._activation_period = float(activation_period)
+        self._events: list[tuple[float, int, int, object]] = []
+        self._tick = itertools.count()
+        self._time = 0.0
+        self._in_flight = 0
+
+    # -- SimContext interface --------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    def transmit(self, msg: Message) -> None:
+        if msg.dest not in self.nodes:
+            raise SimulationError(f"message to unknown node {msg.dest}: {msg!r}")
+        delay = self._delay_fn(msg, self.rng.stream("async", "delays"))
+        if delay < 0:
+            raise SimulationError("negative message delay")
+        self._in_flight += 1
+        heapq.heappush(
+            self._events, (self._time + delay, next(self._tick), self._MSG, msg)
+        )
+
+    # -- setup --------------------------------------------------------------
+
+    def register(self, node: ProtocolNode) -> None:
+        if node.id in self.nodes:
+            raise SimulationError(f"duplicate node id {node.id}")
+        self.nodes[node.id] = node
+        node.bind(self)
+        jitter = float(
+            self.rng.stream("async", "jitter").uniform(0, self._activation_period)
+        )
+        heapq.heappush(
+            self._events, (jitter, next(self._tick), self._ACTIVATE, node.id)
+        )
+
+    def register_all(self, nodes: Iterable[ProtocolNode]) -> None:
+        for node in nodes:
+            self.register(node)
+
+    def deregister(self, node_id: int) -> None:
+        """Remove a node (membership Leave); pending activations are dropped."""
+        del self.nodes[node_id]
+
+    # -- execution ------------------------------------------------------------
+
+    def _process_one(self) -> None:
+        when, _, kind, item = heapq.heappop(self._events)
+        self._time = when
+        if kind == self._MSG:
+            msg: Message = item  # type: ignore[assignment]
+            self._in_flight -= 1
+            self.metrics.record_delivery(msg)
+            self.nodes[msg.dest].handle(msg)
+        else:
+            node = self.nodes.get(item)  # type: ignore[arg-type]
+            if node is None:  # deregistered: drop the activation chain
+                return
+            node.on_activate()
+            heapq.heappush(
+                self._events,
+                (
+                    when + self._activation_period,
+                    next(self._tick),
+                    self._ACTIVATE,
+                    node.id,
+                ),
+            )
+
+    def is_quiescent(self) -> bool:
+        return self._in_flight == 0 and not any(
+            n.has_work() for n in self.nodes.values()
+        )
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_time: float = 1_000_000.0,
+    ) -> float:
+        """Process events until ``predicate()`` holds; return elapsed time."""
+        start = self._time
+        while not predicate():
+            if not self._events:
+                raise SimulationError("event queue drained before predicate held")
+            if self._time - start > max_time:
+                raise SimulationError(f"predicate not reached within {max_time} time")
+            self._process_one()
+        return self._time - start
+
+    def run_until_quiescent(self, max_time: float = 1_000_000.0) -> float:
+        """Run until no messages are in flight and no node has work.
+
+        Each node is guaranteed at least one activation between the call and
+        the quiescence check (fair activation), so buffered work gets its
+        chance to start.
+        """
+        start = self._time
+        settle_until = self._time + 2 * self._activation_period
+        while True:
+            if self._time > start + max_time:
+                raise SimulationError(f"not quiescent within {max_time} time")
+            if self.is_quiescent() and self._time >= settle_until:
+                return self._time - start
+            if not self._events:  # pragma: no cover - activations recur forever
+                return self._time - start
+            self._process_one()
+            if not self.is_quiescent():
+                settle_until = self._time + 2 * self._activation_period

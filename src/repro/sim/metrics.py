@@ -1,0 +1,133 @@
+"""Measurement of the quantities the paper's theorems bound.
+
+The paper's performance model (Section 1.1) measures:
+
+* **rounds** — synchronous steps until an operation/batch completes,
+* **congestion** — the maximum number of messages a *node* (a real process,
+  which may emulate several virtual overlay nodes) handles in one round,
+* **message size** — bits per message (Lemmas 3.8 and 5.5).
+
+:class:`MetricsCollector` records all three plus totals, and supports
+snapshot/diff so the harness can attribute costs to protocol phases.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .message import Message
+
+__all__ = ["MetricsCollector", "MetricsSnapshot"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """Immutable cumulative counters, used to diff phase windows."""
+
+    rounds: int
+    messages: int
+    bits: int
+    max_message_bits: int
+    congestion: int
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counters accumulated since ``earlier``.
+
+        ``max_message_bits`` and ``congestion`` are window maxima only if
+        the window grew them; we report the later cumulative maximum, which
+        upper-bounds the window maximum (sufficient for the shape checks).
+        """
+        return MetricsSnapshot(
+            rounds=self.rounds - earlier.rounds,
+            messages=self.messages - earlier.messages,
+            bits=self.bits - earlier.bits,
+            max_message_bits=self.max_message_bits,
+            congestion=self.congestion,
+        )
+
+
+class MetricsCollector:
+    """Accumulates per-round and per-owner message statistics.
+
+    ``owner_of`` maps a simulator node id to the real process that emulates
+    it; congestion is accounted against the owner, matching the paper's
+    model where one process emulates three LDB virtual nodes.
+    """
+
+    def __init__(self, owner_of=None):
+        self._owner_of = owner_of if owner_of is not None else (lambda i: i)
+        self.rounds = 0
+        self.messages = 0
+        self.bits = 0
+        self.max_message_bits = 0
+        self.action_counts: Counter[str] = Counter()
+        self.owner_totals: Counter[int] = Counter()
+        self.owner_action_counts: Counter[tuple[int, str]] = Counter()
+        self._round_owner_counts: Counter[int] = Counter()
+        self.congestion_by_round: list[int] = []
+        self.marks: list[tuple[str, int]] = []
+
+    # -- recording -----------------------------------------------------
+
+    def record_delivery(self, msg: Message) -> None:
+        """Record one message being handled at its destination."""
+        owner = self._owner_of(msg.dest)
+        self.messages += 1
+        self.bits += msg.size_bits
+        if msg.size_bits > self.max_message_bits:
+            self.max_message_bits = msg.size_bits
+        self.action_counts[msg.action] += 1
+        self.owner_totals[owner] += 1
+        self.owner_action_counts[(owner, msg.action)] += 1
+        self._round_owner_counts[owner] += 1
+
+    def end_round(self) -> None:
+        """Close the current round's congestion bucket."""
+        peak = max(self._round_owner_counts.values(), default=0)
+        self.congestion_by_round.append(peak)
+        self._round_owner_counts.clear()
+        self.rounds += 1
+
+    def mark(self, name: str) -> None:
+        """Label the current round, e.g. at a phase boundary."""
+        self.marks.append((name, self.rounds))
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def congestion(self) -> int:
+        """Max messages handled by any owner in any single round."""
+        current = max(self._round_owner_counts.values(), default=0)
+        return max(max(self.congestion_by_round, default=0), current)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            rounds=self.rounds,
+            messages=self.messages,
+            bits=self.bits,
+            max_message_bits=self.max_message_bits,
+            congestion=self.congestion,
+        )
+
+    def congestion_between(self, start_round: int, end_round: int) -> int:
+        """Max per-owner messages/round within ``[start_round, end_round)``."""
+        window = self.congestion_by_round[start_round:end_round]
+        return max(window, default=0)
+
+    def owner_action_total(self, owner: int, actions) -> int:
+        """Messages of the given action names handled by ``owner``.
+
+        Used to isolate *coordination* load (batch aggregation vs per-op
+        forwarding) from the DHT routing traffic every node shares.
+        """
+        return sum(self.owner_action_counts.get((owner, a), 0) for a in actions)
+
+    def owner_rate(self, owner: int) -> float:
+        """Messages handled by ``owner`` per round, over the whole run.
+
+        The sustained-load metric behind the batching argument: Skeap's
+        anchor handles O(1) (large) messages per iteration, while an
+        unbatched anchor or a central coordinator handles Θ(n·Λ) per round.
+        """
+        return self.owner_totals.get(owner, 0) / max(self.rounds, 1)

@@ -1,0 +1,91 @@
+"""The process abstraction of the paper's model.
+
+A node executes *actions*: named procedures invoked locally or remotely.
+Every message is a remote action call (Section 1.1).  A node may also be
+*activated* periodically, upon which it may generate messages based on its
+local state.
+
+:class:`ProtocolNode` realizes this: subclasses define ``on_<action>``
+methods as handlers and override :meth:`on_activate`.  The same node code
+runs unchanged under the synchronous round driver and the asynchronous
+event driver.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol
+
+from ..errors import ProtocolError
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .rng import RngRegistry
+
+__all__ = ["ProtocolNode", "SimContext"]
+
+
+class SimContext(Protocol):
+    """What a runner provides to its nodes."""
+
+    rng: "RngRegistry"
+
+    def transmit(self, msg: Message) -> None: ...
+
+    @property
+    def now(self) -> float: ...
+
+
+class ProtocolNode:
+    """Base class for all protocol participants.
+
+    Handlers are resolved by name: a message with ``action="foo"`` invokes
+    ``self.on_foo(sender, **payload)``.  Unknown actions raise
+    :class:`ProtocolError` — silent drops hide protocol bugs.
+    """
+
+    def __init__(self, node_id: int):
+        self.id = int(node_id)
+        self._ctx: SimContext | None = None
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind(self, ctx: SimContext) -> None:
+        """Attach this node to a runner; called once at registration."""
+        if self._ctx is not None:
+            raise ProtocolError(f"node {self.id} bound twice")
+        self._ctx = ctx
+
+    @property
+    def ctx(self) -> SimContext:
+        if self._ctx is None:
+            raise ProtocolError(f"node {self.id} used before registration")
+        return self._ctx
+
+    # -- the paper's primitives -------------------------------------------
+
+    def send(self, dest: int, action: str, **payload: Any) -> None:
+        """Send a remote action call to ``dest`` (puts it in dest's channel)."""
+        self.ctx.transmit(Message(sender=self.id, dest=dest, action=action, payload=payload))
+
+    def on_activate(self) -> None:
+        """Periodic activation hook; default does nothing."""
+
+    def has_work(self) -> bool:
+        """Whether this node still intends to send messages.
+
+        Runners use this for quiescence detection; protocols with buffered
+        client requests or unfinished phases must return True.
+        """
+        return False
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, msg: Message) -> None:
+        """Dispatch a message from the channel to its handler."""
+        handler = getattr(self, "on_" + msg.action, None)
+        if handler is None:
+            raise ProtocolError(
+                f"node {self.id} ({type(self).__name__}) has no handler for "
+                f"action {msg.action!r}"
+            )
+        handler(msg.sender, **msg.payload)

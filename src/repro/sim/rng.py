@@ -1,0 +1,91 @@
+"""Deterministic randomness: named seeded streams and pseudorandom hashes.
+
+All randomness in the library flows through this module so that every
+simulation, test and benchmark is exactly reproducible from a single root
+seed.  The paper assumes a *publicly known pseudorandom hash function*; we
+realize it with SHA-256 keyed by a seed, which gives the only two properties
+the protocols rely on: determinism (every node computes the same value) and
+uniformity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+__all__ = ["RngRegistry", "PseudoRandomHash", "derive_seed"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(root_seed: int, *names: object) -> int:
+    """Derive a 64-bit child seed from a root seed and a name path.
+
+    Stable across runs and platforms (pure SHA-256, no ``hash()``).
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack("<q", root_seed & _MASK64))
+    for name in names:
+        h.update(repr(name).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest()[:8], "little")
+
+
+class RngRegistry:
+    """A factory of named, independent ``numpy`` generators.
+
+    Each distinct name path yields an independent stream; asking twice for
+    the same path yields the *same* generator object, so stateful consumers
+    (e.g. the async delay sampler) keep advancing a single stream.
+    """
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+        self._streams: dict[tuple[object, ...], np.random.Generator] = {}
+
+    def stream(self, *names: object) -> np.random.Generator:
+        """Return the generator for this name path, creating it on demand."""
+        key = tuple(names)
+        gen = self._streams.get(key)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self.root_seed, *names))
+            self._streams[key] = gen
+        return gen
+
+    def spawn(self, *names: object) -> "RngRegistry":
+        """Return a child registry rooted at a derived seed."""
+        return RngRegistry(derive_seed(self.root_seed, "spawn", *names))
+
+
+class PseudoRandomHash:
+    """The paper's publicly known pseudorandom hash function *h*.
+
+    Maps arbitrary tuples of integers/strings to either the unit interval
+    ``[0, 1)`` (overlay label / DHT key space) or to 64-bit integers.  All
+    nodes constructed from the same seed agree on every value, which is the
+    "publicly known" property the protocols need.
+    """
+
+    def __init__(self, seed: int, namespace: str = "h"):
+        self.seed = int(seed)
+        self.namespace = namespace
+
+    def _digest(self, args: tuple[object, ...]) -> bytes:
+        h = hashlib.sha256()
+        h.update(struct.pack("<q", self.seed & _MASK64))
+        h.update(self.namespace.encode("utf-8"))
+        for a in args:
+            h.update(b"\x1f")
+            h.update(repr(a).encode("utf-8"))
+        return h.digest()
+
+    def unit(self, *args: object) -> float:
+        """Hash to a float in ``[0, 1)`` with 53 bits of precision."""
+        raw = int.from_bytes(self._digest(args)[:8], "little")
+        return (raw >> 11) / float(1 << 53)
+
+    def integer(self, *args: object) -> int:
+        """Hash to a 64-bit unsigned integer."""
+        return int.from_bytes(self._digest(args)[:8], "little")

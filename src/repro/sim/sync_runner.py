@@ -1,0 +1,126 @@
+"""Synchronous round driver — the paper's performance-analysis model.
+
+Time proceeds in rounds; all messages sent in round *i* are processed in
+round *i+1*, and each node is activated once per round (Section 1.1).  This
+is the driver under which every quantitative experiment runs, because the
+paper's round/congestion bounds are stated in exactly this model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..errors import SimulationError
+from .message import Message
+from .metrics import MetricsCollector
+from .node import ProtocolNode
+from .rng import RngRegistry
+
+__all__ = ["SyncRunner"]
+
+
+class SyncRunner:
+    """Drives a set of :class:`ProtocolNode` in lockstep rounds."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        owner_of: Callable[[int], int] | None = None,
+    ):
+        self.rng = RngRegistry(seed)
+        self.nodes: dict[int, ProtocolNode] = {}
+        self.metrics = MetricsCollector(owner_of=owner_of)
+        self._inbox: list[Message] = []
+        self._outbox: list[Message] = []
+        self._round = 0
+
+    # -- SimContext interface ------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return float(self._round)
+
+    def transmit(self, msg: Message) -> None:
+        if msg.dest not in self.nodes:
+            raise SimulationError(f"message to unknown node {msg.dest}: {msg!r}")
+        self._outbox.append(msg)
+
+    # -- setup -----------------------------------------------------------
+
+    def register(self, node: ProtocolNode) -> None:
+        if node.id in self.nodes:
+            raise SimulationError(f"duplicate node id {node.id}")
+        self.nodes[node.id] = node
+        node.bind(self)
+
+    def register_all(self, nodes: Iterable[ProtocolNode]) -> None:
+        for node in nodes:
+            self.register(node)
+
+    def deregister(self, node_id: int) -> None:
+        """Remove a node (membership Leave); its channel must be empty."""
+        if any(m.dest == node_id for m in self._outbox):
+            raise SimulationError(f"cannot deregister node {node_id}: messages in flight")
+        del self.nodes[node_id]
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one synchronous round.
+
+        Deliver every message sent in the previous round (in deterministic
+        but arbitrary — non-FIFO — order), then activate every node once.
+        """
+        self._inbox, self._outbox = self._outbox, []
+        # Deterministic shuffle: ordering by a seeded draw exercises the
+        # model's "channels are unordered" guarantee without real entropy.
+        if len(self._inbox) > 1:
+            order = self.rng.stream("sync", "delivery").permutation(len(self._inbox))
+            self._inbox = [self._inbox[i] for i in order]
+        for msg in self._inbox:
+            self.metrics.record_delivery(msg)
+            self.nodes[msg.dest].handle(msg)
+        self._inbox.clear()
+        for node_id in sorted(self.nodes):
+            self.nodes[node_id].on_activate()
+        self.metrics.end_round()
+        self._round += 1
+
+    def pending_messages(self) -> int:
+        """Messages in flight (sent but not yet delivered)."""
+        return len(self._outbox)
+
+    def is_quiescent(self) -> bool:
+        """No messages in flight and no node declares outstanding work."""
+        return self.pending_messages() == 0 and not any(
+            n.has_work() for n in self.nodes.values()
+        )
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_rounds: int = 1_000_000,
+    ) -> int:
+        """Run rounds until ``predicate()`` is true; return rounds elapsed.
+
+        Raises :class:`SimulationError` if the bound is exhausted — a
+        liveness failure is a bug, not a timeout to ignore.
+        """
+        start = self._round
+        while not predicate():
+            if self._round - start >= max_rounds:
+                raise SimulationError(
+                    f"predicate not reached within {max_rounds} rounds"
+                )
+            self.step()
+        return self._round - start
+
+    def run_until_quiescent(self, max_rounds: int = 1_000_000) -> int:
+        """Run until the system is quiescent; return rounds elapsed."""
+        # One initial step lets activations seed the first messages.
+        if self.is_quiescent():
+            return 0
+        start = self._round
+        self.step()
+        self.run_until(self.is_quiescent, max_rounds=max_rounds)
+        return self._round - start

@@ -1,0 +1,51 @@
+"""Skack: a sequentially consistent distributed stack (FSS18b lineage).
+
+The paper notes that the Skueue construction "can also be extended to a
+distributed stack" [FSS18b].  The extension is one switch on the same
+machinery: the anchor serves delete positions from the *tail* of its
+interval (youngest first, ``discipline="lifo"``) instead of the head.
+Everything else — batching, interval decomposition, the DHT rendezvous —
+is untouched, which is precisely why the aggregation-tree design
+generalizes across queue, stack and heap.
+
+::
+
+    s = SkackStack(n_nodes=8, seed=1)
+    s.push("a", at=0)
+    s.push("b", at=3)
+    handle = s.pop(at=5)
+    s.settle()
+    assert handle.result.value == "b"   # LIFO
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .skeap.heap import SkeapHeap
+from .skeap.protocol import OpHandle
+
+__all__ = ["SkackStack"]
+
+
+class SkackStack(SkeapHeap):
+    """A distributed LIFO stack: Skeap with one priority, tail service."""
+
+    def __init__(self, n_nodes: int, seed: int = 0, **kwargs):
+        kwargs.pop("n_priorities", None)
+        kwargs.pop("discipline", None)
+        super().__init__(
+            n_nodes, n_priorities=1, seed=seed, discipline="lifo", **kwargs
+        )
+
+    def push(self, value: Any = None, at: int | None = None) -> OpHandle:
+        """Push ``value`` onto the stack."""
+        return self.insert(priority=1, value=value, at=at)
+
+    def pop(self, at: int | None = None) -> OpHandle:
+        """Pop the youngest element, or ⊥ when empty."""
+        return self.delete_min(at=at)
+
+    def stack_height(self) -> int:
+        """Live elements according to the anchor's interval."""
+        return self.live_elements()

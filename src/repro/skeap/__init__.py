@@ -1,0 +1,21 @@
+"""Skeap (Section 3): sequentially consistent distributed heap, constant priorities."""
+
+from .batch import Batch, BatchEntry, encode_ops
+from .decompose import decompose_block
+from .heap import SkeapHeap
+from .intervals import AnchorState, AssignmentBlock, DeletePiece, EntryAssignment
+from .protocol import OpHandle, SkeapNode
+
+__all__ = [
+    "AnchorState",
+    "AssignmentBlock",
+    "Batch",
+    "BatchEntry",
+    "DeletePiece",
+    "EntryAssignment",
+    "OpHandle",
+    "SkeapHeap",
+    "SkeapNode",
+    "decompose_block",
+    "encode_ops",
+]

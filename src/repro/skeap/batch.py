@@ -1,0 +1,172 @@
+"""Operation batches (Definition 3.1).
+
+A batch is a sequence ``(i_1, d_1, ..., i_k, d_k)`` where ``i_j`` is a
+vector counting, per priority, the elements inserted at position ``j`` of
+the sequence and ``d_j`` counts DeleteMin operations.  A node's snapshot of
+its buffered requests is encoded as a batch that *respects the local order*
+in which the requests were issued — the property sequential consistency
+rests on.
+
+Batches combine entry-wise (shorter batches padded with zeros), and the
+encoded size in bits is what Lemma 3.8 bounds by ``O(Λ log² n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ProtocolError
+
+__all__ = ["BatchEntry", "Batch", "encode_ops"]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchEntry:
+    """One ``(i_j, d_j)`` pair: insert counts per priority, then a delete count."""
+
+    ins: tuple[int, ...]
+    dels: int
+
+    def total_ops(self) -> int:
+        return sum(self.ins) + self.dels
+
+    def is_zero(self) -> bool:
+        return self.dels == 0 and not any(self.ins)
+
+
+class Batch:
+    """An alternating insert/delete count sequence over ``c`` priorities."""
+
+    __slots__ = ("n_priorities", "entries")
+
+    def __init__(self, n_priorities: int, entries: Sequence[BatchEntry] = ()):
+        if n_priorities < 1:
+            raise ProtocolError("a batch needs at least one priority class")
+        self.n_priorities = int(n_priorities)
+        for e in entries:
+            if len(e.ins) != n_priorities:
+                raise ProtocolError("entry vector width does not match priorities")
+        self.entries: list[BatchEntry] = list(entries)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_ops(cls, ops: Iterable[tuple[str, int | None]], n_priorities: int) -> "Batch":
+        """Encode a node's local op sequence as a minimal alternating batch.
+
+        ``ops`` yields ``("ins", priority)`` or ``("del", None)`` in local
+        issue order.  Priorities are 1-based (the paper's
+        ``𝒫 = {1, ..., c}``).  An insert arriving after a delete in the
+        current entry opens a new entry, preserving local order.
+        """
+        batch, _ = encode_ops(ops, n_priorities)
+        return batch
+
+    # -- combination (Definition 3.1) ------------------------------------
+
+
+    def combine(self, other: "Batch") -> "Batch":
+        """Entry-wise sum; the shorter batch is padded with zeros."""
+        if other.n_priorities != self.n_priorities:
+            raise ProtocolError("cannot combine batches over different priority sets")
+        k = max(len(self.entries), len(other.entries))
+        zero = BatchEntry(tuple([0] * self.n_priorities), 0)
+        out = []
+        for j in range(k):
+            a = self.entries[j] if j < len(self.entries) else zero
+            b = other.entries[j] if j < len(other.entries) else zero
+            out.append(
+                BatchEntry(
+                    tuple(x + y for x, y in zip(a.ins, b.ins)),
+                    a.dels + b.dels,
+                )
+            )
+        return Batch(self.n_priorities, out)
+
+    @classmethod
+    def combine_all(cls, batches: Sequence["Batch"], n_priorities: int) -> "Batch":
+        acc = cls(n_priorities)
+        for b in batches:
+            acc = acc.combine(b)
+        return acc
+
+    # -- inspection --------------------------------------------------------
+
+    def entry(self, j: int) -> BatchEntry:
+        """Entry ``j`` with implicit zero padding beyond the end."""
+        if j < len(self.entries):
+            return self.entries[j]
+        return BatchEntry(tuple([0] * self.n_priorities), 0)
+
+    def total_inserts(self) -> int:
+        return sum(sum(e.ins) for e in self.entries)
+
+    def total_deletes(self) -> int:
+        return sum(e.dels for e in self.entries)
+
+    def total_ops(self) -> int:
+        return self.total_inserts() + self.total_deletes()
+
+    def is_empty(self) -> bool:
+        return all(e.is_zero() for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Batch):
+            return NotImplemented
+        return (
+            self.n_priorities == other.n_priorities
+            and self.entries == other.entries
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"({e.ins}, {e.dels})" for e in self.entries)
+        return f"Batch[{inner}]"
+
+    # -- wire size (Lemma 3.8) ---------------------------------------------
+
+    def size_bits(self) -> int:
+        """Encoded bits: each count in its binary width plus a flag bit."""
+        total = max(len(self.entries).bit_length(), 1)
+        for e in self.entries:
+            for c in e.ins:
+                total += max(c.bit_length(), 1) + 1
+            total += max(e.dels.bit_length(), 1) + 1
+        return total
+
+
+def encode_ops(
+    ops: Iterable[tuple[str, int | None]], n_priorities: int
+) -> tuple[Batch, list[int]]:
+    """Encode a local op sequence and report which entry each op landed in.
+
+    Returns ``(batch, entry_of)`` where ``entry_of[i]`` is the batch entry
+    index of the ``i``-th op.  Phase 4 uses this map to pair each buffered
+    request with the positions assigned to its entry.
+    """
+    batch = Batch(n_priorities)
+    entry_of: list[int] = []
+    cur_ins = [0] * n_priorities
+    cur_dels = 0
+    started = False
+    for kind, priority in ops:
+        if kind == "ins":
+            if priority is None or not 1 <= priority <= n_priorities:
+                raise ProtocolError(f"priority {priority} outside 1..{n_priorities}")
+            if cur_dels > 0:
+                batch.entries.append(BatchEntry(tuple(cur_ins), cur_dels))
+                cur_ins = [0] * n_priorities
+                cur_dels = 0
+            cur_ins[priority - 1] += 1
+        elif kind == "del":
+            cur_dels += 1
+        else:
+            raise ProtocolError(f"unknown op kind {kind!r}")
+        started = True
+        entry_of.append(len(batch.entries))
+    if started:
+        batch.entries.append(BatchEntry(tuple(cur_ins), cur_dels))
+    return batch, entry_of

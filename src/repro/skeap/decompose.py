@@ -1,0 +1,128 @@
+"""Phase 3: decomposing position intervals down the aggregation tree.
+
+A node that combined its own batch with its children's sub-batches in
+Phase 1 memorized those sub-batches.  When the assignment block for the
+combined batch arrives from above, the node splits every interval in the
+same deterministic order used for combining — own contribution first, then
+children in tree order — so each request ends up with exactly the position
+the anchor reserved for it.
+
+Delete positions are consumed through a cursor over the ordered delete
+pieces; when the pieces run out, the remaining consumers receive ⊥
+(``bots``), which lands on the *latest* requests in the combined order,
+matching the anchor's Phase-2 semantics.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProtocolError
+from .batch import Batch
+from .intervals import AssignmentBlock, DeletePiece, EntryAssignment
+
+__all__ = ["decompose_block"]
+
+
+class _PieceCursor:
+    """Sequential consumption of an ordered run of delete positions."""
+
+    def __init__(self, pieces: tuple[DeletePiece, ...]):
+        self._pieces = list(pieces)
+        self._idx = 0
+        self._used = 0  # positions consumed within the current piece
+
+    def take(self, need: int) -> tuple[list[DeletePiece], int]:
+        """Take up to ``need`` positions; returns (sub-pieces, count taken).
+
+        A ``reverse`` (LIFO) piece is consumed from its top: the first
+        positions taken are the highest ones.
+        """
+        out: list[DeletePiece] = []
+        taken = 0
+        while need > 0 and self._idx < len(self._pieces):
+            piece = self._pieces[self._idx]
+            left = piece.count - self._used
+            grab = min(left, need)
+            if piece.reverse:
+                sub_start = piece.start + piece.count - self._used - grab
+                out.append(
+                    DeletePiece(piece.priority, sub_start, grab, reverse=True)
+                )
+            else:
+                out.append(
+                    DeletePiece(piece.priority, piece.start + self._used, grab)
+                )
+            self._used += grab
+            taken += grab
+            need -= grab
+            if self._used == piece.count:
+                self._idx += 1
+                self._used = 0
+        return out, taken
+
+    def exhausted(self) -> bool:
+        return self._idx >= len(self._pieces)
+
+
+class _InsertCursor:
+    """Sequential slicing of one priority's insert interval."""
+
+    def __init__(self, start: int, count: int):
+        self._next = start
+        self._left = count
+
+    def take(self, need: int) -> tuple[int, int]:
+        if need > self._left:
+            raise ProtocolError("insert interval over-consumed during decomposition")
+        start = self._next
+        self._next += need
+        self._left -= need
+        return start, need
+
+    def exhausted(self) -> bool:
+        return self._left == 0
+
+
+def decompose_block(
+    block: AssignmentBlock,
+    own_batch: Batch,
+    child_batches: list[tuple[int, Batch]],
+) -> tuple[AssignmentBlock, dict[int, AssignmentBlock]]:
+    """Split ``block`` among this node's own batch and its children's.
+
+    Consumption order per entry is own-first, then children in the order
+    their batches were combined — the same order Phase 1 used, which is
+    what makes positions land on the right requests.
+    """
+    consumers: list[tuple[int | None, Batch]] = [(None, own_batch)]
+    consumers += [(vid, b) for vid, b in child_batches]
+    per_consumer: list[list[EntryAssignment]] = [[] for _ in consumers]
+
+    for j, assignment in enumerate(block.entries):
+        ins_cursors = [_InsertCursor(start, count) for start, count in assignment.ins]
+        del_cursor = _PieceCursor(assignment.del_pieces)
+        bots_left = assignment.bots
+        for c_idx, (_, batch) in enumerate(consumers):
+            entry = batch.entry(j)
+            ins_parts = tuple(
+                ins_cursors[p_idx].take(entry.ins[p_idx])
+                for p_idx in range(batch.n_priorities)
+            )
+            pieces, taken = del_cursor.take(entry.dels)
+            bots = entry.dels - taken
+            if bots > bots_left:
+                raise ProtocolError("more ⊥ results than the anchor allotted")
+            bots_left -= bots
+            per_consumer[c_idx].append(EntryAssignment(ins_parts, tuple(pieces), bots))
+        if bots_left != 0 or not del_cursor.exhausted():
+            raise ProtocolError(
+                f"entry {j}: delete positions/⊥ not fully distributed"
+            )
+        if not all(c.exhausted() for c in ins_cursors):
+            raise ProtocolError(f"entry {j}: insert positions not fully distributed")
+
+    own_block = AssignmentBlock(tuple(per_consumer[0]))
+    child_blocks = {
+        consumers[i][0]: AssignmentBlock(tuple(per_consumer[i]))
+        for i in range(1, len(consumers))
+    }
+    return own_block, child_blocks  # type: ignore[return-value]

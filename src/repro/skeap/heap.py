@@ -1,0 +1,199 @@
+"""User-facing Skeap heap: a cluster of processes running the protocol.
+
+:class:`SkeapHeap` is the public API used by the examples and benchmarks::
+
+    heap = SkeapHeap(n_nodes=16, n_priorities=3, seed=7)
+    heap.insert(priority=2, value="job-a", at=0)
+    handle = heap.delete_min(at=5)
+    heap.settle()
+    assert handle.result.value == "job-a"
+
+Requests may be submitted at any real node; ``settle()`` drives the
+simulation until every outstanding request has resolved.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..cluster import OverlayCluster
+from ..overlay.ldb import LocalView, VirtualKind
+from ..overlay.membership import MembershipReport, join_node, leave_node
+from ..semantics.history import History
+from .protocol import OpHandle, SkeapNode
+
+__all__ = ["SkeapHeap"]
+
+
+class SkeapHeap(OverlayCluster):
+    """A distributed heap with priorities ``{1, ..., n_priorities}``.
+
+    ``order="max"`` inverts the service order (the paper's MaxHeap remark):
+    DeleteMin — read "DeleteExtremal" — returns the *highest* priority.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        n_priorities: int = 2,
+        seed: int = 0,
+        runner: str = "sync",
+        record_history: bool = True,
+        order: str = "min",
+        discipline: str = "fifo",
+        **cluster_kwargs,
+    ):
+        self.n_priorities = int(n_priorities)
+        self.order = order
+        self.discipline = discipline
+        self.history = History() if record_history else None
+        self._outstanding: list[OpHandle] = []
+        self._submit_cursor = 0
+        super().__init__(n_nodes, seed=seed, runner=runner, **cluster_kwargs)
+
+    def make_node(self, view: LocalView) -> SkeapNode:
+        """Instantiate this protocol's node for one virtual overlay slot."""
+        return SkeapNode(
+            view,
+            self.keyspace,
+            self.n_priorities,
+            history=self.history,
+            order=self.order,
+            discipline=self.discipline,
+        )
+
+    # -- request submission ------------------------------------------------
+
+    def _client(self, at: int | None) -> SkeapNode:
+        if at is None:
+            at = self._submit_cursor % self.n_nodes
+            self._submit_cursor += 1
+        return self.middle_node(at)
+
+    def insert(self, priority: int, value: Any = None, at: int | None = None) -> OpHandle:
+        """Issue Insert(e) at real node ``at`` (round-robin if omitted)."""
+        handle = self._client(at).submit_insert(priority, value)
+        self._outstanding.append(handle)
+        return handle
+
+    def delete_min(self, at: int | None = None) -> OpHandle:
+        """Issue DeleteMin() at real node ``at`` (round-robin if omitted)."""
+        handle = self._client(at).submit_delete_min()
+        self._outstanding.append(handle)
+        return handle
+
+    def insert_many(self, items, at: int | None = None) -> list[OpHandle]:
+        """Issue many inserts: ``items`` yields ``(priority, value)`` pairs."""
+        return [self.insert(priority=p, value=v, at=at) for p, v in items]
+
+    def delete_min_many(self, count: int, at: int | None = None) -> list[OpHandle]:
+        """Issue ``count`` DeleteMin requests."""
+        return [self.delete_min(at=at) for _ in range(count)]
+
+    # -- progress ----------------------------------------------------------
+
+    def outstanding(self) -> int:
+        """How many submitted requests have not resolved yet."""
+        self._outstanding = [h for h in self._outstanding if not h.done]
+        return len(self._outstanding)
+
+    def settle(self, limit: float = 1_000_000) -> float:
+        """Run until every submitted request resolved; returns rounds/time used.
+
+        ``limit`` is rounds under the synchronous driver, simulated time
+        under the asynchronous one.
+        """
+        done = lambda: self.outstanding() == 0  # noqa: E731
+        if hasattr(self.runner, "step"):  # synchronous rounds
+            return self.runner.run_until(done, max_rounds=int(limit))
+        return self.runner.run_until(done, max_time=float(limit))
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def anchor_node(self) -> SkeapNode:
+        return self.anchor  # type: ignore[return-value]
+
+    def live_elements(self) -> int:
+        """Occupied positions according to the anchor (heap size upper bound)."""
+        state = self.anchor_node.anchor_state
+        assert state is not None
+        return state.total_occupancy()
+
+    # -- membership (lazy processing at iteration boundaries) ---------------
+
+    def pause(self, max_rounds: int = 100_000) -> int:
+        """Finish the in-flight iteration and stop starting new ones.
+
+        Returns the boundary iteration: every node has processed exactly the
+        iterations up to and including it, and no messages are in flight.
+        """
+        boundary = max(n._contributed_iteration for n in self.nodes.values())
+        for node in self.nodes.values():
+            node.pause_after = boundary
+
+        def at_boundary() -> bool:
+            return (
+                self.runner.pending_messages() == 0
+                and all(n.iteration == boundary + 1 for n in self.nodes.values())
+                and all(not n._requests for n in self.nodes.values())
+            )
+
+        self.runner.run_until(at_boundary, max_rounds=max_rounds)
+        return boundary
+
+    def resume(self) -> None:
+        """Allow nodes to start new iterations again after :meth:`pause`."""
+        for node in self.nodes.values():
+            node.pause_after = None
+
+    def _sync_new_node(self, real_id: int) -> None:
+        current = max(n.iteration for n in self.nodes.values())
+        for kind in VirtualKind:
+            node = self.nodes[real_id * 3 + int(kind)]
+            node.iteration = current
+            node._contributed_iteration = current - 1
+
+    def _transfer_anchor(self, old_anchor: SkeapNode) -> None:
+        new_anchor = self.anchor_node
+        if new_anchor is old_anchor:
+            return
+        new_anchor.anchor_state = old_anchor.anchor_state
+        new_anchor.anchor_log = old_anchor.anchor_log
+        old_anchor.anchor_state = None
+        old_anchor.anchor_log = []
+
+    def add_node(self, real_id: int) -> MembershipReport:
+        """Join a new process (Contribution 4), preserving all heap state."""
+        self.pause()
+        old_anchor = self.anchor_node
+        report = join_node(self, real_id)
+        self._sync_new_node(real_id)
+        self._transfer_anchor(old_anchor)
+        self.resume()
+        return report
+
+    def remove_node(self, real_id: int) -> MembershipReport:
+        """Leave: hand off stored elements, then depart."""
+        if real_id not in self.topology.real_ids:
+            from ..errors import MembershipError
+
+            raise MembershipError(f"node {real_id} not present")
+        self.pause()
+        old_anchor = self.anchor_node
+        departing = [self.nodes[real_id * 3 + int(k)] for k in VirtualKind]
+        if any(n.buffered or n._requests for n in departing):
+            from ..errors import MembershipError
+
+            raise MembershipError(
+                f"node {real_id} still has buffered or unresolved requests"
+            )
+        state = old_anchor.anchor_state
+        log = old_anchor.anchor_log
+        report = leave_node(self, real_id)
+        new_anchor = self.anchor_node
+        if new_anchor.anchor_state is None:
+            new_anchor.anchor_state = state
+            new_anchor.anchor_log = log
+        self.resume()
+        return report

@@ -1,0 +1,211 @@
+"""Anchor position bookkeeping and interval assignment (Skeap Phase 2).
+
+The anchor maintains, per priority ``p``, the interval
+``[first_p, last_p]`` of positions currently occupied by elements of
+priority ``p`` (invariant: ``first_p ≤ last_p + 1``).  For each batch entry
+it extends the tail for inserts and consumes the head for deletes, walking
+priorities in order so deletes always drain the most prioritized non-empty
+interval first.  A delete entry that exhausts every interval yields
+:data:`~repro.element.BOTTOM` results, encoded as a ``bots`` count.
+
+The paper notes (after Definition 1.2) that the priority order can be
+inverted to obtain a MaxHeap; ``order="max"`` drains the *highest*
+priority first.
+
+``discipline="lifo"`` serves deletes *youngest first*.  Positions are
+never reused (each ``(p, pos)`` pair must rendezvous exactly one Put with
+one Get in the DHT), so the LIFO anchor allocates monotonically increasing
+positions and tracks the *live runs* — the stack of position intervals not
+yet popped.  With a single priority this realizes the distributed stack of
+[FSS18b], the companion construction the paper cites alongside Skueue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from .batch import Batch
+
+__all__ = ["DeletePiece", "EntryAssignment", "AssignmentBlock", "AnchorState"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeletePiece:
+    """A run of delete positions within one priority: ``pos ∈ [start, start+count)``.
+
+    ``reverse=True`` means the run is *served youngest-first* (descending
+    positions) — the LIFO discipline of the distributed stack.
+    """
+
+    priority: int
+    start: int
+    count: int
+    reverse: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class EntryAssignment:
+    """Positions assigned to one batch entry.
+
+    ``ins[p-1] = (start, count)``: the insert interval for priority ``p``.
+    ``del_pieces``: ordered delete runs (most prioritized first).
+    ``bots``: trailing deletes that found the heap empty.
+    """
+
+    ins: tuple[tuple[int, int], ...]
+    del_pieces: tuple[DeletePiece, ...]
+    bots: int
+
+    def size_bits(self) -> int:
+        total = 0
+        for start, count in self.ins:
+            total += max(start.bit_length(), 1) + max(count.bit_length(), 1) + 2
+        for piece in self.del_pieces:
+            total += (
+                max(piece.priority.bit_length(), 1)
+                + max(piece.start.bit_length(), 1)
+                + max(piece.count.bit_length(), 1)
+                + 3
+            )
+        total += max(self.bots.bit_length(), 1) + 1
+        return total
+
+
+@dataclass(frozen=True, slots=True)
+class AssignmentBlock:
+    """The anchor's full answer for one combined batch: one assignment per entry."""
+
+    entries: tuple[EntryAssignment, ...]
+
+    def size_bits(self) -> int:
+        return max(len(self.entries).bit_length(), 1) + sum(
+            e.size_bits() for e in self.entries
+        )
+
+
+class AnchorState:
+    """The anchor's ``first_p`` / ``last_p`` counters, and Phase-2 assignment."""
+
+    def __init__(self, n_priorities: int, order: str = "min", discipline: str = "fifo"):
+        if n_priorities < 1:
+            raise ProtocolError("need at least one priority")
+        if order not in ("min", "max"):
+            raise ProtocolError(f"order must be 'min' or 'max', got {order!r}")
+        if discipline not in ("fifo", "lifo"):
+            raise ProtocolError(
+                f"discipline must be 'fifo' or 'lifo', got {discipline!r}"
+            )
+        self.n_priorities = n_priorities
+        self.order = order
+        self.discipline = discipline
+        # Positions are 1-based as in the paper: empty interval is [1, 0].
+        self.first = [1] * n_priorities
+        self.last = [0] * n_priorities
+        # LIFO bookkeeping: monotone allocator + live (unpopped) runs per
+        # priority, youngest run last.  Positions are never reused.
+        self._next_pos = [1] * n_priorities
+        self._live_runs: list[list[list[int]]] = [[] for _ in range(n_priorities)]
+
+    def occupancy(self, priority: int) -> int:
+        """How many positions of ``priority`` are currently live."""
+        if self.discipline == "lifo":
+            return sum(e - s + 1 for s, e in self._live_runs[priority - 1])
+        return self.last[priority - 1] - self.first[priority - 1] + 1
+
+    def total_occupancy(self) -> int:
+        return sum(self.occupancy(p) for p in range(1, self.n_priorities + 1))
+
+    def _check_invariant(self) -> None:
+        for p in range(self.n_priorities):
+            if not self.first[p] <= self.last[p] + 1:
+                raise ProtocolError(
+                    f"anchor invariant violated for priority {p + 1}: "
+                    f"first={self.first[p]} last={self.last[p]}"
+                )
+
+    def assign(self, batch: Batch) -> AssignmentBlock:
+        """Phase 2: compute position intervals for every entry of ``batch``.
+
+        Inserts of entry ``j`` are placed *before* its deletes are served,
+        matching the batch's alternating structure (entry ``j``'s inserts
+        precede entry ``j``'s deletes in every node's local order).
+        """
+        if batch.n_priorities != self.n_priorities:
+            raise ProtocolError("batch priority width mismatch")
+        if self.discipline == "lifo":
+            return self._assign_lifo(batch)
+        out: list[EntryAssignment] = []
+        for entry in batch.entries:
+            ins: list[tuple[int, int]] = []
+            for p_idx, count in enumerate(entry.ins):
+                start = self.last[p_idx] + 1
+                ins.append((start, count))
+                self.last[p_idx] += count
+            pieces: list[DeletePiece] = []
+            remaining = entry.dels
+            drain_order = (
+                range(self.n_priorities)
+                if self.order == "min"
+                else range(self.n_priorities - 1, -1, -1)
+            )
+            for p_idx in drain_order:
+                if remaining == 0:
+                    break
+                available = self.last[p_idx] - self.first[p_idx] + 1
+                take = min(remaining, available)
+                if take > 0:
+                    pieces.append(DeletePiece(p_idx + 1, self.first[p_idx], take))
+                    self.first[p_idx] += take
+                    remaining -= take
+            out.append(EntryAssignment(tuple(ins), tuple(pieces), remaining))
+            self._check_invariant()
+        return AssignmentBlock(tuple(out))
+
+    def _assign_lifo(self, batch: Batch) -> AssignmentBlock:
+        """LIFO position assignment: fresh positions, pops from live runs.
+
+        Inserts always receive never-before-used positions (extending the
+        youngest live run when contiguous); deletes consume the youngest
+        live positions as ``reverse`` pieces, possibly spanning several
+        runs.
+        """
+        out: list[EntryAssignment] = []
+        drain_order = (
+            list(range(self.n_priorities))
+            if self.order == "min"
+            else list(range(self.n_priorities - 1, -1, -1))
+        )
+        for entry in batch.entries:
+            ins: list[tuple[int, int]] = []
+            for p_idx, count in enumerate(entry.ins):
+                start = self._next_pos[p_idx]
+                ins.append((start, count))
+                self._next_pos[p_idx] += count
+                if count > 0:
+                    runs = self._live_runs[p_idx]
+                    if runs and runs[-1][1] == start - 1:
+                        runs[-1][1] = start + count - 1
+                    else:
+                        runs.append([start, start + count - 1])
+            pieces: list[DeletePiece] = []
+            remaining = entry.dels
+            for p_idx in drain_order:
+                runs = self._live_runs[p_idx]
+                while remaining > 0 and runs:
+                    run_start, run_end = runs[-1]
+                    take = min(remaining, run_end - run_start + 1)
+                    pieces.append(
+                        DeletePiece(
+                            p_idx + 1, run_end - take + 1, take, reverse=True
+                        )
+                    )
+                    if take == run_end - run_start + 1:
+                        runs.pop()
+                    else:
+                        runs[-1][1] = run_end - take
+                    remaining -= take
+                if remaining == 0:
+                    break
+            out.append(EntryAssignment(tuple(ins), tuple(pieces), remaining))
+        return AssignmentBlock(tuple(out))

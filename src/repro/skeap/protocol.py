@@ -1,0 +1,278 @@
+"""Protocol Skeap (Section 3): a sequentially consistent distributed heap
+for a constant number of priorities.
+
+Each iteration runs the paper's four phases:
+
+1. **Aggregating batches** — every node snapshots its buffered requests as
+   a batch and the aggregation tree combines them up to the anchor;
+2. **Assigning positions** — the anchor extends/consumes its per-priority
+   ``[first_p, last_p]`` intervals (``repro.skeap.intervals``);
+3. **Decomposing position intervals** — the assignment is split back down
+   the tree along the memorized sub-batches (``repro.skeap.decompose``);
+4. **Updating the DHT** — each request, now holding a unique ``(p, pos)``
+   pair, issues ``Put(h(p, pos), e)`` or ``Get(h(p, pos), v)``; Gets that
+   outrun their Puts park at the rendezvous node.
+
+Iterations pipeline: a node re-enters Phase 1 as soon as it has generated
+its DHT requests, without waiting for their completion — exactly the
+paper's loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..dht.hashing import KeySpace
+from ..element import BOTTOM, Element
+from ..errors import ProtocolError
+from ..overlay.aggregation import AggSpec
+from ..overlay.base import OverlayNode
+from ..overlay.ldb import LocalView
+from ..semantics.history import DELETE, INSERT, History
+from .batch import Batch, encode_ops
+from .decompose import decompose_block
+from .intervals import AnchorState, AssignmentBlock
+
+__all__ = ["OpHandle", "SkeapNode"]
+
+_AGG = "skb"
+
+
+@dataclass(slots=True)
+class OpHandle:
+    """Client-side future for one Insert or DeleteMin request."""
+
+    op_id: tuple[int, int]
+    kind: str
+    priority: int | None = None
+    uid: int | None = None
+    value: Any = None
+    done: bool = False
+    result: Any = None  # Element | BOTTOM for deletes; True for inserts
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.done and self.result is BOTTOM
+
+
+class SkeapNode(OverlayNode):
+    """One virtual node running Skeap.
+
+    Client requests are submitted to middle virtual nodes (the 'real node'
+    face); left/right virtual nodes participate in aggregation and the DHT
+    with perpetually empty batches.
+    """
+
+    def __init__(
+        self,
+        view: LocalView,
+        keyspace: KeySpace,
+        n_priorities: int,
+        history: History | None = None,
+        order: str = "min",
+        discipline: str = "fifo",
+    ):
+        super().__init__(view, keyspace)
+        if n_priorities < 1:
+            raise ProtocolError("Skeap needs at least one priority")
+        self.n_priorities = n_priorities
+        self.order = order
+        self.discipline = discipline
+        self.history = history
+        self.iteration = 0
+        self._contributed_iteration = -1
+        #: when set, do not start iterations beyond this one (membership
+        #: changes apply at the resulting quiescent boundary)
+        self.pause_after: int | None = None
+        self.buffered: deque[OpHandle] = deque()
+        self._snapshot: list[OpHandle] = []
+        self._snapshot_entry_of: list[int] = []
+        self._next_seq = 0
+        self._requests: dict[int, OpHandle] = {}
+        self.anchor_state = (
+            AnchorState(n_priorities, order=order, discipline=discipline)
+            if view.is_anchor
+            else None
+        )
+        #: anchor-side log of combined batches (figure-1 reproduction)
+        self.anchor_log: list[tuple[Batch, AssignmentBlock]] = []
+        self.register_agg(
+            _AGG,
+            AggSpec(
+                combine=type(self)._agg_combine,
+                at_root=type(self)._agg_at_root,
+                decompose=type(self)._agg_decompose,
+                deliver=type(self)._agg_deliver,
+            ),
+        )
+
+    # -- client API -----------------------------------------------------
+
+    def submit_insert(self, priority: int, value: Any = None, uid: int | None = None) -> OpHandle:
+        """Buffer an Insert request (resolved once the element is stored)."""
+        if not 1 <= priority <= self.n_priorities:
+            raise ProtocolError(f"priority {priority} outside 1..{self.n_priorities}")
+        handle = OpHandle(
+            op_id=(self.view.owner, self._take_seq()),
+            kind=INSERT,
+            priority=priority,
+            uid=uid if uid is not None else self._default_uid(),
+        )
+        handle.value = value
+        self.buffered.append(handle)
+        if self.history is not None:
+            self.history.record_submit(handle.op_id, INSERT, priority, handle.uid)
+        return handle
+
+    def submit_delete_min(self) -> OpHandle:
+        """Buffer a DeleteMin request (resolved with an Element or ⊥)."""
+        handle = OpHandle(op_id=(self.view.owner, self._take_seq()), kind=DELETE)
+        self.buffered.append(handle)
+        if self.history is not None:
+            self.history.record_submit(handle.op_id, DELETE)
+        return handle
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _default_uid(self) -> int:
+        # Globally unique and deterministic: owner in the high bits.
+        return (self.view.owner << 32) | self._next_seq
+
+    # -- Phase 1: batch aggregation ------------------------------------------
+
+    def on_activate(self) -> None:
+        if self._contributed_iteration >= self.iteration:
+            return
+        if self.pause_after is not None and self.iteration > self.pause_after:
+            return
+        self._snapshot = list(self.buffered)
+        self.buffered.clear()
+        ops = [
+            (h.kind, h.priority if h.kind == INSERT else None) for h in self._snapshot
+        ]
+        batch, entry_of = encode_ops(ops, self.n_priorities)
+        self._snapshot_entry_of = entry_of
+        self._contributed_iteration = self.iteration
+        self.agg_contribute((_AGG, self.iteration), batch)
+
+    def has_work(self) -> bool:
+        return bool(self.buffered) or bool(self._requests) or bool(self._snapshot)
+
+    def _agg_combine(self, tag, own: Batch, children) -> Batch:
+        return Batch.combine_all([own] + [b for _, b in children], self.n_priorities)
+
+    # -- Phase 2: anchor position assignment ---------------------------------
+
+    def _agg_at_root(self, tag, combined: Batch) -> None:
+        if self.anchor_state is None:  # pragma: no cover - structural
+            raise ProtocolError("non-anchor node received a combined batch")
+        block = self.anchor_state.assign(combined)
+        self.anchor_log.append((combined, block))
+        self.agg_distribute(tag, block)
+
+    # -- Phase 3: interval decomposition ----------------------------------------
+
+    def _agg_decompose(self, tag, block: AssignmentBlock):
+        own_batch, child_batches = self.agg_memory(tag)
+        return decompose_block(block, own_batch, child_batches)
+
+    # -- Phase 4: DHT updates -----------------------------------------------------
+
+    def _agg_deliver(self, tag, own_block: AssignmentBlock) -> None:
+        iteration = tag[1]
+        if iteration != self.iteration:  # pragma: no cover - structural
+            raise ProtocolError("assignment for a different iteration")
+        self._issue_dht_ops(own_block, iteration)
+        self._snapshot = []
+        self._snapshot_entry_of = []
+        self.iteration += 1
+
+    def _issue_dht_ops(self, block: AssignmentBlock, iteration: int) -> None:
+        # Per-entry consumption cursors over the assigned intervals.
+        ins_next = [list(start for start, _ in e.ins) for e in block.entries]
+        del_cursors = [
+            _DeliveryCursor(e.del_pieces, e.bots) for e in block.entries
+        ]
+        for handle, j in zip(self._snapshot, self._snapshot_entry_of):
+            if handle.kind == INSERT:
+                p = handle.priority
+                pos = ins_next[j][p - 1]
+                ins_next[j][p - 1] += 1
+                if self.history is not None:
+                    # Serialization key: within an entry, positions are
+                    # consumed in the tree's pre-order DFS, so the witness
+                    # order must use the DFS rank, not node ids.
+                    self.history.record_order(
+                        handle.op_id,
+                        (iteration, j, 0, self.view.dfs_rank, handle.op_id[1]),
+                    )
+                element = Element(priority=p, uid=handle.uid, value=handle.value)
+                request_id = self.dht_put(self.keyspace.skeap_key(p, pos), element)
+                self._requests[request_id] = handle
+            else:
+                slot = del_cursors[j].next()
+                if self.history is not None:
+                    self.history.record_order(
+                        handle.op_id,
+                        (iteration, j, 1, self.view.dfs_rank, handle.op_id[1]),
+                    )
+                if slot is None:
+                    handle.done = True
+                    handle.result = BOTTOM
+                    if self.history is not None:
+                        self.history.record_bot(handle.op_id)
+                else:
+                    p, pos = slot
+                    request_id = self.dht_get(self.keyspace.skeap_key(p, pos))
+                    self._requests[request_id] = handle
+
+    # -- DHT completions ----------------------------------------------------------
+
+    def dht_put_confirmed(self, request_id: int) -> None:
+        handle = self._requests.pop(request_id)
+        handle.done = True
+        handle.result = True
+        if self.history is not None:
+            self.history.record_insert_done(handle.op_id)
+
+    def dht_get_returned(self, request_id: int, key: float, element: Element) -> None:
+        handle = self._requests.pop(request_id)
+        handle.done = True
+        handle.result = element
+        if self.history is not None:
+            self.history.record_return(handle.op_id, element.uid)
+
+
+class _DeliveryCursor:
+    """Yields (priority, position) slots for an entry's deletes, then ⊥.
+
+    Reverse (LIFO) pieces yield their positions youngest-first.
+    """
+
+    def __init__(self, pieces, bots: int):
+        self._slots: list[tuple[int, int]] = [
+            (piece.priority, pos)
+            for piece in pieces
+            for pos in (
+                range(piece.start + piece.count - 1, piece.start - 1, -1)
+                if piece.reverse
+                else range(piece.start, piece.start + piece.count)
+            )
+        ]
+        self._idx = 0
+        self._bots = bots
+
+    def next(self) -> tuple[int, int] | None:
+        if self._idx < len(self._slots):
+            slot = self._slots[self._idx]
+            self._idx += 1
+            return slot
+        if self._bots <= 0:
+            raise ProtocolError("delete request without an assigned slot or ⊥")
+        self._bots -= 1
+        return None

@@ -1,0 +1,49 @@
+"""Skueue: the sequentially consistent distributed queue (FSS18a).
+
+The paper builds Skeap as an extension of Skueue — "technically
+maintaining one distributed queue for each priority".  Running Skeap with
+a single priority therefore *is* Skueue: batches degenerate to
+(enqueue-count, dequeue-count) pairs, the anchor's one interval is the
+queue's [head, tail], and FIFO order is exactly the positions' order.
+
+:class:`SkueueQueue` packages that as a queue API::
+
+    q = SkueueQueue(n_nodes=16, seed=1)
+    q.enqueue("a", at=3)
+    handle = q.dequeue(at=7)
+    q.settle()
+    assert handle.result.value == "a"
+
+This also doubles as the lineage test bed: every Skueue guarantee the
+paper inherits (sequential consistency, O(log n) rounds, batching) is
+exercised through the same machinery Skeap uses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .skeap.heap import SkeapHeap
+from .skeap.protocol import OpHandle
+
+__all__ = ["SkueueQueue"]
+
+
+class SkueueQueue(SkeapHeap):
+    """A distributed FIFO queue: Skeap restricted to one priority."""
+
+    def __init__(self, n_nodes: int, seed: int = 0, **kwargs):
+        kwargs.pop("n_priorities", None)
+        super().__init__(n_nodes, n_priorities=1, seed=seed, **kwargs)
+
+    def enqueue(self, value: Any = None, at: int | None = None) -> OpHandle:
+        """Append ``value`` to the queue (Skueue's Enqueue)."""
+        return self.insert(priority=1, value=value, at=at)
+
+    def dequeue(self, at: int | None = None) -> OpHandle:
+        """Remove the oldest element, or ⊥ when empty (Skueue's Dequeue)."""
+        return self.delete_min(at=at)
+
+    def queue_length(self) -> int:
+        """Live elements according to the anchor's interval."""
+        return self.live_elements()

@@ -1,0 +1,23 @@
+"""Workload generators and application scenarios."""
+
+from .generators import (
+    PriorityDistribution,
+    WorkloadSpec,
+    fixed_priorities,
+    generate_ops,
+    uniform_priorities,
+    zipf_priorities,
+)
+from .scenarios import Job, scheduling_trace, sorting_batch
+
+__all__ = [
+    "Job",
+    "PriorityDistribution",
+    "WorkloadSpec",
+    "fixed_priorities",
+    "generate_ops",
+    "scheduling_trace",
+    "sorting_batch",
+    "uniform_priorities",
+    "zipf_priorities",
+]

@@ -1,0 +1,126 @@
+"""Workload generation: operation streams the experiments drive heaps with.
+
+A workload is a reproducible stream of ``("ins", priority, node)`` /
+``("del", None, node)`` tuples, parameterized by
+
+* the **op mix** (insert fraction),
+* the **priority distribution** — uniform over a range (Seap's arbitrary
+  priorities), a small fixed set (Skeap's constant priorities), or a
+  Zipf-skewed range (realistic job-priority skew),
+* the **placement** of requests over nodes (uniform or hot-spot).
+
+Everything derives from an explicit seed; two calls with equal parameters
+produce identical streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.rng import derive_seed
+
+__all__ = [
+    "PriorityDistribution",
+    "uniform_priorities",
+    "fixed_priorities",
+    "zipf_priorities",
+    "WorkloadSpec",
+    "generate_ops",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PriorityDistribution:
+    """A named sampler of integer priorities."""
+
+    name: str
+    lo: int
+    hi: int
+    zipf_s: float = 0.0
+    classes: tuple[int, ...] = ()
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if self.name == "uniform":
+            return rng.integers(self.lo, self.hi + 1, size=size)
+        if self.name == "fixed":
+            return rng.choice(np.asarray(self.classes), size=size)
+        if self.name == "zipf":
+            # Rejection-free bounded Zipf: sample ranks, clamp to the range.
+            raw = rng.zipf(self.zipf_s, size=size)
+            span = self.hi - self.lo + 1
+            return self.lo + (raw - 1) % span
+        raise WorkloadError(f"unknown distribution {self.name!r}")
+
+
+def uniform_priorities(lo: int, hi: int) -> PriorityDistribution:
+    """Arbitrary priorities uniform in ``[lo, hi]`` (the Seap regime)."""
+    if lo > hi or lo < 0:
+        raise WorkloadError("invalid priority range")
+    return PriorityDistribution("uniform", lo, hi)
+
+
+def fixed_priorities(n_classes: int) -> PriorityDistribution:
+    """Constant priority set ``{1..n_classes}`` (the Skeap regime)."""
+    if n_classes < 1:
+        raise WorkloadError("need at least one priority class")
+    return PriorityDistribution(
+        "fixed", 1, n_classes, classes=tuple(range(1, n_classes + 1))
+    )
+
+
+def zipf_priorities(lo: int, hi: int, s: float = 1.5) -> PriorityDistribution:
+    """Zipf-skewed priorities: most requests near ``lo`` (urgent-heavy)."""
+    if s <= 1.0:
+        raise WorkloadError("zipf exponent must exceed 1")
+    return PriorityDistribution("zipf", lo, hi, zipf_s=s)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """A reproducible heap workload."""
+
+    n_ops: int
+    n_nodes: int
+    insert_fraction: float = 0.6
+    priorities: PriorityDistribution = field(
+        default_factory=lambda: uniform_priorities(1, 1 << 20)
+    )
+    hot_node_fraction: float = 0.0  # fraction of ops pinned to node 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.insert_fraction <= 1.0:
+            raise WorkloadError("insert_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_node_fraction <= 1.0:
+            raise WorkloadError("hot_node_fraction must be in [0, 1]")
+        if self.n_ops < 0 or self.n_nodes < 1:
+            raise WorkloadError("invalid workload size")
+
+
+def generate_ops(spec: WorkloadSpec) -> Iterator[tuple[str, int | None, int]]:
+    """Yield ``(kind, priority, node)`` tuples for ``spec``.
+
+    Inserts lead slightly at the start of the stream (the first op is
+    always an insert when ``insert_fraction > 0``) so delete-heavy mixes
+    still exercise matched pairs rather than a wall of ⊥.
+    """
+    rng = np.random.default_rng(derive_seed(spec.seed, "workload", spec.n_ops))
+    if spec.n_ops == 0:
+        return
+    kinds = rng.random(spec.n_ops) < spec.insert_fraction
+    if spec.insert_fraction > 0:
+        kinds[0] = True
+    priorities = spec.priorities.sample(rng, spec.n_ops)
+    nodes = rng.integers(0, spec.n_nodes, size=spec.n_ops)
+    if spec.hot_node_fraction > 0:
+        hot = rng.random(spec.n_ops) < spec.hot_node_fraction
+        nodes[hot] = 0
+    for i in range(spec.n_ops):
+        if kinds[i]:
+            yield ("ins", int(priorities[i]), int(nodes[i]))
+        else:
+            yield ("del", None, int(nodes[i]))

@@ -1,0 +1,68 @@
+"""Application scenarios from the paper's motivation (Section 1).
+
+The introduction motivates a distributed heap with (a) priority-based job
+scheduling — workers pull the most urgent job — and (b) distributed
+sorting.  These builders produce concrete workloads for both, used by the
+examples and the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..sim.rng import derive_seed
+
+__all__ = ["Job", "scheduling_trace", "sorting_batch"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A schedulable unit: an urgency class and an arbitrary payload."""
+
+    job_id: int
+    urgency: int
+    submitted_by: int
+    payload: str
+
+
+def scheduling_trace(
+    n_jobs: int,
+    n_nodes: int,
+    n_urgency_classes: int = 3,
+    seed: int = 0,
+) -> list[Job]:
+    """Jobs submitted by random nodes with skewed urgency classes.
+
+    Urgency 1 (most urgent) is rare, matching real schedulers where most
+    work is background; the heap must still serve it first.
+    """
+    if n_jobs < 0 or n_nodes < 1 or n_urgency_classes < 1:
+        raise WorkloadError("invalid scheduling trace parameters")
+    rng = np.random.default_rng(derive_seed(seed, "scheduling", n_jobs))
+    weights = np.array([2.0**c for c in range(n_urgency_classes)])
+    weights /= weights.sum()
+    urgencies = rng.choice(
+        np.arange(1, n_urgency_classes + 1), size=n_jobs, p=weights
+    )
+    submitters = rng.integers(0, n_nodes, size=n_jobs)
+    return [
+        Job(
+            job_id=i,
+            urgency=int(urgencies[i]),
+            submitted_by=int(submitters[i]),
+            payload=f"job-{i}",
+        )
+        for i in range(n_jobs)
+    ]
+
+
+def sorting_batch(n_values: int, value_range: int = 1 << 30, seed: int = 0) -> list[int]:
+    """Distinct values to sort via insert-all / delete-all (heap sort)."""
+    if n_values < 0:
+        raise WorkloadError("invalid sorting batch size")
+    rng = np.random.default_rng(derive_seed(seed, "sorting", n_values))
+    values = rng.choice(value_range, size=n_values, replace=False)
+    return [int(v) for v in values]

@@ -1,0 +1,35 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Simulation-backed property tests are slow per example; keep example
+# counts modest and disable deadlines globally.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def seed() -> int:
+    return 12345
+
+
+@pytest.fixture
+def small_skeap():
+    from repro import SkeapHeap
+
+    return SkeapHeap(n_nodes=6, n_priorities=3, seed=101)
+
+
+@pytest.fixture
+def small_seap():
+    from repro import SeapHeap
+
+    return SeapHeap(n_nodes=6, seed=202)

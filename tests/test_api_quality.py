@@ -1,0 +1,84 @@
+"""API-quality gates: documented, importable, coherent public surface."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.overlay",
+    "repro.dht",
+    "repro.skeap",
+    "repro.kselect",
+    "repro.seap",
+    "repro.semantics",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.harness",
+]
+
+
+def _public_members(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        yield name, getattr(module, name)
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_every_module_has_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip(), package
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__):
+                sub = importlib.import_module(f"{package}.{info.name}")
+                assert sub.__doc__ and sub.__doc__.strip(), sub.__name__
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_every_public_item_has_docstring(self, package):
+        module = importlib.import_module(package)
+        missing = []
+        for name, obj in _public_members(module):
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    missing.append(name)
+        assert not missing, f"{package}: undocumented public items {missing}"
+
+    def test_public_classes_have_documented_public_methods(self):
+        from repro import KSelectCluster, SeapHeap, SkeapHeap
+
+        for cls in (SkeapHeap, SeapHeap, KSelectCluster):
+            for name, member in vars(cls).items():
+                if name.startswith("_") or not inspect.isfunction(member):
+                    continue
+                assert member.__doc__ and member.__doc__.strip(), (
+                    f"{cls.__name__}.{name} lacks a docstring"
+                )
+
+
+class TestExports:
+    def test_all_entries_resolve(self):
+        for package in PACKAGES:
+            module = importlib.import_module(package)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+    def test_all_sorted_at_top_level(self):
+        assert repro.__all__ == sorted(repro.__all__)
+
+    def test_version_is_string(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_star_import_is_clean(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)  # noqa: S102 - deliberate
+        assert "SkeapHeap" in namespace and "SeapHeap" in namespace

@@ -1,0 +1,166 @@
+"""Tests for the baseline implementations and ablations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import BOTTOM
+from repro.baselines import (
+    BinaryHeap,
+    CentralHeapCluster,
+    GatherSelectCluster,
+    UnbatchedHeapCluster,
+)
+from repro.errors import ProtocolError
+
+
+class TestBinaryHeap:
+    def test_basic_order(self):
+        heap = BinaryHeap()
+        for key in [(5, 0), (1, 1), (3, 2)]:
+            heap.insert(key)
+        assert heap.delete_min() == (1, 1)
+        assert heap.peek() == (3, 2)
+        assert len(heap) == 2
+
+    def test_empty_errors(self):
+        heap = BinaryHeap()
+        with pytest.raises(ProtocolError):
+            heap.peek()
+        with pytest.raises(ProtocolError):
+            heap.delete_min()
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 10**6)), max_size=120))
+    def test_heapsort_property(self, keys):
+        heap = BinaryHeap()
+        for key in keys:
+            heap.insert(key)
+            heap.check_invariant()
+        drained = [heap.delete_min() for _ in range(len(keys))]
+        assert drained == sorted(keys)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=100))
+    def test_interleaved_matches_sorted_model(self, script):
+        import heapq
+
+        heap = BinaryHeap()
+        model: list = []
+        uid = 0
+        for is_insert, p in script:
+            if is_insert or not model:
+                uid += 1
+                heap.insert((p, uid))
+                heapq.heappush(model, (p, uid))
+                heap.check_invariant()
+            else:
+                assert heap.delete_min() == heapq.heappop(model)
+
+
+class TestCentralBaseline:
+    def test_serves_minimum(self):
+        c = CentralHeapCluster(4, seed=0)
+        c.insert(priority=9, at=0)
+        c.insert(priority=2, at=1)
+        c.settle()
+        d = c.delete_min(at=2)
+        c.settle()
+        assert d.result.priority == 2
+
+    def test_bottom_on_empty(self):
+        c = CentralHeapCluster(4, seed=0)
+        d = c.delete_min(at=0)
+        c.settle()
+        assert d.result is BOTTOM
+
+    def test_coordinator_congestion_scales_with_clients(self):
+        def congestion_for(n):
+            c = CentralHeapCluster(n, seed=1)
+            for node in range(n):
+                c.insert(priority=1, at=node)
+            c.runner.step()
+            c.settle()
+            return c.metrics.congestion
+
+        assert congestion_for(32) >= 3 * congestion_for(4)
+
+    def test_invalid_size(self):
+        with pytest.raises(ProtocolError):
+            CentralHeapCluster(0)
+
+
+class TestGatherBaseline:
+    def test_selects_correctly(self):
+        rng = random.Random(2)
+        keys = [(rng.randint(1, 10**5), uid) for uid in range(150)]
+        g = GatherSelectCluster(8, seed=2)
+        g.scatter(keys)
+        for k in (1, 75, 150):
+            assert g.select(k) == sorted(keys)[k - 1]
+
+    def test_message_bits_scale_with_m(self):
+        def bits_for(m):
+            g = GatherSelectCluster(8, seed=3)
+            g.scatter([(i, i) for i in range(m)])
+            g.select(m // 2)
+            return g.metrics.max_message_bits
+
+        assert bits_for(400) > 2 * bits_for(50)
+
+    def test_invalid_k(self):
+        g = GatherSelectCluster(4, seed=4)
+        g.scatter([(1, 1)])
+        with pytest.raises(ProtocolError):
+            g.select(5)
+
+
+class TestUnbatchedAblation:
+    def test_basic_heap_behaviour(self):
+        u = UnbatchedHeapCluster(6, n_priorities=3, seed=5)
+        u.insert(priority=3, at=0)
+        u.insert(priority=1, at=1)
+        u.settle()
+        d = u.delete_min(at=2)
+        u.settle()
+        assert d.result.priority == 1
+
+    def test_bottom_on_empty(self):
+        u = UnbatchedHeapCluster(4, n_priorities=2, seed=6)
+        d = u.delete_min(at=0)
+        u.settle()
+        assert d.result is BOTTOM
+
+    def test_all_elements_retrievable(self):
+        u = UnbatchedHeapCluster(5, n_priorities=2, seed=7)
+        for i in range(10):
+            u.insert(priority=1 + i % 2, at=i % 5)
+        u.settle()
+        dels = [u.delete_min(at=i % 5) for i in range(10)]
+        u.settle()
+        assert all(d.result is not BOTTOM for d in dels)
+
+    def test_anchor_coordination_load_exceeds_batched(self):
+        """Per-op forwarding concentrates Θ(ops) coordination messages at
+        the anchor; batching concentrates O(1) per iteration."""
+        from repro import SkeapHeap
+        from repro.overlay.ldb import owner_of
+
+        n, ops = 12, 120
+        u = UnbatchedHeapCluster(n, n_priorities=2, seed=8)
+        for i in range(ops):
+            u.insert(priority=1, at=i % n)
+        u.settle()
+        u_load = u.metrics.owner_action_total(
+            owner_of(u.topology.anchor), ["ub_fwd", "ub_insert", "ub_delete"]
+        )
+
+        s = SkeapHeap(n, n_priorities=2, seed=8, record_history=False)
+        for i in range(ops):
+            s.insert(priority=1, at=i % n)
+        s.settle()
+        s_load = s.metrics.owner_action_total(owner_of(s.topology.anchor), ["agg_up"])
+        assert u_load >= ops  # at least one forwarded message per op
+        assert s_load < u_load / 4

@@ -1,0 +1,258 @@
+"""Tests for Skeap batches, anchor intervals and Phase-3 decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.skeap import (
+    AnchorState,
+    Batch,
+    BatchEntry,
+    decompose_block,
+    encode_ops,
+)
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("ins"), st.integers(1, 3)),
+        st.tuples(st.just("del"), st.none()),
+    ),
+    max_size=40,
+)
+
+
+class TestEncodeOps:
+    def test_paper_example(self):
+        """Section 3.2's example: Ins(1), Ins(1), Del, Ins(2), Del."""
+        ops = [("ins", 1), ("ins", 1), ("del", None), ("ins", 2), ("del", None)]
+        batch, entry_of = encode_ops(ops, 2)
+        assert batch.entries == [
+            BatchEntry((2, 0), 1),
+            BatchEntry((0, 1), 1),
+        ]
+        assert entry_of == [0, 0, 0, 1, 1]
+
+    def test_empty(self):
+        batch, entry_of = encode_ops([], 2)
+        assert batch.is_empty() and entry_of == []
+
+    def test_delete_only(self):
+        batch, _ = encode_ops([("del", None)] * 3, 2)
+        assert batch.entries == [BatchEntry((0, 0), 3)]
+
+    def test_invalid_priority(self):
+        with pytest.raises(ProtocolError):
+            encode_ops([("ins", 5)], 2)
+        with pytest.raises(ProtocolError):
+            encode_ops([("ins", 0)], 2)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ProtocolError):
+            encode_ops([("pop", None)], 2)
+
+    @given(ops_strategy)
+    def test_encoding_preserves_counts_and_order(self, ops):
+        batch, entry_of = encode_ops(ops, 3)
+        assert batch.total_inserts() == sum(1 for k, _ in ops if k == "ins")
+        assert batch.total_deletes() == sum(1 for k, _ in ops if k == "del")
+        assert len(entry_of) == len(ops)
+        # entry indices are non-decreasing (local order respected)
+        assert entry_of == sorted(entry_of)
+        # within one entry, inserts precede deletes
+        for j in range(len(batch.entries)):
+            kinds = [ops[i][0] for i in range(len(ops)) if entry_of[i] == j]
+            if "del" in kinds:
+                assert "ins" not in kinds[kinds.index("del"):]
+
+
+class TestCombine:
+    def test_entrywise_sum(self):
+        a = Batch(2, [BatchEntry((1, 0), 2)])
+        b = Batch(2, [BatchEntry((2, 1), 1)])
+        assert a.combine(b).entries == [BatchEntry((3, 1), 3)]
+
+    def test_padding(self):
+        a = Batch(2, [BatchEntry((1, 0), 0), BatchEntry((0, 1), 1)])
+        b = Batch(2, [BatchEntry((1, 1), 1)])
+        combined = a.combine(b)
+        assert len(combined) == 2
+        assert combined.entries[1] == BatchEntry((0, 1), 1)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            Batch(2).combine(Batch(3))
+
+    @given(ops_strategy, ops_strategy)
+    def test_combine_commutes_on_totals(self, ops_a, ops_b):
+        a, _ = encode_ops(ops_a, 3)
+        b, _ = encode_ops(ops_b, 3)
+        ab, ba = a.combine(b), b.combine(a)
+        assert ab.total_inserts() == ba.total_inserts()
+        assert ab.total_deletes() == ba.total_deletes()
+        assert len(ab) == len(ba)
+
+    @given(ops_strategy, ops_strategy, ops_strategy)
+    def test_combine_associative(self, xa, xb, xc):
+        a, _ = encode_ops(xa, 3)
+        b, _ = encode_ops(xb, 3)
+        c, _ = encode_ops(xc, 3)
+        assert (a.combine(b)).combine(c) == a.combine(b.combine(c))
+
+    def test_size_bits_grows_with_counts(self):
+        small = Batch(2, [BatchEntry((1, 1), 1)])
+        big = Batch(2, [BatchEntry((1000, 1000), 1000)])
+        assert big.size_bits() > small.size_bits()
+
+
+class TestAnchorState:
+    def test_figure1_assignment(self):
+        """The combined batch of Figure 1: ((4,1),3)."""
+        anchor = AnchorState(2)
+        block = anchor.assign(Batch(2, [BatchEntry((4, 1), 3)]))
+        entry = block.entries[0]
+        assert entry.ins == ((1, 4), (1, 1))
+        assert [(p.priority, p.start, p.count) for p in entry.del_pieces] == [(1, 1, 3)]
+        assert entry.bots == 0
+        assert anchor.first == [4, 1] and anchor.last == [4, 1]
+
+    def test_deletes_drain_priorities_in_order(self):
+        anchor = AnchorState(3)
+        anchor.assign(Batch(3, [BatchEntry((2, 2, 2), 0)]))
+        block = anchor.assign(Batch(3, [BatchEntry((0, 0, 0), 5)]))
+        pieces = block.entries[0].del_pieces
+        assert [(p.priority, p.count) for p in pieces] == [(1, 2), (2, 2), (3, 1)]
+
+    def test_bots_when_heap_empty(self):
+        anchor = AnchorState(2)
+        block = anchor.assign(Batch(2, [BatchEntry((0, 0), 4)]))
+        assert block.entries[0].bots == 4
+
+    def test_partial_bots(self):
+        anchor = AnchorState(2)
+        block = anchor.assign(Batch(2, [BatchEntry((1, 0), 3)]))
+        entry = block.entries[0]
+        assert sum(p.count for p in entry.del_pieces) == 1
+        assert entry.bots == 2
+
+    def test_inserts_before_deletes_within_entry(self):
+        anchor = AnchorState(1)
+        block = anchor.assign(Batch(1, [BatchEntry((2,), 2)]))
+        entry = block.entries[0]
+        assert entry.ins == ((1, 2),)
+        assert entry.del_pieces[0].start == 1 and entry.del_pieces[0].count == 2
+        assert entry.bots == 0
+
+    def test_occupancy_tracking(self):
+        anchor = AnchorState(2)
+        anchor.assign(Batch(2, [BatchEntry((3, 2), 1)]))
+        assert anchor.total_occupancy() == 4
+        assert anchor.occupancy(1) == 2 and anchor.occupancy(2) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                st.integers(0, 8),
+            ),
+            max_size=12,
+        )
+    )
+    def test_invariant_and_conservation(self, entries):
+        anchor = AnchorState(2)
+        batch = Batch(2, [BatchEntry(ins, d) for ins, d in entries])
+        block = anchor.assign(batch)
+        size = 0
+        for (ins, d), assignment in zip(entries, block.entries):
+            size += sum(ins)
+            served = sum(p.count for p in assignment.del_pieces)
+            assert served + assignment.bots == d
+            assert served <= size
+            size -= served
+        assert anchor.total_occupancy() == size
+        for p in range(1, 3):
+            assert anchor.first[p - 1] <= anchor.last[p - 1] + 1
+
+
+class TestDecompose:
+    def _simple(self, own_ops, child_ops_list):
+        own, _ = encode_ops(own_ops, 2)
+        children = [
+            (i + 1, encode_ops(ops, 2)[0]) for i, ops in enumerate(child_ops_list)
+        ]
+        combined = own
+        for _, b in children:
+            combined = combined.combine(b)
+        anchor = AnchorState(2)
+        block = anchor.assign(combined)
+        return decompose_block(block, own, children), block
+
+    def test_figure1_decomposition(self):
+        (own_block, child_blocks), _ = self._simple(
+            [("ins", 1)],
+            [
+                [("ins", 1), ("ins", 1)][:1] + [("del", None), ("del", None)],
+                [("ins", 1), ("ins", 1), ("ins", 2), ("del", None)],
+            ],
+        )
+        assert own_block.entries[0].ins[0] == (1, 1)
+        c1 = child_blocks[1].entries[0]
+        assert c1.ins[0] == (2, 1)
+        assert [(p.start, p.count) for p in c1.del_pieces] == [(1, 2)]
+        c2 = child_blocks[2].entries[0]
+        assert c2.ins[0] == (3, 2) and c2.ins[1] == (1, 1)
+        assert [(p.start, p.count) for p in c2.del_pieces] == [(3, 1)]
+
+    def test_bots_assigned_to_trailing_consumers(self):
+        (own_block, child_blocks), _ = self._simple(
+            [("ins", 1), ("del", None)],
+            [[("del", None)], [("del", None)]],
+        )
+        # one element, three deletes in entry order own->c1->c2
+        assert own_block.entries[0].bots == 0
+        assert child_blocks[1].entries[0].bots == 1
+        assert child_blocks[2].entries[0].bots == 1
+
+    @given(
+        st.lists(ops_strategy, min_size=1, max_size=4),
+    )
+    def test_decomposition_partitions_positions(self, all_ops):
+        """Own + children shares partition every interval exactly."""
+        own, _ = encode_ops(all_ops[0], 3)
+        children = [(i, encode_ops(ops, 3)[0]) for i, ops in enumerate(all_ops[1:])]
+        combined = own
+        for _, b in children:
+            combined = combined.combine(b)
+        anchor = AnchorState(3)
+        # preload some elements so deletes have targets
+        anchor.assign(Batch(3, [BatchEntry((4, 4, 4), 0)]))
+        block = anchor.assign(combined)
+        own_block, child_blocks = decompose_block(block, own, children)
+        blocks = [own_block] + [child_blocks[c] for c, _ in children]
+        for j, assignment in enumerate(block.entries):
+            for p_idx in range(3):
+                start, count = assignment.ins[p_idx]
+                got = []
+                for blk in blocks:
+                    s, c = blk.entries[j].ins[p_idx]
+                    got.extend(range(s, s + c))
+                assert got == list(range(start, start + count))
+            want_dels = [
+                (p.priority, pos)
+                for p in assignment.del_pieces
+                for pos in range(p.start, p.start + p.count)
+            ]
+            got_dels = []
+            bots = 0
+            for blk in blocks:
+                e = blk.entries[j]
+                got_dels.extend(
+                    (p.priority, pos)
+                    for p in e.del_pieces
+                    for pos in range(p.start, p.start + p.count)
+                )
+                bots += e.bots
+            assert got_dels == want_dels
+            assert bots == assignment.bots

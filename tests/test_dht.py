@@ -1,0 +1,205 @@
+"""Tests for the DHT: key derivation, the store, and the Put/Get protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import OverlayCluster
+from repro.dht import KeySpace, KeyValueStore
+from repro.element import Element
+
+
+class TestKeySpace:
+    def test_deterministic(self):
+        a, b = KeySpace(3), KeySpace(3)
+        assert a.skeap_key(1, 5) == b.skeap_key(1, 5)
+        assert a.seap_position_key(2, 9) == b.seap_position_key(2, 9)
+
+    def test_distinct_inputs_distinct_keys(self):
+        ks = KeySpace(3)
+        keys = {ks.skeap_key(p, pos) for p in range(1, 4) for pos in range(1, 50)}
+        assert len(keys) == 3 * 49
+
+    def test_pair_key_symmetric(self):
+        ks = KeySpace(1)
+        assert ks.pair_key(7, 3, 9) == ks.pair_key(7, 9, 3)
+
+    def test_namespaces_do_not_collide(self):
+        ks = KeySpace(1)
+        assert ks.skeap_key(1, 1) != ks.seap_position_key(1, 1)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_keys_in_unit_interval(self, a, b):
+        ks = KeySpace(0)
+        assert 0.0 <= ks.skeap_key(a, b) < 1.0
+        assert 0.0 <= ks.uniform_key(a, b) < 1.0
+
+    def test_keys_roughly_uniform(self):
+        ks = KeySpace(9)
+        keys = [ks.uniform_key(i) for i in range(3000)]
+        mean = sum(keys) / len(keys)
+        assert 0.45 < mean < 0.55
+
+
+class TestKeyValueStore:
+    def test_put_then_get(self):
+        store = KeyValueStore()
+        e = Element(1, 1)
+        assert store.put(0.5, e) is None
+        assert store.get(0.5, requester=9, request_id=1) is e
+        assert len(store) == 0
+
+    def test_get_before_put_parks(self):
+        """The paper's 'Get waits for Put' rule."""
+        store = KeyValueStore()
+        assert store.get(0.5, requester=9, request_id=1) is None
+        assert store.parked_count == 1
+        e = Element(1, 1)
+        claim = store.put(0.5, e)
+        assert claim == (9, 1)
+        assert len(store) == 0 and store.parked_count == 0
+
+    def test_parked_gets_fifo(self):
+        store = KeyValueStore()
+        store.get(0.5, 1, 11)
+        store.get(0.5, 2, 22)
+        assert store.put(0.5, Element(1, 1)) == (1, 11)
+        assert store.put(0.5, Element(1, 2)) == (2, 22)
+
+    def test_same_key_multiple_elements_fifo(self):
+        store = KeyValueStore()
+        store.put(0.3, Element(1, 1))
+        store.put(0.3, Element(1, 2))
+        assert store.get(0.3, 0, 0).uid == 1
+        assert store.get(0.3, 0, 1).uid == 2
+
+    def test_extract_leq(self):
+        store = KeyValueStore()
+        for uid, p in enumerate((5, 1, 9, 3)):
+            store.put(0.1 * (uid + 1), Element(p, uid))
+        removed = store.extract_leq((3, 1 << 62))
+        assert sorted(e.priority for _, e in removed) == [1, 3]
+        assert sorted(e.priority for e in store.elements()) == [5, 9]
+
+    def test_count_leq(self):
+        store = KeyValueStore()
+        for uid, p in enumerate((5, 1, 9)):
+            store.put(0.2 * (uid + 1), Element(p, uid))
+        assert store.count_leq((5, 1 << 62)) == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 3)), max_size=60))
+    def test_put_get_conservation(self, ops):
+        """Every put is eventually matched by exactly one get."""
+        store = KeyValueStore()
+        puts, gets = 0, 0
+        claims = 0
+        uid = 0
+        for key_i, kind in ops:
+            key = key_i / 100.0
+            if kind == 0:
+                uid += 1
+                if store.put(key, Element(1, uid)) is not None:
+                    claims += 1
+                puts += 1
+            else:
+                if store.get(key, 0, uid) is not None:
+                    claims += 1
+                gets += 1
+        assert len(store) + store.parked_count + 2 * claims == puts + gets
+
+
+class TestDHTProtocol:
+    def _cluster(self, n=12, seed=3):
+        return OverlayCluster(n, seed=seed)
+
+    def test_put_get_roundtrip(self):
+        cluster = self._cluster()
+        src, dst = cluster.middle_node(1), cluster.middle_node(7)
+        key = cluster.keyspace.skeap_key(1, 1)
+        acks, gots = [], []
+        src.dht_put_confirmed = lambda r: acks.append(r)
+        dst.dht_get_returned = lambda r, k, e: gots.append(e)
+        src.dht_put(key, Element(4, 44, "v"))
+        cluster.runner.run_until(lambda: acks, max_rounds=2000)
+        dst.dht_get(key)
+        cluster.runner.run_until(lambda: gots, max_rounds=2000)
+        assert gots[0].uid == 44 and gots[0].value == "v"
+
+    def test_get_issued_before_put_still_returns(self):
+        cluster = self._cluster()
+        src, dst = cluster.middle_node(0), cluster.middle_node(5)
+        key = cluster.keyspace.skeap_key(2, 2)
+        gots = []
+        dst.dht_get_returned = lambda r, k, e: gots.append(e)
+        dst.dht_get(key)
+        for _ in range(30):
+            cluster.runner.step()
+        assert not gots  # parked at the rendezvous
+        src.dht_put(key, Element(9, 99))
+        cluster.runner.run_until(lambda: gots, max_rounds=2000)
+        assert gots[0].uid == 99
+
+    def test_many_elements_land_on_responsible_nodes(self):
+        cluster = self._cluster(n=10)
+        src = cluster.middle_node(0)
+        rng = cluster.runner.rng.stream("keys")
+        keys = [float(rng.random()) for _ in range(40)]
+        acks = []
+        src.dht_put_confirmed = lambda r: acks.append(r)
+        for i, key in enumerate(keys):
+            src.dht_put(key, Element(i, i))
+        cluster.runner.run_until(lambda: len(acks) == 40, max_rounds=10_000)
+        for key in keys:
+            holder = cluster.topology.responsible_for(key)
+            assert any(k == key for k, _ in cluster.nodes[holder].store.items())
+
+    def test_fairness_of_uniform_keys(self):
+        """Lemma 2.2(iv): ~m/n elements per real node for random keys."""
+        n, m = 16, 800
+        cluster = self._cluster(n=n, seed=8)
+        src = cluster.middle_node(0)
+        acks = []
+        src.dht_put_confirmed = lambda r: acks.append(r)
+        for i in range(m):
+            src.dht_put(cluster.keyspace.uniform_key("fair", i), Element(i, i))
+        cluster.runner.run_until(lambda: len(acks) == m, max_rounds=50_000)
+        loads = cluster.owner_store_sizes()
+        assert sum(loads.values()) == m
+        assert max(loads.values()) <= 6 * (m / n)
+
+    def test_distinct_request_ids(self):
+        cluster = self._cluster(n=4)
+        node = cluster.middle_node(0)
+        ids = {node.dht_put(cluster.keyspace.uniform_key(i), Element(i, i)) for i in range(20)}
+        assert len(ids) == 20
+
+
+class TestDHTAsync:
+    def test_parked_get_resolves_under_async(self):
+        from repro.sim.async_runner import adversarial_delay
+
+        cluster = OverlayCluster(6, seed=21, runner="async",
+                                 delay_fn=adversarial_delay())
+        src, dst = cluster.middle_node(0), cluster.middle_node(4)
+        key = cluster.keyspace.skeap_key(1, 9)
+        gots, acks = [], []
+        dst.dht_get_returned = lambda r, k, e: gots.append(e)
+        src.dht_put_confirmed = lambda r: acks.append(r)
+        dst.dht_get(key)          # likely arrives long before the put
+        src.dht_put(key, Element(2, 22, "payload"))
+        cluster.runner.run_until(lambda: gots and acks, max_time=50_000)
+        assert gots[0].value == "payload"
+
+    def test_value_roundtrip_preserves_payload(self):
+        cluster = OverlayCluster(5, seed=22)
+        src = cluster.middle_node(1)
+        key = cluster.keyspace.uniform_key("rt")
+        payload = {"nested": [1, 2, "three"]}
+        gots = []
+        src.dht_get_returned = lambda r, k, e: gots.append(e)
+        src.dht_put(key, Element(1, 1, payload))
+        src.dht_get(key)
+        cluster.runner.run_until(lambda: gots, max_rounds=5000)
+        assert gots[0].value == payload

@@ -1,0 +1,183 @@
+"""Edge and failure paths not covered by the mainline tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import KSelectCluster, OverlayCluster, SeapHeap, SkeapHeap
+from repro.errors import (
+    ConsistencyError,
+    MembershipError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.skeap import AnchorState, Batch, BatchEntry, decompose_block, encode_ops
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            ConsistencyError,
+            MembershipError,
+            ProtocolError,
+            RoutingError,
+            SimulationError,
+            TopologyError,
+            WorkloadError,
+        ):
+            assert issubclass(exc, ReproError)
+            with pytest.raises(ReproError):
+                raise exc("x")
+
+
+class TestClusterConstruction:
+    def test_invalid_runner_kind(self):
+        with pytest.raises(SimulationError):
+            OverlayCluster(4, runner="quantum")
+
+    def test_zero_nodes(self):
+        with pytest.raises(SimulationError):
+            OverlayCluster(0)
+
+    def test_async_cluster_builds(self):
+        cluster = OverlayCluster(4, runner="async")
+        assert len(cluster.nodes) == 12
+
+    def test_owner_store_sizes_empty(self):
+        cluster = OverlayCluster(5)
+        sizes = cluster.owner_store_sizes()
+        assert sizes == {r: 0 for r in range(5)}
+
+    def test_middles_are_client_faces(self):
+        cluster = OverlayCluster(4)
+        assert len(cluster.middles()) == 4
+        assert all(n.is_middle for n in cluster.middles())
+
+    def test_anchor_accessor(self):
+        cluster = OverlayCluster(7)
+        assert cluster.anchor.is_anchor
+
+
+class TestAnchorStateCorruption:
+    def test_invariant_detects_corruption(self):
+        anchor = AnchorState(2)
+        anchor.first[0] = 10  # corrupt: first > last + 1
+        with pytest.raises(ProtocolError):
+            anchor.assign(Batch(2, [BatchEntry((0, 0), 1)]))
+
+    def test_width_mismatch(self):
+        anchor = AnchorState(2)
+        with pytest.raises(ProtocolError):
+            anchor.assign(Batch(3, [BatchEntry((0, 0, 0), 0)]))
+
+
+class TestDecomposeMisuse:
+    def test_block_smaller_than_batches_fails(self):
+        """A block that doesn't cover the claimed sub-batches must fail."""
+        own, _ = encode_ops([("ins", 1), ("ins", 1)], 2)
+        anchor = AnchorState(2)
+        # Assign for HALF the ops only: decomposition over-consumes.
+        small_block = anchor.assign(Batch(2, [BatchEntry((1, 0), 0)]))
+        with pytest.raises(ProtocolError):
+            decompose_block(small_block, own, [])
+
+
+class TestKSelectGatherFallback:
+    def test_fallback_still_exact(self):
+        rng = random.Random(3)
+        keys = [(rng.randint(1, 1 << 24), uid) for uid in range(16 * 128)]
+        cluster = KSelectCluster(16, seed=3)
+        for node in cluster.nodes.values():
+            node.P2_MAX_ITERS = 0  # force the gather fallback after phase 1
+        k = len(keys) // 2
+        cluster.scatter(keys)
+        assert cluster.select(k) == sorted(keys)[k - 1]
+        assert cluster.last_run_stats().get("gather_fallback") is True
+
+
+class TestPauseResume:
+    def test_skeap_pause_reaches_boundary(self):
+        heap = SkeapHeap(n_nodes=5, n_priorities=2, seed=1)
+        heap.insert(priority=1, at=0)
+        heap.settle()
+        boundary = heap.pause()
+        assert heap.runner.pending_messages() == 0
+        assert all(n.iteration == boundary + 1 for n in heap.nodes.values())
+        heap.resume()
+        h = heap.insert(priority=2, at=1)
+        heap.settle()
+        assert h.done
+
+    def test_seap_pause_holds_epoch(self):
+        heap = SeapHeap(n_nodes=4, seed=2)
+        heap.insert(priority=3, at=0)
+        heap.settle()
+        heap.pause()
+        held = heap.anchor_node._held_epoch
+        assert held is not None
+        epoch_at_pause = heap.anchor_node.epoch
+        for _ in range(30):
+            heap.runner.step()
+        assert heap.anchor_node.epoch == epoch_at_pause  # frozen
+        heap.resume()
+        d = heap.delete_min(at=1)
+        heap.settle()
+        assert d.result.priority == 3
+
+    def test_pause_before_any_traffic(self):
+        heap = SeapHeap(n_nodes=3, seed=3)
+        heap.pause()
+        heap.resume()
+        heap.insert(priority=1, at=0)
+        heap.settle()
+        assert heap.heap_size() == 1
+
+
+class TestMetricsHelpers:
+    def test_owner_rate_and_action_totals(self):
+        heap = SkeapHeap(n_nodes=4, n_priorities=2, seed=4, record_history=False)
+        heap.insert(priority=1, at=0)
+        heap.settle()
+        from repro.overlay.ldb import owner_of
+
+        anchor_owner = owner_of(heap.topology.anchor)
+        assert heap.metrics.owner_rate(anchor_owner) > 0
+        assert heap.metrics.owner_action_total(anchor_owner, ["agg_up"]) >= 1
+        assert heap.metrics.owner_action_total(anchor_owner, ["no_such"]) == 0
+
+    def test_owner_rate_unknown_owner(self):
+        heap = SkeapHeap(n_nodes=3, n_priorities=2, seed=5, record_history=False)
+        heap.settle()
+        assert heap.metrics.owner_rate(999) == 0.0
+
+
+class TestMembershipAsyncGuard:
+    def test_membership_rejected_under_async(self):
+        from repro.overlay.membership import join_node
+
+        heap = SkeapHeap(n_nodes=4, n_priorities=2, seed=6, runner="async")
+        with pytest.raises(MembershipError):
+            join_node(heap, 4)
+
+
+class TestHandleApi:
+    def test_insert_handle_fields(self):
+        heap = SkeapHeap(n_nodes=3, n_priorities=2, seed=7)
+        h = heap.insert(priority=2, value="v", at=1)
+        assert h.kind == "ins" and h.priority == 2 and h.value == "v"
+        assert h.op_id[0] == 1
+        assert not h.is_bottom
+        heap.settle()
+        assert h.result is True
+
+    def test_delete_handle_fields(self):
+        heap = SkeapHeap(n_nodes=3, n_priorities=2, seed=8)
+        d = heap.delete_min(at=2)
+        heap.settle()
+        assert d.kind == "del" and d.is_bottom

@@ -1,0 +1,71 @@
+"""Unit and property tests for heap elements and the ⊥ sentinel."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.element import BOTTOM, Element
+
+
+class TestElementOrdering:
+    def test_orders_by_priority_first(self):
+        assert Element(1, 100) < Element(2, 1)
+
+    def test_ties_broken_by_uid(self):
+        assert Element(5, 1) < Element(5, 2)
+
+    def test_distinct_elements_never_equal_in_order(self):
+        a, b = Element(3, 1), Element(3, 2)
+        assert a < b or b < a
+
+    def test_key_is_priority_uid_pair(self):
+        assert Element(7, 42).key == (7, 42)
+
+    def test_value_does_not_affect_comparison(self):
+        assert not Element(1, 1, "x") < Element(1, 1, "y")
+        assert Element(1, 1, "x") == Element(1, 1, "y")
+
+    @given(
+        st.tuples(st.integers(0, 1 << 30), st.integers(0, 1 << 30)),
+        st.tuples(st.integers(0, 1 << 30), st.integers(0, 1 << 30)),
+    )
+    def test_order_matches_key_order(self, ka, kb):
+        a = Element(ka[0], ka[1])
+        b = Element(kb[0], kb[1])
+        assert (a < b) == (ka < kb)
+        assert (a <= b) == (ka <= kb)
+        assert (a > b) == (ka > kb)
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 1000)), max_size=30))
+    def test_sorting_elements_matches_sorting_keys(self, keys):
+        elements = [Element(p, u) for p, u in keys]
+        assert [e.key for e in sorted(elements)] == sorted(keys)
+
+
+class TestSizeBits:
+    def test_small_element(self):
+        assert Element(1, 1).size_bits() == 2
+
+    def test_grows_with_priority_width(self):
+        assert Element(1 << 20, 1).size_bits() > Element(1, 1).size_bits()
+
+    @given(st.integers(1, 1 << 40), st.integers(1, 1 << 40))
+    def test_size_is_bit_lengths(self, p, u):
+        assert Element(p, u).size_bits() == p.bit_length() + u.bit_length()
+
+
+class TestBottom:
+    def test_singleton(self):
+        from repro.element import _Bottom
+
+        assert _Bottom() is BOTTOM
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+
+    def test_is_not_none(self):
+        assert BOTTOM is not None

@@ -1,0 +1,398 @@
+"""Tests for the paper's extensions: MaxHeap order (Def. 1.2 remark),
+Skueue (the FSS18a queue Skeap generalizes), and Seap-SC (the Section-6
+sequentially consistent Seap sketch).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BOTTOM,
+    SeapSCHeap,
+    SkeapHeap,
+    SkueueQueue,
+    check_seap_sc_history,
+    check_skeap_history,
+)
+from repro.errors import ConsistencyError, ProtocolError
+from repro.semantics import FifoPriorityHeap
+from repro.skeap import AnchorState, Batch, BatchEntry
+
+
+class TestMaxOrderAnchor:
+    def test_deletes_drain_highest_first(self):
+        anchor = AnchorState(3, order="max")
+        anchor.assign(Batch(3, [BatchEntry((2, 2, 2), 0)]))
+        block = anchor.assign(Batch(3, [BatchEntry((0, 0, 0), 5)]))
+        pieces = block.entries[0].del_pieces
+        assert [(p.priority, p.count) for p in pieces] == [(3, 2), (2, 2), (1, 1)]
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ProtocolError):
+            AnchorState(2, order="sideways")
+        with pytest.raises(ConsistencyError):
+            FifoPriorityHeap(order="sideways")
+
+
+class TestMaxHeap:
+    def test_delete_returns_highest_priority(self):
+        heap = SkeapHeap(n_nodes=5, n_priorities=3, seed=2, order="max")
+        heap.insert(priority=1, at=0)
+        heap.insert(priority=3, at=1)
+        heap.insert(priority=2, at=2)
+        heap.settle()
+        d = heap.delete_min(at=3)
+        heap.settle()
+        assert d.result.priority == 3
+
+    def test_full_drain_descending(self):
+        heap = SkeapHeap(n_nodes=4, n_priorities=4, seed=3, order="max")
+        for p in (2, 4, 1, 3):
+            heap.insert(priority=p, at=0)
+            heap.settle()
+        got = []
+        for _ in range(4):
+            d = heap.delete_min(at=1)
+            heap.settle()
+            got.append(d.result.priority)
+        assert got == [4, 3, 2, 1]
+
+    def test_history_checks_with_max_order(self):
+        heap = SkeapHeap(n_nodes=6, n_priorities=3, seed=4, order="max")
+        rng = random.Random(4)
+        for _ in range(40):
+            if rng.random() < 0.6:
+                heap.insert(priority=rng.randint(1, 3), at=rng.randrange(6))
+            else:
+                heap.delete_min(at=rng.randrange(6))
+        heap.settle()
+        check_skeap_history(heap.history, order="max")
+
+    def test_min_history_fails_max_check(self):
+        heap = SkeapHeap(n_nodes=4, n_priorities=3, seed=5)  # min order
+        heap.insert(priority=1, at=0)
+        heap.insert(priority=3, at=1)
+        heap.settle()
+        heap.delete_min(at=2)
+        heap.settle()
+        with pytest.raises(ConsistencyError):
+            check_skeap_history(heap.history, order="max")
+
+    def test_fifo_reference_max_order(self):
+        heap = FifoPriorityHeap(order="max")
+        heap.insert(1, 10)
+        heap.insert(5, 11)
+        heap.insert(5, 12)
+        assert heap.delete_min() == (5, 11)
+        assert heap.delete_min() == (5, 12)
+        assert heap.delete_min() == (1, 10)
+
+
+class TestSkueue:
+    def test_fifo_order(self):
+        q = SkueueQueue(n_nodes=5, seed=1)
+        for v in "abc":
+            q.enqueue(v, at=0)
+            q.settle()
+        got = []
+        for _ in range(3):
+            d = q.dequeue(at=2)
+            q.settle()
+            got.append(d.result.value)
+        assert got == ["a", "b", "c"]
+
+    def test_bottom_on_empty(self):
+        q = SkueueQueue(n_nodes=3, seed=2)
+        d = q.dequeue(at=0)
+        q.settle()
+        assert d.result is BOTTOM
+
+    def test_queue_length(self):
+        q = SkueueQueue(n_nodes=4, seed=3)
+        for i in range(5):
+            q.enqueue(i, at=i % 4)
+        q.settle()
+        assert q.queue_length() == 5
+
+    def test_sequential_consistency_inherited(self):
+        q = SkueueQueue(n_nodes=6, seed=4)
+        rng = random.Random(4)
+        for i in range(50):
+            if rng.random() < 0.6:
+                q.enqueue(i, at=rng.randrange(6))
+            else:
+                q.dequeue(at=rng.randrange(6))
+        q.settle()
+        check_skeap_history(q.history)
+
+    def test_priority_argument_ignored(self):
+        q = SkueueQueue(n_nodes=2, seed=5, n_priorities=7)
+        assert q.n_priorities == 1
+
+
+class TestSeapSC:
+    def test_basic_roundtrip(self):
+        heap = SeapSCHeap(n_nodes=5, seed=1)
+        heap.insert(priority=7, value="x", at=0)
+        d = heap.delete_min(at=2)
+        heap.settle()
+        assert d.result.value == "x"
+
+    def test_local_order_never_overtaken(self):
+        """A node's delete issued before its insert must not return it."""
+        heap = SeapSCHeap(n_nodes=4, seed=2)
+        d = heap.delete_min(at=0)        # issued first at node 0
+        ins = heap.insert(priority=5, at=0)  # issued second at node 0
+        heap.settle()
+        assert d.result is BOTTOM  # the later insert may not serve it
+        assert ins.done
+        d2 = heap.delete_min(at=1)
+        heap.settle()
+        assert d2.result.priority == 5
+
+    def test_exact_rank_positions(self):
+        """Within one epoch, pull i returns the globally i-th smallest."""
+        heap = SeapSCHeap(n_nodes=6, seed=3)
+        prios = [40, 10, 60, 20, 50, 30]
+        for i, p in enumerate(prios):
+            heap.insert(priority=p, at=i)
+        heap.settle()
+        heap.pause()
+        dels = [heap.delete_min(at=i) for i in range(4)]
+        heap.resume()
+        heap.settle()
+        by_pos = sorted(d.result.priority for d in dels)
+        assert by_pos == [10, 20, 30, 40]
+        check_seap_sc_history(heap.history)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=6)
+    def test_random_histories_sequentially_consistent(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 6)
+        heap = SeapSCHeap(n_nodes=n, seed=seed)
+        for _ in range(rng.randint(5, 35)):
+            if rng.random() < 0.55:
+                heap.insert(priority=rng.randint(1, 1 << 16), at=rng.randrange(n))
+            else:
+                heap.delete_min(at=rng.randrange(n))
+        heap.settle(500_000)
+        check_seap_sc_history(heap.history)
+
+    def test_alternating_buffer_drains_slowly_but_fully(self):
+        """ins/del/ins/del at one node: one run per phase, all resolved."""
+        heap = SeapSCHeap(n_nodes=3, seed=5)
+        handles = []
+        for i in range(4):
+            handles.append(heap.insert(priority=i + 1, at=0))
+            handles.append(heap.delete_min(at=0))
+        heap.settle(500_000)
+        assert all(h.done for h in handles)
+        returned = [h.result.priority for h in handles if h.kind == "del" and h.result is not BOTTOM]
+        assert returned == [1, 2, 3, 4]  # strictly per local order
+
+    def test_plain_seap_violates_what_sc_guarantees(self):
+        """The contrast: plain Seap may serve a delete from a locally later
+        insert (serializable, not locally consistent); SC never does."""
+        from repro import SeapHeap
+        from repro.semantics import check_local_consistency
+
+        heap = SeapHeap(n_nodes=4, seed=2)
+        heap.delete_min(at=0)
+        heap.insert(priority=5, at=0)
+        heap.settle()
+        # plain Seap's epoch runs the insert phase first: the delete is
+        # matched by the later insert — a local-consistency violation.
+        with pytest.raises(ConsistencyError):
+            check_local_consistency(heap.history)
+
+
+class TestSkackStack:
+    def test_lifo_basic(self):
+        from repro import SkackStack
+
+        s = SkackStack(n_nodes=5, seed=1)
+        for v in "abc":
+            s.push(v, at=0)
+            s.settle()
+        got = []
+        for _ in range(3):
+            p = s.pop(at=2)
+            s.settle()
+            got.append(p.result.value)
+        assert got == ["c", "b", "a"]
+
+    def test_bottom_on_empty(self):
+        from repro import SkackStack
+
+        s = SkackStack(n_nodes=3, seed=2)
+        p = s.pop(at=0)
+        s.settle()
+        assert p.result is BOTTOM
+
+    def test_interleaved_push_pop(self):
+        from repro import SkackStack
+
+        s = SkackStack(n_nodes=4, seed=3)
+        s.push("a", at=0); s.settle()
+        s.push("b", at=1); s.settle()
+        p1 = s.pop(at=2); s.settle()
+        s.push("c", at=3); s.settle()
+        p2 = s.pop(at=0); s.settle()
+        p3 = s.pop(at=1); s.settle()
+        assert [p1.result.value, p2.result.value, p3.result.value] == ["b", "c", "a"]
+
+    def test_positions_never_reused(self):
+        """Interleaved batches must not collide DHT rendezvous keys."""
+        from repro import SkackStack, check_skack_history
+
+        s = SkackStack(n_nodes=6, seed=9)
+        rng = random.Random(9)
+        for i in range(70):
+            if rng.random() < 0.6:
+                s.push(i, at=rng.randrange(6))
+            else:
+                s.pop(at=rng.randrange(6))
+            if rng.random() < 0.25:
+                s.settle()
+        s.settle()
+        check_skack_history(s.history)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8)
+    def test_random_stack_histories(self, seed):
+        from repro import SkackStack, check_skack_history
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 6)
+        s = SkackStack(n_nodes=n, seed=seed)
+        for i in range(rng.randint(5, 50)):
+            if rng.random() < 0.6:
+                s.push(i, at=rng.randrange(n))
+            else:
+                s.pop(at=rng.randrange(n))
+            if rng.random() < 0.15:
+                s.settle()
+        s.settle()
+        check_skack_history(s.history)
+
+    def test_sequential_matches_list_model(self):
+        from repro import SkackStack
+
+        s = SkackStack(n_nodes=4, seed=5)
+        model: list[int] = []
+        rng = random.Random(5)
+        for i in range(40):
+            if rng.random() < 0.6:
+                h = s.push(i, at=rng.randrange(4))
+                s.settle()
+                model.append(h.uid)
+            else:
+                p = s.pop(at=rng.randrange(4))
+                s.settle()
+                if model:
+                    assert p.result.uid == model.pop()
+                else:
+                    assert p.result is BOTTOM
+
+    def test_stack_height(self):
+        from repro import SkackStack
+
+        s = SkackStack(n_nodes=3, seed=6)
+        for i in range(4):
+            s.push(i, at=i % 3)
+        s.settle()
+        assert s.stack_height() == 4
+        s.pop(at=0)
+        s.settle()
+        assert s.stack_height() == 3
+
+    def test_membership_preserves_stack(self):
+        from repro import SkackStack
+
+        s = SkackStack(n_nodes=4, seed=7)
+        for v in "wxyz":
+            s.push(v, at=0)
+            s.settle()
+        s.add_node(4)
+        s.remove_node(1)
+        got = []
+        for _ in range(4):
+            p = s.pop(at=s.topology.real_ids[0])
+            s.settle()
+            got.append(p.result.value)
+        assert got == ["z", "y", "x", "w"]
+
+
+class TestLifoHeap:
+    def test_lifo_within_priority(self):
+        """Priority heap with LIFO tie-breaking: youngest-of-most-urgent."""
+        heap = SkeapHeap(n_nodes=4, n_priorities=2, seed=8, discipline="lifo")
+        a = heap.insert(priority=1, value="old", at=0)
+        heap.settle()
+        b = heap.insert(priority=1, value="new", at=1)
+        heap.settle()
+        heap.insert(priority=2, value="low", at=2)
+        heap.settle()
+        d1 = heap.delete_min(at=3)
+        heap.settle()
+        d2 = heap.delete_min(at=3)
+        heap.settle()
+        assert d1.result.uid == b.uid  # youngest of priority 1
+        assert d2.result.uid == a.uid
+
+    def test_invalid_discipline(self):
+        from repro.skeap import AnchorState
+
+        with pytest.raises(ProtocolError):
+            AnchorState(2, discipline="random")
+
+
+class TestExtensionsUnderAsynchrony:
+    def test_seap_sc_async(self):
+        from repro.sim.async_runner import adversarial_delay
+
+        heap = SeapSCHeap(
+            n_nodes=4, seed=31, runner="async", delay_fn=adversarial_delay()
+        )
+        rng = random.Random(31)
+        for i in range(30):
+            if rng.random() < 0.55:
+                heap.insert(priority=rng.randint(1, 1000), at=rng.randrange(4))
+            else:
+                heap.delete_min(at=rng.randrange(4))
+        heap.settle(500_000)
+        check_seap_sc_history(heap.history)
+
+    def test_skack_async(self):
+        from repro import SkackStack, check_skack_history
+        from repro.sim.async_runner import adversarial_delay
+
+        s = SkackStack(n_nodes=4, seed=32, runner="async", delay_fn=adversarial_delay())
+        rng = random.Random(32)
+        for i in range(40):
+            if rng.random() < 0.6:
+                s.push(i, at=rng.randrange(4))
+            else:
+                s.pop(at=rng.randrange(4))
+        s.settle(500_000)
+        check_skack_history(s.history)
+
+    def test_skueue_async(self):
+        from repro import SkueueQueue
+        from repro.sim.async_runner import uniform_delay
+
+        q = SkueueQueue(n_nodes=5, seed=33, runner="async", delay_fn=uniform_delay())
+        rng = random.Random(33)
+        for i in range(40):
+            if rng.random() < 0.6:
+                q.enqueue(i, at=rng.randrange(5))
+            else:
+                q.dequeue(at=rng.randrange(5))
+        q.settle(500_000)
+        check_skeap_history(q.history)

@@ -1,0 +1,178 @@
+"""Tests for the experiment harness: fits, tables, runners, experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.harness import (
+    Table,
+    fit_linear,
+    fit_log2,
+    is_logarithmic,
+    is_sublinear,
+    run_injection,
+    run_workload,
+)
+from repro.harness.experiments import f1_figure1_trace, f2_figure2_ldb
+from repro.harness.runner import make_seap, make_skeap
+from repro.workloads import WorkloadSpec, fixed_priorities
+
+
+class TestFitting:
+    def test_perfect_log_fit(self):
+        xs = [8, 16, 32, 64, 128]
+        ys = [3 * np.log2(x) + 5 for x in xs]
+        fit = fit_log2(xs, ys)
+        assert abs(fit.a - 3) < 1e-9 and abs(fit.b - 5) < 1e-9
+        assert fit.r2 > 0.999
+
+    def test_perfect_linear_fit(self):
+        xs = [1, 2, 3, 4]
+        fit = fit_linear(xs, [2 * x + 1 for x in xs])
+        assert abs(fit.a - 2) < 1e-9
+
+    def test_predictors(self):
+        fit = fit_log2([2, 4, 8], [1, 2, 3])
+        assert abs(fit.predict_log2(16) - 4) < 1e-6
+
+    def test_log_series_is_logarithmic(self):
+        xs = [8, 16, 32, 64, 128, 256]
+        assert is_logarithmic(xs, [4 * np.log2(x) + 2 for x in xs])
+
+    def test_linear_series_is_not_logarithmic(self):
+        xs = [8, 16, 32, 64, 128, 256]
+        ys = [float(3 * x) for x in xs]
+        assert not is_logarithmic(xs, ys)
+
+    def test_constant_series_passes(self):
+        """Claims are upper bounds: constants are fine."""
+        xs = [8, 16, 32, 64]
+        assert is_logarithmic(xs, [7, 7, 7, 7])
+
+    def test_sublinear(self):
+        assert is_sublinear([10, 100], [5, 10])
+        assert not is_sublinear([10, 100], [5, 50])
+
+    def test_noisy_log_still_fits(self):
+        rng = np.random.default_rng(0)
+        xs = [8, 16, 32, 64, 128, 256, 512]
+        ys = [5 * np.log2(x) + rng.normal(0, 1.0) for x in xs]
+        assert is_logarithmic(xs, ys)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(WorkloadError):
+            fit_log2([4], [1])
+        with pytest.raises(WorkloadError):
+            fit_log2([0, 4], [1, 2])
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table("TX", "title", "claim", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_note("a note")
+        t.verdict = "SHAPE HOLDS"
+        text = t.render()
+        assert "TX" in text and "claim" in text and "a note" in text
+        assert "SHAPE HOLDS" in text and "2.50" in text
+
+    def test_row_width_enforced(self):
+        t = Table("TX", "t", "c", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_markdown(self):
+        t = Table("TX", "t", "c", ["a"])
+        t.add_row(3)
+        md = t.to_markdown()
+        assert "| a |" in md and "| 3 |" in md
+
+    def test_float_formatting(self):
+        t = Table("TX", "t", "c", ["a"])
+        t.add_row(1234567.0)
+        assert "1.23e+06" in t.render()
+
+
+class TestRunners:
+    def test_run_workload_counts(self):
+        heap = make_skeap(6, seed=0)
+        spec = WorkloadSpec(
+            n_ops=18, n_nodes=6, priorities=fixed_priorities(3), seed=0
+        )
+        result = run_workload(heap, spec)
+        assert result.completed_ops == 18
+        assert result.rounds > 0 and result.messages > 0
+        assert result.throughput > 0
+
+    def test_run_injection_measures_window(self):
+        heap = make_skeap(8, seed=1)
+        result = run_injection(heap, rate_per_node=1, n_rounds=10)
+        assert result.completed_ops == 80
+        assert result.congestion >= 1
+
+    def test_run_injection_needs_sync(self):
+        from repro.errors import SimulationError
+
+        heap = make_seap(4, seed=2)
+        heap.runner.step  # sanity: sync has step
+        from repro import SeapHeap
+
+        async_heap = SeapHeap(4, seed=2, runner="async", record_history=False)
+        with pytest.raises(SimulationError):
+            run_injection(async_heap, rate_per_node=1, n_rounds=2)
+
+
+class TestFigureExperiments:
+    def test_figure1_exact(self):
+        table = f1_figure1_trace()
+        assert table.verdict == "SHAPE HOLDS"
+        assert len(table.rows) >= 6
+
+    def test_figure2_exact(self):
+        table = f2_figure2_ldb()
+        assert table.verdict == "SHAPE HOLDS"
+        assert len(table.rows) == 6
+
+    def test_figure2_any_seed(self):
+        for seed in range(5):
+            assert f2_figure2_ldb(seed=seed).verdict == "SHAPE HOLDS"
+
+
+class TestMainEntry:
+    def test_unknown_experiment_id(self):
+        from repro.harness.__main__ import main
+
+        assert main(["ZZ"]) == 2
+
+    def test_named_experiment_runs(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["F2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        ids = set(ALL_EXPERIMENTS)
+        assert {"T1", "T4", "T7", "T8", "T11", "T14", "F1", "F2", "A1", "A2"} <= ids
+        assert len(ids) == 18
+
+    def test_every_experiment_has_bench_target(self):
+        """One pytest-benchmark file per experiment (deliverable d)."""
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        text = "\n".join(
+            p.read_text() for p in bench_dir.glob("test_bench_*.py")
+        )
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        for fn in ALL_EXPERIMENTS.values():
+            assert fn.__name__ in text, f"no benchmark invokes {fn.__name__}"

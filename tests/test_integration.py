@@ -1,0 +1,185 @@
+"""Cross-module integration tests: long mixed runs, application scenarios,
+and the runnable examples.
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    BOTTOM,
+    SeapHeap,
+    SkeapHeap,
+    check_seap_history,
+    check_skeap_history,
+)
+from repro.semantics import FifoPriorityHeap, OrderedHeap
+from repro.workloads import scheduling_trace, sorting_batch
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestLongMixedRuns:
+    def test_skeap_long_run_against_model(self):
+        """Iteration-aligned batches must equal the sequential FIFO heap.
+
+        ``pause()`` aligns each submission batch to one protocol iteration;
+        submitting a batch's inserts before its deletes keeps each node's
+        buffer a single batch entry, so the batch's deletes return exactly
+        the set of FIFO-minima the sequential model pops.
+        """
+        heap = SkeapHeap(n_nodes=9, n_priorities=4, seed=77)
+        model = FifoPriorityHeap()
+        rng = random.Random(77)
+        dfs_of = {r: heap.topology.dfs_rank[r * 3 + 1] for r in range(9)}
+        for _ in range(18):
+            heap.pause()
+            n_ins, n_del = rng.randint(0, 4), rng.randint(0, 3)
+            batch_dels = []
+            batch_ins = []
+            for _ in range(n_ins):
+                p = rng.randint(1, 4)
+                node = rng.randrange(9)
+                h = heap.insert(priority=p, at=node)
+                batch_ins.append((dfs_of[node], h.op_id[1], p, h.uid))
+            # Within one iteration, positions are assigned in the tree's
+            # DFS order — that is the FIFO order the serialization uses.
+            for _, _, p, uid in sorted(batch_ins):
+                model.insert(p, uid)
+            for _ in range(n_del):
+                batch_dels.append(heap.delete_min(at=rng.randrange(9)))
+            heap.resume()
+            heap.settle()
+            expected = set()
+            for _ in batch_dels:
+                popped = model.delete_min()
+                expected.add(popped[1] if popped else None)
+            got = {
+                d.result.uid if d.result is not BOTTOM else None for d in batch_dels
+            }
+            assert got == expected
+        check_skeap_history(heap.history)
+
+    def test_seap_long_run_against_model(self):
+        """Epoch-aligned batches equal the sequential ordered heap: a Seap
+        epoch inserts everything first, then serves the k smallest."""
+        heap = SeapHeap(n_nodes=7, seed=88)
+        model = OrderedHeap()
+        rng = random.Random(88)
+        for _ in range(12):
+            heap.pause()
+            batch_dels = []
+            for _ in range(rng.randint(1, 6)):
+                if rng.random() < 0.6:
+                    p = rng.randint(1, 10**9)
+                    h = heap.insert(priority=p, at=rng.randrange(7))
+                    model.insert(p, h.uid)
+                else:
+                    batch_dels.append(heap.delete_min(at=rng.randrange(7)))
+            heap.resume()
+            heap.settle()
+            expected = set()
+            for _ in batch_dels:
+                popped = model.delete_min()
+                expected.add(popped[1] if popped else None)
+            got = {
+                d.result.uid if d.result is not BOTTOM else None for d in batch_dels
+            }
+            assert got == expected
+        check_seap_history(heap.history)
+
+    def test_both_heaps_agree_on_priority_multisets(self):
+        """Same workload on Skeap and Seap: same multiset of served priorities."""
+        ops = []
+        rng = random.Random(5)
+        for i in range(60):
+            if rng.random() < 0.6:
+                ops.append(("ins", rng.randint(1, 3), rng.randrange(6)))
+            else:
+                ops.append(("del", None, rng.randrange(6)))
+
+        def run(heap):
+            served = []
+            for kind, p, node in ops:
+                if kind == "ins":
+                    heap.insert(priority=p, at=node)
+                else:
+                    served.append(heap.delete_min(at=node))
+                heap.settle()  # fully sequential ⇒ both must match exactly
+            return sorted(
+                d.result.priority for d in served if d.result is not BOTTOM
+            )
+
+        skeap_served = run(SkeapHeap(6, n_priorities=3, seed=1))
+        seap_served = run(SeapHeap(6, seed=1))
+        assert skeap_served == seap_served
+
+
+class TestScenarios:
+    def test_scheduling_serves_urgent_first(self):
+        heap = SeapHeap(n_nodes=8, seed=13)
+        jobs = scheduling_trace(40, 8, n_urgency_classes=3, seed=13)
+        for job in jobs:
+            heap.insert(priority=job.urgency, value=job.job_id, at=job.submitted_by)
+        heap.settle()
+        n_urgent = sum(1 for j in jobs if j.urgency == 1)
+        pulls = [heap.delete_min(at=i % 8) for i in range(n_urgent)]
+        heap.settle()
+        assert all(p.result.priority == 1 for p in pulls)
+
+    def test_heap_sort_end_to_end(self):
+        values = sorting_batch(40, seed=21)
+        heap = SeapHeap(n_nodes=5, seed=21)
+        for i, v in enumerate(values):
+            heap.insert(priority=v, at=i % 5)
+        heap.settle()
+        drained = []
+        while len(drained) < len(values):
+            heap.pause()  # epoch-align the wave: its pulls are the 5 minima
+            pulls = [heap.delete_min(at=r) for r in range(5)]
+            heap.resume()
+            heap.settle()
+            wave = sorted(p.result.priority for p in pulls if p.result is not BOTTOM)
+            drained.extend(wave)
+        assert drained == sorted(values)
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "kselect_median.py", "churn_membership.py", "consistency_lab.py"],
+)
+def test_examples_run_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", ["job_scheduler.py", "distributed_sort.py"])
+def test_slow_examples_run_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_package_main_tour_runs():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"], capture_output=True, text=True, timeout=300
+    )
+    assert result.returncode == 0, result.stderr
+    assert "machine-checked" in result.stdout
+    assert "anchor" in result.stdout

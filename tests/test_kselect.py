@@ -1,0 +1,202 @@
+"""Tests for distributed k-selection (Section 4, Theorem 4.2)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.kselect import CandidateSet, KSelectCluster, distributed_select
+
+
+class TestCandidateSet:
+    def test_sorted_iteration(self):
+        cs = CandidateSet([(3, 0), (1, 1), (2, 2)])
+        assert list(cs) == [(1, 1), (2, 2), (3, 0)]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ProtocolError):
+            CandidateSet([(1, 1), (1, 1)])
+
+    def test_kth_smallest(self):
+        cs = CandidateSet([(5, 0), (1, 1), (3, 2)])
+        assert cs.kth_smallest(1) == (1, 1)
+        assert cs.kth_smallest(3) == (5, 0)
+        with pytest.raises(ProtocolError):
+            cs.kth_smallest(4)
+
+    def test_local_minmax_ranks_clamped(self):
+        cs = CandidateSet([(1, 0), (2, 1)])
+        lo, hi = cs.local_minmax_ranks(k=100, n=4)
+        assert lo == (1, 0) or lo == (2, 1)
+        assert hi == (2, 1)
+        assert cs.local_minmax_ranks(k=1, n=100) == ((1, 0), (1, 0))
+
+    def test_empty_set_minmax_none(self):
+        assert CandidateSet().local_minmax_ranks(5, 2) is None
+
+    def test_counts(self):
+        cs = CandidateSet([(1, 0), (2, 0), (3, 0)])
+        assert cs.count_below((2, 0)) == 1
+        assert cs.count_above((2, 0)) == 1
+
+    def test_prune_inclusive(self):
+        cs = CandidateSet([(i, 0) for i in range(1, 8)])
+        below, above = cs.prune((3, 0), (5, 0))
+        assert below == 2 and above == 2
+        assert list(cs) == [(3, 0), (4, 0), (5, 0)]
+
+    def test_prune_open_sides(self):
+        cs = CandidateSet([(i, 0) for i in range(5)])
+        assert cs.prune(None, None) == (0, 0)
+        assert len(cs) == 5
+
+    @given(
+        st.lists(st.integers(0, 1000), unique=True, max_size=50),
+        st.integers(0, 1000),
+        st.integers(0, 1000),
+    )
+    def test_prune_matches_list_comprehension(self, prios, lo, hi):
+        lo_k, hi_k = (min(lo, hi), 0), (max(lo, hi), 0)
+        keys = [(p, 7) for p in prios]
+        cs = CandidateSet(keys)
+        cs.prune(lo_k, hi_k)
+        assert list(cs) == sorted(k for k in keys if lo_k <= k <= hi_k)
+
+
+def _scattered(n, m, seed, span=1 << 20, delta_scale=1.0):
+    rng = random.Random(seed)
+    keys = [(rng.randint(1, span), uid) for uid in range(m)]
+    cluster = KSelectCluster(n, seed=seed, delta_scale=delta_scale)
+    cluster.scatter(keys)
+    return cluster, keys
+
+
+class TestKSelectCorrectness:
+    def test_select_median(self):
+        cluster, keys = _scattered(12, 300, seed=1)
+        assert cluster.select(150) == sorted(keys)[149]
+
+    def test_select_extremes(self):
+        cluster, keys = _scattered(8, 100, seed=2)
+        assert cluster.select(1) == sorted(keys)[0]
+        assert cluster.select(100) == sorted(keys)[-1]
+
+    def test_duplicate_priorities_tiebreak(self):
+        keys = [(7, uid) for uid in range(50)]
+        cluster = KSelectCluster(6, seed=3)
+        cluster.scatter(keys)
+        assert cluster.select(25) == (7, 24)
+
+    def test_single_node_cluster(self):
+        cluster = KSelectCluster(1, seed=4)
+        keys = [(i, i) for i in range(20)]
+        cluster.scatter(keys)
+        assert cluster.select(5) == (4, 4)
+
+    def test_tiny_element_count(self):
+        cluster = KSelectCluster(8, seed=5)
+        cluster.scatter([(3, 0), (1, 1)])
+        assert cluster.select(2) == (3, 0)
+
+    def test_m_smaller_than_n(self):
+        cluster = KSelectCluster(16, seed=6)
+        cluster.scatter([(i, i) for i in range(5)])
+        assert cluster.select(3) == (2, 2)
+
+    def test_k_out_of_range_rejected(self):
+        cluster, _ = _scattered(4, 10, seed=7)
+        with pytest.raises(ProtocolError):
+            cluster.select(11)
+        with pytest.raises(ProtocolError):
+            cluster.select(0)
+
+    def test_sequential_sessions(self):
+        cluster, keys = _scattered(8, 120, seed=8)
+        truth = sorted(keys)
+        for k in (10, 60, 120):
+            assert cluster.select(k) == truth[k - 1]
+
+    def test_convenience_wrapper(self):
+        keys = [(9 - i, i) for i in range(9)]
+        assert distributed_select(keys, k=2, n_nodes=4, seed=0) == sorted(keys)[1]
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8)
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 12)
+        m = rng.randint(1, 150)
+        cluster, keys = _scattered(n, m, seed=seed, span=rng.choice([10, 1 << 16]))
+        k = rng.randint(1, m)
+        assert cluster.select(k) == sorted(keys)[k - 1]
+
+    def test_skewed_distribution_not_uniform(self):
+        """All elements at one node — pruning guards must keep correctness."""
+        cluster = KSelectCluster(8, seed=9)
+        keys = [(i, i) for i in range(200)]
+        cluster.middle_node(3).local_elements.extend(keys)
+        assert cluster.select(77) == (76, 76)
+
+    def test_delta_scale_variants(self):
+        for scale in (0.25, 2.0):
+            cluster, keys = _scattered(8, 200, seed=10, delta_scale=scale)
+            assert cluster.select(100) == sorted(keys)[99]
+
+
+class TestKSelectBehaviour:
+    def test_phase1_reduces_candidates(self):
+        cluster, keys = _scattered(16, 16 * 64, seed=11)
+        cluster.select(len(keys) // 2)
+        stats = cluster.last_run_stats()
+        n = 16
+        assert stats["after_phase1"] < stats["initial_N"]
+        assert stats["after_phase1"] <= n**1.5 * math.log2(n)
+
+    def test_final_candidates_small(self):
+        cluster, keys = _scattered(16, 16 * 64, seed=12)
+        cluster.select(len(keys) // 2)
+        stats = cluster.last_run_stats()
+        assert stats["final_N"] <= max(64, 4 * math.sqrt(16)) * 4
+
+    def test_message_sizes_stay_logarithmic(self):
+        cluster, keys = _scattered(16, 600, seed=13)
+        cluster.select(300)
+        # keys are < 2^21, uids < 2^10: every message is a few hundred bits,
+        # never anything near the Θ(m)-sized gathers.
+        assert cluster.metrics.max_message_bits < 3000
+
+    def test_selection_does_not_change_candidates_outside_session(self):
+        cluster, keys = _scattered(6, 60, seed=14)
+        before = sorted(k for node in cluster.middles() for k in node.local_elements)
+        cluster.select(30)
+        after = sorted(k for node in cluster.middles() for k in node.local_elements)
+        assert before == after
+
+    def test_async_runner_selection(self):
+        rng = random.Random(15)
+        keys = [(rng.randint(1, 1 << 16), uid) for uid in range(80)]
+        cluster = KSelectCluster(6, seed=15, runner="async")
+        cluster.scatter(keys)
+        assert cluster.select(40, max_rounds=200_000) == sorted(keys)[39]
+
+
+class TestDegenerateWindows:
+    def test_oversized_delta_falls_back_but_stays_exact(self):
+        """A δ window wider than any sample stalls phase 2; the escalation
+        ladder (and ultimately the gather fallback) must stay exact."""
+        cluster, keys = _scattered(8, 400, seed=42, delta_scale=50.0)
+        k = 200
+        assert cluster.select(k) == sorted(keys)[k - 1]
+
+    def test_two_node_cluster(self):
+        cluster, keys = _scattered(2, 60, seed=43)
+        assert cluster.select(30) == sorted(keys)[29]
+
+    def test_k_equals_one_large_m(self):
+        cluster, keys = _scattered(8, 800, seed=44)
+        assert cluster.select(1) == sorted(keys)[0]

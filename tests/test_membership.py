@@ -1,0 +1,164 @@
+"""Tests for Join/Leave (Contribution 4): churn without data loss."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import BOTTOM, SeapHeap, SkeapHeap, check_seap_history, check_skeap_history
+from repro.errors import MembershipError
+from repro.overlay.membership import join_node, leave_node
+
+
+def _loaded_skeap(n=8, elements=20, seed=31):
+    heap = SkeapHeap(n_nodes=n, n_priorities=3, seed=seed)
+    rng = random.Random(seed)
+    for i in range(elements):
+        heap.insert(priority=rng.randint(1, 3), at=i % n)
+    heap.settle()
+    return heap
+
+
+class TestJoin:
+    def test_elements_conserved(self):
+        heap = _loaded_skeap()
+        before = heap.total_stored()
+        report = heap.add_node(8)
+        assert heap.total_stored() == before
+        assert report.probe_hops > 0
+        assert 8 in heap.topology.real_ids
+
+    def test_new_node_fully_participates(self):
+        heap = _loaded_skeap()
+        heap.add_node(8)
+        h = heap.insert(priority=1, at=8)
+        d = heap.delete_min(at=8)
+        heap.settle()
+        assert h.done and d.result is not BOTTOM
+
+    def test_duplicate_join_rejected(self):
+        heap = _loaded_skeap()
+        with pytest.raises(MembershipError):
+            heap.add_node(3)
+
+    def test_multiple_joins(self):
+        heap = _loaded_skeap(n=4)
+        for new in (4, 5, 6):
+            heap.add_node(new)
+        assert heap.n_nodes == 7
+        heap.insert(priority=2, at=6)
+        d = heap.delete_min(at=5)
+        heap.settle()
+        assert d.result is not BOTTOM
+
+
+class TestLeave:
+    def test_elements_conserved(self):
+        heap = _loaded_skeap()
+        before = heap.total_stored()
+        heap.remove_node(2)
+        assert heap.total_stored() == before
+        assert 2 not in heap.topology.real_ids
+
+    def test_unknown_node_rejected(self):
+        heap = _loaded_skeap()
+        with pytest.raises(MembershipError):
+            heap.remove_node(77)
+
+    def test_last_node_cannot_leave(self):
+        heap = SkeapHeap(n_nodes=1, n_priorities=2, seed=1)
+        heap.settle()
+        with pytest.raises(MembershipError):
+            heap.remove_node(0)
+
+    def test_anchor_owner_can_leave(self):
+        heap = _loaded_skeap()
+        anchor_owner = heap.anchor_node.view.owner
+        before = heap.total_stored()
+        heap.remove_node(anchor_owner)
+        assert heap.total_stored() == before
+        # the heap still works end to end
+        d = heap.delete_min(at=heap.topology.real_ids[0])
+        heap.settle()
+        assert d.result is not BOTTOM
+
+    def test_departed_elements_still_retrievable(self):
+        heap = _loaded_skeap(elements=12)
+        inserted = 12
+        heap.remove_node(1)
+        live = list(heap.topology.real_ids)
+        got = 0
+        while True:
+            dels = [heap.delete_min(at=r) for r in live]
+            heap.settle()
+            found = sum(1 for d in dels if d.result is not BOTTOM)
+            got += found
+            if found == 0:
+                break
+        assert got == inserted
+
+
+class TestChurnUnderTraffic:
+    def test_skeap_history_valid_across_churn(self):
+        heap = _loaded_skeap(n=6, elements=15, seed=5)
+        rng = random.Random(5)
+        next_id = 6
+        for phase in range(3):
+            if phase % 2 == 0:
+                heap.add_node(next_id)
+                next_id += 1
+            else:
+                heap.remove_node(rng.choice(list(heap.topology.real_ids)))
+            live = list(heap.topology.real_ids)
+            for _ in range(8):
+                if rng.random() < 0.5:
+                    heap.insert(priority=rng.randint(1, 3), at=rng.choice(live))
+                else:
+                    heap.delete_min(at=rng.choice(live))
+            heap.settle()
+        check_skeap_history(heap.history)
+
+    def test_seap_history_valid_across_churn(self):
+        heap = SeapHeap(n_nodes=6, seed=8)
+        rng = random.Random(8)
+        for i in range(18):
+            heap.insert(priority=rng.randint(1, 10**6), at=i % 6)
+        heap.settle()
+        heap.add_node(6)
+        heap.remove_node(0)
+        live = list(heap.topology.real_ids)
+        for _ in range(12):
+            if rng.random() < 0.5:
+                heap.insert(priority=rng.randint(1, 10**6), at=rng.choice(live))
+            else:
+                heap.delete_min(at=rng.choice(live))
+        heap.settle()
+        check_seap_history(heap.history)
+
+    def test_seap_heap_size_preserved(self):
+        heap = SeapHeap(n_nodes=5, seed=9)
+        for p in (4, 2, 7):
+            heap.insert(priority=p, at=0)
+        heap.settle()
+        heap.add_node(5)
+        heap.remove_node(1)
+        assert heap.heap_size() == 3
+        dels = [heap.delete_min(at=heap.topology.real_ids[0]) for _ in range(3)]
+        heap.settle()
+        assert sorted(d.result.priority for d in dels) == [2, 4, 7]
+
+
+class TestGuards:
+    def test_membership_requires_quiescence(self):
+        heap = _loaded_skeap()
+        heap.insert(priority=1, at=0)
+        heap.runner.step()  # messages now in flight
+        with pytest.raises(MembershipError):
+            join_node(heap, 99)
+
+    def test_direct_leave_requires_presence(self):
+        heap = _loaded_skeap()
+        heap.pause()
+        with pytest.raises(MembershipError):
+            leave_node(heap, 1234)

@@ -1,0 +1,379 @@
+"""Tests for the overlay: de Bruijn graph, LDB topology, aggregation, routing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import OverlayCluster
+from repro.errors import RoutingError, TopologyError
+from repro.overlay import (
+    AggSpec,
+    DeBruijnGraph,
+    LDBTopology,
+    VirtualKind,
+    bits_of,
+    first_combine,
+    from_bits,
+    kind_of,
+    max_combine,
+    min_combine,
+    owner_of,
+    point_bits,
+    sum_combine,
+    vector_sum_combine,
+    vid_for,
+)
+
+
+# -- classical de Bruijn graph (Definition 2.1) ------------------------------------
+
+
+class TestDeBruijn:
+    def test_bits_roundtrip(self):
+        for x in range(16):
+            assert from_bits(bits_of(x, 4)) == x
+
+    def test_neighbors_are_bitshifts(self):
+        g = DeBruijnGraph(3)
+        assert set(g.neighbors(0b101)) == {0b010, 0b110}
+
+    def test_paper_example_route(self):
+        """The d=3 example path of Section 2.1."""
+        g = DeBruijnGraph(3)
+        s = 0b101  # (s1,s2,s3)
+        t = 0b011  # (t1,t2,t3)
+        path = g.route(s, t)
+        # ((s1,s2,s3),(t3,s1,s2),(t2,t3,s1),(t1,t2,t3))
+        assert path == [0b101, 0b110, 0b111, 0b011]
+
+    @given(st.integers(1, 8), st.data())
+    def test_route_always_converges_in_d_hops(self, d, data):
+        g = DeBruijnGraph(d)
+        s = data.draw(st.integers(0, g.n - 1))
+        t = data.draw(st.integers(0, g.n - 1))
+        path = g.route(s, t)
+        assert len(path) == d + 1
+        assert path[0] == s and path[-1] == t
+        for a, b in zip(path, path[1:]):
+            assert b in g.neighbors(a)
+
+    def test_edge_count(self):
+        g = DeBruijnGraph(4)
+        assert len(list(g.edges())) == 2 * g.n
+
+    def test_invalid_inputs(self):
+        with pytest.raises(RoutingError):
+            DeBruijnGraph(0)
+        g = DeBruijnGraph(3)
+        with pytest.raises(RoutingError):
+            g.neighbors(8)
+        with pytest.raises(RoutingError):
+            g.hop(0, 2)
+        with pytest.raises(RoutingError):
+            bits_of(9, 3)
+
+
+# -- LDB topology (Definition A.1, Appendix A) -----------------------------------------
+
+
+class TestLDBTopology:
+    def test_vid_mapping(self):
+        assert owner_of(vid_for(5, VirtualKind.RIGHT)) == 5
+        assert kind_of(vid_for(5, VirtualKind.RIGHT)) is VirtualKind.RIGHT
+
+    def test_three_virtual_nodes_per_real(self):
+        topo = LDBTopology(list(range(7)), seed=1)
+        assert topo.n_virtual == 21
+
+    def test_label_construction(self):
+        """l(v) = m(v)/2 and r(v) = (m(v)+1)/2."""
+        topo = LDBTopology([0, 1, 2], seed=2)
+        for r in range(3):
+            m = topo.label(vid_for(r, VirtualKind.MIDDLE))
+            assert topo.label(vid_for(r, VirtualKind.LEFT)) == m / 2
+            assert topo.label(vid_for(r, VirtualKind.RIGHT)) == (m + 1) / 2
+
+    def test_anchor_is_global_minimum_and_left(self):
+        topo = LDBTopology(list(range(9)), seed=3)
+        assert topo.anchor == topo.cycle[0]
+        assert kind_of(topo.anchor) is VirtualKind.LEFT
+
+    @given(st.integers(1, 40), st.integers(0, 10))
+    def test_tree_invariants(self, n, seed):
+        topo = LDBTopology(list(range(n)), seed=seed)
+        # single tree covering everything
+        seen = set()
+        stack = [topo.anchor]
+        while stack:
+            v = stack.pop()
+            assert v not in seen
+            seen.add(v)
+            stack.extend(topo.children[v])
+        assert seen == set(topo.cycle)
+        for v in topo.cycle:
+            # Appendix A parent rules
+            kind = kind_of(v)
+            if v == topo.anchor:
+                assert topo.parent[v] is None
+                continue
+            if kind is VirtualKind.MIDDLE:
+                assert topo.parent[v] == vid_for(owner_of(v), VirtualKind.LEFT)
+            elif kind is VirtualKind.RIGHT:
+                assert topo.parent[v] == vid_for(owner_of(v), VirtualKind.MIDDLE)
+                assert topo.children[v] == ()
+            else:
+                assert topo.parent[v] == topo.pred[v]
+            assert len(topo.children[v]) <= 2  # Lemma 2.2(i)
+
+    @given(st.integers(1, 30), st.integers(0, 5))
+    def test_cycle_is_sorted_and_circular(self, n, seed):
+        topo = LDBTopology(list(range(n)), seed=seed)
+        labels = [topo.label(v) for v in topo.cycle]
+        assert labels == sorted(labels)
+        for i, v in enumerate(topo.cycle):
+            assert topo.succ[topo.pred[v]] == v
+            assert topo.pred[topo.succ[v]] == v
+
+    def test_responsible_for_is_predecessor(self):
+        topo = LDBTopology(list(range(5)), seed=4)
+        for i, v in enumerate(topo.cycle):
+            lab = topo.label(v)
+            assert topo.responsible_for(lab) == v
+            nxt = topo.sorted_labels[(i + 1) % len(topo.cycle)]
+            midpoint = lab + (((nxt - lab) % 1.0) / 2)
+            if midpoint < 1.0:
+                assert topo.responsible_for(midpoint) == v
+
+    def test_responsible_wraparound(self):
+        topo = LDBTopology(list(range(5)), seed=4)
+        tiny = topo.sorted_labels[0] / 2
+        assert topo.responsible_for(tiny) == topo.cycle[-1]
+
+    def test_dfs_rank_preorder(self):
+        topo = LDBTopology(list(range(12)), seed=5)
+        assert topo.dfs_rank[topo.anchor] == 0
+        for v in topo.cycle:
+            for c in topo.children[v]:
+                assert topo.dfs_rank[c] > topo.dfs_rank[v]
+
+    def test_local_view_fields(self):
+        topo = LDBTopology(list(range(4)), seed=6)
+        view = topo.local_view(topo.anchor)
+        assert view.is_anchor and view.parent is None
+        assert view.n_estimate == 4
+        other = topo.local_view(topo.cycle[-1])
+        assert not other.is_anchor
+
+    def test_validation_errors(self):
+        with pytest.raises(TopologyError):
+            LDBTopology([], seed=0)
+        with pytest.raises(TopologyError):
+            LDBTopology([1, 1], seed=0)
+        topo = LDBTopology([0], seed=0)
+        with pytest.raises(TopologyError):
+            topo.responsible_for(1.5)
+
+    def test_single_node_topology(self):
+        topo = LDBTopology([0], seed=9)
+        assert topo.n_virtual == 3
+        assert topo.tree_height() == 2
+
+    def test_height_grows_slowly(self):
+        h64 = LDBTopology(list(range(64)), seed=0).tree_height()
+        h512 = LDBTopology(list(range(512)), seed=0).tree_height()
+        assert h512 < 4 * h64  # far below the 8x of linear growth
+
+
+# -- combiners --------------------------------------------------------------------------
+
+
+class TestCombiners:
+    def test_sum(self):
+        assert sum_combine(1, [(10, 2), (11, 3)]) == 6
+
+    def test_min_max_with_nones(self):
+        assert min_combine(None, [(1, 5), (2, None)]) == 5
+        assert max_combine(None, [(1, 5), (2, 9)]) == 9
+        assert min_combine(None, [(1, None)]) is None
+
+    def test_vector_sum(self):
+        assert vector_sum_combine((1, 2), [(9, (3, 4))]) == (4, 6)
+
+    def test_first(self):
+        assert first_combine(None, [(1, None), (2, "x"), (3, "y")]) == "x"
+        assert first_combine("own", [(1, "x")]) == "own"
+
+
+# -- aggregation engine over a real cluster ------------------------------------------------
+
+
+class CountingCluster(OverlayCluster):
+    def make_node(self, view):
+        from repro.overlay.base import OverlayNode
+
+        node = OverlayNode(view, self.keyspace)
+        node.register_agg(
+            "count",
+            AggSpec(
+                combine=lambda s, t, own, ch: sum_combine(own, ch),
+                at_root=lambda s, t, total: results.append(total),
+                decompose=lambda s, t, payload: (
+                    payload,
+                    {c: payload for c in s.view.children},
+                ),
+                deliver=lambda s, t, part: delivered.append((s.id, part)),
+            ),
+        )
+        node.register_bcast("go", lambda s, t, p: s.agg_contribute(("count", t[1]), 1))
+        return node
+
+
+results: list[int] = []
+delivered: list[tuple[int, object]] = []
+
+
+class TestAggregation:
+    def setup_method(self):
+        results.clear()
+        delivered.clear()
+
+    def test_count_aggregation_reaches_root(self):
+        cluster = CountingCluster(10, seed=1)
+        cluster.anchor.bcast(("go", 0), None)
+        cluster.runner.run_until(lambda: results, max_rounds=2000)
+        assert results == [30]  # 3 virtual nodes per real node
+
+    def test_distribution_reaches_every_node(self):
+        cluster = CountingCluster(6, seed=2)
+        cluster.anchor.bcast(("go", 0), None)
+        cluster.runner.run_until(lambda: results, max_rounds=2000)
+        cluster.anchor.agg_distribute(("count", 0), "payload")
+        cluster.runner.run_until(lambda: len(delivered) == 18, max_rounds=2000)
+        assert {d[0] for d in delivered} == set(cluster.nodes)
+
+    def test_duplicate_contribution_rejected(self):
+        from repro.errors import ProtocolError
+
+        cluster = CountingCluster(3, seed=3)
+        node = cluster.anchor
+        node.agg_contribute(("count", 5), 1)
+        with pytest.raises(ProtocolError):
+            node.agg_contribute(("count", 5), 1)
+
+    def test_unknown_aggregation_rejected(self):
+        from repro.errors import ProtocolError
+
+        cluster = CountingCluster(3, seed=3)
+        with pytest.raises(ProtocolError):
+            cluster.anchor.agg_contribute(("nope", 0), 1)
+
+    def test_stale_iterations_expire(self):
+        cluster = CountingCluster(4, seed=4)
+        for it in range(3):
+            cluster.anchor.bcast(("go", it), None)
+            cluster.runner.run_until(lambda: len(results) == it + 1, max_rounds=2000)
+        anchor = cluster.anchor
+        tags = [t for t in anchor._agg_own if t[0] == "count"]
+        assert len(tags) == 1 and tags[0][1] == 2
+
+
+# -- point routing -------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_point_bits_reconstruct_prefix(self):
+        bits = point_bits(0.625, 3)  # 0.101
+        assert bits == [1, 0, 1][::-1] or len(bits) == 3
+        # consuming bits: ideal' = (b + ideal)/2 must converge to 0.101
+        ideal = 0.3
+        for b in bits:
+            ideal = (b + ideal) / 2
+        assert abs(ideal - 0.625) < 2**-3
+
+    @given(st.floats(min_value=0.0, max_value=0.999999), st.integers(1, 20))
+    def test_point_bits_prefix_error_bound(self, target, d):
+        ideal = 0.5
+        for b in point_bits(target, d):
+            ideal = (b + ideal) / 2
+        assert abs(ideal - target) <= 2.0 ** (-d) + 1e-12
+
+    def test_routing_lands_on_responsible_node(self, seed):
+        cluster = OverlayCluster(20, seed=seed)
+        hits: list[int] = []
+        for node in cluster.nodes.values():
+            node.on_probe = lambda origin, _n=node: hits.append(_n.id)
+        rng = cluster.runner.rng.stream("t")
+        targets = [float(rng.random()) for _ in range(15)]
+        for t in targets:
+            cluster.middle_node(3).route_to_point(t, "probe", {})
+        cluster.runner.run_until(lambda: len(hits) == 15, max_rounds=5000)
+        # compare against the global responsibility map
+        expected = sorted(cluster.topology.responsible_for(t) for t in targets)
+        assert sorted(hits) == expected
+
+    def test_route_hops_recorded(self):
+        cluster = OverlayCluster(16, seed=1)
+        done = []
+        for node in cluster.nodes.values():
+            node.on_probe = lambda origin, _n=node: done.append(1)
+        cluster.middle_node(0).route_to_point(0.77, "probe", {})
+        cluster.runner.run_until(lambda: done, max_rounds=5000)
+        assert sum(len(n.route_hops) for n in cluster.nodes.values()) == 1
+
+    def test_invalid_target_rejected(self):
+        cluster = OverlayCluster(4, seed=1)
+        with pytest.raises(RoutingError):
+            cluster.middle_node(0).route_to_point(1.2, "probe", {})
+
+    def test_single_node_routing(self):
+        cluster = OverlayCluster(1, seed=1)
+        done = []
+        for node in cluster.nodes.values():
+            node.on_probe = lambda origin: done.append(1)
+        cluster.middle_node(0).route_to_point(0.9, "probe", {})
+        cluster.runner.run_until(lambda: done, max_rounds=100)
+        assert done == [1]
+
+
+class TestRoutingDeterminism:
+    def test_destination_independent_of_source(self):
+        """Routes to the same key from different sources converge on the
+        same responsible node — the property DHT rendezvous relies on."""
+        cluster = OverlayCluster(12, seed=8)
+        hits: dict[float, set[int]] = {}
+        for node in cluster.nodes.values():
+            def on_probe(origin, key, _n=node):
+                hits.setdefault(key, set()).add(_n.id)
+            node.on_probe2 = on_probe
+        rng = cluster.runner.rng.stream("det")
+        keys = [float(rng.random()) for _ in range(6)]
+        for key in keys:
+            for src in (0, 5, 11):
+                cluster.middle_node(src).route_to_point(key, "probe2", {"key": key})
+        cluster.runner.run_until(
+            lambda: sum(len(v) for v in hits.values()) >= 0
+            and sum(len(n.route_hops) for n in cluster.nodes.values()) >= 18,
+            max_rounds=20_000,
+        )
+        for key in keys:
+            assert len(hits[key]) == 1, f"key {key} landed on {hits[key]}"
+
+    def test_hops_grow_slowly_with_n(self):
+        import statistics
+
+        def mean_hops(n):
+            cluster = OverlayCluster(n, seed=4)
+            done = []
+            for node in cluster.nodes.values():
+                node.on_probe3 = lambda origin, _d=done: _d.append(1)
+            rng = cluster.runner.rng.stream("h")
+            for _ in range(12):
+                cluster.middle_node(int(rng.integers(0, n))).route_to_point(
+                    float(rng.random()), "probe3", {}
+                )
+            cluster.runner.run_until(lambda: len(done) == 12, max_rounds=50_000)
+            return statistics.mean(cluster.all_route_hops())
+
+        assert mean_hops(64) < 3 * mean_hops(8)

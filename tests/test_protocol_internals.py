@@ -1,0 +1,160 @@
+"""White-box tests of protocol internals: epoch machinery, sorting state,
+message-size fallbacks, anchor logs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BOTTOM, SeapHeap, SkeapHeap
+from repro.element import Element
+from repro.errors import ProtocolError
+from repro.overlay.ldb import VirtualKind
+from repro.sim.message import payload_size_bits
+
+
+class TestPayloadSizingFallbacks:
+    def test_intenum_sized_as_int(self):
+        assert payload_size_bits(VirtualKind.RIGHT) == payload_size_bits(2)
+
+    def test_object_with_size_bits(self):
+        class Thing:
+            def size_bits(self):
+                return 99
+
+        assert payload_size_bits(Thing()) == 99
+
+    def test_nested_structures(self):
+        nested = {"a": [1, (2, 3)], "b": {"c": None}}
+        assert payload_size_bits(nested) > 0
+
+    def test_element_subclasses_not_needed(self):
+        assert payload_size_bits(Element(3, 4)) == Element(3, 4).size_bits()
+
+
+class TestSkeapAnchorLog:
+    def test_log_records_every_iteration(self):
+        heap = SkeapHeap(4, n_priorities=2, seed=1)
+        heap.insert(priority=1, at=0)
+        heap.settle()
+        log = heap.anchor_node.anchor_log
+        assert len(log) >= 1
+        non_empty = [b for b, _ in log if not b.is_empty()]
+        assert len(non_empty) == 1
+        assert non_empty[0].total_inserts() == 1
+
+    def test_assignments_match_batches(self):
+        heap = SkeapHeap(5, n_priorities=2, seed=2)
+        for i in range(6):
+            heap.insert(priority=1 + i % 2, at=i % 5)
+        heap.delete_min(at=0)
+        heap.settle()
+        for batch, block in heap.anchor_node.anchor_log:
+            assert len(block.entries) == len(batch.entries)
+            for entry, assignment in zip(batch.entries, block.entries):
+                for p_idx, count in enumerate(entry.ins):
+                    assert assignment.ins[p_idx][1] == count
+                served = sum(p.count for p in assignment.del_pieces)
+                assert served + assignment.bots == entry.dels
+
+
+class TestSeapEpochInternals:
+    def test_insert_only_epochs_keep_m_accurate(self):
+        heap = SeapHeap(4, seed=3)
+        for batch in range(3):
+            for i in range(batch + 1):
+                heap.insert(priority=10 * batch + i, at=i % 4)
+            heap.settle()
+        assert heap.heap_size() == 1 + 2 + 3
+        assert heap.total_stored() == 6
+
+    def test_delete_only_epochs_drain_to_bottom(self):
+        heap = SeapHeap(4, seed=4)
+        heap.insert(priority=1, at=0)
+        heap.settle()
+        d1 = heap.delete_min(at=1)
+        heap.settle()
+        d2 = heap.delete_min(at=2)
+        heap.settle()
+        assert d1.result.priority == 1 and d2.result is BOTTOM
+        assert heap.heap_size() == 0
+
+    def test_threshold_move_is_exact(self):
+        """Exactly k elements move to position keys; the rest stay put."""
+        heap = SeapHeap(5, seed=5)
+        for p in (10, 20, 30, 40, 50):
+            heap.insert(priority=p, at=0)
+        heap.settle()
+        heap.pause()
+        dels = [heap.delete_min(at=i) for i in range(2)]
+        heap.resume()
+        heap.settle()
+        assert sorted(d.result.priority for d in dels) == [10, 20]
+        remaining = sorted(e.priority for n in heap.nodes.values() for e in n.store.elements())
+        assert remaining == [30, 40, 50]
+
+    def test_epoch_counter_monotone(self):
+        heap = SeapHeap(3, seed=6)
+        heap.runner.run_until(lambda: heap.anchor_node.epoch >= 2, max_rounds=20_000)
+        seen = heap.anchor_node.epoch
+        heap.runner.run_until(lambda: heap.anchor_node.epoch > seen, max_rounds=20_000)
+
+
+class TestSortingStateHygiene:
+    def test_no_leftover_sorting_state_after_selection(self):
+        from repro.kselect import KSelectCluster
+
+        cluster = KSelectCluster(8, seed=7)
+        cluster.scatter([(i, i) for i in range(120)])
+        cluster.select(60)
+        # select() returns at the anchor's answer; in-flight sort traffic
+        # of abandoned iterations still drains to completion afterwards.
+        cluster.runner.run_until_quiescent(max_rounds=50_000)
+        for node in cluster.nodes.values():
+            assert not node._ks_holdings
+            assert not node._ks_copy_nodes
+            assert not node._ks_leaves
+            assert not node._ks_meets
+
+    def test_no_leftover_state_after_seap_epochs(self):
+        heap = SeapHeap(5, seed=8)
+        for i in range(10):
+            heap.insert(priority=i, at=i % 5)
+        heap.settle()
+        dels = [heap.delete_min(at=i % 5) for i in range(10)]
+        heap.settle()
+        for node in heap.nodes.values():
+            assert not node._ks_holdings
+            assert not node._pending_gets
+            assert not node._pending_move_acks
+
+    def test_vector_for_unknown_copy_node_raises(self):
+        from repro.kselect import KSelectCluster
+
+        cluster = KSelectCluster(3, seed=9)
+        node = cluster.middle_node(0)
+        with pytest.raises(ProtocolError):
+            node.on_ks_vec(1, token=(0, 1), i=1, lo=1, hi=4, vec=(1, 0))
+
+    def test_cmp_for_unknown_leaf_raises(self):
+        from repro.kselect import KSelectCluster
+
+        cluster = KSelectCluster(3, seed=10)
+        node = cluster.middle_node(0)
+        with pytest.raises(ProtocolError):
+            node.on_ks_cmp(1, token=(0, 1), i=1, j=2, vec=(0, 1))
+
+
+class TestDuplicateProtection:
+    def test_duplicate_holder_state_rejected(self):
+        from repro.kselect import KSelectCluster
+
+        cluster = KSelectCluster(3, seed=11)
+        node = cluster.middle_node(0)
+        kwargs = dict(
+            token=(5, 1), i=1, candidate=(1, 1), n_prime=2,
+            want_l=0, want_r=0, want_ans=1,
+        )
+        node.on_ks_hold(0, **kwargs)
+        with pytest.raises(ProtocolError):
+            node.on_ks_hold(0, **kwargs)

@@ -1,0 +1,184 @@
+"""End-to-end tests for the Seap protocol (Section 5, Theorem 5.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BOTTOM, SeapHeap, check_seap_history
+from repro.semantics import OrderedHeap
+from repro.sim.async_runner import adversarial_delay
+
+
+class TestBasics:
+    def test_insert_then_delete(self, small_seap):
+        small_seap.insert(priority=123456, value="x", at=0)
+        d = small_seap.delete_min(at=3)
+        small_seap.settle()
+        assert d.result.value == "x"
+
+    def test_min_priority_wins_over_wide_range(self, small_seap):
+        small_seap.insert(priority=10**9, at=0)
+        small_seap.insert(priority=3, at=1)
+        small_seap.insert(priority=10**6, at=2)
+        small_seap.settle()
+        d = small_seap.delete_min(at=4)
+        small_seap.settle()
+        assert d.result.priority == 3
+
+    def test_empty_heap_returns_bottom(self, small_seap):
+        d = small_seap.delete_min(at=2)
+        small_seap.settle()
+        assert d.result is BOTTOM
+
+    def test_more_deletes_than_elements(self, small_seap):
+        small_seap.insert(priority=5, at=0)
+        small_seap.insert(priority=9, at=1)
+        small_seap.settle()
+        dels = [small_seap.delete_min(at=i) for i in range(5)]
+        small_seap.settle()
+        matched = [d.result for d in dels if d.result is not BOTTOM]
+        assert sorted(e.priority for e in matched) == [5, 9]
+        assert sum(1 for d in dels if d.result is BOTTOM) == 3
+
+    def test_heap_size_bookkeeping(self, small_seap):
+        for p in (4, 8, 15):
+            small_seap.insert(priority=p, at=0)
+        small_seap.settle()
+        assert small_seap.heap_size() == 3
+        small_seap.delete_min(at=1)
+        small_seap.settle()
+        assert small_seap.heap_size() == 2
+
+    def test_single_node_heap(self):
+        heap = SeapHeap(n_nodes=1, seed=0)
+        heap.insert(priority=7, at=0)
+        heap.insert(priority=2, at=0)
+        d = heap.delete_min(at=0)
+        heap.settle()
+        assert d.result.priority == 2
+
+    def test_negative_priority_rejected(self, small_seap):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            small_seap.insert(priority=-1, at=0)
+
+    def test_same_phase_batch_deletes_get_k_smallest(self):
+        heap = SeapHeap(n_nodes=8, seed=3)
+        prios = [50, 10, 40, 20, 30, 60, 70, 80]
+        for i, p in enumerate(prios):
+            heap.insert(priority=p, at=i)
+        heap.settle()
+        dels = [heap.delete_min(at=i) for i in range(4)]
+        heap.settle()
+        got = sorted(d.result.priority for d in dels)
+        assert got == [10, 20, 30, 40]
+
+
+class TestSerializability:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8)
+    def test_random_histories_check_out(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 8)
+        heap = SeapHeap(n_nodes=n, seed=seed)
+        for _ in range(rng.randint(5, 50)):
+            if rng.random() < 0.55:
+                heap.insert(priority=rng.randint(1, 1 << 20), at=rng.randrange(n))
+            else:
+                heap.delete_min(at=rng.randrange(n))
+            if rng.random() < 0.1:
+                heap.settle(500_000)
+        heap.settle(500_000)
+        check_seap_history(heap.history)
+
+    def test_phase_separated_equivalence_to_ordered_heap(self):
+        """Settling between ops gives exact equivalence to a serial heap."""
+        heap = SeapHeap(n_nodes=5, seed=6)
+        model = OrderedHeap()
+        rng = random.Random(1)
+        uid_of = {}
+        for step in range(30):
+            if rng.random() < 0.6:
+                p = rng.randint(1, 10**6)
+                h = heap.insert(priority=p, at=rng.randrange(5))
+                heap.settle()
+                model.insert(p, h.uid)
+            else:
+                d = heap.delete_min(at=rng.randrange(5))
+                heap.settle()
+                expected = model.delete_min()
+                if expected is None:
+                    assert d.result is BOTTOM
+                else:
+                    assert d.result.priority == expected[0]
+
+    def test_adversarial_async(self):
+        heap = SeapHeap(
+            n_nodes=6, seed=9, runner="async", delay_fn=adversarial_delay()
+        )
+        rng = random.Random(2)
+        for _ in range(50):
+            if rng.random() < 0.55:
+                heap.insert(priority=rng.randint(1, 1000), at=rng.randrange(6))
+            else:
+                heap.delete_min(at=rng.randrange(6))
+        heap.settle(500_000)
+        check_seap_history(heap.history)
+
+    def test_no_element_returned_twice(self):
+        heap = SeapHeap(n_nodes=6, seed=10)
+        for i in range(12):
+            heap.insert(priority=i % 4, at=i % 6)
+        heap.settle()
+        dels = [heap.delete_min(at=i % 6) for i in range(12)]
+        heap.settle()
+        uids = [d.result.uid for d in dels if d.result is not BOTTOM]
+        assert len(uids) == 12 and len(set(uids)) == 12
+
+
+class TestMessageSizes:
+    def test_messages_stay_small_under_load(self):
+        """Lemma 5.5: message size independent of the buffered-request count."""
+        light = SeapHeap(n_nodes=8, seed=4, record_history=False)
+        light.insert(priority=1, at=0)
+        light.settle()
+        light_bits = light.metrics.max_message_bits
+
+        heavy = SeapHeap(n_nodes=8, seed=4, record_history=False)
+        for i in range(300):
+            heavy.insert(priority=1 + i, at=i % 8)
+            if i % 2:
+                heavy.delete_min(at=i % 8)
+        heavy.settle()
+        heavy_bits = heavy.metrics.max_message_bits
+        # 300x the ops should cost at most a few dozen extra bits (wider
+        # integers), never the linear batch growth Skeap shows.
+        assert heavy_bits <= light_bits + 200
+
+
+class TestEpochMachinery:
+    def test_epochs_advance_when_idle(self, small_seap):
+        small_seap.runner.run_until(
+            lambda: small_seap.anchor_node.epoch >= 3, max_rounds=20_000
+        )
+        assert small_seap.heap_size() == 0
+
+    def test_late_submissions_join_later_epoch(self, small_seap):
+        small_seap.insert(priority=5, at=0)
+        small_seap.settle()
+        first_epoch = small_seap.anchor_node.epoch
+        small_seap.insert(priority=6, at=0)
+        small_seap.settle()
+        assert small_seap.anchor_node.epoch > first_epoch
+        assert small_seap.heap_size() == 2
+
+    def test_store_holds_elements_between_epochs(self, small_seap):
+        for p in (3, 1, 2):
+            small_seap.insert(priority=p, at=0)
+        small_seap.settle()
+        assert small_seap.total_stored() == 3

@@ -1,0 +1,84 @@
+"""Tests for self-stabilizing list linearization (Appendix A's substrate)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.overlay.selfstab import LinearizationCluster
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("initial", ["line", "random", "star"])
+    def test_converges_from_every_shape(self, initial):
+        cluster = LinearizationCluster(24, seed=3, initial=initial)
+        cluster.run_to_convergence()
+        assert cluster.is_linearized()
+
+    def test_converged_state_matches_sorted_order(self):
+        cluster = LinearizationCluster(12, seed=4)
+        cluster.run_to_convergence()
+        order = cluster.sorted_ids()
+        by_id = {n.id: n for n in cluster.nodes}
+        for i, nid in enumerate(order):
+            node = by_id[nid]
+            assert node.left == (order[i - 1] if i > 0 else None)
+            assert node.right == (order[i + 1] if i < len(order) - 1 else None)
+
+    def test_single_node(self):
+        cluster = LinearizationCluster(1, seed=5)
+        cluster.run_to_convergence(max_rounds=10)
+        assert cluster.is_linearized()
+
+    def test_two_nodes(self):
+        cluster = LinearizationCluster(2, seed=6)
+        cluster.run_to_convergence()
+        assert cluster.is_linearized()
+
+    def test_closure_after_convergence(self):
+        """Once linearized, further rounds change nothing (self-stabilization
+        closure)."""
+        cluster = LinearizationCluster(16, seed=7)
+        cluster.run_to_convergence()
+        snapshot = [(n.left, n.right) for n in cluster.nodes]
+        for _ in range(20):
+            cluster.runner.step()
+        assert [(n.left, n.right) for n in cluster.nodes] == snapshot
+        assert cluster.is_linearized()
+
+    @given(st.integers(0, 2**20), st.integers(2, 40))
+    @settings(max_examples=15)
+    def test_random_instances_always_converge(self, seed, n):
+        cluster = LinearizationCluster(n, seed=seed, initial="random")
+        cluster.run_to_convergence(max_rounds=20_000)
+        assert cluster.is_linearized()
+
+
+class TestInvariants:
+    def test_connectivity_preserved_every_round(self):
+        """Delegation must never partition the knowledge graph."""
+        cluster = LinearizationCluster(20, seed=8, initial="star")
+        for _ in range(60):
+            assert cluster.knowledge_is_connected()
+            cluster.runner.step()
+        assert cluster.is_linearized()
+
+    def test_no_self_knowledge(self):
+        cluster = LinearizationCluster(10, seed=9)
+        cluster.run_to_convergence()
+        for node in cluster.nodes:
+            assert node.id not in node.knowledge
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            LinearizationCluster(0)
+        with pytest.raises(TopologyError):
+            LinearizationCluster(4, initial="clique-of-doom")
+
+    def test_learn_ignores_self(self):
+        cluster = LinearizationCluster(3, seed=10)
+        node = cluster.nodes[0]
+        node.learn(node.id, node.label)
+        assert node.id not in node.knowledge

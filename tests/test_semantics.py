@@ -1,0 +1,208 @@
+"""Tests for histories, reference heaps and the consistency checkers.
+
+The checkers are only trustworthy if they *reject* bad histories, so half
+of this file constructs violations of each Definition 1.1/1.2 property and
+asserts the corresponding checker fires.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConsistencyError
+from repro.semantics import (
+    DELETE,
+    INSERT,
+    FifoPriorityHeap,
+    History,
+    OrderedHeap,
+    check_heap_consistency,
+    check_local_consistency,
+    check_settled,
+    replay_fifo,
+)
+
+
+def h_insert(h, node, seq, prio, uid, key):
+    h.record_submit((node, seq), INSERT, prio, uid)
+    h.record_order((node, seq), key)
+    h.record_insert_done((node, seq))
+
+
+def h_delete(h, node, seq, key, returned_uid=None):
+    h.record_submit((node, seq), DELETE)
+    h.record_order((node, seq), key)
+    if returned_uid is None:
+        h.record_bot((node, seq))
+    else:
+        h.record_return((node, seq), returned_uid)
+
+
+class TestHistoryRecording:
+    def test_duplicate_op_id_rejected(self):
+        h = History()
+        h.record_submit((0, 0), INSERT, 1, 1)
+        with pytest.raises(ConsistencyError):
+            h.record_submit((0, 0), INSERT, 1, 2)
+
+    def test_duplicate_uid_rejected(self):
+        h = History()
+        h.record_submit((0, 0), INSERT, 1, 7)
+        with pytest.raises(ConsistencyError):
+            h.record_submit((0, 1), INSERT, 1, 7)
+
+    def test_insert_needs_uid(self):
+        h = History()
+        with pytest.raises(ConsistencyError):
+            h.record_submit((0, 0), INSERT, 1, None)
+
+    def test_double_completion_rejected(self):
+        h = History()
+        h.record_submit((0, 0), DELETE)
+        h.record_bot((0, 0))
+        with pytest.raises(ConsistencyError):
+            h.record_return((0, 0), 1)
+
+    def test_double_serialization_rejected(self):
+        h = History()
+        h.record_submit((0, 0), DELETE)
+        h.record_order((0, 0), (1,))
+        with pytest.raises(ConsistencyError):
+            h.record_order((0, 0), (2,))
+
+    def test_matchings(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_delete(h, 1, 0, (1,), returned_uid=10)
+        ((ins, dele),) = h.matchings()
+        assert ins.uid == 10 and dele.returned_uid == 10
+
+
+class TestCheckersAcceptValid:
+    def test_simple_valid_history(self):
+        h = History()
+        h_insert(h, 0, 0, 2, 10, (0,))
+        h_insert(h, 0, 1, 1, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=11)
+        h_delete(h, 1, 1, (3,), returned_uid=10)
+        h_delete(h, 1, 2, (4,))  # bottom on empty heap
+        check_settled(h)
+        check_local_consistency(h)
+        check_heap_consistency(h)
+        replay_fifo(h)
+
+    def test_unmatched_inserts_left_in_heap_ok(self):
+        h = History()
+        h_insert(h, 0, 0, 5, 10, (0,))
+        check_heap_consistency(h)
+
+
+class TestCheckersRejectViolations:
+    def test_unsettled_history(self):
+        h = History()
+        h.record_submit((0, 0), INSERT, 1, 1)
+        with pytest.raises(ConsistencyError):
+            check_settled(h)
+
+    def test_local_order_violation(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (5,))
+        h_insert(h, 0, 1, 1, 11, (2,))  # later op serialized earlier
+        with pytest.raises(ConsistencyError):
+            check_local_consistency(h)
+
+    def test_property1_delete_before_insert(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (5,))
+        h_delete(h, 1, 0, (1,), returned_uid=10)  # ≺ the insert
+        with pytest.raises(ConsistencyError):
+            check_heap_consistency(h)
+
+    def test_property2_bottom_while_element_present(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_delete(h, 1, 0, (1,))  # ⊥ although uid 10 is in the heap
+        h_delete(h, 1, 1, (2,), returned_uid=10)
+        with pytest.raises(ConsistencyError):
+            check_heap_consistency(h)
+
+    def test_property3_wrong_priority_served(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))  # more urgent, never matched
+        h_insert(h, 0, 1, 5, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=11)
+        with pytest.raises(ConsistencyError):
+            check_heap_consistency(h)
+
+    def test_element_returned_twice(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_delete(h, 1, 0, (1,), returned_uid=10)
+        h_delete(h, 2, 0, (2,), returned_uid=10)
+        with pytest.raises(ConsistencyError):
+            check_heap_consistency(h)
+
+    def test_replay_fifo_rejects_wrong_tie_order(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_insert(h, 0, 1, 1, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=11)  # FIFO demands uid 10 first
+        h_delete(h, 1, 1, (3,), returned_uid=10)
+        check_heap_consistency(h)  # ties are allowed by Definition 1.2 ...
+        with pytest.raises(ConsistencyError):
+            replay_fifo(h)  # ... but not by Skeap's FIFO serialization
+
+
+class TestReferenceHeaps:
+    def test_fifo_orders_by_priority_then_arrival(self):
+        heap = FifoPriorityHeap()
+        heap.insert(2, 1)
+        heap.insert(1, 2)
+        heap.insert(1, 3)
+        assert heap.delete_min() == (1, 2)
+        assert heap.delete_min() == (1, 3)
+        assert heap.delete_min() == (2, 1)
+        assert heap.delete_min() is None
+
+    def test_ordered_heap_ties_by_uid(self):
+        heap = OrderedHeap()
+        heap.insert(1, 9)
+        heap.insert(1, 3)
+        assert heap.delete_min() == (1, 3)
+        assert heap.peek() == (1, 9)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.booleans()), max_size=60))
+    def test_fifo_matches_stable_sort_model(self, script):
+        """FifoPriorityHeap == sort by (priority, arrival index)."""
+        heap = FifoPriorityHeap()
+        model: list[tuple[int, int]] = []
+        uid = 0
+        for prio, is_insert in script:
+            if is_insert:
+                uid += 1
+                heap.insert(prio, uid)
+                model.append((prio, uid))
+            else:
+                got = heap.delete_min()
+                if not model:
+                    assert got is None
+                else:
+                    best = min(model, key=lambda t: (t[0], model.index(t)))
+                    # FIFO: earliest-arrived among minimal priority
+                    min_p = min(t[0] for t in model)
+                    expect = next(t for t in model if t[0] == min_p)
+                    model.remove(expect)
+                    assert got == expect
+
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 100)), max_size=50))
+    def test_ordered_heap_matches_sorted_pops(self, keys):
+        heap = OrderedHeap()
+        uniq = list(dict.fromkeys(keys))
+        for p, u in uniq:
+            heap.insert(p, u)
+        drained = []
+        while len(heap):
+            drained.append(heap.delete_min())
+        assert drained == sorted(uniq)

@@ -1,0 +1,338 @@
+"""Tests for the simulation kernel: messages, metrics, rng, both runners."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.element import Element
+from repro.errors import ProtocolError, SimulationError
+from repro.sim import (
+    AsyncRunner,
+    Message,
+    MetricsCollector,
+    ProtocolNode,
+    PseudoRandomHash,
+    RngRegistry,
+    SyncRunner,
+    adversarial_delay,
+    derive_seed,
+    payload_size_bits,
+    uniform_delay,
+)
+
+
+# -- payload sizing -----------------------------------------------------------
+
+
+class TestPayloadSize:
+    def test_none_is_one_bit(self):
+        assert payload_size_bits(None) == 1
+
+    def test_bool_is_one_bit(self):
+        assert payload_size_bits(True) == 1
+
+    def test_int_width(self):
+        assert payload_size_bits(0) == 2
+        assert payload_size_bits(255) == 9
+
+    def test_float_is_64(self):
+        assert payload_size_bits(0.5) == 64
+
+    def test_element_delegates(self):
+        e = Element(3, 9)
+        assert payload_size_bits(e) == e.size_bits()
+
+    def test_containers_sum_members(self):
+        flat = payload_size_bits(7)
+        assert payload_size_bits([7, 7]) == 2 * flat + 4
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_size_bits({"k": 1}) > payload_size_bits(1)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_size_bits(object())
+
+    @given(st.integers(0, 1 << 60))
+    def test_int_monotone_in_magnitude(self, x):
+        assert payload_size_bits(2 * x + 1) >= payload_size_bits(x)
+
+    def test_message_size_computed(self):
+        msg = Message(sender=0, dest=1, action="a", payload={"x": 3})
+        assert msg.size_bits > 8
+
+
+# -- rng ------------------------------------------------------------------------
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_distinguishes_paths(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(7)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_streams_independent(self):
+        reg = RngRegistry(7)
+        a = reg.stream("a").random(5).tolist()
+        b = reg.stream("b").random(5).tolist()
+        assert a != b
+
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(9).stream("s").random(4).tolist()
+        b = RngRegistry(9).stream("s").random(4).tolist()
+        assert a == b
+
+    def test_hash_unit_range_and_determinism(self):
+        h = PseudoRandomHash(3)
+        vals = [h.unit("k", i) for i in range(200)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        assert vals == [PseudoRandomHash(3).unit("k", i) for i in range(200)]
+
+    def test_hash_roughly_uniform(self):
+        h = PseudoRandomHash(5)
+        vals = [h.unit(i) for i in range(2000)]
+        mean = sum(vals) / len(vals)
+        assert 0.45 < mean < 0.55
+
+    def test_namespaces_independent(self):
+        assert PseudoRandomHash(1, "a").unit(0) != PseudoRandomHash(1, "b").unit(0)
+
+    def test_spawn_changes_root(self):
+        reg = RngRegistry(7)
+        child = reg.spawn("c")
+        assert child.root_seed != reg.root_seed
+
+
+# -- metrics -------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def _msg(self, dest=0, bits=None, action="x"):
+        m = Message(sender=9, dest=dest, action=action, payload={"v": 1})
+        if bits:
+            m.size_bits = bits
+        return m
+
+    def test_counts_and_bits(self):
+        mc = MetricsCollector()
+        mc.record_delivery(self._msg(bits=100))
+        mc.record_delivery(self._msg(bits=50))
+        assert mc.messages == 2
+        assert mc.bits == 150
+        assert mc.max_message_bits == 100
+
+    def test_congestion_per_owner_per_round(self):
+        mc = MetricsCollector(owner_of=lambda i: i // 3)
+        for _ in range(4):
+            mc.record_delivery(self._msg(dest=1))
+        mc.record_delivery(self._msg(dest=2))  # same owner 0
+        mc.record_delivery(self._msg(dest=5))  # owner 1
+        mc.end_round()
+        assert mc.congestion == 5
+
+    def test_congestion_window(self):
+        mc = MetricsCollector()
+        mc.record_delivery(self._msg())
+        mc.end_round()
+        for _ in range(7):
+            mc.record_delivery(self._msg())
+        mc.end_round()
+        assert mc.congestion_between(0, 1) == 1
+        assert mc.congestion_between(1, 2) == 7
+
+    def test_snapshot_diff(self):
+        mc = MetricsCollector()
+        mc.record_delivery(self._msg(bits=10))
+        mc.end_round()
+        s1 = mc.snapshot()
+        mc.record_delivery(self._msg(bits=20))
+        mc.end_round()
+        d = mc.snapshot().diff(s1)
+        assert d.rounds == 1 and d.messages == 1 and d.bits == 20
+
+    def test_marks(self):
+        mc = MetricsCollector()
+        mc.end_round()
+        mc.mark("phase")
+        assert mc.marks == [("phase", 1)]
+
+
+# -- nodes and runners ----------------------------------------------------------------
+
+
+class Echo(ProtocolNode):
+    """Replies to ping with pong; counts activations."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.activations = 0
+        self.pongs: list[int] = []
+
+    def on_activate(self):
+        self.activations += 1
+
+    def on_ping(self, sender, value):
+        self.send(sender, "pong", value=value + 1)
+
+    def on_pong(self, sender, value):
+        self.pongs.append(value)
+
+
+class TestProtocolNode:
+    def test_unknown_action_raises(self):
+        runner = SyncRunner()
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        a.send(1, "nonsense")
+        with pytest.raises(ProtocolError):
+            runner.step()
+
+    def test_double_bind_rejected(self):
+        runner = SyncRunner()
+        node = Echo(0)
+        runner.register(node)
+        with pytest.raises(ProtocolError):
+            node.bind(runner)
+
+    def test_unbound_node_cannot_send(self):
+        with pytest.raises(ProtocolError):
+            Echo(0).send(1, "ping", value=0)
+
+
+class TestSyncRunner:
+    def test_messages_delivered_next_round(self):
+        runner = SyncRunner()
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        a.send(1, "ping", value=10)
+        runner.step()  # ping delivered, pong sent
+        assert a.pongs == []
+        runner.step()  # pong delivered
+        assert a.pongs == [11]
+
+    def test_every_node_activated_each_round(self):
+        runner = SyncRunner()
+        nodes = [Echo(i) for i in range(5)]
+        runner.register_all(nodes)
+        runner.step()
+        runner.step()
+        assert all(n.activations == 2 for n in nodes)
+
+    def test_unknown_dest_rejected(self):
+        runner = SyncRunner()
+        runner.register(Echo(0))
+        with pytest.raises(SimulationError):
+            runner.nodes[0].send(99, "ping", value=0)
+
+    def test_duplicate_registration_rejected(self):
+        runner = SyncRunner()
+        runner.register(Echo(0))
+        with pytest.raises(SimulationError):
+            runner.register(Echo(0))
+
+    def test_run_until_bound(self):
+        runner = SyncRunner()
+        runner.register(Echo(0))
+        with pytest.raises(SimulationError):
+            runner.run_until(lambda: False, max_rounds=5)
+
+    def test_quiescence(self):
+        runner = SyncRunner()
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        assert runner.is_quiescent()
+        a.send(1, "ping", value=0)
+        assert not runner.is_quiescent()
+        runner.run_until_quiescent()
+        assert runner.is_quiescent() and a.pongs
+
+    def test_deregister_blocks_in_flight(self):
+        runner = SyncRunner()
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        a.send(1, "ping", value=0)
+        with pytest.raises(SimulationError):
+            runner.deregister(1)
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            runner = SyncRunner(seed=seed)
+            nodes = [Echo(i) for i in range(4)]
+            runner.register_all(nodes)
+            for i in range(1, 4):
+                nodes[0].send(i, "ping", value=i)
+            runner.step()
+            runner.step()
+            return nodes[0].pongs
+
+        assert run(3) == run(3)
+
+
+class TestAsyncRunner:
+    def test_ping_pong_completes(self):
+        runner = AsyncRunner(seed=1)
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        a.send(1, "ping", value=5)
+        runner.run_until(lambda: bool(a.pongs), max_time=100)
+        assert a.pongs == [6]
+
+    def test_nonfifo_reordering_possible(self):
+        """With random delays, sends can arrive out of order."""
+        runner = AsyncRunner(seed=4, delay_fn=uniform_delay(0.1, 5.0))
+
+        class Sink(ProtocolNode):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.seen = []
+
+            def on_item(self, sender, value):
+                self.seen.append(value)
+
+        class Burst(ProtocolNode):
+            def on_activate(self):
+                if self.ctx.now < 1.0:
+                    for i in range(20):
+                        self.send(1, "item", value=i)
+
+        src, sink = Burst(0), Sink(1)
+        runner.register_all([src, sink])
+        runner.run_until(lambda: len(sink.seen) >= 20, max_time=100)
+        assert sorted(sink.seen[:20]) == list(range(20))
+        assert sink.seen[:20] != sorted(sink.seen[:20])  # at least one reorder
+
+    def test_adversarial_delay_stragglers(self):
+        rngs = RngRegistry(0)
+        fn = adversarial_delay(slow_fraction=0.5, slow_factor=100)
+        delays = [fn(None, rngs.stream("d")) for _ in range(200)]
+        assert max(delays) > 20 * min(delays)
+
+    def test_activation_recurs(self):
+        runner = AsyncRunner(seed=2, activation_period=0.5)
+        node = Echo(0)
+        runner.register(node)
+        runner.run_until(lambda: node.activations >= 4, max_time=10)
+        assert node.activations >= 4
+
+    def test_negative_delay_rejected(self):
+        runner = AsyncRunner(seed=0, delay_fn=lambda m, r: -1.0)
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        with pytest.raises(SimulationError):
+            a.send(1, "ping", value=0)
+
+    def test_run_until_quiescent(self):
+        runner = AsyncRunner(seed=3)
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        a.send(1, "ping", value=1)
+        runner.run_until_quiescent(max_time=1000)
+        assert a.pongs == [2]

@@ -1,0 +1,199 @@
+"""End-to-end tests for the Skeap protocol (Section 3, Theorem 3.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BOTTOM, SkeapHeap, check_skeap_history
+from repro.semantics import FifoPriorityHeap
+from repro.sim.async_runner import adversarial_delay
+
+
+def drive(heap, ops, settle_every=0.0, rng=None):
+    """Submit (kind, priority, node) ops; returns delete handles."""
+    deletes = []
+    for kind, priority, node in ops:
+        if kind == "ins":
+            heap.insert(priority=priority, at=node)
+        else:
+            deletes.append(heap.delete_min(at=node))
+        if rng is not None and settle_every and rng.random() < settle_every:
+            heap.settle(500_000)
+    heap.settle(500_000)
+    return deletes
+
+
+class TestBasics:
+    def test_insert_then_delete(self, small_skeap):
+        small_skeap.insert(priority=2, value="x", at=0)
+        d = small_skeap.delete_min(at=3)
+        small_skeap.settle()
+        assert d.done and d.result.value == "x"
+
+    def test_min_priority_wins(self, small_skeap):
+        small_skeap.insert(priority=3, at=0)
+        small_skeap.insert(priority=1, at=1)
+        small_skeap.insert(priority=2, at=2)
+        small_skeap.settle()
+        d = small_skeap.delete_min(at=4)
+        small_skeap.settle()
+        assert d.result.priority == 1
+
+    def test_empty_heap_returns_bottom(self, small_skeap):
+        d = small_skeap.delete_min(at=2)
+        small_skeap.settle()
+        assert d.result is BOTTOM and d.is_bottom
+
+    def test_fifo_within_priority(self, small_skeap):
+        """Same-node same-priority inserts are served in submission order."""
+        a = small_skeap.insert(priority=1, value="first", at=0)
+        b = small_skeap.insert(priority=1, value="second", at=0)
+        small_skeap.settle()
+        d1 = small_skeap.delete_min(at=1)
+        small_skeap.settle()
+        d2 = small_skeap.delete_min(at=1)
+        small_skeap.settle()
+        assert d1.result.uid == a.uid
+        assert d2.result.uid == b.uid
+
+    def test_insert_handles_resolve(self, small_skeap):
+        h = small_skeap.insert(priority=1, at=0)
+        assert not h.done
+        small_skeap.settle()
+        assert h.done and h.result is True
+
+    def test_invalid_priority_rejected(self, small_skeap):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            small_skeap.insert(priority=9, at=0)
+
+    def test_single_node_heap(self):
+        heap = SkeapHeap(n_nodes=1, n_priorities=2, seed=0)
+        heap.insert(priority=2, at=0)
+        heap.insert(priority=1, at=0)
+        d = heap.delete_min(at=0)
+        heap.settle()
+        assert d.result.priority == 1
+
+    def test_elements_survive_in_dht(self, small_skeap):
+        for i in range(9):
+            small_skeap.insert(priority=1 + i % 3, at=i % 6)
+        small_skeap.settle()
+        assert small_skeap.total_stored() == 9
+        assert small_skeap.live_elements() == 9
+
+    def test_round_robin_submission(self):
+        heap = SkeapHeap(n_nodes=4, n_priorities=2, seed=1)
+        for _ in range(8):
+            heap.insert(priority=1)
+        heap.settle()
+        assert heap.total_stored() == 8
+
+
+class TestBatching:
+    def test_same_round_ops_form_one_batch(self, small_skeap):
+        for node in range(6):
+            small_skeap.insert(priority=1, at=node)
+        small_skeap.settle()
+        log = small_skeap.anchor_node.anchor_log
+        batches_with_ops = [b for b, _ in log if not b.is_empty()]
+        assert len(batches_with_ops) == 1
+        assert batches_with_ops[0].total_inserts() == 6
+
+    def test_cross_iteration_positions_continue(self, small_skeap):
+        small_skeap.insert(priority=1, at=0)
+        small_skeap.settle()
+        small_skeap.insert(priority=1, at=0)
+        small_skeap.settle()
+        state = small_skeap.anchor_node.anchor_state
+        assert state.last[0] == 2
+
+    def test_more_deletes_than_elements(self, small_skeap):
+        small_skeap.insert(priority=2, at=0)
+        small_skeap.settle()
+        dels = [small_skeap.delete_min(at=i) for i in range(4)]
+        small_skeap.settle()
+        matched = [d for d in dels if d.result is not BOTTOM]
+        bots = [d for d in dels if d.result is BOTTOM]
+        assert len(matched) == 1 and len(bots) == 3
+
+
+class TestSequentialConsistency:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10)
+    def test_random_histories_check_out(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 10)
+        heap = SkeapHeap(n_nodes=n, n_priorities=rng.randint(1, 4), seed=seed)
+        ops = []
+        for _ in range(rng.randint(5, 60)):
+            if rng.random() < 0.55:
+                ops.append(("ins", rng.randint(1, heap.n_priorities), rng.randrange(n)))
+            else:
+                ops.append(("del", None, rng.randrange(n)))
+        drive(heap, ops, settle_every=0.15, rng=rng)
+        check_skeap_history(heap.history)
+
+    def test_matches_sequential_model_single_client(self):
+        """One client, strictly sequential: must match a FIFO heap exactly."""
+        heap = SkeapHeap(n_nodes=5, n_priorities=3, seed=7)
+        model = FifoPriorityHeap()
+        rng = random.Random(0)
+        for step in range(40):
+            if rng.random() < 0.6:
+                p = rng.randint(1, 3)
+                h = heap.insert(priority=p, at=0)
+                heap.settle()
+                model.insert(p, h.uid)
+            else:
+                d = heap.delete_min(at=0)
+                heap.settle()
+                expected = model.delete_min()
+                if expected is None:
+                    assert d.result is BOTTOM
+                else:
+                    assert d.result.uid == expected[1]
+
+    def test_local_order_respected_under_async(self):
+        heap = SkeapHeap(
+            n_nodes=6, n_priorities=3, seed=3, runner="async",
+            delay_fn=adversarial_delay(),
+        )
+        rng = random.Random(11)
+        for _ in range(60):
+            node = rng.randrange(6)
+            if rng.random() < 0.55:
+                heap.insert(priority=rng.randint(1, 3), at=node)
+            else:
+                heap.delete_min(at=node)
+        heap.settle(500_000)
+        check_skeap_history(heap.history)
+
+    def test_concurrent_deletes_never_duplicate(self, small_skeap):
+        for i in range(5):
+            small_skeap.insert(priority=1, at=i)
+        small_skeap.settle()
+        dels = [small_skeap.delete_min(at=i) for i in range(6)]
+        small_skeap.settle()
+        returned = [d.result.uid for d in dels if d.result is not BOTTOM]
+        assert len(returned) == 5 and len(set(returned)) == 5
+        assert sum(1 for d in dels if d.result is BOTTOM) == 1
+
+
+class TestMessageSizes:
+    def test_batch_messages_grow_with_buffered_ops(self):
+        light = SkeapHeap(n_nodes=8, n_priorities=3, seed=5, record_history=False)
+        light.insert(priority=1, at=0)
+        light.settle()
+        heavy = SkeapHeap(n_nodes=8, n_priorities=3, seed=5, record_history=False)
+        for i in range(200):
+            # alternate to maximize batch entries (worst case of Lemma 3.8)
+            heavy.insert(priority=1 + i % 3, at=i % 8)
+            heavy.delete_min(at=(i + 1) % 8)
+        heavy.settle()
+        assert heavy.metrics.max_message_bits > light.metrics.max_message_bits

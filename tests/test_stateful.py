@@ -1,0 +1,97 @@
+"""Hypothesis stateful testing: a Skeap cluster against the sequential model.
+
+The rule machine interleaves inserts, deletes, iteration-aligned batch
+boundaries and full settles; after every aligned batch the distributed
+heap's returns must match the FIFO-priority reference exactly (with
+DFS-order tie-breaking within a batch, which is Skeap's serialization).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro import BOTTOM, SkeapHeap, check_skeap_history
+from repro.semantics import FifoPriorityHeap
+
+N_NODES = 5
+N_PRIORITIES = 3
+
+
+class SkeapMachine(RuleBasedStateMachine):
+    """Drive a real cluster and a sequential model in lockstep batches."""
+
+    def __init__(self):
+        super().__init__()
+        self.heap = None
+        self.model = None
+        self.batch_ins: list[tuple[int, int, int, int]] = []  # dfs, seq, prio, uid
+        self.batch_dels: list = []
+        self.dfs_of: dict[int, int] = {}
+
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        self.heap = SkeapHeap(N_NODES, n_priorities=N_PRIORITIES, seed=seed)
+        self.model = FifoPriorityHeap()
+        self.dfs_of = {
+            r: self.heap.topology.dfs_rank[r * 3 + 1] for r in range(N_NODES)
+        }
+        self.heap.pause()
+
+    @rule(priority=st.integers(1, N_PRIORITIES), node=st.integers(0, N_NODES - 1))
+    def insert(self, priority, node):
+        self.batch_ins.append((priority, node))
+
+    @rule(node=st.integers(0, N_NODES - 1))
+    def delete_min(self, node):
+        self.batch_dels.append(node)
+
+    @rule()
+    def commit_batch(self):
+        """Close the batch: run it as one iteration, compare to the model.
+
+        Inserts are submitted before deletes so every node's buffer is a
+        single batch entry — the regime where batch semantics equal the
+        sequential model's insert-all-then-pop order.
+        """
+        submitted = []
+        for priority, node in self.batch_ins:
+            h = self.heap.insert(priority=priority, at=node)
+            submitted.append((self.dfs_of[node], h.op_id[1], priority, h.uid))
+        self.batch_dels = [self.heap.delete_min(at=node) for node in self.batch_dels]
+        self.heap.resume()
+        self.heap.settle(500_000)
+        self.heap.pause()
+        for _, _, priority, uid in sorted(submitted):
+            self.model.insert(priority, uid)
+        expected = set()
+        for _ in self.batch_dels:
+            popped = self.model.delete_min()
+            expected.add(popped[1] if popped else None)
+        got = {
+            d.result.uid if d.result is not BOTTOM else None
+            for d in self.batch_dels
+        }
+        assert got == expected
+        self.batch_ins.clear()
+        self.batch_dels.clear()
+
+    @invariant()
+    def anchor_and_model_agree_on_size(self):
+        if self.heap is None or self.batch_ins or self.batch_dels:
+            return
+        assert self.heap.live_elements() == len(self.model)
+
+    def teardown(self):
+        if self.heap is None:
+            return
+        self.heap.resume()
+        self.heap.settle(500_000)
+        check_skeap_history(self.heap.history)
+
+
+SkeapMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=12, deadline=None
+)
+TestSkeapStateful = SkeapMachine.TestCase

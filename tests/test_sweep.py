@@ -1,0 +1,67 @@
+"""Tests for the generic sweep utility and the bulk-submit sugar."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import BOTTOM, SeapHeap, SkeapHeap
+from repro.errors import WorkloadError
+from repro.harness import sweep
+
+
+class TestSweep:
+    def test_log_series(self):
+        r = sweep("s", "t", [8, 16, 32, 64], lambda x: 3 * math.log2(x) + 1)
+        assert r.looks_logarithmic and r.looks_sublinear
+        assert abs(r.log_fit.a - 3) < 1e-9
+
+    def test_linear_series(self):
+        r = sweep("s", "t", [8, 16, 32, 64], lambda x: 2.0 * x)
+        assert not r.looks_sublinear
+        assert abs(r.linear_fit.a - 2) < 1e-9
+        assert r.ratio_end_to_end() == pytest.approx(8.0)
+
+    def test_table_rendering(self):
+        r = sweep("S1", "my study", [2, 4], lambda x: x, x_label="n", y_label="cost")
+        out = r.table.render()
+        assert "S1" in out and "cost" in out and "log fit" in out
+
+    def test_needs_two_points(self):
+        with pytest.raises(WorkloadError):
+            sweep("s", "t", [4], lambda x: x)
+
+    def test_measure_failures_propagate(self):
+        with pytest.raises(RuntimeError):
+            sweep("s", "t", [1, 2], lambda x: (_ for _ in ()).throw(RuntimeError("boom")))
+
+    def test_real_cluster_sweep(self):
+        def rounds_for(n):
+            heap = SkeapHeap(int(n), n_priorities=2, seed=1, record_history=False)
+            heap.insert(priority=1, at=0)
+            return heap.settle()
+
+        r = sweep("real", "rounds vs n", [4, 8, 16], rounds_for)
+        assert all(y > 0 for y in r.ys)
+
+
+class TestBulkSubmit:
+    def test_skeap_insert_many(self):
+        heap = SkeapHeap(4, n_priorities=3, seed=2)
+        handles = heap.insert_many([(2, "a"), (1, "b"), (3, "c")], at=0)
+        heap.settle()
+        assert all(h.done for h in handles)
+        dels = heap.delete_min_many(4, at=1)
+        heap.settle()
+        got = [d.result.value for d in dels if d.result is not BOTTOM]
+        assert got[0] == "b"  # priority 1 first
+        assert sum(1 for d in dels if d.result is BOTTOM) == 1
+
+    def test_seap_insert_many(self):
+        heap = SeapHeap(4, seed=3)
+        heap.insert_many([(100, "x"), (5, "y")], at=2)
+        heap.settle()
+        d = heap.delete_min_many(1, at=0)[0]
+        heap.settle()
+        assert d.result.value == "y"

@@ -1,0 +1,94 @@
+"""Tests for the ASCII introspection renderers."""
+
+from __future__ import annotations
+
+from repro import SkeapHeap
+from repro.harness import (
+    render_activity,
+    render_cycle,
+    render_store_loads,
+    render_tree,
+)
+from repro.overlay.ldb import LDBTopology
+
+
+def _run_heap(n=5, seed=2):
+    heap = SkeapHeap(n, n_priorities=2, seed=seed, record_history=False)
+    for i in range(8):
+        heap.insert(priority=1 + i % 2, at=i % n)
+    heap.settle()
+    return heap
+
+
+class TestRenderTree:
+    def test_contains_every_virtual_node(self):
+        topo = LDBTopology(list(range(4)), seed=1)
+        out = render_tree(topo)
+        for real in range(4):
+            for glyph in "lmr":
+                assert f"{glyph}({real})" in out
+
+    def test_marks_anchor_once(self):
+        out = render_tree(LDBTopology(list(range(6)), seed=2))
+        assert out.count("← anchor") == 1
+
+    def test_structure_lines_match_node_count(self):
+        topo = LDBTopology(list(range(7)), seed=3)
+        out = render_tree(topo)
+        assert len(out.splitlines()) == topo.n_virtual + 1  # + header
+
+    def test_truncation(self):
+        topo = LDBTopology(list(range(30)), seed=4)
+        out = render_tree(topo, max_nodes=10)
+        assert "truncated" in out
+
+    def test_indentation_reflects_depth(self):
+        topo = LDBTopology(list(range(5)), seed=3)
+        out = render_tree(topo)
+        # at least one nested connector
+        assert "└─" in out or "├─" in out
+
+
+class TestRenderCycle:
+    def test_strip_width_and_legend(self):
+        out = render_cycle(LDBTopology(list(range(8)), seed=5), width=50)
+        lines = out.splitlines()
+        assert len(lines[1]) == 50
+        assert lines[0].startswith("label space")
+
+    def test_single_node(self):
+        out = render_cycle(LDBTopology([0], seed=6))
+        assert sum(out.splitlines()[1].count(g) for g in "lmr*") == 3
+
+
+class TestRenderActivity:
+    def test_summary_and_sparkline(self):
+        heap = _run_heap()
+        out = render_activity(heap.metrics)
+        assert f"rounds={heap.metrics.rounds}" in out
+        assert "route" in out  # dominant action listed
+        assert "congestion/round:" in out
+
+    def test_empty_metrics(self):
+        from repro.sim.metrics import MetricsCollector
+
+        out = render_activity(MetricsCollector())
+        assert "rounds=0" in out
+
+    def test_long_runs_are_bucketed(self):
+        from repro.sim.metrics import MetricsCollector
+
+        mc = MetricsCollector()
+        for _ in range(500):
+            mc.end_round()
+        out = render_activity(mc)
+        spark = out.splitlines()[1].split(": ", 1)[1]
+        assert len(spark) <= 64
+
+
+class TestRenderStoreLoads:
+    def test_totals_match_cluster(self):
+        heap = _run_heap()
+        out = render_store_loads(heap)
+        assert f"total={heap.total_stored()}" in out
+        assert all(f"p{r}" in out for r in range(heap.n_nodes))

@@ -1,0 +1,122 @@
+"""Tests for workload generators and application scenarios."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    WorkloadSpec,
+    fixed_priorities,
+    generate_ops,
+    scheduling_trace,
+    sorting_batch,
+    uniform_priorities,
+    zipf_priorities,
+)
+
+
+class TestDistributions:
+    def test_uniform_range(self):
+        import numpy as np
+
+        dist = uniform_priorities(5, 9)
+        vals = dist.sample(np.random.default_rng(0), 500)
+        assert vals.min() >= 5 and vals.max() <= 9
+
+    def test_fixed_classes(self):
+        import numpy as np
+
+        dist = fixed_priorities(3)
+        vals = set(dist.sample(np.random.default_rng(0), 200).tolist())
+        assert vals <= {1, 2, 3}
+
+    def test_zipf_skew(self):
+        import numpy as np
+
+        dist = zipf_priorities(1, 100, s=2.0)
+        vals = dist.sample(np.random.default_rng(0), 2000)
+        assert (vals == 1).mean() > 0.3  # heavy head
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            uniform_priorities(5, 2)
+        with pytest.raises(WorkloadError):
+            fixed_priorities(0)
+        with pytest.raises(WorkloadError):
+            zipf_priorities(1, 10, s=0.5)
+
+
+class TestWorkloadSpec:
+    def test_deterministic(self):
+        spec = WorkloadSpec(n_ops=50, n_nodes=8, seed=3)
+        assert list(generate_ops(spec)) == list(generate_ops(spec))
+
+    def test_respects_counts_and_nodes(self):
+        spec = WorkloadSpec(n_ops=100, n_nodes=4, seed=1)
+        ops = list(generate_ops(spec))
+        assert len(ops) == 100
+        assert all(0 <= node < 4 for _, _, node in ops)
+
+    def test_first_op_is_insert(self):
+        spec = WorkloadSpec(n_ops=30, n_nodes=2, insert_fraction=0.3, seed=2)
+        ops = list(generate_ops(spec))
+        assert ops[0][0] == "ins"
+
+    def test_all_deletes_when_fraction_zero(self):
+        spec = WorkloadSpec(n_ops=20, n_nodes=2, insert_fraction=0.0, seed=2)
+        assert all(k == "del" for k, _, _ in generate_ops(spec))
+
+    def test_hot_node(self):
+        spec = WorkloadSpec(n_ops=300, n_nodes=8, hot_node_fraction=0.9, seed=4)
+        nodes = [node for _, _, node in generate_ops(spec)]
+        assert nodes.count(0) > 200
+
+    def test_empty_workload(self):
+        assert list(generate_ops(WorkloadSpec(n_ops=0, n_nodes=1))) == []
+
+    def test_invalid_spec(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_ops=10, n_nodes=2, insert_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_ops=-1, n_nodes=2)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(n_ops=1, n_nodes=0)
+
+    @given(st.integers(0, 200), st.integers(1, 16), st.integers(0, 100))
+    def test_mix_fraction_roughly_respected(self, n_ops, n_nodes, seed):
+        spec = WorkloadSpec(n_ops=n_ops, n_nodes=n_nodes, insert_fraction=0.5, seed=seed)
+        ops = list(generate_ops(spec))
+        assert len(ops) == n_ops
+        if n_ops >= 100:
+            frac = sum(1 for k, _, _ in ops if k == "ins") / n_ops
+            assert 0.3 < frac < 0.7
+
+
+class TestScenarios:
+    def test_scheduling_trace_shape(self):
+        trace = scheduling_trace(50, 8, n_urgency_classes=3, seed=1)
+        assert len(trace) == 50
+        assert all(1 <= j.urgency <= 3 for j in trace)
+        assert all(0 <= j.submitted_by < 8 for j in trace)
+        assert len({j.job_id for j in trace}) == 50
+
+    def test_scheduling_urgency_skew(self):
+        trace = scheduling_trace(600, 4, n_urgency_classes=3, seed=2)
+        counts = [sum(1 for j in trace if j.urgency == u) for u in (1, 2, 3)]
+        assert counts[0] < counts[2]  # urgent work is rare
+
+    def test_sorting_batch_distinct(self):
+        vals = sorting_batch(100, seed=5)
+        assert len(set(vals)) == 100
+
+    def test_sorting_batch_deterministic(self):
+        assert sorting_batch(50, seed=9) == sorting_batch(50, seed=9)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            scheduling_trace(-1, 2)
+        with pytest.raises(WorkloadError):
+            sorting_batch(-5)
