@@ -90,3 +90,90 @@ def test_bench_micro_skeap_iteration(benchmark):
         )
 
     benchmark.pedantic(one_iteration, rounds=5, iterations=1)
+
+
+def test_bench_micro_idle_round_stepping(benchmark):
+    """Stepping a mostly-idle cluster: the sparse wake-set means cost
+    tracks the two active nodes, not the 200 parked ones."""
+    from repro.sim import ProtocolNode, SyncRunner
+
+    class Idle(ProtocolNode):
+        pass
+
+    class Chatter(ProtocolNode):
+        def __init__(self, node_id, peer):
+            super().__init__(node_id)
+            self.peer = peer
+
+        def wants_activation(self):
+            return True
+
+        def on_activate(self):
+            self.send(self.peer, "ping", value=0)
+
+        def on_ping(self, sender, value):
+            pass
+
+    runner = SyncRunner(seed=0)
+    runner.register_all([Idle(i) for i in range(200)])
+    runner.register_all([Chatter(200, 201), Chatter(201, 200)])
+    for _ in range(2):  # drain the bootstrap activations
+        runner.step()
+
+    def hundred_rounds():
+        for _ in range(100):
+            runner.step()
+
+    benchmark(hundred_rounds)
+
+
+def test_bench_micro_record_delivery_lean(benchmark):
+    from repro.sim import Message, MetricsCollector
+
+    msgs = [
+        Message(sender=0, dest=i % 16, action="route", payload={"v": i})
+        for i in range(1000)
+    ]
+    mc = MetricsCollector(detail=False)
+
+    def record_all():
+        for msg in msgs:
+            mc.record_delivery(msg)
+        mc.end_round()
+
+    benchmark(record_all)
+
+
+def test_bench_micro_record_delivery_detail(benchmark):
+    from repro.sim import Message, MetricsCollector
+
+    msgs = [
+        Message(sender=0, dest=i % 16, action="route", payload={"v": i})
+        for i in range(1000)
+    ]
+    mc = MetricsCollector(detail=True)
+
+    def record_all():
+        for msg in msgs:
+            mc.record_delivery(msg)
+        mc.end_round()
+
+    benchmark(record_all)
+
+
+def test_bench_micro_payload_sizing(benchmark):
+    """Element-heavy payload sizing: the memoized per-type sizer cache
+    turns the isinstance scan into a dict hit."""
+    from repro.element import Element
+    from repro.sim import payload_size_bits
+
+    rng = np.random.default_rng(5)
+    payloads = [
+        [Element(int(p), uid) for uid, p in enumerate(rng.integers(1, 4, size=32))]
+        for _ in range(100)
+    ]
+
+    def size_all():
+        return sum(payload_size_bits(p) for p in payloads)
+
+    benchmark(size_all)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python scripts/compare_bench.py BASELINE.json CURRENT.json [--max-ratio 1.25]
+
+Exits non-zero if any benchmark shared by both files regressed by more
+than ``--max-ratio`` (default 1.25: >25% slower than baseline).  Medians
+are compared — they are far more stable than means on shared CI runners.
+Benchmarks present in only one file are reported but never fail the
+check, so adding or retiring a benchmark doesn't need a baseline dance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_medians(path: Path) -> dict[str, float]:
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in data["benchmarks"]
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.25,
+        help="fail if current/baseline median exceeds this (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+
+    failures = []
+    for name in shared:
+        ratio = current[name] / baseline[name]
+        flag = "REGRESSED" if ratio > args.max_ratio else "ok"
+        print(
+            f"{flag:>9}  {ratio:6.2f}x  "
+            f"{baseline[name] * 1e3:10.3f}ms -> {current[name] * 1e3:10.3f}ms  {name}"
+        )
+        if ratio > args.max_ratio:
+            failures.append((name, ratio))
+    for name in only_base:
+        print(f"  missing  (baseline only) {name}")
+    for name in only_cur:
+        print(f"      new  (current only)  {name}")
+
+    if not shared:
+        print("error: no shared benchmarks between baseline and current", file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed beyond "
+            f"{args.max_ratio:.2f}x baseline:",
+            file=sys.stderr,
+        )
+        for name, ratio in failures:
+            print(f"  {ratio:.2f}x  {name}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} shared benchmarks within {args.max_ratio:.2f}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ from .harness import render_activity, render_tree
 
 def main() -> int:
     print(f"repro {__version__} — Skeap & Seap (SPAA 2019) reproduction\n")
-    heap = SkeapHeap(n_nodes=8, n_priorities=3, seed=7)
+    heap = SkeapHeap(n_nodes=8, n_priorities=3, seed=7, metrics_detail=True)
     heap.insert(priority=2, value="medium", at=1)
     heap.insert(priority=1, value="urgent", at=5)
     first = heap.delete_min(at=3)

@@ -59,6 +59,11 @@ class _Client(ProtocolNode):
     def has_work(self) -> bool:
         return bool(self.buffered) or bool(self.pending)
 
+    def wants_activation(self) -> bool:
+        # Mirrors on_activate: only buffered requests trigger sends;
+        # ``pending`` just awaits coordinator replies (messages re-wake us).
+        return bool(self.buffered)
+
     def on_activate(self) -> None:
         while self.buffered:
             kind, handle = self.buffered.popleft()
@@ -90,11 +95,11 @@ class _Client(ProtocolNode):
 class CentralHeapCluster:
     """n clients, one coordinator, a synchronous driver (experiment T12)."""
 
-    def __init__(self, n_nodes: int, seed: int = 0):
+    def __init__(self, n_nodes: int, seed: int = 0, metrics_detail: bool = False):
         if n_nodes < 1:
             raise ProtocolError("need at least one client")
         self.n_nodes = n_nodes
-        self.runner = SyncRunner(seed=seed)
+        self.runner = SyncRunner(seed=seed, metrics_detail=metrics_detail)
         self.coordinator = _Coordinator(node_id=n_nodes)  # ids 0..n-1 are clients
         self.clients = [_Client(i, self.coordinator.id) for i in range(n_nodes)]
         self.runner.register(self.coordinator)
@@ -112,14 +117,18 @@ class CentralHeapCluster:
             op_id=(at, self._uid), kind="ins", priority=priority,
             uid=self._uid, value=value,
         )
-        self.clients[at].buffered.append(("ins", handle))
+        client = self.clients[at]
+        client.buffered.append(("ins", handle))
+        client.request_activation()
         self._outstanding.append(handle)
         return handle
 
     def delete_min(self, at: int = 0) -> OpHandle:
         self._uid += 1
         handle = OpHandle(op_id=(at, self._uid), kind="del")
-        self.clients[at].buffered.append(("del", handle))
+        client = self.clients[at]
+        client.buffered.append(("del", handle))
+        client.request_activation()
         self._outstanding.append(handle)
         return handle
 

@@ -36,6 +36,11 @@ class _UnbatchedNode(OverlayNode):
     def has_work(self) -> bool:
         return bool(self.buffered) or bool(self.pending)
 
+    def wants_activation(self) -> bool:
+        # Mirrors on_activate: only buffered requests trigger sends;
+        # ``pending`` just awaits replies (message receipt re-wakes us).
+        return bool(self.buffered)
+
     # -- client side ------------------------------------------------------
 
     def on_activate(self) -> None:
@@ -134,14 +139,18 @@ class UnbatchedHeapCluster(OverlayCluster):
             op_id=(at, self._uid), kind="ins", priority=priority,
             uid=self._uid, value=value,
         )
-        self.middle_node(at).buffered.append(handle)
+        node = self.middle_node(at)
+        node.buffered.append(handle)
+        node.request_activation()
         self._outstanding.append(handle)
         return handle
 
     def delete_min(self, at: int = 0) -> OpHandle:
         self._uid += 1
         handle = OpHandle(op_id=(at, self._uid), kind="del")
-        self.middle_node(at).buffered.append(handle)
+        node = self.middle_node(at)
+        node.buffered.append(handle)
+        node.request_activation()
         self._outstanding.append(handle)
         return handle
 

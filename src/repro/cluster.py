@@ -36,6 +36,7 @@ class OverlayCluster:
         seed: int = 0,
         runner: str = "sync",
         delay_fn: Callable | None = None,
+        metrics_detail: bool = False,
     ):
         if n_nodes < 1:
             raise SimulationError("cluster needs at least one node")
@@ -44,10 +45,14 @@ class OverlayCluster:
         self.topology = LDBTopology(list(range(n_nodes)), seed=seed)
         self.keyspace = KeySpace(seed)
         if runner == "sync":
-            self.runner = SyncRunner(seed=seed, owner_of=owner_of)
+            self.runner = SyncRunner(
+                seed=seed, owner_of=owner_of, metrics_detail=metrics_detail
+            )
         elif runner == "async":
             kwargs = {"delay_fn": delay_fn} if delay_fn is not None else {}
-            self.runner = AsyncRunner(seed=seed, owner_of=owner_of, **kwargs)
+            self.runner = AsyncRunner(
+                seed=seed, owner_of=owner_of, metrics_detail=metrics_detail, **kwargs
+            )
         else:
             raise SimulationError(f"unknown runner kind {runner!r}")
         self.nodes: dict[int, OverlayNode] = {}

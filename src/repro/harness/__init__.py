@@ -1,7 +1,8 @@
 """Experiment harness: runners, shape fits, tables, per-claim experiments."""
 
-from .experiments import ALL_EXPERIMENTS, run_all
+from .experiments import ALL_EXPERIMENTS, ALL_PLAN_FACTORIES, all_plans, run_all
 from .fitting import FitResult, fit_linear, fit_log2, is_logarithmic, is_sublinear
+from .parallel import ExperimentPlan, default_jobs, execute_plans
 from .runner import RunResult, drive_rounds, run_injection, run_workload
 from .sweep import SweepResult, sweep
 from .tables import Table
@@ -9,11 +10,16 @@ from .tracing import render_activity, render_cycle, render_store_loads, render_t
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "ALL_PLAN_FACTORIES",
+    "ExperimentPlan",
     "FitResult",
     "RunResult",
     "SweepResult",
     "Table",
+    "all_plans",
+    "default_jobs",
     "drive_rounds",
+    "execute_plans",
     "fit_linear",
     "fit_log2",
     "is_logarithmic",

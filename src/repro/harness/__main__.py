@@ -2,33 +2,58 @@
 
 Usage::
 
-    python -m repro.harness [--quick] [--markdown] [IDS...]
+    python -m repro.harness [--quick] [--markdown] [--serial] [--jobs N] [IDS...]
 
 ``--quick`` shrinks the parameter grids; ``--markdown`` emits GitHub
 tables (how EXPERIMENTS.md's body is produced); ``IDS`` selects specific
-experiments (T1..T13, F1, F2, A1, A2).
+experiments (T1..T14, F1, F2, A1, A2).
+
+By default the independent grid points of every selected experiment fan
+out across a process pool (one worker per CPU; override with
+``--jobs N``).  ``--serial`` (or ``--jobs 1``) runs everything inline.
+Results merge back in grid order, so serial and parallel output is
+byte-identical.
 """
 
 from __future__ import annotations
 
 import sys
 
-from .experiments import ALL_EXPERIMENTS, run_all
+from .experiments import ALL_PLAN_FACTORIES, all_plans
+from .parallel import default_jobs, execute_plans
 
 
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     markdown = "--markdown" in argv
-    ids = [a for a in argv if not a.startswith("-")]
+    serial = "--serial" in argv
+    jobs: int | None = None
+    args = [a for a in argv if a not in ("--quick", "--markdown", "--serial")]
+    if "--jobs" in args:
+        at = args.index("--jobs")
+        try:
+            jobs = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("--jobs requires an integer argument", file=sys.stderr)
+            return 2
+        del args[at : at + 2]
+    if serial:
+        jobs = 1
+    ids = [a for a in args if not a.startswith("-")]
     if ids:
-        unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+        unknown = [i for i in ids if i not in ALL_PLAN_FACTORIES]
         if unknown:
             print(f"unknown experiment ids: {unknown}", file=sys.stderr)
-            print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+            print(f"available: {', '.join(ALL_PLAN_FACTORIES)}", file=sys.stderr)
             return 2
-        tables = [ALL_EXPERIMENTS[i]() for i in ids]
-    else:
-        tables = run_all(quick=quick)
+    plans = all_plans(quick=quick, ids=ids or None)
+    n_jobs = default_jobs() if jobs is None else max(jobs, 1)
+    print(
+        f"# {len(plans)} experiments, "
+        f"{sum(len(p.tasks) for p in plans)} grid points, jobs={n_jobs}",
+        file=sys.stderr,
+    )
+    tables = execute_plans(plans, jobs=n_jobs)
     for table in tables:
         print(table.to_markdown() if markdown else table.render())
         print()

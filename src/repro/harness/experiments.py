@@ -4,6 +4,14 @@ Each function runs its measurement, checks the paper's claim as a shape
 assertion, and returns a printable :class:`~repro.harness.tables.Table`
 whose ``verdict`` states whether the claim's shape held.  ``run_all``
 regenerates every table, which is how ``EXPERIMENTS.md`` was produced.
+
+Each sweep experiment is decomposed into module-level **point functions**
+(one independent deterministic simulation per grid point, picklable for
+``ProcessPoolExecutor`` fan-out) plus an assembler that builds the table
+from the ordered point results.  ``plan_*`` factories expose this as
+:class:`~repro.harness.parallel.ExperimentPlan`; the classic ``t*_``
+functions are thin serial wrappers over the same plans, so serial and
+parallel runs share one code path and produce byte-identical tables.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from ..seap import SeapHeap
 from ..skeap import AnchorState, Batch, BatchEntry, SkeapHeap, decompose_block
 from ..workloads.generators import WorkloadSpec, fixed_priorities, uniform_priorities
 from .fitting import fit_log2, is_logarithmic, is_sublinear
+from .parallel import ExperimentPlan
 from .runner import make_seap, make_skeap, run_injection, run_workload
 from .tables import Table
 
@@ -30,6 +39,7 @@ __all__ = [
     "t10_routing_hops", "t11_tree_height", "t12_scalability_baselines",
     "t13_membership", "t14_linearization", "f1_figure1_trace", "f2_figure2_ldb",
     "a1_ablations", "a2_seap_sc_cost", "run_all", "ALL_EXPERIMENTS",
+    "ALL_PLAN_FACTORIES", "all_plans",
 ]
 
 _DEFAULT_NS = (8, 16, 32, 64, 128)
@@ -42,23 +52,26 @@ def _verdict(ok: bool) -> str:
 # -- T1 -----------------------------------------------------------------------
 
 
-def t1_skeap_rounds(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> Table:
-    """Cor. 3.6: a batch of buffered requests settles in O(log n) rounds."""
+def _pt_t1(n: int, ops_per_node: int, seed: int) -> tuple[int, int]:
+    heap = make_skeap(n, seed=seed)
+    spec = WorkloadSpec(
+        n_ops=ops_per_node * n, n_nodes=n, insert_fraction=0.6,
+        priorities=fixed_priorities(3), seed=seed,
+    )
+    result = run_workload(heap, spec)
+    return result.completed_ops, result.rounds
+
+
+def _asm_t1(ns, results) -> Table:
     table = Table(
         "T1", "Skeap rounds per batch vs n",
         "O(log n) rounds w.h.p. (Theorem 3.2(3) / Corollary 3.6)",
         ["n", "ops", "rounds", "rounds/log2(n)"],
     )
     rounds = []
-    for n in ns:
-        heap = make_skeap(n, seed=seed)
-        spec = WorkloadSpec(
-            n_ops=ops_per_node * n, n_nodes=n, insert_fraction=0.6,
-            priorities=fixed_priorities(3), seed=seed,
-        )
-        result = run_workload(heap, spec)
-        rounds.append(result.rounds)
-        table.add_row(n, result.completed_ops, result.rounds, result.rounds / math.log2(n))
+    for n, (ops, r) in zip(ns, results):
+        rounds.append(r)
+        table.add_row(n, ops, r, r / math.log2(n))
     fit = fit_log2(ns, rounds)
     ok = is_logarithmic(ns, rounds)
     table.add_note(f"fit rounds ≈ {fit.a:.2f}·log2(n) + {fit.b:.2f} (r²={fit.r2:.3f})")
@@ -66,22 +79,36 @@ def t1_skeap_rounds(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> Tab
     return table
 
 
+def plan_t1(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T1",
+        [(_pt_t1, {"n": n, "ops_per_node": ops_per_node, "seed": seed}) for n in ns],
+        lambda results: _asm_t1(ns, results),
+    )
+
+
+def t1_skeap_rounds(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> Table:
+    """Cor. 3.6: a batch of buffered requests settles in O(log n) rounds."""
+    return plan_t1(ns=ns, ops_per_node=ops_per_node, seed=seed).run_serial()
+
+
 # -- T2 --------------------------------------------------------------------------
 
 
-def t2_skeap_congestion(lams=(1, 2, 4, 8), n: int = 32, n_rounds: int = 40, seed: int = 0) -> Table:
-    """Thm 3.2(4): congestion O~(Λ) — linear in the injection rate."""
+def _pt_t2(lam: int, n: int, n_rounds: int, seed: int) -> int:
+    heap = make_skeap(n, seed=seed)
+    result = run_injection(heap, rate_per_node=lam, n_rounds=n_rounds)
+    return result.congestion
+
+
+def _asm_t2(lams, congestions) -> Table:
     table = Table(
         "T2", "Skeap congestion vs injection rate Λ",
         "congestion O~(Λ) (Theorem 3.2(4))",
         ["Λ", "congestion", "congestion/Λ"],
     )
-    congestions = []
-    for lam in lams:
-        heap = make_skeap(n, seed=seed)
-        result = run_injection(heap, rate_per_node=lam, n_rounds=n_rounds)
-        congestions.append(result.congestion)
-        table.add_row(lam, result.congestion, result.congestion / lam)
+    for lam, congestion in zip(lams, congestions):
+        table.add_row(lam, congestion, congestion / lam)
     # Linear in Λ means congestion/Λ stays within a constant band.
     ratios = [c / l for c, l in zip(congestions, lams)]
     ok = max(ratios) <= 4.0 * max(min(ratios), 1e-9)
@@ -90,50 +117,80 @@ def t2_skeap_congestion(lams=(1, 2, 4, 8), n: int = 32, n_rounds: int = 40, seed
     return table
 
 
+def plan_t2(lams=(1, 2, 4, 8), n: int = 32, n_rounds: int = 40, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T2",
+        [(_pt_t2, {"lam": lam, "n": n, "n_rounds": n_rounds, "seed": seed}) for lam in lams],
+        lambda results: _asm_t2(lams, results),
+    )
+
+
+def t2_skeap_congestion(lams=(1, 2, 4, 8), n: int = 32, n_rounds: int = 40, seed: int = 0) -> Table:
+    """Thm 3.2(4): congestion O~(Λ) — linear in the injection rate."""
+    return plan_t2(lams=lams, n=n, n_rounds=n_rounds, seed=seed).run_serial()
+
+
 # -- T3 ----------------------------------------------------------------------------
 
 
-def t3_skeap_msgsize(lams=(1, 2, 4, 8), n: int = 32, n_rounds: int = 30, seed: int = 0) -> Table:
-    """Lemma 3.8: Skeap's max message size grows with Λ (O(Λ log² n) bits)."""
+def _pt_t3(lam: int, n: int, n_rounds: int, seed: int) -> int:
+    heap = make_skeap(n, seed=seed)
+    result = run_injection(heap, rate_per_node=lam, n_rounds=n_rounds)
+    return result.max_message_bits
+
+
+def _asm_t3(lams, bits) -> Table:
     table = Table(
         "T3", "Skeap max message bits vs Λ",
         "message size O(Λ·log²n) bits — grows with the injection rate (Lemma 3.8)",
         ["Λ", "max message bits"],
     )
-    bits = []
-    for lam in lams:
-        heap = make_skeap(n, seed=seed)
-        result = run_injection(heap, rate_per_node=lam, n_rounds=n_rounds)
-        bits.append(result.max_message_bits)
-        table.add_row(lam, result.max_message_bits)
+    for lam, b in zip(lams, bits):
+        table.add_row(lam, b)
     ok = bits[-1] > bits[0] * 1.5  # the Λ-dependence is the claim's content
     table.add_note("contrast with T8: Seap's max message bits stay flat in Λ")
     table.verdict = _verdict(ok)
     return table
 
 
+def plan_t3(lams=(1, 2, 4, 8), n: int = 32, n_rounds: int = 30, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T3",
+        [(_pt_t3, {"lam": lam, "n": n, "n_rounds": n_rounds, "seed": seed}) for lam in lams],
+        lambda results: _asm_t3(lams, results),
+    )
+
+
+def t3_skeap_msgsize(lams=(1, 2, 4, 8), n: int = 32, n_rounds: int = 30, seed: int = 0) -> Table:
+    """Lemma 3.8: Skeap's max message size grows with Λ (O(Λ log² n) bits)."""
+    return plan_t3(lams=lams, n=n, n_rounds=n_rounds, seed=seed).run_serial()
+
+
 # -- T4 --------------------------------------------------------------------------------
 
 
-def t4_kselect_rounds(ns=_DEFAULT_NS, elements_per_node: int = 8, seed: int = 0) -> Table:
-    """Theorem 4.2: KSelect finishes in O(log n) rounds w.h.p."""
+def _pt_t4(n: int, elements_per_node: int, seed: int) -> tuple[int, int, int]:
+    m = elements_per_node * n
+    cluster = KSelectCluster(n, seed=seed)
+    rng = np.random.default_rng(seed + n)
+    keys = [(int(p), uid) for uid, p in enumerate(rng.integers(1, 1 << 20, size=m))]
+    cluster.scatter(keys)
+    k = m // 2
+    before = cluster.metrics.rounds
+    got = cluster.select(k)
+    elapsed = cluster.metrics.rounds - before
+    assert got == sorted(keys)[k - 1]
+    return m, k, elapsed
+
+
+def _asm_t4(ns, results) -> Table:
     table = Table(
         "T4", "KSelect rounds vs n",
         "O(log n) rounds w.h.p. (Theorem 4.2)",
         ["n", "m", "k", "rounds", "rounds/log2(n)"],
     )
     rounds = []
-    for n in ns:
-        m = elements_per_node * n
-        cluster = KSelectCluster(n, seed=seed)
-        rng = np.random.default_rng(seed + n)
-        keys = [(int(p), uid) for uid, p in enumerate(rng.integers(1, 1 << 20, size=m))]
-        cluster.scatter(keys)
-        k = m // 2
-        before = cluster.metrics.rounds
-        got = cluster.select(k)
-        elapsed = cluster.metrics.rounds - before
-        assert got == sorted(keys)[k - 1]
+    for n, (m, k, elapsed) in zip(ns, results):
         rounds.append(elapsed)
         table.add_row(n, m, k, elapsed, elapsed / math.log2(n))
     ok = is_logarithmic(ns, rounds)
@@ -141,6 +198,19 @@ def t4_kselect_rounds(ns=_DEFAULT_NS, elements_per_node: int = 8, seed: int = 0)
     table.add_note(f"fit rounds ≈ {fit.a:.2f}·log2(n) + {fit.b:.2f} (r²={fit.r2:.3f})")
     table.verdict = _verdict(ok)
     return table
+
+
+def plan_t4(ns=_DEFAULT_NS, elements_per_node: int = 8, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T4",
+        [(_pt_t4, {"n": n, "elements_per_node": elements_per_node, "seed": seed}) for n in ns],
+        lambda results: _asm_t4(ns, results),
+    )
+
+
+def t4_kselect_rounds(ns=_DEFAULT_NS, elements_per_node: int = 8, seed: int = 0) -> Table:
+    """Theorem 4.2: KSelect finishes in O(log n) rounds w.h.p."""
+    return plan_t4(ns=ns, elements_per_node=elements_per_node, seed=seed).run_serial()
 
 
 # -- T5 ------------------------------------------------------------------------------------
@@ -176,30 +246,33 @@ def t5_kselect_reduction(n: int = 64, elements_per_node: int = 64, seed: int = 0
 # -- T6 ---------------------------------------------------------------------------------
 
 
-def t6_kselect_vs_gather(ns=(8, 16, 32, 64), elements_per_node: int = 8, seed: int = 0) -> Table:
-    """Theorem 4.2 vs the naive baseline: message size O(log n) vs Θ(m log m)."""
+def _pt_t6(n: int, elements_per_node: int, seed: int) -> tuple[int, int, int]:
+    m = elements_per_node * n
+    rng = np.random.default_rng(seed + n)
+    keys = [(int(p), uid) for uid, p in enumerate(rng.integers(1, 1 << 20, size=m))]
+    expected = sorted(keys)[m // 2 - 1]
+
+    ks = KSelectCluster(n, seed=seed)
+    ks.scatter(keys)
+    assert ks.select(m // 2) == expected
+
+    ga = GatherSelectCluster(n, seed=seed)
+    ga.scatter(keys)
+    assert ga.select(m // 2) == expected
+    return m, ks.metrics.max_message_bits, ga.metrics.max_message_bits
+
+
+def _asm_t6(ns, results) -> Table:
     table = Table(
         "T6", "KSelect vs gather-to-root selection",
         "KSelect uses O(log n)-bit messages; gathering needs Θ(m)-sized messages (Theorem 4.2)",
         ["n", "m", "kselect max bits", "gather max bits", "gather/kselect"],
     )
     ks_bits, ga_bits = [], []
-    for n in ns:
-        m = elements_per_node * n
-        rng = np.random.default_rng(seed + n)
-        keys = [(int(p), uid) for uid, p in enumerate(rng.integers(1, 1 << 20, size=m))]
-        expected = sorted(keys)[m // 2 - 1]
-
-        ks = KSelectCluster(n, seed=seed)
-        ks.scatter(keys)
-        assert ks.select(m // 2) == expected
-        ks_bits.append(ks.metrics.max_message_bits)
-
-        ga = GatherSelectCluster(n, seed=seed)
-        ga.scatter(keys)
-        assert ga.select(m // 2) == expected
-        ga_bits.append(ga.metrics.max_message_bits)
-        table.add_row(n, m, ks_bits[-1], ga_bits[-1], ga_bits[-1] / ks_bits[-1])
+    for n, (m, ks, ga) in zip(ns, results):
+        ks_bits.append(ks)
+        ga_bits.append(ga)
+        table.add_row(n, m, ks, ga, ga / ks)
     ok = all(g > k for g, k in zip(ga_bits, ks_bits)) and is_sublinear(
         ns, ks_bits, factor=1.0
     )
@@ -208,26 +281,42 @@ def t6_kselect_vs_gather(ns=(8, 16, 32, 64), elements_per_node: int = 8, seed: i
     return table
 
 
+def plan_t6(ns=(8, 16, 32, 64), elements_per_node: int = 8, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T6",
+        [(_pt_t6, {"n": n, "elements_per_node": elements_per_node, "seed": seed}) for n in ns],
+        lambda results: _asm_t6(ns, results),
+    )
+
+
+def t6_kselect_vs_gather(ns=(8, 16, 32, 64), elements_per_node: int = 8, seed: int = 0) -> Table:
+    """Theorem 4.2 vs the naive baseline: message size O(log n) vs Θ(m log m)."""
+    return plan_t6(ns=ns, elements_per_node=elements_per_node, seed=seed).run_serial()
+
+
 # -- T7 ----------------------------------------------------------------------------
 
 
-def t7_seap_rounds(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> Table:
-    """Lemma 5.3 / Thm 5.1(3): Seap's phases finish in O(log n) rounds."""
+def _pt_t7(n: int, ops_per_node: int, seed: int) -> tuple[int, int]:
+    heap = make_seap(n, seed=seed)
+    spec = WorkloadSpec(
+        n_ops=ops_per_node * n, n_nodes=n, insert_fraction=0.6,
+        priorities=uniform_priorities(1, 1 << 20), seed=seed,
+    )
+    result = run_workload(heap, spec)
+    return result.completed_ops, result.rounds
+
+
+def _asm_t7(ns, results) -> Table:
     table = Table(
         "T7", "Seap rounds per insert+delete cycle vs n",
         "O(log n) rounds w.h.p. per phase (Theorem 5.1(3))",
         ["n", "ops", "rounds", "rounds/log2(n)"],
     )
     rounds = []
-    for n in ns:
-        heap = make_seap(n, seed=seed)
-        spec = WorkloadSpec(
-            n_ops=ops_per_node * n, n_nodes=n, insert_fraction=0.6,
-            priorities=uniform_priorities(1, 1 << 20), seed=seed,
-        )
-        result = run_workload(heap, spec)
-        rounds.append(result.rounds)
-        table.add_row(n, result.completed_ops, result.rounds, result.rounds / math.log2(n))
+    for n, (ops, r) in zip(ns, results):
+        rounds.append(r)
+        table.add_row(n, ops, r, r / math.log2(n))
     ok = is_logarithmic(ns, rounds)
     fit = fit_log2(ns, rounds)
     table.add_note(f"fit rounds ≈ {fit.a:.2f}·log2(n) + {fit.b:.2f} (r²={fit.r2:.3f})")
@@ -235,26 +324,41 @@ def t7_seap_rounds(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> Tabl
     return table
 
 
+def plan_t7(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T7",
+        [(_pt_t7, {"n": n, "ops_per_node": ops_per_node, "seed": seed}) for n in ns],
+        lambda results: _asm_t7(ns, results),
+    )
+
+
+def t7_seap_rounds(ns=_DEFAULT_NS, ops_per_node: int = 2, seed: int = 0) -> Table:
+    """Lemma 5.3 / Thm 5.1(3): Seap's phases finish in O(log n) rounds."""
+    return plan_t7(ns=ns, ops_per_node=ops_per_node, seed=seed).run_serial()
+
+
 # -- T8 -------------------------------------------------------------------------------
 
 
-def t8_seap_vs_skeap_msgsize(lams=(1, 2, 4, 8), n: int = 16, n_rounds: int = 25, seed: int = 0) -> Table:
-    """§1.4: Seap's O(log n)-bit messages vs Skeap's Λ-dependent batches."""
+def _pt_t8(lam: int, n: int, n_rounds: int, seed: int) -> tuple[int, int]:
+    sk = make_skeap(n, seed=seed)
+    sk_res = run_injection(sk, rate_per_node=lam, n_rounds=n_rounds)
+    se = make_seap(n, seed=seed)
+    se_res = run_injection(se, rate_per_node=lam, n_rounds=n_rounds)
+    return sk_res.max_message_bits, se_res.max_message_bits
+
+
+def _asm_t8(lams, results) -> Table:
     table = Table(
         "T8", "Max message bits vs Λ: Seap (flat) vs Skeap (growing)",
         "Seap messages are O(log n) bits independent of Λ; Skeap's grow with Λ (Lemmas 3.8 vs 5.5)",
         ["Λ", "Skeap max bits", "Seap max bits", "Skeap/Seap"],
     )
     skeap_bits, seap_bits = [], []
-    for lam in lams:
-        sk = make_skeap(n, seed=seed)
-        sk_res = run_injection(sk, rate_per_node=lam, n_rounds=n_rounds)
-        se = make_seap(n, seed=seed)
-        se_res = run_injection(se, rate_per_node=lam, n_rounds=n_rounds)
-        skeap_bits.append(sk_res.max_message_bits)
-        seap_bits.append(se_res.max_message_bits)
-        table.add_row(lam, sk_res.max_message_bits, se_res.max_message_bits,
-                      sk_res.max_message_bits / se_res.max_message_bits)
+    for lam, (sk_bits, se_bits) in zip(lams, results):
+        skeap_bits.append(sk_bits)
+        seap_bits.append(se_bits)
+        table.add_row(lam, sk_bits, se_bits, sk_bits / se_bits)
     seap_flat = seap_bits[-1] <= seap_bits[0] * 1.3
     skeap_grows = skeap_bits[-1] >= skeap_bits[0] * 1.5
     wins_at_high = skeap_bits[-1] > seap_bits[-1]
@@ -267,28 +371,44 @@ def t8_seap_vs_skeap_msgsize(lams=(1, 2, 4, 8), n: int = 16, n_rounds: int = 25,
     return table
 
 
+def plan_t8(lams=(1, 2, 4, 8), n: int = 16, n_rounds: int = 25, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T8",
+        [(_pt_t8, {"lam": lam, "n": n, "n_rounds": n_rounds, "seed": seed}) for lam in lams],
+        lambda results: _asm_t8(lams, results),
+    )
+
+
+def t8_seap_vs_skeap_msgsize(lams=(1, 2, 4, 8), n: int = 16, n_rounds: int = 25, seed: int = 0) -> Table:
+    """§1.4: Seap's O(log n)-bit messages vs Skeap's Λ-dependent batches."""
+    return plan_t8(lams=lams, n=n, n_rounds=n_rounds, seed=seed).run_serial()
+
+
 # -- T9 -------------------------------------------------------------------------------------
 
 
-def t9_dht_fairness(ns=(16, 32, 64), elements_per_node: int = 32, seed: int = 0) -> Table:
-    """Lemma 2.2(iv): elements are stored uniformly (m/n per node expected)."""
+def _pt_t9(n: int, elements_per_node: int, seed: int) -> tuple[int, float, int, float]:
+    heap = make_seap(n, seed=seed)
+    m = elements_per_node * n
+    rng = np.random.default_rng(seed + n)
+    for i in range(m):
+        heap.insert(priority=int(rng.integers(1, 1 << 20)), at=i % n)
+    heap.settle(500_000)
+    loads = list(heap.owner_store_sizes().values())
+    mean = statistics.mean(loads)
+    peak = max(loads)
+    cv = statistics.pstdev(loads) / mean if mean else 0.0
+    return m, mean, peak, cv
+
+
+def _asm_t9(ns, results) -> Table:
     table = Table(
         "T9", "DHT storage fairness",
         "each node stores m/n elements in expectation (Lemma 2.2(iv) / fairness)",
         ["n", "m", "mean load", "max load", "max/mean", "CV"],
     )
     ratios = []
-    for n in ns:
-        heap = make_seap(n, seed=seed)
-        m = elements_per_node * n
-        rng = np.random.default_rng(seed + n)
-        for i in range(m):
-            heap.insert(priority=int(rng.integers(1, 1 << 20)), at=i % n)
-        heap.settle(500_000)
-        loads = list(heap.owner_store_sizes().values())
-        mean = statistics.mean(loads)
-        peak = max(loads)
-        cv = statistics.pstdev(loads) / mean if mean else 0.0
+    for n, (m, mean, peak, cv) in zip(ns, results):
         ratios.append(peak / mean)
         table.add_row(n, m, mean, peak, peak / mean, cv)
     # Random (balls-into-bins over 3n ranges) balance: peak within a small
@@ -298,36 +418,50 @@ def t9_dht_fairness(ns=(16, 32, 64), elements_per_node: int = 32, seed: int = 0)
     return table
 
 
+def plan_t9(ns=(16, 32, 64), elements_per_node: int = 32, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T9",
+        [(_pt_t9, {"n": n, "elements_per_node": elements_per_node, "seed": seed}) for n in ns],
+        lambda results: _asm_t9(ns, results),
+    )
+
+
+def t9_dht_fairness(ns=(16, 32, 64), elements_per_node: int = 32, seed: int = 0) -> Table:
+    """Lemma 2.2(iv): elements are stored uniformly (m/n per node expected)."""
+    return plan_t9(ns=ns, elements_per_node=elements_per_node, seed=seed).run_serial()
+
+
 # -- T10 --------------------------------------------------------------------------------
 
 
-def t10_routing_hops(ns=_DEFAULT_NS, probes: int = 40, seed: int = 0) -> Table:
-    """Lemma A.2 / 2.2(iii): LDB routing and DHT ops take O(log n) hops."""
+def _pt_t10(n: int, probes: int, seed: int) -> tuple[float, int]:
     from ..cluster import OverlayCluster
     from ..element import Element
 
+    cluster = OverlayCluster(n, seed=seed)
+    rng = np.random.default_rng(seed + n)
+    done = []
+    for i in range(probes):
+        src = cluster.middle_node(int(rng.integers(0, n)))
+        key = float(rng.random())
+        src.dht_put(key, Element(priority=i, uid=i))
+    for node in cluster.nodes.values():
+        node.dht_put_confirmed = lambda rid, _d=done: _d.append(rid)
+    cluster.runner.run_until(lambda: len(done) >= probes, max_rounds=50_000)
+    hops = cluster.all_route_hops()
+    mean = statistics.mean(hops)
+    p95 = sorted(hops)[int(0.95 * (len(hops) - 1))]
+    return mean, p95
+
+
+def _asm_t10(ns, results) -> Table:
     table = Table(
         "T10", "Routing hops vs n",
         "routing to a point takes O(log n) hops w.h.p. (Lemma A.2)",
         ["n", "mean hops", "p95 hops", "mean/log2(n)"],
     )
     means = []
-    for n in ns:
-        cluster = OverlayCluster(n, seed=seed)
-        rng = np.random.default_rng(seed + n)
-        done = []
-        for i in range(probes):
-            src = cluster.middle_node(int(rng.integers(0, n)))
-            key = float(rng.random())
-            src.dht_put(key, Element(priority=i, uid=i))
-        orig = {}
-        for vid, node in cluster.nodes.items():
-            orig[vid] = node.dht_put_confirmed
-            node.dht_put_confirmed = lambda rid, _d=done: _d.append(rid)
-        cluster.runner.run_until(lambda: len(done) >= probes, max_rounds=50_000)
-        hops = cluster.all_route_hops()
-        mean = statistics.mean(hops)
-        p95 = sorted(hops)[int(0.95 * (len(hops) - 1))]
+    for n, (mean, p95) in zip(ns, results):
         means.append(mean)
         table.add_row(n, mean, p95, mean / math.log2(n))
     ok = is_logarithmic(ns, means)
@@ -337,22 +471,37 @@ def t10_routing_hops(ns=_DEFAULT_NS, probes: int = 40, seed: int = 0) -> Table:
     return table
 
 
+def plan_t10(ns=_DEFAULT_NS, probes: int = 40, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T10",
+        [(_pt_t10, {"n": n, "probes": probes, "seed": seed}) for n in ns],
+        lambda results: _asm_t10(ns, results),
+    )
+
+
+def t10_routing_hops(ns=_DEFAULT_NS, probes: int = 40, seed: int = 0) -> Table:
+    """Lemma A.2 / 2.2(iii): LDB routing and DHT ops take O(log n) hops."""
+    return plan_t10(ns=ns, probes=probes, seed=seed).run_serial()
+
+
 # -- T11 -------------------------------------------------------------------------------
 
 
-def t11_tree_height(ns=(8, 16, 32, 64, 128, 256), n_seeds: int = 8, seed: int = 0) -> Table:
-    """Cor. A.4 / Lemma 2.2(i): aggregation tree height O(log n) w.h.p."""
+def _pt_t11(n: int, n_seeds: int, seed: int) -> list[int]:
+    return [
+        LDBTopology(list(range(n)), seed=seed + s).tree_height()
+        for s in range(n_seeds)
+    ]
+
+
+def _asm_t11(ns, results) -> Table:
     table = Table(
         "T11", "Aggregation tree height vs n",
         "height O(log n) w.h.p. (Corollary A.4)",
         ["n", "mean height", "max height", "mean/log2(n)"],
     )
     means = []
-    for n in ns:
-        heights = [
-            LDBTopology(list(range(n)), seed=seed + s).tree_height()
-            for s in range(n_seeds)
-        ]
+    for n, heights in zip(ns, results):
         means.append(statistics.mean(heights))
         table.add_row(n, statistics.mean(heights), max(heights),
                       statistics.mean(heights) / math.log2(n))
@@ -363,7 +512,71 @@ def t11_tree_height(ns=(8, 16, 32, 64, 128, 256), n_seeds: int = 8, seed: int = 
     return table
 
 
+def plan_t11(ns=(8, 16, 32, 64, 128, 256), n_seeds: int = 8, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T11",
+        [(_pt_t11, {"n": n, "n_seeds": n_seeds, "seed": seed}) for n in ns],
+        lambda results: _asm_t11(ns, results),
+    )
+
+
+def t11_tree_height(ns=(8, 16, 32, 64, 128, 256), n_seeds: int = 8, seed: int = 0) -> Table:
+    """Cor. A.4 / Lemma 2.2(i): aggregation tree height O(log n) w.h.p."""
+    return plan_t11(ns=ns, n_seeds=n_seeds, seed=seed).run_serial()
+
+
 # -- T12 -----------------------------------------------------------------------------------
+
+
+def _pt_t12(lam: int, n: int, n_rounds: int, seed: int) -> tuple[int, int, int]:
+    from ..overlay.ldb import owner_of
+
+    sk = make_skeap(n, seed=seed, detail=True)
+    run_injection(sk, rate_per_node=lam, n_rounds=n_rounds)
+    anchor_load = sk.metrics.owner_action_total(
+        owner_of(sk.topology.anchor), ["agg_up"]
+    )
+
+    central = CentralHeapCluster(n, seed=seed, metrics_detail=True)
+    rng = np.random.default_rng(seed)
+    ops = 0
+    for _ in range(n_rounds):
+        for node in range(n):
+            for _ in range(lam):
+                if rng.random() < 0.6:
+                    central.insert(priority=1 + int(rng.integers(0, 3)), at=node)
+                else:
+                    central.delete_min(at=node)
+                ops += 1
+        central.runner.step()
+    central.settle()
+    c_load = central.metrics.owner_action_total(
+        central.coordinator.id, ["central_insert", "central_delete"]
+    )
+    return ops, anchor_load, c_load
+
+
+def _asm_t12(lams, results) -> Table:
+    table = Table(
+        "T12", "Coordinator hot-spot load: Skeap anchor vs central coordinator",
+        "Skeap's anchor handles O(1) batch messages per iteration; a coordinator handles Θ(n·Λ) per round",
+        ["Λ", "ops", "anchor coord msgs", "coordinator msgs", "coordinator/anchor"],
+    )
+    ok_rows = []
+    for lam, (ops, anchor_load, c_load) in zip(lams, results):
+        table.add_row(lam, ops, anchor_load, c_load, c_load / max(anchor_load, 1))
+        ok_rows.append(c_load == ops and anchor_load < c_load / 5)
+    table.add_note("the coordinator must touch every single op; the anchor only touches batches")
+    table.verdict = _verdict(all(ok_rows))
+    return table
+
+
+def plan_t12(n: int = 32, lams=(1, 2, 4), n_rounds: int = 30, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T12",
+        [(_pt_t12, {"lam": lam, "n": n, "n_rounds": n_rounds, "seed": seed}) for lam in lams],
+        lambda results: _asm_t12(lams, results),
+    )
 
 
 def t12_scalability_baselines(n: int = 32, lams=(1, 2, 4), n_rounds: int = 30, seed: int = 0) -> Table:
@@ -375,97 +588,81 @@ def t12_scalability_baselines(n: int = 32, lams=(1, 2, 4), n_rounds: int = 30, s
     anchor sees two (large) aggregation messages per iteration regardless
     of Λ; the coordinator sees one message per op, i.e. n·Λ per round.
     """
-    from ..overlay.ldb import owner_of
-
-    table = Table(
-        "T12", "Coordinator hot-spot load: Skeap anchor vs central coordinator",
-        "Skeap's anchor handles O(1) batch messages per iteration; a coordinator handles Θ(n·Λ) per round",
-        ["Λ", "ops", "anchor coord msgs", "coordinator msgs", "coordinator/anchor"],
-    )
-    ok_rows = []
-    for lam in lams:
-        sk = make_skeap(n, seed=seed)
-        sk_res = run_injection(sk, rate_per_node=lam, n_rounds=n_rounds)
-        anchor_load = sk.metrics.owner_action_total(
-            owner_of(sk.topology.anchor), ["agg_up"]
-        )
-
-        central = CentralHeapCluster(n, seed=seed)
-        rng = np.random.default_rng(seed)
-        ops = 0
-        for _ in range(n_rounds):
-            for node in range(n):
-                for _ in range(lam):
-                    if rng.random() < 0.6:
-                        central.insert(priority=1 + int(rng.integers(0, 3)), at=node)
-                    else:
-                        central.delete_min(at=node)
-                    ops += 1
-            central.runner.step()
-        central.settle()
-        c_load = central.metrics.owner_action_total(
-            central.coordinator.id, ["central_insert", "central_delete"]
-        )
-        table.add_row(lam, ops, anchor_load, c_load, c_load / max(anchor_load, 1))
-        ok_rows.append(c_load == ops and anchor_load < c_load / 5)
-    table.add_note("the coordinator must touch every single op; the anchor only touches batches")
-    table.verdict = _verdict(all(ok_rows))
-    return table
+    return plan_t12(n=n, lams=lams, n_rounds=n_rounds, seed=seed).run_serial()
 
 
 # -- T13 ------------------------------------------------------------------------------
 
 
-def t13_membership(ns=(8, 16, 32, 64), seed: int = 0) -> Table:
-    """Contribution 4: joins/leaves cost O(log n) routing and lose nothing."""
+def _pt_t13(n: int, seed: int) -> tuple[int, int, int, int]:
+    heap = make_skeap(n, seed=seed)
+    rng = np.random.default_rng(seed + n)
+    for i in range(3 * n):
+        heap.insert(priority=1 + int(rng.integers(0, 3)), at=i % n)
+    heap.settle(200_000)
+    before = heap.total_stored()
+    join = heap.add_node(n)
+    leave = heap.remove_node(0)
+    after = heap.total_stored()
+    assert before == after
+    return join.probe_hops, leave.probe_hops, before, after
+
+
+def _asm_t13(ns, results) -> Table:
     table = Table(
         "T13", "Membership: probe hops and data conservation",
         "join/leave restoration O(log n) w.h.p.; no elements lost (Contribution 4)",
         ["n", "join hops", "leave hops", "elements before", "elements after"],
     )
     hops_series = []
-    for n in ns:
-        heap = make_skeap(n, seed=seed)
-        rng = np.random.default_rng(seed + n)
-        for i in range(3 * n):
-            heap.insert(priority=1 + int(rng.integers(0, 3)), at=i % n)
-        heap.settle(200_000)
-        before = heap.total_stored()
-        join = heap.add_node(n)
-        leave = heap.remove_node(0)
-        after = heap.total_stored()
-        hops_series.append((join.probe_hops + leave.probe_hops) / 2)
-        table.add_row(n, join.probe_hops, leave.probe_hops, before, after)
-        assert before == after
+    for n, (join_hops, leave_hops, before, after) in zip(ns, results):
+        hops_series.append((join_hops + leave_hops) / 2)
+        table.add_row(n, join_hops, leave_hops, before, after)
     ok = is_logarithmic(ns, hops_series)
     table.verdict = _verdict(ok)
     return table
 
 
+def plan_t13(ns=(8, 16, 32, 64), seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T13",
+        [(_pt_t13, {"n": n, "seed": seed}) for n in ns],
+        lambda results: _asm_t13(ns, results),
+    )
+
+
+def t13_membership(ns=(8, 16, 32, 64), seed: int = 0) -> Table:
+    """Contribution 4: joins/leaves cost O(log n) routing and lose nothing."""
+    return plan_t13(ns=ns, seed=seed).run_serial()
+
+
 # -- T14 ------------------------------------------------------------------------------
 
 
-def t14_linearization(ns=(8, 16, 32, 64, 128), seed: int = 0) -> Table:
-    """Appendix A's substrate: the sorted cycle is self-constructible.
+_T14_SHAPES = ("line", "random", "star")
 
-    The LDB's sorted list is maintained by self-stabilizing linearization
-    [RSS11]/[NW07]; this experiment measures convergence rounds from three
-    adversarial initial knowledge graphs.
-    """
+
+def _pt_t14(n: int, initial: str, seed: int) -> int:
     from ..overlay.selfstab import LinearizationCluster
 
+    cluster = LinearizationCluster(n, seed=seed, initial=initial)
+    rounds = cluster.run_to_convergence()
+    assert cluster.is_linearized()
+    return rounds
+
+
+def _asm_t14(ns, results) -> Table:
     table = Table(
         "T14", "Self-stabilizing linearization: convergence vs n",
         "the sorted overlay list converges from arbitrary weakly connected knowledge (Appendix A via [RSS11])",
         ["n", "from line", "from random", "from star"],
     )
-    by_shape = {"line": [], "random": [], "star": []}
+    by_shape = {shape: [] for shape in _T14_SHAPES}
+    it = iter(results)
     for n in ns:
         row = [n]
-        for initial in ("line", "random", "star"):
-            cluster = LinearizationCluster(n, seed=seed, initial=initial)
-            rounds = cluster.run_to_convergence()
-            assert cluster.is_linearized()
+        for initial in _T14_SHAPES:
+            rounds = next(it)
             by_shape[initial].append(rounds)
             row.append(rounds)
         table.add_row(*row)
@@ -481,6 +678,28 @@ def t14_linearization(ns=(8, 16, 32, 64, 128), seed: int = 0) -> Table:
     )
     table.verdict = _verdict(ok)
     return table
+
+
+def plan_t14(ns=(8, 16, 32, 64, 128), seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T14",
+        [
+            (_pt_t14, {"n": n, "initial": initial, "seed": seed})
+            for n in ns
+            for initial in _T14_SHAPES
+        ],
+        lambda results: _asm_t14(ns, results),
+    )
+
+
+def t14_linearization(ns=(8, 16, 32, 64, 128), seed: int = 0) -> Table:
+    """Appendix A's substrate: the sorted cycle is self-constructible.
+
+    The LDB's sorted list is maintained by self-stabilizing linearization
+    [RSS11]/[NW07]; this experiment measures convergence rounds from three
+    adversarial initial knowledge graphs.
+    """
+    return plan_t14(ns=ns, seed=seed).run_serial()
 
 
 # -- F1 ---------------------------------------------------------------------------------
@@ -577,7 +796,7 @@ def a1_ablations(n: int = 16, total_ops: int = 96, seed: int = 0) -> Table:
     # messages concentrated at the anchor.
     from ..overlay.ldb import owner_of
 
-    heap = make_skeap(n, seed=seed)
+    heap = make_skeap(n, seed=seed, detail=True)
     rng = np.random.default_rng(seed)
     for i in range(total_ops):
         heap.insert(priority=1 + int(rng.integers(0, 3)), at=i % n)
@@ -586,7 +805,7 @@ def a1_ablations(n: int = 16, total_ops: int = 96, seed: int = 0) -> Table:
         owner_of(heap.topology.anchor), ["agg_up"]
     )
 
-    ub = UnbatchedHeapCluster(n, n_priorities=3, seed=seed)
+    ub = UnbatchedHeapCluster(n, n_priorities=3, seed=seed, metrics_detail=True)
     for i in range(total_ops):
         ub.insert(priority=1 + int(rng.integers(0, 3)), at=i % n)
     ub.settle(200_000)
@@ -661,6 +880,40 @@ def a2_seap_sc_cost(n: int = 8, n_elements: int = 48, seed: int = 0) -> Table:
     return table
 
 
+# -- single-point plans ---------------------------------------------------------------------
+#
+# T5/F1/F2/A1/A2 are single simulations (or, for A1, two arms threaded
+# through one shared numpy RNG whose state must carry between arms), so
+# each stays one whole task: the plan has exactly one grid point.
+
+
+def _first(results: list[Table]) -> Table:
+    return results[0]
+
+
+def plan_t5(n: int = 64, elements_per_node: int = 64, seed: int = 0) -> ExperimentPlan:
+    task = {"n": n, "elements_per_node": elements_per_node, "seed": seed}
+    return ExperimentPlan("T5", [(t5_kselect_reduction, task)], _first)
+
+
+def plan_f1(seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan("F1", [(f1_figure1_trace, {"seed": seed})], _first)
+
+
+def plan_f2(seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan("F2", [(f2_figure2_ldb, {"seed": seed})], _first)
+
+
+def plan_a1(n: int = 16, total_ops: int = 96, seed: int = 0) -> ExperimentPlan:
+    task = {"n": n, "total_ops": total_ops, "seed": seed}
+    return ExperimentPlan("A1", [(a1_ablations, task)], _first)
+
+
+def plan_a2(n: int = 8, n_elements: int = 48, seed: int = 0) -> ExperimentPlan:
+    task = {"n": n, "n_elements": n_elements, "seed": seed}
+    return ExperimentPlan("A2", [(a2_seap_sc_cost, task)], _first)
+
+
 # -- driver ----------------------------------------------------------------------------------
 
 ALL_EXPERIMENTS = {
@@ -685,14 +938,48 @@ ALL_EXPERIMENTS = {
 }
 
 
-def run_all(quick: bool = False) -> list[Table]:
-    """Regenerate every experiment table (EXPERIMENTS.md's source)."""
-    tables = []
-    for exp_id, fn in ALL_EXPERIMENTS.items():
+ALL_PLAN_FACTORIES = {
+    "T1": plan_t1,
+    "T2": plan_t2,
+    "T3": plan_t3,
+    "T4": plan_t4,
+    "T5": plan_t5,
+    "T6": plan_t6,
+    "T7": plan_t7,
+    "T8": plan_t8,
+    "T9": plan_t9,
+    "T10": plan_t10,
+    "T11": plan_t11,
+    "T12": plan_t12,
+    "T13": plan_t13,
+    "T14": plan_t14,
+    "F1": plan_f1,
+    "F2": plan_f2,
+    "A1": plan_a1,
+    "A2": plan_a2,
+}
+
+
+def all_plans(quick: bool = False, ids=None) -> list[ExperimentPlan]:
+    """Build the plans for the requested experiments, in the given order.
+
+    ``quick`` trims the largest sweeps to the same reduced grids the
+    classic serial driver used, so quick serial and quick parallel runs
+    stay comparable.
+    """
+    ids = list(ALL_PLAN_FACTORIES) if ids is None else list(ids)
+    plans = []
+    for exp_id in ids:
+        factory = ALL_PLAN_FACTORIES[exp_id]
         if quick and exp_id in ("T1", "T4", "T7", "T10"):
-            tables.append(fn(ns=(8, 16, 32)))
+            plans.append(factory(ns=(8, 16, 32)))
         elif quick and exp_id == "T11":
-            tables.append(fn(ns=(8, 16, 32, 64), n_seeds=4))
+            plans.append(factory(ns=(8, 16, 32, 64), n_seeds=4))
         else:
-            tables.append(fn())
-    return tables
+            plans.append(factory())
+    return plans
+
+
+def run_all(quick: bool = False) -> list[Table]:
+    """Regenerate every experiment table serially (EXPERIMENTS.md's source)."""
+    return [plan.run_serial() for plan in all_plans(quick=quick)]

@@ -1,0 +1,80 @@
+"""Parallel sweep execution: fan independent grid points across processes.
+
+Every experiment grid point — one (experiment, n, Λ, seed) combination —
+is a self-contained deterministic simulation: it builds its own cluster
+from an explicit seed and shares no state with any other point.  That
+makes the sweep embarrassingly parallel: points fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and merge back **in grid
+order**, so the assembled tables are byte-identical to a serial run.
+
+The unit of decomposition is :class:`ExperimentPlan`: an ordered list of
+picklable ``(fn, kwargs)`` point tasks plus an ``assemble`` callback that
+turns the ordered point results into the final
+:class:`~repro.harness.tables.Table`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .tables import Table
+
+__all__ = ["ExperimentPlan", "execute_plans", "default_jobs"]
+
+
+@dataclass(slots=True)
+class ExperimentPlan:
+    """An experiment decomposed into independent deterministic grid points.
+
+    ``tasks`` holds ``(fn, kwargs)`` pairs; each ``fn`` must be a picklable
+    module-level function whose kwargs and result are picklable too.
+    ``assemble`` receives the point results *in task order* and builds the
+    table — serial and parallel execution are therefore byte-identical by
+    construction.
+    """
+
+    exp_id: str
+    tasks: list[tuple[Callable[..., Any], dict[str, Any]]]
+    assemble: Callable[[list[Any]], Table]
+
+    def run_serial(self) -> Table:
+        """Run every point inline, in order, and assemble the table."""
+        return self.assemble([fn(**kwargs) for fn, kwargs in self.tasks])
+
+
+def default_jobs() -> int:
+    """Worker count when ``--jobs`` is not given: one per CPU."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def _run_task(task: tuple[Callable[..., Any], dict[str, Any]]) -> Any:
+    fn, kwargs = task
+    return fn(**kwargs)
+
+
+def execute_plans(
+    plans: list[ExperimentPlan], jobs: int | None = None
+) -> list[Table]:
+    """Run all plans' grid points across one process pool.
+
+    Tasks from every plan share the pool (long sweeps overlap with short
+    ones), and ``pool.map`` preserves submission order, so each plan's
+    results come back in grid order regardless of completion order.
+    """
+    jobs = default_jobs() if jobs is None else max(int(jobs), 1)
+    flat = [task for plan in plans for task in plan.tasks]
+    if jobs == 1 or len(flat) <= 1:
+        results = [_run_task(task) for task in flat]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_run_task, flat, chunksize=1))
+    tables: list[Table] = []
+    cursor = 0
+    for plan in plans:
+        chunk = results[cursor : cursor + len(plan.tasks)]
+        cursor += len(plan.tasks)
+        tables.append(plan.assemble(chunk))
+    return tables

@@ -47,14 +47,13 @@ def run_workload(heap, spec: WorkloadSpec, settle_limit: int = 500_000) -> RunRe
             heap.delete_min(at=node)
         count += 1
     heap.settle(settle_limit)
-    after = heap.metrics.snapshot()
-    window = after.diff(before)
+    window = heap.metrics.window(before)
     return RunResult(
         rounds=window.rounds,
         messages=window.messages,
         bits=window.bits,
-        max_message_bits=after.max_message_bits,
-        congestion=after.congestion,
+        max_message_bits=window.max_message_bits,
+        congestion=window.congestion,
         completed_ops=count,
     )
 
@@ -100,13 +99,12 @@ def run_injection(
         start_round, heap.metrics.rounds
     )
     heap.settle(settle_limit)
-    after = heap.metrics.snapshot()
-    window = after.diff(before)
+    window = heap.metrics.window(before)
     return RunResult(
         rounds=window.rounds,
         messages=window.messages,
         bits=window.bits,
-        max_message_bits=after.max_message_bits,
+        max_message_bits=window.max_message_bits,
         congestion=heap.metrics.congestion_between(start_round, heap.metrics.rounds),
         completed_ops=count,
         extra={"injection_congestion": injection_congestion},
@@ -119,9 +117,17 @@ def drive_rounds(heap, n_rounds: int) -> None:
         heap.runner.step()
 
 
-def make_skeap(n_nodes: int, n_priorities: int = 3, seed: int = 0) -> SkeapHeap:
-    return SkeapHeap(n_nodes, n_priorities=n_priorities, seed=seed, record_history=False)
+def make_skeap(
+    n_nodes: int, n_priorities: int = 3, seed: int = 0, detail: bool = False
+) -> SkeapHeap:
+    return SkeapHeap(
+        n_nodes,
+        n_priorities=n_priorities,
+        seed=seed,
+        record_history=False,
+        metrics_detail=detail,
+    )
 
 
-def make_seap(n_nodes: int, seed: int = 0) -> SeapHeap:
-    return SeapHeap(n_nodes, seed=seed, record_history=False)
+def make_seap(n_nodes: int, seed: int = 0, detail: bool = False) -> SeapHeap:
+    return SeapHeap(n_nodes, seed=seed, record_history=False, metrics_detail=detail)

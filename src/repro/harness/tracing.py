@@ -97,6 +97,12 @@ def render_activity(metrics, top_actions: int = 6) -> str:
         f"peak congestion={metrics.congestion}  max message={metrics.max_message_bits}b",
         "congestion/round: " + _sparkline(metrics.congestion_by_round),
     ]
+    if metrics.action_counts is None:
+        lines.append(
+            "  (action mix unavailable: lean metrics; "
+            "enable with metrics_detail=True)"
+        )
+        return "\n".join(lines)
     total = sum(metrics.action_counts.values()) or 1
     for action, count in metrics.action_counts.most_common(top_actions):
         share = 100.0 * count / total

@@ -23,9 +23,35 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import RoutingError
+from ..sim.message import (
+    _ITEM_OVERHEAD_BITS,
+    _int_bits,
+    _str_bits,
+    payload_size_bits,
+)
 from .ldb import VirtualKind
 
 __all__ = ["RoutingMixin", "point_bits"]
+
+# Routed messages dominate the simulation, and their envelope changes only
+# trivially per hop (one bit consumed, hops incremented) while ``fpayload``
+# rides through untouched.  Sizing the payload recursively at every hop is
+# therefore pure waste: the size is computed once at the route's origin
+# (``fsize``) and the per-hop message size is assembled from that plus the
+# closed-form cost of the envelope fields below — bit-for-bit equal to
+# what the recursive sizer would charge for the same fields.  ``fsize``
+# itself is bookkeeping (derivable by the receiver), so it is excluded
+# from the accounting.
+_ROUTE_KEYS = (
+    "target", "bits", "ideal", "seek", "faction", "fpayload", "origin", "hops",
+)
+_ROUTE_FIXED_BITS = (
+    8  # message header, as charged by Message.__post_init__
+    + sum(_str_bits(k) + _ITEM_OVERHEAD_BITS for k in _ROUTE_KEYS)
+    + 1  # seek: bool
+)
+#: each hop bit is 0 or 1: 2 bits wide plus the per-item framing overhead
+_HOP_BIT_COST = 2 + _ITEM_OVERHEAD_BITS
 
 
 def point_bits(target: float, d: int) -> list[int]:
@@ -64,22 +90,26 @@ class RoutingMixin:
         """Route a remote call of ``faction`` to the node responsible for ``target``."""
         if not 0.0 <= target < 1.0:
             raise RoutingError(f"target {target} outside [0,1)")
+        fpayload = fpayload or {}
         self._route_step(
             target=target,
             bits=point_bits(target, self.view.debruijn_dim),
             ideal=self.view.label,
             seek=False,
             faction=faction,
-            fpayload=fpayload or {},
+            fpayload=fpayload,
+            fsize=payload_size_bits(fpayload),
             origin=self.id,
             hops=0,
         )
 
     # -- message handler ------------------------------------------------------
 
-    def on_route(self, sender, target, bits, ideal, seek, faction, fpayload, origin, hops):
+    def on_route(self, sender, target, bits, ideal, seek, faction, fpayload, origin, hops, fsize=None):
+        if fsize is None:
+            fsize = payload_size_bits(fpayload)
         self._route_step(
-            target, list(bits), ideal, seek, faction, fpayload, origin, hops
+            target, list(bits), ideal, seek, faction, fpayload, fsize, origin, hops
         )
 
     # -- mechanics -------------------------------------------------------------
@@ -90,21 +120,36 @@ class RoutingMixin:
             return a <= point < b
         return point >= a or point < b  # wrap-around range of the max label
 
-    def _forward(self, dest, *, target, bits, ideal, seek, faction, fpayload, origin, hops):
-        self.send(
+    def _forward(self, dest, *, target, bits, ideal, seek, faction, fpayload, fsize, origin, hops):
+        hops += 1
+        size = (
+            _ROUTE_FIXED_BITS
+            + payload_size_bits(target)
+            + _HOP_BIT_COST * len(bits)
+            + payload_size_bits(ideal)
+            + _str_bits(faction)
+            + fsize
+            + _int_bits(origin)
+            + _int_bits(hops)
+        )
+        self.send_sized(
             dest,
             "route",
-            target=target,
-            bits=bits,
-            ideal=ideal,
-            seek=seek,
-            faction=faction,
-            fpayload=fpayload,
-            origin=origin,
-            hops=hops + 1,
+            dict(
+                target=target,
+                bits=bits,
+                ideal=ideal,
+                seek=seek,
+                faction=faction,
+                fpayload=fpayload,
+                fsize=fsize,
+                origin=origin,
+                hops=hops,
+            ),
+            size,
         )
 
-    def _route_step(self, target, bits, ideal, seek, faction, fpayload, origin, hops):
+    def _route_step(self, target, bits, ideal, seek, faction, fpayload, fsize, origin, hops):
         max_hops = 16 * (self.view.debruijn_dim + 4) + 6 * self.view.n_estimate
         if hops > max_hops:
             raise RoutingError(
@@ -117,6 +162,7 @@ class RoutingMixin:
             seek=seek,
             faction=faction,
             fpayload=fpayload,
+            fsize=fsize,
             origin=origin,
             hops=hops,
         )

@@ -75,6 +75,12 @@ class LinearizationNode(ProtocolNode):
         kept = {n for n in (self.left, self.right) if n is not None}
         self.knowledge = {n: self.knowledge[n] for n in kept}
 
+    def wants_activation(self) -> bool:
+        # Mirrors on_activate's guard: while any knowledge remains, the
+        # node keeps (re)introducing itself each round — self-stabilization
+        # never goes fully idle, it converges to a fixed point instead.
+        return bool(self.knowledge)
+
     def on_ls_intro(self, sender: int, nid: int, label: float) -> None:
         if nid != self.id:
             self.knowledge.setdefault(nid, label)
@@ -83,6 +89,7 @@ class LinearizationNode(ProtocolNode):
         """Seed initial knowledge (the arbitrary starting graph)."""
         if nid != self.id:
             self.knowledge[nid] = label
+            self.request_activation()
 
 
 class LinearizationCluster:

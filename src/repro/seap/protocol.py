@@ -149,6 +149,11 @@ class SeapNode(OverlayNode, KSelectMixin):
             self._started = True
             self._next_epoch(0)
 
+    def wants_activation(self) -> bool:
+        # on_activate only bootstraps the anchor's epoch machinery; all
+        # other progress is message-driven (broadcast/aggregation waves).
+        return self.view.is_anchor and not self._started
+
     # -- insert phase -----------------------------------------------------------
 
     def _bc_insert_phase(self, tag, payload) -> None:

@@ -59,16 +59,22 @@ class AsyncRunner:
         delay_fn: Callable[[Message, object], float] | None = None,
         activation_period: float = 1.0,
         owner_of: Callable[[int], int] | None = None,
+        metrics_detail: bool = False,
     ):
         self.rng = RngRegistry(seed)
         self.nodes: dict[int, ProtocolNode] = {}
-        self.metrics = MetricsCollector(owner_of=owner_of)
+        self.metrics = MetricsCollector(owner_of=owner_of, detail=metrics_detail)
         self._delay_fn = delay_fn or uniform_delay()
         self._activation_period = float(activation_period)
         self._events: list[tuple[float, int, int, object]] = []
         self._tick = itertools.count()
         self._time = 0.0
         self._in_flight = 0
+        #: parked nodes: id -> the activation-grid time their chain resumes
+        #: at when a message (or an explicit wake) arrives.  A node parks
+        #: when an activation fires while ``wants_activation()`` is false,
+        #: keeping idle nodes out of the event heap entirely.
+        self._parked: dict[int, float] = {}
 
     # -- SimContext interface --------------------------------------------
 
@@ -108,6 +114,20 @@ class AsyncRunner:
     def deregister(self, node_id: int) -> None:
         """Remove a node (membership Leave); pending activations are dropped."""
         del self.nodes[node_id]
+        self._parked.pop(node_id, None)
+
+    def wake(self, node_id: int) -> None:
+        """Resume a parked node's activation chain (next grid slot)."""
+        due = self._parked.pop(node_id, None)
+        if due is not None:
+            self._schedule_activation(node_id, due)
+
+    def _schedule_activation(self, node_id: int, due: float) -> None:
+        """Push the node's next activation at its first grid slot >= now."""
+        period = self._activation_period
+        while due < self._time:
+            due += period
+        heapq.heappush(self._events, (due, next(self._tick), self._ACTIVATE, node_id))
 
     # -- execution ------------------------------------------------------------
 
@@ -119,11 +139,17 @@ class AsyncRunner:
             self._in_flight -= 1
             self.metrics.record_delivery(msg)
             self.nodes[msg.dest].handle(msg)
+            # A delivery may give a parked node activation work again.
+            self.wake(msg.dest)
         else:
             node = self.nodes.get(item)  # type: ignore[arg-type]
             if node is None:  # deregistered: drop the activation chain
                 return
             node.on_activate()
+            if not node.wants_activation():
+                # Park: keep the grid phase so the chain resumes on time.
+                self._parked[node.id] = when + self._activation_period
+                return
             heapq.heappush(
                 self._events,
                 (

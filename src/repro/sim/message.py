@@ -29,7 +29,9 @@ _ITEM_OVERHEAD_BITS = 2
 # chain, and string sizes (mostly repeated payload field names) are cached.
 
 
-@lru_cache(maxsize=8192)
+# Sized large enough that routing-heavy runs at the biggest sweep sizes
+# (every overlay node id appears as a string key somewhere) never evict.
+@lru_cache(maxsize=1 << 17)
 def _str_bits(text: str) -> int:
     return 8 * len(text) + _ITEM_OVERHEAD_BITS
 
@@ -64,7 +66,14 @@ _SIZERS = {
     tuple: _seq_bits,
     set: _seq_bits,
     frozenset: _seq_bits,
+    # BOTTOM is a singleton, so dispatching on its type is exact.
+    type(BOTTOM): lambda obj: 1,
 }
+
+#: Frozen view of the registered bases for the subclass-fallback scan;
+#: resolved subclasses are memoized into ``_SIZERS`` so the scan runs at
+#: most once per novel payload type, not once per message.
+_SIZER_BASES = tuple(_SIZERS.items())
 
 
 def payload_size_bits(obj: Any) -> int:
@@ -81,10 +90,13 @@ def payload_size_bits(obj: Any) -> int:
         return 1
     size_bits = getattr(obj, "size_bits", None)
     if size_bits is not None:
+        if hasattr(type(obj), "size_bits"):
+            _SIZERS[type(obj)] = lambda o: int(o.size_bits())
         return int(size_bits())
-    # subclasses of the registered types fall through to here
-    for base, fn in _SIZERS.items():
+    # subclasses of the registered types fall through to here (once per type)
+    for base, fn in _SIZER_BASES:
         if isinstance(obj, base):
+            _SIZERS[type(obj)] = fn
             return fn(obj)
     raise TypeError(f"cannot size payload of type {type(obj).__name__}")
 

@@ -8,7 +8,20 @@ The paper's performance model (Section 1.1) measures:
 * **message size** — bits per message (Lemmas 3.8 and 5.5).
 
 :class:`MetricsCollector` records all three plus totals, and supports
-snapshot/diff so the harness can attribute costs to protocol phases.
+snapshot/window so the harness can attribute costs to protocol phases.
+
+Two detail levels keep the hot path lean:
+
+* the default (``detail=False``) records only the counters the shape
+  checks read — rounds, messages, bits, maxima, and per-round congestion
+  and message-size maxima kept in flat arrays;
+* ``detail=True`` additionally maintains the per-action and per-owner
+  ``Counter`` breakdowns behind :meth:`owner_action_total`,
+  :meth:`owner_rate` and the tracing action mix.  Only the experiments
+  that read those (T12, A1) pay for them.
+
+Both modes observe the identical message stream, so every number a lean
+run reports is bit-for-bit equal to the same number from a detail run.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from ..errors import SimulationError
 from .message import Message
 
 __all__ = ["MetricsCollector", "MetricsSnapshot"]
@@ -23,7 +37,7 @@ __all__ = ["MetricsCollector", "MetricsSnapshot"]
 
 @dataclass(frozen=True, slots=True)
 class MetricsSnapshot:
-    """Immutable cumulative counters, used to diff phase windows."""
+    """Immutable cumulative counters, used to delimit phase windows."""
 
     rounds: int
     messages: int
@@ -34,9 +48,10 @@ class MetricsSnapshot:
     def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
         """Counters accumulated since ``earlier``.
 
-        ``max_message_bits`` and ``congestion`` are window maxima only if
-        the window grew them; we report the later cumulative maximum, which
-        upper-bounds the window maximum (sufficient for the shape checks).
+        ``max_message_bits`` and ``congestion`` are reported as the later
+        *cumulative* maxima, which only upper-bound the window maxima.  Use
+        :meth:`MetricsCollector.window` when the window maxima must be
+        exact — a snapshot alone has no per-round history to consult.
         """
         return MetricsSnapshot(
             rounds=self.rounds - earlier.rounds,
@@ -48,45 +63,84 @@ class MetricsSnapshot:
 
 
 class MetricsCollector:
-    """Accumulates per-round and per-owner message statistics.
+    """Accumulates per-round and (optionally) per-owner message statistics.
 
     ``owner_of`` maps a simulator node id to the real process that emulates
     it; congestion is accounted against the owner, matching the paper's
     model where one process emulates three LDB virtual nodes.
+
+    ``detail=True`` enables the per-message ``Counter`` breakdowns
+    (``action_counts``, ``owner_totals``, ``owner_action_counts``); in the
+    default lean mode those attributes are ``None`` and the accessors that
+    need them raise :class:`~repro.errors.SimulationError`.
     """
 
-    def __init__(self, owner_of=None):
+    def __init__(self, owner_of=None, detail: bool = False):
         self._owner_of = owner_of if owner_of is not None else (lambda i: i)
+        self.detail = bool(detail)
         self.rounds = 0
         self.messages = 0
         self.bits = 0
         self.max_message_bits = 0
-        self.action_counts: Counter[str] = Counter()
-        self.owner_totals: Counter[int] = Counter()
-        self.owner_action_counts: Counter[tuple[int, str]] = Counter()
-        self._round_owner_counts: Counter[int] = Counter()
+        self.action_counts: Counter[str] | None = Counter() if detail else None
+        self.owner_totals: Counter[int] | None = Counter() if detail else None
+        self.owner_action_counts: Counter[tuple[int, str]] | None = (
+            Counter() if detail else None
+        )
+        self._round_owner_counts: dict[int, int] = {}
+        self._round_peak = 0
+        self._round_max_bits = 0
         self.congestion_by_round: list[int] = []
+        self.max_bits_by_round: list[int] = []
         self.marks: list[tuple[str, int]] = []
+        if detail:
+            self.record_delivery = self._record_delivery_detail  # type: ignore[method-assign]
 
     # -- recording -----------------------------------------------------
 
     def record_delivery(self, msg: Message) -> None:
-        """Record one message being handled at its destination."""
-        owner = self._owner_of(msg.dest)
+        """Record one message being handled at its destination (lean path)."""
         self.messages += 1
-        self.bits += msg.size_bits
-        if msg.size_bits > self.max_message_bits:
-            self.max_message_bits = msg.size_bits
+        bits = msg.size_bits
+        self.bits += bits
+        if bits > self._round_max_bits:
+            self._round_max_bits = bits
+            if bits > self.max_message_bits:
+                self.max_message_bits = bits
+        owner = self._owner_of(msg.dest)
+        counts = self._round_owner_counts
+        n = counts.get(owner, 0) + 1
+        counts[owner] = n
+        if n > self._round_peak:
+            self._round_peak = n
+
+    def _record_delivery_detail(self, msg: Message) -> None:
+        """Lean recording plus the per-action/per-owner breakdowns."""
+        self.messages += 1
+        bits = msg.size_bits
+        self.bits += bits
+        if bits > self._round_max_bits:
+            self._round_max_bits = bits
+            if bits > self.max_message_bits:
+                self.max_message_bits = bits
+        owner = self._owner_of(msg.dest)
+        counts = self._round_owner_counts
+        n = counts.get(owner, 0) + 1
+        counts[owner] = n
+        if n > self._round_peak:
+            self._round_peak = n
         self.action_counts[msg.action] += 1
         self.owner_totals[owner] += 1
         self.owner_action_counts[(owner, msg.action)] += 1
-        self._round_owner_counts[owner] += 1
 
     def end_round(self) -> None:
-        """Close the current round's congestion bucket."""
-        peak = max(self._round_owner_counts.values(), default=0)
-        self.congestion_by_round.append(peak)
-        self._round_owner_counts.clear()
+        """Close the current round's congestion and message-size buckets."""
+        self.congestion_by_round.append(self._round_peak)
+        self.max_bits_by_round.append(self._round_max_bits)
+        if self._round_owner_counts:
+            self._round_owner_counts.clear()
+            self._round_peak = 0
+        self._round_max_bits = 0
         self.rounds += 1
 
     def mark(self, name: str) -> None:
@@ -98,8 +152,9 @@ class MetricsCollector:
     @property
     def congestion(self) -> int:
         """Max messages handled by any owner in any single round."""
-        current = max(self._round_owner_counts.values(), default=0)
-        return max(max(self.congestion_by_round, default=0), current)
+        current = self._round_peak
+        closed = max(self.congestion_by_round, default=0)
+        return closed if closed > current else current
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
@@ -110,17 +165,49 @@ class MetricsCollector:
             congestion=self.congestion,
         )
 
+    def window(self, earlier: MetricsSnapshot) -> MetricsSnapshot:
+        """Exact counters accumulated since ``earlier`` was snapshotted.
+
+        Unlike :meth:`MetricsSnapshot.diff`, the maxima are the *true*
+        window maxima, recovered from the per-round flat arrays — the
+        phase attribution the harness reports is exact, not an upper
+        bound.
+        """
+        congestion = max(self.congestion_by_round[earlier.rounds :], default=0)
+        if self._round_peak > congestion:
+            congestion = self._round_peak
+        max_bits = max(self.max_bits_by_round[earlier.rounds :], default=0)
+        if self._round_max_bits > max_bits:
+            max_bits = self._round_max_bits
+        return MetricsSnapshot(
+            rounds=self.rounds - earlier.rounds,
+            messages=self.messages - earlier.messages,
+            bits=self.bits - earlier.bits,
+            max_message_bits=max_bits,
+            congestion=congestion,
+        )
+
     def congestion_between(self, start_round: int, end_round: int) -> int:
         """Max per-owner messages/round within ``[start_round, end_round)``."""
         window = self.congestion_by_round[start_round:end_round]
         return max(window, default=0)
+
+    def _require_detail(self, what: str) -> None:
+        if not self.detail:
+            raise SimulationError(
+                f"{what} needs per-owner breakdowns: construct the collector "
+                "(or the cluster) with detail metrics enabled "
+                "(MetricsCollector(detail=True) / metrics_detail=True)"
+            )
 
     def owner_action_total(self, owner: int, actions) -> int:
         """Messages of the given action names handled by ``owner``.
 
         Used to isolate *coordination* load (batch aggregation vs per-op
         forwarding) from the DHT routing traffic every node shares.
+        Requires ``detail=True``.
         """
+        self._require_detail("owner_action_total")
         return sum(self.owner_action_counts.get((owner, a), 0) for a in actions)
 
     def owner_rate(self, owner: int) -> float:
@@ -129,5 +216,7 @@ class MetricsCollector:
         The sustained-load metric behind the batching argument: Skeap's
         anchor handles O(1) (large) messages per iteration, while an
         unbatched anchor or a central coordinator handles Θ(n·Λ) per round.
+        Requires ``detail=True``.
         """
+        self._require_detail("owner_rate")
         return self.owner_totals.get(owner, 0) / max(self.rounds, 1)

@@ -67,6 +67,24 @@ class ProtocolNode:
         """Send a remote action call to ``dest`` (puts it in dest's channel)."""
         self.ctx.transmit(Message(sender=self.id, dest=dest, action=action, payload=payload))
 
+    def send_sized(
+        self, dest: int, action: str, payload: dict[str, Any], size_bits: int
+    ) -> None:
+        """Send with a precomputed ``size_bits`` (memoized hot-path sizing).
+
+        The caller asserts ``size_bits`` equals what
+        :func:`~repro.sim.message.payload_size_bits` would charge for the
+        *accountable* payload fields — used where a forwarded payload's
+        size is already known and recomputing it per hop would dominate
+        the simulation.
+        """
+        self.ctx.transmit(
+            Message(
+                sender=self.id, dest=dest, action=action,
+                payload=payload, size_bits=size_bits,
+            )
+        )
+
     def on_activate(self) -> None:
         """Periodic activation hook; default does nothing."""
 
@@ -77,6 +95,33 @@ class ProtocolNode:
         client requests or unfinished phases must return True.
         """
         return False
+
+    def wants_activation(self) -> bool:
+        """Whether :meth:`on_activate` would do anything right now.
+
+        Runners activate sparsely: a node is activated in a round only if
+        it received a message that round, it was explicitly woken via
+        :meth:`request_activation`, or this predicate held after its last
+        activation.  **Contract:** any subclass whose ``on_activate`` has
+        side effects beyond draining the work ``has_work`` declares MUST
+        override this to mirror its activation guard exactly — returning
+        ``False`` while ``on_activate`` would act loses protocol steps;
+        returning ``True`` spuriously only costs a no-op call.
+        """
+        return self.has_work()
+
+    def request_activation(self) -> None:
+        """Ask the runner to activate this node even without a message.
+
+        Used when node state changes outside the message flow (client
+        submission, un-pausing).  Safe to call on unbound nodes and under
+        runners without sparse activation; spurious calls are harmless.
+        """
+        ctx = self._ctx
+        if ctx is not None:
+            wake = getattr(ctx, "wake", None)
+            if wake is not None:
+                wake(self.id)
 
     # -- dispatch ----------------------------------------------------------
 

@@ -1,9 +1,17 @@
 """Synchronous round driver — the paper's performance-analysis model.
 
 Time proceeds in rounds; all messages sent in round *i* are processed in
-round *i+1*, and each node is activated once per round (Section 1.1).  This
-is the driver under which every quantitative experiment runs, because the
+round *i+1*, and each node may act once per round (Section 1.1).  This is
+the driver under which every quantitative experiment runs, because the
 paper's round/congestion bounds are stated in exactly this model.
+
+Activation is *sparse*: instead of iterating every registered node every
+round, the runner keeps a wake-set and only activates nodes that received
+a message this round, asked to be woken (:meth:`wake`), or declared
+pending activation work via :meth:`ProtocolNode.wants_activation` after
+their previous activation.  Skipped activations are no-ops by the node
+contract, so the message trace — and therefore every metric — is
+bit-for-bit identical to dense iteration.
 """
 
 from __future__ import annotations
@@ -26,12 +34,17 @@ class SyncRunner:
         self,
         seed: int = 0,
         owner_of: Callable[[int], int] | None = None,
+        metrics_detail: bool = False,
     ):
         self.rng = RngRegistry(seed)
         self.nodes: dict[int, ProtocolNode] = {}
-        self.metrics = MetricsCollector(owner_of=owner_of)
-        self._inbox: list[Message] = []
+        self.metrics = MetricsCollector(owner_of=owner_of, detail=metrics_detail)
         self._outbox: list[Message] = []
+        #: messages in flight per destination (O(1) deregister safety check)
+        self._inflight_by_dest: dict[int, int] = {}
+        #: node ids to activate in the next round
+        self._wake: set[int] = set()
+        self._delivery_rng = self.rng.stream("sync", "delivery")
         self._round = 0
 
     # -- SimContext interface ------------------------------------------
@@ -41,9 +54,16 @@ class SyncRunner:
         return float(self._round)
 
     def transmit(self, msg: Message) -> None:
-        if msg.dest not in self.nodes:
-            raise SimulationError(f"message to unknown node {msg.dest}: {msg!r}")
+        dest = msg.dest
+        if dest not in self.nodes:
+            raise SimulationError(f"message to unknown node {dest}: {msg!r}")
         self._outbox.append(msg)
+        inflight = self._inflight_by_dest
+        inflight[dest] = inflight.get(dest, 0) + 1
+
+    def wake(self, node_id: int) -> None:
+        """Schedule ``node_id`` for activation in the next round."""
+        self._wake.add(node_id)
 
     # -- setup -----------------------------------------------------------
 
@@ -52,6 +72,8 @@ class SyncRunner:
             raise SimulationError(f"duplicate node id {node.id}")
         self.nodes[node.id] = node
         node.bind(self)
+        # Every node gets one initial activation (protocol bootstrap).
+        self._wake.add(node.id)
 
     def register_all(self, nodes: Iterable[ProtocolNode]) -> None:
         for node in nodes:
@@ -59,9 +81,11 @@ class SyncRunner:
 
     def deregister(self, node_id: int) -> None:
         """Remove a node (membership Leave); its channel must be empty."""
-        if any(m.dest == node_id for m in self._outbox):
+        if self._inflight_by_dest.get(node_id, 0):
             raise SimulationError(f"cannot deregister node {node_id}: messages in flight")
         del self.nodes[node_id]
+        self._inflight_by_dest.pop(node_id, None)
+        self._wake.discard(node_id)
 
     # -- execution ---------------------------------------------------------
 
@@ -69,20 +93,34 @@ class SyncRunner:
         """Execute one synchronous round.
 
         Deliver every message sent in the previous round (in deterministic
-        but arbitrary — non-FIFO — order), then activate every node once.
+        but arbitrary — non-FIFO — order), then activate every woken node
+        once, in node-id order.
         """
-        self._inbox, self._outbox = self._outbox, []
+        inbox, self._outbox = self._outbox, []
         # Deterministic shuffle: ordering by a seeded draw exercises the
         # model's "channels are unordered" guarantee without real entropy.
-        if len(self._inbox) > 1:
-            order = self.rng.stream("sync", "delivery").permutation(len(self._inbox))
-            self._inbox = [self._inbox[i] for i in order]
-        for msg in self._inbox:
-            self.metrics.record_delivery(msg)
-            self.nodes[msg.dest].handle(msg)
-        self._inbox.clear()
-        for node_id in sorted(self.nodes):
-            self.nodes[node_id].on_activate()
+        if len(inbox) > 1:
+            order = self._delivery_rng.permutation(len(inbox))
+            inbox = [inbox[i] for i in order]
+        nodes = self.nodes
+        wake = self._wake
+        if inbox:
+            record = self.metrics.record_delivery
+            inflight = self._inflight_by_dest
+            for msg in inbox:
+                dest = msg.dest
+                inflight[dest] -= 1
+                record(msg)
+                nodes[dest].handle(msg)
+                wake.add(dest)
+        self._wake = set()
+        for node_id in sorted(wake):
+            node = nodes.get(node_id)
+            if node is None:  # deregistered while woken
+                continue
+            node.on_activate()
+            if node.wants_activation():
+                self._wake.add(node_id)
         self.metrics.end_round()
         self._round += 1
 
@@ -92,7 +130,7 @@ class SyncRunner:
 
     def is_quiescent(self) -> bool:
         """No messages in flight and no node declares outstanding work."""
-        return self.pending_messages() == 0 and not any(
+        return not self._outbox and not any(
             n.has_work() for n in self.nodes.values()
         )
 

@@ -146,6 +146,9 @@ class SkeapHeap(OverlayCluster):
         """Allow nodes to start new iterations again after :meth:`pause`."""
         for node in self.nodes.values():
             node.pause_after = None
+            # While paused the runner parked every idle node; the gate
+            # opened outside the message flow, so ask for activation.
+            node.request_activation()
 
     def _sync_new_node(self, real_id: int) -> None:
         current = max(n.iteration for n in self.nodes.values())

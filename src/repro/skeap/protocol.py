@@ -124,6 +124,7 @@ class SkeapNode(OverlayNode):
         self.buffered.append(handle)
         if self.history is not None:
             self.history.record_submit(handle.op_id, INSERT, priority, handle.uid)
+        self.request_activation()
         return handle
 
     def submit_delete_min(self) -> OpHandle:
@@ -132,6 +133,7 @@ class SkeapNode(OverlayNode):
         self.buffered.append(handle)
         if self.history is not None:
             self.history.record_submit(handle.op_id, DELETE)
+        self.request_activation()
         return handle
 
     def _take_seq(self) -> int:
@@ -162,6 +164,14 @@ class SkeapNode(OverlayNode):
 
     def has_work(self) -> bool:
         return bool(self.buffered) or bool(self._requests) or bool(self._snapshot)
+
+    def wants_activation(self) -> bool:
+        # Mirrors on_activate's guards exactly: a contribution is owed for
+        # the current iteration unless the pause gate is closed.  Iterations
+        # only advance on message receipt, which re-wakes the node.
+        if self._contributed_iteration >= self.iteration:
+            return False
+        return self.pause_after is None or self.iteration <= self.pause_after
 
     def _agg_combine(self, tag, own: Batch, children) -> Batch:
         return Batch.combine_all([own] + [b for _, b in children], self.n_priorities)

@@ -149,7 +149,7 @@ class TestUnbatchedAblation:
         from repro.overlay.ldb import owner_of
 
         n, ops = 12, 120
-        u = UnbatchedHeapCluster(n, n_priorities=2, seed=8)
+        u = UnbatchedHeapCluster(n, n_priorities=2, seed=8, metrics_detail=True)
         for i in range(ops):
             u.insert(priority=1, at=i % n)
         u.settle()
@@ -157,7 +157,9 @@ class TestUnbatchedAblation:
             owner_of(u.topology.anchor), ["ub_fwd", "ub_insert", "ub_delete"]
         )
 
-        s = SkeapHeap(n, n_priorities=2, seed=8, record_history=False)
+        s = SkeapHeap(
+            n, n_priorities=2, seed=8, record_history=False, metrics_detail=True
+        )
         for i in range(ops):
             s.insert(priority=1, at=i % n)
         s.settle()

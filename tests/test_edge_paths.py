@@ -141,7 +141,10 @@ class TestPauseResume:
 
 class TestMetricsHelpers:
     def test_owner_rate_and_action_totals(self):
-        heap = SkeapHeap(n_nodes=4, n_priorities=2, seed=4, record_history=False)
+        heap = SkeapHeap(
+            n_nodes=4, n_priorities=2, seed=4, record_history=False,
+            metrics_detail=True,
+        )
         heap.insert(priority=1, at=0)
         heap.settle()
         from repro.overlay.ldb import owner_of
@@ -152,9 +155,22 @@ class TestMetricsHelpers:
         assert heap.metrics.owner_action_total(anchor_owner, ["no_such"]) == 0
 
     def test_owner_rate_unknown_owner(self):
-        heap = SkeapHeap(n_nodes=3, n_priorities=2, seed=5, record_history=False)
+        heap = SkeapHeap(
+            n_nodes=3, n_priorities=2, seed=5, record_history=False,
+            metrics_detail=True,
+        )
         heap.settle()
         assert heap.metrics.owner_rate(999) == 0.0
+
+    def test_lean_metrics_reject_owner_breakdowns(self):
+        from repro.errors import SimulationError
+
+        heap = SkeapHeap(n_nodes=3, n_priorities=2, seed=5, record_history=False)
+        heap.settle()
+        with pytest.raises(SimulationError):
+            heap.metrics.owner_rate(0)
+        with pytest.raises(SimulationError):
+            heap.metrics.owner_action_total(0, ["agg_up"])
 
 
 class TestMembershipAsyncGuard:

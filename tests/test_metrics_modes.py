@@ -1,0 +1,139 @@
+"""Lean vs detail metrics: identical numbers, different breadth."""
+
+from __future__ import annotations
+
+from repro import SeapHeap, SkeapHeap
+from repro.sim import Message, MetricsCollector
+
+
+def _core_numbers(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.bits,
+        metrics.max_message_bits,
+        metrics.congestion,
+        list(metrics.congestion_by_round),
+        list(metrics.max_bits_by_round),
+    )
+
+
+def _drive_skeap(detail: bool):
+    heap = SkeapHeap(
+        n_nodes=8, n_priorities=3, seed=11, record_history=False,
+        metrics_detail=detail,
+    )
+    for i in range(24):
+        heap.insert(priority=1 + i % 3, at=i % 8)
+    heap.settle()
+    for i in range(12):
+        heap.delete_min(at=i % 8)
+    heap.settle()
+    return heap
+
+
+def _drive_seap(detail: bool):
+    heap = SeapHeap(n_nodes=6, seed=13, metrics_detail=detail)
+    for i in range(18):
+        heap.insert(priority=1 + 7 * i, at=i % 6)
+    heap.settle()
+    for i in range(9):
+        heap.delete_min(at=i % 6)
+    heap.settle()
+    return heap
+
+
+class TestLeanDetailParity:
+    """Both modes observe the same message stream; every counter the
+    shape checks read must be bit-for-bit equal."""
+
+    def test_skeap_workload_identical_numbers(self):
+        lean = _drive_skeap(detail=False)
+        full = _drive_skeap(detail=True)
+        assert _core_numbers(lean.metrics) == _core_numbers(full.metrics)
+
+    def test_seap_workload_identical_numbers(self):
+        lean = _drive_seap(detail=False)
+        full = _drive_seap(detail=True)
+        assert _core_numbers(lean.metrics) == _core_numbers(full.metrics)
+
+    def test_lean_mode_has_no_breakdowns(self):
+        lean = _drive_skeap(detail=False)
+        assert lean.metrics.action_counts is None
+        assert lean.metrics.owner_totals is None
+        assert lean.metrics.owner_action_counts is None
+
+    def test_detail_mode_populates_breakdowns(self):
+        full = _drive_skeap(detail=True)
+        assert sum(full.metrics.action_counts.values()) == full.metrics.messages
+        assert sum(full.metrics.owner_totals.values()) == full.metrics.messages
+
+
+class TestWindowExactMaxima:
+    def _msg(self, dest=0, bits=1):
+        m = Message(sender=9, dest=dest, action="x", payload=None)
+        m.size_bits = bits
+        return m
+
+    def test_window_maxima_are_per_window_not_cumulative(self):
+        mc = MetricsCollector()
+        # Round 0: heavy (5 messages to one owner, 100-bit peak).
+        for _ in range(5):
+            mc.record_delivery(self._msg(bits=100))
+        mc.end_round()
+        before = mc.snapshot()
+        # Round 1: light (2 messages, 40-bit peak).
+        for _ in range(2):
+            mc.record_delivery(self._msg(bits=40))
+        mc.end_round()
+        window = mc.window(before)
+        assert window.rounds == 1 and window.messages == 2
+        assert window.congestion == 2
+        assert window.max_message_bits == 40
+        # diff() only carries the cumulative maxima — an upper bound.
+        diff = mc.snapshot().diff(before)
+        assert diff.congestion == 5
+        assert diff.max_message_bits == 100
+        assert diff.rounds == window.rounds
+        assert diff.messages == window.messages
+        assert diff.bits == window.bits
+
+    def test_window_includes_open_round(self):
+        mc = MetricsCollector()
+        mc.end_round()
+        before = mc.snapshot()
+        for _ in range(3):
+            mc.record_delivery(self._msg(bits=64))
+        # No end_round(): the in-progress round still counts.
+        window = mc.window(before)
+        assert window.congestion == 3
+        assert window.max_message_bits == 64
+
+    def test_empty_window_is_zero(self):
+        mc = MetricsCollector()
+        mc.record_delivery(self._msg(bits=10))
+        mc.end_round()
+        before = mc.snapshot()
+        window = mc.window(before)
+        assert window.congestion == 0
+        assert window.max_message_bits == 0
+        assert window.messages == 0
+
+
+class TestDeregisterAfterDrain:
+    def test_deregister_allowed_once_channel_empties(self):
+        from repro.sim import ProtocolNode, SyncRunner
+
+        class Sink(ProtocolNode):
+            def on_ping(self, sender, value):
+                pass
+
+        runner = SyncRunner()
+        a, b = Sink(0), Sink(1)
+        runner.register_all([a, b])
+        a.send(1, "ping", value=0)
+        runner.step()  # delivers; in-flight count returns to zero
+        runner.deregister(1)
+        assert 1 not in runner.nodes
+        assert 1 not in runner._inflight_by_dest
+        assert 1 not in runner._wake

@@ -1,0 +1,93 @@
+"""Tests for the parallel experiment harness (plans + process fan-out)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    ALL_EXPERIMENTS,
+    ALL_PLAN_FACTORIES,
+    ExperimentPlan,
+    all_plans,
+    execute_plans,
+)
+from repro.harness.experiments import plan_t1, plan_t13, plan_t14
+
+
+class TestPlanRegistry:
+    def test_every_experiment_has_a_plan(self):
+        assert set(ALL_PLAN_FACTORIES) == set(ALL_EXPERIMENTS)
+        assert list(ALL_PLAN_FACTORIES) == list(ALL_EXPERIMENTS)
+
+    def test_all_plans_default_order(self):
+        plans = all_plans(quick=True)
+        assert [p.exp_id for p in plans] == list(ALL_PLAN_FACTORIES)
+
+    def test_all_plans_honours_ids_order(self):
+        plans = all_plans(ids=["T13", "T1"])
+        assert [p.exp_id for p in plans] == ["T13", "T1"]
+
+    def test_quick_trims_grids(self):
+        full = {p.exp_id: len(p.tasks) for p in all_plans()}
+        quick = {p.exp_id: len(p.tasks) for p in all_plans(quick=True)}
+        for exp_id in ("T1", "T4", "T7", "T10", "T11"):
+            assert quick[exp_id] < full[exp_id]
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            all_plans(ids=["T99"])
+
+
+class TestPlanExecution:
+    def test_tasks_are_picklable(self):
+        import pickle
+
+        for plan in all_plans(quick=True):
+            for task in plan.tasks:
+                pickle.dumps(task)
+
+    def test_serial_matches_legacy_function(self):
+        from repro.harness.experiments import t1_skeap_rounds
+
+        plan = plan_t1(ns=(8, 16), ops_per_node=1)
+        assert (
+            plan.run_serial().to_markdown()
+            == t1_skeap_rounds(ns=(8, 16), ops_per_node=1).to_markdown()
+        )
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        """The acceptance bar: fanning grid points across processes must
+        reproduce the serial tables exactly, render and all."""
+        plans = [plan_t1(ns=(8, 16), ops_per_node=1), plan_t13(ns=(8, 16))]
+        serial = [p.run_serial() for p in plans]
+        parallel = execute_plans(
+            [plan_t1(ns=(8, 16), ops_per_node=1), plan_t13(ns=(8, 16))], jobs=2
+        )
+        assert [t.to_markdown() for t in serial] == [
+            t.to_markdown() for t in parallel
+        ]
+        assert [t.render() for t in serial] == [t.render() for t in parallel]
+
+    def test_jobs_one_runs_inline(self):
+        tables = execute_plans([plan_t1(ns=(8, 16), ops_per_node=1)], jobs=1)
+        assert len(tables) == 1 and tables[0].exp_id == "T1"
+
+    def test_results_regroup_in_plan_order(self):
+        plan = plan_t14(ns=(8, 16))
+        serial = plan.run_serial()
+        parallel = execute_plans([plan_t14(ns=(8, 16))], jobs=2)[0]
+        assert serial.to_markdown() == parallel.to_markdown()
+
+    def test_assemble_sees_results_in_task_order(self):
+        order: list[int] = []
+        plan = ExperimentPlan(
+            "X",
+            [(_identity, {"x": i}) for i in range(5)],
+            lambda results: order.extend(results),
+        )
+        plan.run_serial()
+        assert order == list(range(5))
+
+
+def _identity(x):
+    return x

@@ -186,6 +186,13 @@ class Echo(ProtocolNode):
         self.pongs.append(value)
 
 
+class Ticker(Echo):
+    """An Echo that always declares activation work (dense-style node)."""
+
+    def wants_activation(self):
+        return True
+
+
 class TestProtocolNode:
     def test_unknown_action_raises(self):
         runner = SyncRunner()
@@ -218,13 +225,40 @@ class TestSyncRunner:
         runner.step()  # pong delivered
         assert a.pongs == [11]
 
-    def test_every_node_activated_each_round(self):
+    def test_sparse_activation_skips_idle_nodes(self):
+        """Idle nodes activate once (bootstrap) then leave the hot loop;
+        nodes declaring work via wants_activation keep being activated."""
         runner = SyncRunner()
-        nodes = [Echo(i) for i in range(5)]
-        runner.register_all(nodes)
+        idle = [Echo(i) for i in range(3)]
+        busy = Ticker(3)
+        runner.register_all([*idle, busy])
+        for _ in range(5):
+            runner.step()
+        assert all(n.activations == 1 for n in idle)
+        assert busy.activations == 5
+
+    def test_message_receipt_reactivates(self):
+        """A parked node is woken by an incoming message the next round."""
+        runner = SyncRunner()
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        runner.step()  # bootstrap activation, then both park
+        runner.step()
+        assert b.activations == 1
+        a.send(1, "ping", value=0)
+        runner.step()  # deliver ping -> b handles it and is woken
+        assert b.activations == 2
+
+    def test_explicit_wake_reactivates(self):
+        runner = SyncRunner()
+        node = Echo(0)
+        runner.register(node)
         runner.step()
         runner.step()
-        assert all(n.activations == 2 for n in nodes)
+        assert node.activations == 1
+        node.request_activation()
+        runner.step()
+        assert node.activations == 2
 
     def test_unknown_dest_rejected(self):
         runner = SyncRunner()
@@ -317,10 +351,28 @@ class TestAsyncRunner:
 
     def test_activation_recurs(self):
         runner = AsyncRunner(seed=2, activation_period=0.5)
-        node = Echo(0)
+        node = Ticker(0)
         runner.register(node)
         runner.run_until(lambda: node.activations >= 4, max_time=10)
         assert node.activations >= 4
+
+    def test_idle_node_parks_and_message_unparks(self):
+        """Idle nodes leave the event heap; a delivery resumes the chain
+        on the original activation grid."""
+        runner = AsyncRunner(seed=2, activation_period=0.5)
+        a, b = Echo(0), Echo(1)
+        runner.register_all([a, b])
+        # Drain both bootstrap activations; afterwards the heap is empty.
+        while runner._events:
+            runner._process_one()
+        assert a.activations == 1 and b.activations == 1
+        assert set(runner._parked) == {0, 1}
+        a.send(1, "ping", value=3)
+        runner.run_until(
+            lambda: bool(a.pongs) and b.activations >= 2, max_time=100
+        )
+        assert a.pongs == [4]
+        assert b.activations >= 2  # woken by the ping
 
     def test_negative_delay_rejected(self):
         runner = AsyncRunner(seed=0, delay_fn=lambda m, r: -1.0)

@@ -13,7 +13,9 @@ from repro.overlay.ldb import LDBTopology
 
 
 def _run_heap(n=5, seed=2):
-    heap = SkeapHeap(n, n_priorities=2, seed=seed, record_history=False)
+    heap = SkeapHeap(
+        n, n_priorities=2, seed=seed, record_history=False, metrics_detail=True
+    )
     for i in range(8):
         heap.insert(priority=1 + i % 2, at=i % n)
     heap.settle()
@@ -84,6 +86,12 @@ class TestRenderActivity:
         out = render_activity(mc)
         spark = out.splitlines()[1].split(": ", 1)[1]
         assert len(spark) <= 64
+
+    def test_lean_metrics_render_without_action_mix(self):
+        from repro.sim.metrics import MetricsCollector
+
+        out = render_activity(MetricsCollector())
+        assert "action mix unavailable" in out
 
 
 class TestRenderStoreLoads:
