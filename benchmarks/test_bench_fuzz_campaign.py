@@ -1,0 +1,9 @@
+"""A3 — fault-injection fuzz campaign across every protocol target."""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import a3_fuzz_campaign
+
+
+def test_bench_a3_fuzz_campaign(benchmark):
+    run_experiment(benchmark, a3_fuzz_campaign, n_plans=42)

@@ -45,6 +45,7 @@ from .overlay.membership import MembershipReport, join_node, leave_node
 from .seap import SeapHeap, SeapNode, SeapSCHeap, SeapSCNode
 from .semantics import (
     History,
+    check_element_conservation,
     check_heap_consistency,
     check_local_consistency,
     check_seap_history,
@@ -52,6 +53,7 @@ from .semantics import (
     check_skack_history,
     check_skeap_history,
 )
+from .sim import FaultEvent, FaultInjector, FaultPlan
 from .skeap import OpHandle, SkeapHeap, SkeapNode
 from .skack import SkackStack
 from .skueue import SkueueQueue
@@ -64,6 +66,9 @@ __all__ = [
     "CentralHeapCluster",
     "ConsistencyError",
     "Element",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "GatherSelectCluster",
     "History",
     "KSelectCluster",
@@ -86,6 +91,7 @@ __all__ = [
     "TopologyError",
     "UnbatchedHeapCluster",
     "WorkloadError",
+    "check_element_conservation",
     "check_heap_consistency",
     "check_local_consistency",
     "check_seap_history",

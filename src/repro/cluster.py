@@ -16,6 +16,7 @@ from .errors import SimulationError
 from .overlay.base import OverlayNode
 from .overlay.ldb import LDBTopology, LocalView, VirtualKind, owner_of, vid_for
 from .sim.async_runner import AsyncRunner
+from .sim.faults import FaultInjector, FaultPlan
 from .sim.sync_runner import SyncRunner
 
 __all__ = ["OverlayCluster"]
@@ -37,6 +38,7 @@ class OverlayCluster:
         runner: str = "sync",
         delay_fn: Callable | None = None,
         metrics_detail: bool = False,
+        faults: FaultInjector | FaultPlan | None = None,
     ):
         if n_nodes < 1:
             raise SimulationError("cluster needs at least one node")
@@ -44,14 +46,18 @@ class OverlayCluster:
         self.n_nodes = int(n_nodes)
         self.topology = LDBTopology(list(range(n_nodes)), seed=seed)
         self.keyspace = KeySpace(seed)
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
         if runner == "sync":
             self.runner = SyncRunner(
-                seed=seed, owner_of=owner_of, metrics_detail=metrics_detail
+                seed=seed, owner_of=owner_of, metrics_detail=metrics_detail,
+                faults=faults,
             )
         elif runner == "async":
             kwargs = {"delay_fn": delay_fn} if delay_fn is not None else {}
             self.runner = AsyncRunner(
-                seed=seed, owner_of=owner_of, metrics_detail=metrics_detail, **kwargs
+                seed=seed, owner_of=owner_of, metrics_detail=metrics_detail,
+                faults=faults, **kwargs
             )
         else:
             raise SimulationError(f"unknown runner kind {runner!r}")
@@ -95,6 +101,25 @@ class OverlayCluster:
 
     def total_stored(self) -> int:
         return sum(len(node.store) for node in self.nodes.values())
+
+    @property
+    def fault_stats(self):
+        """Transport statistics of the installed fault injector (or None)."""
+        injector = self.runner.faults
+        return injector.stats if injector is not None else None
+
+    def stored_uids(self) -> list[int]:
+        """The uids of every element currently stored in the DHT.
+
+        The raw material of the element-conservation check (T13's "no
+        elements lost"): after quiescence these, plus the returned uids,
+        must account for exactly the inserted uids.
+        """
+        return [
+            element.uid
+            for node in self.nodes.values()
+            for _, element in node.store.items()
+        ]
 
     def all_route_hops(self) -> list[int]:
         hops: list[int] = []

@@ -1,18 +1,26 @@
-"""Regenerate experiment tables.
+"""Regenerate experiment tables; fuzz and replay fault schedules.
 
 Usage::
 
     python -m repro.harness [--quick] [--markdown] [--serial] [--jobs N] [IDS...]
+    python -m repro.harness fuzz [--plans N] [--seed S] [--targets a,b]
+                                 [--inject-bug no-retry|no-dedup]
+                                 [--expect-caught] [--out DIR]
+    python -m repro.harness replay <reproducer.json>
 
 ``--quick`` shrinks the parameter grids; ``--markdown`` emits GitHub
 tables (how EXPERIMENTS.md's body is produced); ``IDS`` selects specific
-experiments (T1..T14, F1, F2, A1, A2).
+experiments (T1..T14, F1, F2, A1..A3).
 
 By default the independent grid points of every selected experiment fan
 out across a process pool (one worker per CPU; override with
 ``--jobs N``).  ``--serial`` (or ``--jobs 1``) runs everything inline.
 Results merge back in grid order, so serial and parallel output is
 byte-identical.
+
+``fuzz`` runs seeded fault-plan campaigns against the protocol targets
+and shrinks any failure to a minimal JSON reproducer; ``replay`` re-runs
+one reproducer byte-for-byte (see ``repro.harness.fuzz``).
 """
 
 from __future__ import annotations
@@ -24,6 +32,14 @@ from .parallel import default_jobs, execute_plans
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "fuzz":
+        from .fuzz import fuzz_main
+
+        return fuzz_main(argv[1:])
+    if argv and argv[0] == "replay":
+        from .fuzz import replay_main
+
+        return replay_main(argv[1:])
     quick = "--quick" in argv
     markdown = "--markdown" in argv
     serial = "--serial" in argv

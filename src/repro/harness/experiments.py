@@ -38,8 +38,8 @@ __all__ = [
     "t7_seap_rounds", "t8_seap_vs_skeap_msgsize", "t9_dht_fairness",
     "t10_routing_hops", "t11_tree_height", "t12_scalability_baselines",
     "t13_membership", "t14_linearization", "f1_figure1_trace", "f2_figure2_ldb",
-    "a1_ablations", "a2_seap_sc_cost", "run_all", "ALL_EXPERIMENTS",
-    "ALL_PLAN_FACTORIES", "all_plans",
+    "a1_ablations", "a2_seap_sc_cost", "a3_fuzz_campaign", "run_all",
+    "ALL_EXPERIMENTS", "ALL_PLAN_FACTORIES", "all_plans",
 ]
 
 _DEFAULT_NS = (8, 16, 32, 64, 128)
@@ -880,6 +880,66 @@ def a2_seap_sc_cost(n: int = 8, n_elements: int = 48, seed: int = 0) -> Table:
     return table
 
 
+# -- A3 -----------------------------------------------------------------------------------
+
+
+def a3_fuzz_campaign(n_plans: int = 140, seed: int = 0) -> Table:
+    """Fault-injection fuzzing: the consistency theorems under hostile networks.
+
+    Runs seeded random fault plans (drops, duplicates, adversarial delays,
+    partitions, crash/restart churn) against every protocol target and
+    checks each history with the ``repro.semantics`` checkers, plus the T13
+    conservation census.  As a positive control, repeats a small campaign
+    with retransmission deliberately disabled and demands the fuzzer
+    catch, shrink, and deterministically replay the seeded bug.
+    """
+    from .fuzz import fuzz_campaign, run_case
+
+    table = Table(
+        "A3", "Fault-injection fuzz campaign",
+        "semantic checks hold under faults; a seeded transport bug is caught and shrunk",
+        ["campaign", "plans", "failures", "transport activity"],
+    )
+    totals: dict[str, int] = {}
+
+    def progress(_i, _case, result):
+        for key, val in result.transport.items():
+            totals[key] = totals.get(key, 0) + int(val)
+
+    clean = fuzz_campaign(n_plans, root_seed=seed, n_ops=12, progress=progress)
+    activity = (
+        f"sent {totals.get('sent', 0)}, dropped {totals.get('dropped', 0)}, "
+        f"retransmitted {totals.get('retransmitted', 0)}, "
+        f"deduped {totals.get('deduped', 0)}, lost {totals.get('lost', 0)}"
+    )
+    table.add_row("clean transport", clean.cases_run, len(clean.failures), activity)
+
+    buggy = fuzz_campaign(
+        12, root_seed=seed, targets=("skeap", "seap"), n_ops=10,
+        inject_bug="no-retry", max_failures=2,
+    )
+    caught = [
+        rec for rec in buggy.failures
+        if len(rec.minimized.plan.events) <= 10
+        and run_case(rec.minimized).signature == rec.signature
+    ]
+    table.add_row(
+        "no-retry bug seeded", buggy.cases_run, len(buggy.failures),
+        f"{len(caught)} caught+shrunk (≤10 events) and replayed",
+    )
+    per_target = ", ".join(f"{t}×{c}" for t, c in sorted(clean.by_target.items()))
+    table.add_note(f"clean campaign coverage: {per_target}")
+    if buggy.failures:
+        sizes = [
+            f"{len(r.case.plan.events)}->{len(r.minimized.plan.events)}"
+            for r in buggy.failures
+        ]
+        table.add_note(f"shrink (events before -> after): {', '.join(sizes)}")
+    ok = clean.ok and bool(buggy.failures) and len(caught) == len(buggy.failures)
+    table.verdict = _verdict(ok)
+    return table
+
+
 # -- single-point plans ---------------------------------------------------------------------
 #
 # T5/F1/F2/A1/A2 are single simulations (or, for A1, two arms threaded
@@ -914,6 +974,11 @@ def plan_a2(n: int = 8, n_elements: int = 48, seed: int = 0) -> ExperimentPlan:
     return ExperimentPlan("A2", [(a2_seap_sc_cost, task)], _first)
 
 
+def plan_a3(n_plans: int = 140, seed: int = 0) -> ExperimentPlan:
+    task = {"n_plans": n_plans, "seed": seed}
+    return ExperimentPlan("A3", [(a3_fuzz_campaign, task)], _first)
+
+
 # -- driver ----------------------------------------------------------------------------------
 
 ALL_EXPERIMENTS = {
@@ -935,6 +1000,7 @@ ALL_EXPERIMENTS = {
     "F2": f2_figure2_ldb,
     "A1": a1_ablations,
     "A2": a2_seap_sc_cost,
+    "A3": a3_fuzz_campaign,
 }
 
 
@@ -957,6 +1023,7 @@ ALL_PLAN_FACTORIES = {
     "F2": plan_f2,
     "A1": plan_a1,
     "A2": plan_a2,
+    "A3": plan_a3,
 }
 
 

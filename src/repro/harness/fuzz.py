@@ -1,0 +1,679 @@
+"""Schedule fuzzing: seeded fault plans versus the semantic checkers.
+
+The consistency theorems (3.2(2), 5.1(2)) and the churn claim (T13) are
+*for all* statements over asynchronous schedules; a handful of
+hand-picked test schedules cannot witness them.  This module generates
+thousands of seeded :class:`~repro.sim.faults.FaultPlan` schedules —
+drops, duplicates, adversarial reorderings, bounded partitions, crash/
+restart churn — runs each against a protocol target, and feeds every
+resulting history through the ``repro.semantics`` checkers plus the
+element-conservation census.
+
+When a case fails, the fault plan is **shrunk** by delta-debugging over
+its event list (ddmin) to a minimal reproducer that still triggers the
+*same* failure signature, then serialized to JSON.  Because every input
+(workload, plan, delays) derives from explicit seeds, a reproducer file
+replays byte-for-byte::
+
+    python -m repro.harness fuzz --plans 500 --seed 0
+    python -m repro.harness fuzz --plans 40 --inject-bug no-retry --expect-caught
+    python -m repro.harness replay fuzz-failures/repro-skeap-....json
+
+``--inject-bug`` disables a transport guarantee on purpose (``no-retry``:
+dropped messages are never retransmitted; ``no-dedup``: duplicate copies
+reach the handlers) — the demonstration that the harness *would* catch a
+real transport bug, which is what makes the green runs evidence.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ReproError
+from ..kselect import KSelectCluster
+from ..overlay.selfstab import LinearizationCluster
+from ..seap import SeapHeap
+from ..semantics.checkers import (
+    check_element_conservation,
+    check_heap_consistency,
+    check_local_consistency,
+    check_settled,
+    replay_fifo,
+    replay_lifo,
+    replay_ordered,
+)
+from ..sim.async_runner import adversarial_delay
+from ..sim.faults import CRASH, DELAY, DROP, DUP, PARTITION, FaultEvent, FaultPlan
+from ..sim.rng import derive_seed
+from ..skack import SkackStack
+from ..skeap import SkeapHeap
+
+__all__ = [
+    "FuzzCase",
+    "CaseResult",
+    "CampaignResult",
+    "FailureRecord",
+    "TARGETS",
+    "generate_plan",
+    "make_case",
+    "run_case",
+    "shrink_case",
+    "save_reproducer",
+    "load_reproducer",
+    "replay_reproducer",
+    "fuzz_campaign",
+    "fuzz_main",
+    "replay_main",
+]
+
+#: Round/time budget for one fuzz case.  Generous against the worst legal
+#: schedule (bounded delays, bounded partitions, retry timeouts) yet small
+#: enough that a livelocked run fails in milliseconds, not minutes.
+SETTLE_LIMIT = 8_000
+
+#: Sync-driver protocol targets support churn; async arms check the same
+#: semantics under continuous-time adversarial delays (no churn there —
+#: membership applies at synchronous quiescent points).
+TARGET_NAMES = (
+    "skeap", "seap", "skack", "kselect", "linearize", "skeap-async", "seap-async",
+)
+
+
+@dataclass(slots=True)
+class FuzzCase:
+    """One fully seeded fuzz input: target + size + workload seed + plan."""
+
+    target: str
+    n_nodes: int
+    n_ops: int
+    seed: int
+    plan: FaultPlan
+
+    def with_events(self, events) -> "FuzzCase":
+        return replace(self, plan=self.plan.with_events(events))
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "n_nodes": self.n_nodes,
+            "n_ops": self.n_ops,
+            "seed": self.seed,
+            "plan": self.plan.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FuzzCase":
+        return cls(
+            target=str(d["target"]),
+            n_nodes=int(d["n_nodes"]),
+            n_ops=int(d["n_ops"]),
+            seed=int(d["seed"]),
+            plan=FaultPlan.from_dict(d["plan"]),
+        )
+
+
+@dataclass(slots=True)
+class CaseResult:
+    """What one case execution produced."""
+
+    signature: str | None  # None on success; "stage:ErrorType" on failure
+    message: str = ""
+    transport: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.signature is not None
+
+
+@dataclass(slots=True)
+class FailureRecord:
+    """A caught failure plus its minimized reproducer."""
+
+    case: FuzzCase
+    signature: str
+    message: str
+    minimized: FuzzCase
+    shrink_runs: int
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """Aggregate outcome of one fuzz campaign."""
+
+    cases_run: int
+    by_target: dict[str, int]
+    failures: list[FailureRecord]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# -- plan generation ----------------------------------------------------------
+
+
+def generate_plan(
+    seed: int,
+    n_nodes: int,
+    reliable: bool = True,
+    dedup: bool = True,
+    churn: bool = True,
+) -> FaultPlan:
+    """A seeded random fault plan sized for an ``n_nodes`` cluster.
+
+    Message events target virtual-node channels (3 virtual ids per real
+    node); partitions cut along random real-node bipartitions; crash
+    events churn real nodes at quiescent slots.
+    """
+    rng = np.random.default_rng(derive_seed(seed, "fuzz", "plan"))
+    nv = 3 * n_nodes
+    events: list[FaultEvent] = []
+    for _ in range(int(rng.integers(4, 28))):
+        roll = rng.random()
+        kind = DROP if roll < 0.5 else (DUP if roll < 0.75 else DELAY)
+        events.append(
+            FaultEvent(
+                kind=kind,
+                src=int(rng.integers(0, nv)),
+                dst=int(rng.integers(0, nv)),
+                nth=int(rng.integers(0, 80)),
+                hold=float(rng.integers(1, 12)),
+            )
+        )
+    if rng.random() < 0.5:
+        side = [int(r) for r in range(n_nodes) if rng.random() < 0.5]
+        if side and len(side) < n_nodes:
+            group = tuple(v for r in side for v in (3 * r, 3 * r + 1, 3 * r + 2))
+            events.append(
+                FaultEvent(
+                    kind=PARTITION,
+                    start=float(rng.integers(0, 50)),
+                    duration=float(rng.integers(5, 40)),
+                    group=group,
+                )
+            )
+    if churn and rng.random() < 0.45:
+        events.append(
+            FaultEvent(
+                kind=CRASH,
+                slot=int(rng.integers(0, 3)),
+                node=int(rng.integers(0, n_nodes)),
+                down_for=1,
+            )
+        )
+    return FaultPlan(seed=seed, events=events, reliable=reliable, dedup=dedup)
+
+
+def make_case(
+    index: int,
+    root_seed: int,
+    targets=TARGET_NAMES,
+    n_nodes: int = 4,
+    n_ops: int = 24,
+    inject_bug: str | None = None,
+) -> FuzzCase:
+    """Derive the ``index``-th case of a campaign rooted at ``root_seed``."""
+    target = targets[index % len(targets)]
+    seed = derive_seed(root_seed, "fuzz", "case", index) % (1 << 31)
+    plan = generate_plan(
+        seed,
+        n_nodes,
+        reliable=inject_bug != "no-retry",
+        dedup=inject_bug != "no-dedup",
+        churn=not target.endswith("-async"),
+    )
+    return FuzzCase(
+        target=target, n_nodes=n_nodes, n_ops=n_ops, seed=seed, plan=plan
+    )
+
+
+# -- target drivers ------------------------------------------------------------
+
+
+def _op_stream(case: FuzzCase, arbitrary_priorities: bool):
+    """The deterministic op mix of a case: (is_insert, priority, node_idx)."""
+    rng = np.random.default_rng(derive_seed(case.seed, "fuzz", "ops"))
+    ops = []
+    for _ in range(case.n_ops):
+        is_insert = bool(rng.random() < 0.6)
+        if arbitrary_priorities:
+            priority = int(rng.integers(1, 1 << 20))
+        else:
+            priority = int(rng.integers(1, 4))
+        ops.append((is_insert, priority, int(rng.integers(0, 1 << 30))))
+    return ops
+
+
+def _apply_churn(heap, slot: int, crash_events, downed: dict[int, tuple[int, int]]) -> None:
+    """Crash (leave) due nodes and restart (re-join) recovered ones.
+
+    Runs at a quiescent slot boundary — the paper's lazy processing
+    points.  Churn that the membership layer legally refuses (last node,
+    node already gone) is skipped; everything it *accepts* is covered by
+    the conservation check afterwards.
+
+    A restarted node recovers its client sequence counter (crash-recovery
+    with a persisted client log); without it the fresh protocol node would
+    reissue op ids already in the history.
+    """
+    from ..errors import MembershipError
+
+    for node, (due, seq) in list(downed.items()):
+        if due <= slot:
+            del downed[node]
+            try:
+                heap.add_node(node)
+            except MembershipError:
+                continue
+            heap.middle_node(node)._next_seq = seq
+    for ev in crash_events:
+        if ev.slot == slot:
+            if ev.node in downed or len(heap.topology.real_ids) <= 2:
+                continue
+            seq = heap.middle_node(ev.node)._next_seq
+            try:
+                heap.remove_node(ev.node)
+            except MembershipError:
+                continue
+            downed[ev.node] = (slot + max(ev.down_for, 1), seq)
+
+
+def _drive_heap(case: FuzzCase, heap, submit, arbitrary: bool) -> None:
+    """Shared driver for the heap-shaped targets: bursts + churn + settle."""
+    sync = hasattr(heap.runner, "step")
+    crash_events = case.plan.crash_events() if sync else []
+    downed: dict[int, tuple[int, int]] = {}
+    ops = _op_stream(case, arbitrary)
+    n_bursts = 3
+    per = max(1, (len(ops) + n_bursts - 1) // n_bursts)
+    for burst in range(n_bursts):
+        if sync:
+            _apply_churn(heap, burst, crash_events, downed)
+        live = heap.topology.real_ids
+        for is_insert, priority, node_pick in ops[burst * per : (burst + 1) * per]:
+            submit(is_insert, priority, live[node_pick % len(live)])
+        heap.settle(SETTLE_LIMIT)
+    if sync:
+        # Restart everything still down, then one final quiescent point.
+        _apply_churn(heap, max((d for d, _ in downed.values()), default=0), [], downed)
+        heap.settle(SETTLE_LIMIT)
+
+
+def _run_skeap(case: FuzzCase, runner_kind: str) -> tuple:
+    kwargs = {"runner": runner_kind}
+    if runner_kind == "async":
+        kwargs["delay_fn"] = adversarial_delay()
+    heap = SkeapHeap(
+        case.n_nodes, n_priorities=3, seed=case.seed, faults=case.plan, **kwargs
+    )
+
+    def submit(is_insert, priority, node):
+        if is_insert:
+            heap.insert(priority=priority, at=node)
+        else:
+            heap.delete_min(at=node)
+
+    _drive_heap(case, heap, submit, arbitrary=False)
+    checks = [
+        ("settled", lambda h: check_settled(h)),
+        ("local", lambda h: check_local_consistency(h)),
+        ("heap", lambda h: check_heap_consistency(h)),
+        ("serial", lambda h: replay_fifo(h)),
+    ]
+    return heap, checks
+
+
+def _run_seap(case: FuzzCase, runner_kind: str) -> tuple:
+    kwargs = {"runner": runner_kind}
+    if runner_kind == "async":
+        kwargs["delay_fn"] = adversarial_delay()
+    heap = SeapHeap(case.n_nodes, seed=case.seed, faults=case.plan, **kwargs)
+
+    def submit(is_insert, priority, node):
+        if is_insert:
+            heap.insert(priority=priority, at=node)
+        else:
+            heap.delete_min(at=node)
+
+    _drive_heap(case, heap, submit, arbitrary=True)
+    checks = [
+        ("settled", lambda h: check_settled(h)),
+        ("heap", lambda h: check_heap_consistency(h)),
+        ("serial", lambda h: replay_ordered(h)),
+    ]
+    return heap, checks
+
+
+def _run_skack(case: FuzzCase) -> tuple:
+    stack = SkackStack(case.n_nodes, seed=case.seed, faults=case.plan)
+
+    def submit(is_insert, priority, node):
+        if is_insert:
+            stack.push(value=priority, at=node)
+        else:
+            stack.pop(at=node)
+
+    _drive_heap(case, stack, submit, arbitrary=False)
+    checks = [
+        ("settled", lambda h: check_settled(h)),
+        ("local", lambda h: check_local_consistency(h)),
+        ("serial", lambda h: replay_lifo(h)),
+    ]
+    return stack, checks
+
+
+def _run_kselect(case: FuzzCase) -> None:
+    """KSelect session under faults: the result must be the exact k-th key."""
+    rng = np.random.default_rng(derive_seed(case.seed, "fuzz", "kselect"))
+    cluster = KSelectCluster(case.n_nodes, seed=case.seed, faults=case.plan)
+    m = max(case.n_ops, 8) * case.n_nodes
+    keys = [(int(p), uid) for uid, p in enumerate(rng.integers(1, 1 << 24, size=m))]
+    cluster.scatter(keys)
+    ranked = sorted(keys)
+    for _ in range(2):
+        k = int(rng.integers(1, m + 1))
+        got = cluster.select(k, max_rounds=SETTLE_LIMIT)
+        if got != ranked[k - 1]:
+            raise ReproError(
+                f"KSelect returned {got} for k={k}, expected {ranked[k - 1]}"
+            )
+
+
+def _run_linearize(case: FuzzCase) -> None:
+    """Self-stabilizing linearization must converge despite the faults."""
+    rng = np.random.default_rng(derive_seed(case.seed, "fuzz", "linearize"))
+    initial = ("line", "random", "star")[int(rng.integers(0, 3))]
+    cluster = LinearizationCluster(
+        max(case.n_nodes * 3, 4), seed=case.seed, initial=initial, faults=case.plan
+    )
+    cluster.run_to_convergence(max_rounds=SETTLE_LIMIT)
+    if not cluster.is_linearized():
+        raise ReproError("linearization predicate flipped back")
+
+
+TARGETS = {
+    "skeap": lambda case: _run_skeap(case, "sync"),
+    "skeap-async": lambda case: _run_skeap(case, "async"),
+    "seap": lambda case: _run_seap(case, "sync"),
+    "seap-async": lambda case: _run_seap(case, "async"),
+    "skack": _run_skack,
+    "kselect": _run_kselect,
+    "linearize": _run_linearize,
+}
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def run_case(case: FuzzCase) -> CaseResult:
+    """Execute one case; never raises — failures become signatures.
+
+    The signature is ``stage:ErrorType``: the stage that failed (``run``
+    for liveness/protocol errors while driving, else the checker stage)
+    plus the exception class.  Shrinking preserves the signature so a
+    minimized plan reproduces the *same* failure, not just any failure.
+    """
+    driver = TARGETS.get(case.target)
+    if driver is None:
+        raise ReproError(f"unknown fuzz target {case.target!r}")
+    transport: dict = {}
+    try:
+        out = driver(case)
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        return CaseResult(f"run:{type(exc).__name__}", str(exc), transport)
+    if out is None:  # kselect / linearize verify inline
+        return CaseResult(None)
+    cluster, checks = out
+    stats = cluster.fault_stats
+    if stats is not None:
+        transport = stats.as_dict()
+    history = cluster.history
+    for stage, check in checks:
+        try:
+            check(history)
+        except Exception as exc:  # noqa: BLE001
+            return CaseResult(f"{stage}:{type(exc).__name__}", str(exc), transport)
+    try:
+        check_element_conservation(history, cluster.stored_uids())
+    except Exception as exc:  # noqa: BLE001
+        return CaseResult(f"conservation:{type(exc).__name__}", str(exc), transport)
+    return CaseResult(None, transport=transport)
+
+
+# -- shrinking (delta debugging over fault events) -----------------------------
+
+
+def shrink_case(
+    case: FuzzCase, signature: str, max_runs: int = 300
+) -> tuple[FuzzCase, int]:
+    """ddmin over ``case.plan.events``: smallest sublist with the failure.
+
+    Every candidate is a fresh full run of the simulator — events are
+    identified by concrete channel coordinates, so removing one never
+    re-targets another, which is what makes the reduction sound.
+    Returns the minimized case and how many candidate runs were spent.
+    """
+    runs = 0
+
+    def still_fails(events) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        return run_case(case.with_events(events)).signature == signature
+
+    events = list(case.plan.events)
+    granularity = 2
+    while len(events) >= 2 and runs < max_runs:
+        size = max(1, len(events) // granularity)
+        reduced = False
+        for start in range(0, len(events), size):
+            complement = events[:start] + events[start + size :]
+            if complement and still_fails(complement):
+                events = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    if len(events) == 1 and still_fails([]):
+        events = []
+    return case.with_events(events), runs
+
+
+# -- reproducer files ----------------------------------------------------------
+
+REPRO_VERSION = 1
+
+
+def save_reproducer(path, record: FailureRecord) -> None:
+    """Serialize a minimized failure so ``replay`` can re-run it exactly."""
+    doc = {
+        "version": REPRO_VERSION,
+        "case": record.minimized.to_dict(),
+        "expect": {"signature": record.signature, "message": record.message},
+        "original_events": len(record.case.plan.events),
+        "shrink_runs": record.shrink_runs,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_reproducer(path) -> tuple[FuzzCase, str, str]:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("version") != REPRO_VERSION:
+        raise ReproError(f"unknown reproducer version in {path}")
+    expect = doc.get("expect", {})
+    return (
+        FuzzCase.from_dict(doc["case"]),
+        str(expect.get("signature", "")),
+        str(expect.get("message", "")),
+    )
+
+
+def replay_reproducer(path) -> tuple[bool, CaseResult, str]:
+    """Re-run a reproducer; True iff the recorded failure signature recurs."""
+    case, signature, _message = load_reproducer(path)
+    result = run_case(case)
+    return result.signature == signature, result, signature
+
+
+# -- campaign ------------------------------------------------------------------
+
+
+def fuzz_campaign(
+    n_plans: int,
+    root_seed: int = 0,
+    targets=TARGET_NAMES,
+    n_nodes: int = 4,
+    n_ops: int = 24,
+    inject_bug: str | None = None,
+    shrink: bool = True,
+    max_failures: int = 5,
+    out_dir=None,
+    progress=None,
+) -> CampaignResult:
+    """Run ``n_plans`` seeded cases; shrink and record every failure.
+
+    Stops collecting (but keeps counting) after ``max_failures`` distinct
+    failures — a systematically broken transport fails every case and
+    shrinking each one would be pure repetition.
+    """
+    by_target: dict[str, int] = {}
+    failures: list[FailureRecord] = []
+    seen_signatures: set[str] = set()
+    for i in range(n_plans):
+        case = make_case(
+            i, root_seed, targets=targets, n_nodes=n_nodes, n_ops=n_ops,
+            inject_bug=inject_bug,
+        )
+        by_target[case.target] = by_target.get(case.target, 0) + 1
+        result = run_case(case)
+        if progress is not None:
+            progress(i, case, result)
+        if not result.failed:
+            continue
+        key = f"{case.target}/{result.signature}"
+        if len(failures) >= max_failures or key in seen_signatures:
+            continue
+        seen_signatures.add(key)
+        if shrink:
+            minimized, runs = shrink_case(case, result.signature)
+        else:
+            minimized, runs = case, 0
+        record = FailureRecord(
+            case=case,
+            signature=result.signature,
+            message=result.message,
+            minimized=minimized,
+            shrink_runs=runs,
+        )
+        failures.append(record)
+        if out_dir is not None:
+            out = Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_reproducer(out / f"repro-{case.target}-{case.seed}.json", record)
+    return CampaignResult(
+        cases_run=n_plans, by_target=by_target, failures=failures
+    )
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def _flag_value(args: list[str], name: str, default):
+    if name not in args:
+        return default
+    at = args.index(name)
+    try:
+        value = args[at + 1]
+    except IndexError:
+        raise SystemExit(f"{name} requires an argument")
+    del args[at : at + 2]
+    return value
+
+
+def fuzz_main(argv: list[str]) -> int:
+    """``python -m repro.harness fuzz [--plans N] [--seed S] ...``"""
+    args = list(argv)
+    n_plans = int(_flag_value(args, "--plans", 200))
+    root_seed = int(_flag_value(args, "--seed", 0))
+    n_nodes = int(_flag_value(args, "--nodes", 4))
+    n_ops = int(_flag_value(args, "--ops", 24))
+    out_dir = _flag_value(args, "--out", "fuzz-failures")
+    inject_bug = _flag_value(args, "--inject-bug", None)
+    targets = _flag_value(args, "--targets", None)
+    targets = tuple(targets.split(",")) if targets else TARGET_NAMES
+    shrink = "--no-shrink" not in args
+    expect_caught = "--expect-caught" in args
+    args = [a for a in args if a not in ("--no-shrink", "--expect-caught")]
+    if args:
+        print(f"unknown fuzz arguments: {args}", file=sys.stderr)
+        return 2
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        print(f"unknown targets {unknown}; available: {list(TARGETS)}", file=sys.stderr)
+        return 2
+    if inject_bug not in (None, "no-retry", "no-dedup"):
+        print("--inject-bug takes no-retry or no-dedup", file=sys.stderr)
+        return 2
+
+    def progress(i, case, result):
+        if (i + 1) % 50 == 0 or result.failed:
+            mark = f"FAIL {result.signature}" if result.failed else "ok"
+            print(f"[{i + 1}/{n_plans}] {case.target} seed={case.seed}: {mark}",
+                  file=sys.stderr)
+
+    campaign = fuzz_campaign(
+        n_plans, root_seed, targets=targets, n_nodes=n_nodes, n_ops=n_ops,
+        inject_bug=inject_bug, shrink=shrink, out_dir=out_dir, progress=progress,
+    )
+    counts = ", ".join(f"{t}={c}" for t, c in sorted(campaign.by_target.items()))
+    print(f"# fuzz: {campaign.cases_run} plans ({counts}), "
+          f"{len(campaign.failures)} distinct failure(s)")
+    for rec in campaign.failures:
+        print(
+            f"  {rec.case.target} seed={rec.case.seed}: {rec.signature} — "
+            f"shrunk {len(rec.case.plan.events)} -> "
+            f"{len(rec.minimized.plan.events)} events "
+            f"({rec.shrink_runs} shrink runs)"
+        )
+    if expect_caught:
+        if not campaign.failures:
+            print("expected the injected bug to be caught; it was not",
+                  file=sys.stderr)
+            return 1
+        for rec in campaign.failures:
+            again = run_case(rec.minimized)
+            if again.signature != rec.signature:
+                print(f"minimized case did not replay: {again.signature} != "
+                      f"{rec.signature}", file=sys.stderr)
+                return 1
+        print("# injected bug caught, minimized, and replayed deterministically")
+        return 0
+    return 0 if campaign.ok else 1
+
+
+def replay_main(argv: list[str]) -> int:
+    """``python -m repro.harness replay <file>``: re-run a reproducer."""
+    paths = [a for a in argv if not a.startswith("-")]
+    if len(paths) != 1:
+        print("usage: python -m repro.harness replay <reproducer.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        reproduced, result, expected = replay_reproducer(paths[0])
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"cannot replay {paths[0]}: {exc}", file=sys.stderr)
+        return 2
+    if reproduced:
+        print(f"reproduced: {expected}\n  {result.message}")
+        return 0
+    print(f"did NOT reproduce: expected {expected}, got {result.signature or 'PASS'}")
+    return 1

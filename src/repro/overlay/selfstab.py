@@ -30,6 +30,7 @@ labels; this module demonstrates that the paper's standing assumption is
 from __future__ import annotations
 
 from ..errors import TopologyError
+from ..sim.faults import FaultInjector, FaultPlan
 from ..sim.node import ProtocolNode
 from ..sim.rng import PseudoRandomHash, RngRegistry
 from ..sim.sync_runner import SyncRunner
@@ -95,11 +96,19 @@ class LinearizationNode(ProtocolNode):
 class LinearizationCluster:
     """Run linearization from a configurable initial knowledge graph."""
 
-    def __init__(self, n_nodes: int, seed: int = 0, initial: str = "random"):
+    def __init__(
+        self,
+        n_nodes: int,
+        seed: int = 0,
+        initial: str = "random",
+        faults: FaultInjector | FaultPlan | None = None,
+    ):
         if n_nodes < 1:
             raise TopologyError("need at least one node")
         self.n_nodes = n_nodes
-        self.runner = SyncRunner(seed=seed)
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.runner = SyncRunner(seed=seed, faults=faults)
         hasher = PseudoRandomHash(seed, namespace="linearize")
         self.nodes = [
             LinearizationNode(i, hasher.unit("label", i)) for i in range(n_nodes)

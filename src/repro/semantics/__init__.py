@@ -1,6 +1,7 @@
 """Consistency semantics: histories, reference heaps, machine checkers."""
 
 from .checkers import (
+    check_element_conservation,
     check_heap_consistency,
     check_local_consistency,
     check_seap_history,
@@ -25,6 +26,7 @@ __all__ = [
     "OpRecord",
     "OrderedHeap",
     "ReferenceStack",
+    "check_element_conservation",
     "check_heap_consistency",
     "check_local_consistency",
     "check_seap_history",

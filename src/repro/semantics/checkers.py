@@ -29,6 +29,7 @@ __all__ = [
     "check_settled",
     "check_local_consistency",
     "check_heap_consistency",
+    "check_element_conservation",
     "replay_fifo",
     "replay_ordered",
     "replay_ordered_exact",
@@ -128,6 +129,55 @@ def check_heap_consistency(history: History, order: str = "min") -> None:
                     )
 
 
+def check_element_conservation(history: History, stored_uids) -> None:
+    """No element lost or duplicated (T13's churn claim, machine-checked).
+
+    At a quiescent point, every inserted element must be accounted for
+    exactly once: either returned by exactly one DeleteMin or still
+    stored in the DHT — never both, never neither, never twice.
+    ``stored_uids`` is the cluster's current storage census
+    (:meth:`~repro.cluster.OverlayCluster.stored_uids`).
+    """
+    all_inserted = {rec.uid for rec in history.ops.values() if rec.kind == INSERT}
+    inserted = {
+        rec.uid for rec in history.ops.values() if rec.kind == INSERT and rec.completed
+    }
+    returned: set[int] = set()
+    for rec in history.ops.values():
+        if rec.kind == DELETE and rec.returned_uid is not None:
+            require(
+                rec.returned_uid not in returned,
+                f"element {rec.returned_uid} returned twice",
+            )
+            require(
+                rec.returned_uid in all_inserted,
+                f"delete returned unknown element {rec.returned_uid}",
+            )
+            returned.add(rec.returned_uid)
+    stored = list(stored_uids)
+    stored_set = set(stored)
+    require(
+        len(stored) == len(stored_set),
+        "an element is stored more than once (duplication)",
+    )
+    overlap = stored_set & returned
+    require(
+        not overlap,
+        f"elements both returned and still stored: {sorted(overlap)[:5]}",
+    )
+    missing = inserted - returned - stored_set
+    require(
+        not missing,
+        f"elements lost (inserted, never returned, not stored): "
+        f"{sorted(missing)[:5]}",
+    )
+    phantom = stored_set - inserted
+    require(
+        not phantom,
+        f"stored elements never inserted: {sorted(phantom)[:5]}",
+    )
+
+
 def replay_fifo(history: History, order: str = "min") -> None:
     """Serial replay against the FIFO-within-priority reference heap.
 
@@ -174,6 +224,11 @@ def replay_ordered(history: History) -> None:
                     f"delete {rec.op_id} returned an element from an empty heap",
                 )
             else:
+                require(
+                    not rec.returned_bot,
+                    f"delete {rec.op_id} returned ⊥, serial execution "
+                    f"returns uid {expected[1]}",
+                )
                 got = history.insert_of_uid(rec.returned_uid)
                 require(
                     got.priority == expected[0],

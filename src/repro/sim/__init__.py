@@ -2,10 +2,12 @@
 
 Exports the node/message abstractions, both execution drivers (synchronous
 rounds for performance, asynchronous events for correctness-under-delay),
-metrics, and the seeded randomness utilities.
+the fault-injection transport, metrics, and the seeded randomness
+utilities.
 """
 
 from .async_runner import AsyncRunner, adversarial_delay, uniform_delay
+from .faults import FaultEvent, FaultInjector, FaultPlan, TransportStats
 from .message import Message, payload_size_bits
 from .metrics import MetricsCollector, MetricsSnapshot
 from .node import ProtocolNode, SimContext
@@ -14,6 +16,9 @@ from .sync_runner import SyncRunner
 
 __all__ = [
     "AsyncRunner",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Message",
     "MetricsCollector",
     "MetricsSnapshot",
@@ -22,6 +27,7 @@ __all__ = [
     "RngRegistry",
     "SimContext",
     "SyncRunner",
+    "TransportStats",
     "adversarial_delay",
     "derive_seed",
     "payload_size_bits",

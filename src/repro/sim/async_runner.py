@@ -13,7 +13,10 @@ import heapq
 import itertools
 from typing import Callable, Iterable
 
+import numpy as np
+
 from ..errors import SimulationError
+from .faults import FaultInjector
 from .message import Message
 from .metrics import MetricsCollector
 from .node import ProtocolNode
@@ -37,11 +40,39 @@ def adversarial_delay(slow_fraction: float = 0.2, slow_factor: float = 20.0):
     This exercises the reorderings that break naive (unserialized)
     distributed queues: late Puts racing their Gets, children outrunning
     parents, etc.
+
+    The slow-set decision (and the base delay) is a pure function of the
+    message's identity — its channel ``(sender, dest)`` plus its ordinal
+    on that channel — and a key drawn once from the runner's stream, not
+    of how many samples happened before it.  Fault injection (retries,
+    duplicate copies) adds and removes sampler calls; keying by message
+    identity keeps every *other* message's delay unchanged, which is what
+    makes fuzz replays schedule-stable.  The channel ordinal (rather than
+    the process-global ``Message.seq``) makes the schedule independent of
+    whatever ran earlier in the same process, so a replay in a fresh
+    process reproduces the exact same delays.
     """
 
+    state: dict[str, int] = {}
+    channel_count: dict[tuple[int, int], int] = {}
+    identity: dict[int, tuple[int, int, int]] = {}
+
     def sample(msg: Message, rng) -> float:
-        base = float(rng.uniform(0.1, 1.0))
-        if rng.random() < slow_fraction:
+        key = state.get("key")
+        if key is None:
+            key = int(rng.integers(1 << 62))
+            state["key"] = key
+        # All copies of one logical message (dup deliveries, retries)
+        # share msg.seq and therefore one identity and one base delay.
+        ident = identity.get(msg.seq)
+        if ident is None:
+            channel = (msg.sender, msg.dest)
+            nth = channel_count.get(channel, 0)
+            channel_count[channel] = nth + 1
+            ident = identity[msg.seq] = (msg.sender, msg.dest, nth)
+        g = np.random.default_rng((key, *ident))
+        base = 0.1 + 0.9 * float(g.random())
+        if float(g.random()) < slow_fraction:
             return base * slow_factor
         return base
 
@@ -60,10 +91,12 @@ class AsyncRunner:
         activation_period: float = 1.0,
         owner_of: Callable[[int], int] | None = None,
         metrics_detail: bool = False,
+        faults: FaultInjector | None = None,
     ):
         self.rng = RngRegistry(seed)
         self.nodes: dict[int, ProtocolNode] = {}
         self.metrics = MetricsCollector(owner_of=owner_of, detail=metrics_detail)
+        self.faults = faults
         self._delay_fn = delay_fn or uniform_delay()
         self._activation_period = float(activation_period)
         self._events: list[tuple[float, int, int, object]] = []
@@ -85,13 +118,20 @@ class AsyncRunner:
     def transmit(self, msg: Message) -> None:
         if msg.dest not in self.nodes:
             raise SimulationError(f"message to unknown node {msg.dest}: {msg!r}")
-        delay = self._delay_fn(msg, self.rng.stream("async", "delays"))
-        if delay < 0:
-            raise SimulationError("negative message delay")
-        self._in_flight += 1
-        heapq.heappush(
-            self._events, (self._time + delay, next(self._tick), self._MSG, msg)
-        )
+        stream = self.rng.stream("async", "delays")
+        if self.faults is None:
+            deliveries = [(0.0, msg)]
+        else:
+            deliveries = self.faults.deliveries(msg, self._time)
+        for extra, m in deliveries:
+            delay = self._delay_fn(m, stream)
+            if delay < 0:
+                raise SimulationError("negative message delay")
+            self._in_flight += 1
+            heapq.heappush(
+                self._events,
+                (self._time + extra + delay, next(self._tick), self._MSG, m),
+            )
 
     # -- setup --------------------------------------------------------------
 
@@ -137,6 +177,8 @@ class AsyncRunner:
         if kind == self._MSG:
             msg: Message = item  # type: ignore[assignment]
             self._in_flight -= 1
+            if self.faults is not None and not self.faults.accept(msg):
+                return  # duplicate copy suppressed by the transport
             self.metrics.record_delivery(msg)
             self.nodes[msg.dest].handle(msg)
             # A delivery may give a parked node activation work again.

@@ -1,0 +1,309 @@
+"""Deterministic fault injection: drops, duplicates, reordering, partitions.
+
+The paper's consistency theorems (3.2(2), 5.1(2)) are stated for an
+asynchronous network where messages may be *arbitrarily* delayed — and a
+practical deployment additionally loses, duplicates and reorders packets
+and suffers bounded partitions.  This module turns those failure modes
+into a **seeded, serializable plan** that both simulation drivers can
+execute byte-for-byte reproducibly, so the semantic checkers in
+``repro.semantics`` can be exercised against hostile schedules (the
+SkipSim methodology: simulate the protocol, inject the faults, check the
+invariants).
+
+The model is a *reliable transport over a faulty channel*:
+
+* every fault is a :class:`FaultEvent` — a concrete, individually
+  removable record (which makes delta-debugging shrink well-defined);
+* message faults target the *nth original transmission* on an ordered
+  channel ``(src, dst)``; retransmissions are not re-counted, so removing
+  one event never re-targets another;
+* a **drop** consumes the transmission; if the plan is ``reliable`` the
+  sender retransmits after ``retry_timeout`` (the acknowledgment/timeout
+  discipline every real transport layers under these protocols), so
+  progress survives loss;
+* a **dup** delivers a second copy; when ``dedup`` is on the receiver
+  discards whichever copy arrives second (sequence-number deduplication),
+  so handlers still see each logical message exactly once;
+* a **delay** holds one message back by a bounded extra latency —
+  adversarial reordering *at delivery*, beyond the drivers' baseline
+  non-FIFO shuffle;
+* a **partition** cuts the network along a node bipartition for a bounded
+  window; crossing messages are dropped (and retried past the window when
+  reliable);
+* a **crash** schedules a node through the membership leave/join path at
+  a quiescent boundary (the paper's lazy processing points) — the fuzz
+  harness applies these, the transport ignores them.
+
+Disabling ``reliable`` or ``dedup`` is how the fuzz harness *seeds* a
+transport bug on purpose and demonstrates that the checkers catch it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Iterable
+
+from ..errors import SimulationError
+from .message import Message
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "TransportStats",
+    "DROP",
+    "DUP",
+    "DELAY",
+    "PARTITION",
+    "CRASH",
+    "MESSAGE_KINDS",
+]
+
+DROP = "drop"
+DUP = "dup"
+DELAY = "delay"
+PARTITION = "partition"
+CRASH = "crash"
+
+#: Kinds matched against individual transmissions.
+MESSAGE_KINDS = (DROP, DUP, DELAY)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One concrete fault.  Unused fields stay at their defaults.
+
+    Message kinds (``drop``/``dup``/``delay``) target the ``nth`` original
+    transmission on the channel ``src -> dst`` (virtual-node ids, 0-based
+    count).  ``delay`` adds ``hold`` time units of extra latency; ``dup``
+    delivers the copy ``hold`` units after the original.
+
+    ``partition`` cuts messages between ``group`` and its complement
+    during ``[start, start + duration)``.
+
+    ``crash`` asks the harness to remove real node ``node`` at quiescent
+    slot ``slot`` and re-join it ``down_for`` slots later.
+    """
+
+    kind: str
+    src: int = 0
+    dst: int = 0
+    nth: int = 0
+    hold: float = 0.0
+    start: float = 0.0
+    duration: float = 0.0
+    group: tuple[int, ...] = ()
+    slot: int = 0
+    node: int = 0
+    down_for: int = 1
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["group"] = list(d["group"])
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultEvent":
+        d = dict(d)
+        d["group"] = tuple(d.get("group", ()))
+        return cls(**d)
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A complete, serializable fault schedule plus transport knobs.
+
+    ``reliable``/``dedup`` model the acknowledgment layer: retransmission
+    of dropped messages after ``retry_timeout`` time units (capped at
+    ``max_retries`` attempts) and sequence-number suppression of duplicate
+    deliveries.  Turning either off is an intentionally seeded transport
+    bug for the fuzzer to catch.
+    """
+
+    seed: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+    reliable: bool = True
+    dedup: bool = True
+    retry_timeout: float = 4.0
+    max_retries: int = 50
+
+    def message_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind in MESSAGE_KINDS]
+
+    def partition_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind == PARTITION]
+
+    def crash_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind == CRASH]
+
+    def with_events(self, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """A copy of this plan carrying ``events`` (shrinking candidates)."""
+        return replace(self, events=list(events))
+
+    # -- serialization (the replay file format) --------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "reliable": self.reliable,
+            "dedup": self.dedup,
+            "retry_timeout": self.retry_timeout,
+            "max_retries": self.max_retries,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        return cls(
+            seed=int(d.get("seed", 0)),
+            events=[FaultEvent.from_dict(e) for e in d.get("events", [])],
+            reliable=bool(d.get("reliable", True)),
+            dedup=bool(d.get("dedup", True)),
+            retry_timeout=float(d.get("retry_timeout", 4.0)),
+            max_retries=int(d.get("max_retries", 50)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(slots=True)
+class TransportStats:
+    """What the faulty transport actually did during a run."""
+
+    sent: int = 0
+    dropped: int = 0
+    retransmitted: int = 0
+    duplicated: int = 0
+    deduped: int = 0
+    lost: int = 0  # dropped with no (successful) retransmission
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the transport boundary.
+
+    Both runners consult :meth:`deliveries` at transmit time (it returns
+    the delivery schedule for one logical send: zero or more
+    ``(extra_delay, message)`` pairs on top of the driver's own latency)
+    and :meth:`accept` at delivery time (the duplicate-suppression
+    filter).  All decisions are pure functions of the plan and the
+    channel's send count, so a fixed plan yields a fixed schedule.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.stats = TransportStats()
+        self._sent_on: dict[tuple[int, int], int] = {}
+        self._by_target: dict[tuple[int, int, int], list[FaultEvent]] = {}
+        for ev in plan.message_events():
+            self._by_target.setdefault((ev.src, ev.dst, ev.nth), []).append(ev)
+        self._partitions: list[tuple[float, float, frozenset[int]]] = [
+            (ev.start, ev.start + ev.duration, frozenset(ev.group))
+            for ev in plan.partition_events()
+            if ev.duration > 0 and ev.group
+        ]
+        #: seqs that were duplicated and must be deduplicated on arrival
+        self._dup_seqs: set[int] = set()
+        self._seen_seqs: set[int] = set()
+
+    # -- channel decisions -------------------------------------------------
+
+    def _cut(self, src: int, dst: int, at: float) -> bool:
+        """Whether a partition separates ``src`` from ``dst`` at ``at``."""
+        for start, end, group in self._partitions:
+            if start <= at < end and (src in group) != (dst in group):
+                return True
+        return False
+
+    def _retransmit_at(self, src: int, dst: int, now: float) -> float | None:
+        """First retry instant that clears every partition, or ``None``.
+
+        Retries happen every ``retry_timeout`` after the drop; a retry
+        that lands inside a partition window is itself lost and retried.
+        """
+        timeout = self.plan.retry_timeout
+        for attempt in range(1, self.plan.max_retries + 1):
+            t = now + attempt * timeout
+            if not self._cut(src, dst, t):
+                self.stats.retransmitted += attempt
+                return t
+        return None
+
+    def deliveries(self, msg: Message, now: float) -> list[tuple[float, Message]]:
+        """The delivery schedule for one original transmission.
+
+        Returns ``(extra_delay, message)`` pairs; an empty list means the
+        message is lost for good (unreliable transport).  Duplicated
+        deliveries reuse the message's ``seq``, which is what
+        :meth:`accept` deduplicates on.
+        """
+        src, dst = msg.sender, msg.dest
+        channel = (src, dst)
+        nth = self._sent_on.get(channel, 0)
+        self._sent_on[channel] = nth + 1
+        self.stats.sent += 1
+
+        extra = 0.0
+        dropped = self._cut(src, dst, now)
+        dup_hold: float | None = None
+        for ev in self._by_target.get((src, dst, nth), ()):
+            if ev.kind == DROP:
+                dropped = True
+            elif ev.kind == DELAY:
+                extra += max(ev.hold, 0.0)
+            elif ev.kind == DUP:
+                dup_hold = max(ev.hold, 0.0)
+
+        out: list[tuple[float, Message]] = []
+        if dropped:
+            self.stats.dropped += 1
+            if self.plan.reliable:
+                at = self._retransmit_at(src, dst, now)
+                if at is None:
+                    self.stats.lost += 1
+                else:
+                    out.append((at - now + extra, msg))
+            else:
+                self.stats.lost += 1
+        else:
+            out.append((extra, msg))
+
+        if dup_hold is not None and out:
+            base = out[0][0]
+            out.append((base + dup_hold, msg))
+            self.stats.duplicated += 1
+            if self.plan.dedup:
+                self._dup_seqs.add(msg.seq)
+        return out
+
+    def accept(self, msg: Message) -> bool:
+        """Delivery-time filter: suppress all but the first duplicate copy."""
+        if msg.seq not in self._dup_seqs:
+            return True
+        if msg.seq in self._seen_seqs:
+            self.stats.deduped += 1
+            return False
+        self._seen_seqs.add(msg.seq)
+        return True
+
+    # -- validation --------------------------------------------------------
+
+    def require_no_losses(self) -> None:
+        """Raise unless every dropped message was eventually retransmitted.
+
+        Useful after a run that *should* have had a reliable transport:
+        a nonzero ``lost`` count means the retry budget was exhausted.
+        """
+        if self.stats.lost:
+            raise SimulationError(
+                f"{self.stats.lost} message(s) permanently lost "
+                f"(reliable={self.plan.reliable})"
+            )

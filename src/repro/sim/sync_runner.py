@@ -16,9 +16,11 @@ bit-for-bit identical to dense iteration.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable
 
 from ..errors import SimulationError
+from .faults import FaultInjector
 from .message import Message
 from .metrics import MetricsCollector
 from .node import ProtocolNode
@@ -35,11 +37,16 @@ class SyncRunner:
         seed: int = 0,
         owner_of: Callable[[int], int] | None = None,
         metrics_detail: bool = False,
+        faults: FaultInjector | None = None,
     ):
         self.rng = RngRegistry(seed)
         self.nodes: dict[int, ProtocolNode] = {}
         self.metrics = MetricsCollector(owner_of=owner_of, detail=metrics_detail)
+        self.faults = faults
         self._outbox: list[Message] = []
+        #: fault-delayed messages, keyed by their delivery round
+        self._future: dict[int, list[Message]] = {}
+        self._future_count = 0
         #: messages in flight per destination (O(1) deregister safety check)
         self._inflight_by_dest: dict[int, int] = {}
         #: node ids to activate in the next round
@@ -57,9 +64,22 @@ class SyncRunner:
         dest = msg.dest
         if dest not in self.nodes:
             raise SimulationError(f"message to unknown node {dest}: {msg!r}")
-        self._outbox.append(msg)
         inflight = self._inflight_by_dest
-        inflight[dest] = inflight.get(dest, 0) + 1
+        if self.faults is None:
+            self._outbox.append(msg)
+            inflight[dest] = inflight.get(dest, 0) + 1
+            return
+        # Sent in round r, a message normally arrives in round r+1; a
+        # fault-delayed copy arrives ceil(extra) rounds later.
+        for extra, m in self.faults.deliveries(msg, float(self._round)):
+            rounds = int(math.ceil(extra))
+            if rounds <= 0:
+                self._outbox.append(m)
+            else:
+                due = self._round + 1 + rounds
+                self._future.setdefault(due, []).append(m)
+                self._future_count += 1
+            inflight[dest] = inflight.get(dest, 0) + 1
 
     def wake(self, node_id: int) -> None:
         """Schedule ``node_id`` for activation in the next round."""
@@ -97,6 +117,10 @@ class SyncRunner:
         once, in node-id order.
         """
         inbox, self._outbox = self._outbox, []
+        matured = self._future.pop(self._round, None)
+        if matured:
+            self._future_count -= len(matured)
+            inbox.extend(matured)
         # Deterministic shuffle: ordering by a seeded draw exercises the
         # model's "channels are unordered" guarantee without real entropy.
         if len(inbox) > 1:
@@ -104,12 +128,15 @@ class SyncRunner:
             inbox = [inbox[i] for i in order]
         nodes = self.nodes
         wake = self._wake
+        faults = self.faults
         if inbox:
             record = self.metrics.record_delivery
             inflight = self._inflight_by_dest
             for msg in inbox:
                 dest = msg.dest
                 inflight[dest] -= 1
+                if faults is not None and not faults.accept(msg):
+                    continue  # duplicate copy suppressed by the transport
                 record(msg)
                 nodes[dest].handle(msg)
                 wake.add(dest)
@@ -126,12 +153,14 @@ class SyncRunner:
 
     def pending_messages(self) -> int:
         """Messages in flight (sent but not yet delivered)."""
-        return len(self._outbox)
+        return len(self._outbox) + self._future_count
 
     def is_quiescent(self) -> bool:
         """No messages in flight and no node declares outstanding work."""
-        return not self._outbox and not any(
-            n.has_work() for n in self.nodes.values()
+        return (
+            not self._outbox
+            and not self._future_count
+            and not any(n.has_work() for n in self.nodes.values())
         )
 
     def run_until(

@@ -1,0 +1,225 @@
+"""Unit tests for the fault-injection transport layer.
+
+The injector's channel decisions must be pure functions of the plan and
+the per-channel send count — that determinism is what makes fuzz replays
+byte-for-byte and shrinking sound — so every behaviour (drop/retry,
+dup/dedup, delay, partition windows, loss accounting) is pinned here at
+the transport boundary, plus end-to-end through both runners.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SkeapHeap
+from repro.errors import SimulationError
+from repro.semantics import check_skeap_history
+from repro.sim import FaultEvent, FaultInjector, FaultPlan, Message
+
+
+def msg(src=0, dst=1, action="m"):
+    return Message(sender=src, dest=dst, action=action)
+
+
+class TestFaultPlanSerialization:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            events=[
+                FaultEvent(kind="drop", src=1, dst=2, nth=3),
+                FaultEvent(kind="dup", src=0, dst=4, nth=0, hold=2.5),
+                FaultEvent(kind="delay", src=2, dst=2, nth=7, hold=9.0),
+                FaultEvent(
+                    kind="partition", start=5.0, duration=10.0, group=(0, 1, 2)
+                ),
+                FaultEvent(kind="crash", node=3, slot=1, down_for=2),
+            ],
+            reliable=False,
+            dedup=False,
+            retry_timeout=7.5,
+            max_retries=9,
+        )
+        back = FaultPlan.from_json(plan.to_json())
+        assert back == plan
+
+    def test_event_kind_selectors(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(kind="drop"),
+                FaultEvent(kind="dup"),
+                FaultEvent(kind="delay"),
+                FaultEvent(kind="partition", duration=1.0, group=(0,)),
+                FaultEvent(kind="crash", node=1),
+            ]
+        )
+        assert [e.kind for e in plan.message_events()] == ["drop", "dup", "delay"]
+        assert [e.kind for e in plan.partition_events()] == ["partition"]
+        assert [e.kind for e in plan.crash_events()] == ["crash"]
+
+    def test_with_events_copies_knobs(self):
+        plan = FaultPlan(seed=1, reliable=False, retry_timeout=2.0)
+        sub = plan.with_events([FaultEvent(kind="drop")])
+        assert sub.seed == 1 and not sub.reliable and sub.retry_timeout == 2.0
+        assert len(sub.events) == 1 and not plan.events
+
+
+class TestInjectorChannelDecisions:
+    def test_clean_channel_delivers_once_with_no_extra_delay(self):
+        inj = FaultInjector(FaultPlan())
+        out = inj.deliveries(msg(), now=0.0)
+        assert len(out) == 1 and out[0][0] == 0.0
+        assert inj.stats.sent == 1 and inj.stats.dropped == 0
+
+    def test_drop_retransmits_after_timeout(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind="drop", src=0, dst=1, nth=0)], retry_timeout=4.0
+        )
+        inj = FaultInjector(plan)
+        out = inj.deliveries(msg(), now=10.0)
+        assert [extra for extra, _ in out] == [4.0]
+        assert inj.stats.dropped == 1 and inj.stats.retransmitted == 1
+        assert inj.stats.lost == 0
+
+    def test_drop_without_reliability_loses_the_message(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind="drop", src=0, dst=1, nth=0)], reliable=False
+        )
+        inj = FaultInjector(plan)
+        assert inj.deliveries(msg(), now=0.0) == []
+        assert inj.stats.lost == 1
+        with pytest.raises(SimulationError):
+            inj.require_no_losses()
+
+    def test_nth_targets_only_that_transmission(self):
+        plan = FaultPlan(events=[FaultEvent(kind="drop", src=0, dst=1, nth=1)])
+        inj = FaultInjector(plan)
+        assert inj.deliveries(msg(), now=0.0)[0][0] == 0.0  # nth=0: clean
+        assert inj.deliveries(msg(), now=0.0)[0][0] > 0.0  # nth=1: dropped
+        assert inj.deliveries(msg(), now=0.0)[0][0] == 0.0  # nth=2: clean
+        # a different channel has its own counter
+        assert inj.deliveries(msg(dst=2), now=0.0)[0][0] == 0.0
+
+    def test_delay_adds_hold(self):
+        plan = FaultPlan(events=[FaultEvent(kind="delay", src=0, dst=1, nth=0, hold=6.0)])
+        inj = FaultInjector(plan)
+        assert inj.deliveries(msg(), now=0.0)[0][0] == 6.0
+
+    def test_dup_delivers_two_copies_and_dedup_suppresses_second(self):
+        plan = FaultPlan(events=[FaultEvent(kind="dup", src=0, dst=1, nth=0, hold=3.0)])
+        inj = FaultInjector(plan)
+        m = msg()
+        out = inj.deliveries(m, now=0.0)
+        assert [extra for extra, _ in out] == [0.0, 3.0]
+        assert inj.stats.duplicated == 1
+        assert inj.accept(m) is True  # first copy passes
+        assert inj.accept(m) is False  # second is suppressed
+        assert inj.stats.deduped == 1
+
+    def test_dup_without_dedup_hands_both_copies_to_the_handler(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind="dup", src=0, dst=1, nth=0)], dedup=False
+        )
+        inj = FaultInjector(plan)
+        m = msg()
+        assert len(inj.deliveries(m, now=0.0)) == 2
+        assert inj.accept(m) is True and inj.accept(m) is True
+
+    def test_accept_ignores_unduplicated_messages(self):
+        inj = FaultInjector(FaultPlan())
+        m = msg()
+        inj.deliveries(m, now=0.0)
+        assert inj.accept(m) is True and inj.accept(m) is True
+
+
+class TestPartitions:
+    PLAN = FaultPlan(
+        events=[
+            FaultEvent(kind="partition", start=10.0, duration=20.0, group=(0, 2))
+        ],
+        retry_timeout=4.0,
+    )
+
+    def test_crossing_message_is_dropped_and_retried_past_the_window(self):
+        inj = FaultInjector(self.PLAN)
+        out = inj.deliveries(msg(src=0, dst=1), now=12.0)
+        # retries at 16, 20, 24, 28, 32: first instant past end (30) is 32
+        assert [extra for extra, _ in out] == [20.0]
+        assert inj.stats.dropped == 1 and inj.stats.retransmitted == 5
+
+    def test_same_side_messages_pass(self):
+        inj = FaultInjector(self.PLAN)
+        assert inj.deliveries(msg(src=0, dst=2), now=12.0)[0][0] == 0.0
+        assert inj.deliveries(msg(src=1, dst=3), now=12.0)[0][0] == 0.0
+
+    def test_outside_the_window_everything_passes(self):
+        inj = FaultInjector(self.PLAN)
+        assert inj.deliveries(msg(src=0, dst=1), now=9.0)[0][0] == 0.0
+        assert inj.deliveries(msg(src=0, dst=1), now=30.0)[0][0] == 0.0
+
+    def test_partition_longer_than_retry_budget_loses_the_message(self):
+        plan = FaultPlan(
+            events=[
+                FaultEvent(kind="partition", start=0.0, duration=1000.0, group=(0,))
+            ],
+            retry_timeout=1.0,
+            max_retries=5,
+        )
+        inj = FaultInjector(plan)
+        assert inj.deliveries(msg(src=0, dst=1), now=0.0) == []
+        assert inj.stats.lost == 1
+
+
+class TestEndToEnd:
+    """The injector wired through real protocol runs."""
+
+    def _events(self):
+        return [
+            FaultEvent(kind="drop", src=2, dst=1, nth=0),
+            FaultEvent(kind="drop", src=1, dst=4, nth=2),
+            FaultEvent(kind="dup", src=4, dst=1, nth=1, hold=2.0),
+            FaultEvent(kind="delay", src=1, dst=7, nth=0, hold=5.0),
+            FaultEvent(kind="partition", start=3.0, duration=12.0, group=(0, 1, 2)),
+        ]
+
+    @pytest.mark.parametrize("runner", ["sync", "async"])
+    def test_skeap_stays_consistent_under_faults(self, runner):
+        plan = FaultPlan(seed=5, events=self._events())
+        heap = SkeapHeap(4, n_priorities=3, seed=5, faults=plan, runner=runner)
+        for i in range(8):
+            heap.insert(priority=1 + i % 3, at=i % 4)
+        for i in range(6):
+            heap.delete_min(at=i % 4)
+        heap.settle()
+        check_skeap_history(heap.history)
+        heap.runner.faults.require_no_losses()
+        assert heap.runner.faults.stats.dropped >= 1
+
+    def test_identical_plans_give_identical_histories(self):
+        def run():
+            plan = FaultPlan(seed=5, events=self._events())
+            heap = SkeapHeap(4, n_priorities=3, seed=5, faults=plan, runner="sync")
+            for i in range(8):
+                heap.insert(priority=1 + i % 3, at=i % 4)
+                heap.delete_min(at=(i + 1) % 4)
+            heap.settle()
+            return [
+                (r.op_id, r.kind, r.order_key, r.returned_uid)
+                for r in heap.history.serialized_ops()
+            ], heap.runner.faults.stats.as_dict()
+
+        assert run() == run()
+
+    def test_unreliable_transport_stalls_the_protocol(self):
+        # Drop an early aggregation message with retries disabled: the
+        # round-synchronous wave never completes and settle() times out.
+        events = [
+            FaultEvent(kind="drop", src=s, dst=d, nth=n)
+            for s in range(12)
+            for d in range(12)
+            for n in range(3)
+        ]
+        plan = FaultPlan(seed=5, events=events, reliable=False)
+        heap = SkeapHeap(4, n_priorities=3, seed=5, faults=plan, runner="sync")
+        heap.insert(priority=1, at=0)
+        with pytest.raises(SimulationError):
+            heap.settle(limit=2_000)

@@ -1,0 +1,147 @@
+"""End-to-end tests for the schedule fuzzer: campaign, shrink, replay.
+
+The committed files under ``tests/reproducers/`` are minimized fault
+plans that once caught a (deliberately seeded) transport bug; they run
+here as permanent regression tests — each must still reproduce its
+recorded failure signature, and must pass once the transport is
+repaired.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.fuzz import (
+    TARGET_NAMES,
+    fuzz_campaign,
+    fuzz_main,
+    load_reproducer,
+    make_case,
+    replay_main,
+    replay_reproducer,
+    run_case,
+    shrink_case,
+)
+
+REPRODUCERS = sorted((Path(__file__).parent / "reproducers").glob("*.json"))
+
+
+class TestCampaign:
+    def test_clean_campaign_passes_every_target(self):
+        result = fuzz_campaign(len(TARGET_NAMES), root_seed=7, n_ops=8)
+        assert result.ok
+        assert result.cases_run == len(TARGET_NAMES)
+        assert set(result.by_target) == set(TARGET_NAMES)
+
+    def test_case_generation_is_deterministic(self):
+        a = make_case(5, 0)
+        b = make_case(5, 0)
+        assert a == b
+        assert make_case(6, 0) != a
+
+    def test_run_case_rejects_unknown_target(self):
+        case = dataclasses.replace(make_case(0, 0), target="nope")
+        with pytest.raises(Exception, match="unknown fuzz target"):
+            run_case(case)
+
+
+class TestSeededBugIsCaught:
+    def _first_failure(self, inject_bug, targets, root_seed=0):
+        result = fuzz_campaign(
+            6, root_seed=root_seed, targets=targets, n_ops=10,
+            inject_bug=inject_bug, shrink=False,
+        )
+        assert not result.ok, f"seeded bug {inject_bug!r} escaped the fuzzer"
+        return result.failures[0]
+
+    def test_no_retry_bug_caught_shrunk_and_replayed(self, tmp_path):
+        failure = self._first_failure("no-retry", ("skeap",))
+        minimized, runs = shrink_case(failure.case, failure.signature)
+        assert len(minimized.plan.events) <= 10
+        assert len(minimized.plan.events) <= len(failure.case.plan.events)
+        # deterministic replay: same minimized case, same failure, twice
+        first = run_case(minimized)
+        second = run_case(minimized)
+        assert first.signature == failure.signature == second.signature
+        assert first.message == second.message
+
+    def test_no_dedup_bug_caught(self):
+        failure = self._first_failure("no-dedup", ("seap",), root_seed=3)
+        assert failure.signature
+        # the same case with deduplication restored passes
+        repaired = dataclasses.replace(
+            failure.case, plan=dataclasses.replace(failure.case.plan, dedup=True)
+        )
+        assert run_case(repaired).signature is None
+
+    def test_shrink_preserves_failure_signature(self):
+        failure = self._first_failure("no-retry", ("skeap",))
+        minimized, _ = shrink_case(failure.case, failure.signature)
+        assert run_case(minimized).signature == failure.signature
+
+
+class TestReproducerFiles:
+    def test_reproducers_are_committed(self):
+        assert REPRODUCERS, "tests/reproducers/ must hold at least one file"
+
+    @pytest.mark.parametrize("path", REPRODUCERS, ids=lambda p: p.stem)
+    def test_reproducer_still_reproduces(self, path):
+        ok, result, expected = replay_reproducer(path)
+        assert ok, (
+            f"{path.name}: expected {expected}, got {result.signature} "
+            f"({result.message})"
+        )
+
+    @pytest.mark.parametrize("path", REPRODUCERS, ids=lambda p: p.stem)
+    def test_reproducer_passes_once_transport_repaired(self, path):
+        case, _signature, _message = load_reproducer(path)
+        repaired = dataclasses.replace(
+            case,
+            plan=dataclasses.replace(case.plan, reliable=True, dedup=True),
+        )
+        assert run_case(repaired).signature is None
+
+    @pytest.mark.parametrize("path", REPRODUCERS, ids=lambda p: p.stem)
+    def test_reproducer_is_minimal(self, path):
+        case, _signature, _message = load_reproducer(path)
+        assert len(case.plan.events) <= 10
+
+    def test_save_load_round_trip(self, tmp_path):
+        doc = json.loads(REPRODUCERS[0].read_text())
+        copy = tmp_path / "copy.json"
+        copy.write_text(json.dumps(doc))
+        case, signature, message = load_reproducer(copy)
+        assert case.to_dict() == doc["case"]
+        assert signature == doc["expect"]["signature"]
+
+
+class TestCli:
+    def test_fuzz_cli_clean_run(self, capsys):
+        rc = fuzz_main(["--plans", "4", "--seed", "7", "--ops", "8",
+                        "--targets", "skeap,skack"])
+        assert rc == 0
+        assert "0 distinct failure" in capsys.readouterr().out
+
+    def test_fuzz_cli_expect_caught(self, tmp_path, capsys):
+        rc = fuzz_main([
+            "--plans", "6", "--seed", "0", "--ops", "10", "--targets", "skeap",
+            "--inject-bug", "no-retry", "--expect-caught",
+            "--out", str(tmp_path),
+        ])
+        assert rc == 0
+        assert list(tmp_path.glob("repro-*.json"))
+
+    def test_replay_cli(self, capsys):
+        rc = replay_main([str(REPRODUCERS[0])])
+        assert rc == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_replay_cli_missing_file(self, tmp_path):
+        assert replay_main([str(tmp_path / "absent.json")]) != 0
+
+    def test_fuzz_cli_rejects_unknown_target(self):
+        assert fuzz_main(["--targets", "bogus"]) != 0

@@ -18,10 +18,14 @@ from repro.semantics import (
     FifoPriorityHeap,
     History,
     OrderedHeap,
+    check_element_conservation,
     check_heap_consistency,
     check_local_consistency,
     check_settled,
     replay_fifo,
+    replay_lifo,
+    replay_ordered,
+    replay_ordered_exact,
 )
 
 
@@ -153,6 +157,98 @@ class TestCheckersRejectViolations:
         check_heap_consistency(h)  # ties are allowed by Definition 1.2 ...
         with pytest.raises(ConsistencyError):
             replay_fifo(h)  # ... but not by Skeap's FIFO serialization
+
+    def test_max_order_rejects_lower_priority_served(self):
+        h = History()
+        h_insert(h, 0, 0, 9, 10, (0,))  # the max-heap's most urgent element
+        h_insert(h, 0, 1, 1, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=11)  # served 1 while 9 present
+        check_heap_consistency(h, order="min")  # fine as a min-heap ...
+        with pytest.raises(ConsistencyError):
+            check_heap_consistency(h, order="max")  # ... a violation as max
+
+    def test_replay_ordered_rejects_wrong_priority(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_insert(h, 0, 1, 5, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=11)  # serial execution pops 1
+        h_delete(h, 1, 1, (3,), returned_uid=10)
+        with pytest.raises(ConsistencyError):
+            replay_ordered(h)
+
+    def test_replay_ordered_rejects_bot_on_nonempty(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_delete(h, 1, 0, (1,))  # ⊥ although uid 10 is available
+        with pytest.raises(ConsistencyError):
+            replay_ordered(h)
+
+    def test_replay_ordered_exact_rejects_wrong_uid_within_priority(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_insert(h, 0, 1, 1, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=11)  # uid order demands 10 first
+        h_delete(h, 1, 1, (3,), returned_uid=10)
+        replay_ordered(h)  # priority-level equivalence holds ...
+        with pytest.raises(ConsistencyError):
+            replay_ordered_exact(h)  # ... uid-exact (Seap-SC) does not
+
+    def test_replay_lifo_rejects_fifo_order(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_insert(h, 0, 1, 1, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=10)  # LIFO demands uid 11 first
+        h_delete(h, 1, 1, (3,), returned_uid=11)
+        with pytest.raises(ConsistencyError):
+            replay_lifo(h)
+
+    def test_replay_lifo_rejects_bot_on_nonempty(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_delete(h, 1, 0, (1,))
+        with pytest.raises(ConsistencyError):
+            replay_lifo(h)
+
+
+class TestElementConservation:
+    def _history(self):
+        h = History()
+        h_insert(h, 0, 0, 1, 10, (0,))
+        h_insert(h, 0, 1, 2, 11, (1,))
+        h_delete(h, 1, 0, (2,), returned_uid=10)
+        return h
+
+    def test_accepts_balanced_census(self):
+        check_element_conservation(self._history(), [11])
+
+    def test_rejects_lost_element(self):
+        # uid 11 was inserted, never returned, and is not stored anywhere.
+        with pytest.raises(ConsistencyError, match="lost"):
+            check_element_conservation(self._history(), [])
+
+    def test_rejects_returned_and_still_stored(self):
+        with pytest.raises(ConsistencyError, match="returned and still stored"):
+            check_element_conservation(self._history(), [10, 11])
+
+    def test_rejects_stored_twice(self):
+        with pytest.raises(ConsistencyError, match="stored more than once"):
+            check_element_conservation(self._history(), [11, 11])
+
+    def test_rejects_phantom_stored_element(self):
+        with pytest.raises(ConsistencyError, match="never inserted"):
+            check_element_conservation(self._history(), [11, 99])
+
+    def test_rejects_element_returned_twice(self):
+        h = self._history()
+        h_delete(h, 1, 1, (3,), returned_uid=10)  # 10 handed out again
+        with pytest.raises(ConsistencyError, match="returned twice"):
+            check_element_conservation(h, [11])
+
+    def test_rejects_unknown_returned_element(self):
+        h = self._history()
+        h_delete(h, 1, 1, (3,), returned_uid=99)
+        with pytest.raises(ConsistencyError, match="unknown element"):
+            check_element_conservation(h, [11])
 
 
 class TestReferenceHeaps:

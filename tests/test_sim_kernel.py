@@ -346,8 +346,41 @@ class TestAsyncRunner:
     def test_adversarial_delay_stragglers(self):
         rngs = RngRegistry(0)
         fn = adversarial_delay(slow_fraction=0.5, slow_factor=100)
-        delays = [fn(None, rngs.stream("d")) for _ in range(200)]
+        msgs = [Message(sender=0, dest=1, action="m") for _ in range(200)]
+        delays = [fn(m, rngs.stream("d")) for m in msgs]
         assert max(delays) > 20 * min(delays)
+
+    def test_adversarial_delay_is_schedule_stable(self):
+        """A message's delay depends on its identity, not process history.
+
+        Replays run the same transmit sequence in a fresh process, where
+        the global ``Message.seq`` counter sits at a different offset; the
+        sampler must give the same delays anyway, because it keys on the
+        per-channel ordinal.  Duplicate copies of one message (same seq)
+        must share one base delay.
+        """
+        channels = [(i % 3, (i + 1) % 4) for i in range(50)]
+
+        def delays(fn):
+            rng = RngRegistry(3).stream("d")
+            return [
+                fn(Message(sender=s, dest=d, action="m"), rng)
+                for s, d in channels
+            ]
+
+        first = delays(adversarial_delay(slow_fraction=0.5, slow_factor=100))
+        # Advance the process-global seq counter, as an earlier simulation
+        # in the same process (or a different process history) would.
+        for _ in range(997):
+            Message(sender=9, dest=9, action="noise")
+        second = delays(adversarial_delay(slow_fraction=0.5, slow_factor=100))
+        assert first == second
+
+    def test_adversarial_delay_dup_copies_share_a_delay(self):
+        fn = adversarial_delay(slow_fraction=0.5, slow_factor=100)
+        rng = RngRegistry(3).stream("d")
+        msg = Message(sender=0, dest=1, action="m")
+        assert fn(msg, rng) == fn(msg, rng)
 
     def test_activation_recurs(self):
         runner = AsyncRunner(seed=2, activation_period=0.5)
