@@ -161,6 +161,36 @@ def test_bench_micro_record_delivery_detail(benchmark):
     benchmark(record_all)
 
 
+def _bench_routing(benchmark, exact_transport: bool):
+    from repro.cluster import OverlayCluster
+
+    def route_batch():
+        cluster = OverlayCluster(24, seed=7, exact_transport=exact_transport)
+        done = []
+        for node in cluster.nodes.values():
+            node.on_sink = lambda origin, _n=node: done.append(_n.id)
+        rng = cluster.runner.rng.stream("bench")
+        targets = [float(rng.random()) for _ in range(200)]
+        for i, t in enumerate(targets):
+            cluster.middle_node(i % 24).route_to_point(t, "sink", {})
+        cluster.runner.run_until(lambda: len(done) == 200, max_rounds=50_000)
+        return sum(len(n.route_hops) for n in cluster.nodes.values())
+
+    hops = benchmark.pedantic(route_batch, rounds=5, iterations=1)
+    benchmark.extra_info["hops"] = hops
+    assert (route_batch() == hops)  # deterministic hop count either mode
+
+
+def test_bench_micro_routing_fast(benchmark):
+    """200 routed messages on a 24-node overlay via hop-compressed flights."""
+    _bench_routing(benchmark, exact_transport=False)
+
+
+def test_bench_micro_routing_exact(benchmark):
+    """The same 200 routes travelling hop by hop (pre-PR3 transport)."""
+    _bench_routing(benchmark, exact_transport=True)
+
+
 def test_bench_micro_payload_sizing(benchmark):
     """Element-heavy payload sizing: the memoized per-type sizer cache
     turns the isinstance scan into a dict hit."""

@@ -58,13 +58,19 @@ class _UnbatchedNode(OverlayNode):
     def _to_anchor(self, action: str, **payload) -> None:
         payload["client"] = self.id
         if self.view.is_anchor:
-            getattr(self, "on_" + action)(self.id, **payload)
+            if not self.dispatch_action(action, self.id, payload):
+                raise ProtocolError(
+                    f"node {self.id} has no anchor handler for {action!r}"
+                )
         else:
             self.send(self.view.parent, "ub_fwd", action_name=action, payload=payload)
 
     def on_ub_fwd(self, sender: int, action_name: str, payload: dict) -> None:
         if self.view.is_anchor:
-            getattr(self, "on_" + action_name)(sender, **payload)
+            if not self.dispatch_action(action_name, sender, payload):
+                raise ProtocolError(
+                    f"node {self.id} has no anchor handler for {action_name!r}"
+                )
         else:
             self.send(self.view.parent, "ub_fwd", action_name=action_name, payload=payload)
 

@@ -15,6 +15,7 @@ from .dht.hashing import KeySpace
 from .errors import SimulationError
 from .overlay.base import OverlayNode
 from .overlay.ldb import LDBTopology, LocalView, VirtualKind, owner_of, vid_for
+from .overlay.routing import RoutePlanner
 from .sim.async_runner import AsyncRunner
 from .sim.faults import FaultInjector, FaultPlan
 from .sim.sync_runner import SyncRunner
@@ -39,6 +40,7 @@ class OverlayCluster:
         delay_fn: Callable | None = None,
         metrics_detail: bool = False,
         faults: FaultInjector | FaultPlan | None = None,
+        exact_transport: bool | None = None,
     ):
         if n_nodes < 1:
             raise SimulationError("cluster needs at least one node")
@@ -51,21 +53,26 @@ class OverlayCluster:
         if runner == "sync":
             self.runner = SyncRunner(
                 seed=seed, owner_of=owner_of, metrics_detail=metrics_detail,
-                faults=faults,
+                faults=faults, exact_transport=exact_transport,
             )
         elif runner == "async":
             kwargs = {"delay_fn": delay_fn} if delay_fn is not None else {}
             self.runner = AsyncRunner(
                 seed=seed, owner_of=owner_of, metrics_detail=metrics_detail,
-                faults=faults, **kwargs
+                faults=faults, exact_transport=exact_transport, **kwargs
             )
         else:
             raise SimulationError(f"unknown runner kind {runner!r}")
+        #: shared hop-sequence oracle for the routing fast path; membership
+        #: churn invalidates/refreshes it (see RoutePlanner's epoch story)
+        self.route_planner = RoutePlanner(self.topology)
         self.nodes: dict[int, OverlayNode] = {}
         for vid, view in self.topology.all_views().items():
             node = self.make_node(view)
             self.nodes[vid] = node
             self.runner.register(node)
+            node.route_planner = self.route_planner
+            node._route_epoch = self.route_planner.version
 
     # -- subclass hook ---------------------------------------------------
 

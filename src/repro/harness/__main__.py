@@ -2,7 +2,8 @@
 
 Usage::
 
-    python -m repro.harness [--quick] [--markdown] [--serial] [--jobs N] [IDS...]
+    python -m repro.harness [--quick] [--markdown] [--serial] [--jobs N]
+                            [--exact-transport] [IDS...]
     python -m repro.harness fuzz [--plans N] [--seed S] [--targets a,b]
                                  [--inject-bug no-retry|no-dedup]
                                  [--expect-caught] [--out DIR]
@@ -18,6 +19,12 @@ out across a process pool (one worker per CPU; override with
 Results merge back in grid order, so serial and parallel output is
 byte-identical.
 
+``--exact-transport`` disables the hop-compressed routing fast path
+(every routed message travels hop by hop, as before PR 3).  The tables
+are byte-identical either way — the flag exists to prove exactly that,
+and as an escape hatch.  It works by setting ``REPRO_EXACT_TRANSPORT=1``
+in the environment, which process-pool workers inherit.
+
 ``fuzz`` runs seeded fault-plan campaigns against the protocol targets
 and shrinks any failure to a minimal JSON reproducer; ``replay`` re-runs
 one reproducer byte-for-byte (see ``repro.harness.fuzz``).
@@ -25,6 +32,7 @@ one reproducer byte-for-byte (see ``repro.harness.fuzz``).
 
 from __future__ import annotations
 
+import os
 import sys
 
 from .experiments import ALL_PLAN_FACTORIES, all_plans
@@ -43,8 +51,13 @@ def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     markdown = "--markdown" in argv
     serial = "--serial" in argv
+    if "--exact-transport" in argv:
+        os.environ["REPRO_EXACT_TRANSPORT"] = "1"
     jobs: int | None = None
-    args = [a for a in argv if a not in ("--quick", "--markdown", "--serial")]
+    args = [
+        a for a in argv
+        if a not in ("--quick", "--markdown", "--serial", "--exact-transport")
+    ]
     if "--jobs" in args:
         at = args.index("--jobs")
         try:

@@ -46,7 +46,10 @@ class SortingMixin:
     def anchor_cast(self, action: str, payload: dict[str, Any]) -> None:
         """Deliver ``action`` at the anchor by walking up the tree."""
         if self.view.is_anchor:
-            getattr(self, "on_" + action)(self.id, **payload)
+            if not self.dispatch_action(action, self.id, payload):
+                raise ProtocolError(
+                    f"node {self.id} has no anchor-cast handler for {action!r}"
+                )
         else:
             self.send(
                 self.view.parent, "anchor_fwd", inner=action, inner_payload=payload

@@ -78,10 +78,32 @@ def gateway_probe_sink(cluster) -> list[int]:
     return sink
 
 
+def _invalidate_planner(cluster) -> None:
+    """Open churn: stale every node's route-plan epoch before mutating.
+
+    From here until :func:`_rebuild_views` restamps, no node may use the
+    hop-sequence oracle — its cached geometry describes the pre-churn
+    overlay.  Every ``route_to_point`` in between (the splice probe, any
+    straggler work) takes the exact per-hop path, which reads only live
+    ``LocalView`` state and is therefore always correct.
+    """
+    planner = getattr(cluster, "route_planner", None)
+    if planner is not None:
+        planner.invalidate()
+
+
 def _rebuild_views(cluster, new_topology: LDBTopology) -> None:
     cluster.topology = new_topology
     for vid, node in cluster.nodes.items():
         node.view = new_topology.local_view(vid)
+    # Close churn: rebuild the planner against the new overlay and restamp
+    # every live node into the fresh view epoch.
+    planner = getattr(cluster, "route_planner", None)
+    if planner is not None:
+        planner.refresh(new_topology)
+        for node in cluster.nodes.values():
+            node.route_planner = planner
+            node._route_epoch = planner.version
 
 
 def _redistribute(cluster) -> tuple[int, int]:
@@ -138,6 +160,7 @@ def join_node(cluster, new_real_id: int) -> MembershipReport:
     hops = _probe_hops(cluster, new_topology.label(new_real_id * 3 + 1))
 
     # Splice: refresh views, create & register the three new virtual nodes.
+    _invalidate_planner(cluster)
     for vid, view in new_topology.all_views().items():
         if owner_of(vid) == new_real_id:
             node = cluster.make_node(view)
@@ -174,6 +197,7 @@ def leave_node(cluster, real_id: int) -> MembershipReport:
 
     new_topology = LDBTopology(remaining, seed=cluster.seed)
     hops = _probe_hops(cluster, cluster.topology.label(real_id * 3 + 1))
+    _invalidate_planner(cluster)
     for vid in departing:
         del cluster.nodes[vid]
         cluster.runner.deregister(vid)

@@ -16,13 +16,32 @@ alternates:
 After the last bit the message walks linearly to the node responsible for
 ``t`` itself (the predecessor of ``t``, Lemma A.2).  Total hops are
 ``O(log n)`` w.h.p.; experiment T10 measures this.
+
+Two transports realize the same route:
+
+* the **exact path** (:meth:`RoutingMixin._route_step`) forwards a real
+  message hop by hop — every intermediate node executes the decision rule
+  above on its own :class:`~repro.overlay.ldb.LocalView`;
+* the **fast path** precomputes the identical hop sequence at the origin
+  with :class:`RoutePlanner` (every decision is a pure function of static
+  view state) and hands the runner a hop-compressed
+  :class:`~repro.sim.flight.Flight` that charges the same per-round,
+  per-hop metrics without materializing intermediate messages.
+
+The fast path is a pure optimization and silently steps aside whenever its
+preconditions fail: the runner reports flights unsafe (fault injection,
+``exact_transport=True``, detail metrics), or the planner's view epoch no
+longer matches the stamp on this node (membership churn in progress).  See
+``docs/PERF.md`` for the full contract.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any
 
 from ..errors import RoutingError
+from ..sim.flight import Flight
 from ..sim.message import (
     _ITEM_OVERHEAD_BITS,
     _int_bits,
@@ -31,7 +50,7 @@ from ..sim.message import (
 )
 from .ldb import VirtualKind
 
-__all__ = ["RoutingMixin", "point_bits"]
+__all__ = ["RoutingMixin", "RoutePlanner", "point_bits"]
 
 # Routed messages dominate the simulation, and their envelope changes only
 # trivially per hop (one bit consumed, hops incremented) while ``fpayload``
@@ -52,14 +71,22 @@ _ROUTE_FIXED_BITS = (
 )
 #: each hop bit is 0 or 1: 2 bits wide plus the per-item framing overhead
 _HOP_BIT_COST = 2 + _ITEM_OVERHEAD_BITS
+#: ``target`` and ``ideal`` are floats: 64 bits each in the payload sizer
+_ROUTE_FLOAT_BITS = 64 + 64
 
 
-def point_bits(target: float, d: int) -> list[int]:
-    """The hop bits for ``target``: ``[t_d, t_{d-1}, ..., t_1]``.
+@lru_cache(maxsize=1 << 16)
+def point_bits(target: float, d: int) -> tuple[int, ...]:
+    """The hop bits for ``target``: ``(t_d, t_{d-1}, ..., t_1)``.
 
     Consuming them in order makes the ideal trajectory converge to
     ``0.t_1 t_2 ... t_d`` — within ``2^{-d}`` of ``target`` — exactly as in
     the classical bitshift route of Definition 2.1.
+
+    Targets repeat heavily across the sweeps (every element's DHT key is
+    routed to at insert and again at delete), so the expansion is memoized;
+    the result is a tuple because every consumer treats it immutably
+    (hops slice it, they never mutate in place).
     """
     bits = []
     x = target
@@ -69,7 +96,152 @@ def point_bits(target: float, d: int) -> list[int]:
         bits.append(b)
         x -= b
     bits.reverse()
-    return bits
+    return tuple(bits)
+
+
+class RoutePlanner:
+    """Origin-side oracle for complete LDB hop sequences.
+
+    Built from the global :class:`~repro.overlay.ldb.LDBTopology`, it
+    replays the exact decision procedure of
+    :meth:`RoutingMixin._route_step` — linear walk, middle-seek, bitshift,
+    terminal walk — against the same per-node view state, producing the
+    destination, congestion owner and closed-form envelope size of every
+    hop a routed message would take.
+
+    **View epochs.**  ``version`` is the planner's view epoch.  Every node
+    is stamped with the epoch current at wiring time; membership churn
+    calls :meth:`invalidate` *before* mutating the overlay (bumping the
+    epoch, so every stamp goes stale and all origins fall back to the
+    exact path) and :meth:`refresh` after the new topology stands (rebuild
+    tables, bump the epoch again, restamp nodes).  A node whose stamp
+    disagrees with ``version`` must not use the planner — its cached hop
+    geometry may describe an overlay that no longer exists.
+    """
+
+    def __init__(self, topology):
+        self.version = 0
+        self._plans: dict[tuple[int, float], tuple] = {}
+        self._load(topology)
+
+    def _load(self, topology) -> None:
+        # Per-vid static route state: everything _route_step reads from a
+        # LocalView, keyed for the planner's walk loop.
+        info: dict[int, tuple] = {}
+        labels = topology._labels
+        pred = topology.pred
+        succ = topology.succ
+        for vid in topology.cycle:
+            owner = vid // 3
+            info[vid] = (
+                labels[vid],          # label
+                labels[succ[vid]],    # succ_label
+                pred[vid],
+                succ[vid],
+                vid % 3 == int(VirtualKind.MIDDLE),
+                owner * 3,            # left sibling vid
+                owner * 3 + 2,        # right sibling vid
+            )
+        self._info = info
+        self._dim = topology.debruijn_dim
+        self._max_hops = 16 * (topology.debruijn_dim + 4) + 6 * topology.n_real
+
+    # -- epochs ----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Bump the view epoch: every outstanding node stamp goes stale."""
+        self.version += 1
+
+    def refresh(self, topology) -> None:
+        """Rebuild hop tables for ``topology`` and open a new view epoch.
+
+        The caller (membership's view-rebuild) must restamp every live
+        node with the new ``version`` for the fast path to resume.
+        """
+        self._plans.clear()
+        self._load(topology)
+        self.version += 1
+
+    # -- planning --------------------------------------------------------
+
+    def plan(self, origin: int, target: float) -> tuple:
+        """The complete hop sequence from ``origin`` to ``target``.
+
+        Returns ``(dests, owners, base_sizes)`` tuples, one entry per hop.
+        ``base_sizes`` excludes the faction-name and ``fpayload`` bits
+        (which vary per call and are added by the caller); everything else
+        about hop ``i``'s envelope size is geometry and cached here.
+        """
+        key = (origin, target)
+        cached = self._plans.get(key)
+        if cached is None:
+            cached = self._plans[key] = self._walk(origin, target)
+        return cached
+
+    def _walk(self, origin: int, target: float) -> tuple:
+        info = self._info
+        d = self._dim
+        bits = point_bits(target, d)
+        nbits = len(bits)
+        bi = 0  # bits consumed so far
+        ideal = info[origin][0]
+        seek = False
+        hops = 0
+        origin_bits = _int_bits(origin)
+        fixed = _ROUTE_FIXED_BITS + _ROUTE_FLOAT_BITS + origin_bits
+        dests: list[int] = []
+        sizes: list[int] = []
+        cur = origin
+        while True:
+            label, succ_label, pred, succ, is_middle, left, right = info[cur]
+            if hops > self._max_hops:
+                raise RoutingError(
+                    f"routing to {target} exceeded {self._max_hops} hops "
+                    f"at node {cur}"
+                )
+            if bi < nbits:
+                if seek:
+                    if not is_middle:
+                        nxt = succ
+                    else:
+                        b = bits[bi]
+                        bi += 1
+                        ideal = (b + label) / 2.0
+                        nxt = left if b == 0 else right
+                        seek = False
+                elif not (
+                    label <= ideal < succ_label
+                    if label < succ_label
+                    else (ideal >= label or ideal < succ_label)
+                ):
+                    forward = (ideal - label) % 1.0
+                    backward = (label - ideal) % 1.0
+                    nxt = succ if forward <= backward else pred
+                elif not is_middle:
+                    seek = True
+                    nxt = succ
+                else:
+                    b = bits[bi]
+                    bi += 1
+                    ideal = (b + label) / 2.0
+                    nxt = left if b == 0 else right
+            else:
+                if (
+                    label <= target < succ_label
+                    if label < succ_label
+                    else (target >= label or target < succ_label)
+                ):
+                    break  # ``cur`` is responsible: terminal delivery here
+                forward = (target - label) % 1.0
+                backward = (label - target) % 1.0
+                nxt = succ if forward <= backward else pred
+            hops += 1
+            dests.append(nxt)
+            sizes.append(
+                fixed + _HOP_BIT_COST * (nbits - bi) + _int_bits(hops)
+            )
+            cur = nxt
+        return tuple(dests), tuple(v // 3 for v in dests), tuple(sizes)
 
 
 class RoutingMixin:
@@ -78,6 +250,10 @@ class RoutingMixin:
     def _init_routing(self) -> None:
         #: hop counts of routed messages that terminated here (experiment T10)
         self.route_hops: list[int] = []
+        #: wired by the cluster; None means no fast path (exact transport)
+        self.route_planner: RoutePlanner | None = None
+        #: the planner view epoch this node's view belongs to
+        self._route_epoch = -1
 
     # -- public API --------------------------------------------------------
 
@@ -91,6 +267,23 @@ class RoutingMixin:
         if not 0.0 <= target < 1.0:
             raise RoutingError(f"target {target} outside [0,1)")
         fpayload = fpayload or {}
+        planner = self.route_planner
+        if planner is not None and planner.version == self._route_epoch:
+            ctx = self._ctx
+            if ctx is not None and getattr(ctx, "flights_enabled", False):
+                dests, owners, base_sizes = planner.plan(self.id, target)
+                if not dests:  # origin already responsible (degenerate)
+                    self.deliver_flight(faction, self.id, fpayload, 0)
+                    return
+                extra = _str_bits(faction) + payload_size_bits(fpayload)
+                ctx.launch_flight(
+                    Flight(
+                        self.id, dests, owners,
+                        tuple(b + extra for b in base_sizes),
+                        faction, self.id, fpayload,
+                    )
+                )
+                return
         self._route_step(
             target=target,
             bits=point_bits(target, self.view.debruijn_dim),
@@ -108,9 +301,21 @@ class RoutingMixin:
     def on_route(self, sender, target, bits, ideal, seek, faction, fpayload, origin, hops, fsize=None):
         if fsize is None:
             fsize = payload_size_bits(fpayload)
+        # ``bits`` is consumed immutably (hops slice it, nothing mutates),
+        # so the tuple rides through as-is — no defensive copy.
         self._route_step(
-            target, list(bits), ideal, seek, faction, fpayload, fsize, origin, hops
+            target, bits, ideal, seek, faction, fpayload, fsize, origin, hops
         )
+
+    # -- terminal delivery -----------------------------------------------------
+
+    def deliver_flight(self, faction: str, origin: int, fpayload: dict, hops: int) -> None:
+        """Terminal delivery of a hop-compressed flight (or 0-hop route)."""
+        self.route_hops.append(hops)
+        if not self.dispatch_action(faction, origin, fpayload):
+            raise RoutingError(
+                f"node {self.id} cannot deliver routed action {faction!r}"
+            )
 
     # -- mechanics -------------------------------------------------------------
 
@@ -203,9 +408,7 @@ class RoutingMixin:
             return
         # Arrived at the responsible node: local delivery of the final action.
         self.route_hops.append(hops)
-        handler = getattr(self, "on_" + faction, None)
-        if handler is None:
+        if not self.dispatch_action(faction, origin, fpayload):
             raise RoutingError(
                 f"node {self.id} cannot deliver routed action {faction!r}"
             )
-        handler(origin, **fpayload)

@@ -8,6 +8,15 @@ cycle is *maintained*.  The core primitive of those constructions is
 knowledge graph over labeled nodes, converge to the sorted list where
 every node knows exactly its label-order neighbors.
 
+This churn model is also why routed messages carry a *view epoch*: while
+the overlay is (re)stabilizing, no node's cached picture of the cycle can
+be trusted, so the hop-compressed routing fast path
+(:class:`repro.overlay.routing.RoutePlanner`) keys its precomputed hop
+tables to an epoch counter that membership bumps before any view mutation
+and again after the views stand — any code that re-derives ``LocalView``s
+outside ``repro.overlay.membership`` must do the same, or stale origins
+would fly routes over an overlay that no longer exists.
+
 This module implements the classic linearization rule as a message-passing
 protocol on the simulation kernel:
 
@@ -160,8 +169,10 @@ class LinearizationCluster:
             for other in node.knowledge:
                 adjacency[node.id].add(other)
                 adjacency[other].add(node.id)
+        # The runner outbox may hold hop-compressed Flights in general;
+        # linearization never routes, but read defensively regardless.
         for msg in self.runner._outbox:
-            if msg.action == "ls_intro":
+            if getattr(msg, "action", None) == "ls_intro":
                 adjacency[msg.dest].add(msg.payload["nid"])
                 adjacency[msg.payload["nid"]].add(msg.dest)
         seen = {self.nodes[0].id}

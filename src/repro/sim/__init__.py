@@ -8,6 +8,7 @@ utilities.
 
 from .async_runner import AsyncRunner, adversarial_delay, uniform_delay
 from .faults import FaultEvent, FaultInjector, FaultPlan, TransportStats
+from .flight import Flight, exact_transport_default
 from .message import Message, payload_size_bits
 from .metrics import MetricsCollector, MetricsSnapshot
 from .node import ProtocolNode, SimContext
@@ -19,6 +20,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "Flight",
     "Message",
     "MetricsCollector",
     "MetricsSnapshot",
@@ -30,6 +32,7 @@ __all__ = [
     "TransportStats",
     "adversarial_delay",
     "derive_seed",
+    "exact_transport_default",
     "payload_size_bits",
     "uniform_delay",
 ]

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from .faults import FaultInjector
+from .flight import Flight, exact_transport_default
 from .message import Message
 from .metrics import MetricsCollector
 from .node import ProtocolNode
@@ -82,7 +83,7 @@ def adversarial_delay(slow_fraction: float = 0.2, slow_factor: float = 20.0):
 class AsyncRunner:
     """Drives nodes with randomized delays and activation jitter."""
 
-    _MSG, _ACTIVATE = 0, 1
+    _MSG, _ACTIVATE, _FLIGHT = 0, 1, 2
 
     def __init__(
         self,
@@ -92,11 +93,22 @@ class AsyncRunner:
         owner_of: Callable[[int], int] | None = None,
         metrics_detail: bool = False,
         faults: FaultInjector | None = None,
+        exact_transport: bool | None = None,
     ):
         self.rng = RngRegistry(seed)
         self.nodes: dict[int, ProtocolNode] = {}
         self.metrics = MetricsCollector(owner_of=owner_of, detail=metrics_detail)
         self.faults = faults
+        #: escape hatch: force per-hop legacy transport for routed messages
+        self.exact_transport = (
+            exact_transport_default() if exact_transport is None
+            else bool(exact_transport)
+        )
+        #: how many hop-compressed flights were launched (observability)
+        self.flights_launched = 0
+        #: superset of node ids whose ``has_work()`` may hold (see
+        #: :meth:`is_quiescent`); pruned lazily on quiescence checks.
+        self._maybe_active: set[int] = set()
         self._delay_fn = delay_fn or uniform_delay()
         self._activation_period = float(activation_period)
         self._events: list[tuple[float, int, int, object]] = []
@@ -133,6 +145,47 @@ class AsyncRunner:
                 (self._time + extra + delay, next(self._tick), self._MSG, m),
             )
 
+    @property
+    def flights_enabled(self) -> bool:
+        """Whether hop-compressed routing flights may be used right now."""
+        return (
+            self.faults is None
+            and not self.exact_transport
+            and not self.metrics.detail
+        )
+
+    def launch_flight(self, flight: Flight) -> None:
+        """Put a precomputed routing flight in transit (schedule hop 0)."""
+        if flight.dests[-1] not in self.nodes:
+            raise SimulationError(
+                f"flight to unknown node {flight.dests[-1]}: {flight!r}"
+            )
+        self.flights_launched += 1
+        self._push_flight_hop(flight)
+
+    def _push_flight_hop(self, flight: Flight) -> None:
+        """Schedule the flight's next hop, exactly as transmit() would.
+
+        A minimal stand-in :class:`Message` keeps the legacy path's
+        observable bookkeeping bit-for-bit: it advances the global
+        ``Message.seq`` counter once per hop and feeds the delay sampler
+        the same (sender, dest, size) identity, so keyed delay schedules
+        (``adversarial_delay``) and every later seed draw are unchanged.
+        """
+        i = flight.index
+        probe = Message(
+            sender=flight.sender_of(i), dest=flight.dests[i],
+            action="route", size_bits=flight.sizes[i],
+        )
+        delay = self._delay_fn(probe, self.rng.stream("async", "delays"))
+        if delay < 0:
+            raise SimulationError("negative message delay")
+        self._in_flight += 1
+        heapq.heappush(
+            self._events,
+            (self._time + delay, next(self._tick), self._FLIGHT, flight),
+        )
+
     # -- setup --------------------------------------------------------------
 
     def register(self, node: ProtocolNode) -> None:
@@ -140,6 +193,7 @@ class AsyncRunner:
             raise SimulationError(f"duplicate node id {node.id}")
         self.nodes[node.id] = node
         node.bind(self)
+        self._maybe_active.add(node.id)
         jitter = float(
             self.rng.stream("async", "jitter").uniform(0, self._activation_period)
         )
@@ -155,9 +209,11 @@ class AsyncRunner:
         """Remove a node (membership Leave); pending activations are dropped."""
         del self.nodes[node_id]
         self._parked.pop(node_id, None)
+        self._maybe_active.discard(node_id)
 
     def wake(self, node_id: int) -> None:
         """Resume a parked node's activation chain (next grid slot)."""
+        self._maybe_active.add(node_id)
         due = self._parked.pop(node_id, None)
         if due is not None:
             self._schedule_activation(node_id, due)
@@ -183,11 +239,31 @@ class AsyncRunner:
             self.nodes[msg.dest].handle(msg)
             # A delivery may give a parked node activation work again.
             self.wake(msg.dest)
+        elif kind == self._FLIGHT:
+            flight: Flight = item  # type: ignore[assignment]
+            self._in_flight -= 1
+            i = flight.index
+            dest = flight.dests[i]
+            self.metrics.record_flight_hop(flight.owners[i], flight.sizes[i])
+            flight.index = i + 1
+            if flight.index < len(flight.dests):
+                # The legacy path forwards from inside handle(): the next
+                # hop's send happens at this delivery, then the hop node is
+                # woken.  Same order here — the intermediate node itself is
+                # never touched (its forwarding would be a pure no-op).
+                self._push_flight_hop(flight)
+            else:
+                self.nodes[dest].deliver_flight(
+                    flight.faction, flight.origin, flight.fpayload,
+                    flight.index,
+                )
+            self.wake(dest)
         else:
             node = self.nodes.get(item)  # type: ignore[arg-type]
             if node is None:  # deregistered: drop the activation chain
                 return
             node.on_activate()
+            self._maybe_active.add(node.id)
             if not node.wants_activation():
                 # Park: keep the grid phase so the chain resumes on time.
                 self._parked[node.id] = when + self._activation_period
@@ -203,9 +279,24 @@ class AsyncRunner:
             )
 
     def is_quiescent(self) -> bool:
-        return self._in_flight == 0 and not any(
-            n.has_work() for n in self.nodes.values()
-        )
+        """No messages in flight and no node declares outstanding work.
+
+        As in :meth:`SyncRunner.is_quiescent`, only the maybe-active
+        superset is polled and pruned, keeping the per-event quiescence
+        checks of :meth:`run_until_quiescent` O(active).
+        """
+        if self._in_flight:
+            return False
+        active = self._maybe_active
+        if not active:
+            return True
+        nodes = self.nodes
+        still = {
+            nid for nid in active
+            if (node := nodes.get(nid)) is not None and node.has_work()
+        }
+        self._maybe_active = still
+        return not still
 
     def run_until(
         self,

@@ -1,0 +1,94 @@
+"""Hop-compressed transport for deterministically routed messages.
+
+A routed message's entire journey is a pure function of the static overlay
+view: every intermediate node only forwards it (updating the envelope in a
+closed-form way) until the responsible node performs the terminal action.
+When nothing can perturb that journey — no fault injector rewriting the
+schedule, no membership churn changing views mid-flight — the simulator
+does not need to materialize the intermediate :class:`~repro.sim.message.
+Message` objects at all.  A :class:`Flight` carries the precomputed hop
+sequence instead: per hop it charges the *exact* metrics the legacy path
+would have charged (same destination owner, same closed-form ``size_bits``,
+same round/event timing) and only the terminal hop touches a node.
+
+The runners schedule flights so the observable trace is bit-for-bit
+identical to exact transport:
+
+* under :class:`~repro.sim.sync_runner.SyncRunner` a flight occupies one
+  outbox slot per in-transit hop — the same slot its legacy route message
+  would occupy — so the seeded delivery permutation consumes randomness
+  identically and every other message keeps its delivery order;
+* under :class:`~repro.sim.async_runner.AsyncRunner` each hop is a separate
+  heap event carrying a minimal stand-in :class:`Message`, so the global
+  sequence counter, the per-channel delay draws and the event-tick order
+  all match the legacy path exactly.
+
+This module is deliberately overlay-agnostic: the hop sequence is computed
+by :class:`repro.overlay.routing.RoutePlanner`, which owns the
+view-stability (epoch) story.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+__all__ = ["Flight", "exact_transport_default"]
+
+
+def exact_transport_default() -> bool:
+    """Process-wide default for the ``exact_transport`` escape hatch.
+
+    Set ``REPRO_EXACT_TRANSPORT=1`` to force legacy per-hop transport in
+    every runner that is not explicitly constructed with
+    ``exact_transport=...``.  The harness ``--exact-transport`` flag sets
+    this variable so process-pool workers inherit the mode.
+    """
+    return os.environ.get("REPRO_EXACT_TRANSPORT", "") not in ("", "0")
+
+
+class Flight:
+    """One routed message in transit, with its full hop sequence precomputed.
+
+    ``dests[i]`` / ``owners[i]`` / ``sizes[i]`` describe hop ``i`` exactly as
+    the legacy path would have charged it: the virtual destination, the real
+    process accounted for congestion, and the closed-form envelope size in
+    bits.  ``index`` is the next hop to charge; the final hop performs the
+    terminal delivery of ``faction(origin, **fpayload)`` at ``dests[-1]``.
+    """
+
+    __slots__ = ("src", "dests", "owners", "sizes", "faction", "origin",
+                 "fpayload", "index")
+
+    def __init__(
+        self,
+        src: int,
+        dests: tuple[int, ...],
+        owners: tuple[int, ...],
+        sizes: tuple[int, ...],
+        faction: str,
+        origin: int,
+        fpayload: dict[str, Any],
+    ):
+        self.src = src
+        self.dests = dests
+        self.owners = owners
+        self.sizes = sizes
+        self.faction = faction
+        self.origin = origin
+        self.fpayload = fpayload
+        self.index = 0
+
+    @property
+    def final_dest(self) -> int:
+        return self.dests[-1]
+
+    def sender_of(self, i: int) -> int:
+        """The node that (virtually) forwarded hop ``i``."""
+        return self.dests[i - 1] if i else self.src
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flight({self.src}->{self.dests[-1]} {self.faction} "
+            f"hop {self.index}/{len(self.dests)})"
+        )

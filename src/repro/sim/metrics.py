@@ -114,6 +114,28 @@ class MetricsCollector:
         if n > self._round_peak:
             self._round_peak = n
 
+    def record_flight_hop(self, owner: int, bits: int) -> None:
+        """Charge one hop of a hop-compressed routing flight (lean path).
+
+        Identical accounting to :meth:`record_delivery` — one message of
+        ``bits`` handled by ``owner`` this round — without materializing a
+        :class:`Message`.  ``owner`` is precomputed by the route planner
+        (the same ``owner_of`` mapping the collector itself uses).  Flights
+        never run in detail mode (the per-action breakdowns need the real
+        message), so there is no detail variant of this method.
+        """
+        self.messages += 1
+        self.bits += bits
+        if bits > self._round_max_bits:
+            self._round_max_bits = bits
+            if bits > self.max_message_bits:
+                self.max_message_bits = bits
+        counts = self._round_owner_counts
+        n = counts.get(owner, 0) + 1
+        counts[owner] = n
+        if n > self._round_peak:
+            self._round_peak = n
+
     def _record_delivery_detail(self, msg: Message) -> None:
         """Lean recording plus the per-action/per-owner breakdowns."""
         self.messages += 1

@@ -24,6 +24,28 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ProtocolNode", "SimContext"]
 
 
+#: Per-class action -> unbound handler table, built lazily on first dispatch.
+#: Message delivery is the hottest call site of the simulator; resolving
+#: ``"on_" + action`` with ``getattr`` on every delivery costs a string
+#: concatenation plus an MRO walk, while a dict probe on an interned action
+#: name is a single hash lookup.  Handlers installed as *instance*
+#: attributes (a test double, membership's probe sink) are not in any
+#: class table and fall back to ``getattr``; instance attributes that
+#: would *shadow* a class-defined ``on_<action>`` are not supported by the
+#: cached dispatch (the class handler wins — nothing in the tree does this).
+_HANDLER_TABLES: dict[type, dict[str, object]] = {}
+
+
+def _build_handler_table(cls: type) -> dict[str, object]:
+    table: dict[str, object] = {}
+    for klass in reversed(cls.__mro__):
+        for name, fn in vars(klass).items():
+            if name.startswith("on_") and callable(fn):
+                table[name[3:]] = fn
+    _HANDLER_TABLES[cls] = table
+    return table
+
+
 class SimContext(Protocol):
     """What a runner provides to its nodes."""
 
@@ -127,10 +149,41 @@ class ProtocolNode:
 
     def handle(self, msg: Message) -> None:
         """Dispatch a message from the channel to its handler."""
-        handler = getattr(self, "on_" + msg.action, None)
+        action = msg.action
+        cls = self.__class__
+        table = _HANDLER_TABLES.get(cls)
+        if table is None:
+            table = _build_handler_table(cls)
+        fn = table.get(action)
+        if fn is not None:
+            fn(self, msg.sender, **msg.payload)
+            return
+        # Instance-installed handlers (not part of any class) still work.
+        handler = getattr(self, "on_" + action, None)
         if handler is None:
             raise ProtocolError(
                 f"node {self.id} ({type(self).__name__}) has no handler for "
-                f"action {msg.action!r}"
+                f"action {action!r}"
             )
         handler(msg.sender, **msg.payload)
+
+    def dispatch_action(self, action: str, sender: int, payload: dict) -> bool:
+        """Invoke ``on_<action>(sender, **payload)`` via the cached table.
+
+        Returns False (without raising) when no handler exists, so callers
+        with their own error semantics — routing's terminal delivery, the
+        baselines' local loopback — can reuse the fast dispatch.
+        """
+        cls = self.__class__
+        table = _HANDLER_TABLES.get(cls)
+        if table is None:
+            table = _build_handler_table(cls)
+        fn = table.get(action)
+        if fn is not None:
+            fn(self, sender, **payload)
+            return True
+        handler = getattr(self, "on_" + action, None)
+        if handler is None:
+            return False
+        handler(sender, **payload)
+        return True

@@ -21,6 +21,7 @@ from typing import Callable, Iterable
 
 from ..errors import SimulationError
 from .faults import FaultInjector
+from .flight import Flight, exact_transport_default
 from .message import Message
 from .metrics import MetricsCollector
 from .node import ProtocolNode
@@ -38,12 +39,24 @@ class SyncRunner:
         owner_of: Callable[[int], int] | None = None,
         metrics_detail: bool = False,
         faults: FaultInjector | None = None,
+        exact_transport: bool | None = None,
     ):
         self.rng = RngRegistry(seed)
         self.nodes: dict[int, ProtocolNode] = {}
         self.metrics = MetricsCollector(owner_of=owner_of, detail=metrics_detail)
         self.faults = faults
-        self._outbox: list[Message] = []
+        #: escape hatch: force per-hop legacy transport for routed messages
+        self.exact_transport = (
+            exact_transport_default() if exact_transport is None
+            else bool(exact_transport)
+        )
+        #: how many hop-compressed flights were launched (observability)
+        self.flights_launched = 0
+        #: outbox entries are Messages plus in-transit :class:`Flight`s; a
+        #: flight occupies exactly one slot per round it is in transit, so
+        #: the delivery permutation and ``pending_messages`` see the same
+        #: population as under exact transport.
+        self._outbox: list = []
         #: fault-delayed messages, keyed by their delivery round
         self._future: dict[int, list[Message]] = {}
         self._future_count = 0
@@ -51,6 +64,12 @@ class SyncRunner:
         self._inflight_by_dest: dict[int, int] = {}
         #: node ids to activate in the next round
         self._wake: set[int] = set()
+        #: superset of the node ids whose ``has_work()`` may be true —
+        #: every path that can give a node work (registration, delivery,
+        #: activation, an explicit wake) adds it here, and quiescence
+        #: checks prune it back down, so ``is_quiescent`` is O(active)
+        #: instead of O(all registered nodes).
+        self._maybe_active: set[int] = set()
         self._delivery_rng = self.rng.stream("sync", "delivery")
         self._round = 0
 
@@ -81,9 +100,38 @@ class SyncRunner:
                 self._future_count += 1
             inflight[dest] = inflight.get(dest, 0) + 1
 
+    @property
+    def flights_enabled(self) -> bool:
+        """Whether hop-compressed routing flights may be used right now.
+
+        Flights are trace-equivalent only when no fault injector can
+        perturb the schedule, the caller did not force ``exact_transport``,
+        and the metrics collector does not need the per-action breakdowns
+        only real messages carry.
+        """
+        return (
+            self.faults is None
+            and not self.exact_transport
+            and not self.metrics.detail
+        )
+
+    def launch_flight(self, flight: Flight) -> None:
+        """Put a precomputed routing flight in transit (first hop next round)."""
+        dest = flight.dests[-1]
+        if dest not in self.nodes:
+            raise SimulationError(f"flight to unknown node {dest}: {flight!r}")
+        self.flights_launched += 1
+        # Only the terminal destination is tracked for the deregister
+        # guard; intermediate hops never touch their node.  Membership only
+        # deregisters at quiescent points, where no flights exist at all.
+        inflight = self._inflight_by_dest
+        inflight[dest] = inflight.get(dest, 0) + 1
+        self._outbox.append(flight)
+
     def wake(self, node_id: int) -> None:
         """Schedule ``node_id`` for activation in the next round."""
         self._wake.add(node_id)
+        self._maybe_active.add(node_id)
 
     # -- setup -----------------------------------------------------------
 
@@ -94,6 +142,7 @@ class SyncRunner:
         node.bind(self)
         # Every node gets one initial activation (protocol bootstrap).
         self._wake.add(node.id)
+        self._maybe_active.add(node.id)
 
     def register_all(self, nodes: Iterable[ProtocolNode]) -> None:
         for node in nodes:
@@ -106,6 +155,7 @@ class SyncRunner:
         del self.nodes[node_id]
         self._inflight_by_dest.pop(node_id, None)
         self._wake.discard(node_id)
+        self._maybe_active.discard(node_id)
 
     # -- execution ---------------------------------------------------------
 
@@ -131,8 +181,28 @@ class SyncRunner:
         faults = self.faults
         if inbox:
             record = self.metrics.record_delivery
+            record_hop = self.metrics.record_flight_hop
             inflight = self._inflight_by_dest
             for msg in inbox:
+                if msg.__class__ is Flight:
+                    # Advance a hop-compressed flight by exactly one hop:
+                    # charge the hop's metrics, then either keep it in
+                    # transit (one outbox slot, like the route message it
+                    # replaces) or perform the terminal delivery.
+                    i = msg.index
+                    dest = msg.dests[i]
+                    record_hop(msg.owners[i], msg.sizes[i])
+                    i += 1
+                    if i < len(msg.dests):
+                        msg.index = i
+                        self._outbox.append(msg)
+                    else:
+                        inflight[dest] -= 1
+                        nodes[dest].deliver_flight(
+                            msg.faction, msg.origin, msg.fpayload, i
+                        )
+                        wake.add(dest)
+                    continue
                 dest = msg.dest
                 inflight[dest] -= 1
                 if faults is not None and not faults.accept(msg):
@@ -141,6 +211,7 @@ class SyncRunner:
                 nodes[dest].handle(msg)
                 wake.add(dest)
         self._wake = set()
+        maybe_active = self._maybe_active
         for node_id in sorted(wake):
             node = nodes.get(node_id)
             if node is None:  # deregistered while woken
@@ -148,6 +219,7 @@ class SyncRunner:
             node.on_activate()
             if node.wants_activation():
                 self._wake.add(node_id)
+            maybe_active.add(node_id)
         self.metrics.end_round()
         self._round += 1
 
@@ -156,12 +228,26 @@ class SyncRunner:
         return len(self._outbox) + self._future_count
 
     def is_quiescent(self) -> bool:
-        """No messages in flight and no node declares outstanding work."""
-        return (
-            not self._outbox
-            and not self._future_count
-            and not any(n.has_work() for n in self.nodes.values())
-        )
+        """No messages in flight and no node declares outstanding work.
+
+        Only nodes in the maybe-active superset are polled; the set is
+        pruned to the nodes whose ``has_work()`` actually held, so repeated
+        checks cost O(active), not O(registered).  The superset is sound
+        because work only ever appears through paths that add to it
+        (registration, message delivery, activation, explicit wakes).
+        """
+        if self._outbox or self._future_count:
+            return False
+        active = self._maybe_active
+        if not active:
+            return True
+        nodes = self.nodes
+        still = {
+            nid for nid in active
+            if (node := nodes.get(nid)) is not None and node.has_work()
+        }
+        self._maybe_active = still
+        return not still
 
     def run_until(
         self,

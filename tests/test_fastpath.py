@@ -1,0 +1,451 @@
+"""The hop-compressed routing fast path must be invisible.
+
+Every test here is a differential: the same workload under the fast path
+(flights) and under ``exact_transport=True`` (legacy per-hop messages)
+must produce identical observable state — histories, metrics, hop counts,
+terminal nodes — while the fast path demonstrably engages (flights > 0)
+or demonstrably steps aside (faults, detail metrics, stale view epochs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SeapHeap, SkeapHeap
+from repro.harness.fuzz import TARGET_NAMES
+from repro.cluster import OverlayCluster
+from repro.errors import ProtocolError, RoutingError
+from repro.overlay.routing import point_bits
+from repro.sim import FaultPlan, ProtocolNode, SyncRunner
+from repro.sim.faults import DROP, DUP, FaultEvent
+from repro.sim.message import _str_bits, payload_size_bits
+
+
+def _core_numbers(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.bits,
+        metrics.max_message_bits,
+        metrics.congestion,
+        list(metrics.congestion_by_round),
+        list(metrics.max_bits_by_round),
+    )
+
+
+def _drive_skeap(**kwargs):
+    heap = SkeapHeap(n_nodes=8, n_priorities=3, seed=21, **kwargs)
+    for i in range(30):
+        heap.insert(priority=1 + i % 3, at=i % 8)
+    heap.settle()
+    for i in range(15):
+        heap.delete_min(at=i % 8)
+    heap.settle()
+    return heap
+
+
+def _drive_seap(**kwargs):
+    heap = SeapHeap(n_nodes=6, seed=31, **kwargs)
+    for i in range(20):
+        heap.insert(priority=1 + 13 * i % 97, at=i % 6)
+    heap.settle()
+    for i in range(10):
+        heap.delete_min(at=i % 6)
+    heap.settle()
+    return heap
+
+
+def _heap_state(heap):
+    return (
+        repr(sorted(heap.history.ops.items())),
+        _core_numbers(heap.metrics),
+        sorted(heap.all_route_hops()),
+        sorted(heap.stored_uids()),
+    )
+
+
+def _trace_exact_route(cluster, origin_vid, target, faction="probe_sink"):
+    """Drive one exact-transport route; return its per-hop (dest, size)."""
+    done = []
+    for n in cluster.nodes.values():
+        if not hasattr(n, "on_" + faction):
+            setattr(
+                n, "on_" + faction,
+                lambda origin, _n=n: done.append(_n.id),
+            )
+    cluster.nodes[origin_vid].route_to_point(target, faction, {})
+    hops = []
+    while not done:
+        for m in cluster.runner._outbox:
+            if getattr(m, "action", None) == "route":
+                hops.append((m.dest, m.size_bits))
+        cluster.runner.step()
+    return hops, done[0]
+
+
+class TestPlannerTraceEquivalence:
+    """The planner's hop sequence IS the exact path's hop sequence."""
+
+    @pytest.mark.parametrize("n_nodes,seed", [(1, 3), (4, 0), (13, 7), (32, 5)])
+    def test_plan_matches_exact_hop_trace(self, n_nodes, seed):
+        cluster = OverlayCluster(n_nodes, seed=seed, exact_transport=True)
+        assert cluster.runner.flights_enabled is False
+        rng = cluster.runner.rng.stream("fastpath-test")
+        planner = cluster.route_planner
+        origins = [cluster.topology.cycle[int(rng.integers(len(cluster.topology.cycle)))]
+                   for _ in range(6)]
+        for i, origin in enumerate(origins):
+            target = float(rng.random())
+            hops, terminal = _trace_exact_route(
+                cluster, origin, target, faction=f"probe_sink_{i}"
+            )
+            dests, owners, base_sizes = planner.plan(origin, target)
+            extra = _str_bits(f"probe_sink_{i}") + payload_size_bits({})
+            assert [d for d, _ in hops] == list(dests)
+            assert [s for _, s in hops] == [b + extra for b in base_sizes]
+            assert owners == tuple(d // 3 for d in dests)
+            assert terminal == dests[-1]
+            assert terminal == cluster.topology.responsible_for(target)
+        assert cluster.runner.flights_launched == 0
+
+    def test_skeap_sync_workload_identical(self):
+        fast = _drive_skeap()
+        exact = _drive_skeap(exact_transport=True)
+        assert fast.runner.flights_launched > 0
+        assert exact.runner.flights_launched == 0
+        assert _heap_state(fast) == _heap_state(exact)
+
+    def test_seap_sync_workload_identical(self):
+        fast = _drive_seap()
+        exact = _drive_seap(exact_transport=True)
+        assert fast.runner.flights_launched > 0
+        assert exact.runner.flights_launched == 0
+        assert _heap_state(fast) == _heap_state(exact)
+
+    def test_skeap_async_workload_identical(self):
+        fast = _drive_skeap(runner="async")
+        exact = _drive_skeap(runner="async", exact_transport=True)
+        assert fast.runner.flights_launched > 0
+        assert exact.runner.flights_launched == 0
+        assert _heap_state(fast) == _heap_state(exact)
+        # Event-time parity: delay draws and tick order must line up too.
+        assert fast.runner._time == exact.runner._time
+
+    def test_seap_async_workload_identical(self):
+        fast = _drive_seap(runner="async")
+        exact = _drive_seap(runner="async", exact_transport=True)
+        assert _heap_state(fast) == _heap_state(exact)
+        assert fast.runner._time == exact.runner._time
+
+    def test_routed_actions_still_reach_responsible_node(self):
+        # The classic routing test, now exercising the fast path.
+        cluster = OverlayCluster(20, seed=12345)
+        hits: list[int] = []
+        for node in cluster.nodes.values():
+            node.on_probe = lambda origin, _n=node: hits.append(_n.id)
+        rng = cluster.runner.rng.stream("t")
+        targets = [float(rng.random()) for _ in range(15)]
+        for t in targets:
+            cluster.middle_node(3).route_to_point(t, "probe", {})
+        cluster.runner.run_until(lambda: len(hits) == 15, max_rounds=5000)
+        assert cluster.runner.flights_launched == 15
+        expected = sorted(cluster.topology.responsible_for(t) for t in targets)
+        assert sorted(hits) == expected
+
+
+class TestFastPathGates:
+    """Every disable condition of the contract, observed via the counter."""
+
+    def _plan(self):
+        return FaultPlan(
+            seed=5,
+            events=[
+                FaultEvent(kind=DROP, src=0, dst=4, nth=0),
+                FaultEvent(kind=DUP, src=1, dst=7, nth=1),
+            ],
+        )
+
+    def test_faults_disable_flights(self):
+        heap = _drive_skeap(faults=self._plan())
+        assert heap.runner.flights_launched == 0
+
+    def test_faulted_run_identical_to_exact_faulted_run(self):
+        fast_cfg = _drive_skeap(faults=self._plan())
+        exact_cfg = _drive_skeap(faults=self._plan(), exact_transport=True)
+        assert _heap_state(fast_cfg) == _heap_state(exact_cfg)
+
+    def test_detail_metrics_disable_flights(self):
+        heap = _drive_skeap(metrics_detail=True)
+        assert heap.runner.flights_launched == 0
+        # and the lean fast-path run still reports the same core numbers
+        assert _core_numbers(heap.metrics) == _core_numbers(_drive_skeap().metrics)
+
+    def test_exact_transport_flag_disables_flights(self):
+        assert SkeapHeap(4, n_priorities=2, seed=0, exact_transport=True
+                         ).runner.flights_enabled is False
+
+    def test_env_var_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXACT_TRANSPORT", "1")
+        heap = SkeapHeap(4, n_priorities=2, seed=0)
+        assert heap.runner.exact_transport is True
+        assert heap.runner.flights_enabled is False
+        monkeypatch.setenv("REPRO_EXACT_TRANSPORT", "0")
+        assert SkeapHeap(4, n_priorities=2, seed=0).runner.flights_enabled is True
+
+    def test_async_gates_mirror_sync(self):
+        assert SkeapHeap(4, n_priorities=2, seed=0, runner="async",
+                         faults=self._plan()).runner.flights_enabled is False
+        assert SkeapHeap(4, n_priorities=2, seed=0, runner="async",
+                         metrics_detail=True).runner.flights_enabled is False
+        assert SkeapHeap(4, n_priorities=2, seed=0, runner="async"
+                         ).runner.flights_enabled is True
+
+
+class TestViewEpochInvalidation:
+    """Membership churn must fence the planner's precomputed geometry."""
+
+    def test_join_bumps_epoch_and_restamps(self):
+        heap = SkeapHeap(n_nodes=6, n_priorities=3, seed=9)
+        for i in range(12):
+            heap.insert(priority=1 + i % 3, at=i % 6)
+        heap.settle()
+        launched_before = heap.runner.flights_launched
+        assert launched_before > 0
+        version_before = heap.route_planner.version
+        heap.add_node(6)
+        # invalidate (churn opens) + refresh (views stand) = two bumps
+        assert heap.route_planner.version == version_before + 2
+        for node in heap.nodes.values():
+            assert node._route_epoch == heap.route_planner.version
+        # the fast path resumes against the new overlay
+        for i in range(12):
+            heap.insert(priority=1 + i % 3, at=i % 7)
+        heap.settle()
+        assert heap.runner.flights_launched > launched_before
+
+    def test_churned_history_identical_to_exact(self):
+        def drive(**kwargs):
+            heap = SkeapHeap(n_nodes=6, n_priorities=3, seed=9, **kwargs)
+            for i in range(12):
+                heap.insert(priority=1 + i % 3, at=i % 6)
+            heap.settle()
+            heap.add_node(6)
+            for i in range(12):
+                heap.insert(priority=1 + i % 3, at=i % 7)
+            heap.settle()
+            heap.remove_node(2)
+            survivors = [0, 1, 3, 4, 5, 6]
+            for i in range(10):
+                heap.delete_min(at=survivors[i % len(survivors)])
+            heap.settle()
+            return heap
+
+        fast = drive()
+        exact = drive(exact_transport=True)
+        assert fast.runner.flights_launched > 0
+        assert exact.runner.flights_launched == 0
+        assert _heap_state(fast) == _heap_state(exact)
+
+    def test_stale_epoch_falls_back_to_exact_path(self):
+        cluster = OverlayCluster(10, seed=4)
+        done = []
+        for node in cluster.nodes.values():
+            node.on_probe = lambda origin, _n=node: done.append(_n.id)
+        cluster.route_planner.invalidate()  # simulate churn-in-progress
+        cluster.middle_node(0).route_to_point(0.42, "probe", {})
+        cluster.runner.run_until(lambda: done, max_rounds=5000)
+        assert cluster.runner.flights_launched == 0
+        assert done[0] == cluster.topology.responsible_for(0.42)
+
+    def test_unwired_node_routes_exactly(self):
+        # A node with no planner at all (route_planner=None) must still route.
+        cluster = OverlayCluster(8, seed=2)
+        done = []
+        for node in cluster.nodes.values():
+            node.on_probe = lambda origin, _n=node: done.append(_n.id)
+            node.route_planner = None
+        cluster.middle_node(1).route_to_point(0.9, "probe", {})
+        cluster.runner.run_until(lambda: done, max_rounds=5000)
+        assert cluster.runner.flights_launched == 0
+        assert done[0] == cluster.topology.responsible_for(0.9)
+
+
+class TestDispatchCache:
+    def test_unknown_action_still_raises_protocol_error(self):
+        from repro.sim import Message
+
+        class Plain(ProtocolNode):
+            def on_known(self, sender):
+                pass
+
+        runner = SyncRunner()
+        node = Plain(0)
+        runner.register(node)
+        with pytest.raises(ProtocolError, match="no handler for action 'nope'"):
+            node.handle(Message(sender=1, dest=0, action="nope"))
+
+    def test_class_handlers_dispatch_through_cache(self):
+        from repro.sim import Message
+        from repro.sim.node import _HANDLER_TABLES
+
+        hits = []
+
+        class Cached(ProtocolNode):
+            def on_ping(self, sender, value):
+                hits.append((sender, value))
+
+        node = Cached(0)
+        node.handle(Message(sender=7, dest=0, action="ping", payload={"value": 3}))
+        assert hits == [(7, 3)]
+        assert "ping" in _HANDLER_TABLES[Cached]
+
+    def test_subclass_override_wins(self):
+        from repro.sim import Message
+
+        calls = []
+
+        class Base(ProtocolNode):
+            def on_ev(self, sender):
+                calls.append("base")
+
+        class Sub(Base):
+            def on_ev(self, sender):
+                calls.append("sub")
+
+        Sub(0).handle(Message(sender=1, dest=0, action="ev"))
+        Base(1).handle(Message(sender=1, dest=1, action="ev"))
+        assert calls == ["sub", "base"]
+
+    def test_instance_installed_handler_still_works(self):
+        from repro.sim import Message
+
+        node = ProtocolNode(0)
+        got = []
+        node.on_adhoc = lambda sender, x: got.append((sender, x))
+        node.handle(Message(sender=2, dest=0, action="adhoc", payload={"x": 9}))
+        assert got == [(2, 9)]
+
+    def test_dispatch_action_reports_missing_handler(self):
+        node = ProtocolNode(0)
+        assert node.dispatch_action("ghost", 0, {}) is False
+
+    def test_unroutable_faction_raises_routing_error_on_fast_path(self):
+        cluster = OverlayCluster(6, seed=3)
+        assert cluster.runner.flights_enabled
+        cluster.middle_node(0).route_to_point(0.5, "no_such_faction", {})
+        with pytest.raises(RoutingError, match="cannot deliver routed action"):
+            cluster.runner.run_until(lambda: False, max_rounds=100)
+
+
+class TestQuiescenceActiveSet:
+    class Worker(ProtocolNode):
+        def __init__(self, node_id):
+            super().__init__(node_id)
+            self.pending = 0
+
+        def has_work(self):
+            return self.pending > 0
+
+        def on_activate(self):
+            if self.pending:
+                self.pending -= 1
+
+    def test_idle_nodes_drop_out_of_the_active_set(self):
+        runner = SyncRunner()
+        nodes = [self.Worker(i) for i in range(50)]
+        runner.register_all(nodes)
+        nodes[7].pending = 3
+        assert not runner.is_quiescent()
+        # after the first check, only the node with work remains tracked
+        assert runner._maybe_active == {7}
+        runner.run_until_quiescent()
+        assert runner.is_quiescent()
+        assert runner._maybe_active == set()
+
+    def test_deregistered_nodes_drop_out(self):
+        runner = SyncRunner()
+        nodes = [self.Worker(i) for i in range(10)]
+        runner.register_all(nodes)
+        nodes[4].pending = 100
+        assert not runner.is_quiescent()
+        assert 4 in runner._maybe_active
+        runner.deregister(4)
+        assert 4 not in runner._maybe_active
+        assert runner.is_quiescent()
+
+    def test_woken_nodes_rejoin_the_active_set(self):
+        runner = SyncRunner()
+        nodes = [self.Worker(i) for i in range(5)]
+        runner.register_all(nodes)
+        runner.run_until_quiescent()
+        assert runner._maybe_active == set()
+        nodes[2].pending = 1
+        nodes[2].request_activation()
+        assert not runner.is_quiescent()
+        runner.run_until_quiescent()
+        assert runner.is_quiescent()
+
+    def test_async_runner_prunes_too(self):
+        from repro.sim import AsyncRunner
+
+        runner = AsyncRunner(seed=1)
+        nodes = [self.Worker(i) for i in range(20)]
+        runner.register_all(nodes)
+        nodes[3].pending = 2
+        runner.run_until_quiescent()
+        assert runner.is_quiescent()
+        assert runner._maybe_active == set()
+        runner.deregister(5)
+        assert 5 not in runner._maybe_active
+
+
+class TestAdversityEquivalence:
+    """All seven fuzz targets, fault plans active: the fast path must stand
+    down and the run must match exact transport stat-for-stat."""
+
+    @pytest.mark.parametrize("index,target", list(enumerate(TARGET_NAMES)))
+    def test_faulted_fuzz_target_matches_exact_transport(
+        self, index, target, monkeypatch
+    ):
+        from repro.harness.fuzz import make_case, run_case
+
+        case = make_case(index, root_seed=0, targets=(target,))
+        assert case.target == target
+        assert case.plan.events, "fuzz plans always carry fault events"
+        monkeypatch.delenv("REPRO_EXACT_TRANSPORT", raising=False)
+        fast_cfg = run_case(case)
+        monkeypatch.setenv("REPRO_EXACT_TRANSPORT", "1")
+        exact_cfg = run_case(case)
+        assert fast_cfg.signature is None, fast_cfg.message
+        assert (fast_cfg.signature, fast_cfg.message, fast_cfg.transport) == (
+            exact_cfg.signature, exact_cfg.message, exact_cfg.transport
+        )
+
+    def test_quick_harness_tables_identical_in_jobs_mode(self, monkeypatch):
+        from repro.harness.experiments import all_plans
+        from repro.harness.parallel import execute_plans
+
+        def render(exact):
+            if exact:
+                monkeypatch.setenv("REPRO_EXACT_TRANSPORT", "1")
+            else:
+                monkeypatch.delenv("REPRO_EXACT_TRANSPORT", raising=False)
+            tables = execute_plans(all_plans(quick=True, ids=["T10"]), jobs=2)
+            return "\n".join(t.render() for t in tables)
+
+        assert render(exact=False) == render(exact=True)
+
+
+class TestPointBitsMemo:
+    def test_returns_cached_tuple(self):
+        a = point_bits(0.37251, 9)
+        b = point_bits(0.37251, 9)
+        assert isinstance(a, tuple)
+        assert a is b  # memoized
+
+    def test_expansion_still_correct(self):
+        bits = point_bits(0.625, 3)
+        ideal = 0.3
+        for b in bits:
+            ideal = (b + ideal) / 2
+        assert abs(ideal - 0.625) < 2**-3
