@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Validate an exported Chrome trace (and optionally its JSONL twin).
+
+Usage::
+
+    python scripts/validate_trace.py TRACE_DIR [--ops N]
+
+``TRACE_DIR`` is a ``harness trace`` / ``replay --trace`` output
+directory holding ``trace.json`` (+ ``events.jsonl`` + ``manifest.json``).
+Checks:
+
+* the Chrome trace validates against the exporter's schema contract;
+* every event line of ``events.jsonl`` is a JSON object with ``ts``/``kind``;
+* the manifest's table hashes are well-formed sha256 strings;
+* with ``--ops N``: the trace contains exactly N complete op spans
+  (one "X" slice per heap operation on the operations track).
+
+Exit code 0 on success, 1 with the problems listed on stderr otherwise.
+CI runs this over the trace-smoke artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.trace_export import validate_chrome_trace  # noqa: E402
+
+
+def validate_dir(trace_dir: Path, expect_ops: int | None = None) -> list[str]:
+    problems: list[str] = []
+    trace_path = trace_dir / "trace.json"
+    if not trace_path.is_file():
+        return [f"missing {trace_path}"]
+    trace = json.loads(trace_path.read_text())
+    problems += validate_chrome_trace(trace)
+
+    if expect_ops is not None:
+        slices = [
+            e for e in trace.get("traceEvents", [])
+            if e.get("ph") == "X" and e.get("pid") == 1
+        ]
+        if len(slices) != expect_ops:
+            problems.append(
+                f"expected {expect_ops} complete op spans, found {len(slices)}"
+            )
+        incomplete = [e for e in slices if not e.get("args", {}).get("complete")]
+        if incomplete:
+            problems.append(f"{len(incomplete)} op slices marked incomplete")
+
+    jsonl = trace_dir / "events.jsonl"
+    if jsonl.is_file():
+        for i, line in enumerate(jsonl.read_text().splitlines()):
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                problems.append(f"events.jsonl line {i + 1}: not JSON")
+                break
+            if "ts" not in ev or "kind" not in ev:
+                problems.append(f"events.jsonl line {i + 1}: missing ts/kind")
+                break
+    else:
+        problems.append(f"missing {jsonl}")
+
+    manifest_path = trace_dir / "manifest.json"
+    if manifest_path.is_file():
+        manifest = json.loads(manifest_path.read_text())
+        for exp_id, entry in manifest.get("tables", {}).items():
+            digest = entry.get("sha256", "")
+            if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+                problems.append(f"manifest table {exp_id}: malformed sha256")
+    else:
+        problems.append(f"missing {manifest_path}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    expect_ops: int | None = None
+    if "--ops" in args:
+        at = args.index("--ops")
+        expect_ops = int(args[at + 1])
+        del args[at : at + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    problems = validate_dir(Path(args[0]), expect_ops)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    print(f"trace in {args[0]} is valid"
+          + (f" ({expect_ops} complete op spans)" if expect_ops else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -2,10 +2,21 @@
 
 from .experiments import ALL_EXPERIMENTS, ALL_PLAN_FACTORIES, all_plans, run_all
 from .fitting import FitResult, fit_linear, fit_log2, is_logarithmic, is_sublinear
+from .manifest import build_manifest, table_hashes, write_manifest
 from .parallel import ExperimentPlan, default_jobs, execute_plans
 from .runner import RunResult, drive_rounds, run_injection, run_workload
 from .sweep import SweepResult, sweep
 from .tables import Table
+from .trace_export import (
+    GroupSpan,
+    OpSpan,
+    build_group_spans,
+    build_spans,
+    events_to_jsonl,
+    span_summary_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
 from .tracing import render_activity, render_cycle, render_store_loads, render_tree
 
 __all__ = [
@@ -13,9 +24,20 @@ __all__ = [
     "ALL_PLAN_FACTORIES",
     "ExperimentPlan",
     "FitResult",
+    "GroupSpan",
+    "OpSpan",
     "RunResult",
     "SweepResult",
     "Table",
+    "build_group_spans",
+    "build_manifest",
+    "build_spans",
+    "events_to_jsonl",
+    "span_summary_table",
+    "table_hashes",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_manifest",
     "all_plans",
     "default_jobs",
     "drive_rounds",

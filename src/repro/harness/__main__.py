@@ -3,11 +3,13 @@
 Usage::
 
     python -m repro.harness [--quick] [--markdown] [--serial] [--jobs N]
-                            [--exact-transport] [IDS...]
+                            [--exact-transport] [--manifest PATH] [IDS...]
     python -m repro.harness fuzz [--plans N] [--seed S] [--targets a,b]
                                  [--inject-bug no-retry|no-dedup]
                                  [--expect-caught] [--out DIR]
-    python -m repro.harness replay <reproducer.json>
+    python -m repro.harness replay [--trace [--out DIR]] <reproducer.json>
+    python -m repro.harness trace <target> [--nodes N] [--ops K] [--seed S]
+                                           [--out DIR] [--faults]
 
 ``--quick`` shrinks the parameter grids; ``--markdown`` emits GitHub
 tables (how EXPERIMENTS.md's body is produced); ``IDS`` selects specific
@@ -27,13 +29,21 @@ in the environment, which process-pool workers inherit.
 
 ``fuzz`` runs seeded fault-plan campaigns against the protocol targets
 and shrinks any failure to a minimal JSON reproducer; ``replay`` re-runs
-one reproducer byte-for-byte (see ``repro.harness.fuzz``).
+one reproducer byte-for-byte (see ``repro.harness.fuzz``), optionally
+with ``--trace`` to export the replay's event log.  ``trace`` runs one
+scenario with structured tracing on and writes JSONL + Perfetto-loadable
+Chrome-trace artifacts plus a run manifest (``repro.harness.trace_cli``).
+
+``--manifest PATH`` additionally writes a run manifest for the table run:
+the exact command, seeds/grid config, git SHA, wall-clock, and a sha256
+over each rendered table — without changing stdout by a single byte.
 """
 
 from __future__ import annotations
 
 import os
 import sys
+import time
 
 from .experiments import ALL_PLAN_FACTORIES, all_plans
 from .parallel import default_jobs, execute_plans
@@ -48,6 +58,11 @@ def main(argv: list[str]) -> int:
         from .fuzz import replay_main
 
         return replay_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .trace_cli import trace_main
+
+        return trace_main(argv[1:])
+    started = time.time()
     quick = "--quick" in argv
     markdown = "--markdown" in argv
     serial = "--serial" in argv
@@ -64,6 +79,15 @@ def main(argv: list[str]) -> int:
             jobs = int(args[at + 1])
         except (IndexError, ValueError):
             print("--jobs requires an integer argument", file=sys.stderr)
+            return 2
+        del args[at : at + 2]
+    manifest_path: str | None = None
+    if "--manifest" in args:
+        at = args.index("--manifest")
+        try:
+            manifest_path = args[at + 1]
+        except IndexError:
+            print("--manifest requires a path argument", file=sys.stderr)
             return 2
         del args[at : at + 2]
     if serial:
@@ -86,6 +110,24 @@ def main(argv: list[str]) -> int:
     for table in tables:
         print(table.to_markdown() if markdown else table.render())
         print()
+    if manifest_path is not None:
+        from .manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            command=list(argv),
+            config={
+                "quick": quick,
+                "markdown": markdown,
+                "jobs": n_jobs,
+                "ids": ids,
+                "exact_transport": "--exact-transport" in argv,
+            },
+            tables=tables,
+            markdown=markdown,
+            started=started,
+        )
+        write_manifest(manifest_path, manifest)
+        print(f"# manifest: {manifest_path}", file=sys.stderr)
     return 0
 
 

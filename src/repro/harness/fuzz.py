@@ -630,10 +630,44 @@ def fuzz_main(argv: list[str]) -> int:
             print(f"[{i + 1}/{n_plans}] {case.target} seed={case.seed}: {mark}",
                   file=sys.stderr)
 
+    import time as _time
+
+    started = _time.time()
     campaign = fuzz_campaign(
         n_plans, root_seed, targets=targets, n_nodes=n_nodes, n_ops=n_ops,
         inject_bug=inject_bug, shrink=shrink, out_dir=out_dir, progress=progress,
     )
+    if campaign.failures and out_dir is not None:
+        # The reproducer directory exists (failures were saved into it);
+        # attach a campaign manifest describing the run that produced them.
+        from .manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            command=["fuzz"] + list(argv),
+            config={
+                "plans": n_plans, "nodes": n_nodes, "ops": n_ops,
+                "targets": list(targets), "inject_bug": inject_bug,
+                "shrink": shrink,
+            },
+            seed=root_seed,
+            started=started,
+            extra={
+                "cases_run": campaign.cases_run,
+                "by_target": campaign.by_target,
+                "failures": [
+                    {
+                        "target": rec.case.target,
+                        "seed": rec.case.seed,
+                        "signature": rec.signature,
+                        "events_before": len(rec.case.plan.events),
+                        "events_after": len(rec.minimized.plan.events),
+                        "shrink_runs": rec.shrink_runs,
+                    }
+                    for rec in campaign.failures
+                ],
+            },
+        )
+        write_manifest(Path(out_dir) / "campaign-manifest.json", manifest)
     counts = ", ".join(f"{t}={c}" for t, c in sorted(campaign.by_target.items()))
     print(f"# fuzz: {campaign.cases_run} plans ({counts}), "
           f"{len(campaign.failures)} distinct failure(s)")
@@ -661,19 +695,86 @@ def fuzz_main(argv: list[str]) -> int:
 
 
 def replay_main(argv: list[str]) -> int:
-    """``python -m repro.harness replay <file>``: re-run a reproducer."""
-    paths = [a for a in argv if not a.startswith("-")]
+    """``python -m repro.harness replay [--trace [--out DIR]] <file>``.
+
+    ``--trace`` re-runs the reproducer with the structured tracer
+    installed and exports the replay's event log (JSONL + Chrome trace +
+    manifest) next to a span summary on stderr — the forensic view of
+    *what the minimized schedule actually did*.  Tracing is observation
+    only, so the replay verdict is identical with and without it.
+    """
+    args = list(argv)
+    trace = "--trace" in args
+    args = [a for a in args if a != "--trace"]
+    out_dir = _flag_value(args, "--out", None)
+    paths = [a for a in args if not a.startswith("-")]
     if len(paths) != 1:
-        print("usage: python -m repro.harness replay <reproducer.json>",
-              file=sys.stderr)
+        print("usage: python -m repro.harness replay [--trace [--out DIR]] "
+              "<reproducer.json>", file=sys.stderr)
         return 2
+    import time as _time
+
+    started = _time.time()
     try:
-        reproduced, result, expected = replay_reproducer(paths[0])
+        if trace:
+            from ..sim.trace import Tracer, tracing
+
+            case, expected, _message = load_reproducer(paths[0])
+            tracer = Tracer()
+            with tracing(tracer):
+                result = run_case(case)
+            reproduced = result.signature == expected
+        else:
+            reproduced, result, expected = replay_reproducer(paths[0])
     except (OSError, ValueError, ReproError) as exc:
         print(f"cannot replay {paths[0]}: {exc}", file=sys.stderr)
         return 2
+    if trace:
+        _export_replay_trace(
+            tracer, case, result, paths[0], out_dir, started, list(argv)
+        )
     if reproduced:
         print(f"reproduced: {expected}\n  {result.message}")
         return 0
     print(f"did NOT reproduce: expected {expected}, got {result.signature or 'PASS'}")
     return 1
+
+
+def _export_replay_trace(
+    tracer, case: FuzzCase, result: CaseResult, repro_path, out_dir, started,
+    argv,
+) -> None:
+    """Write the traced replay's artifacts; failures here never mask the verdict."""
+    import json as _json
+
+    from .manifest import build_manifest, write_manifest
+    from .trace_export import (
+        events_to_jsonl,
+        span_summary_table,
+        to_chrome_trace,
+    )
+
+    stem = Path(repro_path).stem
+    out = Path(out_dir) if out_dir else Path("trace-out") / stem
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "events.jsonl").write_text(events_to_jsonl(tracer))
+    chrome = to_chrome_trace(tracer)
+    (out / "trace.json").write_text(
+        _json.dumps(chrome, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    table = span_summary_table(tracer, title=f"replay {stem}")
+    manifest = build_manifest(
+        command=["replay"] + argv,
+        config={"reproducer": str(repro_path), "target": case.target},
+        seed=case.seed,
+        fault_plan=case.plan.to_dict(),
+        tables=[table],
+        started=started,
+        extra={
+            "events": len(tracer),
+            "outcome": result.signature or "pass",
+        },
+    )
+    write_manifest(out / "manifest.json", manifest)
+    print(table.render(), file=sys.stderr)
+    print(f"# traced replay: {len(tracer)} events -> {out}", file=sys.stderr)

@@ -1,0 +1,122 @@
+"""Run manifests: what ran, from which tree, producing which tables.
+
+Every harness artifact (experiment tables, fuzz campaigns, traced runs,
+reproducer replays) can be accompanied by a small JSON manifest capturing
+the five things needed to trust — or re-run — the output later:
+
+* the exact **command/config** (argv, seeds, grid knobs, fault plan),
+* the **git SHA** of the working tree (plus a dirty flag),
+* **wall-clock** timing,
+* **table hashes** — sha256 over the exact rendered text of every table
+  the run printed/wrote, so "did anything change?" is one hash compare,
+* environment basics (python version, platform).
+
+Manifests are additive observability: nothing reads them back at runtime
+and the primary outputs (stdout tables, reproducer JSON schema) are
+byte-identical with and without them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "git_describe",
+    "sha256_text",
+    "table_hashes",
+    "build_manifest",
+    "write_manifest",
+]
+
+MANIFEST_SCHEMA = 1
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def git_describe(cwd: str | None = None) -> dict:
+    """The working tree's commit SHA and dirty flag; graceful off-git.
+
+    Returns ``{"sha": None, "dirty": None}`` when git (or a repository)
+    is unavailable — manifests must never fail a run.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        if sha.returncode != 0:
+            return {"sha": None, "dirty": None}
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return {"sha": sha.stdout.strip(), "dirty": dirty}
+    except (OSError, subprocess.SubprocessError):
+        return {"sha": None, "dirty": None}
+
+
+def table_hashes(tables, markdown: bool = False) -> dict[str, dict]:
+    """sha256 of each table's exact rendered text, keyed by experiment id.
+
+    ``markdown`` must match how the run actually printed/wrote the
+    tables, so the hash verifies the bytes the user has.
+    """
+    out: dict[str, dict] = {}
+    for table in tables:
+        text = table.to_markdown() if markdown else table.render()
+        out[table.exp_id] = {
+            "sha256": sha256_text(text),
+            "rows": len(table.rows),
+            "format": "markdown" if markdown else "text",
+        }
+    return out
+
+
+def build_manifest(
+    *,
+    command: list[str] | str,
+    config: dict | None = None,
+    seed: int | None = None,
+    fault_plan: dict | None = None,
+    tables=None,
+    markdown: bool = False,
+    started: float | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble a manifest dict; ``started`` is a ``time.time()`` stamp."""
+    now = time.time()
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "command": command,
+        "config": config or {},
+        "seed": seed,
+        "fault_plan": fault_plan,
+        "git": git_describe(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "finished_unix": now,
+        "wall_clock_s": (now - started) if started is not None else None,
+    }
+    if tables is not None:
+        manifest["tables"] = table_hashes(tables, markdown=markdown)
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: str | Path, manifest: dict) -> Path:
+    """Write a manifest as stable (sorted-key) JSON, creating parent dirs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path

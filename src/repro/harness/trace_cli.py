@@ -1,0 +1,151 @@
+"""The ``harness trace`` subcommand: run one scenario with tracing on.
+
+Usage::
+
+    python -m repro.harness trace <target> [--nodes N] [--ops K] [--seed S]
+                                           [--out DIR] [--faults] [--markdown]
+
+``<target>`` is any fuzz-harness target (``skeap``, ``seap``, ``skack``,
+``kselect``, ``linearize``, ``skeap-async``, ``seap-async``) — the same
+deterministic drivers the fuzzer uses, here with a clean transport by
+default (``--faults`` runs the target's seeded fault plan instead, so
+fault events show up on the network track).
+
+Artifacts written to ``--out`` (default ``trace-out/<target>-s<seed>``):
+
+* ``events.jsonl`` — the raw event log, one JSON object per line;
+* ``trace.json`` — Chrome trace-event format, loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``;
+* ``manifest.json`` — run manifest (command, seeds, fault plan, git SHA,
+  wall-clock, sha256 of the printed span table).
+
+The span summary table is printed to stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..sim.faults import FaultPlan
+from ..sim.trace import OP, Tracer, tracing
+from .fuzz import FuzzCase, TARGET_NAMES, _flag_value, generate_plan, run_case
+from .manifest import build_manifest, write_manifest
+from .trace_export import (
+    events_to_jsonl,
+    span_summary_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = ["trace_scenario", "trace_main"]
+
+
+def trace_scenario(
+    target: str,
+    n_nodes: int = 8,
+    n_ops: int = 32,
+    seed: int = 0,
+    with_faults: bool = False,
+):
+    """Run one target under a fresh tracer; returns ``(tracer, result)``."""
+    plan = (
+        generate_plan(seed, n_nodes, churn=not target.endswith("-async"))
+        if with_faults
+        else FaultPlan(seed=seed)
+    )
+    case = FuzzCase(
+        target=target, n_nodes=n_nodes, n_ops=n_ops, seed=seed, plan=plan
+    )
+    tracer = Tracer()
+    with tracing(tracer):
+        result = run_case(case)
+    return tracer, result, case
+
+
+def trace_main(argv: list[str]) -> int:
+    """``python -m repro.harness trace <target> [...]``"""
+    args = list(argv)
+    n_nodes = int(_flag_value(args, "--nodes", 8))
+    n_ops = int(_flag_value(args, "--ops", 32))
+    seed = int(_flag_value(args, "--seed", 0))
+    out_dir = _flag_value(args, "--out", None)
+    markdown = "--markdown" in args
+    with_faults = "--faults" in args
+    args = [a for a in args if a not in ("--markdown", "--faults")]
+    targets = [a for a in args if not a.startswith("-")]
+    flags = [a for a in args if a.startswith("-")]
+    if flags:
+        print(f"unknown trace arguments: {flags}", file=sys.stderr)
+        return 2
+    if len(targets) != 1 or targets[0] not in TARGET_NAMES:
+        print(
+            "usage: python -m repro.harness trace <target> "
+            "[--nodes N] [--ops K] [--seed S] [--out DIR] [--faults] "
+            f"[--markdown]\n  targets: {', '.join(TARGET_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    target = targets[0]
+    started = time.time()
+    tracer, result, case = trace_scenario(
+        target, n_nodes=n_nodes, n_ops=n_ops, seed=seed, with_faults=with_faults
+    )
+    if result.failed:
+        print(
+            f"scenario failed ({result.signature}): {result.message}",
+            file=sys.stderr,
+        )
+        # Still export what was traced — a failing run is when the trace
+        # is most valuable — but exit non-zero.
+
+    title = f"{target} n={n_nodes} ops={n_ops} seed={seed}"
+    table = span_summary_table(tracer, title=title)
+    rendered = table.to_markdown() if markdown else table.render()
+
+    chrome = to_chrome_trace(tracer)
+    problems = validate_chrome_trace(chrome)
+    if problems:
+        for p in problems[:10]:
+            print(f"trace validation: {p}", file=sys.stderr)
+        return 1
+
+    out = Path(out_dir) if out_dir else Path("trace-out") / f"{target}-s{seed}"
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "events.jsonl").write_text(events_to_jsonl(tracer))
+    (out / "trace.json").write_text(
+        json.dumps(chrome, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    submits = sum(1 for e in tracer.of_kind(OP) if e.data.get("ev") == "submit")
+    manifest = build_manifest(
+        command=["trace"] + list(argv),
+        config={
+            "target": target,
+            "n_nodes": n_nodes,
+            "n_ops": n_ops,
+            "faults": with_faults,
+        },
+        seed=seed,
+        fault_plan=case.plan.to_dict(),
+        tables=[table],
+        markdown=markdown,
+        started=started,
+        extra={
+            "events": len(tracer),
+            "submitted_ops": submits,
+            "outcome": result.signature or "pass",
+        },
+    )
+    write_manifest(out / "manifest.json", manifest)
+
+    print(rendered)
+    print()
+    print(
+        f"# wrote {out / 'events.jsonl'} ({len(tracer)} events), "
+        f"{out / 'trace.json'} ({len(chrome['traceEvents'])} trace events), "
+        f"{out / 'manifest.json'}",
+        file=sys.stderr,
+    )
+    return 1 if result.failed else 0

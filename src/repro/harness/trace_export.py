@@ -1,0 +1,458 @@
+"""Trace exporters: op-span reconstruction, JSONL and Chrome trace-event.
+
+Consumes the event log a :class:`repro.sim.trace.Tracer` collected and
+produces the three artifacts of the tracing CLI:
+
+* **JSONL** — one sorted-key JSON object per event, in emission order.
+  The stable, diff-able ground truth: two identical runs produce
+  byte-identical files (``Message.seq`` is normalized per run).
+* **Chrome trace-event JSON** — loadable in Perfetto (ui.perfetto.dev)
+  or ``chrome://tracing``.  The clock is the simulation clock: under the
+  synchronous driver one round maps to 1 ms of trace time, so the round
+  structure is directly readable off the timeline.  Heap operations
+  appear as complete ("X") slices on one track per submitting node,
+  iteration/epoch machinery as slices on per-protocol tracks, and
+  network faults plus protocol-phase transitions as instant events.
+* **Span summary** — a :class:`~repro.harness.tables.Table` aggregating
+  the reconstructed spans per operation kind (count, completion,
+  per-phase round means/maxima, exclusive message/bit attribution).
+
+The **span model**: each heap operation's lifecycle events (``submit`` →
+``batched`` → ``dht`` → ``done``) bound three phases —
+
+* *buffered*: submitted, waiting for the node's next batch snapshot;
+* *batch*: riding the shared iteration/epoch machinery (aggregation,
+  assignment, decomposition — cost collective, attributed to the
+  ``("skeap-it", i)`` / ``("seap-ep", e)`` group context);
+* *dht*: the op's exclusive DHT request and the routing it spawns
+  (messages and flight hops carrying the op's own context).
+
+⊥-resolved DeleteMins have an empty dht phase: they complete at interval
+decomposition, so ``done`` coincides with the end of the batch phase.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..sim.trace import (
+    DELIVER,
+    FAULT,
+    FLIGHT,
+    HOP,
+    LAND,
+    NODE,
+    OP,
+    OP_CTX,
+    PHASE,
+    SEND,
+    TraceEvent,
+    Tracer,
+)
+from .tables import Table
+
+__all__ = [
+    "OpSpan",
+    "GroupSpan",
+    "build_spans",
+    "build_group_spans",
+    "events_to_jsonl",
+    "to_chrome_trace",
+    "span_summary_table",
+    "validate_chrome_trace",
+]
+
+#: trace-time units per simulation time unit (1 round -> 1 ms shown).
+_US_PER_UNIT = 1000.0
+
+
+@dataclass(slots=True)
+class OpSpan:
+    """One heap operation reconstructed end to end from its trace events."""
+
+    op: tuple[int, int]  # (owner, seq)
+    kind: str  # "ins" | "del"
+    node: int | None = None  # submitting virtual node
+    priority: int | None = None
+    group: tuple | None = None  # ("skeap-it", i) / ("seap-ep", e)
+    submit_ts: float | None = None
+    batched_ts: float | None = None
+    dht_ts: float | None = None
+    done_ts: float | None = None
+    result: object = None
+    #: exclusive cost: messages/flight hops carrying this op's context
+    msgs: int = 0
+    bits: int = 0
+    hops: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.submit_ts is not None and self.done_ts is not None
+
+    @property
+    def rounds(self) -> float | None:
+        """End-to-end duration in simulation time units."""
+        if not self.complete:
+            return None
+        return self.done_ts - self.submit_ts
+
+    def phase_durations(self) -> dict[str, float]:
+        """Per-phase durations; missing boundaries collapse to zero."""
+        if not self.complete:
+            return {}
+        batched = self.batched_ts if self.batched_ts is not None else self.submit_ts
+        dht = self.dht_ts if self.dht_ts is not None else self.done_ts
+        return {
+            "buffered": max(batched - self.submit_ts, 0.0),
+            "batch": max(dht - batched, 0.0),
+            "dht": max(self.done_ts - dht, 0.0),
+        }
+
+    def to_dict(self) -> dict:
+        d = {
+            "op": list(self.op),
+            "kind": self.kind,
+            "node": self.node,
+            "priority": self.priority,
+            "group": list(self.group) if self.group else None,
+            "submit_ts": self.submit_ts,
+            "batched_ts": self.batched_ts,
+            "dht_ts": self.dht_ts,
+            "done_ts": self.done_ts,
+            "result": self.result,
+            "msgs": self.msgs,
+            "bits": self.bits,
+            "hops": self.hops,
+            "complete": self.complete,
+        }
+        d["phases"] = self.phase_durations()
+        return d
+
+
+@dataclass(slots=True)
+class GroupSpan:
+    """The shared batch machinery of one iteration/epoch."""
+
+    group: tuple  # ("skeap-it", i) / ("seap-ep", e)
+    first_ts: float | None = None
+    last_ts: float | None = None
+    msgs: int = 0
+    bits: int = 0
+    hops: int = 0
+    ops: int = 0  # operations batched into this group
+    phases: list[tuple[float, str]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "group": list(self.group),
+            "first_ts": self.first_ts,
+            "last_ts": self.last_ts,
+            "msgs": self.msgs,
+            "bits": self.bits,
+            "hops": self.hops,
+            "ops": self.ops,
+            "phases": [[ts, name] for ts, name in self.phases],
+        }
+
+
+def _is_op_ctx(ctx) -> bool:
+    return ctx is not None and len(ctx) == 3 and ctx[0] == OP_CTX
+
+
+def build_spans(events: Iterable[TraceEvent]) -> list[OpSpan]:
+    """Reconstruct one :class:`OpSpan` per heap operation.
+
+    Lifecycle boundaries come from ``op`` events; exclusive costs from
+    the network events stamped with the op's own causal context.
+    """
+    spans: dict[tuple[int, int], OpSpan] = {}
+
+    def span_of(op: tuple[int, int]) -> OpSpan:
+        sp = spans.get(op)
+        if sp is None:
+            sp = spans[op] = OpSpan(op=op, kind="?")
+        return sp
+
+    for e in events:
+        if e.kind == OP:
+            op = (e.ctx[1], e.ctx[2])
+            sp = span_of(op)
+            ev = e.data.get("ev")
+            if ev == "submit":
+                sp.submit_ts = e.ts
+                sp.kind = e.data.get("kind", sp.kind)
+                sp.node = e.data.get("node")
+                sp.priority = e.data.get("priority")
+            elif ev == "batched":
+                sp.batched_ts = e.ts
+                if "it" in e.data:
+                    sp.group = ("skeap-it", e.data["it"])
+                elif "ep" in e.data:
+                    sp.group = ("seap-ep", e.data["ep"])
+            elif ev == "dht":
+                if sp.dht_ts is None:
+                    sp.dht_ts = e.ts
+            elif ev == "done":
+                sp.done_ts = e.ts
+                sp.result = e.data.get("result")
+        elif e.kind in (SEND, HOP) and _is_op_ctx(e.ctx):
+            sp = span_of((e.ctx[1], e.ctx[2]))
+            sp.msgs += 1
+            sp.bits += e.data.get("bits", 0)
+            if e.kind == HOP:
+                sp.hops += 1
+    return sorted(spans.values(), key=lambda s: s.op)
+
+
+def build_group_spans(events: Iterable[TraceEvent]) -> list[GroupSpan]:
+    """Aggregate the shared iteration/epoch machinery per group context."""
+    groups: dict[tuple, GroupSpan] = {}
+
+    def group_of(ctx: tuple) -> GroupSpan:
+        g = groups.get(ctx)
+        if g is None:
+            g = groups[ctx] = GroupSpan(group=ctx)
+        return g
+
+    for e in events:
+        ctx = e.ctx
+        if ctx is not None and len(ctx) == 2 and ctx[0] in ("skeap-it", "seap-ep"):
+            g = group_of(tuple(ctx))
+            if e.kind in (SEND, HOP):
+                g.msgs += 1
+                g.bits += e.data.get("bits", 0)
+                if e.kind == HOP:
+                    g.hops += 1
+            if e.kind == OP and e.data.get("ev") == "batched":
+                g.ops += 1
+            if g.first_ts is None or e.ts < g.first_ts:
+                g.first_ts = e.ts
+            if g.last_ts is None or e.ts > g.last_ts:
+                g.last_ts = e.ts
+        elif e.kind == PHASE:
+            proto = e.data.get("proto")
+            if proto == "skeap" and "it" in e.data:
+                g = group_of(("skeap-it", e.data["it"]))
+            elif proto in ("seap", "kselect") and "ep" in e.data:
+                g = group_of(("seap-ep", e.data["ep"]))
+            else:
+                continue
+            g.phases.append((e.ts, e.data.get("name", "?")))
+            if g.first_ts is None or e.ts < g.first_ts:
+                g.first_ts = e.ts
+            if g.last_ts is None or e.ts > g.last_ts:
+                g.last_ts = e.ts
+    return sorted(groups.values(), key=lambda g: (g.group[0], g.group[1]))
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def events_to_jsonl(tracer: Tracer) -> str:
+    """One sorted-key JSON object per event, in emission order."""
+    lines = [
+        json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+        for e in tracer.events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Chrome trace-event format -------------------------------------------------
+
+#: synthetic process ids for the trace's top-level tracks
+_PID_OPS = 1
+_PID_PROTO = 2
+_PID_NET = 3
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The Chrome trace-event representation of one traced run.
+
+    Loadable in Perfetto / ``chrome://tracing``: operations are complete
+    ("X") slices grouped by submitting node, iteration/epoch machinery
+    complete slices on the protocol track, faults and phase transitions
+    instant ("i") events on the network/protocol tracks.  1 simulation
+    time unit (one synchronous round) = 1 ms of trace time.
+    """
+    events = tracer.events
+    spans = build_spans(events)
+    groups = build_group_spans(events)
+    out: list[dict] = [
+        _meta(_PID_OPS, "process_name", name="heap operations"),
+        _meta(_PID_PROTO, "process_name", name="protocol phases"),
+        _meta(_PID_NET, "process_name", name="network"),
+    ]
+    tids: set[int] = set()
+    for sp in spans:
+        if not sp.complete:
+            continue
+        tid = sp.node if sp.node is not None else sp.op[0]
+        tids.add(tid)
+        args = sp.to_dict()
+        out.append({
+            "name": f"{sp.kind} ({sp.op[0]},{sp.op[1]})",
+            "cat": "op",
+            "ph": "X",
+            "pid": _PID_OPS,
+            "tid": tid,
+            "ts": sp.submit_ts * _US_PER_UNIT,
+            "dur": max((sp.done_ts - sp.submit_ts) * _US_PER_UNIT, 1.0),
+            "args": args,
+        })
+    for tid in tids:
+        out.append(_meta(_PID_OPS, "thread_name", tid, name=f"node {tid}"))
+    for g in groups:
+        if g.first_ts is None:
+            continue
+        out.append({
+            "name": f"{g.group[0]} {g.group[1]}",
+            "cat": "batch",
+            "ph": "X",
+            "pid": _PID_PROTO,
+            "tid": 0,
+            "ts": g.first_ts * _US_PER_UNIT,
+            "dur": max((g.last_ts - g.first_ts) * _US_PER_UNIT, 1.0),
+            "args": g.to_dict(),
+        })
+    out.append(_meta(_PID_PROTO, "thread_name", 0, name="iterations/epochs"))
+    out.append(_meta(_PID_PROTO, "thread_name", 1, name="phase marks"))
+    out.append(_meta(_PID_NET, "thread_name", 0, name="faults"))
+    out.append(_meta(_PID_NET, "thread_name", 1, name="membership"))
+    for e in events:
+        if e.kind == PHASE:
+            out.append({
+                "name": f"{e.data.get('proto', '?')}:{e.data.get('name', '?')}",
+                "cat": "phase",
+                "ph": "i",
+                "s": "g",
+                "pid": _PID_PROTO,
+                "tid": 1,
+                "ts": e.ts * _US_PER_UNIT,
+                "args": dict(e.data),
+            })
+        elif e.kind == FAULT:
+            out.append({
+                "name": f"fault:{e.data.get('fault', '?')}",
+                "cat": "fault",
+                "ph": "i",
+                "s": "g",
+                "pid": _PID_NET,
+                "tid": 0,
+                "ts": e.ts * _US_PER_UNIT,
+                "args": dict(e.data),
+            })
+        elif e.kind == NODE:
+            out.append({
+                "name": f"node:{e.data.get('ev', '?')} {e.data.get('node')}",
+                "cat": "lifecycle",
+                "ph": "i",
+                "s": "g",
+                "pid": _PID_NET,
+                "tid": 1,
+                "ts": e.ts * _US_PER_UNIT,
+                "args": dict(e.data),
+            })
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def _meta(pid: int, name: str, tid: int = 0, /, **args) -> dict:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid, "args": args}
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Schema check for the exporter's output; returns a list of problems.
+
+    Checks the trace-event contract Perfetto/about:tracing rely on:
+    the ``traceEvents`` envelope, per-event required keys by phase type,
+    numeric non-negative timestamps/durations, and JSON-serializability.
+    An empty list means the trace is valid.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return ["trace is not an object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    try:
+        json.dumps(trace)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"not JSON-serializable: {exc}")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: unsupported ph {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur <= 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph == "i" and ev.get("s") not in ("g", "p", "t", None):
+            problems.append(f"{where}: bad instant scope {ev.get('s')!r}")
+    return problems
+
+
+# -- span summary --------------------------------------------------------------
+
+
+def span_summary_table(tracer: Tracer, title: str = "traced run") -> Table:
+    """Aggregate the reconstructed spans into a printable summary."""
+    spans = build_spans(tracer.events)
+    groups = build_group_spans(tracer.events)
+    table = Table(
+        exp_id="TRACE",
+        title=f"op-span summary — {title}",
+        claim="each Insert/DeleteMin is one end-to-end span "
+        "(buffered -> batch -> dht phases; exclusive msgs/bits/hops)",
+        headers=[
+            "kind", "ops", "complete", "mean rounds", "max rounds",
+            "mean buffered", "mean batch", "mean dht",
+            "mean msgs", "mean bits", "mean hops",
+        ],
+    )
+    by_kind: dict[str, list[OpSpan]] = {}
+    for sp in spans:
+        by_kind.setdefault(sp.kind, []).append(sp)
+    for kind in sorted(by_kind):
+        ss = by_kind[kind]
+        done = [s for s in ss if s.complete]
+        if done:
+            phases = [s.phase_durations() for s in done]
+            mean = lambda vals: sum(vals) / len(vals)  # noqa: E731
+            table.add_row(
+                kind, len(ss), len(done),
+                mean([s.rounds for s in done]),
+                max(s.rounds for s in done),
+                mean([p["buffered"] for p in phases]),
+                mean([p["batch"] for p in phases]),
+                mean([p["dht"] for p in phases]),
+                mean([s.msgs for s in done]),
+                mean([s.bits for s in done]),
+                mean([s.hops for s in done]),
+            )
+        else:
+            table.add_row(kind, len(ss), 0, "-", "-", "-", "-", "-", "-", "-", "-")
+    n_groups = len(groups)
+    shared_msgs = sum(g.msgs for g in groups)
+    shared_bits = sum(g.bits for g in groups)
+    table.add_note(
+        f"{n_groups} iteration/epoch group(s) carry the shared batch "
+        f"machinery: {shared_msgs} msgs / {shared_bits} bits total"
+    )
+    incomplete = sum(1 for s in spans if not s.complete)
+    if incomplete:
+        table.add_note(f"{incomplete} span(s) incomplete at end of trace")
+    return table

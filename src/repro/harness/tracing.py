@@ -91,20 +91,36 @@ def _sparkline(values: list[int], width: int = 60) -> str:
 
 
 def render_activity(metrics, top_actions: int = 6) -> str:
-    """Per-round congestion sparkline and the run's action mix."""
+    """Per-round congestion sparkline and the run's action mix.
+
+    Accepts any metrics-shaped object and degrades gracefully: a
+    :class:`~repro.sim.metrics.MetricsSnapshot` (no per-round history, no
+    action counters) and a lean-mode :class:`~repro.sim.metrics.
+    MetricsCollector` (``detail=False``) each render their scalar summary
+    plus an informative note about what is missing and how to enable it —
+    they never raise from inside the renderer.
+    """
     lines = [
         f"rounds={metrics.rounds}  messages={metrics.messages}  "
         f"peak congestion={metrics.congestion}  max message={metrics.max_message_bits}b",
-        "congestion/round: " + _sparkline(metrics.congestion_by_round),
     ]
-    if metrics.action_counts is None:
+    by_round = getattr(metrics, "congestion_by_round", None)
+    if by_round is None:
+        lines.append(
+            "congestion/round: (per-round history unavailable: "
+            "snapshot — render the live MetricsCollector instead)"
+        )
+    else:
+        lines.append("congestion/round: " + _sparkline(by_round))
+    actions = getattr(metrics, "action_counts", None)
+    if actions is None:
         lines.append(
             "  (action mix unavailable: lean metrics; "
             "enable with metrics_detail=True)"
         )
         return "\n".join(lines)
-    total = sum(metrics.action_counts.values()) or 1
-    for action, count in metrics.action_counts.most_common(top_actions):
+    total = sum(actions.values()) or 1
+    for action, count in actions.most_common(top_actions):
         share = 100.0 * count / total
         bar = "#" * max(1, int(share / 2))
         lines.append(f"  {action:<14} {count:>8}  {share:5.1f}% {bar}")

@@ -32,6 +32,7 @@ from typing import Callable
 from ..element import PrioKey
 from ..errors import ProtocolError
 from ..overlay.aggregation import AggSpec, sum_combine, vector_sum_combine
+from ..sim.trace import PHASE
 from .candidates import CandidateSet
 from .sorting import SortingMixin
 
@@ -152,6 +153,9 @@ class KSelectMixin(SortingMixin):
             n=self.view.n_estimate,
             on_complete=on_complete,
         )
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(PHASE, proto="kselect", name="begin", session=session, k=k)
         self.bcast(("ksB", session), None)
 
     # -- session setup -----------------------------------------------------------
@@ -199,6 +203,12 @@ class KSelectMixin(SortingMixin):
     def _p1_start(self, run: KSelectRun) -> None:
         run.p1_left -= 1
         run.p1_iter += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                PHASE, proto="kselect", name="p1",
+                session=run.session, it=run.p1_iter, N=run.N,
+            )
         self.bcast(("ks1", run.session, run.p1_iter), (run.k_left, run.n))
 
     def _bc_p1_ranks(self, tag, payload) -> None:
@@ -255,6 +265,12 @@ class KSelectMixin(SortingMixin):
     def _p2_start(self, run: KSelectRun, exact: bool) -> None:
         run.p2_iter += 1
         run.exact = exact
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                PHASE, proto="kselect", name="p3" if exact else "p2",
+                session=run.session, it=run.p2_iter, N=run.N,
+            )
         run.token = (run.session, run.p2_iter)
         prob = 1.0 if exact else min(
             1.0, run.sample_boost * math.sqrt(max(run.n, 1)) / max(run.N, 1)
@@ -417,6 +433,12 @@ class KSelectMixin(SortingMixin):
 
     def _gather_start(self, run: KSelectRun) -> None:
         run.stats["gather_fallback"] = True
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                PHASE, proto="kselect", name="gather",
+                session=run.session, N=run.N,
+            )
         self.bcast(("ksG", run.session, run.p2_iter), None)
 
     def _bc_gather(self, tag, payload) -> None:
@@ -441,6 +463,12 @@ class KSelectMixin(SortingMixin):
         run.stats["final_N"] = run.N
         #: kept for experiment T5 (survivor counts per stage)
         self.ks_last_stats = dict(run.stats)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                PHASE, proto="kselect", name="finished",
+                session=run.session, result=list(result),
+            )
         self.bcast(("ksF", run.session), result)
         run.on_complete(run.session, result)
         del self._ks_runs[run.session]

@@ -33,6 +33,7 @@ from ..overlay.aggregation import AggSpec, sum_combine
 from ..overlay.base import OverlayNode
 from ..overlay.ldb import LocalView
 from ..semantics.history import DELETE, INSERT, History
+from ..sim.trace import OP, PHASE, op_ctx
 from ..skeap.protocol import OpHandle
 from ..kselect.protocol import KSelectMixin
 
@@ -116,6 +117,12 @@ class SeapNode(OverlayNode, KSelectMixin):
         self.buffered_inserts.append(handle)
         if self.history is not None:
             self.history.record_submit(handle.op_id, INSERT, priority, handle.uid)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit_ctx(
+                OP, op_ctx(handle.op_id), ev="submit", kind=INSERT,
+                node=self.id, priority=priority,
+            )
         return handle
 
     def submit_delete_min(self) -> OpHandle:
@@ -123,6 +130,9 @@ class SeapNode(OverlayNode, KSelectMixin):
         self.buffered_deletes.append(handle)
         if self.history is not None:
             self.history.record_submit(handle.op_id, DELETE)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit_ctx(OP, op_ctx(handle.op_id), ev="submit", kind=DELETE, node=self.id)
         return handle
 
     def _take_seq(self) -> int:
@@ -165,6 +175,10 @@ class SeapNode(OverlayNode, KSelectMixin):
         self._move_interval_done = False
         self._insert_snapshot = list(self.buffered_inserts)
         self.buffered_inserts.clear()
+        tr = self.tracer
+        if tr is not None:
+            for h in self._insert_snapshot:
+                tr.emit_ctx(OP, op_ctx(h.op_id), ev="batched", ep=epoch)
         self.agg_contribute(("spIc", epoch), len(self._insert_snapshot))
 
     def _rt_insert_count(self, tag, total: int) -> None:
@@ -173,15 +187,24 @@ class SeapNode(OverlayNode, KSelectMixin):
 
     def _bc_insert_go(self, tag, payload) -> None:
         epoch = tag[1]
+        tr = self.tracer
+        prev_ctx = tr.ctx if tr is not None else None
         for handle in self._insert_snapshot:
             element = Element(handle.priority, handle.uid, handle.value)
             key = self.keyspace.uniform_key(epoch, self.id, handle.op_id[1])
+            if tr is not None:
+                # Causality boundary: the go-signal turns into this op's
+                # exclusive DHT Put (and the routing it spawns).
+                tr.ctx = op_ctx(handle.op_id)
+                tr.emit(OP, ev="dht", op_kind="put", ep=epoch)
             request_id = self.dht_put(key, element)
             self._pending_put_acks[request_id] = handle
             if self.history is not None:
                 self.history.record_order(
                     handle.op_id, (epoch, 0, handle.op_id[0], handle.op_id[1])
                 )
+        if tr is not None:
+            tr.ctx = prev_ctx
         self._insert_snapshot = []
         self._maybe_insert_done(epoch)
 
@@ -198,12 +221,22 @@ class SeapNode(OverlayNode, KSelectMixin):
         epoch = tag[1]
         self._delete_snapshot = list(self.buffered_deletes)
         self.buffered_deletes.clear()
+        tr = self.tracer
+        if tr is not None:
+            for h in self._delete_snapshot:
+                tr.emit_ctx(OP, op_ctx(h.op_id), ev="batched", ep=epoch)
         self.agg_contribute(("spDc", epoch), len(self._delete_snapshot))
 
     def _rt_delete_count(self, tag, total: int) -> None:
         epoch = tag[1]
         self._epoch_deletes = total
         self._epoch_k = min(total, self.m_total)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                PHASE, proto="seap", name="delete_phase", ep=epoch,
+                deletes=total, k=self._epoch_k,
+            )
         if total == 0:
             # Nothing to delete anywhere: straight to the next insert phase.
             self._next_epoch(epoch + 1)
@@ -239,6 +272,9 @@ class SeapNode(OverlayNode, KSelectMixin):
                 f"epoch {epoch}: {total} elements ≤ threshold, expected {self._epoch_k}"
             )
         self.m_total -= self._epoch_k
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(PHASE, proto="seap", name="move", ep=epoch, k=self._epoch_k)
         # Positions [1, k] for moved elements, and the same interval carved
         # up over the DeleteMin requesters (excess requests resolve ⊥).
         self.agg_distribute(("spTc", epoch), (1, self._epoch_k))
@@ -277,9 +313,14 @@ class SeapNode(OverlayNode, KSelectMixin):
         start, limit, expect_moves = part
         if not expect_moves:
             self._move_interval_done = True
+        tr = self.tracer
+        prev_ctx = tr.ctx if tr is not None else None
         for offset, handle in enumerate(self._delete_snapshot):
             pos = start + offset
             if pos <= limit:
+                if tr is not None:
+                    tr.ctx = op_ctx(handle.op_id)
+                    tr.emit(OP, ev="dht", op_kind="get", ep=epoch, pos=pos)
                 request_id = self.dht_get(self.keyspace.seap_position_key(epoch, pos))
                 self._pending_gets[request_id] = handle
             else:
@@ -290,6 +331,10 @@ class SeapNode(OverlayNode, KSelectMixin):
                         handle.op_id, (epoch, 1) + _BOT_KEY + handle.op_id
                     )
                     self.history.record_bot(handle.op_id)
+                if tr is not None:
+                    tr.emit_ctx(OP, op_ctx(handle.op_id), ev="done", result="bot")
+        if tr is not None:
+            tr.ctx = prev_ctx
         self._delete_snapshot = []
         self._delete_interval_done = True
         self._maybe_delete_done(epoch)
@@ -303,6 +348,9 @@ class SeapNode(OverlayNode, KSelectMixin):
             handle.result = True
             if self.history is not None:
                 self.history.record_insert_done(handle.op_id)
+            tr = self.tracer
+            if tr is not None:
+                tr.emit_ctx(OP, op_ctx(handle.op_id), ev="done", result="stored")
             self._maybe_insert_done(self.epoch)
             return
         if request_id in self._pending_move_acks:
@@ -322,6 +370,9 @@ class SeapNode(OverlayNode, KSelectMixin):
                 handle.op_id, (self.epoch, 1) + element.key + handle.op_id
             )
             self.history.record_return(handle.op_id, element.uid)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit_ctx(OP, op_ctx(handle.op_id), ev="done", result=element.uid)
         self._maybe_delete_done(self.epoch)
 
     def _maybe_delete_done(self, epoch: int) -> None:
@@ -344,7 +395,24 @@ class SeapNode(OverlayNode, KSelectMixin):
         if self._paused:
             self._held_epoch = epoch
             return
+        self._open_epoch(epoch)
+
+    def _open_epoch(self, epoch: int) -> None:
+        """Broadcast the insert-phase signal under the epoch's trace ctx.
+
+        Causality boundary: every message the epoch's shared machinery
+        sends from here on (broadcast waves, count aggregations, KSelect)
+        inherits the ``("seap-ep", epoch)`` context ambiently.
+        """
+        tr = self.tracer
+        if tr is None:
+            self.bcast(("spI", epoch), None)
+            return
+        tr.emit(PHASE, proto="seap", name="insert_phase", ep=epoch)
+        prev = tr.ctx
+        tr.ctx = ("seap-ep", epoch)
         self.bcast(("spI", epoch), None)
+        tr.ctx = prev
 
     def pause_epochs(self) -> None:
         """Anchor: finish the running epoch, then hold (membership point)."""
@@ -354,4 +422,4 @@ class SeapNode(OverlayNode, KSelectMixin):
         self._paused = False
         if self._held_epoch is not None:
             epoch, self._held_epoch = self._held_epoch, None
-            self.bcast(("spI", epoch), None)
+            self._open_epoch(epoch)

@@ -14,6 +14,7 @@ from .metrics import MetricsCollector, MetricsSnapshot
 from .node import ProtocolNode, SimContext
 from .rng import PseudoRandomHash, RngRegistry, derive_seed
 from .sync_runner import SyncRunner
+from .trace import TraceEvent, Tracer, default_tracer, tracing
 
 __all__ = [
     "AsyncRunner",
@@ -29,10 +30,14 @@ __all__ = [
     "RngRegistry",
     "SimContext",
     "SyncRunner",
+    "TraceEvent",
+    "Tracer",
     "TransportStats",
     "adversarial_delay",
+    "default_tracer",
     "derive_seed",
     "exact_transport_default",
     "payload_size_bits",
+    "tracing",
     "uniform_delay",
 ]

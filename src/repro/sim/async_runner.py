@@ -22,6 +22,7 @@ from .message import Message
 from .metrics import MetricsCollector
 from .node import ProtocolNode
 from .rng import RngRegistry
+from .trace import DELIVER, FLIGHT, HOP, LAND, NODE, SEND, default_tracer
 
 __all__ = ["AsyncRunner", "uniform_delay", "adversarial_delay"]
 
@@ -120,6 +121,12 @@ class AsyncRunner:
         #: when an activation fires while ``wants_activation()`` is false,
         #: keeping idle nodes out of the event heap entirely.
         self._parked: dict[int, float] = {}
+        #: event bus (None = tracing disabled; every emission is guarded).
+        self.tracer = default_tracer()
+        if self.tracer is not None:
+            self.tracer.bind_clock(lambda: self._time)
+            if faults is not None:
+                faults.tracer = self.tracer
 
     # -- SimContext interface --------------------------------------------
 
@@ -130,6 +137,15 @@ class AsyncRunner:
     def transmit(self, msg: Message) -> None:
         if msg.dest not in self.nodes:
             raise SimulationError(f"message to unknown node {msg.dest}: {msg!r}")
+        tr = self.tracer
+        if tr is not None:
+            if msg.trace_ctx is None:
+                msg.trace_ctx = tr.ctx
+            tr.emit_ctx(
+                SEND, msg.trace_ctx,
+                src=msg.sender, dst=msg.dest, act=msg.action,
+                bits=msg.size_bits, seq=tr.rel_seq(msg.seq),
+            )
         stream = self.rng.stream("async", "delays")
         if self.faults is None:
             deliveries = [(0.0, msg)]
@@ -161,6 +177,14 @@ class AsyncRunner:
                 f"flight to unknown node {flight.dests[-1]}: {flight!r}"
             )
         self.flights_launched += 1
+        tr = self.tracer
+        if tr is not None:
+            flight.trace_ctx = tr.ctx
+            tr.emit_ctx(
+                FLIGHT, tr.ctx,
+                src=flight.src, dst=flight.dests[-1], act=flight.faction,
+                hops=len(flight.dests), bits=sum(flight.sizes),
+            )
         self._push_flight_hop(flight)
 
     def _push_flight_hop(self, flight: Flight) -> None:
@@ -193,6 +217,8 @@ class AsyncRunner:
             raise SimulationError(f"duplicate node id {node.id}")
         self.nodes[node.id] = node
         node.bind(self)
+        if self.tracer is not None:
+            self.tracer.emit_ctx(NODE, None, ev="register", node=node.id)
         self._maybe_active.add(node.id)
         jitter = float(
             self.rng.stream("async", "jitter").uniform(0, self._activation_period)
@@ -207,6 +233,8 @@ class AsyncRunner:
 
     def deregister(self, node_id: int) -> None:
         """Remove a node (membership Leave); pending activations are dropped."""
+        if self.tracer is not None:
+            self.tracer.emit_ctx(NODE, None, ev="deregister", node=node_id)
         del self.nodes[node_id]
         self._parked.pop(node_id, None)
         self._maybe_active.discard(node_id)
@@ -236,7 +264,17 @@ class AsyncRunner:
             if self.faults is not None and not self.faults.accept(msg):
                 return  # duplicate copy suppressed by the transport
             self.metrics.record_delivery(msg)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.ctx = msg.trace_ctx
+                tracer.emit(
+                    DELIVER,
+                    src=msg.sender, dst=msg.dest, act=msg.action,
+                    bits=msg.size_bits, seq=tracer.rel_seq(msg.seq),
+                )
             self.nodes[msg.dest].handle(msg)
+            if tracer is not None:
+                tracer.ctx = None
             # A delivery may give a parked node activation work again.
             self.wake(msg.dest)
         elif kind == self._FLIGHT:
@@ -245,6 +283,12 @@ class AsyncRunner:
             i = flight.index
             dest = flight.dests[i]
             self.metrics.record_flight_hop(flight.owners[i], flight.sizes[i])
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit_ctx(
+                    HOP, flight.trace_ctx,
+                    dst=dest, owner=flight.owners[i], bits=flight.sizes[i],
+                )
             flight.index = i + 1
             if flight.index < len(flight.dests):
                 # The legacy path forwards from inside handle(): the next
@@ -253,10 +297,17 @@ class AsyncRunner:
                 # never touched (its forwarding would be a pure no-op).
                 self._push_flight_hop(flight)
             else:
+                if tracer is not None:
+                    tracer.ctx = flight.trace_ctx
+                    tracer.emit(
+                        LAND, dst=dest, act=flight.faction, hops=flight.index
+                    )
                 self.nodes[dest].deliver_flight(
                     flight.faction, flight.origin, flight.fpayload,
                     flight.index,
                 )
+                if tracer is not None:
+                    tracer.ctx = None
             self.wake(dest)
         else:
             node = self.nodes.get(item)  # type: ignore[arg-type]

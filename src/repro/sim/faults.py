@@ -46,6 +46,7 @@ from typing import Iterable
 
 from ..errors import SimulationError
 from .message import Message
+from .trace import FAULT
 
 __all__ = [
     "FaultEvent",
@@ -201,6 +202,9 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.stats = TransportStats()
+        #: event bus set by the owning runner when tracing is enabled.
+        #: Purely observational — no decision consults it.
+        self.tracer = None
         self._sent_on: dict[tuple[int, int], int] = {}
         self._by_target: dict[tuple[int, int, int], list[FaultEvent]] = {}
         for ev in plan.message_events():
@@ -252,7 +256,8 @@ class FaultInjector:
         self.stats.sent += 1
 
         extra = 0.0
-        dropped = self._cut(src, dst, now)
+        cut = self._cut(src, dst, now)
+        dropped = cut
         dup_hold: float | None = None
         for ev in self._by_target.get((src, dst, nth), ()):
             if ev.kind == DROP:
@@ -262,17 +267,44 @@ class FaultInjector:
             elif ev.kind == DUP:
                 dup_hold = max(ev.hold, 0.0)
 
+        tr = self.tracer
+        if tr is not None and extra > 0.0:
+            tr.emit_ctx(
+                FAULT, msg.trace_ctx, fault=DELAY,
+                src=src, dst=dst, nth=nth, hold=extra,
+            )
         out: list[tuple[float, Message]] = []
         if dropped:
             self.stats.dropped += 1
+            if tr is not None:
+                tr.emit_ctx(
+                    FAULT, msg.trace_ctx, fault=DROP,
+                    src=src, dst=dst, nth=nth,
+                    why="partition" if cut else "event",
+                )
             if self.plan.reliable:
                 at = self._retransmit_at(src, dst, now)
                 if at is None:
                     self.stats.lost += 1
+                    if tr is not None:
+                        tr.emit_ctx(
+                            FAULT, msg.trace_ctx, fault="lost",
+                            src=src, dst=dst, nth=nth,
+                        )
                 else:
                     out.append((at - now + extra, msg))
+                    if tr is not None:
+                        tr.emit_ctx(
+                            FAULT, msg.trace_ctx, fault="retransmit",
+                            src=src, dst=dst, nth=nth, at=at,
+                        )
             else:
                 self.stats.lost += 1
+                if tr is not None:
+                    tr.emit_ctx(
+                        FAULT, msg.trace_ctx, fault="lost",
+                        src=src, dst=dst, nth=nth,
+                    )
         else:
             out.append((extra, msg))
 
@@ -280,6 +312,11 @@ class FaultInjector:
             base = out[0][0]
             out.append((base + dup_hold, msg))
             self.stats.duplicated += 1
+            if tr is not None:
+                tr.emit_ctx(
+                    FAULT, msg.trace_ctx, fault=DUP,
+                    src=src, dst=dst, nth=nth, hold=dup_hold,
+                )
             if self.plan.dedup:
                 self._dup_seqs.add(msg.seq)
         return out
@@ -290,6 +327,11 @@ class FaultInjector:
             return True
         if msg.seq in self._seen_seqs:
             self.stats.deduped += 1
+            if self.tracer is not None:
+                self.tracer.emit_ctx(
+                    FAULT, msg.trace_ctx, fault="dedup",
+                    src=msg.sender, dst=msg.dest,
+                )
             return False
         self._seen_seqs.add(msg.seq)
         return True

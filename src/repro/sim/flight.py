@@ -58,7 +58,7 @@ class Flight:
     """
 
     __slots__ = ("src", "dests", "owners", "sizes", "faction", "origin",
-                 "fpayload", "index")
+                 "fpayload", "index", "trace_ctx")
 
     def __init__(
         self,
@@ -78,6 +78,8 @@ class Flight:
         self.origin = origin
         self.fpayload = fpayload
         self.index = 0
+        # Causal context (repro.sim.trace); stamped at launch when tracing.
+        self.trace_ctx = None
 
     @property
     def final_dest(self) -> int:

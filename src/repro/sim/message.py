@@ -120,6 +120,10 @@ class Message:
     size_bits: int = 0
     #: Monotone id used to make delivery order deterministic.
     seq: int = field(default_factory=lambda: next(_seq))
+    #: Causal-context tuple stamped by the runner when tracing is enabled
+    #: (see :mod:`repro.sim.trace`).  Rides outside the sized payload, so
+    #: it never affects ``size_bits`` or any metric.
+    trace_ctx: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.size_bits == 0:

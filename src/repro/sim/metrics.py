@@ -27,7 +27,7 @@ run reports is bit-for-bit equal to the same number from a detail run.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 from .message import Message
@@ -37,28 +37,76 @@ __all__ = ["MetricsCollector", "MetricsSnapshot"]
 
 @dataclass(frozen=True, slots=True)
 class MetricsSnapshot:
-    """Immutable cumulative counters, used to delimit phase windows."""
+    """Immutable cumulative counters, used to delimit phase windows.
+
+    Snapshots taken by :meth:`MetricsCollector.snapshot` keep a private
+    reference to their collector, so :meth:`diff` can recover *exact*
+    window maxima from the per-round history instead of the cumulative
+    upper bound.  The reference never crosses a pickle boundary (it is
+    dropped by ``__reduce__``) and does not participate in equality.
+    """
 
     rounds: int
     messages: int
     bits: int
     max_message_bits: int
     congestion: int
+    #: the collector this snapshot was taken from (None once pickled or
+    #: when constructed by hand); lets diff() consult per-round history.
+    _source: "MetricsCollector | None" = field(
+        default=None, compare=False, repr=False
+    )
+    #: the open (not yet end_round-ed) round's peaks at snapshot time.
+    _open_congestion: int = field(default=0, compare=False, repr=False)
+    _open_max_bits: int = field(default=0, compare=False, repr=False)
 
     def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
         """Counters accumulated since ``earlier``.
 
-        ``max_message_bits`` and ``congestion`` are reported as the later
-        *cumulative* maxima, which only upper-bound the window maxima.  Use
-        :meth:`MetricsCollector.window` when the window maxima must be
-        exact — a snapshot alone has no per-round history to consult.
+        When this snapshot still knows its collector (the normal case for
+        snapshots produced by :meth:`MetricsCollector.snapshot` in the
+        same process), ``max_message_bits`` and ``congestion`` are the
+        *exact* window maxima, recovered from the collector's per-round
+        arrays — the same numbers :meth:`MetricsCollector.window` reports
+        for the same boundaries.  Only detached snapshots (hand-built, or
+        round-tripped through pickle) fall back to the later cumulative
+        maxima, which merely upper-bound the window.
         """
+        src = self._source
+        if src is not None and src is earlier._source:
+            max_bits = max(
+                src.max_bits_by_round[earlier.rounds : self.rounds], default=0
+            )
+            if self._open_max_bits > max_bits:
+                max_bits = self._open_max_bits
+            congestion = max(
+                src.congestion_by_round[earlier.rounds : self.rounds], default=0
+            )
+            if self._open_congestion > congestion:
+                congestion = self._open_congestion
+        else:
+            max_bits = self.max_message_bits
+            congestion = self.congestion
         return MetricsSnapshot(
             rounds=self.rounds - earlier.rounds,
             messages=self.messages - earlier.messages,
             bits=self.bits - earlier.bits,
-            max_message_bits=self.max_message_bits,
-            congestion=self.congestion,
+            max_message_bits=max_bits,
+            congestion=congestion,
+        )
+
+    def __reduce__(self):
+        # Detach from the collector when pickled: the per-round history
+        # (and the collector's callables) must not ride along to workers.
+        return (
+            MetricsSnapshot,
+            (
+                self.rounds,
+                self.messages,
+                self.bits,
+                self.max_message_bits,
+                self.congestion,
+            ),
         )
 
 
@@ -185,6 +233,9 @@ class MetricsCollector:
             bits=self.bits,
             max_message_bits=self.max_message_bits,
             congestion=self.congestion,
+            _source=self,
+            _open_congestion=self._round_peak,
+            _open_max_bits=self._round_max_bits,
         )
 
     def window(self, earlier: MetricsSnapshot) -> MetricsSnapshot:

@@ -83,6 +83,17 @@ class ProtocolNode:
             raise ProtocolError(f"node {self.id} used before registration")
         return self._ctx
 
+    @property
+    def tracer(self):
+        """The runner's event bus, or None when tracing is disabled.
+
+        Protocol code must guard every use with ``if tracer is not None``
+        so the disabled path stays a single attribute test (the overhead
+        contract of :mod:`repro.sim.trace`).
+        """
+        ctx = self._ctx
+        return None if ctx is None else getattr(ctx, "tracer", None)
+
     # -- the paper's primitives -------------------------------------------
 
     def send(self, dest: int, action: str, **payload: Any) -> None:

@@ -26,6 +26,7 @@ from .message import Message
 from .metrics import MetricsCollector
 from .node import ProtocolNode
 from .rng import RngRegistry
+from .trace import DELIVER, FLIGHT, HOP, LAND, NODE, SEND, default_tracer
 
 __all__ = ["SyncRunner"]
 
@@ -72,6 +73,14 @@ class SyncRunner:
         self._maybe_active: set[int] = set()
         self._delivery_rng = self.rng.stream("sync", "delivery")
         self._round = 0
+        #: event bus (None = tracing disabled; every emission is guarded).
+        #: The tracer observes only — it draws no randomness and never
+        #: touches payloads — so traced and untraced runs are bit-identical.
+        self.tracer = default_tracer()
+        if self.tracer is not None:
+            self.tracer.bind_clock(lambda: float(self._round))
+            if faults is not None:
+                faults.tracer = self.tracer
 
     # -- SimContext interface ------------------------------------------
 
@@ -83,6 +92,15 @@ class SyncRunner:
         dest = msg.dest
         if dest not in self.nodes:
             raise SimulationError(f"message to unknown node {dest}: {msg!r}")
+        tr = self.tracer
+        if tr is not None:
+            if msg.trace_ctx is None:
+                msg.trace_ctx = tr.ctx
+            tr.emit_ctx(
+                SEND, msg.trace_ctx,
+                src=msg.sender, dst=dest, act=msg.action,
+                bits=msg.size_bits, seq=tr.rel_seq(msg.seq),
+            )
         inflight = self._inflight_by_dest
         if self.faults is None:
             self._outbox.append(msg)
@@ -121,6 +139,14 @@ class SyncRunner:
         if dest not in self.nodes:
             raise SimulationError(f"flight to unknown node {dest}: {flight!r}")
         self.flights_launched += 1
+        tr = self.tracer
+        if tr is not None:
+            flight.trace_ctx = tr.ctx
+            tr.emit_ctx(
+                FLIGHT, tr.ctx,
+                src=flight.src, dst=dest, act=flight.faction,
+                hops=len(flight.dests), bits=sum(flight.sizes),
+            )
         # Only the terminal destination is tracked for the deregister
         # guard; intermediate hops never touch their node.  Membership only
         # deregisters at quiescent points, where no flights exist at all.
@@ -140,6 +166,8 @@ class SyncRunner:
             raise SimulationError(f"duplicate node id {node.id}")
         self.nodes[node.id] = node
         node.bind(self)
+        if self.tracer is not None:
+            self.tracer.emit_ctx(NODE, None, ev="register", node=node.id)
         # Every node gets one initial activation (protocol bootstrap).
         self._wake.add(node.id)
         self._maybe_active.add(node.id)
@@ -152,6 +180,8 @@ class SyncRunner:
         """Remove a node (membership Leave); its channel must be empty."""
         if self._inflight_by_dest.get(node_id, 0):
             raise SimulationError(f"cannot deregister node {node_id}: messages in flight")
+        if self.tracer is not None:
+            self.tracer.emit_ctx(NODE, None, ev="deregister", node=node_id)
         del self.nodes[node_id]
         self._inflight_by_dest.pop(node_id, None)
         self._wake.discard(node_id)
@@ -183,6 +213,7 @@ class SyncRunner:
             record = self.metrics.record_delivery
             record_hop = self.metrics.record_flight_hop
             inflight = self._inflight_by_dest
+            tracer = self.tracer
             for msg in inbox:
                 if msg.__class__ is Flight:
                     # Advance a hop-compressed flight by exactly one hop:
@@ -192,15 +223,25 @@ class SyncRunner:
                     i = msg.index
                     dest = msg.dests[i]
                     record_hop(msg.owners[i], msg.sizes[i])
+                    if tracer is not None:
+                        tracer.emit_ctx(
+                            HOP, msg.trace_ctx,
+                            dst=dest, owner=msg.owners[i], bits=msg.sizes[i],
+                        )
                     i += 1
                     if i < len(msg.dests):
                         msg.index = i
                         self._outbox.append(msg)
                     else:
                         inflight[dest] -= 1
+                        if tracer is not None:
+                            tracer.ctx = msg.trace_ctx
+                            tracer.emit(LAND, dst=dest, act=msg.faction, hops=i)
                         nodes[dest].deliver_flight(
                             msg.faction, msg.origin, msg.fpayload, i
                         )
+                        if tracer is not None:
+                            tracer.ctx = None
                         wake.add(dest)
                     continue
                 dest = msg.dest
@@ -208,7 +249,16 @@ class SyncRunner:
                 if faults is not None and not faults.accept(msg):
                     continue  # duplicate copy suppressed by the transport
                 record(msg)
+                if tracer is not None:
+                    tracer.ctx = msg.trace_ctx
+                    tracer.emit(
+                        DELIVER,
+                        src=msg.sender, dst=dest, act=msg.action,
+                        bits=msg.size_bits, seq=tracer.rel_seq(msg.seq),
+                    )
                 nodes[dest].handle(msg)
+                if tracer is not None:
+                    tracer.ctx = None
                 wake.add(dest)
         self._wake = set()
         maybe_active = self._maybe_active

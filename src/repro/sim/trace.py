@@ -1,0 +1,198 @@
+"""Structured tracing: a zero-cost-when-disabled event bus for the kernel.
+
+Aggregate counters (``repro.sim.metrics``) answer *how much*; they cannot
+answer *which* message, hop or phase a cost or a failure belongs to.  This
+module adds the causal layer: a :class:`Tracer` collects structured
+:class:`TraceEvent` records for message sends and deliveries, fault
+actions (drop/dup/delay/retransmit/dedup/partition cuts), routing-flight
+launches, hops and landings, protocol-phase transitions, and node
+lifecycle — and threads a **causal context** through all of them.
+
+The causal context is a small tuple stamped onto every message and flight
+at transmit time:
+
+* ``("op", owner, seq)`` — this message belongs to one heap operation's
+  exclusive work (its DHT Put/Get and the routing it spawns), so the
+  operation's end-to-end *span* can be reconstructed with exact per-hop
+  and per-bit attribution;
+* ``("skeap-it", i)`` / ``("seap-ep", e)`` — this message belongs to the
+  shared batch machinery of Skeap iteration ``i`` / Seap epoch ``e``
+  (aggregation, assignment, decomposition, broadcasts, KSelect), whose
+  cost is collective by construction.
+
+Propagation is ambient: the runner sets :attr:`Tracer.ctx` to the handled
+message's context before dispatching it, so every message a handler sends
+inherits its trigger's context with **no protocol code involved**.
+Protocols only set the context explicitly at causality *boundaries*: when
+a batch snapshot turns buffered ops into an iteration contribution, and
+when a decomposed assignment turns back into per-op DHT requests.
+
+The overhead contract (see ``docs/OBSERVABILITY.md``):
+
+* **disabled** (the default — no tracer installed): the only cost is one
+  ``is not None`` test on the transmit/delivery paths; no event objects,
+  no context bookkeeping;
+* **enabled**: observation only.  The tracer draws no randomness, sends
+  no messages, and never mutates payloads or sizes (the context rides
+  outside the sized payload), so metrics, tables and histories are
+  byte-identical with tracing on and off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "tracing",
+    "default_tracer",
+    "SEND",
+    "DELIVER",
+    "FLIGHT",
+    "HOP",
+    "LAND",
+    "FAULT",
+    "OP",
+    "PHASE",
+    "NODE",
+    "OP_CTX",
+    "op_ctx",
+]
+
+# -- event kinds ---------------------------------------------------------------
+
+SEND = "send"        #: a message entered the channel (one per logical send)
+DELIVER = "deliver"  #: a message was handled at its destination
+FLIGHT = "flight"    #: a hop-compressed routing flight was launched
+HOP = "hop"          #: one hop of a flight was charged (no node touched)
+LAND = "land"        #: a flight's terminal delivery
+FAULT = "fault"      #: the faulty transport acted (drop/dup/delay/... )
+OP = "op"            #: heap-operation lifecycle (submit/batched/dht/done)
+PHASE = "phase"      #: a protocol phase transition (anchor-side)
+NODE = "node"        #: node lifecycle (register/deregister/crash/restart)
+
+#: First element of a per-operation causal context tuple.
+OP_CTX = "op"
+
+
+def op_ctx(op_id) -> tuple:
+    """The causal-context tuple for one heap operation's exclusive work."""
+    return (OP_CTX, op_id[0], op_id[1])
+
+
+class TraceEvent:
+    """One structured event: a timestamp, a kind, and flat data fields.
+
+    ``ts`` is the runner's clock — the round index under the synchronous
+    driver (the paper's cost model and the Perfetto clock), simulated time
+    under the asynchronous driver.  ``ctx`` is the causal context the
+    event belongs to (or ``None`` for uncaused/ambient events).
+    """
+
+    __slots__ = ("ts", "kind", "ctx", "data")
+
+    def __init__(self, ts: float, kind: str, ctx: tuple | None, data: dict):
+        self.ts = ts
+        self.kind = kind
+        self.ctx = ctx
+        self.data = data
+
+    def to_dict(self) -> dict:
+        """A JSON-ready flat dict (tuples become lists via json.dumps)."""
+        d = {"ts": self.ts, "kind": self.kind}
+        if self.ctx is not None:
+            d["ctx"] = list(self.ctx)
+        d.update(self.data)
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.ts}, {self.kind!r}, ctx={self.ctx}, {self.data})"
+
+
+class Tracer:
+    """The event bus: an append-only log plus the ambient causal context.
+
+    A tracer is attached to a runner at construction (see
+    :func:`tracing`); the runner binds its clock and performs all
+    hot-path emission under ``if tracer is not None`` guards.  Protocol
+    code reaches the tracer through :attr:`repro.sim.node.ProtocolNode.
+    tracer` and must use the same guard.
+    """
+
+    __slots__ = ("events", "ctx", "_now", "_seq_base")
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+        #: the causal context new sends inherit (None = uncaused)
+        self.ctx: tuple | None = None
+        self._now: Callable[[], float] = lambda: 0.0
+        self._seq_base: int | None = None
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        """Adopt a runner's clock; called by the runner at attach time."""
+        self._now = now
+
+    def rel_seq(self, seq: int) -> int:
+        """Normalize a process-global ``Message.seq`` to this run.
+
+        The global counter survives across runs in one process; within a
+        single deterministic run the allocated block is contiguous, so
+        offsetting by the first observed value makes two identical runs
+        emit bit-identical sequence numbers.
+        """
+        base = self._seq_base
+        if base is None or seq < base:
+            base = self._seq_base = seq
+        return seq - base
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, kind: str, /, **data: Any) -> None:
+        """Append one event stamped with the clock and the current context.
+
+        The leading parameters are positional-only so data fields may use
+        any name (including ``kind``/``ctx``) without colliding.
+        """
+        self.events.append(TraceEvent(self._now(), kind, self.ctx, data))
+
+    def emit_ctx(self, kind: str, ctx: tuple | None, /, **data: Any) -> None:
+        """Append one event with an explicit causal context."""
+        self.events.append(TraceEvent(self._now(), kind, ctx, data))
+
+    # -- reading ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+# -- ambient installation ------------------------------------------------------
+
+#: Stack of ambient tracers; runners adopt the top entry at construction.
+_ACTIVE: list[Tracer] = []
+
+
+def default_tracer() -> Tracer | None:
+    """The tracer new runners should attach to (None = tracing disabled)."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def tracing(tracer: Tracer):
+    """Install ``tracer`` as the ambient tracer for the ``with`` body.
+
+    Every runner constructed inside the body attaches to it — which is
+    how whole scenarios (the ``harness trace`` CLI, ``replay --trace``)
+    are traced without threading a parameter through every constructor.
+    """
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()

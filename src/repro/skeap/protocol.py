@@ -31,6 +31,7 @@ from ..overlay.aggregation import AggSpec
 from ..overlay.base import OverlayNode
 from ..overlay.ldb import LocalView
 from ..semantics.history import DELETE, INSERT, History
+from ..sim.trace import OP, PHASE, op_ctx
 from .batch import Batch, encode_ops
 from .decompose import decompose_block
 from .intervals import AnchorState, AssignmentBlock
@@ -124,6 +125,12 @@ class SkeapNode(OverlayNode):
         self.buffered.append(handle)
         if self.history is not None:
             self.history.record_submit(handle.op_id, INSERT, priority, handle.uid)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit_ctx(
+                OP, op_ctx(handle.op_id), ev="submit", kind=INSERT,
+                node=self.id, priority=priority,
+            )
         self.request_activation()
         return handle
 
@@ -133,6 +140,9 @@ class SkeapNode(OverlayNode):
         self.buffered.append(handle)
         if self.history is not None:
             self.history.record_submit(handle.op_id, DELETE)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit_ctx(OP, op_ctx(handle.op_id), ev="submit", kind=DELETE, node=self.id)
         self.request_activation()
         return handle
 
@@ -160,7 +170,21 @@ class SkeapNode(OverlayNode):
         batch, entry_of = encode_ops(ops, self.n_priorities)
         self._snapshot_entry_of = entry_of
         self._contributed_iteration = self.iteration
-        self.agg_contribute((_AGG, self.iteration), batch)
+        tr = self.tracer
+        if tr is None:
+            self.agg_contribute((_AGG, self.iteration), batch)
+        else:
+            # Causality boundary: buffered ops join iteration `i`'s shared
+            # batch machinery here; everything the contribution spawns
+            # (aggregation, assignment, decomposition) inherits this ctx.
+            for h in self._snapshot:
+                tr.emit_ctx(
+                    OP, op_ctx(h.op_id), ev="batched", it=self.iteration
+                )
+            prev = tr.ctx
+            tr.ctx = ("skeap-it", self.iteration)
+            self.agg_contribute((_AGG, self.iteration), batch)
+            tr.ctx = prev
 
     def has_work(self) -> bool:
         return bool(self.buffered) or bool(self._requests) or bool(self._snapshot)
@@ -183,6 +207,9 @@ class SkeapNode(OverlayNode):
             raise ProtocolError("non-anchor node received a combined batch")
         block = self.anchor_state.assign(combined)
         self.anchor_log.append((combined, block))
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(PHASE, proto="skeap", name="assign", it=tag[1], ops=combined.total_ops())
         self.agg_distribute(tag, block)
 
     # -- Phase 3: interval decomposition ----------------------------------------
@@ -208,6 +235,8 @@ class SkeapNode(OverlayNode):
         del_cursors = [
             _DeliveryCursor(e.del_pieces, e.bots) for e in block.entries
         ]
+        tr = self.tracer
+        prev_ctx = tr.ctx if tr is not None else None
         for handle, j in zip(self._snapshot, self._snapshot_entry_of):
             if handle.kind == INSERT:
                 p = handle.priority
@@ -222,6 +251,11 @@ class SkeapNode(OverlayNode):
                         (iteration, j, 0, self.view.dfs_rank, handle.op_id[1]),
                     )
                 element = Element(priority=p, uid=handle.uid, value=handle.value)
+                if tr is not None:
+                    # Causality boundary back: the shared assignment turns
+                    # into this op's exclusive DHT work.
+                    tr.ctx = op_ctx(handle.op_id)
+                    tr.emit(OP, ev="dht", op_kind="put", it=iteration, pos=[p, pos])
                 request_id = self.dht_put(self.keyspace.skeap_key(p, pos), element)
                 self._requests[request_id] = handle
             else:
@@ -236,10 +270,19 @@ class SkeapNode(OverlayNode):
                     handle.result = BOTTOM
                     if self.history is not None:
                         self.history.record_bot(handle.op_id)
+                    if tr is not None:
+                        tr.emit_ctx(
+                            OP, op_ctx(handle.op_id), ev="done", result="bot",
+                        )
                 else:
                     p, pos = slot
+                    if tr is not None:
+                        tr.ctx = op_ctx(handle.op_id)
+                        tr.emit(OP, ev="dht", op_kind="get", it=iteration, pos=[p, pos])
                     request_id = self.dht_get(self.keyspace.skeap_key(p, pos))
                     self._requests[request_id] = handle
+        if tr is not None:
+            tr.ctx = prev_ctx
 
     # -- DHT completions ----------------------------------------------------------
 
@@ -249,6 +292,9 @@ class SkeapNode(OverlayNode):
         handle.result = True
         if self.history is not None:
             self.history.record_insert_done(handle.op_id)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit_ctx(OP, op_ctx(handle.op_id), ev="done", result="stored")
 
     def dht_get_returned(self, request_id: int, key: float, element: Element) -> None:
         handle = self._requests.pop(request_id)
@@ -256,6 +302,9 @@ class SkeapNode(OverlayNode):
         handle.result = element
         if self.history is not None:
             self.history.record_return(handle.op_id, element.uid)
+        tr = self.tracer
+        if tr is not None:
+            tr.emit_ctx(OP, op_ctx(handle.op_id), ev="done", result=element.uid)
 
 
 class _DeliveryCursor:

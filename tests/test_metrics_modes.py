@@ -90,13 +90,49 @@ class TestWindowExactMaxima:
         assert window.rounds == 1 and window.messages == 2
         assert window.congestion == 2
         assert window.max_message_bits == 40
-        # diff() only carries the cumulative maxima — an upper bound.
+        # diff() between live snapshots of one collector recovers the
+        # same exact window maxima from the per-round history.
         diff = mc.snapshot().diff(before)
-        assert diff.congestion == 5
-        assert diff.max_message_bits == 100
+        assert diff.congestion == 2
+        assert diff.max_message_bits == 40
         assert diff.rounds == window.rounds
         assert diff.messages == window.messages
         assert diff.bits == window.bits
+
+    def test_diff_of_detached_snapshots_falls_back_to_cumulative(self):
+        import pickle
+
+        mc = MetricsCollector()
+        for _ in range(5):
+            mc.record_delivery(self._msg(bits=100))
+        mc.end_round()
+        before = mc.snapshot()
+        mc.record_delivery(self._msg(bits=40))
+        mc.end_round()
+        after = mc.snapshot()
+        # Round-tripping through pickle drops the collector reference, so
+        # the maxima degrade to the (documented) cumulative upper bound.
+        detached_before = pickle.loads(pickle.dumps(before))
+        detached_after = pickle.loads(pickle.dumps(after))
+        diff = detached_after.diff(detached_before)
+        assert diff.congestion == 5
+        assert diff.max_message_bits == 100
+        assert diff.messages == 1
+        # Mixed provenance (live later, detached earlier) must not
+        # misattribute history either.
+        assert after.diff(detached_before).congestion == 5
+
+    def test_diff_includes_open_round_peaks(self):
+        mc = MetricsCollector()
+        mc.record_delivery(self._msg(bits=80))
+        mc.end_round()
+        before = mc.snapshot()
+        for _ in range(3):
+            mc.record_delivery(self._msg(bits=16))
+        # No end_round(): the in-progress round still counts, as window().
+        diff = mc.snapshot().diff(before)
+        assert diff.congestion == 3
+        assert diff.max_message_bits == 16
 
     def test_window_includes_open_round(self):
         mc = MetricsCollector()

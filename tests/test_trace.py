@@ -1,0 +1,291 @@
+"""Tests for the structured tracing subsystem.
+
+Covers the tentpole's observability contract:
+
+* determinism — two traced runs of the same scenario emit byte-identical
+  JSONL event logs;
+* non-perturbation — metrics, histories and harness tables are identical
+  with tracing off and on, under both execution drivers;
+* span model — every heap operation reconstructs to one complete span,
+  and span round counts are consistent with ``MetricsCollector.window()``;
+* exporters — the Chrome trace validates against the schema checker and
+  is JSON-serializable; manifests hash the exact rendered tables.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SeapHeap, SkeapHeap
+from repro.harness import (
+    all_plans,
+    build_manifest,
+    build_spans,
+    events_to_jsonl,
+    execute_plans,
+    span_summary_table,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.harness.manifest import sha256_text, write_manifest
+from repro.sim.trace import OP, Tracer, tracing
+
+
+def _drive_skeap(n=8, ops=24, seed=3, runner="sync"):
+    heap = SkeapHeap(
+        n, n_priorities=3, seed=seed, record_history=True, runner=runner
+    )
+    for i in range(ops):
+        if i % 3 == 2:
+            heap.delete_min(at=i % n)
+        else:
+            heap.insert(priority=1 + i % 3, at=i % n)
+    heap.settle()
+    return heap
+
+
+def _drive_seap(n=4, ops=16, seed=5):
+    heap = SeapHeap(n, seed=seed, record_history=True)
+    for i in range(ops):
+        if i % 3 == 2:
+            heap.delete_min(at=i % n)
+        else:
+            heap.insert(priority=1 + 7 * i, at=i % n)
+    heap.settle()
+    return heap
+
+
+def _traced(drive, **kw):
+    tracer = Tracer()
+    with tracing(tracer):
+        heap = drive(**kw)
+    return tracer, heap
+
+
+def _metric_tuple(heap):
+    m = heap.metrics
+    return (m.rounds, m.messages, m.bits, m.congestion, m.max_message_bits)
+
+
+class TestDeterminism:
+    def test_two_traced_skeap_runs_are_bit_identical(self):
+        a, _ = _traced(_drive_skeap)
+        b, _ = _traced(_drive_skeap)
+        assert events_to_jsonl(a) == events_to_jsonl(b)
+
+    def test_two_traced_seap_runs_are_bit_identical(self):
+        a, _ = _traced(_drive_seap)
+        b, _ = _traced(_drive_seap)
+        assert events_to_jsonl(a) == events_to_jsonl(b)
+
+    def test_chrome_export_is_deterministic(self):
+        a, _ = _traced(_drive_skeap)
+        b, _ = _traced(_drive_skeap)
+        dump = lambda t: json.dumps(to_chrome_trace(t), sort_keys=True)  # noqa: E731
+        assert dump(a) == dump(b)
+
+
+class TestNonPerturbation:
+    def test_sync_metrics_identical_off_and_on(self):
+        plain = _drive_skeap()
+        _, traced = _traced(_drive_skeap)
+        assert _metric_tuple(plain) == _metric_tuple(traced)
+        assert sorted(plain.history.ops) == sorted(traced.history.ops)
+
+    def test_async_metrics_identical_off_and_on(self):
+        plain = _drive_skeap(runner="async")
+        _, traced = _traced(_drive_skeap, runner="async")
+        assert _metric_tuple(plain) == _metric_tuple(traced)
+        assert sorted(plain.history.ops) == sorted(traced.history.ops)
+
+    def test_seap_metrics_identical_off_and_on(self):
+        plain = _drive_seap()
+        _, traced = _traced(_drive_seap)
+        assert _metric_tuple(plain) == _metric_tuple(traced)
+
+    def test_harness_table_identical_off_and_on(self):
+        render = lambda tables: "\n".join(t.render() for t in tables)  # noqa: E731
+        plain = render(execute_plans(all_plans(quick=True, ids=["T1"]), jobs=1))
+        with tracing(Tracer()):
+            traced = render(
+                execute_plans(all_plans(quick=True, ids=["T1"]), jobs=1)
+            )
+        assert plain == traced
+
+    def test_tracer_draws_no_rng_and_sends_nothing(self):
+        # The whole-run event log exists, yet the traced heap's message
+        # count equals the untraced one — tracing is observation only.
+        tracer, traced = _traced(_drive_skeap)
+        assert len(tracer) > 0
+        assert traced.metrics.messages == _drive_skeap().metrics.messages
+
+
+class TestSpans:
+    def test_one_complete_span_per_operation(self):
+        tracer, heap = _traced(_drive_skeap)
+        spans = build_spans(tracer.events)
+        assert len(spans) == 24
+        assert all(sp.complete for sp in spans)
+        assert sorted(sp.kind for sp in spans).count("del") == 8
+
+    def test_span_boundaries_ordered(self):
+        tracer, _ = _traced(_drive_skeap)
+        for sp in build_spans(tracer.events):
+            ts = [sp.submit_ts, sp.batched_ts, sp.dht_ts, sp.done_ts]
+            present = [t for t in ts if t is not None]
+            assert present == sorted(present)
+            phases = sp.phase_durations()
+            assert all(v >= 0 for v in phases.values())
+            assert sum(phases.values()) == pytest.approx(sp.rounds)
+
+    def test_span_rounds_consistent_with_metrics_window(self):
+        # Submit a single op at a quiescent heap: its span must fit
+        # inside the metrics window of the settle that resolved it.
+        heap = SkeapHeap(8, n_priorities=3, seed=11, record_history=False)
+        heap.insert(priority=1, at=0)
+        heap.settle()
+        tracer = Tracer()
+        heap.runner.tracer = tracer
+        tracer.bind_clock(lambda: float(heap.runner._round))
+        before = heap.metrics.snapshot()
+        heap.insert(priority=2, at=3)
+        heap.settle()
+        window = heap.metrics.window(before)
+        (span,) = [sp for sp in build_spans(tracer.events) if sp.complete]
+        assert 0 < span.rounds <= window.rounds
+        assert span.submit_ts >= before.rounds
+        assert span.done_ts <= heap.metrics.rounds
+
+    def test_seap_spans_complete(self):
+        tracer, _ = _traced(_drive_seap)
+        spans = build_spans(tracer.events)
+        assert len(spans) == 16
+        assert all(sp.complete for sp in spans)
+
+    def test_exclusive_costs_attributed(self):
+        tracer, _ = _traced(_drive_skeap)
+        spans = build_spans(tracer.events)
+        # DHT puts/gets ride messages stamped with the op's own context.
+        assert sum(sp.msgs for sp in spans) > 0
+        assert sum(sp.bits for sp in spans) > 0
+
+
+class TestChromeTrace:
+    def test_schema_valid_and_serializable(self):
+        tracer, _ = _traced(_drive_skeap)
+        trace = to_chrome_trace(tracer)
+        assert validate_chrome_trace(trace) == []
+        json.dumps(trace)  # must not raise
+
+    def test_one_slice_per_complete_span(self):
+        tracer, _ = _traced(_drive_skeap)
+        slices = [
+            e for e in to_chrome_trace(tracer)["traceEvents"]
+            if e.get("ph") == "X" and e.get("pid") == 1
+        ]
+        assert len(slices) == 24
+
+    def test_validator_catches_breakage(self):
+        tracer, _ = _traced(_drive_skeap)
+        trace = to_chrome_trace(tracer)
+        del trace["traceEvents"][3]["ts"]
+        assert validate_chrome_trace(trace)
+        assert validate_chrome_trace({"nope": []})
+
+
+class TestJsonl:
+    def test_one_json_object_per_event(self):
+        tracer, _ = _traced(_drive_seap)
+        lines = events_to_jsonl(tracer).splitlines()
+        assert len(lines) == len(tracer)
+        first = json.loads(lines[0])
+        assert "ts" in first and "kind" in first
+
+    def test_submit_and_done_counts_match_ops(self):
+        tracer, _ = _traced(_drive_skeap)
+        ops = [e for e in tracer.of_kind(OP)]
+        assert sum(1 for e in ops if e.data.get("ev") == "submit") == 24
+        assert sum(1 for e in ops if e.data.get("ev") == "done") == 24
+
+
+class TestManifest:
+    def test_table_hashes_match_rendered_text(self, tmp_path):
+        tracer, _ = _traced(_drive_skeap)
+        table = span_summary_table(tracer)
+        manifest = build_manifest(
+            command=["test"], seed=3, tables=[table], started=None
+        )
+        entry = manifest["tables"][table.exp_id]
+        assert entry["sha256"] == sha256_text(table.render())
+        assert entry["rows"] == len(table.rows)
+        path = write_manifest(tmp_path / "m.json", manifest)
+        reread = json.loads(path.read_text())
+        assert reread["tables"] == manifest["tables"]
+        assert reread["schema"] == 1
+
+    def test_harness_tables_hash_assertion(self):
+        # The satellite contract: manifest hashes match the written tables.
+        tables = execute_plans(all_plans(quick=True, ids=["T1"]), jobs=1)
+        manifest = build_manifest(command=["harness"], tables=tables)
+        for table in tables:
+            assert (
+                manifest["tables"][table.exp_id]["sha256"]
+                == sha256_text(table.render())
+            )
+
+    def test_markdown_hashes_differ_from_text(self):
+        tracer, _ = _traced(_drive_seap)
+        table = span_summary_table(tracer)
+        text = build_manifest(command=[], tables=[table])
+        md = build_manifest(command=[], tables=[table], markdown=True)
+        assert (
+            text["tables"][table.exp_id]["sha256"]
+            != md["tables"][table.exp_id]["sha256"]
+        )
+        assert md["tables"][table.exp_id]["format"] == "markdown"
+
+
+class TestCli:
+    def test_trace_cli_writes_artifacts(self, tmp_path, capsys):
+        from repro.harness.trace_cli import trace_main
+
+        out = tmp_path / "t"
+        rc = trace_main(
+            ["skeap", "--nodes", "4", "--ops", "8", "--seed", "1",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        trace = json.loads((out / "trace.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        lines = (out / "events.jsonl").read_text().splitlines()
+        assert lines and all(json.loads(line) for line in lines)
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["submitted_ops"] == 8
+        assert manifest["outcome"] == "pass"
+        assert "TRACE" in manifest["tables"]
+        assert "op-span summary" in capsys.readouterr().out
+
+    def test_trace_cli_rejects_unknown_target(self, capsys):
+        from repro.harness.trace_cli import trace_main
+
+        assert trace_main(["not-a-target"]) == 2
+
+    def test_replay_trace_preserves_verdict(self, tmp_path):
+        from pathlib import Path
+
+        from repro.harness.fuzz import replay_main
+
+        repro = sorted(
+            (Path(__file__).parent / "reproducers").glob("*.json")
+        )[0]
+        out = tmp_path / "replay"
+        rc_plain = replay_main([str(repro)])
+        rc_traced = replay_main(
+            ["--trace", "--out", str(out), str(repro)]
+        )
+        assert rc_traced == rc_plain
+        assert (out / "events.jsonl").exists()
+        assert (out / "trace.json").exists()
+        assert json.loads((out / "manifest.json").read_text())["schema"] == 1

@@ -93,6 +93,23 @@ class TestRenderActivity:
         out = render_activity(MetricsCollector())
         assert "action mix unavailable" in out
 
+    def test_snapshot_renders_without_per_round_history(self):
+        # A MetricsSnapshot has neither per-round arrays nor action
+        # counters; the renderer must say so instead of raising.
+        from repro.sim.metrics import MetricsCollector
+
+        mc = MetricsCollector()
+        mc.end_round()
+        out = render_activity(mc.snapshot())
+        assert "rounds=1" in out
+        assert "per-round history unavailable" in out
+        assert "action mix unavailable" in out
+
+    def test_window_snapshot_renders(self):
+        heap = _run_heap()
+        out = render_activity(heap.metrics.snapshot())
+        assert f"messages={heap.metrics.messages}" in out
+
 
 class TestRenderStoreLoads:
     def test_totals_match_cluster(self):
