@@ -60,7 +60,31 @@ from .skueue import SkueueQueue
 
 __version__ = "1.0.0"
 
+#: Live-service classes resolve lazily: ``from repro import QueueService``
+#: works, but a simulator-only run never imports asyncio machinery it
+#: doesn't use (and stays byte-identical with repro.service absent).
+_SERVICE_EXPORTS = {
+    "QueueService": "server",
+    "QueueClient": "client",
+    "AdmissionController": "admission",
+    "LoadSpec": "loadgen",
+    "run_loadtest": "loadgen",
+}
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(
+            f".service.{_SERVICE_EXPORTS[name]}", __name__
+        )
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AdmissionController",
     "BOTTOM",
     "BinaryHeap",
     "CentralHeapCluster",
@@ -72,11 +96,14 @@ __all__ = [
     "GatherSelectCluster",
     "History",
     "KSelectCluster",
+    "LoadSpec",
     "MembershipError",
     "MembershipReport",
     "OpHandle",
     "OverlayCluster",
     "ProtocolError",
+    "QueueClient",
+    "QueueService",
     "ReproError",
     "RoutingError",
     "SeapHeap",
@@ -101,4 +128,5 @@ __all__ = [
     "distributed_select",
     "join_node",
     "leave_node",
+    "run_loadtest",
 ]

@@ -37,3 +37,11 @@ class MembershipError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid."""
+
+
+class ServiceError(ReproError):
+    """The live queue service was misused or hit an internal fault."""
+
+
+class WireError(ServiceError):
+    """A wire frame is malformed (oversized, truncated, not JSON, ...)."""

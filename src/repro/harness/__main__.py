@@ -10,6 +10,12 @@ Usage::
     python -m repro.harness replay [--trace [--out DIR]] <reproducer.json>
     python -m repro.harness trace <target> [--nodes N] [--ops K] [--seed S]
                                            [--out DIR] [--faults]
+    python -m repro.harness targets
+    python -m repro.harness serve [--proto P] [--nodes N] [--seed S]
+                                  [--host H] [--port P] [--window W]
+    python -m repro.harness loadtest [--proto P] [--clients C] [--ops K]
+                                     [--mode closed|open] [--connect H:P]
+                                     [--manifest PATH] [--trace DIR]
 
 ``--quick`` shrinks the parameter grids; ``--markdown`` emits GitHub
 tables (how EXPERIMENTS.md's body is produced); ``IDS`` selects specific
@@ -33,6 +39,14 @@ one reproducer byte-for-byte (see ``repro.harness.fuzz``), optionally
 with ``--trace`` to export the replay's event log.  ``trace`` runs one
 scenario with structured tracing on and writes JSONL + Perfetto-loadable
 Chrome-trace artifacts plus a run manifest (``repro.harness.trace_cli``).
+
+``targets`` lists every runnable target (experiment ids, fuzz/trace
+targets, service protocols) with one-line descriptions.  ``serve`` runs
+a live Skeap/Seap queue service over TCP; ``loadtest`` drives one with
+the seeded open/closed-loop generator and feeds the observed history
+through the semantics checkers (``repro.harness.service_cli``) —
+self-hosting on an ephemeral port unless ``--connect`` points at a
+running server.
 
 ``--manifest PATH`` additionally writes a run manifest for the table run:
 the exact command, seeds/grid config, git SHA, wall-clock, and a sha256
@@ -62,6 +76,18 @@ def main(argv: list[str]) -> int:
         from .trace_cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "targets":
+        from .targets_cli import targets_main
+
+        return targets_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service_cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadtest":
+        from .service_cli import loadtest_main
+
+        return loadtest_main(argv[1:])
     started = time.time()
     quick = "--quick" in argv
     markdown = "--markdown" in argv

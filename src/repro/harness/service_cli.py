@@ -1,0 +1,231 @@
+"""``python -m repro.harness serve`` and ``... loadtest``.
+
+``serve`` runs a :class:`~repro.service.QueueService` in the foreground
+until interrupted — the daemon half of the CI service-smoke job and of
+any by-hand poking with a real client.
+
+``loadtest`` drives a service with the seeded open/closed-loop generator
+from :mod:`repro.service.loadgen` and renders the latency/throughput
+table.  Without ``--connect`` it self-hosts: a service on an ephemeral
+port is started in-process, loaded, verified, and torn down — one
+command, no orchestration.  With ``--connect HOST:PORT`` it drives an
+already-running server (started by ``serve``), which is how the CI smoke
+job exercises the real socket boundary across processes.
+
+Both compose with the rest of the harness: ``--manifest PATH`` writes a
+run manifest (command, config, table hashes), and ``--trace DIR`` on a
+self-hosted loadtest exports the server-side causal trace as JSONL +
+Chrome-trace artifacts, exactly like ``harness trace`` does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+from .fuzz import _flag_value
+
+__all__ = ["serve_main", "loadtest_main"]
+
+
+def _parse_mix(mix: str):
+    """``fixed:K`` | ``uniform:LO:HI`` | ``zipf:LO:HI[:S]`` → distribution."""
+    from ..errors import ServiceError
+    from ..workloads.generators import (
+        fixed_priorities,
+        uniform_priorities,
+        zipf_priorities,
+    )
+
+    kind, _, rest = mix.partition(":")
+    parts = rest.split(":") if rest else []
+    try:
+        if kind == "fixed":
+            return fixed_priorities(int(parts[0]))
+        if kind == "uniform":
+            return uniform_priorities(int(parts[0]), int(parts[1]))
+        if kind == "zipf":
+            s = float(parts[2]) if len(parts) > 2 else 1.5
+            return zipf_priorities(int(parts[0]), int(parts[1]), s)
+    except (IndexError, ValueError) as exc:
+        raise ServiceError(f"bad --mix {mix!r}: {exc}") from exc
+    raise ServiceError(
+        f"unknown --mix kind {kind!r}; use fixed:K, uniform:LO:HI, zipf:LO:HI[:S]"
+    )
+
+
+def _default_mix(proto: str, n_priorities: int) -> str:
+    # Skeap accepts only the constant range [0, n_priorities); Seap takes
+    # arbitrary integers, so stress it with a wide uniform range.
+    return f"fixed:{n_priorities}" if proto == "skeap" else "uniform:0:1000000"
+
+
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro.harness serve [--proto P] [--nodes N] ...``"""
+    from ..service import QueueService
+
+    args = list(argv)
+    proto = _flag_value(args, "--proto", "skeap")
+    n_nodes = int(_flag_value(args, "--nodes", 16))
+    seed = int(_flag_value(args, "--seed", 0))
+    host = _flag_value(args, "--host", "127.0.0.1")
+    port = int(_flag_value(args, "--port", 7341))
+    window = int(_flag_value(args, "--window", 64))
+    n_priorities = int(_flag_value(args, "--priorities", 3))
+    runner = _flag_value(args, "--runner", "sync")
+    if args:
+        print(f"unknown serve arguments: {args}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        service = QueueService(
+            proto, n_nodes=n_nodes, seed=seed, host=host, port=port,
+            runner=runner, n_priorities=n_priorities, window=window,
+        )
+        await service.start()
+        # The ready line is a contract: CI greps for it before connecting.
+        print(
+            f"serving {proto} n={n_nodes} seed={seed} "
+            f"on {service.host}:{service.port}",
+            flush=True,
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def loadtest_main(argv: list[str]) -> int:
+    """``python -m repro.harness loadtest [--connect H:P | --proto P] ...``"""
+    from ..errors import ReproError
+    from ..service import LoadSpec, QueueService
+    from ..service.loadgen import run_loadtest
+
+    args = list(argv)
+    started = time.time()
+    proto = _flag_value(args, "--proto", "skeap")
+    n_nodes = int(_flag_value(args, "--nodes", 16))
+    seed = int(_flag_value(args, "--seed", 0))
+    n_clients = int(_flag_value(args, "--clients", 4))
+    ops = int(_flag_value(args, "--ops", 50))
+    insert_frac = float(_flag_value(args, "--insert-frac", 0.6))
+    n_priorities = int(_flag_value(args, "--priorities", 3))
+    mix = _flag_value(args, "--mix", None)
+    window = int(_flag_value(args, "--window", 64))
+    concurrency = int(_flag_value(args, "--concurrency", 2))
+    mode = _flag_value(args, "--mode", "closed")
+    rate = float(_flag_value(args, "--rate", 200.0))
+    runner = _flag_value(args, "--runner", "sync")
+    connect = _flag_value(args, "--connect", None)
+    manifest_path = _flag_value(args, "--manifest", None)
+    trace_dir = _flag_value(args, "--trace", None)
+    markdown = "--markdown" in args
+    args = [a for a in args if a != "--markdown"]
+    if args:
+        print(f"unknown loadtest arguments: {args}", file=sys.stderr)
+        return 2
+    if trace_dir is not None and connect is not None:
+        print("--trace needs the self-hosted mode (drop --connect): the "
+              "trace lives in the server process", file=sys.stderr)
+        return 2
+
+    spec = LoadSpec(
+        n_clients=n_clients,
+        ops_per_client=ops,
+        mode=mode,
+        concurrency=concurrency,
+        rate=rate,
+        insert_fraction=insert_frac,
+        priorities=_parse_mix(mix or _default_mix(proto, n_priorities)),
+        seed=seed,
+    )
+
+    async def run():
+        if connect is not None:
+            host, _, port_s = connect.rpartition(":")
+            report = await run_loadtest(host or "127.0.0.1", int(port_s), spec)
+            return report, None
+        service = QueueService(
+            proto, n_nodes=n_nodes, seed=seed, runner=runner,
+            n_priorities=n_priorities, window=window,
+        )
+        tracer = None
+        if trace_dir is not None:
+            from ..sim.trace import Tracer, tracing
+
+            tracer = Tracer()
+            with tracing(tracer):
+                async with service:
+                    report = await run_loadtest(service.host, service.port, spec)
+        else:
+            async with service:
+                report = await run_loadtest(service.host, service.port, spec)
+        return report, tracer
+
+    try:
+        report, tracer = asyncio.run(run())
+    except ReproError as exc:
+        print(f"loadtest failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    table = report.table()
+    print(table.to_markdown() if markdown else table.render())
+
+    if tracer is not None:
+        from .trace_export import (
+            events_to_jsonl,
+            to_chrome_trace,
+            validate_chrome_trace,
+        )
+
+        chrome = to_chrome_trace(tracer)
+        problems = validate_chrome_trace(chrome)
+        if problems:
+            for p in problems[:10]:
+                print(f"trace validation: {p}", file=sys.stderr)
+            return 1
+        out = Path(trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "events.jsonl").write_text(events_to_jsonl(tracer))
+        (out / "trace.json").write_text(
+            json.dumps(chrome, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        print(f"# trace: {out}", file=sys.stderr)
+
+    if manifest_path is not None:
+        from .manifest import build_manifest, write_manifest
+
+        manifest = build_manifest(
+            command=["loadtest"] + list(argv),
+            config={
+                "proto": report.proto,
+                "n_nodes": report.n_nodes,
+                "clients": n_clients,
+                "ops_per_client": ops,
+                "mode": mode,
+                "concurrency": concurrency,
+                "rate": rate,
+                "window": window,
+                "connect": connect,
+            },
+            seed=seed,
+            tables=[table],
+            markdown=markdown,
+            started=started,
+            extra={
+                "completed": report.completed,
+                "throughput": report.throughput,
+                "shed": report.shed_total,
+                "retries": report.retry_total,
+                "checks_passed": report.checks_passed,
+            },
+        )
+        write_manifest(manifest_path, manifest)
+        print(f"# manifest: {manifest_path}", file=sys.stderr)
+    return 0

@@ -1,0 +1,101 @@
+"""``python -m repro.harness targets`` — enumerate every runnable target.
+
+One registry, asserted complete by the test suite: every experiment id
+the table driver accepts, every fuzz/trace target, and every protocol
+the live service can front appears here with a one-line description, so
+``targets`` is the discoverability entry point for the whole harness
+(the answer to "what can I actually run?").
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["targets_main", "EXPERIMENT_DESCRIPTIONS", "FUZZ_TARGET_DESCRIPTIONS",
+           "SERVICE_PROTO_DESCRIPTIONS"]
+
+#: ``python -m repro.harness [IDS...]`` — one line per experiment table.
+EXPERIMENT_DESCRIPTIONS = {
+    "T1": "Skeap rounds per batch vs n — O(log n) w.h.p. (Thm 3.2(3))",
+    "T2": "Skeap congestion vs injection rate Λ — O~(Λ) (Thm 3.2(4))",
+    "T3": "Skeap max message bits vs Λ — O(Λ·log²n) bits (Lemma 3.8)",
+    "T4": "KSelect rounds vs n — O(log n) w.h.p. (Thm 4.2)",
+    "T5": "KSelect candidate reduction per phase (Lemmas 4.4, 4.7)",
+    "T6": "KSelect vs gather-to-root message sizes (Thm 4.2)",
+    "T7": "Seap rounds per insert+delete cycle vs n (Thm 5.1(3))",
+    "T8": "Max message bits vs Λ: Seap flat vs Skeap growing (Lemmas 3.8/5.5)",
+    "T9": "DHT storage fairness — m/n per node in expectation (Lemma 2.2)",
+    "T10": "Routing hops vs n — O(log n) w.h.p. (Lemma A.2)",
+    "T11": "Aggregation tree height vs n — O(log n) w.h.p. (Cor A.4)",
+    "T12": "Coordinator hot-spot load: Skeap anchor vs central coordinator",
+    "T13": "Membership: join/leave probe hops and data conservation",
+    "T14": "Self-stabilizing linearization: convergence vs n (Appendix A)",
+    "F1": "Figure 1: Skeap phase trace (n=3, 𝒫={1,2}) reproduced exactly",
+    "F2": "Figure 2: LDB and aggregation tree for 2 real nodes",
+    "A1": "Ablations: batching and the δ window",
+    "A2": "Seap vs Seap-SC: the cost of sequential consistency (§6)",
+    "A3": "Fault-injection fuzz campaign (checks hold; seeded bug caught)",
+}
+
+#: ``fuzz --targets a,b`` / ``trace <target>`` — protocol stacks under test.
+FUZZ_TARGET_DESCRIPTIONS = {
+    "skeap": "Skeap on the lockstep runner: constant priorities, seq. consistency",
+    "seap": "Seap on the lockstep runner: arbitrary priorities, serializability",
+    "skack": "Skeap-SC §6 variant with per-op acknowledgements",
+    "kselect": "Section-4 KSelect over a scattered key population",
+    "linearize": "Self-stabilizing sorted-list linearization (Appendix A)",
+    "skeap-async": "Skeap on the asynchronous event-driven runner",
+    "seap-async": "Seap on the asynchronous event-driven runner",
+}
+
+#: ``serve --proto P`` / ``loadtest --proto P`` — live service back-ends.
+SERVICE_PROTO_DESCRIPTIONS = {
+    "skeap": "live Skeap queue service: constant priority range [0, P)",
+    "seap": "live Seap queue service: arbitrary integer priorities",
+}
+
+
+def _check_complete() -> list[str]:
+    """Registry drift vs the real drivers; returns a list of problems."""
+    from ..service.server import PROTOS
+    from .experiments import ALL_PLAN_FACTORIES
+    from .fuzz import TARGET_NAMES
+
+    problems = []
+    for label, have, want in (
+        ("experiment", set(EXPERIMENT_DESCRIPTIONS), set(ALL_PLAN_FACTORIES)),
+        ("fuzz/trace", set(FUZZ_TARGET_DESCRIPTIONS), set(TARGET_NAMES)),
+        ("service", set(SERVICE_PROTO_DESCRIPTIONS), set(PROTOS)),
+    ):
+        if missing := want - have:
+            problems.append(f"{label} targets missing a description: {sorted(missing)}")
+        if stale := have - want:
+            problems.append(f"{label} descriptions for unknown targets: {sorted(stale)}")
+    return problems
+
+
+def targets_main(argv: list[str]) -> int:
+    """``python -m repro.harness targets``"""
+    if argv:
+        print(f"targets takes no arguments, got: {argv}", file=sys.stderr)
+        return 2
+    problems = _check_complete()
+    if problems:
+        for p in problems:
+            print(f"registry drift: {p}", file=sys.stderr)
+        return 1
+    sections = (
+        ("experiments  (python -m repro.harness [--quick] IDS...)",
+         EXPERIMENT_DESCRIPTIONS),
+        ("fuzz/trace targets  (... fuzz --targets a,b | ... trace <target>)",
+         FUZZ_TARGET_DESCRIPTIONS),
+        ("service protocols  (... serve|loadtest --proto P)",
+         SERVICE_PROTO_DESCRIPTIONS),
+    )
+    for heading, registry in sections:
+        print(heading)
+        width = max(len(name) for name in registry)
+        for name, description in registry.items():
+            print(f"  {name:<{width}}  {description}")
+        print()
+    return 0

@@ -99,6 +99,56 @@ class History:
         rec = self.ops[op_id]
         rec.completed = True
 
+    # -- wire form ---------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """A JSON-safe snapshot of every record (the service wire form).
+
+        Tuples (op ids, order keys) become lists; :meth:`from_jsonable`
+        restores them, so a history shipped over the queue service's wire
+        protocol feeds the checkers exactly like the in-process original.
+        """
+        return {
+            "ops": [
+                {
+                    "op": list(rec.op_id),
+                    "kind": rec.kind,
+                    "priority": rec.priority,
+                    "uid": rec.uid,
+                    "order": list(rec.order_key) if rec.order_key is not None else None,
+                    "ret": rec.returned_uid,
+                    "bot": rec.returned_bot,
+                    "done": rec.completed,
+                }
+                for rec in self.ops.values()
+            ]
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "History":
+        """Rebuild a :class:`History` from :meth:`to_jsonable` output."""
+        history = cls()
+        for entry in data["ops"]:
+            op_id = tuple(entry["op"])
+            rec = OpRecord(
+                op_id=op_id,
+                kind=entry["kind"],
+                priority=entry["priority"],
+                uid=entry["uid"],
+                order_key=tuple(entry["order"]) if entry["order"] is not None else None,
+                returned_uid=entry["ret"],
+                returned_bot=entry["bot"],
+                completed=entry["done"],
+            )
+            if op_id in history.ops:
+                raise ConsistencyError(f"duplicate op id {op_id} in wire history")
+            history.ops[op_id] = rec
+            if rec.kind == INSERT and rec.uid is not None:
+                if rec.uid in history._uid_to_insert:
+                    raise ConsistencyError(f"duplicate element uid {rec.uid}")
+                history._uid_to_insert[rec.uid] = op_id
+        return history
+
     # -- derived views ----------------------------------------------------------
 
     def insert_of_uid(self, uid: int) -> OpRecord:

@@ -1,0 +1,45 @@
+"""Live service runtime: Skeap/Seap as a real asyncio queue service.
+
+This package puts a network boundary in front of the simulated overlay
+cluster without touching the protocol packages: :class:`QueueService`
+owns a cluster, pumps its runner from a background task, and maps
+client requests onto protocol operations via their causal op ids;
+:class:`QueueClient` speaks the length-prefixed JSON wire protocol with
+pipelining and retry-with-jitter; :class:`AdmissionController` bounds
+in-flight work and sheds overload with explicit ``RETRY_AFTER`` hints;
+:mod:`~repro.service.loadgen` drives it all with seeded open/closed-loop
+workloads and verifies the observed history post hoc.
+
+The simulator core never imports this package — ``import repro.service``
+is strictly additive, so simulator-only runs are byte-identical with it
+present or absent.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .client import ClientResult, QueueClient
+from .loadgen import LoadReport, LoadSpec, run_loadtest, verify_observed_history
+from .server import QueueService
+from .wire import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "ClientResult",
+    "QueueClient",
+    "QueueService",
+    "LoadReport",
+    "LoadSpec",
+    "run_loadtest",
+    "verify_observed_history",
+    "DEFAULT_MAX_FRAME",
+    "FrameDecoder",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,141 @@
+"""Admission control: bounded in-flight window with per-client fairness.
+
+The live service must degrade gracefully, never silently: when offered
+load exceeds what the simulated cluster can absorb, excess requests are
+*shed* with an explicit ``RETRY_AFTER`` hint instead of being queued
+without bound (head-of-line latency collapse) or dropped (lost ops).
+
+Policy, in order:
+
+1. **Global window** — at most ``window`` operations may be admitted and
+   unresolved across all clients; this bounds both the simulator's
+   per-iteration batch size and the server's memory.
+2. **Per-client fair share** — each registered client may hold at most
+   ``ceil(window / n_clients)`` of those slots, so one greedy client
+   cannot starve the others (max-min fairness over equal demands).
+3. **Load shedding** — a request denied by either bound gets a
+   ``retry_after`` delay scaled by how saturated the window is; clients
+   retry with jitter, which spreads the herd.
+
+The controller is deliberately synchronous and deterministic: decisions
+depend only on the current occupancy, never on time or randomness, so
+admission behavior is exactly reproducible in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """The outcome of one admission attempt."""
+
+    admitted: bool
+    retry_after: float = 0.0
+    reason: str = ""
+
+
+@dataclass
+class AdmissionController:
+    """Bounded in-flight window with per-client max-min fair shares."""
+
+    window: int = 64
+    base_retry_after: float = 0.05
+
+    #: in-flight (admitted, unresolved) ops per registered client
+    _in_flight: dict[object, int] = field(default_factory=dict, repr=False)
+    _total: int = field(default=0, repr=False)
+    #: observability counters (rendered by ``stats`` requests and tests)
+    admitted_total: int = 0
+    shed_total: int = 0
+    released_total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ServiceError(f"admission window must be >= 1, got {self.window}")
+        if self.base_retry_after <= 0:
+            raise ServiceError("base_retry_after must be positive")
+
+    # -- client registry ---------------------------------------------------
+
+    def register(self, client: object) -> None:
+        """A client session opened; it now counts toward fair shares."""
+        if client in self._in_flight:
+            raise ServiceError(f"client {client!r} registered twice")
+        self._in_flight[client] = 0
+
+    def unregister(self, client: object) -> None:
+        """A client session closed; its unresolved slots are returned."""
+        held = self._in_flight.pop(client, 0)
+        self._total -= held
+
+    @property
+    def n_clients(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def in_flight(self) -> int:
+        return self._total
+
+    def client_in_flight(self, client: object) -> int:
+        return self._in_flight.get(client, 0)
+
+    def fair_share(self) -> int:
+        """Per-client slot cap: ``ceil(window / n_clients)``, at least 1."""
+        n = max(1, len(self._in_flight))
+        return max(1, -(-self.window // n))
+
+    # -- admission ---------------------------------------------------------
+
+    def try_admit(self, client: object) -> AdmissionDecision:
+        """Admit one op for ``client``, or return a retry-after hint."""
+        held = self._in_flight.get(client)
+        if held is None:
+            raise ServiceError(f"client {client!r} not registered")
+        if self._total >= self.window:
+            self.shed_total += 1
+            return AdmissionDecision(
+                False, self._retry_delay(), "window full"
+            )
+        if held >= self.fair_share():
+            self.shed_total += 1
+            return AdmissionDecision(
+                False, self._retry_delay(), "client over fair share"
+            )
+        self._in_flight[client] = held + 1
+        self._total += 1
+        self.admitted_total += 1
+        return AdmissionDecision(True)
+
+    def release(self, client: object) -> None:
+        """One admitted op for ``client`` resolved; free its slot."""
+        held = self._in_flight.get(client)
+        if held is None:
+            return  # session already closed; unregister returned the slots
+        if held <= 0:
+            raise ServiceError(f"release without admit for client {client!r}")
+        self._in_flight[client] = held - 1
+        self._total -= 1
+        self.released_total += 1
+
+    def _retry_delay(self) -> float:
+        """Back off harder the fuller the window is (deterministic)."""
+        saturation = self._total / self.window
+        return self.base_retry_after * (1.0 + saturation)
+
+    def snapshot(self) -> dict:
+        """Counters for ``stats`` requests and the load generator."""
+        return {
+            "window": self.window,
+            "in_flight": self._total,
+            "clients": len(self._in_flight),
+            "fair_share": self.fair_share(),
+            "admitted": self.admitted_total,
+            "shed": self.shed_total,
+            "released": self.released_total,
+        }

@@ -1,0 +1,278 @@
+"""Asyncio client for the live queue service.
+
+:class:`QueueClient` speaks the length-prefixed JSON wire protocol with
+full pipelining: any number of requests may be outstanding on one
+connection; a background reader task routes responses back to their
+callers by request id.  Shedding is handled transparently —
+``RETRY_AFTER`` responses trigger a jittered, capped exponential backoff
+and resubmission (safe because a shed request was *never* admitted into
+the cluster, so resubmission cannot double-execute).
+
+    client = await QueueClient.connect("127.0.0.1", 7341, client="worker-3")
+    uid = (await client.insert(priority=2, value="job")).uid
+    got = await client.delete_min()
+    if not got.bot:
+        print(got.priority, got.value)
+    await client.aclose()
+
+Every await takes an optional ``timeout``; the default comes from the
+constructor.  The retry jitter derives from an explicit per-client seed,
+so load tests are reproducible choice-for-choice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ServiceError, WireError
+from .server import RESPONSE_MAX_FRAME
+from .wire import read_frame, write_frame
+
+__all__ = ["ClientResult", "QueueClient"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClientResult:
+    """The client-observed outcome of one queue operation."""
+
+    kind: str  # "insert" | "deletemin" | "kselect"
+    op_id: tuple[int, int] | None  # the protocol's causal op id
+    uid: int | None = None
+    priority: int | None = None
+    value: Any = None
+    bot: bool = False
+    retries: int = 0  # RETRY_AFTER rounds absorbed before admission
+    latency: float = 0.0  # client-observed seconds, submit -> resolve
+
+
+class QueueClient:
+    """One pipelined connection to a :class:`~repro.service.QueueService`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        client: str = "",
+        timeout: float = 30.0,
+        max_retries: int = 64,
+        retry_jitter_seed: int = 0,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.name = client
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self._jitter = random.Random(retry_jitter_seed)
+        self._rids = itertools.count()
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._conn_error: Exception | None = None
+        self._reader_task: asyncio.Task | None = None
+        #: populated by the hello exchange
+        self.proto = ""
+        self.n_nodes = 0
+        self.session = -1
+        self.node = -1
+        #: client-observed totals (the load generator reads these)
+        self.retry_total = 0
+        self.shed_seen = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        client: str = "",
+        timeout: float = 30.0,
+        max_retries: int = 64,
+        retry_jitter_seed: int = 0,
+    ) -> "QueueClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        self = cls(
+            reader, writer,
+            client=client, timeout=timeout, max_retries=max_retries,
+            retry_jitter_seed=retry_jitter_seed,
+        )
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name=f"queue-client-{client or id(self)}"
+        )
+        hello = await self._request({"op": "hello", "client": client})
+        self.proto = hello["proto"]
+        self.n_nodes = hello["n_nodes"]
+        self.session = hello["session"]
+        self.node = hello["node"]
+        return self
+
+    async def aclose(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await asyncio.wait_for(
+                self._request_raw({"op": "close"}), timeout=min(self.timeout, 2.0)
+            )
+        except Exception:  # noqa: BLE001 - closing anyway
+            pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        self._writer.close()
+        self._fail_waiters(ServiceError("client closed"))
+
+    async def __aenter__(self) -> "QueueClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- response routing --------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader, max_frame=RESPONSE_MAX_FRAME)
+                if frame is None:
+                    raise ServiceError("server closed the connection")
+                rid = frame.get("rid")
+                waiter = self._waiters.pop(rid, None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(frame)
+                elif rid is None and frame.get("status") == "error":
+                    # A connection-level error frame: the server is about
+                    # to drop us; poison every outstanding request.
+                    raise WireError(frame.get("error", "connection error"))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - delivered to the waiters
+            self._conn_error = exc
+            self._fail_waiters(exc)
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+
+    async def _request_raw(self, request: dict) -> dict:
+        if self._conn_error is not None:
+            raise ServiceError(f"connection lost: {self._conn_error}")
+        rid = next(self._rids)
+        request = dict(request, rid=rid)
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = waiter
+        try:
+            await write_frame(self._writer, request)
+            return await waiter
+        finally:
+            self._waiters.pop(rid, None)
+
+    async def _request(self, request: dict, timeout: float | None = None) -> dict:
+        response = await asyncio.wait_for(
+            self._request_raw(request),
+            self.timeout if timeout is None else timeout,
+        )
+        if response.get("status") == "error":
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    async def _request_with_retry(
+        self, request: dict, timeout: float | None = None
+    ) -> tuple[dict, int]:
+        """Send, absorbing RETRY_AFTER shedding with jittered backoff."""
+        retries = 0
+        while True:
+            response = await self._request(request, timeout=timeout)
+            if response.get("status") != "retry_after":
+                return response, retries
+            retries += 1
+            self.retry_total += 1
+            self.shed_seen += 1
+            if retries > self.max_retries:
+                raise ServiceError(
+                    f"request shed {retries} times (window saturated beyond "
+                    f"max_retries={self.max_retries})"
+                )
+            delay = float(response.get("retry_after", 0.05))
+            # Full jitter: uniform in [delay/2, delay * (1 + retries/4)];
+            # growth spreads a persistent herd, the floor keeps latency sane.
+            await asyncio.sleep(
+                self._jitter.uniform(delay / 2, delay * (1.0 + retries / 4.0))
+            )
+
+    # -- queue operations --------------------------------------------------
+
+    async def insert(
+        self, priority: int, value: Any = None, timeout: float | None = None
+    ) -> ClientResult:
+        """Insert an element; resolves once the cluster stored it."""
+        started = time.monotonic()
+        response, retries = await self._request_with_retry(
+            {"op": "insert", "priority": priority, "value": value}, timeout=timeout
+        )
+        return ClientResult(
+            kind="insert",
+            op_id=tuple(response["op"]),
+            uid=response["uid"],
+            priority=priority,
+            value=value,
+            retries=retries,
+            latency=time.monotonic() - started,
+        )
+
+    async def delete_min(self, timeout: float | None = None) -> ClientResult:
+        """DeleteMin; resolves with the element or ⊥ (``result.bot``)."""
+        started = time.monotonic()
+        response, retries = await self._request_with_retry(
+            {"op": "deletemin"}, timeout=timeout
+        )
+        return ClientResult(
+            kind="deletemin",
+            op_id=tuple(response["op"]),
+            uid=response.get("uid"),
+            priority=response.get("priority"),
+            value=response.get("value"),
+            bot=bool(response.get("bot")),
+            retries=retries,
+            latency=time.monotonic() - started,
+        )
+
+    async def kselect(self, k: int, timeout: float | None = None) -> ClientResult:
+        """The k-th smallest stored element, via the Section-4 protocol."""
+        started = time.monotonic()
+        response = await self._request({"op": "kselect", "k": k}, timeout=timeout)
+        return ClientResult(
+            kind="kselect",
+            op_id=None,
+            uid=response["uid"],
+            priority=response["priority"],
+            latency=time.monotonic() - started,
+        )
+
+    # -- service introspection ---------------------------------------------
+
+    async def stats(self, timeout: float | None = None) -> dict:
+        return await self._request({"op": "stats"}, timeout=timeout)
+
+    async def ping(self, timeout: float | None = None) -> dict:
+        return await self._request({"op": "ping"}, timeout=timeout)
+
+    async def history(self, timeout: float | None = None) -> dict:
+        """The server-side settled history + element census (post-hoc checks).
+
+        Served at a drained point: the response arrives only once every
+        admitted op resolved, so the returned history is settled and the
+        census stable.
+        """
+        return await self._request({"op": "history"}, timeout=timeout)

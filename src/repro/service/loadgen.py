@@ -1,0 +1,356 @@
+"""Open- and closed-loop load generation against a live queue service.
+
+The generator drives a :class:`~repro.service.QueueService` through real
+sockets with seeded workload mixes from :mod:`repro.workloads`, records
+the **client-observed history** — what each client saw, when — and
+reduces it to p50/p95/p99 latency and throughput.
+
+Two arrival models:
+
+* **closed loop** — each of ``n_clients`` keeps ``concurrency`` ops in
+  flight and submits the next the moment one resolves; offered load
+  adapts to service speed (the classic benchmark loop, and the model the
+  acceptance run uses);
+* **open loop** — ops arrive on a seeded Poisson schedule at ``rate``
+  ops/s per client regardless of completions; offered load is constant,
+  so saturation shows up as shedding + retry backoff instead of silent
+  slowdown.
+
+Post-hoc verification closes the loop with the paper: the server's
+settled history (fetched at a drained point) is fed through the *full*
+``repro.semantics`` checker stack, the element-conservation census, and a
+cross-check that every client-observed outcome matches the record the
+server serialized for that causal op id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConsistencyError, ServiceError
+from ..harness.tables import Table
+from ..semantics.checkers import (
+    check_element_conservation,
+    check_heap_consistency,
+    check_local_consistency,
+    check_seap_history,
+    check_settled,
+    check_skeap_history,
+)
+from ..semantics.history import DELETE, INSERT, History
+from ..sim.rng import derive_seed
+from ..workloads.generators import PriorityDistribution, fixed_priorities
+from .client import ClientResult, QueueClient
+
+__all__ = [
+    "LoadSpec",
+    "Observation",
+    "LatencyStats",
+    "LoadReport",
+    "run_loadtest",
+    "verify_observed_history",
+]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """A reproducible load-generation run."""
+
+    n_clients: int = 4
+    ops_per_client: int = 50
+    mode: str = "closed"  # "closed" | "open"
+    concurrency: int = 1  # per-client in-flight window (closed loop)
+    rate: float = 200.0  # per-client arrivals/sec (open loop)
+    insert_fraction: float = 0.6
+    priorities: PriorityDistribution = field(
+        default_factory=lambda: fixed_priorities(3)
+    )
+    seed: int = 0
+    timeout: float = 60.0
+
+    def __post_init__(self):
+        if self.n_clients < 1 or self.ops_per_client < 1:
+            raise ServiceError("loadgen needs at least one client and one op")
+        if self.mode not in ("closed", "open"):
+            raise ServiceError(f"unknown loadgen mode {self.mode!r}")
+        if self.concurrency < 1:
+            raise ServiceError("concurrency must be >= 1")
+        if self.rate <= 0:
+            raise ServiceError("open-loop rate must be positive")
+        if not 0.0 <= self.insert_fraction <= 1.0:
+            raise ServiceError("insert_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One client-observed operation outcome."""
+
+    client: int
+    kind: str  # "ins" | "del"
+    op_id: tuple[int, int]
+    uid: int | None
+    priority: int | None
+    bot: bool
+    retries: int
+    latency: float
+    finished_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyStats:
+    """Percentiles over one latency population (seconds)."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+
+    @classmethod
+    def over(cls, latencies: list[float]) -> "LatencyStats":
+        if not latencies:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        arr = np.asarray(latencies)
+        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+        return cls(len(latencies), float(p50), float(p95), float(p99), float(arr.mean()))
+
+
+@dataclass
+class LoadReport:
+    """Everything one load-generation run produced."""
+
+    spec: LoadSpec
+    proto: str
+    n_nodes: int
+    observations: list[Observation]
+    wall_seconds: float
+    shed_total: int
+    retry_total: int
+    server_stats: dict
+    history_payload: dict | None = None
+    checks_passed: list[str] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return len(self.observations)
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def latency(self, kind: str | None = None) -> LatencyStats:
+        return LatencyStats.over(
+            [o.latency for o in self.observations if kind is None or o.kind == kind]
+        )
+
+    def table(self) -> Table:
+        """The latency/throughput table ``harness loadtest`` renders."""
+        table = Table(
+            "LT",
+            f"{self.proto} service loadtest "
+            f"(n={self.n_nodes}, {self.spec.n_clients} clients, {self.spec.mode} loop)",
+            "client-observed latency and throughput over a real socket boundary",
+            ["op", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
+        )
+        for label, kind in (("insert", INSERT), ("deletemin", DELETE), ("all", None)):
+            stats = self.latency(kind)
+            table.add_row(
+                label, stats.count,
+                stats.p50 * 1e3, stats.p95 * 1e3, stats.p99 * 1e3, stats.mean * 1e3,
+            )
+        table.add_note(
+            f"throughput {self.throughput:.1f} ops/s over {self.wall_seconds:.2f} s; "
+            f"shed {self.shed_total}, client retries {self.retry_total}"
+        )
+        admission = self.server_stats.get("admission", {})
+        table.add_note(
+            f"admission: window {admission.get('window')}, "
+            f"admitted {admission.get('admitted')}, shed {admission.get('shed')}"
+        )
+        if self.checks_passed:
+            table.verdict = "CHECKS PASS: " + ", ".join(self.checks_passed)
+        return table
+
+
+def _client_ops(spec: LoadSpec, client_idx: int) -> list[tuple[str, int | None]]:
+    """The seeded op stream for one client: ``(kind, priority)`` pairs."""
+    rng = np.random.default_rng(derive_seed(spec.seed, "loadgen", client_idx))
+    kinds = rng.random(spec.ops_per_client) < spec.insert_fraction
+    if spec.insert_fraction > 0:
+        kinds[0] = True  # lead with an insert, as repro.workloads does
+    priorities = spec.priorities.sample(rng, spec.ops_per_client)
+    return [
+        ("ins", int(priorities[i])) if kinds[i] else ("del", None)
+        for i in range(spec.ops_per_client)
+    ]
+
+
+def _observe(client_idx: int, kind: str, result: ClientResult) -> Observation:
+    return Observation(
+        client=client_idx,
+        kind=kind,
+        op_id=result.op_id,
+        uid=result.uid,
+        priority=result.priority,
+        bot=result.bot,
+        retries=result.retries,
+        latency=result.latency,
+        finished_at=time.monotonic(),
+    )
+
+
+async def _run_one_op(
+    client: QueueClient, spec: LoadSpec, client_idx: int, op: tuple[str, int | None]
+) -> Observation:
+    kind, priority = op
+    if kind == "ins":
+        result = await client.insert(priority, value=None, timeout=spec.timeout)
+    else:
+        result = await client.delete_min(timeout=spec.timeout)
+    return _observe(client_idx, kind, result)
+
+
+async def _drive_closed(
+    client: QueueClient, spec: LoadSpec, client_idx: int, out: list[Observation]
+) -> None:
+    ops = _client_ops(spec, client_idx)
+    cursor = iter(ops)
+
+    async def worker() -> None:
+        for op in cursor:  # workers share the stream: `concurrency` in flight
+            out.append(await _run_one_op(client, spec, client_idx, op))
+
+    await asyncio.gather(*(worker() for _ in range(spec.concurrency)))
+
+
+async def _drive_open(
+    client: QueueClient, spec: LoadSpec, client_idx: int, out: list[Observation]
+) -> None:
+    ops = _client_ops(spec, client_idx)
+    rng = np.random.default_rng(derive_seed(spec.seed, "loadgen-arrivals", client_idx))
+    arrivals = np.cumsum(rng.exponential(1.0 / spec.rate, size=len(ops)))
+    started = time.monotonic()
+    tasks = []
+    for op, due in zip(ops, arrivals):
+        now = time.monotonic() - started
+        if due > now:
+            await asyncio.sleep(due - now)
+        tasks.append(
+            asyncio.create_task(_run_one_op(client, spec, client_idx, op))
+        )
+    for result in await asyncio.gather(*tasks):
+        out.append(result)
+
+
+async def run_loadtest(
+    host: str,
+    port: int,
+    spec: LoadSpec,
+    *,
+    check: bool = True,
+) -> LoadReport:
+    """Drive a live service with ``spec``; optionally verify the history."""
+    clients: list[QueueClient] = []
+    try:
+        for i in range(spec.n_clients):
+            clients.append(
+                await QueueClient.connect(
+                    host, port,
+                    client=f"loadgen-{i}",
+                    timeout=spec.timeout,
+                    retry_jitter_seed=derive_seed(spec.seed, "loadgen-jitter", i),
+                )
+            )
+        observations: list[Observation] = []
+        driver = _drive_closed if spec.mode == "closed" else _drive_open
+        started = time.monotonic()
+        await asyncio.gather(
+            *(driver(client, spec, i, observations) for i, client in enumerate(clients))
+        )
+        wall = time.monotonic() - started
+        server_stats = await clients[0].stats()
+        history_payload = await clients[0].history() if check else None
+    finally:
+        for client in clients:
+            await client.aclose()
+
+    report = LoadReport(
+        spec=spec,
+        proto=server_stats["proto"],
+        n_nodes=server_stats["n_nodes"],
+        observations=observations,
+        wall_seconds=wall,
+        shed_total=sum(c.shed_seen for c in clients),
+        retry_total=sum(c.retry_total for c in clients),
+        server_stats=server_stats,
+        history_payload=history_payload,
+    )
+    if check:
+        report.checks_passed = verify_observed_history(report)
+    return report
+
+
+def verify_observed_history(report: LoadReport) -> list[str]:
+    """Run the full semantics stack over the run; returns check names.
+
+    Raises :class:`~repro.errors.ConsistencyError` on the first
+    violation — a load test that fails its consistency checks *failed*,
+    whatever its latency numbers say.
+    """
+    payload = report.history_payload
+    if payload is None:
+        raise ServiceError("report carries no history (loadtest ran check=False)")
+    history = History.from_jsonable(payload["history"])
+    passed: list[str] = []
+
+    # 1. Client-observed outcomes match the server's serialized records.
+    for obs in report.observations:
+        rec = history.ops.get(obs.op_id)
+        if rec is None:
+            raise ConsistencyError(
+                f"client observed op {obs.op_id} that the server never recorded"
+            )
+        if obs.kind == "ins":
+            if rec.kind != INSERT or rec.uid != obs.uid:
+                raise ConsistencyError(
+                    f"insert {obs.op_id}: client saw uid {obs.uid}, "
+                    f"server recorded {rec.kind}/{rec.uid}"
+                )
+        else:
+            if rec.kind != DELETE or rec.returned_bot != obs.bot or (
+                not obs.bot and rec.returned_uid != obs.uid
+            ):
+                raise ConsistencyError(
+                    f"deletemin {obs.op_id}: client saw "
+                    f"{'⊥' if obs.bot else obs.uid}, server recorded "
+                    f"{'⊥' if rec.returned_bot else rec.returned_uid}"
+                )
+    passed.append("client-vs-server")
+
+    # 2. The protocol's full consistency bundle over the settled history.
+    proto = payload["proto"]
+    if proto == "skeap":
+        if payload.get("discipline", "fifo") == "fifo":
+            check_skeap_history(history, order=payload.get("order", "min"))
+            passed.append("skeap(SC+heap+serial)")
+        else:
+            check_settled(history)
+            check_local_consistency(history)
+            check_heap_consistency(history, order=payload.get("order", "min"))
+            passed.append("skeap(SC+heap)")
+    elif proto == "seap":
+        check_seap_history(history)
+        passed.append("seap(serializable+heap)")
+    else:
+        check_settled(history)
+        check_heap_consistency(history)
+        passed.append("heap-consistency")
+
+    # 3. Element conservation against the drained-point census.
+    check_element_conservation(history, payload["stored_uids"])
+    passed.append("conservation")
+    return passed

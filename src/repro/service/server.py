@@ -1,0 +1,487 @@
+"""The live queue service: an asyncio TCP front-end over a simulated cluster.
+
+:class:`QueueService` owns a :class:`~repro.skeap.heap.SkeapHeap` or
+:class:`~repro.seap.heap.SeapHeap` and *pumps* its runner from a
+background asyncio task — the protocol code runs unmodified; the only
+thing that changes is who advances the event loop (the paper's drivers
+under experiments, this server under live traffic).  Client requests map
+onto protocol operations through the causal op-id ``(owner, seq)`` that
+PR 4 threads through every message: the service parks one asyncio future
+per submitted op, keyed by that id, and resolves it the moment the op's
+handle lands (its span completes).
+
+Request lifecycle::
+
+    frame in ──> admission ──┬─ shed ──> {status: "retry_after", ...}
+                             └─ admit ─> submit at the session's node
+                                          └─ pump ... handle.done
+                                               └─> {status: "ok", ...} frame out
+
+Graceful degradation is structural: the admission window bounds how many
+ops may be outstanding inside the simulation, so offered load beyond it
+is *shed with an explicit hint*, never buffered without bound and never
+silently dropped.
+
+Barrier requests (``history``, ``kselect``) are served at drained points
+— no admitted op unresolved — where the element census is stable (the
+same stability argument the fuzz harness's conservation check uses).
+``kselect`` answers against a snapshot :class:`~repro.kselect.cluster.
+KSelectCluster` seeded from the service seed, i.e. it runs the paper's
+Section-4 protocol over the live heap's current elements without touching
+the live cluster.
+
+The protocol packages contain no service-specific branches; everything
+here composes their public client API (``submit_*`` via the heap
+front-ends) with the runners' :meth:`pump` hand-off hook.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServiceError, WireError
+from ..seap import SeapHeap
+from ..semantics.history import DELETE, INSERT
+from ..skeap import SkeapHeap
+from .admission import AdmissionController
+from .wire import DEFAULT_MAX_FRAME, read_frame, write_frame
+
+__all__ = ["QueueService", "RESPONSE_MAX_FRAME", "PROTOS"]
+
+#: Server->client frames (history dumps) may be much larger than requests.
+RESPONSE_MAX_FRAME = 1 << 26
+
+#: Backends the service can front.
+PROTOS = ("skeap", "seap")
+
+
+def _make_heap(proto: str, n_nodes: int, seed: int, runner: str, n_priorities: int):
+    if proto == "skeap":
+        return SkeapHeap(
+            n_nodes, n_priorities=n_priorities, seed=seed, runner=runner,
+            record_history=True,
+        )
+    if proto == "seap":
+        return SeapHeap(n_nodes, seed=seed, runner=runner, record_history=True)
+    raise ServiceError(f"unknown proto {proto!r}; available: {PROTOS}")
+
+
+@dataclass
+class _Session:
+    """One connected client."""
+
+    session_id: int
+    name: str
+    node: int  # the real node this session's ops are submitted at
+    writer: asyncio.StreamWriter
+    send_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    closed: bool = False
+
+
+@dataclass(slots=True)
+class _PendingOp:
+    """An admitted op waiting for its handle to land."""
+
+    session: _Session
+    rid: Any
+    handle: Any  # OpHandle
+    submitted_at: float
+
+
+@dataclass(slots=True)
+class _Barrier:
+    """A request served at the next drained point (history / kselect)."""
+
+    session: _Session
+    rid: Any
+    op: str
+    payload: dict
+
+
+class QueueService:
+    """Serve a Skeap/Seap cluster over TCP to real asyncio clients."""
+
+    def __init__(
+        self,
+        proto: str = "skeap",
+        n_nodes: int = 16,
+        seed: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        runner: str = "sync",
+        n_priorities: int = 3,
+        window: int = 64,
+        base_retry_after: float = 0.02,
+        pump_budget: int = 64,
+        idle_interval: float = 0.005,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        heap=None,
+    ):
+        if heap is not None:
+            self.heap = heap
+            self.proto = proto
+        else:
+            self.heap = _make_heap(proto, n_nodes, seed, runner, n_priorities)
+            self.proto = proto
+        if self.heap.history is None:
+            raise ServiceError("the service needs record_history=True")
+        self.host = host
+        self.port = port  # rewritten with the bound port after start()
+        self.seed = int(seed)
+        self.admission = AdmissionController(
+            window=window, base_retry_after=base_retry_after
+        )
+        self.pump_budget = int(pump_budget)
+        self.idle_interval = float(idle_interval)
+        self.max_frame = int(max_frame)
+        self._sessions: dict[int, _Session] = {}
+        self._session_ids = itertools.count()
+        self._kselect_queries = itertools.count()
+        self._pending: dict[tuple[int, int], _PendingOp] = {}
+        self._barriers: list[_Barrier] = []
+        self._work = asyncio.Event()
+        self._server: asyncio.base_events.Server | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._started_at = 0.0
+        #: strong refs to in-flight send tasks (asyncio only keeps weak ones)
+        self._send_tasks: set[asyncio.Task] = set()
+        #: observability counters
+        self.ops_completed = 0
+        self.ops_failed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServiceError("service already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        self._pump_task = asyncio.create_task(self._pump_loop(), name="queue-pump")
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for session in list(self._sessions.values()):
+            session.writer.close()
+
+    async def __aenter__(self) -> "QueueService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- the pump: simulation <-> event loop hand-off ----------------------
+
+    async def _pump_loop(self) -> None:
+        """Advance the simulation whenever client ops are outstanding.
+
+        The runner's :meth:`pump` hook processes a bounded batch of
+        rounds/events, then control returns to the event loop so new
+        frames can be read — the hand-off that lets one thread serve both
+        the sockets and the simulated cluster.  When nothing is pending
+        the epoch/iteration machinery still ticks, but throttled to
+        ``idle_interval`` (the protocols run their coordination waves
+        perpetually even with no buffered ops; unthrottled pumping would
+        spin a core for nothing).
+        """
+        runner = self.heap.runner
+        while True:
+            if self._pending or self._barriers:
+                runner.pump(self.pump_budget)
+                self._resolve_landed()
+                await asyncio.sleep(0)
+            elif runner.is_quiescent():
+                self._work.clear()
+                await self._work.wait()
+            else:
+                runner.pump(self.pump_budget)
+                self._resolve_landed()
+                await asyncio.sleep(self.idle_interval)
+
+    def _resolve_landed(self) -> None:
+        """Resolve every pending op whose span landed (handle done).
+
+        Runs synchronously inside the pump task: between the landed-scan
+        and the barrier service below no other coroutine can interleave,
+        so a served barrier really does observe a drained, settled heap.
+        """
+        if self._pending:
+            landed = [
+                (op_id, op) for op_id, op in self._pending.items() if op.handle.done
+            ]
+            for op_id, op in landed:
+                del self._pending[op_id]
+                self.admission.release(op.session.session_id)
+                self.ops_completed += 1
+                self._send_soon(op.session, self._completion_frame(op_id, op))
+            # Keep the heap's own outstanding list pruned (it tracks every
+            # submitted handle; the service resolves them out of band).
+            self.heap.outstanding()
+        if self._barriers and not self._pending:
+            barriers, self._barriers = self._barriers, []
+            for barrier in barriers:
+                self._send_soon(barrier.session, self._serve_barrier(barrier))
+
+    def _completion_frame(self, op_id, op: _PendingOp) -> dict:
+        handle = op.handle
+        frame: dict[str, Any] = {
+            "rid": op.rid,
+            "status": "ok",
+            "op": list(op_id),
+            "latency": time.monotonic() - op.submitted_at,
+        }
+        if handle.kind == INSERT:
+            frame["kind"] = "insert"
+            frame["uid"] = handle.uid
+            frame["stored"] = True
+        else:
+            frame["kind"] = "deletemin"
+            if handle.is_bottom:
+                frame["bot"] = True
+            else:
+                element = handle.result
+                frame["bot"] = False
+                frame["uid"] = element.uid
+                frame["priority"] = element.priority
+                frame["value"] = element.value
+        return frame
+
+    # -- barrier requests (drained-point reads) ----------------------------
+
+    def _serve_barrier(self, barrier: _Barrier) -> dict:
+        try:
+            if barrier.op == "history":
+                return self._history_frame(barrier.rid)
+            if barrier.op == "kselect":
+                return self._kselect_frame(barrier.rid, barrier.payload)
+            raise ServiceError(f"unknown barrier op {barrier.op!r}")
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            return _error(barrier.rid, f"{type(exc).__name__}: {exc}")
+
+    def _history_frame(self, rid) -> dict:
+        return {
+            "rid": rid,
+            "status": "ok",
+            "history": self.heap.history.to_jsonable(),
+            "stored_uids": sorted(self.heap.stored_uids()),
+            "proto": self.proto,
+            "order": getattr(self.heap, "order", "min"),
+            "discipline": getattr(self.heap, "discipline", "fifo"),
+        }
+
+    def _kselect_frame(self, rid, payload: dict) -> dict:
+        """Run Section-4 KSelect over a snapshot of the stored elements."""
+        from ..kselect import KSelectCluster
+
+        k = payload.get("k")
+        if not isinstance(k, int) or isinstance(k, bool):
+            return _error(rid, "kselect needs an integer 'k'")
+        keys = [
+            element.key
+            for node in self.heap.nodes.values()
+            for _, element in node.store.items()
+        ]
+        m = len(keys)
+        if not 1 <= k <= max(m, 0) or m == 0:
+            return _error(rid, f"k={k} out of range [1, {m}]")
+        snapshot = KSelectCluster(
+            self.heap.n_nodes,
+            seed=self.seed + 1 + next(self._kselect_queries),
+        )
+        snapshot.scatter(keys)
+        priority, uid = snapshot.select(k)
+        return {
+            "rid": rid, "status": "ok", "k": k, "m": m,
+            "priority": int(priority), "uid": int(uid),
+        }
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _Session(
+            session_id=next(self._session_ids),
+            name="",
+            node=0,
+            writer=writer,
+        )
+        session.node = session.session_id % self.heap.n_nodes
+        self.admission.register(session.session_id)
+        self._sessions[session.session_id] = session
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader, max_frame=self.max_frame)
+                except WireError as exc:
+                    # A per-connection framing error: tell the peer if the
+                    # pipe still works, then drop only this connection.
+                    await self._send_safe(session, _error(None, str(exc)))
+                    break
+                if request is None:
+                    break  # clean EOF
+                if not await self._dispatch(session, request):
+                    break
+        finally:
+            session.closed = True
+            self.admission.unregister(session.session_id)
+            self._sessions.pop(session.session_id, None)
+            self._drop_session_state(session)
+            writer.close()
+
+    def _drop_session_state(self, session: _Session) -> None:
+        """Forget pending ops and barriers of a departed session.
+
+        The *protocol* ops themselves still run to completion inside the
+        simulation (they are already part of the history); only the
+        response futures die with the connection.
+        """
+        for op_id in [
+            op_id for op_id, op in self._pending.items() if op.session is session
+        ]:
+            del self._pending[op_id]
+        self._barriers = [b for b in self._barriers if b.session is not session]
+
+    async def _dispatch(self, session: _Session, request: dict) -> bool:
+        """Handle one request frame; returns False to close the connection."""
+        op = request.get("op")
+        rid = request.get("rid")
+        if op == "hello":
+            session.name = str(request.get("client", ""))
+            await self._send_safe(
+                session,
+                {
+                    "rid": rid,
+                    "status": "ok",
+                    "proto": self.proto,
+                    "n_nodes": self.heap.n_nodes,
+                    "session": session.session_id,
+                    "node": session.node,
+                    "window": self.admission.window,
+                },
+            )
+            return True
+        if op == "ping":
+            await self._send_safe(session, {"rid": rid, "status": "ok", "pong": True})
+            return True
+        if op == "stats":
+            await self._send_safe(session, self._stats_frame(rid))
+            return True
+        if op == "close":
+            await self._send_safe(session, {"rid": rid, "status": "ok", "bye": True})
+            return False
+        if op in ("history", "kselect"):
+            self._barriers.append(
+                _Barrier(session=session, rid=rid, op=op, payload=request)
+            )
+            self._work.set()
+            return True
+        if op in ("insert", "deletemin"):
+            await self._submit(session, op, rid, request)
+            return True
+        await self._send_safe(session, _error(rid, f"unknown op {op!r}"))
+        return True
+
+    async def _submit(self, session: _Session, op: str, rid, request: dict) -> None:
+        decision = self.admission.try_admit(session.session_id)
+        if not decision.admitted:
+            await self._send_safe(
+                session,
+                {
+                    "rid": rid,
+                    "status": "retry_after",
+                    "retry_after": decision.retry_after,
+                    "reason": decision.reason,
+                },
+            )
+            return
+        try:
+            if op == "insert":
+                priority = request.get("priority")
+                if not isinstance(priority, int) or isinstance(priority, bool):
+                    raise ServiceError("insert needs an integer 'priority'")
+                handle = self.heap.insert(
+                    priority=priority, value=request.get("value"), at=session.node
+                )
+            else:
+                handle = self.heap.delete_min(at=session.node)
+        except Exception as exc:  # noqa: BLE001 - bad request, slot returned
+            self.admission.release(session.session_id)
+            self.ops_failed += 1
+            await self._send_safe(session, _error(rid, f"{type(exc).__name__}: {exc}"))
+            return
+        self._pending[handle.op_id] = _PendingOp(
+            session=session, rid=rid, handle=handle, submitted_at=time.monotonic()
+        )
+        # A client submission buffers work on the node *without* a message,
+        # so the runner's maybe-active pruning (is_quiescent) may have
+        # dropped it; wake it explicitly or the pump would stall forever.
+        self.heap.runner.wake(self.heap.middle_node(session.node).id)
+        self._work.set()
+
+    def _stats_frame(self, rid) -> dict:
+        runner = self.heap.runner
+        return {
+            "rid": rid,
+            "status": "ok",
+            "proto": self.proto,
+            "n_nodes": self.heap.n_nodes,
+            "uptime": time.monotonic() - self._started_at,
+            "ops_completed": self.ops_completed,
+            "ops_failed": self.ops_failed,
+            "pending": len(self._pending),
+            "rounds": getattr(runner, "_round", None),
+            "sim_time": runner.now,
+            "admission": self.admission.snapshot(),
+            "history_ops": len(self.heap.history),
+        }
+
+    # -- frame output ------------------------------------------------------
+
+    def _send_soon(self, session: _Session, frame: dict) -> None:
+        """Queue a frame from sync pump code (drain happens in a task)."""
+        if session.closed:
+            return
+        task = asyncio.get_running_loop().create_task(self._send_safe(session, frame))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    async def _send_safe(self, session: _Session, frame: dict) -> None:
+        if session.closed:
+            return
+        try:
+            async with session.send_lock:
+                await write_frame(
+                    session.writer, frame, max_frame=RESPONSE_MAX_FRAME
+                )
+        except (ConnectionError, WireError):
+            session.closed = True
+
+
+def _error(rid, message: str) -> dict:
+    return {"rid": rid, "status": "error", "error": message}

@@ -1,0 +1,144 @@
+"""Length-prefixed JSON frame codec for the live queue service.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  The format is deliberately
+boring: every client in any language can speak it, and every failure mode
+has exactly one diagnosis:
+
+* a length above ``max_frame`` → :class:`~repro.errors.WireError`
+  *before* buffering the body (an attacker-sized prefix never allocates);
+* a body that is not valid UTF-8 JSON, or not a JSON *object* →
+  :class:`~repro.errors.WireError`;
+* a connection that closes mid-frame → :class:`~repro.errors.WireError`
+  from the stream helpers (the incremental :class:`FrameDecoder` simply
+  reports the bytes it still needs).
+
+The codec is pure: no I/O in :func:`encode_frame` / :class:`FrameDecoder`,
+so it is unit-testable byte by byte; :func:`read_frame` /
+:func:`write_frame` adapt it to asyncio streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Iterator
+
+from ..errors import WireError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "HEADER_SIZE",
+    "encode_frame",
+    "FrameDecoder",
+    "read_frame",
+    "write_frame",
+]
+
+#: Frames above this are rejected (1 MiB is orders of magnitude beyond any
+#: legitimate request; history dumps negotiate a larger bound explicitly).
+DEFAULT_MAX_FRAME = 1 << 20
+
+#: Big-endian unsigned 32-bit length prefix.
+HEADER_SIZE = 4
+
+
+def encode_frame(obj: dict[str, Any], max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Encode one JSON object as a length-prefixed frame."""
+    if not isinstance(obj, dict):
+        raise WireError(f"frames carry JSON objects, not {type(obj).__name__}")
+    body = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > max_frame:
+        raise WireError(f"frame of {len(body)} bytes exceeds max_frame={max_frame}")
+    return len(body).to_bytes(HEADER_SIZE, "big") + body
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed arbitrary byte chunks, get objects.
+
+    Handles partial reads (a frame split across any number of chunks) and
+    interleaved frames (many frames in one chunk).  Raises
+    :class:`~repro.errors.WireError` on an oversized declared length or a
+    malformed body; after an error the decoder is poisoned — the stream
+    has lost framing and the connection must be dropped.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+        self.max_frame = int(max_frame)
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet decoded (mid-frame progress)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> Iterator[dict[str, Any]]:
+        """Buffer ``data`` and yield every complete frame it finishes."""
+        if self._poisoned:
+            raise WireError("decoder poisoned by an earlier framing error")
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < HEADER_SIZE:
+                return
+            length = int.from_bytes(self._buffer[:HEADER_SIZE], "big")
+            if length > self.max_frame:
+                self._poisoned = True
+                raise WireError(
+                    f"declared frame length {length} exceeds max_frame={self.max_frame}"
+                )
+            if len(self._buffer) < HEADER_SIZE + length:
+                return
+            body = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buffer[: HEADER_SIZE + length]
+            yield self._decode_body(body)
+
+    def _decode_body(self, body: bytes) -> dict[str, Any]:
+        try:
+            obj = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._poisoned = True
+            raise WireError(f"frame body is not valid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            self._poisoned = True
+            raise WireError(
+                f"frame body must be a JSON object, got {type(obj).__name__}"
+            )
+        return obj
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+) -> dict[str, Any] | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF *between* frames; raises
+    :class:`~repro.errors.WireError` on EOF mid-frame (the peer vanished
+    halfway through a message) or any framing violation.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF on a frame boundary
+        raise WireError("connection closed mid-header") from exc
+    length = int.from_bytes(header, "big")
+    if length > max_frame:
+        raise WireError(f"declared frame length {length} exceeds max_frame={max_frame}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+    return FrameDecoder(max_frame)._decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    obj: dict[str, Any],
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> None:
+    """Encode ``obj`` and write it to an asyncio stream, with backpressure."""
+    writer.write(encode_frame(obj, max_frame=max_frame))
+    await writer.drain()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable, Iterable
 
 import numpy as np
@@ -28,7 +29,21 @@ __all__ = ["AsyncRunner", "uniform_delay", "adversarial_delay"]
 
 
 def uniform_delay(low: float = 0.1, high: float = 2.5):
-    """Message delays drawn uniformly from ``[low, high)`` — non-FIFO."""
+    """Message delays drawn uniformly from ``[low, high)`` — non-FIFO.
+
+    Bad ranges are rejected here, at configuration time: a negative or
+    inverted range would otherwise surface much later as an opaque
+    "negative message delay" (or a silently reordered heap) deep inside a
+    run.
+    """
+    if not (math.isfinite(low) and math.isfinite(high)):
+        raise SimulationError(f"uniform_delay range must be finite, got [{low}, {high})")
+    if low < 0:
+        raise SimulationError(f"uniform_delay low bound must be >= 0, got {low}")
+    if high < low:
+        raise SimulationError(
+            f"uniform_delay range is inverted: low={low} > high={high}"
+        )
 
     def sample(msg: Message, rng) -> float:
         return float(rng.uniform(low, high))
@@ -43,6 +58,10 @@ def adversarial_delay(slow_fraction: float = 0.2, slow_factor: float = 20.0):
     distributed queues: late Puts racing their Gets, children outrunning
     parents, etc.
 
+    ``slow_fraction`` must lie in ``[0, 1]`` and ``slow_factor`` must be
+    positive — validated eagerly so a bad config fails at construction,
+    not as a corrupted schedule mid-run.
+
     The slow-set decision (and the base delay) is a pure function of the
     message's identity — its channel ``(sender, dest)`` plus its ordinal
     on that channel — and a key drawn once from the runner's stream, not
@@ -54,6 +73,15 @@ def adversarial_delay(slow_fraction: float = 0.2, slow_factor: float = 20.0):
     whatever ran earlier in the same process, so a replay in a fresh
     process reproduces the exact same delays.
     """
+
+    if not 0.0 <= slow_fraction <= 1.0:
+        raise SimulationError(
+            f"adversarial_delay slow_fraction must be in [0, 1], got {slow_fraction}"
+        )
+    if not math.isfinite(slow_factor) or slow_factor <= 0:
+        raise SimulationError(
+            f"adversarial_delay slow_factor must be positive, got {slow_factor}"
+        )
 
     state: dict[str, int] = {}
     channel_count: dict[tuple[int, int], int] = {}
@@ -328,6 +356,25 @@ class AsyncRunner:
                     node.id,
                 ),
             )
+
+    def pump(self, budget: int = 256) -> int:
+        """Hand-off hook for external drivers (the live service runtime).
+
+        Processes up to ``budget`` events and stops early at quiescence,
+        returning the number of events processed.  Unlike
+        :meth:`run_until_quiescent` this never blocks on a predicate: a
+        caller that owns its own loop (e.g. an asyncio server pumping the
+        simulation between socket reads) calls ``pump`` repeatedly and
+        interleaves its own work whenever the budget is exhausted.  Purely
+        a driver entry point — it draws no randomness of its own, so a
+        sequence of ``pump`` calls replays the exact event schedule
+        ``run_until_quiescent`` would.
+        """
+        done = 0
+        while done < budget and self._events and not self.is_quiescent():
+            self._process_one()
+            done += 1
+        return done
 
     def is_quiescent(self) -> bool:
         """No messages in flight and no node declares outstanding work.

@@ -273,6 +273,22 @@ class SyncRunner:
         self.metrics.end_round()
         self._round += 1
 
+    def pump(self, budget: int = 64) -> int:
+        """Hand-off hook for external drivers (the live service runtime).
+
+        Executes up to ``budget`` rounds and stops early at quiescence,
+        returning the number of rounds run.  A caller that owns its own
+        loop (e.g. an asyncio server pumping the simulation between socket
+        reads) calls ``pump`` repeatedly and interleaves its own work when
+        the budget runs out.  Purely a driver entry point: the rounds it
+        runs are bit-identical to the ones :meth:`run_until` would run.
+        """
+        done = 0
+        while done < budget and not self.is_quiescent():
+            self.step()
+            done += 1
+        return done
+
     def pending_messages(self) -> int:
         """Messages in flight (sent but not yet delivered)."""
         return len(self._outbox) + self._future_count

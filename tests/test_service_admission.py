@@ -1,0 +1,194 @@
+"""Admission control: the window bounds work, fairness holds, overload
+sheds with RETRY_AFTER (and clients converge by retrying), and nothing
+is ever silently lost."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import AdmissionController, QueueClient, QueueService
+from repro.service.admission import AdmissionDecision
+
+
+class TestControllerUnit:
+    def test_admits_up_to_window(self):
+        ctl = AdmissionController(window=4)
+        ctl.register("c")
+        decisions = [ctl.try_admit("c") for _ in range(5)]
+        assert [d.admitted for d in decisions] == [True] * 4 + [False]
+        assert decisions[-1].retry_after > 0
+        assert ctl.shed_total == 1 and ctl.admitted_total == 4
+
+    def test_release_reopens_the_window(self):
+        ctl = AdmissionController(window=2)
+        ctl.register("c")
+        assert ctl.try_admit("c").admitted
+        assert ctl.try_admit("c").admitted
+        assert not ctl.try_admit("c").admitted
+        ctl.release("c")
+        assert ctl.try_admit("c").admitted
+
+    def test_fair_share_splits_window_across_clients(self):
+        ctl = AdmissionController(window=8)
+        ctl.register("a")
+        ctl.register("b")
+        assert ctl.fair_share() == 4
+        # One greedy client cannot take the whole window...
+        grabbed = sum(ctl.try_admit("a").admitted for _ in range(8))
+        assert grabbed == 4
+        # ...and the other still gets its full share.
+        assert sum(ctl.try_admit("b").admitted for _ in range(8)) == 4
+
+    def test_fair_share_returns_after_unregister(self):
+        ctl = AdmissionController(window=8)
+        ctl.register("a")
+        ctl.register("b")
+        for _ in range(4):
+            assert ctl.try_admit("a").admitted
+        ctl.unregister("b")
+        assert ctl.fair_share() == 8
+        assert ctl.in_flight == 4  # b held nothing
+        assert ctl.try_admit("a").admitted
+
+    def test_unregister_returns_held_slots(self):
+        ctl = AdmissionController(window=4)
+        ctl.register("a")
+        ctl.register("b")
+        assert ctl.try_admit("a").admitted
+        assert ctl.try_admit("a").admitted
+        ctl.unregister("a")
+        assert ctl.in_flight == 0
+
+    def test_retry_after_scales_with_saturation(self):
+        ctl = AdmissionController(window=4, base_retry_after=0.1)
+        ctl.register("a")
+        ctl.register("b")
+        empty_hint = ctl.try_admit("a")  # admitted; probe the delay fn
+        for _ in range(3):
+            ctl.try_admit("a")
+        for _ in range(2):
+            ctl.try_admit("b")
+        full = ctl.try_admit("b")
+        assert not full.admitted
+        assert full.retry_after == pytest.approx(0.1 * 2.0)  # window saturated
+        assert empty_hint.admitted
+
+    def test_misuse_raises(self):
+        ctl = AdmissionController(window=2)
+        with pytest.raises(ServiceError, match="not registered"):
+            ctl.try_admit("ghost")
+        ctl.register("c")
+        with pytest.raises(ServiceError, match="registered twice"):
+            ctl.register("c")
+        with pytest.raises(ServiceError, match="release without admit"):
+            ctl.release("c")
+        with pytest.raises(ServiceError, match="window must be"):
+            AdmissionController(window=0)
+
+    def test_decision_is_frozen(self):
+        decision = AdmissionDecision(True)
+        with pytest.raises(AttributeError):
+            decision.admitted = False
+
+
+class TestLiveShedding:
+    """Against a real service: RETRY_AFTER frames, fairness, convergence."""
+
+    def test_window_full_returns_retry_after_frame(self):
+        from repro.service.wire import read_frame, write_frame
+
+        async def scenario():
+            async with QueueService(
+                "skeap", n_nodes=4, seed=0, window=2
+            ) as service:
+                reader, writer = await asyncio.open_connection(
+                    service.host, service.port
+                )
+                await write_frame(writer, {"rid": 0, "op": "hello"})
+                await read_frame(reader)
+                # Burst past the window without awaiting completions.
+                for rid in range(1, 5):
+                    await write_frame(
+                        writer, {"rid": rid, "op": "insert", "priority": 1}
+                    )
+                statuses = {}
+                while len(statuses) < 4:
+                    frame = await read_frame(reader)
+                    statuses[frame["rid"]] = frame
+                writer.close()
+                return statuses
+
+        statuses = asyncio.run(scenario())
+        shed = [f for f in statuses.values() if f["status"] == "retry_after"]
+        done = [f for f in statuses.values() if f["status"] == "ok"]
+        assert len(shed) == 2 and len(done) == 2
+        for frame in shed:
+            assert frame["retry_after"] > 0
+            assert frame["reason"]
+
+    def test_retrying_client_converges_under_overload(self):
+        """Every op eventually lands despite a window much smaller than
+        the offered concurrency — shed, retry, converge; none lost."""
+
+        async def scenario():
+            async with QueueService(
+                "skeap", n_nodes=4, seed=1, window=3, base_retry_after=0.01
+            ) as service:
+                client = await QueueClient.connect(
+                    service.host, service.port, client="pushy"
+                )
+                results = await asyncio.gather(
+                    *(client.insert(i % 3 + 1, f"v{i}") for i in range(12))
+                )
+                history = await client.history()
+                stats = await client.stats()
+                shed_seen = client.shed_seen
+                await client.aclose()
+                return results, history, stats, shed_seen
+
+        results, history, stats, shed_seen = asyncio.run(scenario())
+        assert len(results) == 12
+        assert len({r.uid for r in results}) == 12  # every insert landed once
+        assert shed_seen > 0  # overload actually happened
+        assert stats["admission"]["shed"] > 0
+        # No silent loss: all 12 elements are accounted for in the census.
+        assert len(history["stored_uids"]) == 12
+
+    def test_fairness_across_two_live_clients(self):
+        """With one client hammering, the second still gets slots."""
+
+        async def scenario():
+            async with QueueService(
+                "skeap", n_nodes=4, seed=2, window=4, base_retry_after=0.01
+            ) as service:
+                greedy = await QueueClient.connect(
+                    service.host, service.port, client="greedy"
+                )
+                polite = await QueueClient.connect(
+                    service.host, service.port, client="polite"
+                )
+
+                async def hammer():
+                    await asyncio.gather(
+                        *(greedy.insert(1, f"g{i}") for i in range(16))
+                    )
+
+                async def trickle():
+                    out = []
+                    for i in range(4):
+                        out.append(await polite.insert(2, f"p{i}"))
+                    return out
+
+                _, polite_results = await asyncio.gather(hammer(), trickle())
+                stats = await polite.stats()
+                await greedy.aclose()
+                await polite.aclose()
+                return polite_results, stats
+
+        polite_results, stats = asyncio.run(scenario())
+        # The polite client completed all its ops; fairness kept the
+        # greedy one from monopolizing the window.
+        assert len(polite_results) == 4
+        assert stats["admission"]["admitted"] == 20
+        assert stats["admission"]["fair_share"] == 2

@@ -1,0 +1,209 @@
+"""End-to-end live service: real sockets, real clients, checked semantics.
+
+The acceptance bar for the service runtime: a loadtest against a live
+16-node cluster — Skeap *and* Seap — must pass the full semantics stack
+(sequential consistency / serializability + heap consistency) plus
+element conservation, computed post hoc from the observed history.
+"""
+
+import asyncio
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import LoadSpec, QueueClient, QueueService, run_loadtest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _loadtest(proto, *, n_nodes=16, runner="sync", **spec_kwargs):
+    async def scenario():
+        async with QueueService(proto, n_nodes=n_nodes, seed=13, runner=runner) as svc:
+            return await run_loadtest(svc.host, svc.port, LoadSpec(**spec_kwargs))
+
+    return asyncio.run(scenario())
+
+
+class TestLoadtestAcceptance:
+    def test_skeap_16_nodes_checked(self):
+        report = _loadtest(
+            "skeap", n_clients=4, ops_per_client=25, concurrency=2, seed=3
+        )
+        assert report.completed == 100
+        assert report.proto == "skeap" and report.n_nodes == 16
+        assert "skeap(SC+heap+serial)" in report.checks_passed
+        assert "conservation" in report.checks_passed
+        assert "client-vs-server" in report.checks_passed
+        assert report.latency().p99 > 0
+        assert report.throughput > 0
+
+    def test_seap_16_nodes_checked(self):
+        report = _loadtest(
+            "seap", n_clients=4, ops_per_client=25, concurrency=2, seed=3
+        )
+        assert report.completed == 100
+        assert "seap(serializable+heap)" in report.checks_passed
+        assert "conservation" in report.checks_passed
+
+    def test_open_loop_seap(self):
+        report = _loadtest(
+            "seap", n_nodes=8,
+            n_clients=2, ops_per_client=10, mode="open", rate=400.0, seed=5,
+        )
+        assert report.completed == 20
+        assert report.checks_passed  # verification ran and held
+
+    def test_async_runner_backend(self):
+        report = _loadtest(
+            "skeap", n_nodes=8, runner="async",
+            n_clients=2, ops_per_client=10, seed=7,
+        )
+        assert report.completed == 20
+        assert "conservation" in report.checks_passed
+
+    def test_latency_table_renders(self):
+        report = _loadtest(
+            "skeap", n_nodes=4, n_clients=2, ops_per_client=5, seed=1
+        )
+        rendered = report.table().render()
+        assert "p99 ms" in rendered and "throughput" in rendered
+        assert "CHECKS PASS" in rendered
+        markdown = report.table().to_markdown()
+        assert "|" in markdown
+
+
+class TestClientOps:
+    def test_kselect_returns_kth_smallest(self):
+        async def scenario():
+            async with QueueService("seap", n_nodes=8, seed=21) as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                priorities = [50, 10, 40, 20, 30]
+                for p in priorities:
+                    await client.insert(p, f"job-{p}")
+                got = []
+                for k in range(1, len(priorities) + 1):
+                    result = await client.kselect(k)
+                    got.append(result.priority)
+                await client.aclose()
+                return got
+
+        assert asyncio.run(scenario()) == [10, 20, 30, 40, 50]
+
+    def test_kselect_out_of_range_and_bad_k(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                await client.insert(1, "only")
+                errors = []
+                for bad_k in (0, 5, "one", True):
+                    try:
+                        await client.kselect(bad_k)
+                    except ServiceError as exc:
+                        errors.append(str(exc))
+                await client.aclose()
+                return errors
+
+        errors = asyncio.run(scenario())
+        assert len(errors) == 4
+
+    def test_deletemin_on_empty_returns_bottom(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                result = await client.delete_min()
+                await client.aclose()
+                return result
+
+        result = asyncio.run(scenario())
+        assert result.bot and result.uid is None
+
+    def test_insert_validation_error_returns_slot(self):
+        """A rejected request must not leak its admission slot."""
+
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0, window=2) as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                for _ in range(5):
+                    with pytest.raises(ServiceError, match="priority"):
+                        await client.insert("high", "bad")  # type: ignore[arg-type]
+                # Window would be exhausted after 2 leaks; this still works:
+                ok = await client.insert(1, "good")
+                stats = await client.stats()
+                await client.aclose()
+                return ok, stats
+
+        ok, stats = asyncio.run(scenario())
+        assert ok.uid is not None
+        assert stats["admission"]["in_flight"] == 0
+        assert stats["ops_failed"] == 5
+
+    def test_unknown_op_is_an_error_not_a_disconnect(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                with pytest.raises(ServiceError, match="unknown op"):
+                    await client._request({"op": "mystery"})
+                pong = await client.ping()
+                await client.aclose()
+                return pong
+
+        assert asyncio.run(scenario())["pong"] is True
+
+    def test_two_sessions_land_on_distinct_nodes(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as svc:
+                a = await QueueClient.connect(svc.host, svc.port, client="a")
+                b = await QueueClient.connect(svc.host, svc.port, client="b")
+                nodes = (a.node, b.node)
+                await a.aclose()
+                await b.aclose()
+                return nodes
+
+        a_node, b_node = asyncio.run(scenario())
+        assert a_node != b_node
+
+
+class TestTargetsRegistry:
+    def test_registry_covers_every_runnable_target_exactly(self):
+        from repro.harness.targets_cli import _check_complete
+
+        assert _check_complete() == []
+
+    def test_targets_cli_runs(self, capsys):
+        from repro.harness.targets_cli import targets_main
+
+        assert targets_main([]) == 0
+        out = capsys.readouterr().out
+        for needle in ("T1", "A3", "skeap-async", "serve|loadtest"):
+            assert needle in out
+
+
+class TestSimulatorIsolation:
+    def test_sim_runs_byte_identical_with_service_imported(self):
+        """Importing repro.service must not perturb a simulator-only run."""
+        program = """
+import hashlib, json, sys
+{extra}
+from repro import SkeapHeap
+heap = SkeapHeap(n_nodes=8, n_priorities=3, seed=42)
+for i in range(12):
+    heap.insert(priority=i % 3 + 1, value=i, at=i % 8)
+handles = [heap.delete_min(at=i % 8) for i in range(6)]
+heap.settle()
+digest = hashlib.sha256(json.dumps(
+    heap.history.to_jsonable(), sort_keys=True).encode()).hexdigest()
+print(digest, sorted(heap.stored_uids()))
+"""
+        outputs = []
+        for extra in ("", "import repro.service"):
+            result = subprocess.run(
+                [sys.executable, "-c", program.format(extra=extra)],
+                capture_output=True, text=True,
+                env={"PYTHONPATH": SRC, "PYTHONHASHSEED": "0"},
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]

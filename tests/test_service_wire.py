@@ -1,0 +1,246 @@
+"""Wire-protocol robustness: framing survives hostile and unlucky bytes.
+
+The codec is pure, so most of this drives :class:`FrameDecoder` byte by
+byte; the live-server cases then prove a framing violation kills only
+the offending connection, never the service.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import WireError
+from repro.service.wire import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    FrameDecoder,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+class TestEncode:
+    def test_round_trip(self):
+        frame = encode_frame({"op": "ping", "rid": 7})
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame)) == [{"op": "ping", "rid": 7}]
+
+    def test_encode_is_canonical(self):
+        # Sorted keys: the same object always produces the same bytes.
+        assert encode_frame({"b": 1, "a": 2}) == encode_frame({"a": 2, "b": 1})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(WireError, match="JSON object"):
+            encode_frame(["not", "a", "dict"])
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(WireError, match="exceeds max_frame"):
+            encode_frame({"blob": "x" * 64}, max_frame=32)
+
+
+class TestDecoderPartialReads:
+    def test_one_byte_at_a_time(self):
+        frame = encode_frame({"op": "insert", "priority": 3})
+        decoder = FrameDecoder()
+        got = []
+        for i in range(len(frame)):
+            got.extend(decoder.feed(frame[i : i + 1]))
+        assert got == [{"op": "insert", "priority": 3}]
+
+    def test_split_inside_header(self):
+        frame = encode_frame({"k": 1})
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame[:2])) == []
+        assert decoder.pending_bytes == 2
+        assert list(decoder.feed(frame[2:])) == [{"k": 1}]
+        assert decoder.pending_bytes == 0
+
+    def test_interleaved_frames_in_one_chunk(self):
+        chunk = b"".join(encode_frame({"rid": i}) for i in range(5))
+        # ...plus a partial sixth frame dangling at the end.
+        sixth = encode_frame({"rid": 5})
+        decoder = FrameDecoder()
+        got = list(decoder.feed(chunk + sixth[:3]))
+        assert got == [{"rid": i} for i in range(5)]
+        assert list(decoder.feed(sixth[3:])) == [{"rid": 5}]
+
+    def test_frame_boundary_straddles_chunks(self):
+        a, b = encode_frame({"x": 1}), encode_frame({"y": 2})
+        blob = a + b
+        decoder = FrameDecoder()
+        got = []
+        # Split exactly one byte past the first frame's end.
+        got.extend(decoder.feed(blob[: len(a) + 1]))
+        got.extend(decoder.feed(blob[len(a) + 1 :]))
+        assert got == [{"x": 1}, {"y": 2}]
+
+
+class TestDecoderErrors:
+    def test_oversized_declared_length_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame=128)
+        header = (1 << 24).to_bytes(HEADER_SIZE, "big")
+        with pytest.raises(WireError, match="exceeds max_frame"):
+            list(decoder.feed(header))
+        # Nothing beyond the header was ever buffered.
+        assert decoder.pending_bytes <= HEADER_SIZE
+
+    def test_garbage_body_rejected(self):
+        garbage = b"\xff\xfe\x00garbage"
+        frame = len(garbage).to_bytes(HEADER_SIZE, "big") + garbage
+        decoder = FrameDecoder()
+        with pytest.raises(WireError, match="not valid JSON"):
+            list(decoder.feed(frame))
+
+    def test_non_object_json_rejected(self):
+        body = b"[1,2,3]"
+        frame = len(body).to_bytes(HEADER_SIZE, "big") + body
+        decoder = FrameDecoder()
+        with pytest.raises(WireError, match="must be a JSON object"):
+            list(decoder.feed(frame))
+
+    def test_decoder_poisoned_after_error(self):
+        decoder = FrameDecoder(max_frame=16)
+        with pytest.raises(WireError):
+            list(decoder.feed((1 << 20).to_bytes(HEADER_SIZE, "big")))
+        with pytest.raises(WireError, match="poisoned"):
+            list(decoder.feed(encode_frame({"fine": True}, max_frame=16)))
+
+
+class TestStreamHelpers:
+    """read_frame/write_frame over real loopback sockets."""
+
+    @staticmethod
+    def run(coro):
+        return asyncio.run(coro)
+
+    def test_round_trip_and_clean_eof(self):
+        async def scenario():
+            server_got = []
+
+            async def handler(reader, writer):
+                while (frame := await read_frame(reader)) is not None:
+                    server_got.append(frame)
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await write_frame(writer, {"rid": 1})
+            await write_frame(writer, {"rid": 2})
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+            server.close()
+            await server.wait_closed()
+            return server_got
+
+        assert self.run(scenario()) == [{"rid": 1}, {"rid": 2}]
+
+    def test_mid_frame_disconnect_raises_wire_error(self):
+        async def scenario():
+            result = {}
+
+            async def handler(reader, writer):
+                try:
+                    await read_frame(reader)
+                except WireError as exc:
+                    result["error"] = str(exc)
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            frame = encode_frame({"op": "insert", "priority": 1})
+            writer.write(frame[: len(frame) // 2])  # ...and vanish mid-frame
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.1)
+            server.close()
+            await server.wait_closed()
+            return result
+
+        assert "mid-frame" in self.run(scenario())["error"]
+
+    def test_mid_header_disconnect_raises_wire_error(self):
+        async def scenario():
+            result = {}
+
+            async def handler(reader, writer):
+                try:
+                    await read_frame(reader)
+                except WireError as exc:
+                    result["error"] = str(exc)
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"\x00\x00")  # half a header
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.1)
+            server.close()
+            await server.wait_closed()
+            return result
+
+        assert "mid-header" in self.run(scenario())["error"]
+
+
+class TestServiceSurvivesBadPeers:
+    """A framing violation drops one connection; the service lives on."""
+
+    def test_garbage_bytes_then_healthy_client(self):
+        from repro.service import QueueClient, QueueService
+
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as service:
+                # Malicious peer: declares a huge frame, then garbage.
+                _, bad = await asyncio.open_connection(service.host, service.port)
+                bad.write((1 << 30).to_bytes(HEADER_SIZE, "big") + b"\xde\xad")
+                await bad.drain()
+                await asyncio.sleep(0.05)
+                bad.close()
+
+                # Sloppy peer: valid header, non-JSON body.
+                _, ugly = await asyncio.open_connection(service.host, service.port)
+                ugly.write(len(b"nope").to_bytes(HEADER_SIZE, "big") + b"nope")
+                await ugly.drain()
+                await asyncio.sleep(0.05)
+                ugly.close()
+
+                # The service still serves a healthy client end to end.
+                client = await QueueClient.connect(
+                    service.host, service.port, client="healthy"
+                )
+                result = await client.insert(1, "alive")
+                got = await client.delete_min()
+                await client.aclose()
+                return result.uid, got.uid, got.value
+
+        ins_uid, del_uid, value = asyncio.run(scenario())
+        assert ins_uid == del_uid
+        assert value == "alive"
+
+    def test_oversized_request_frame_gets_error_frame(self):
+        from repro.service import QueueService
+
+        async def scenario():
+            async with QueueService(
+                "skeap", n_nodes=4, seed=0, max_frame=256
+            ) as service:
+                reader, writer = await asyncio.open_connection(
+                    service.host, service.port
+                )
+                writer.write((1 << 20).to_bytes(HEADER_SIZE, "big"))
+                await writer.drain()
+                # The server reports the violation before dropping us.
+                frame = await read_frame(reader, max_frame=DEFAULT_MAX_FRAME)
+                writer.close()
+                return frame
+
+        frame = asyncio.run(scenario())
+        assert frame["status"] == "error"
+        assert "exceeds max_frame" in frame["error"]

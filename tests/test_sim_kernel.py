@@ -421,3 +421,47 @@ class TestAsyncRunner:
         a.send(1, "ping", value=1)
         runner.run_until_quiescent(max_time=1000)
         assert a.pongs == [2]
+
+
+class TestDelayFnValidation:
+    """Bad delay configurations fail eagerly, at construction time."""
+
+    def test_uniform_delay_rejects_negative_low(self):
+        with pytest.raises(SimulationError, match="low bound"):
+            uniform_delay(-0.5, 2.0)
+
+    def test_uniform_delay_rejects_inverted_range(self):
+        with pytest.raises(SimulationError, match="inverted"):
+            uniform_delay(3.0, 1.0)
+
+    def test_uniform_delay_rejects_non_finite_bounds(self):
+        with pytest.raises(SimulationError, match="finite"):
+            uniform_delay(0.1, float("inf"))
+        with pytest.raises(SimulationError, match="finite"):
+            uniform_delay(float("nan"), 2.0)
+
+    def test_uniform_delay_accepts_degenerate_range(self):
+        # low == high is a legal (constant-delay) configuration.
+        fn = uniform_delay(1.0, 1.0)
+        rng = RngRegistry(0).stream("d")
+        assert fn(Message(sender=0, dest=1, action="m"), rng) == 1.0
+
+    def test_adversarial_delay_rejects_bad_slow_fraction(self):
+        with pytest.raises(SimulationError, match="slow_fraction"):
+            adversarial_delay(slow_fraction=-0.1)
+        with pytest.raises(SimulationError, match="slow_fraction"):
+            adversarial_delay(slow_fraction=1.5)
+
+    def test_adversarial_delay_rejects_bad_slow_factor(self):
+        with pytest.raises(SimulationError, match="slow_factor"):
+            adversarial_delay(slow_factor=0.0)
+        with pytest.raises(SimulationError, match="slow_factor"):
+            adversarial_delay(slow_factor=-3.0)
+        with pytest.raises(SimulationError, match="slow_factor"):
+            adversarial_delay(slow_factor=float("inf"))
+
+    def test_adversarial_delay_accepts_boundary_fractions(self):
+        rng = RngRegistry(0).stream("d")
+        for fraction in (0.0, 1.0):
+            fn = adversarial_delay(slow_fraction=fraction, slow_factor=10.0)
+            assert fn(Message(sender=0, dest=1, action="m"), rng) > 0
