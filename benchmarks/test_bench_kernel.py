@@ -1,0 +1,64 @@
+"""Benchmarks of the sync-kernel dispatch modes (PR6's batched kernel).
+
+Runs the same deterministic Skeap workload as ``harness bench-kernel``
+under per-message and batched dispatch.  Single-shot timing (the workload
+is a deterministic end-to-end simulation — same reasoning as
+``bench_util.run_experiment``), with the kernel counters attached as
+``extra_info`` so the committed ``BENCH_PR6.json`` carries them.
+
+The identity assertion is the point: both modes must produce the same
+core metrics, so every benchmark run doubles as a byte-identity check of
+the batched kernel.
+"""
+
+from __future__ import annotations
+
+from repro.harness.bench_kernel import drive_kernel_workload
+
+
+def _core(heap):
+    m = heap.metrics
+    return (
+        m.rounds,
+        m.messages,
+        m.bits,
+        m.max_message_bits,
+        m.congestion,
+        list(m.congestion_by_round),
+    )
+
+
+def _run(benchmark, batched: bool):
+    heap = benchmark.pedantic(
+        drive_kernel_workload,
+        kwargs={"n_nodes": 48, "ops": 300, "seed": 7, "batched": batched},
+        rounds=1,
+        iterations=1,
+    )
+    runner = heap.runner
+    rounds = heap.metrics.rounds or 1
+    benchmark.extra_info["messages"] = heap.metrics.messages
+    benchmark.extra_info["allocations_per_round"] = round(
+        runner.msgs_allocated / rounds, 2
+    )
+    benchmark.extra_info["messages_reused"] = runner.msgs_reused
+    benchmark.extra_info["batched_rounds"] = runner.batched_rounds
+    return heap
+
+
+def test_bench_kernel_per_message(benchmark):
+    heap = _run(benchmark, batched=False)
+    assert heap.runner.batched_rounds == 0
+
+
+def test_bench_kernel_batched(benchmark):
+    heap = _run(benchmark, batched=True)
+    assert heap.runner.batched_rounds > 0
+    assert heap.runner.msgs_reused > 0
+
+
+def test_bench_kernel_modes_identical():
+    """Not a timing benchmark: the cross-mode identity gate."""
+    per = drive_kernel_workload(batched=False)
+    bat = drive_kernel_workload(batched=True)
+    assert _core(per) == _core(bat)

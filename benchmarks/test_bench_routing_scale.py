@@ -1,0 +1,15 @@
+"""T15 — routing stays O(log n) hops at 10^4-node scale (Lemma A.2 at scale).
+
+Trimmed grid (topology construction dominates at the full 10^4 point);
+the harness `scale-smoke` CI job runs the full default grid.
+"""
+
+from bench_util import run_experiment
+
+from repro.harness.experiments import t15_routing_hops_at_scale
+
+
+def test_bench_t15_routing_hops_at_scale(benchmark):
+    run_experiment(
+        benchmark, t15_routing_hops_at_scale, ns=(512, 1024, 2048), probes=10
+    )

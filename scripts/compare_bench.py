@@ -21,11 +21,22 @@ from pathlib import Path
 
 
 def load_medians(path: Path) -> dict[str, float]:
+    """Map fullname -> median for every benchmark entry that has one.
+
+    Entries without a usable median (hand-rolled or partial JSON, e.g. a
+    baseline file predating a newly added benchmark suite) are skipped
+    rather than raising: a benchmark absent from the baseline is "new, no
+    baseline", never an error.
+    """
     data = json.loads(path.read_text())
-    return {
-        bench["fullname"]: bench["stats"]["median"]
-        for bench in data["benchmarks"]
-    }
+    medians: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname")
+        median = bench.get("stats", {}).get("median")
+        if name is None or not isinstance(median, (int, float)):
+            continue
+        medians[name] = float(median)
+    return medians
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in only_base:
         print(f"  missing  (baseline only) {name}")
     for name in only_cur:
-        print(f"      new  (current only)  {name}")
+        print(f"      new  (new, no baseline)  {name}")
 
     if not shared:
         print("error: no shared benchmarks between baseline and current", file=sys.stderr)

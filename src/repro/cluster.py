@@ -41,6 +41,7 @@ class OverlayCluster:
         metrics_detail: bool = False,
         faults: FaultInjector | FaultPlan | None = None,
         exact_transport: bool | None = None,
+        batched_dispatch: bool | None = None,
     ):
         if n_nodes < 1:
             raise SimulationError("cluster needs at least one node")
@@ -54,6 +55,7 @@ class OverlayCluster:
             self.runner = SyncRunner(
                 seed=seed, owner_of=owner_of, metrics_detail=metrics_detail,
                 faults=faults, exact_transport=exact_transport,
+                batched_dispatch=batched_dispatch,
             )
         elif runner == "async":
             kwargs = {"delay_fn": delay_fn} if delay_fn is not None else {}

@@ -20,31 +20,78 @@ __all__ = ["KeySpace"]
 
 
 class KeySpace:
-    """All DHT key derivations used by the protocols, from one seed."""
+    """All DHT key derivations used by the protocols, from one seed.
+
+    Every rendezvous key is derived at least twice (once per meeting
+    party; copy-tree keys many more times), and ``unit`` pays a SHA-256
+    per derivation — so derived keys are memoized.  The memo is exact by
+    construction: ``unit`` hashes ``repr`` (which distinguishes ``1``
+    from ``1.0``) while tuple keys would not, so each method only
+    consults the cache after checking its arguments are genuine ints —
+    anything else falls through to the uncached hash.
+    """
 
     def __init__(self, seed: int):
         self.seed = int(seed)
         self._h = PseudoRandomHash(seed, namespace="dht-key")
+        self._cache: dict[tuple, float] = {}
 
     def skeap_key(self, priority: int, pos: int) -> float:
         """Key for the Skeap pair ``(p, pos)`` — Phase 4 rendezvous."""
+        if type(priority) is int and type(pos) is int:
+            key = ("skeap", priority, pos)
+            val = self._cache.get(key)
+            if val is None:
+                val = self._cache[key] = self._h.unit("skeap", priority, pos)
+            return val
         return self._h.unit("skeap", priority, pos)
 
     def seap_position_key(self, session: int, pos: int) -> float:
         """Key for position ``pos`` of Seap DeleteMin session ``session``."""
+        if type(session) is int and type(pos) is int:
+            key = ("seap-pos", session, pos)
+            val = self._cache.get(key)
+            if val is None:
+                val = self._cache[key] = self._h.unit("seap-pos", session, pos)
+            return val
         return self._h.unit("seap-pos", session, pos)
 
     def sort_position_key(self, session: int, pos: int) -> float:
         """Key for the candidate holder ``v_i`` in KSelect Phase 2b."""
+        if type(session) is int and type(pos) is int:
+            key = ("ksel-pos", session, pos)
+            val = self._cache.get(key)
+            if val is None:
+                val = self._cache[key] = self._h.unit("ksel-pos", session, pos)
+            return val
         return self._h.unit("ksel-pos", session, pos)
 
     def copy_key(self, session: int, pos: int, lo: int, hi: int) -> float:
         """Key for a node of the copy-dissemination tree ``T(v_i)``."""
+        if (
+            type(session) is int
+            and type(pos) is int
+            and type(lo) is int
+            and type(hi) is int
+        ):
+            key = ("ksel-copy", session, pos, lo, hi)
+            val = self._cache.get(key)
+            if val is None:
+                val = self._cache[key] = self._h.unit(
+                    "ksel-copy", session, pos, lo, hi
+                )
+            return val
         return self._h.unit("ksel-copy", session, pos, lo, hi)
 
     def pair_key(self, session: int, i: int, j: int) -> float:
         """Symmetric meeting key: ``pair_key(s, i, j) == pair_key(s, j, i)``."""
         a, b = (i, j) if i <= j else (j, i)
+        if type(session) is int and type(a) is int and type(b) is int:
+            key = ("ksel-pair", session, a, b)
+            val = self._cache.get(key)
+            if val is None:
+                val = self._cache[key] = self._h.unit("ksel-pair", session, a, b)
+            return val
         return self._h.unit("ksel-pair", session, a, b)
 
     def uniform_key(self, *tokens: object) -> float:

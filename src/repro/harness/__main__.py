@@ -3,7 +3,10 @@
 Usage::
 
     python -m repro.harness [--quick] [--markdown] [--serial] [--jobs N]
-                            [--exact-transport] [--manifest PATH] [IDS...]
+                            [--exact-transport] [--batched]
+                            [--manifest PATH] [IDS...]
+    python -m repro.harness bench-kernel [--nodes N] [--ops K] [--seed S]
+                                         [--json PATH]
     python -m repro.harness fuzz [--plans N] [--seed S] [--targets a,b]
                                  [--inject-bug no-retry|no-dedup]
                                  [--expect-caught] [--out DIR]
@@ -32,6 +35,15 @@ byte-identical.
 are byte-identical either way — the flag exists to prove exactly that,
 and as an escape hatch.  It works by setting ``REPRO_EXACT_TRANSPORT=1``
 in the environment, which process-pool workers inherit.
+
+``--batched`` opts the sync driver into the batched kernel: grouped
+``(node class, action)`` dispatch, Message pooling and once-per-round
+metrics flushes (``REPRO_BATCHED=1``; auto-disabled under faults, detail
+metrics and tracing).  Tables are byte-identical with or without it —
+the differential suite and CI prove that — it is purely a speedup.
+``bench-kernel`` measures it: messages/sec and allocations/round for
+batched vs. per-message dispatch on a fixed Skeap workload
+(``repro.harness.bench_kernel``).
 
 ``fuzz`` runs seeded fault-plan campaigns against the protocol targets
 and shrinks any failure to a minimal JSON reproducer; ``replay`` re-runs
@@ -88,16 +100,22 @@ def main(argv: list[str]) -> int:
         from .service_cli import loadtest_main
 
         return loadtest_main(argv[1:])
+    if argv and argv[0] == "bench-kernel":
+        from .bench_kernel import bench_kernel_main
+
+        return bench_kernel_main(argv[1:])
     started = time.time()
     quick = "--quick" in argv
     markdown = "--markdown" in argv
     serial = "--serial" in argv
     if "--exact-transport" in argv:
         os.environ["REPRO_EXACT_TRANSPORT"] = "1"
+    if "--batched" in argv:
+        os.environ["REPRO_BATCHED"] = "1"
     jobs: int | None = None
     args = [
         a for a in argv
-        if a not in ("--quick", "--markdown", "--serial", "--exact-transport")
+        if a not in ("--quick", "--markdown", "--serial", "--exact-transport", "--batched")
     ]
     if "--jobs" in args:
         at = args.index("--jobs")
@@ -147,6 +165,7 @@ def main(argv: list[str]) -> int:
                 "jobs": n_jobs,
                 "ids": ids,
                 "exact_transport": "--exact-transport" in argv,
+                "batched": "--batched" in argv,
             },
             tables=tables,
             markdown=markdown,

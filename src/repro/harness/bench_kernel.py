@@ -1,0 +1,177 @@
+"""``harness bench-kernel`` — sync-kernel micro-benchmark, both dispatch modes.
+
+Runs one fixed, deterministic Skeap workload twice — per-message dispatch
+and the batched kernel (``batched_dispatch=True``) — and reports the
+numbers the batched-kernel work is judged by: wall-clock, delivered
+messages/sec, Message allocations per round, and the pool's reuse share.
+The two runs must agree on every core metric (rounds, messages, bits,
+congestion); the subcommand hard-fails otherwise, so every invocation is
+also a byte-identity check.
+
+``--json PATH`` writes the timings in pytest-benchmark's JSON shape
+(``benchmarks[].fullname`` + ``stats.median``), which is exactly what
+``scripts/compare_bench.py`` consumes — the committed
+``benchmarks/BENCH_PR6.json`` gate is produced from these numbers plus
+the pytest micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+__all__ = ["bench_kernel_main", "drive_kernel_workload"]
+
+
+def drive_kernel_workload(
+    n_nodes: int = 48,
+    ops: int = 300,
+    seed: int = 7,
+    batched: bool = False,
+):
+    """The fixed workload both dispatch modes run: inserts, settle, deletes.
+
+    Sized so batch epochs, aggregation waves and DHT traffic all appear —
+    the three message populations whose dispatch the batched kernel
+    changes.  Deterministic end-to-end, so a single shot is the meaningful
+    measurement (same reasoning as ``benchmarks/bench_util.py``).
+    """
+    from repro import SkeapHeap
+
+    heap = SkeapHeap(
+        n_nodes=n_nodes, n_priorities=4, seed=seed, batched_dispatch=batched
+    )
+    for i in range(ops):
+        heap.insert(priority=1 + i % 4, at=i % n_nodes)
+    heap.settle()
+    for i in range(ops // 2):
+        heap.delete_min(at=i % n_nodes)
+    heap.settle()
+    return heap
+
+
+def _core_numbers(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.bits,
+        metrics.max_message_bits,
+        metrics.congestion,
+        list(metrics.congestion_by_round),
+        list(metrics.max_bits_by_round),
+    )
+
+
+def _stats_entry(fullname: str, elapsed: float, extra: dict) -> dict:
+    return {
+        "group": "bench-kernel",
+        "name": fullname.rsplit("::", 1)[-1],
+        "fullname": fullname,
+        "params": None,
+        "param": None,
+        "extra_info": extra,
+        "stats": {
+            "min": elapsed,
+            "max": elapsed,
+            "mean": elapsed,
+            "stddev": 0,
+            "rounds": 1,
+            "median": elapsed,
+            "iqr": 0.0,
+            "q1": elapsed,
+            "q3": elapsed,
+            "ops": 1.0 / elapsed if elapsed else 0.0,
+        },
+    }
+
+
+def bench_kernel_main(argv: list[str]) -> int:
+    n_nodes, ops, seed = 48, 300, 7
+    json_path: str | None = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--nodes":
+            n_nodes = int(args.pop(0))
+        elif arg == "--ops":
+            ops = int(args.pop(0))
+        elif arg == "--seed":
+            seed = int(args.pop(0))
+        elif arg == "--json":
+            json_path = args.pop(0)
+        else:
+            print(f"bench-kernel: unknown argument {arg!r}", file=sys.stderr)
+            return 2
+
+    results = {}
+    for label, batched in (("per-message", False), ("batched", True)):
+        started = time.perf_counter()
+        heap = drive_kernel_workload(
+            n_nodes=n_nodes, ops=ops, seed=seed, batched=batched
+        )
+        elapsed = time.perf_counter() - started
+        runner = heap.runner
+        rounds = heap.metrics.rounds or 1
+        results[label] = {
+            "elapsed": elapsed,
+            "core": _core_numbers(heap.metrics),
+            "messages": heap.metrics.messages,
+            "rounds": heap.metrics.rounds,
+            "msgs_per_sec": heap.metrics.messages / elapsed,
+            "allocated": runner.msgs_allocated,
+            "reused": runner.msgs_reused,
+            "allocations_per_round": runner.msgs_allocated / rounds,
+            "batched_rounds": runner.batched_rounds,
+        }
+
+    per, bat = results["per-message"], results["batched"]
+    if per["core"] != bat["core"]:
+        print("bench-kernel: FATAL — batched run diverged from per-message run",
+              file=sys.stderr)
+        print(f"  per-message: {per['core'][:4]}", file=sys.stderr)
+        print(f"  batched:     {bat['core'][:4]}", file=sys.stderr)
+        return 1
+    if bat["batched_rounds"] == 0:
+        print("bench-kernel: FATAL — batched kernel never engaged", file=sys.stderr)
+        return 1
+
+    print(f"# bench-kernel: nodes={n_nodes} ops={ops} seed={seed}")
+    print(f"# rounds={per['rounds']} messages={per['messages']} "
+          "(identical across modes)")
+    header = (f"{'mode':>12}  {'wall':>8}  {'msgs/sec':>10}  "
+              f"{'alloc/round':>11}  {'reused':>8}")
+    print(header)
+    for label in ("per-message", "batched"):
+        r = results[label]
+        print(f"{label:>12}  {r['elapsed']:>7.3f}s  {r['msgs_per_sec']:>10.0f}  "
+              f"{r['allocations_per_round']:>11.2f}  {r['reused']:>8}")
+    speedup = per["elapsed"] / bat["elapsed"] if bat["elapsed"] else 0.0
+    alloc_cut = (1 - bat["allocated"] / per["allocated"]) * 100 if per["allocated"] else 0.0
+    print(f"# batched speedup: {speedup:.2f}x, allocations cut: {alloc_cut:.0f}%")
+
+    if json_path is not None:
+        doc = {
+            "machine_info": {},
+            "commit_info": {},
+            "datetime": "",
+            "version": "bench-kernel",
+            "benchmarks": [
+                _stats_entry(
+                    f"harness/bench-kernel::kernel[{label}]",
+                    results[label]["elapsed"],
+                    {
+                        "messages_per_sec": round(results[label]["msgs_per_sec"]),
+                        "allocations_per_round": round(
+                            results[label]["allocations_per_round"], 2
+                        ),
+                        "messages_reused": results[label]["reused"],
+                    },
+                )
+                for label in ("per-message", "batched")
+            ],
+        }
+        with open(json_path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        print(f"# wrote {json_path}")
+    return 0

@@ -484,6 +484,46 @@ def t10_routing_hops(ns=_DEFAULT_NS, probes: int = 40, seed: int = 0) -> Table:
     return plan_t10(ns=ns, probes=probes, seed=seed).run_serial()
 
 
+# -- T15 --------------------------------------------------------------------------------
+#
+# T10 at scale: the same routing-hops measurement pushed to n = 10^4 (and,
+# on request, 10^5 — `plan_t15(ns=(..., 100_000))` works but costs ~40s of
+# topology construction, so the default grid stops at 10^4).  Only viable
+# under the hop-compressed flight transport plus the batched kernel; the
+# grid points reuse `_pt_t10` verbatim so T15 measures exactly what T10
+# measures, at two orders of magnitude more nodes.
+
+
+def _asm_t15(ns, results) -> Table:
+    table = Table(
+        "T15", "Routing hops at scale (n to 10^4+)",
+        "routing stays O(log n) hops w.h.p. at 10^4+ nodes (Lemma A.2 at scale)",
+        ["n", "mean hops", "p95 hops", "mean/log2(n)"],
+    )
+    means = []
+    for n, (mean, p95) in zip(ns, results):
+        means.append(mean)
+        table.add_row(n, mean, p95, mean / math.log2(n))
+    ok = is_logarithmic(ns, means)
+    fit = fit_log2(ns, means)
+    table.add_note(f"fit hops ≈ {fit.a:.2f}·log2(n) + {fit.b:.2f} (r²={fit.r2:.3f})")
+    table.verdict = _verdict(ok)
+    return table
+
+
+def plan_t15(ns=(1024, 4096, 10_000), probes: int = 30, seed: int = 0) -> ExperimentPlan:
+    return ExperimentPlan(
+        "T15",
+        [(_pt_t10, {"n": n, "probes": probes, "seed": seed}) for n in ns],
+        lambda results: _asm_t15(ns, results),
+    )
+
+
+def t15_routing_hops_at_scale(ns=(1024, 4096, 10_000), probes: int = 30, seed: int = 0) -> Table:
+    """Lemma A.2 re-validated at 10^4-node scale (PR6's batched-kernel reach)."""
+    return plan_t15(ns=ns, probes=probes, seed=seed).run_serial()
+
+
 # -- T11 -------------------------------------------------------------------------------
 
 
@@ -996,6 +1036,7 @@ ALL_EXPERIMENTS = {
     "T12": t12_scalability_baselines,
     "T13": t13_membership,
     "T14": t14_linearization,
+    "T15": t15_routing_hops_at_scale,
     "F1": f1_figure1_trace,
     "F2": f2_figure2_ldb,
     "A1": a1_ablations,
@@ -1019,6 +1060,7 @@ ALL_PLAN_FACTORIES = {
     "T12": plan_t12,
     "T13": plan_t13,
     "T14": plan_t14,
+    "T15": plan_t15,
     "F1": plan_f1,
     "F2": plan_f2,
     "A1": plan_a1,
@@ -1040,6 +1082,8 @@ def all_plans(quick: bool = False, ids=None) -> list[ExperimentPlan]:
         factory = ALL_PLAN_FACTORIES[exp_id]
         if quick and exp_id in ("T1", "T4", "T7", "T10"):
             plans.append(factory(ns=(8, 16, 32)))
+        elif quick and exp_id == "T15":
+            plans.append(factory(ns=(512, 1024), probes=10))
         elif quick and exp_id == "T11":
             plans.append(factory(ns=(8, 16, 32, 64), n_seeds=4))
         else:

@@ -30,6 +30,7 @@ EXPERIMENT_DESCRIPTIONS = {
     "T12": "Coordinator hot-spot load: Skeap anchor vs central coordinator",
     "T13": "Membership: join/leave probe hops and data conservation",
     "T14": "Self-stabilizing linearization: convergence vs n (Appendix A)",
+    "T15": "Routing hops at scale — O(log n) w.h.p. at 10^4+ nodes (Lemma A.2)",
     "F1": "Figure 1: Skeap phase trace (n=3, 𝒫={1,2}) reproduced exactly",
     "F2": "Figure 2: LDB and aggregation tree for 2 real nodes",
     "A1": "Ablations: batching and the δ window",

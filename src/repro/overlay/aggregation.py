@@ -138,6 +138,40 @@ class AggregationMixin:
         bucket[sender] = value
         self._try_flush(tag)
 
+    @staticmethod
+    def on_agg_up_batch(deliveries) -> None:
+        """Coalesced convergecast: one grouped pass over a round's ``agg_up``.
+
+        Under the batched kernel a contiguous run of a round's ``agg_up``
+        messages lands here together.  All buckets fill first, then each
+        touched ``(node, tag)`` flushes exactly once — so a parent whose
+        children all reported in the run combines and forwards in a single
+        pass instead of re-scanning its child set per arrival.  Equivalent
+        to the single-message handler: ``_try_flush`` is monotone (it fires
+        iff all children are present, whoever arrived last) and buckets
+        fill in the same delivery order, so the flush round, the combined
+        value, and the bucket iteration order are unchanged.  Flushes run
+        in *last-arrival* order (each arrival moves its key to the end) —
+        exactly the order the eager per-message handler would have emitted
+        the upward sends in, which byte-identity requires, because outbox
+        append order decides how next round's delivery shuffle maps.
+        """
+        touched: dict[tuple, tuple] = {}
+        for node, sender, payload in deliveries:
+            tag = tuple(payload["tag"])
+            bucket = node._agg_children.setdefault(tag, {})
+            if sender in bucket:
+                raise ProtocolError(
+                    f"node {node.id}: duplicate child value for {tag}"
+                )
+            bucket[sender] = payload["value"]
+            key = (node.id, tag)
+            if key in touched:
+                del touched[key]
+            touched[key] = (node, tag)
+        for node, tag in touched.values():
+            node._try_flush(tag)
+
     def _try_flush(self, tag: Tag) -> None:
         if tag in self._agg_flushed or tag not in self._agg_own:
             return

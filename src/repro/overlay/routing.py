@@ -43,6 +43,7 @@ from typing import Any
 from ..errors import RoutingError
 from ..sim.flight import Flight
 from ..sim.message import (
+    _INT_BITS_TABLE,
     _ITEM_OVERHEAD_BITS,
     _int_bits,
     _str_bits,
@@ -145,6 +146,15 @@ class RoutePlanner:
         self._info = info
         self._dim = topology.debruijn_dim
         self._max_hops = 16 * (topology.debruijn_dim + 4) + 6 * topology.n_real
+        # Walk-segment caches (see _walk): between two bit consumptions the
+        # trajectory is a pure function of (consuming middle, bit) — the
+        # jump lands at a fixed sibling with a fixed new ideal, and every
+        # correction/seek decision afterwards reads only static view state.
+        # Likewise the pre-first-bit walk depends only on the origin.  Both
+        # caches are bounded by the topology (≤ 2 entries per middle, one
+        # per origin), unlike the per-(origin, target) plan cache.
+        self._initial: dict[int, tuple] = {}
+        self._segments: dict[int, tuple] = {}
 
     # -- epochs ----------------------------------------------------------
 
@@ -179,6 +189,163 @@ class RoutePlanner:
         return cached
 
     def _walk(self, origin: int, target: float) -> tuple:
+        """Assemble a plan from cached walk segments.
+
+        Byte-for-byte equal to :meth:`_walk_exact` (the differential test
+        ``test_batched.py::test_segment_walk_matches_exact`` sweeps this):
+        the pre-first-bit walk comes from ``_initial[origin]``, each bit
+        consumption appends its memoized ``(jump, corrections, seek)``
+        segment, and only the post-last-bit terminal walk toward ``target``
+        runs the decision loop per query.  Per-hop envelope sizes differ
+        only in the bits-remaining term (constant within a segment) and the
+        hop counter (a table lookup).  Any overrun of the hop bound falls
+        back to the exact walk so pathological routes raise the identical
+        :class:`RoutingError`.
+        """
+        info = self._info
+        bits = point_bits(target, self._dim)
+        nbits = len(bits)
+        if nbits == 0:
+            return self._walk_exact(origin, target)
+        initial = self._initial.get(origin)
+        if initial is None:
+            initial = self._walk_initial(origin)
+            if initial is None:
+                return self._walk_exact(origin, target)
+            self._initial[origin] = initial
+        pre, pre_owners, mid = initial
+        fixed = _ROUTE_FIXED_BITS + _ROUTE_FLOAT_BITS + _int_bits(origin)
+        limit = self._max_hops
+        ib = _INT_BITS_TABLE
+        dests = list(pre)
+        owners = list(pre_owners)
+        sizes: list[int] = []
+        h = 0
+        if pre:
+            n = len(pre)
+            base = fixed + _HOP_BIT_COST * nbits
+            # Hop-counter width is constant between powers of two, so the
+            # whole block usually extends in one C-level list multiply.
+            if ib[1] == (ib[n] if n < 4096 else _int_bits(n)):
+                sizes.extend([base + ib[1]] * n)
+            else:
+                for j in range(1, n + 1):
+                    sizes.append(base + (ib[j] if j < 4096 else _int_bits(j)))
+            h = n
+        segments = self._segments
+        last = nbits - 1
+        for i in range(last):
+            if h > limit:
+                return self._walk_exact(origin, target)
+            key = (mid << 1) | bits[i]
+            seg = segments.get(key)
+            if seg is None:
+                seg = self._build_segment(mid, bits[i])
+                if seg is None:
+                    return self._walk_exact(origin, target)
+                segments[key] = seg
+            hops_t, owners_t, mid = seg
+            dests.extend(hops_t)
+            owners.extend(owners_t)
+            n = len(hops_t)
+            base = fixed + _HOP_BIT_COST * (nbits - i - 1)
+            j = h + 1
+            h += n
+            w = ib[j] if j < 4096 else _int_bits(j)
+            if w == (ib[h] if h < 4096 else _int_bits(h)):
+                sizes.extend([base + w] * n)
+            else:
+                while j <= h:
+                    sizes.append(base + (ib[j] if j < 4096 else _int_bits(j)))
+                    j += 1
+        # Final bit: only the jump is geometry; the terminal walk toward
+        # ``target`` itself is per-query.
+        minfo = info[mid]
+        cur = minfo[5] if bits[last] == 0 else minfo[6]
+        h += 1
+        dests.append(cur)
+        owners.append(cur // 3)
+        sizes.append(fixed + (ib[h] if h < 4096 else _int_bits(h)))
+        while True:
+            if h > limit:
+                return self._walk_exact(origin, target)
+            label, succ_label, pred, succ, _mid, _l, _r = info[cur]
+            if (
+                label <= target < succ_label
+                if label < succ_label
+                else (target >= label or target < succ_label)
+            ):
+                break
+            forward = (target - label) % 1.0
+            backward = (label - target) % 1.0
+            cur = succ if forward <= backward else pred
+            h += 1
+            dests.append(cur)
+            owners.append(cur // 3)
+            sizes.append(fixed + (ib[h] if h < 4096 else _int_bits(h)))
+        return tuple(dests), tuple(owners), tuple(sizes)
+
+    def _walk_initial(self, origin: int) -> tuple | None:
+        """Hops from ``origin`` to the middle that consumes the first bit.
+
+        The origin is trivially responsible for its own label (the initial
+        ideal), so the walk is: nothing if the origin is a middle node,
+        otherwise one seek step succ-ward per non-middle node encountered.
+        Returns None on overrun (caller falls back to the exact walk).
+        """
+        info = self._info
+        if info[origin][4]:
+            return (), (), origin
+        limit = self._max_hops
+        hops = []
+        cur = info[origin][3]
+        hops.append(cur)
+        while True:
+            if len(hops) > limit:
+                return None
+            entry = info[cur]
+            if entry[4]:
+                return tuple(hops), tuple(v // 3 for v in hops), cur
+            cur = entry[3]
+            hops.append(cur)
+
+    def _build_segment(self, mid: int, b: int) -> tuple | None:
+        """The walk from consuming bit ``b`` at middle ``mid`` up to (and
+        stopping at) the next bit-consuming middle: the sibling jump, then
+        linear corrections toward the new ideal, then the middle-seek.
+        Returns ``(hop_tuple, owner_tuple, next_mid)``, or None on overrun.
+        """
+        info = self._info
+        label = info[mid][0]
+        ideal = (b + label) / 2.0
+        cur = info[mid][5] if b == 0 else info[mid][6]
+        hops = [cur]
+        seek = False
+        limit = self._max_hops
+        while True:
+            if len(hops) > limit:
+                return None
+            label, succ_label, pred, succ, is_middle, _l, _r = info[cur]
+            if seek:
+                if is_middle:
+                    return tuple(hops), tuple(v // 3 for v in hops), cur
+                cur = succ
+            elif not (
+                label <= ideal < succ_label
+                if label < succ_label
+                else (ideal >= label or ideal < succ_label)
+            ):
+                forward = (ideal - label) % 1.0
+                backward = (label - ideal) % 1.0
+                cur = succ if forward <= backward else pred
+            elif not is_middle:
+                seek = True
+                cur = succ
+            else:
+                return tuple(hops), tuple(v // 3 for v in hops), cur
+            hops.append(cur)
+
+    def _walk_exact(self, origin: int, target: float) -> tuple:
         info = self._info
         d = self._dim
         bits = point_bits(target, d)
@@ -279,11 +446,12 @@ class RoutingMixin:
                 ctx.launch_flight(
                     Flight(
                         self.id, dests, owners,
-                        tuple(b + extra for b in base_sizes),
+                        [b + extra for b in base_sizes],
                         faction, self.id, fpayload,
                     )
                 )
                 return
+        fsize = payload_size_bits(fpayload)
         self._route_step(
             target=target,
             bits=point_bits(target, self.view.debruijn_dim),
@@ -291,20 +459,30 @@ class RoutingMixin:
             seek=False,
             faction=faction,
             fpayload=fpayload,
-            fsize=payload_size_bits(fpayload),
+            fsize=fsize,
             origin=self.id,
             hops=0,
+            base=(
+                _ROUTE_FIXED_BITS + _ROUTE_FLOAT_BITS + _str_bits(faction)
+                + fsize + _int_bits(self.id)
+            ),
         )
 
     # -- message handler ------------------------------------------------------
 
-    def on_route(self, sender, target, bits, ideal, seek, faction, fpayload, origin, hops, fsize=None):
+    def on_route(self, sender, target, bits, ideal, seek, faction, fpayload, origin, hops, fsize=None, base=None):
         if fsize is None:
             fsize = payload_size_bits(fpayload)
+        if base is None:
+            base = (
+                _ROUTE_FIXED_BITS + _ROUTE_FLOAT_BITS + _str_bits(faction)
+                + fsize + _int_bits(origin)
+            )
         # ``bits`` is consumed immutably (hops slice it, nothing mutates),
         # so the tuple rides through as-is — no defensive copy.
         self._route_step(
-            target, bits, ideal, seek, faction, fpayload, fsize, origin, hops
+            target, bits, ideal, seek, faction, fpayload, fsize, origin, hops,
+            base,
         )
 
     # -- terminal delivery -----------------------------------------------------
@@ -325,36 +503,25 @@ class RoutingMixin:
             return a <= point < b
         return point >= a or point < b  # wrap-around range of the max label
 
-    def _forward(self, dest, *, target, bits, ideal, seek, faction, fpayload, fsize, origin, hops):
-        hops += 1
-        size = (
-            _ROUTE_FIXED_BITS
-            + payload_size_bits(target)
-            + _HOP_BIT_COST * len(bits)
-            + payload_size_bits(ideal)
-            + _str_bits(faction)
-            + fsize
-            + _int_bits(origin)
-            + _int_bits(hops)
-        )
+    def _forward(self, dest, fwd):
+        """Send the route envelope ``fwd`` one hop to ``dest``.
+
+        The envelope size is ``base`` (every per-route-constant component,
+        computed once at the origin and carried as bookkeeping, exactly
+        like ``fsize``) plus the two components that change per hop: the
+        remaining hop bits and the hop counter — bit-for-bit the sum the
+        recursive sizer would charge for the same fields.
+        """
+        hops = fwd["hops"] + 1
+        fwd["hops"] = hops
         self.send_sized(
             dest,
             "route",
-            dict(
-                target=target,
-                bits=bits,
-                ideal=ideal,
-                seek=seek,
-                faction=faction,
-                fpayload=fpayload,
-                fsize=fsize,
-                origin=origin,
-                hops=hops,
-            ),
-            size,
+            fwd,
+            fwd["base"] + _HOP_BIT_COST * len(fwd["bits"]) + _int_bits(hops),
         )
 
-    def _route_step(self, target, bits, ideal, seek, faction, fpayload, fsize, origin, hops):
+    def _route_step(self, target, bits, ideal, seek, faction, fpayload, fsize, origin, hops, base):
         max_hops = 16 * (self.view.debruijn_dim + 4) + 6 * self.view.n_estimate
         if hops > max_hops:
             raise RoutingError(
@@ -370,24 +537,25 @@ class RoutingMixin:
             fsize=fsize,
             origin=origin,
             hops=hops,
+            base=base,
         )
         if bits:
             if seek:
                 # Walking succ-ward in search of the nearest middle node.
                 if self.view.kind is not VirtualKind.MIDDLE:
-                    self._forward(self.view.succ, **fwd)
+                    self._forward(self.view.succ, fwd)
                     return
             elif not self._responsible_for(ideal):
                 # Linear correction toward the current ideal point.
                 forward = (ideal - self.view.label) % 1.0
                 backward = (self.view.label - ideal) % 1.0
                 nxt = self.view.succ if forward <= backward else self.view.pred
-                self._forward(nxt, **fwd)
+                self._forward(nxt, fwd)
                 return
             elif self.view.kind is not VirtualKind.MIDDLE:
                 # Responsible but not a middle node: seek one succ-ward.
                 fwd["seek"] = True
-                self._forward(self.view.succ, **fwd)
+                self._forward(self.view.succ, fwd)
                 return
             # At a middle node: perform the de Bruijn bitshift hop via the
             # owner's virtual edge.  The landing label is exactly
@@ -398,13 +566,13 @@ class RoutingMixin:
                 VirtualKind.LEFT if b == 0 else VirtualKind.RIGHT
             ]
             fwd.update(bits=rest, ideal=new_ideal, seek=False)
-            self._forward(dest, **fwd)
+            self._forward(dest, fwd)
             return
         if not self._responsible_for(target):
             forward = (target - self.view.label) % 1.0
             backward = (self.view.label - target) % 1.0
             nxt = self.view.succ if forward <= backward else self.view.pred
-            self._forward(nxt, **fwd)
+            self._forward(nxt, fwd)
             return
         # Arrived at the responsible node: local delivery of the final action.
         self.route_hops.append(hops)

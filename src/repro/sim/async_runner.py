@@ -189,6 +189,22 @@ class AsyncRunner:
                 (self._time + extra + delay, next(self._tick), self._MSG, m),
             )
 
+    def transmit_action(
+        self,
+        sender: int,
+        dest: int,
+        action: str,
+        payload: dict,
+        size_bits: int = 0,
+    ) -> None:
+        """Construct-and-transmit (no pooling under the async driver)."""
+        self.transmit(
+            Message(
+                sender=sender, dest=dest, action=action,
+                payload=payload, size_bits=size_bits,
+            )
+        )
+
     @property
     def flights_enabled(self) -> bool:
         """Whether hop-compressed routing flights may be used right now."""

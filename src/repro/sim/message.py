@@ -36,21 +36,66 @@ def _str_bits(text: str) -> int:
     return 8 * len(text) + _ITEM_OVERHEAD_BITS
 
 
+#: Width of every small non-negative int, precomputed: the bulk of sized
+#: integers are node ids, positions, hop counts and 0/1 route bits, all far
+#: below this bound, and a tuple index beats abs().bit_length() per call.
+_INT_BITS_TABLE = tuple(max(i.bit_length(), 1) + 1 for i in range(4096))
+
+
 def _int_bits(obj: int) -> int:
+    if 0 <= obj < 4096:
+        return _INT_BITS_TABLE[obj]
     return max(abs(obj).bit_length(), 1) + 1  # +1 sign/flag bit
+
+
+#: Payload dict keys are keyword-argument names — a small, closed set — so
+#: an unbounded plain dict stays tiny while skipping the lru_cache wrapper.
+_KEY_BITS: dict[str, int] = {}
 
 
 def _dict_bits(obj: dict) -> int:
     total = 0
     for k, v in obj.items():
-        total += payload_size_bits(k) + payload_size_bits(v) + _ITEM_OVERHEAD_BITS
+        kb = _KEY_BITS.get(k)
+        if kb is None:
+            kb = _KEY_BITS[k] = (
+                8 * len(k) + _ITEM_OVERHEAD_BITS
+                if type(k) is str
+                else payload_size_bits(k)
+            )
+        t = type(v)
+        if t is int:
+            vb = (
+                _INT_BITS_TABLE[v]
+                if 0 <= v < 4096
+                else max(abs(v).bit_length(), 1) + 1
+            )
+        elif t is float:
+            vb = 64
+        else:
+            sizer = _SIZERS.get(t)
+            vb = sizer(v) if sizer is not None else payload_size_bits(v)
+        total += kb + vb + _ITEM_OVERHEAD_BITS
     return total
 
 
 def _seq_bits(obj) -> int:
     total = 0
     for v in obj:
-        total += payload_size_bits(v) + _ITEM_OVERHEAD_BITS
+        t = type(v)
+        if t is int:
+            total += (
+                _INT_BITS_TABLE[v]
+                if 0 <= v < 4096
+                else max(abs(v).bit_length(), 1) + 1
+            ) + _ITEM_OVERHEAD_BITS
+        elif t is float:
+            total += 64 + _ITEM_OVERHEAD_BITS
+        else:
+            sizer = _SIZERS.get(t)
+            total += (
+                sizer(v) if sizer is not None else payload_size_bits(v)
+            ) + _ITEM_OVERHEAD_BITS
     return total
 
 
@@ -83,7 +128,16 @@ def payload_size_bits(obj: Any) -> int:
     for reproducing the paper's claims is the *growth* of message sizes with
     ``n`` and ``Λ``, not a particular wire format.
     """
-    sizer = _SIZERS.get(type(obj))
+    t = type(obj)
+    if t is dict:
+        return _dict_bits(obj)
+    if t is int:
+        return (
+            _INT_BITS_TABLE[obj]
+            if 0 <= obj < 4096
+            else max(abs(obj).bit_length(), 1) + 1
+        )
+    sizer = _SIZERS.get(t)
     if sizer is not None:
         return sizer(obj)
     if obj is BOTTOM:

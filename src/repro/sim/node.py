@@ -46,6 +46,31 @@ def _build_handler_table(cls: type) -> dict[str, object]:
     return table
 
 
+#: Per-class action -> batch handler table for the batched kernel.  A class
+#: opts a handler into batched delivery by defining a *staticmethod*
+#: ``on_<action>_batch(deliveries)`` where ``deliveries`` is a list of
+#: ``(node, sender, payload)`` tuples — one entry per message of that
+#: action delivered this round, in delivery order, possibly spanning many
+#: nodes of the class.  Actions without a batch variant fall back to their
+#: single-message ``on_<action>`` handler called once per delivery (the
+#: auto-generated batch path), so protocol code opts in incrementally.  A
+#: batch handler supplements the single handler, never replaces it: the
+#: per-message driver and the exact paths still dispatch ``on_<action>``.
+_BATCH_TABLES: dict[type, dict[str, object]] = {}
+
+
+def _build_batch_table(cls: type) -> dict[str, object]:
+    table: dict[str, object] = {}
+    for klass in reversed(cls.__mro__):
+        for name in vars(klass):
+            if name.startswith("on_") and name.endswith("_batch") and len(name) > 9:
+                fn = getattr(cls, name, None)
+                if callable(fn):
+                    table[name[3:-6]] = fn
+    _BATCH_TABLES[cls] = table
+    return table
+
+
 class SimContext(Protocol):
     """What a runner provides to its nodes."""
 
@@ -68,6 +93,11 @@ class ProtocolNode:
     def __init__(self, node_id: int):
         self.id = int(node_id)
         self._ctx: SimContext | None = None
+        #: bound ``ctx.transmit_action`` cached at bind time: the send hot
+        #: path skips the ctx-property guard and lets runners that pool
+        #: Message objects intercept construction (None until bound, or for
+        #: contexts without the hook — those fall back to ``transmit``).
+        self._transmit_action = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -76,6 +106,7 @@ class ProtocolNode:
         if self._ctx is not None:
             raise ProtocolError(f"node {self.id} bound twice")
         self._ctx = ctx
+        self._transmit_action = getattr(ctx, "transmit_action", None)
 
     @property
     def ctx(self) -> SimContext:
@@ -98,7 +129,13 @@ class ProtocolNode:
 
     def send(self, dest: int, action: str, **payload: Any) -> None:
         """Send a remote action call to ``dest`` (puts it in dest's channel)."""
-        self.ctx.transmit(Message(sender=self.id, dest=dest, action=action, payload=payload))
+        ta = self._transmit_action
+        if ta is not None:
+            ta(self.id, dest, action, payload, 0)
+        else:
+            self.ctx.transmit(
+                Message(sender=self.id, dest=dest, action=action, payload=payload)
+            )
 
     def send_sized(
         self, dest: int, action: str, payload: dict[str, Any], size_bits: int
@@ -111,12 +148,16 @@ class ProtocolNode:
         size is already known and recomputing it per hop would dominate
         the simulation.
         """
-        self.ctx.transmit(
-            Message(
-                sender=self.id, dest=dest, action=action,
-                payload=payload, size_bits=size_bits,
+        ta = self._transmit_action
+        if ta is not None:
+            ta(self.id, dest, action, payload, size_bits)
+        else:
+            self.ctx.transmit(
+                Message(
+                    sender=self.id, dest=dest, action=action,
+                    payload=payload, size_bits=size_bits,
+                )
             )
-        )
 
     def on_activate(self) -> None:
         """Periodic activation hook; default does nothing."""

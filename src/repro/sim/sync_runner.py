@@ -17,18 +17,41 @@ bit-for-bit identical to dense iteration.
 from __future__ import annotations
 
 import math
+import os
 from typing import Callable, Iterable
 
 from ..errors import SimulationError
 from .faults import FaultInjector
 from .flight import Flight, exact_transport_default
-from .message import Message
+from .message import Message, payload_size_bits
 from .metrics import MetricsCollector
-from .node import ProtocolNode
+from .node import (
+    ProtocolNode,
+    _BATCH_TABLES,
+    _HANDLER_TABLES,
+    _build_batch_table,
+    _build_handler_table,
+)
 from .rng import RngRegistry
 from .trace import DELIVER, FLIGHT, HOP, LAND, NODE, SEND, default_tracer
 
-__all__ = ["SyncRunner"]
+__all__ = ["SyncRunner", "batched_dispatch_default"]
+
+
+def batched_dispatch_default() -> bool:
+    """Whether the environment opts runs into the batched kernel.
+
+    ``REPRO_BATCHED=1`` (any value but ``0``/empty) turns it on — the hook
+    the harness ``--batched`` flag uses so process-pool workers inherit
+    the choice, mirroring ``REPRO_EXACT_TRANSPORT``.
+    """
+    return os.environ.get("REPRO_BATCHED", "") not in ("", "0")
+
+
+#: Per-action free lists never grow beyond this many parked messages; the
+#: cap only bounds memory — an empty free list just means a fresh
+#: allocation, never a behavior change.
+_POOL_CAP = 4096
 
 
 class SyncRunner:
@@ -41,6 +64,7 @@ class SyncRunner:
         metrics_detail: bool = False,
         faults: FaultInjector | None = None,
         exact_transport: bool | None = None,
+        batched_dispatch: bool | None = None,
     ):
         self.rng = RngRegistry(seed)
         self.nodes: dict[int, ProtocolNode] = {}
@@ -51,8 +75,24 @@ class SyncRunner:
             exact_transport_default() if exact_transport is None
             else bool(exact_transport)
         )
+        #: opt-in: group deliveries by (node class, action) and recycle
+        #: Message objects (see :meth:`batching_enabled` for the gates)
+        self.batched_dispatch = (
+            batched_dispatch_default() if batched_dispatch is None
+            else bool(batched_dispatch)
+        )
         #: how many hop-compressed flights were launched (observability)
         self.flights_launched = 0
+        #: how many rounds the batched kernel executed (observability)
+        self.batched_rounds = 0
+        #: Message construction/reuse counters (bench-kernel reads these)
+        self.msgs_allocated = 0
+        self.msgs_reused = 0
+        #: per-action free lists of delivered, recycled Message objects;
+        #: only the batched kernel parks messages here, and only after
+        #: their handlers ran, so a pooled message is never in flight.
+        self._msg_pool: dict[str, list[Message]] = {}
+        self._owner_of = self.metrics._owner_of
         #: outbox entries are Messages plus in-transit :class:`Flight`s; a
         #: flight occupies exactly one slot per round it is in transit, so
         #: the delivery permutation and ``pending_messages`` see the same
@@ -117,6 +157,73 @@ class SyncRunner:
                 self._future.setdefault(due, []).append(m)
                 self._future_count += 1
             inflight[dest] = inflight.get(dest, 0) + 1
+
+    def transmit_action(
+        self,
+        sender: int,
+        dest: int,
+        action: str,
+        payload: dict,
+        size_bits: int = 0,
+    ) -> None:
+        """Construct-and-transmit entry point for node sends.
+
+        Identical to building a :class:`Message` and calling
+        :meth:`transmit`, except that a recycled message from the
+        per-action free list is reused when one is available.  The pool is
+        only ever filled by the batched kernel (which parks messages after
+        their handlers ran), so in per-message mode this is a plain
+        construction — and a reused message differs from a fresh one only
+        in its ``seq``, which nothing on the batched path reads: faults
+        (the only seq consumer) disable batching entirely.
+        """
+        free = self._msg_pool.get(action)
+        if free:
+            msg = free.pop()
+            msg.sender = sender
+            msg.dest = dest
+            msg.payload = payload
+            msg.size_bits = (
+                size_bits if size_bits else 8 + payload_size_bits(payload)
+            )
+            self.msgs_reused += 1
+        else:
+            msg = Message(
+                sender=sender, dest=dest, action=action,
+                payload=payload, size_bits=size_bits,
+            )
+            self.msgs_allocated += 1
+        if self.faults is None and self.tracer is None:
+            # Inlined fast path of :meth:`transmit` (its fault/trace
+            # branches are dead here) — this is the hottest send edge.
+            if dest not in self.nodes:
+                raise SimulationError(
+                    f"message to unknown node {dest}: {msg!r}"
+                )
+            self._outbox.append(msg)
+            inflight = self._inflight_by_dest
+            inflight[dest] = inflight.get(dest, 0) + 1
+        else:
+            self.transmit(msg)
+
+    @property
+    def batching_enabled(self) -> bool:
+        """Whether rounds execute under the batched kernel right now.
+
+        Batched execution is trace-equivalent only when nothing observes
+        per-message identity or ordering within a round: fault injection
+        consumes per-message ``seq`` and channel ordinals, detail metrics
+        want the per-action breakdown recorded per message, and the tracer
+        stamps causal context on individual deliveries.  Any of those
+        forces the per-message kernel — the same auto-disable pattern as
+        the routing fast path (:meth:`flights_enabled`).
+        """
+        return (
+            self.batched_dispatch
+            and self.faults is None
+            and self.tracer is None
+            and not self.metrics.detail
+        )
 
     @property
     def flights_enabled(self) -> bool:
@@ -196,6 +303,14 @@ class SyncRunner:
         but arbitrary — non-FIFO — order), then activate every woken node
         once, in node-id order.
         """
+        if (
+            self.batched_dispatch
+            and self.faults is None
+            and self.tracer is None
+            and not self.metrics.detail
+        ):
+            self._step_batched()
+            return
         inbox, self._outbox = self._outbox, []
         matured = self._future.pop(self._round, None)
         if matured:
@@ -272,6 +387,149 @@ class SyncRunner:
             maybe_active.add(node_id)
         self.metrics.end_round()
         self._round += 1
+
+    def _step_batched(self) -> None:
+        """One round under the batched kernel (``batching_enabled`` holds).
+
+        The round delivers the same permuted inbox as :meth:`step`, but in
+        struct-of-arrays style: one linear pass advances flights and
+        gathers *contiguous runs* of same-``(node class, action)`` messages,
+        each dispatched through the class's ``on_<action>_batch`` handler
+        or, absent one, a tight loop over the single-message handler.
+        Metrics accumulate into flat owner/size lists flushed once per
+        round; delivered messages are recycled into the per-action free
+        list after their handlers ran.
+
+        Grouping is restricted to contiguous runs — never the whole round
+        — because byte-identity demands it.  Handler execution order
+        determines outbox append order, the outbox is next round's inbox,
+        and the delivery permutation maps *positions*: reordering two
+        handlers this round re-labels messages under next round's shuffle
+        and cascades (observably — e.g. DHT request ids are allotted in
+        per-node arrival order and their widths are charged to ``bits``).
+        Runs preserve execution order exactly: a run dispatches at the
+        position of its first message and breaks at any action change or
+        flight slot (flights append to the outbox at *their* scan
+        position).  Per-round aggregates are order-free, so the bulk
+        metrics flush is exact too — ``tests/test_batched.py`` holds the
+        proof obligations.
+        """
+        self.batched_rounds += 1
+        inbox, self._outbox = self._outbox, []
+        # No faults => nothing ever matures from the future queue.
+        if len(inbox) > 1:
+            order = self._delivery_rng.permutation(len(inbox))
+            inbox = list(map(inbox.__getitem__, order.tolist()))
+        nodes = self.nodes
+        wake = self._wake
+        if inbox:
+            outbox = self._outbox
+            outbox_append = outbox.append
+            inflight = self._inflight_by_dest
+            wake_add = wake.add
+            dispatch = self._dispatch_run
+            owners: list[int] = []
+            sizes: list[int] = []
+            msg_dests: list[int] = []
+            owners_append = owners.append
+            sizes_append = sizes.append
+            dests_append = msg_dests.append
+            run: list = []
+            run_append = run.append
+            run_cls = run_action = None
+            for msg in inbox:
+                if msg.__class__ is Flight:
+                    if run:
+                        dispatch(run_cls, run_action, run)
+                        run = []
+                        run_append = run.append
+                        run_cls = run_action = None
+                    i = msg.index
+                    owners_append(msg.owners[i])
+                    sizes_append(msg.sizes[i])
+                    i += 1
+                    dests = msg.dests
+                    if i < len(dests):
+                        msg.index = i
+                        outbox_append(msg)
+                    else:
+                        dest = dests[i - 1]
+                        inflight[dest] -= 1
+                        nodes[dest].deliver_flight(
+                            msg.faction, msg.origin, msg.fpayload, i
+                        )
+                        wake_add(dest)
+                    continue
+                dest = msg.dest
+                inflight[dest] -= 1
+                dests_append(dest)
+                sizes_append(msg.size_bits)
+                wake_add(dest)
+                node = nodes[dest]
+                action = msg.action
+                if action is not run_action or node.__class__ is not run_cls:
+                    if run:
+                        dispatch(run_cls, run_action, run)
+                        run = []
+                        run_append = run.append
+                    run_cls = node.__class__
+                    run_action = action
+                run_append((node, msg))
+            if run:
+                dispatch(run_cls, run_action, run)
+            owners.extend(map(self._owner_of, msg_dests))
+            self.metrics.record_round_bulk(owners, sizes)
+        self._wake = set()
+        maybe_active = self._maybe_active
+        for node_id in sorted(wake):
+            node = nodes.get(node_id)
+            if node is None:  # deregistered while woken
+                continue
+            node.on_activate()
+            if node.wants_activation():
+                self._wake.add(node_id)
+            maybe_active.add(node_id)
+        self.metrics.end_round()
+        self._round += 1
+
+    def _dispatch_run(self, cls: type, action: str, run: list) -> None:
+        """Deliver one contiguous same-``(class, action)`` run, then recycle.
+
+        Multi-message runs with a registered ``on_<action>_batch`` handler
+        go through it in one call; everything else loops the resolved
+        single-message handler directly (skipping :meth:`ProtocolNode.handle`
+        per-message overhead).  Messages are parked on the per-action free
+        list only after their handlers ran, so a pooled message is never
+        in flight.
+        """
+        btable = _BATCH_TABLES.get(cls)
+        if btable is None:
+            btable = _build_batch_table(cls)
+        bfn = btable.get(action)
+        if bfn is not None and len(run) > 1:
+            bfn([(node, m.sender, m.payload) for node, m in run])
+        else:
+            table = _HANDLER_TABLES.get(cls)
+            if table is None:
+                table = _build_handler_table(cls)
+            fn = table.get(action)
+            if fn is None:
+                # Instance-installed handlers / unknown-action errors keep
+                # their per-message semantics.
+                for node, m in run:
+                    node.handle(m)
+            else:
+                for node, m in run:
+                    fn(node, m.sender, **m.payload)
+        free = self._msg_pool.get(action)
+        if free is None:
+            free = self._msg_pool[action] = []
+        room = _POOL_CAP - len(free)
+        if room > 0:
+            for _, m in run if room >= len(run) else run[:room]:
+                m.payload = None
+                m.trace_ctx = None
+                free.append(m)
 
     def pump(self, budget: int = 64) -> int:
         """Hand-off hook for external drivers (the live service runtime).

@@ -1,0 +1,370 @@
+"""The batched sync kernel must be invisible.
+
+Differential suite mirroring ``tests/test_fastpath.py``: every workload
+run under ``batched_dispatch=True`` — grouped run dispatch, Message
+pooling, coalesced aggregation, bulk metrics — must produce identical
+observable state to the per-message kernel, while the batched kernel
+demonstrably engages (``batched_rounds > 0``) or demonstrably steps aside
+(faults, detail metrics, tracing).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import SeapHeap, SkeapHeap
+from repro.cluster import OverlayCluster
+from repro.errors import ProtocolError
+from repro.sim import FaultPlan, ProtocolNode, SyncRunner
+from repro.sim.faults import DROP, DUP, FaultEvent
+from repro.sim.node import _build_batch_table
+from repro.sim.sync_runner import _POOL_CAP, batched_dispatch_default
+
+REPRODUCERS = sorted((Path(__file__).parent / "reproducers").glob("*.json"))
+
+
+def _core_numbers(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.bits,
+        metrics.max_message_bits,
+        metrics.congestion,
+        list(metrics.congestion_by_round),
+        list(metrics.max_bits_by_round),
+    )
+
+
+def _drive_skeap(**kwargs):
+    heap = SkeapHeap(n_nodes=8, n_priorities=3, seed=21, **kwargs)
+    for i in range(30):
+        heap.insert(priority=1 + i % 3, at=i % 8)
+    heap.settle()
+    for i in range(15):
+        heap.delete_min(at=i % 8)
+    heap.settle()
+    return heap
+
+
+def _drive_seap(**kwargs):
+    heap = SeapHeap(n_nodes=6, seed=31, **kwargs)
+    for i in range(20):
+        heap.insert(priority=1 + 13 * i % 97, at=i % 6)
+    heap.settle()
+    for i in range(10):
+        heap.delete_min(at=i % 6)
+    heap.settle()
+    return heap
+
+
+def _heap_state(heap):
+    return (
+        repr(sorted(heap.history.ops.items())),
+        _core_numbers(heap.metrics),
+        sorted(heap.all_route_hops()),
+        sorted(heap.stored_uids()),
+    )
+
+
+class TestWorkloadIdentity:
+    """Same tables, histories and stores — batched or not."""
+
+    def test_skeap_workload_identical(self):
+        plain = _drive_skeap()
+        batched = _drive_skeap(batched_dispatch=True)
+        assert plain.runner.batched_rounds == 0
+        assert batched.runner.batched_rounds > 0
+        assert _heap_state(plain) == _heap_state(batched)
+
+    def test_seap_workload_identical(self):
+        # Seap is the adversarial case: its clients issue DHT requests from
+        # several different actions in the same round, so request-id
+        # assignment observes per-node delivery order — the reason the
+        # kernel groups contiguous runs instead of whole rounds.
+        plain = _drive_seap()
+        batched = _drive_seap(batched_dispatch=True)
+        assert batched.runner.batched_rounds > 0
+        assert _heap_state(plain) == _heap_state(batched)
+
+    @pytest.mark.parametrize("proto", ["skeap", "seap"])
+    def test_exact_transport_combo_identical(self, proto):
+        drive = _drive_skeap if proto == "skeap" else _drive_seap
+        plain = drive(exact_transport=True)
+        batched = drive(exact_transport=True, batched_dispatch=True)
+        assert batched.runner.flights_launched == 0
+        assert batched.runner.batched_rounds > 0
+        assert _heap_state(plain) == _heap_state(batched)
+
+    def test_churned_workload_identical(self):
+        def drive(**kwargs):
+            heap = SkeapHeap(n_nodes=6, n_priorities=3, seed=9, **kwargs)
+            for i in range(12):
+                heap.insert(priority=1 + i % 3, at=i % 6)
+            heap.settle()
+            heap.add_node(6)
+            for i in range(12):
+                heap.insert(priority=1 + i % 3, at=i % 7)
+            heap.settle()
+            heap.remove_node(2)
+            survivors = [0, 1, 3, 4, 5, 6]
+            for i in range(10):
+                heap.delete_min(at=survivors[i % len(survivors)])
+            heap.settle()
+            return heap
+
+        plain = drive()
+        batched = drive(batched_dispatch=True)
+        assert batched.runner.batched_rounds > 0
+        assert _heap_state(plain) == _heap_state(batched)
+
+    def test_pool_reuse_engages(self):
+        heap = _drive_seap(batched_dispatch=True)
+        assert heap.runner.msgs_reused > 0
+        assert heap.runner.msgs_reused > heap.runner.msgs_allocated
+
+
+class TestBatchedGates:
+    """Every disable condition of the contract, observed via the counter."""
+
+    def _plan(self):
+        return FaultPlan(
+            seed=5,
+            events=[
+                FaultEvent(kind=DROP, src=0, dst=4, nth=0),
+                FaultEvent(kind=DUP, src=1, dst=7, nth=1),
+            ],
+        )
+
+    def test_faults_disable_batching(self):
+        heap = _drive_skeap(faults=self._plan(), batched_dispatch=True)
+        assert heap.runner.batched_rounds == 0
+        assert heap.runner.msgs_reused == 0
+
+    def test_faulted_run_identical_either_way(self):
+        a = _drive_skeap(faults=self._plan(), batched_dispatch=True)
+        b = _drive_skeap(faults=self._plan())
+        assert _heap_state(a) == _heap_state(b)
+
+    def test_detail_metrics_disable_batching(self):
+        heap = _drive_skeap(metrics_detail=True, batched_dispatch=True)
+        assert heap.runner.batched_rounds == 0
+        assert _core_numbers(heap.metrics) == _core_numbers(
+            _drive_skeap(batched_dispatch=True).metrics
+        )
+
+    def test_tracing_disables_batching(self, monkeypatch):
+        from repro.sim.trace import Tracer
+
+        runner = SyncRunner(batched_dispatch=True)
+        runner.tracer = Tracer()
+        assert runner.batching_enabled is False
+
+    def test_env_var_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED", "1")
+        assert batched_dispatch_default() is True
+        heap = SkeapHeap(4, n_priorities=2, seed=0)
+        assert heap.runner.batched_dispatch is True
+        monkeypatch.setenv("REPRO_BATCHED", "0")
+        assert batched_dispatch_default() is False
+        assert SkeapHeap(4, n_priorities=2, seed=0).runner.batched_dispatch is False
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED", "1")
+        heap = SkeapHeap(4, n_priorities=2, seed=0, batched_dispatch=False)
+        assert heap.runner.batched_dispatch is False
+
+
+class TestMessagePool:
+    """The free list must never hand out a message still in flight."""
+
+    def test_pool_only_fills_under_batched_kernel(self):
+        plain = _drive_skeap()
+        assert plain.runner.msgs_reused == 0
+        assert not any(plain.runner._msg_pool.values())
+
+    def test_pooled_messages_are_not_in_flight(self):
+        # After every drained run the pool holds only parked messages:
+        # payload cleared, and none of them is in the outbox.
+        heap = _drive_seap(batched_dispatch=True)
+        runner = heap.runner
+        in_flight = set(map(id, runner._outbox))
+        for free in runner._msg_pool.values():
+            for m in free:
+                assert m.payload is None
+                assert m.trace_ctx is None
+                assert id(m) not in in_flight
+
+    def test_pool_respects_cap(self):
+        heap = _drive_seap(batched_dispatch=True)
+        for action, free in heap.runner._msg_pool.items():
+            assert len(free) <= _POOL_CAP, action
+
+    @pytest.mark.parametrize("path", REPRODUCERS, ids=lambda p: p.stem)
+    def test_reproducers_replay_identically_with_pool_active(
+        self, path, monkeypatch
+    ):
+        # Fault reproducers force the per-message kernel, so REPRO_BATCHED=1
+        # must be a no-op: byte-for-byte the same failure signature, and the
+        # pool must stay untouched (it never recycles in-flight messages —
+        # under faults it is never even filled).
+        from repro.harness.fuzz import replay_reproducer
+
+        monkeypatch.delenv("REPRO_BATCHED", raising=False)
+        ok_plain, res_plain, _ = replay_reproducer(path)
+        monkeypatch.setenv("REPRO_BATCHED", "1")
+        ok_batched, res_batched, _ = replay_reproducer(path)
+        assert ok_plain and ok_batched
+        assert (res_plain.signature, res_plain.message) == (
+            res_batched.signature, res_batched.message
+        )
+
+
+class TestBatchHandlers:
+    """Resolution and semantics of ``on_<action>_batch`` entry points."""
+
+    def test_agg_up_batch_registered_for_overlay_nodes(self):
+        from repro.overlay.base import OverlayNode
+
+        table = _build_batch_table(OverlayNode)
+        assert "agg_up" in table
+
+    def test_batch_table_mro_scan_finds_inherited(self):
+        class Base(ProtocolNode):
+            @staticmethod
+            def on_ping_batch(deliveries):
+                for node, sender, payload in deliveries:
+                    node.hits.append((sender, payload["x"]))
+
+            def on_ping(self, sender, x):
+                self.hits.append((sender, x))
+
+        class Sub(Base):
+            pass
+
+        assert "ping" in _build_batch_table(Sub)
+        assert "ping" in _build_batch_table(Base)
+
+    def test_batched_runner_uses_batch_handler_for_runs(self):
+        calls = []
+
+        class Batchy(ProtocolNode):
+            def on_ev(self, sender, x):
+                calls.append(("single", self.id, x))
+
+            @staticmethod
+            def on_ev_batch(deliveries):
+                calls.append(("batch", [(n.id, p["x"]) for n, _, p in deliveries]))
+
+        runner = SyncRunner(batched_dispatch=True)
+        nodes = [Batchy(i) for i in range(3)]
+        runner.register_all(nodes)
+        for i in range(3):
+            nodes[0].send(i, "ev", x=i)
+        runner.step()  # deliver nothing (sends land next round)
+        runner.step()
+        batch_calls = [c for c in calls if c[0] == "batch"]
+        single_calls = [c for c in calls if c[0] == "single"]
+        # All three deliveries this round are one contiguous run of the
+        # same (class, action): exactly one batch call, no single calls.
+        assert len(batch_calls) == 1
+        assert sorted(batch_calls[0][1]) == [(0, 0), (1, 1), (2, 2)]
+        assert single_calls == []
+
+    def test_singleton_runs_use_single_handler(self):
+        calls = []
+
+        class Mixed(ProtocolNode):
+            def on_a(self, sender):
+                calls.append(("a", self.id))
+
+            def on_b(self, sender):
+                calls.append(("b", self.id))
+
+            @staticmethod
+            def on_a_batch(deliveries):
+                calls.append(("a_batch", len(deliveries)))
+
+        runner = SyncRunner(batched_dispatch=True)
+        node = Mixed(0)
+        runner.register(node)
+        node.send(0, "a")
+        runner.step()
+        runner.step()
+        # A single-message run skips the batch entry point.
+        assert calls == [("a", 0)]
+
+    def test_duplicate_child_value_still_raises(self):
+        heap = SkeapHeap(4, n_priorities=2, seed=0, batched_dispatch=True)
+        anchor = heap.anchor
+        with pytest.raises(ProtocolError, match="duplicate child value"):
+            from repro.overlay.base import OverlayNode
+
+            deliveries = [
+                (anchor, 99, {"tag": ("bogus", 0), "value": 1}),
+                (anchor, 99, {"tag": ("bogus", 0), "value": 2}),
+            ]
+            OverlayNode.on_agg_up_batch(deliveries)
+
+
+class TestHarnessParity:
+    """The flag plumbing and the tables it must not change."""
+
+    def test_quick_tables_identical_batched_vs_not(self, monkeypatch):
+        from repro.harness.experiments import all_plans
+        from repro.harness.parallel import execute_plans
+
+        def render(batched):
+            if batched:
+                monkeypatch.setenv("REPRO_BATCHED", "1")
+            else:
+                monkeypatch.delenv("REPRO_BATCHED", raising=False)
+            tables = execute_plans(all_plans(quick=True, ids=["T1", "T10"]), jobs=1)
+            return "\n".join(t.render() for t in tables)
+
+        assert render(batched=False) == render(batched=True)
+
+    def test_quick_tables_identical_in_jobs_mode(self, monkeypatch):
+        from repro.harness.experiments import all_plans
+        from repro.harness.parallel import execute_plans
+
+        monkeypatch.setenv("REPRO_BATCHED", "1")
+        serial = execute_plans(all_plans(quick=True, ids=["T2"]), jobs=1)
+        parallel = execute_plans(all_plans(quick=True, ids=["T2"]), jobs=2)
+        assert [t.render() for t in serial] == [t.render() for t in parallel]
+
+    def test_bench_kernel_subcommand_runs(self, tmp_path, capsys):
+        import json
+
+        from repro.harness.bench_kernel import bench_kernel_main
+
+        out = tmp_path / "bench.json"
+        rc = bench_kernel_main(
+            ["--nodes", "8", "--ops", "40", "--seed", "3", "--json", str(out)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "msgs/sec" in captured
+        doc = json.loads(out.read_text())
+        names = [b["fullname"] for b in doc["benchmarks"]]
+        assert any("per-message" in n for n in names)
+        assert any("batched" in n for n in names)
+        for bench in doc["benchmarks"]:
+            assert bench["stats"]["median"] > 0
+
+
+class TestSegmentWalk:
+    """The segment-cached planner walk equals the exact walk everywhere."""
+
+    @pytest.mark.parametrize("n_nodes,seed", [(1, 3), (4, 0), (13, 7), (32, 5)])
+    def test_segment_walk_matches_exact(self, n_nodes, seed):
+        cluster = OverlayCluster(n_nodes, seed=seed)
+        planner = cluster.route_planner
+        rng = cluster.runner.rng.stream("segment-walk-test")
+        targets = [float(rng.random()) for _ in range(40)]
+        for origin in cluster.topology.cycle:
+            for target in targets:
+                assert planner._walk(origin, target) == planner._walk_exact(
+                    origin, target
+                ), (origin, target)

@@ -161,8 +161,8 @@ class TestExperimentRegistry:
         from repro.harness.experiments import ALL_EXPERIMENTS
 
         ids = set(ALL_EXPERIMENTS)
-        assert {"T1", "T4", "T7", "T8", "T11", "T14", "F1", "F2", "A1", "A2", "A3"} <= ids
-        assert len(ids) == 19
+        assert {"T1", "T4", "T7", "T8", "T11", "T14", "T15", "F1", "F2", "A1", "A2", "A3"} <= ids
+        assert len(ids) == 20
 
     def test_every_experiment_has_bench_target(self):
         """One pytest-benchmark file per experiment (deliverable d)."""
