@@ -66,6 +66,10 @@ __version__ = "1.0.0"
 _SERVICE_EXPORTS = {
     "QueueService": "server",
     "QueueClient": "client",
+    "QueueRouter": "router",
+    "ShardController": "controller",
+    "PartitionMap": "partition",
+    "even_partition": "partition",
     "AdmissionController": "admission",
     "LoadSpec": "loadgen",
     "run_loadtest": "loadgen",
@@ -101,8 +105,10 @@ __all__ = [
     "MembershipReport",
     "OpHandle",
     "OverlayCluster",
+    "PartitionMap",
     "ProtocolError",
     "QueueClient",
+    "QueueRouter",
     "QueueService",
     "ReproError",
     "RoutingError",
@@ -110,6 +116,7 @@ __all__ = [
     "SeapNode",
     "SeapSCHeap",
     "SeapSCNode",
+    "ShardController",
     "SimulationError",
     "SkackStack",
     "SkeapHeap",
@@ -126,6 +133,7 @@ __all__ = [
     "check_skack_history",
     "check_skeap_history",
     "distributed_select",
+    "even_partition",
     "join_node",
     "leave_node",
     "run_loadtest",

@@ -45,3 +45,13 @@ class ServiceError(ReproError):
 
 class WireError(ServiceError):
     """A wire frame is malformed (oversized, truncated, not JSON, ...)."""
+
+
+class UnavailableError(ServiceError):
+    """A shard (or the whole service) is temporarily unreachable.
+
+    Retryable by construction: the operation was *not* admitted anywhere,
+    so resubmitting it cannot double-execute.  The federation router
+    raises this for operations homed on a dead shard; everything else
+    keeps serving.
+    """

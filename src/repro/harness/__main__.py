@@ -16,8 +16,10 @@ Usage::
     python -m repro.harness targets
     python -m repro.harness serve [--proto P] [--nodes N] [--seed S]
                                   [--host H] [--port P] [--window W]
+                                  [--shards K] [--band-range LO:HI]
     python -m repro.harness loadtest [--proto P] [--clients C] [--ops K]
                                      [--mode closed|open] [--connect H:P]
+                                     [--shards K] [--band-range LO:HI]
                                      [--manifest PATH] [--trace DIR]
 
 ``--quick`` shrinks the parameter grids; ``--markdown`` emits GitHub
@@ -53,12 +55,15 @@ scenario with structured tracing on and writes JSONL + Perfetto-loadable
 Chrome-trace artifacts plus a run manifest (``repro.harness.trace_cli``).
 
 ``targets`` lists every runnable target (experiment ids, fuzz/trace
-targets, service protocols) with one-line descriptions.  ``serve`` runs
-a live Skeap/Seap queue service over TCP; ``loadtest`` drives one with
-the seeded open/closed-loop generator and feeds the observed history
-through the semantics checkers (``repro.harness.service_cli``) —
-self-hosting on an ephemeral port unless ``--connect`` points at a
-running server.
+targets, service protocols and topologies) with one-line descriptions.
+``serve`` runs a live Skeap/Seap queue service over TCP — with
+``--shards K`` it spawns K shard processes and fronts them with the
+federation router (one logical queue, priority space partitioned into
+per-shard bands).  ``loadtest`` drives one with the seeded
+open/closed-loop generator and feeds the observed history (for a
+federation: the merged, witness-serialized cross-shard history) through
+the semantics checkers (``repro.harness.service_cli``) — self-hosting on
+an ephemeral port unless ``--connect`` points at a running server.
 
 ``--manifest PATH`` additionally writes a run manifest for the table run:
 the exact command, seeds/grid config, git SHA, wall-clock, and a sha256

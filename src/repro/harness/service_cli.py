@@ -2,7 +2,13 @@
 
 ``serve`` runs a :class:`~repro.service.QueueService` in the foreground
 until interrupted — the daemon half of the CI service-smoke job and of
-any by-hand poking with a real client.
+any by-hand poking with a real client.  With ``--shards N`` (N > 1) it
+instead spawns N shard serve subprocesses via
+:class:`~repro.service.ShardController`, partitions the priority space
+with :func:`~repro.service.even_partition` (cut points from
+``--band-range LO:HI`` or a proto-appropriate default), and runs the
+:class:`~repro.service.QueueRouter` in the foreground — one logical
+queue over N OS processes, same wire protocol, same ready-line contract.
 
 ``loadtest`` drives a service with the seeded open/closed-loop generator
 from :mod:`repro.service.loadgen` and renders the latency/throughput
@@ -10,7 +16,10 @@ table.  Without ``--connect`` it self-hosts: a service on an ephemeral
 port is started in-process, loaded, verified, and torn down — one
 command, no orchestration.  With ``--connect HOST:PORT`` it drives an
 already-running server (started by ``serve``), which is how the CI smoke
-job exercises the real socket boundary across processes.
+job exercises the real socket boundary across processes.  With
+``--shards N`` it self-hosts a federation (controller + shard processes
++ in-process router) and drives that; the merged cross-shard history
+goes through the same checker stack as a single shard's.
 
 Both compose with the rest of the harness: ``--manifest PATH`` writes a
 run manifest (command, config, table hashes), and ``--trace DIR`` on a
@@ -63,8 +72,24 @@ def _default_mix(proto: str, n_priorities: int) -> str:
     return f"fixed:{n_priorities}" if proto == "skeap" else "uniform:0:1000000"
 
 
+def _parse_band_range(band: str | None, proto: str, n_priorities: int):
+    """``LO:HI`` → cut-point interval; default derives from the proto."""
+    from ..errors import ServiceError
+    from ..service.router import default_band_range
+
+    if band is None:
+        return default_band_range(proto, n_priorities)
+    lo_s, sep, hi_s = band.partition(":")
+    try:
+        if not sep:
+            raise ValueError("expected LO:HI")
+        return int(lo_s), int(hi_s)
+    except ValueError as exc:
+        raise ServiceError(f"bad --band-range {band!r}: {exc}") from exc
+
+
 def serve_main(argv: list[str]) -> int:
-    """``python -m repro.harness serve [--proto P] [--nodes N] ...``"""
+    """``python -m repro.harness serve [--proto P] [--nodes N] [--shards K] ...``"""
     from ..service import QueueService
 
     args = list(argv)
@@ -76,9 +101,17 @@ def serve_main(argv: list[str]) -> int:
     window = int(_flag_value(args, "--window", 64))
     n_priorities = int(_flag_value(args, "--priorities", 3))
     runner = _flag_value(args, "--runner", "sync")
+    shards = int(_flag_value(args, "--shards", 1))
+    band = _flag_value(args, "--band-range", None)
     if args:
         print(f"unknown serve arguments: {args}", file=sys.stderr)
         return 2
+    if shards > 1:
+        return _serve_federation(
+            proto=proto, n_nodes=n_nodes, seed=seed, host=host, port=port,
+            window=window, n_priorities=n_priorities, runner=runner,
+            shards=shards, band=band,
+        )
 
     async def run() -> None:
         service = QueueService(
@@ -98,6 +131,58 @@ def serve_main(argv: list[str]) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _serve_federation(
+    *, proto, n_nodes, seed, host, port, window, n_priorities, runner,
+    shards, band,
+) -> int:
+    """Spawn ``shards`` serve subprocesses and route them in the foreground.
+
+    ``--nodes`` is per shard: a 4-shard federation over ``--nodes 8`` runs
+    32 simulated nodes in 4 OS processes.
+    """
+    from ..errors import ReproError
+    from ..service import QueueRouter, ShardController, even_partition
+
+    try:
+        lo, hi = _parse_band_range(band, proto, n_priorities)
+        pmap = even_partition(shards, lo, hi)
+    except ReproError as exc:
+        print(f"serve failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    controller = ShardController(
+        proto=proto, n_nodes=n_nodes, seed=seed, n_priorities=n_priorities,
+        window=window, runner=runner,
+    )
+
+    async def run() -> None:
+        router = QueueRouter(
+            controller.endpoints(), pmap, host=host, port=port,
+            window_per_shard=window, seed=seed,
+        )
+        await router.start()
+        # Same ready-line contract as the single-process serve, with the
+        # federation shape appended.
+        print(
+            f"serving {proto} n={router.n_nodes} seed={seed} "
+            f"on {router.host}:{router.port} "
+            f"(federation: {shards} shards, epoch {pmap.epoch})",
+            flush=True,
+        )
+        await router.serve_forever()
+
+    try:
+        controller.spawn_many(range(shards))
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down federation", file=sys.stderr)
+    except ReproError as exc:
+        print(f"serve failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        controller.shutdown()
     return 0
 
 
@@ -125,6 +210,8 @@ def loadtest_main(argv: list[str]) -> int:
     connect = _flag_value(args, "--connect", None)
     manifest_path = _flag_value(args, "--manifest", None)
     trace_dir = _flag_value(args, "--trace", None)
+    shards = int(_flag_value(args, "--shards", 1))
+    band = _flag_value(args, "--band-range", None)
     markdown = "--markdown" in args
     args = [a for a in args if a != "--markdown"]
     if args:
@@ -133,6 +220,15 @@ def loadtest_main(argv: list[str]) -> int:
     if trace_dir is not None and connect is not None:
         print("--trace needs the self-hosted mode (drop --connect): the "
               "trace lives in the server process", file=sys.stderr)
+        return 2
+    if shards > 1 and connect is not None:
+        print("--shards self-hosts a federation; to drive a running one, "
+              "point --connect at its router port", file=sys.stderr)
+        return 2
+    if shards > 1 and trace_dir is not None:
+        print("--trace is per-process; a federation's shards run in child "
+              "processes, so their traces are not collectable here",
+              file=sys.stderr)
         return 2
 
     spec = LoadSpec(
@@ -151,6 +247,18 @@ def loadtest_main(argv: list[str]) -> int:
             host, _, port_s = connect.rpartition(":")
             report = await run_loadtest(host or "127.0.0.1", int(port_s), spec)
             return report, None
+        if shards > 1:
+            from ..service import QueueRouter, even_partition
+
+            lo, hi = _parse_band_range(band, proto, n_priorities)
+            pmap = even_partition(shards, lo, hi)
+            router = QueueRouter(
+                controller.endpoints(), pmap,
+                window_per_shard=window, seed=seed,
+            )
+            async with router:
+                report = await run_loadtest(router.host, router.port, spec)
+            return report, None
         service = QueueService(
             proto, n_nodes=n_nodes, seed=seed, runner=runner,
             n_priorities=n_priorities, window=window,
@@ -168,11 +276,24 @@ def loadtest_main(argv: list[str]) -> int:
                 report = await run_loadtest(service.host, service.port, spec)
         return report, tracer
 
+    controller = None
+    if shards > 1:
+        from ..service import ShardController
+
+        controller = ShardController(
+            proto=proto, n_nodes=n_nodes, seed=seed,
+            n_priorities=n_priorities, window=window, runner=runner,
+        )
     try:
+        if controller is not None:
+            controller.spawn_many(range(shards))
         report, tracer = asyncio.run(run())
     except ReproError as exc:
         print(f"loadtest failed: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if controller is not None:
+            controller.shutdown()
 
     table = report.table()
     print(table.to_markdown() if markdown else table.render())
@@ -213,6 +334,7 @@ def loadtest_main(argv: list[str]) -> int:
                 "rate": rate,
                 "window": window,
                 "connect": connect,
+                "shards": shards,
             },
             seed=seed,
             tables=[table],

@@ -12,7 +12,7 @@ from __future__ import annotations
 import sys
 
 __all__ = ["targets_main", "EXPERIMENT_DESCRIPTIONS", "FUZZ_TARGET_DESCRIPTIONS",
-           "SERVICE_PROTO_DESCRIPTIONS"]
+           "SERVICE_PROTO_DESCRIPTIONS", "SERVICE_TOPOLOGY_DESCRIPTIONS"]
 
 #: ``python -m repro.harness [IDS...]`` — one line per experiment table.
 EXPERIMENT_DESCRIPTIONS = {
@@ -55,9 +55,16 @@ SERVICE_PROTO_DESCRIPTIONS = {
     "seap": "live Seap queue service: arbitrary integer priorities",
 }
 
+#: ``serve [--shards K]`` — how the live service is laid out over processes.
+SERVICE_TOPOLOGY_DESCRIPTIONS = {
+    "single": "one QueueService process (the default; --shards 1)",
+    "federation": "N shard processes behind a priority-band router (--shards N)",
+}
+
 
 def _check_complete() -> list[str]:
     """Registry drift vs the real drivers; returns a list of problems."""
+    from ..service.router import TOPOLOGIES
     from ..service.server import PROTOS
     from .experiments import ALL_PLAN_FACTORIES
     from .fuzz import TARGET_NAMES
@@ -67,6 +74,7 @@ def _check_complete() -> list[str]:
         ("experiment", set(EXPERIMENT_DESCRIPTIONS), set(ALL_PLAN_FACTORIES)),
         ("fuzz/trace", set(FUZZ_TARGET_DESCRIPTIONS), set(TARGET_NAMES)),
         ("service", set(SERVICE_PROTO_DESCRIPTIONS), set(PROTOS)),
+        ("topology", set(SERVICE_TOPOLOGY_DESCRIPTIONS), set(TOPOLOGIES)),
     ):
         if missing := want - have:
             problems.append(f"{label} targets missing a description: {sorted(missing)}")
@@ -92,6 +100,8 @@ def targets_main(argv: list[str]) -> int:
          FUZZ_TARGET_DESCRIPTIONS),
         ("service protocols  (... serve|loadtest --proto P)",
          SERVICE_PROTO_DESCRIPTIONS),
+        ("service topologies  (... serve|loadtest [--shards K])",
+         SERVICE_TOPOLOGY_DESCRIPTIONS),
     )
     for heading, registry in sections:
         print(heading)

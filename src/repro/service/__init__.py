@@ -15,9 +15,13 @@ is strictly additive, so simulator-only runs are byte-identical with it
 present or absent.
 """
 
-from .admission import AdmissionController, AdmissionDecision
+from .admission import AdmissionController, AdmissionDecision, ShardedAdmission
 from .client import ClientResult, QueueClient
+from .controller import ShardController, ShardProcess, ShardSpec
+from .federation import merge_shard_histories
 from .loadgen import LoadReport, LoadSpec, run_loadtest, verify_observed_history
+from .partition import Band, PartitionMap, even_partition
+from .router import QueueRouter, default_band_range
 from .server import QueueService
 from .wire import (
     DEFAULT_MAX_FRAME,
@@ -30,9 +34,19 @@ from .wire import (
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "ShardedAdmission",
     "ClientResult",
     "QueueClient",
     "QueueService",
+    "QueueRouter",
+    "ShardController",
+    "ShardProcess",
+    "ShardSpec",
+    "Band",
+    "PartitionMap",
+    "even_partition",
+    "default_band_range",
+    "merge_shard_histories",
     "LoadReport",
     "LoadSpec",
     "run_loadtest",

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ServiceError
 
-__all__ = ["AdmissionDecision", "AdmissionController"]
+__all__ = ["AdmissionDecision", "AdmissionController", "ShardedAdmission"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,4 +138,97 @@ class AdmissionController:
             "admitted": self.admitted_total,
             "shed": self.shed_total,
             "released": self.released_total,
+        }
+
+
+class ShardedAdmission:
+    """Per-shard admission windows for the federation router.
+
+    One :class:`AdmissionController` per shard: a saturated shard sheds
+    *its* traffic while the other bands keep admitting, so a hot priority
+    band cannot collapse the whole federation's window (the failure mode
+    a single shared window would have).  Shards can be added and removed
+    at runtime — the rebalance path grows/shrinks the set in lockstep
+    with the partition map.
+    """
+
+    def __init__(
+        self,
+        shard_ids,
+        *,
+        window_per_shard: int = 64,
+        base_retry_after: float = 0.02,
+    ):
+        self.window_per_shard = int(window_per_shard)
+        self.base_retry_after = float(base_retry_after)
+        self._controllers: dict[int, AdmissionController] = {}
+        self._clients: set = set()
+        for sid in shard_ids:
+            self.add_shard(sid)
+
+    # -- shard set ---------------------------------------------------------
+
+    def add_shard(self, shard_id: int) -> None:
+        if shard_id in self._controllers:
+            raise ServiceError(f"shard {shard_id} already has a window")
+        controller = AdmissionController(
+            window=self.window_per_shard, base_retry_after=self.base_retry_after
+        )
+        for client in self._clients:
+            controller.register(client)
+        self._controllers[shard_id] = controller
+
+    def remove_shard(self, shard_id: int) -> None:
+        self._controllers.pop(shard_id, None)
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(self._controllers)
+
+    @property
+    def window(self) -> int:
+        """The federation-wide window: the sum of the per-shard windows."""
+        return self.window_per_shard * max(1, len(self._controllers))
+
+    # -- client registry ---------------------------------------------------
+
+    def register(self, client: object) -> None:
+        if client in self._clients:
+            raise ServiceError(f"client {client!r} registered twice")
+        self._clients.add(client)
+        for controller in self._controllers.values():
+            controller.register(client)
+
+    def unregister(self, client: object) -> None:
+        self._clients.discard(client)
+        for controller in self._controllers.values():
+            controller.unregister(client)
+
+    # -- admission ---------------------------------------------------------
+
+    def try_admit(self, client: object, shard_id: int) -> AdmissionDecision:
+        controller = self._controllers.get(shard_id)
+        if controller is None:
+            raise ServiceError(f"no admission window for shard {shard_id}")
+        return controller.try_admit(client)
+
+    def release(self, client: object, shard_id: int) -> None:
+        controller = self._controllers.get(shard_id)
+        if controller is not None:
+            controller.release(client)
+
+    def snapshot(self) -> dict:
+        """An aggregate shaped like one controller's, plus per-shard detail."""
+        shards = {sid: c.snapshot() for sid, c in self._controllers.items()}
+        return {
+            "window": self.window,
+            "in_flight": sum(s["in_flight"] for s in shards.values()),
+            "clients": len(self._clients),
+            "fair_share": min(
+                (s["fair_share"] for s in shards.values()), default=1
+            ),
+            "admitted": sum(s["admitted"] for s in shards.values()),
+            "shed": sum(s["shed"] for s in shards.values()),
+            "released": sum(s["released"] for s in shards.values()),
+            "per_shard": shards,
         }

@@ -29,9 +29,9 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from ..errors import ServiceError, WireError
+from ..errors import ServiceError, UnavailableError, WireError
 from .server import RESPONSE_MAX_FRAME
-from .wire import read_frame, write_frame
+from .wire import encode_frame, read_frame, write_frame
 
 __all__ = ["ClientResult", "QueueClient"]
 
@@ -95,8 +95,31 @@ class QueueClient:
         timeout: float = 30.0,
         max_retries: int = 64,
         retry_jitter_seed: int = 0,
+        connect_retries: int = 20,
+        connect_backoff: float = 0.05,
     ) -> "QueueClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        """Open a connection, absorbing the spawn-to-listen race.
+
+        A freshly spawned service refuses connections for the few
+        milliseconds before its socket binds; a cold loadtest that loses
+        that race should wait, not die.  ``ECONNREFUSED`` is retried up
+        to ``connect_retries`` times with seeded exponential backoff
+        (deterministic choice-for-choice, like the RETRY_AFTER jitter);
+        any other connection failure — unknown host, reset, timeout —
+        propagates immediately.
+        """
+        backoff_rng = random.Random(retry_jitter_seed ^ 0x5EED)
+        attempt = 0
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except ConnectionRefusedError:
+                attempt += 1
+                if attempt > connect_retries:
+                    raise
+                base = connect_backoff * (2 ** min(attempt - 1, 6))
+                await asyncio.sleep(backoff_rng.uniform(base / 2, base))
         self = cls(
             reader, writer,
             client=client, timeout=timeout, max_retries=max_retries,
@@ -178,11 +201,43 @@ class QueueClient:
         finally:
             self._waiters.pop(rid, None)
 
+    def request_nowait(self, request: dict) -> asyncio.Future:
+        """Put one frame on the wire *now*; await the returned future later.
+
+        Unlike :meth:`_request_raw` there is no await before the bytes hit
+        the stream buffer: the write happens synchronously inside this
+        call, so two ``request_nowait`` calls made back-to-back from the
+        same task are guaranteed to reach the server in that order.  The
+        federation router leans on this — its routing decisions are only
+        exact if decision order equals per-shard submission order.
+        """
+        if self._conn_error is not None:
+            raise UnavailableError(f"connection lost: {self._conn_error}")
+        rid = next(self._rids)
+        request = dict(request, rid=rid)
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[rid] = waiter
+        try:
+            self._writer.write(encode_frame(request))
+        except Exception as exc:  # noqa: BLE001 - surfaced via the future
+            self._waiters.pop(rid, None)
+            waiter.cancel()
+            raise UnavailableError(f"connection lost: {exc}") from exc
+        return waiter
+
+    async def drain(self) -> None:
+        """Apply write backpressure after a burst of :meth:`request_nowait`."""
+        await self._writer.drain()
+
     async def _request(self, request: dict, timeout: float | None = None) -> dict:
         response = await asyncio.wait_for(
             self._request_raw(request),
             self.timeout if timeout is None else timeout,
         )
+        if response.get("status") == "unavailable":
+            raise UnavailableError(
+                response.get("error", "service shard unavailable")
+            )
         if response.get("status") == "error":
             raise ServiceError(response.get("error", "unknown server error"))
         return response
@@ -264,6 +319,11 @@ class QueueClient:
 
     async def stats(self, timeout: float | None = None) -> dict:
         return await self._request({"op": "stats"}, timeout=timeout)
+
+    async def census(self, timeout: float | None = None) -> int:
+        """The drained-point stored-element count (a barrier request)."""
+        response = await self._request({"op": "census"}, timeout=timeout)
+        return int(response["stored"])
 
     async def ping(self, timeout: float | None = None) -> dict:
         return await self._request({"op": "ping"}, timeout=timeout)

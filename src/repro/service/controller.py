@@ -1,0 +1,271 @@
+"""Shard orchestration: spawn, health-check and stop shard processes.
+
+A federation shard is one ``python -m repro.harness serve`` process on an
+ephemeral port — the *same* entry point CI and by-hand runs use, so a
+shard under the controller is bit-for-bit the service everything else
+already tests.  The controller's job is the OS-process lifecycle:
+
+* **spawn** — launch the serve subprocess with ``--port 0``, then parse
+  the ready line (``serving <proto> n=<n> seed=<s> on <host>:<port>``)
+  the CLI prints as its readiness contract; the bound port comes from
+  that line, so there is no bind race and no port guessing;
+* **health** — ``poll()`` every child; a dead shard is reported with its
+  exit code (and a ``kill -9`` shows up as ``-9``), never silently;
+* **stop/shutdown** — terminate, then escalate to kill on a deadline, and
+  always reap.
+
+The controller is deliberately synchronous (plain ``subprocess``): it
+runs before or beside the router's event loop, and spawning is a
+blocking, bounded-time operation by nature.  Per-shard seeds derive from
+the federation seed via :func:`~repro.sim.rng.derive_seed`, so a
+federation is as reproducible as a single service.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ServiceError
+from ..sim.rng import derive_seed
+
+__all__ = ["ShardSpec", "ShardProcess", "ShardController"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to (re)spawn one shard process."""
+
+    shard_id: int
+    proto: str = "skeap"
+    n_nodes: int = 8
+    seed: int = 0
+    n_priorities: int = 3
+    window: int = 64
+    runner: str = "sync"
+    host: str = "127.0.0.1"
+
+    def argv(self) -> list[str]:
+        return [
+            sys.executable, "-u", "-m", "repro.harness", "serve",
+            "--proto", self.proto,
+            "--nodes", str(self.n_nodes),
+            "--seed", str(self.seed),
+            "--priorities", str(self.n_priorities),
+            "--window", str(self.window),
+            "--runner", self.runner,
+            "--host", self.host,
+            "--port", "0",
+        ]
+
+
+@dataclass
+class ShardProcess:
+    """One live (or dead) shard child."""
+
+    spec: ShardSpec
+    process: subprocess.Popen
+    host: str = ""
+    port: int = 0
+    ready_output: list[str] = field(default_factory=list)
+
+    @property
+    def shard_id(self) -> int:
+        return self.spec.shard_id
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+def _shard_env() -> dict[str, str]:
+    """The child environment, with this repro importable via PYTHONPATH."""
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+class ShardController:
+    """Spawn, watch and stop the shard processes of one federation."""
+
+    def __init__(
+        self,
+        *,
+        proto: str = "skeap",
+        n_nodes: int = 8,
+        seed: int = 0,
+        n_priorities: int = 3,
+        window: int = 64,
+        runner: str = "sync",
+        host: str = "127.0.0.1",
+        spawn_timeout: float = 30.0,
+    ):
+        self.proto = proto
+        self.n_nodes = int(n_nodes)
+        self.seed = int(seed)
+        self.n_priorities = int(n_priorities)
+        self.window = int(window)
+        self.runner = runner
+        self.host = host
+        self.spawn_timeout = float(spawn_timeout)
+        self.shards: dict[int, ShardProcess] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def spawn(self, shard_id: int) -> ShardProcess:
+        """Launch one shard and block until its socket is ready."""
+        if shard_id in self.shards and self.shards[shard_id].alive:
+            raise ServiceError(f"shard {shard_id} is already running")
+        spec = ShardSpec(
+            shard_id=shard_id,
+            proto=self.proto,
+            n_nodes=self.n_nodes,
+            seed=derive_seed(self.seed, "shard", shard_id),
+            n_priorities=self.n_priorities,
+            window=self.window,
+            runner=self.runner,
+            host=self.host,
+        )
+        process = subprocess.Popen(
+            spec.argv(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_shard_env(),
+        )
+        shard = ShardProcess(spec=spec, process=process)
+        try:
+            shard.host, shard.port = self._await_ready(shard)
+        except Exception:
+            process.kill()
+            process.wait()
+            raise
+        self.shards[shard_id] = shard
+        return shard
+
+    def spawn_many(self, shard_ids) -> dict[int, ShardProcess]:
+        for shard_id in shard_ids:
+            self.spawn(shard_id)
+        return dict(self.shards)
+
+    def _await_ready(self, shard: ShardProcess) -> tuple[str, int]:
+        """Parse the serve CLI's ready line, with a hard deadline.
+
+        The child's stdout is read non-blockingly (``select`` on the pipe)
+        so a shard that wedges before binding cannot hang the federation
+        bring-up; whatever it *did* print is kept for the error message.
+        """
+        deadline = time.monotonic() + self.spawn_timeout
+        stream = shard.process.stdout
+        assert stream is not None
+        buffer = ""
+        while True:
+            line, buffer = self._next_line(buffer)
+            if line is not None:
+                shard.ready_output.append(line)
+                if line.startswith("serving ") and " on " in line:
+                    _, _, addr = line.rpartition(" on ")
+                    host, _, port_s = addr.strip().rpartition(":")
+                    return host, int(port_s)
+                continue
+            if shard.process.poll() is not None:
+                raise ServiceError(
+                    f"shard {shard.shard_id} exited with code "
+                    f"{shard.process.returncode} before becoming ready; "
+                    f"output: {shard.ready_output!r}"
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"shard {shard.shard_id} not ready within "
+                    f"{self.spawn_timeout}s; output: {shard.ready_output!r}"
+                )
+            readable, _, _ = select.select([stream], [], [], min(remaining, 0.2))
+            if readable:
+                chunk = os.read(stream.fileno(), 4096).decode(errors="replace")
+                if not chunk:  # EOF: the child is going down
+                    shard.process.wait(timeout=remaining)
+                buffer += chunk
+
+    @staticmethod
+    def _next_line(buffer: str) -> tuple[str | None, str]:
+        line, sep, rest = buffer.partition("\n")
+        return (line, rest) if sep else (None, buffer)
+
+    # -- observation -------------------------------------------------------
+
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        """``shard_id -> (host, port)`` for every *live* shard."""
+        return {
+            sid: (shard.host, shard.port)
+            for sid, shard in self.shards.items()
+            if shard.alive
+        }
+
+    def health(self) -> dict[int, dict]:
+        """Liveness and exit status per shard — deaths are never silent."""
+        report = {}
+        for sid, shard in self.shards.items():
+            returncode = shard.process.poll()
+            report[sid] = {
+                "alive": returncode is None,
+                "pid": shard.process.pid,
+                "returncode": returncode,
+                "host": shard.host,
+                "port": shard.port,
+            }
+        return report
+
+    def deaths(self) -> list[int]:
+        """Shard ids whose process has exited."""
+        return [sid for sid, shard in self.shards.items() if not shard.alive]
+
+    # -- teardown ----------------------------------------------------------
+
+    def kill(self, shard_id: int) -> None:
+        """SIGKILL a shard — the chaos test's hammer.  Reaps the child."""
+        shard = self._get(shard_id)
+        shard.process.kill()
+        shard.process.wait()
+
+    def stop(self, shard_id: int, *, timeout: float = 5.0) -> None:
+        """Terminate a shard politely, escalating to kill on the deadline."""
+        shard = self._get(shard_id)
+        if shard.alive:
+            shard.process.terminate()
+            try:
+                shard.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                shard.process.kill()
+                shard.process.wait()
+
+    def retire(self, shard_id: int, *, timeout: float = 5.0) -> None:
+        """Stop a shard and drop it from the roster (post-merge cleanup)."""
+        self.stop(shard_id, timeout=timeout)
+        self.shards.pop(shard_id, None)
+
+    def shutdown(self) -> None:
+        for sid in list(self.shards):
+            self.stop(sid)
+        self.shards.clear()
+
+    def _get(self, shard_id: int) -> ShardProcess:
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise ServiceError(f"unknown shard {shard_id}")
+        return shard
+
+    def __enter__(self) -> "ShardController":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

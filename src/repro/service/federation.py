@@ -1,0 +1,244 @@
+"""Merging per-shard histories into one checkable federated history.
+
+Each shard of a federation is a complete, independently correct queue
+over its priority band, and its settled history carries its own
+serialization witness (the per-op ``order_key``).  The federation claims
+more: the *union* of the shard histories is the history of one logical
+queue.  This module makes that claim checkable by the unmodified
+``repro.semantics`` stack:
+
+1. **Namespacing** — shard-local op ids ``(node, seq)`` and element uids
+   collide across shards (every shard numbers its own nodes from 0), so
+   both are lifted into disjoint per-shard namespaces.  The router applies
+   the *same* mapping to the frames it returns to clients, so the
+   client-vs-server cross-check still matches record for record.
+
+2. **Witness construction** — the checkers verify a *candidate*
+   serialization.  For the merged history the candidate is built here: an
+   interleaving of the per-shard serializations (each kept intact as a
+   subsequence, which preserves every per-shard guarantee, including
+   per-node program order) such that the global heap semantics hold:
+
+   * a matched DeleteMin at band rank ``r`` is placed only where every
+     better band is empty — bands partition the priority space, so the
+     shard-local minimum is then the global minimum;
+   * a ⊥ DeleteMin is placed only where *every* band is empty.
+
+   Such an interleaving always exists when every shard history is
+   self-consistent, and a deterministic two-phase schedule constructs it
+   in linear time (see :func:`_schedule_witness`): first each shard's
+   prefix up to its last ⊥ (every other shard parks at an empty point, so
+   the all-empty precondition holds at each ⊥), then the ⊥-free suffixes
+   from the worst band to the best (better bands are still parked empty,
+   so every matched delete's precondition holds).  The preconditions are
+   re-verified during emission: a shard history too inconsistent to
+   schedule fails the merge *loudly* with :class:`ConsistencyError`, and
+   a federation that scheduled but misbehaved fails the downstream
+   checkers — either way a loadtest cannot silently certify a bad run.
+
+The output is a payload shaped like one shard's ``history`` frame, so
+:func:`repro.service.loadgen.verify_observed_history` consumes a
+federated history without knowing federations exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConsistencyError
+from ..semantics.history import DELETE, INSERT
+from .partition import PartitionMap
+
+__all__ = [
+    "NODE_NAMESPACE",
+    "UID_NAMESPACE",
+    "namespace_node",
+    "namespace_uid",
+    "merge_shard_histories",
+]
+
+#: Per-shard node-id namespace stride: merged op id = (sid·stride + node, seq).
+NODE_NAMESPACE = 1 << 16
+
+#: Per-shard uid namespace stride (shard uids are ``(owner << 32) | seq``).
+UID_NAMESPACE = 1 << 48
+
+
+def namespace_node(shard_id: int, node: int) -> int:
+    """Lift a shard-local node id into the shard's disjoint namespace."""
+    if not 0 <= node < NODE_NAMESPACE:
+        raise ConsistencyError(f"node id {node} outside namespace stride")
+    return shard_id * NODE_NAMESPACE + node
+
+
+def namespace_uid(shard_id: int, uid: int) -> int:
+    """Lift a shard-local element uid into the shard's disjoint namespace."""
+    if not 0 <= uid < UID_NAMESPACE:
+        raise ConsistencyError(f"uid {uid} outside namespace stride")
+    return shard_id * UID_NAMESPACE + uid
+
+
+@dataclass(slots=True)
+class _SeqOp:
+    """One shard op in shard-serialization order, fields already namespaced."""
+
+    entry: dict  # the (remapped) jsonable record, sans order key
+    kind: str
+    bot: bool
+    matched: bool  # a DeleteMin that returned an element
+
+
+def _remap_entry(shard_id: int, entry: dict) -> dict:
+    node, seq = entry["op"]
+    out = dict(entry)
+    out["op"] = [namespace_node(shard_id, node), seq]
+    if entry.get("uid") is not None:
+        out["uid"] = namespace_uid(shard_id, entry["uid"])
+    if entry.get("ret") is not None:
+        out["ret"] = namespace_uid(shard_id, entry["ret"])
+    return out
+
+
+def _shard_sequence(shard_id: int, payload: dict) -> list[_SeqOp]:
+    """The shard's ops in its own serialization order, namespaced."""
+    ops = payload["history"]["ops"]
+    for entry in ops:
+        if not entry["done"] or entry["order"] is None:
+            raise ConsistencyError(
+                f"shard {shard_id}: op {entry['op']} not settled; the merged "
+                "history must be fetched at a drained point"
+            )
+    out = []
+    for entry in sorted(ops, key=lambda e: tuple(e["order"])):
+        remapped = _remap_entry(shard_id, entry)
+        remapped["order"] = None  # the witness assigns merged order keys
+        out.append(
+            _SeqOp(
+                entry=remapped,
+                kind=entry["kind"],
+                bot=bool(entry["bot"]),
+                matched=entry["kind"] == DELETE and entry["ret"] is not None,
+            )
+        )
+    return out
+
+
+def _schedule_witness(sequences: list[list[_SeqOp]]) -> list[tuple[int, _SeqOp]]:
+    """Interleave per-rank sequences into a heap-legal serialization.
+
+    ``sequences`` is indexed by band rank (rank 0 = best priorities).
+    Returns the witness as ``(rank, op)`` pairs.
+
+    The schedule is deterministic and linear-time, built in two phases:
+
+    1. For each rank in order, emit the shard's prefix up to (and
+       including) its **last ⊥ delete**.  Within a self-consistent shard
+       history the shard's own census is 0 at every ⊥, and every *other*
+       shard is parked at a census-0 position (its start, or its own
+       last-⊥ point) — so the all-empty precondition holds at each ⊥, and
+       the better-bands-empty precondition holds at each matched delete
+       (better ranks haven't moved past their own empty points).
+
+    2. The remaining suffixes contain no ⊥; emit them whole, worst rank
+       first.  A matched delete at rank ``r`` needs ranks ``< r`` empty —
+       and those shards are still parked at their census-0 phase-1 points
+       because worse ranks drain first.
+
+    The preconditions are checked as the witness is emitted; a violation
+    means some shard's *own* history was not heap-legal (so no merged
+    witness can exist) and raises :class:`ConsistencyError`.
+    """
+    n = len(sequences)
+    # counts[r] = shard r's census after its emitted prefix.
+    counts = [0] * n
+    witness: list[tuple[int, _SeqOp]] = []
+
+    def emit(rank: int, op: _SeqOp) -> None:
+        if op.kind == INSERT:
+            counts[rank] += 1
+        elif op.matched:
+            if any(counts[r] != 0 for r in range(rank)):
+                raise ConsistencyError(
+                    f"no heap-legal serialization: shard at band rank {rank} "
+                    f"deleted op {op.entry['op']} while a better band was "
+                    "non-empty at every schedulable point"
+                )
+            counts[rank] -= 1
+            if counts[rank] < 0:
+                raise ConsistencyError(
+                    f"band rank {rank}: more deletes than inserts at op "
+                    f"{op.entry['op']} — shard history is not self-consistent"
+                )
+        else:  # ⊥ delete: the whole federation must be empty here
+            if any(counts[r] != 0 for r in range(n)):
+                raise ConsistencyError(
+                    f"no heap-legal serialization: shard at band rank {rank} "
+                    f"saw ⊥ at op {op.entry['op']} while the federation was "
+                    "non-empty at every schedulable point"
+                )
+        witness.append((rank, op))
+
+    last_bot = [
+        max((k for k, op in enumerate(seq) if op.kind == DELETE and op.bot), default=-1)
+        for seq in sequences
+    ]
+    for rank, seq in enumerate(sequences):  # phase 1: align the ⊥ prefixes
+        for k in range(last_bot[rank] + 1):
+            emit(rank, seq[k])
+    for rank in range(n - 1, -1, -1):  # phase 2: ⊥-free suffixes, worst first
+        seq = sequences[rank]
+        for k in range(last_bot[rank] + 1, len(seq)):
+            emit(rank, seq[k])
+    return witness
+
+
+def merge_shard_histories(payloads: dict[int, dict], pmap: PartitionMap) -> dict:
+    """Merge per-shard ``history`` frames into one federated payload.
+
+    ``payloads`` maps shard id → the shard's history frame (as served by
+    :class:`~repro.service.server.QueueService` at a drained point).
+    Shards present in ``pmap`` but absent from ``payloads`` (e.g. dead
+    ones with nothing fetchable) contribute nothing.  The result carries
+    merged, namespaced ops with a freshly constructed serialization
+    witness, plus the merged element census.
+    """
+    if not payloads:
+        raise ConsistencyError("no shard histories to merge")
+    protos = {p["proto"] for p in payloads.values()}
+    orders = {p.get("order", "min") for p in payloads.values()}
+    disciplines = {p.get("discipline", "fifo") for p in payloads.values()}
+    if len(protos) != 1 or len(orders) != 1 or len(disciplines) != 1:
+        raise ConsistencyError(
+            f"heterogeneous shards cannot merge: protos={protos}, "
+            f"orders={orders}, disciplines={disciplines}"
+        )
+    order = orders.pop()
+    if order != "min":
+        raise ConsistencyError("federated merge supports order='min' only")
+
+    ranked: list[tuple[int, int]] = sorted(
+        ((pmap.rank_of(sid), sid) for sid in payloads),
+        key=lambda pair: pair[0],
+    )
+    sequences = [_shard_sequence(sid, payloads[sid]) for _, sid in ranked]
+    witness = _schedule_witness(sequences)
+
+    merged_ops = []
+    for position, (_, op) in enumerate(witness):
+        entry = dict(op.entry)
+        entry["order"] = [position]
+        merged_ops.append(entry)
+    stored: list[int] = []
+    for _, sid in ranked:
+        stored.extend(
+            namespace_uid(sid, uid) for uid in payloads[sid]["stored_uids"]
+        )
+    return {
+        "history": {"ops": merged_ops},
+        "stored_uids": sorted(stored),
+        "proto": protos.pop(),
+        "order": order,
+        "discipline": disciplines.pop(),
+        "epoch": pmap.epoch,
+        "shards": [sid for _, sid in ranked],
+    }

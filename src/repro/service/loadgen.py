@@ -171,6 +171,14 @@ class LoadReport:
             f"admission: window {admission.get('window')}, "
             f"admitted {admission.get('admitted')}, shed {admission.get('shed')}"
         )
+        federation = self.server_stats.get("federation")
+        if federation:
+            dead = federation.get("dead") or []
+            table.add_note(
+                f"federation: {len(federation.get('shards', []))} shards, "
+                f"map epoch {federation.get('epoch')}"
+                + (f", dead shards {dead}" if dead else "")
+            )
         if self.checks_passed:
             table.verdict = "CHECKS PASS: " + ", ".join(self.checks_passed)
         return table

@@ -1,0 +1,214 @@
+"""The federation's partition map: priority bands, versioned by epoch.
+
+A federation partitions the priority space across shards.  The unit of
+routing is the *priority band* ``[lo, hi)``: every priority routes to
+exactly one band, bands are contiguous and cover the whole integer line
+(the outermost bands are unbounded), and each band is homed on exactly
+one shard process.  Because a priority class lives entirely inside one
+shard, FIFO order within a priority is a per-shard property — the merged
+cross-shard history can stay exactly serializable (see
+:mod:`repro.service.federation`).
+
+The map is an explicit, immutable, versioned object shared by the router
+and every orchestration layer:
+
+* ``epoch`` — bumped by every rebalance; consumers reject maps that move
+  backwards, so a stale map can never overwrite a newer one;
+* ``split`` / ``merge_adjacent`` — the two rebalance primitives; both
+  return a *new* map with ``epoch + 1`` and never mutate the old one;
+* ``to_jsonable`` / ``from_jsonable`` — the wire form, so router and
+  shards (different OS processes) agree on routing byte-for-byte.
+
+Routing is pure arithmetic on the cut points — no I/O, no randomness —
+which is what makes the property suite in
+``tests/test_service_partition.py`` (total, disjoint, deterministic
+across processes) checkable by brute force.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..errors import ServiceError
+
+__all__ = ["Band", "PartitionMap", "even_partition"]
+
+
+@dataclass(frozen=True, slots=True)
+class Band:
+    """A half-open priority interval ``[lo, hi)``; ``None`` = unbounded."""
+
+    shard_id: int
+    lo: int | None
+    hi: int | None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shard_id, int) or self.shard_id < 0:
+            raise ServiceError(f"shard_id must be a non-negative int: {self.shard_id!r}")
+        for edge in (self.lo, self.hi):
+            if edge is not None and (not isinstance(edge, int) or isinstance(edge, bool)):
+                raise ServiceError(f"band edge must be int or None: {edge!r}")
+        if self.lo is not None and self.hi is not None and self.lo >= self.hi:
+            raise ServiceError(f"empty band [{self.lo}, {self.hi})")
+
+    def contains(self, priority: int) -> bool:
+        return (self.lo is None or priority >= self.lo) and (
+            self.hi is None or priority < self.hi
+        )
+
+    def describe(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi})"
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """An epoch-versioned, total, disjoint priority-space partition.
+
+    ``bands`` is ordered ascending; band index = the shard's *rank* (rank
+    0 owns the best/lowest priorities), which the router's DeleteMin
+    routing and the history merger both key on.
+    """
+
+    epoch: int
+    bands: tuple[Band, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.epoch, int) or self.epoch < 0:
+            raise ServiceError(f"epoch must be a non-negative int: {self.epoch!r}")
+        if not self.bands:
+            raise ServiceError("a partition map needs at least one band")
+        ids = [b.shard_id for b in self.bands]
+        if len(set(ids)) != len(ids):
+            raise ServiceError(f"duplicate shard ids in partition map: {ids}")
+        if self.bands[0].lo is not None or self.bands[-1].hi is not None:
+            raise ServiceError("outermost bands must be unbounded (total coverage)")
+        for left, right in zip(self.bands, self.bands[1:]):
+            if left.hi is None or right.lo is None or left.hi != right.lo:
+                raise ServiceError(
+                    f"bands not contiguous: {left.describe()} then {right.describe()}"
+                )
+        # Internal cut points, for bisect routing.
+        object.__setattr__(self, "_cuts", tuple(b.lo for b in self.bands[1:]))
+
+    # -- routing -----------------------------------------------------------
+
+    def rank_for(self, priority: int) -> int:
+        """The band index that owns ``priority`` (total and disjoint)."""
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServiceError(f"priorities are ints, got {priority!r}")
+        return bisect_right(self._cuts, priority)  # type: ignore[attr-defined]
+
+    def shard_for(self, priority: int) -> int:
+        """The shard id that owns ``priority``."""
+        return self.bands[self.rank_for(priority)].shard_id
+
+    def rank_of(self, shard_id: int) -> int:
+        for rank, band in enumerate(self.bands):
+            if band.shard_id == shard_id:
+                return rank
+        raise ServiceError(f"shard {shard_id} not in partition map")
+
+    def band_of(self, shard_id: int) -> Band:
+        return self.bands[self.rank_of(shard_id)]
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Shard ids in band (rank) order."""
+        return tuple(b.shard_id for b in self.bands)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.bands)
+
+    # -- rebalance primitives ---------------------------------------------
+
+    def split(self, shard_id: int, at: int, new_shard_id: int) -> "PartitionMap":
+        """Split ``shard_id``'s band at ``at``; the upper half moves to
+        ``new_shard_id``.  Returns a new map with ``epoch + 1``."""
+        if new_shard_id in self.shard_ids:
+            raise ServiceError(f"shard id {new_shard_id} already in the map")
+        rank = self.rank_of(shard_id)
+        band = self.bands[rank]
+        if not band.contains(at) or (band.lo is not None and at <= band.lo):
+            raise ServiceError(
+                f"split point {at} not strictly inside band {band.describe()}"
+            )
+        replacement = (
+            Band(shard_id, band.lo, at),
+            Band(new_shard_id, at, band.hi),
+        )
+        return PartitionMap(
+            self.epoch + 1,
+            self.bands[:rank] + replacement + self.bands[rank + 1 :],
+        )
+
+    def merge_adjacent(self, shard_id: int) -> "PartitionMap":
+        """Merge ``shard_id``'s band with the next band up; the merged band
+        keeps ``shard_id`` and the neighbour's shard is retired.  Returns a
+        new map with ``epoch + 1``."""
+        rank = self.rank_of(shard_id)
+        if rank + 1 >= len(self.bands):
+            raise ServiceError(f"shard {shard_id} owns the last band; nothing above")
+        low, high = self.bands[rank], self.bands[rank + 1]
+        merged = Band(shard_id, low.lo, high.hi)
+        return PartitionMap(
+            self.epoch + 1,
+            self.bands[:rank] + (merged,) + self.bands[rank + 2 :],
+        )
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "bands": [
+                {"shard": b.shard_id, "lo": b.lo, "hi": b.hi} for b in self.bands
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "PartitionMap":
+        return cls(
+            int(data["epoch"]),
+            tuple(Band(int(b["shard"]), b["lo"], b["hi"]) for b in data["bands"]),
+        )
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{b.shard_id}:{b.describe()}" for b in self.bands
+        )
+        return f"epoch {self.epoch}: {parts}"
+
+
+def even_partition(
+    n_shards: int,
+    lo: int,
+    hi: int,
+    shard_ids: tuple[int, ...] | None = None,
+) -> PartitionMap:
+    """An epoch-0 map cutting ``[lo, hi)`` into ``n_shards`` even bands.
+
+    The outermost bands extend to ±∞ so every integer routes somewhere;
+    ``[lo, hi)`` only positions the internal cut points.
+    """
+    if n_shards < 1:
+        raise ServiceError("a federation needs at least one shard")
+    if shard_ids is None:
+        shard_ids = tuple(range(n_shards))
+    if len(shard_ids) != n_shards:
+        raise ServiceError(f"need {n_shards} shard ids, got {len(shard_ids)}")
+    if n_shards == 1:
+        return PartitionMap(0, (Band(shard_ids[0], None, None),))
+    if hi - lo < n_shards:
+        raise ServiceError(
+            f"range [{lo}, {hi}) too narrow for {n_shards} non-empty bands"
+        )
+    cuts = [lo + round(i * (hi - lo) / n_shards) for i in range(1, n_shards)]
+    edges: list[int | None] = [None, *cuts, None]
+    bands = tuple(
+        Band(shard_ids[i], edges[i], edges[i + 1]) for i in range(n_shards)
+    )
+    return PartitionMap(0, bands)

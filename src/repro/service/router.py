@@ -1,0 +1,759 @@
+"""The federation front-end: one logical queue over N shard processes.
+
+:class:`QueueRouter` listens on its own TCP socket and speaks *exactly*
+the :class:`~repro.service.server.QueueService` wire protocol, so every
+existing client — :class:`~repro.service.client.QueueClient`, the load
+generator, ``loadtest --connect`` — works against a federation without
+knowing it is one.  Behind the socket it holds one upstream
+:class:`QueueClient` per shard and routes:
+
+* **insert** — by the partition map: the priority's band names the shard;
+* **deletemin** — to the best-band live shard believed non-empty, else a
+  ⊥ probe at the best live band;
+* **history / kselect / census** — barrier fan-outs: the router gates new
+  operations, drains its in-flight ones, then reads every shard at its
+  own drained point and merges (histories through the witness search in
+  :mod:`repro.service.federation`, kselect by a census walk down the
+  bands).
+
+Routing correctness leans on one structural fact: all of a shard's
+operations flow through a *single* upstream connection, and the router
+posts frames synchronously at decision time (``request_nowait``), so
+per-shard submission order equals decision order.  For Skeap that makes
+the router's element counts exact at every decision point; Seap may
+reorder same-session ops across epochs (surprise ⊥ / surprise match),
+which the counts absorb by self-correcting — and the post-hoc witness
+search certifies whatever interleaving actually happened.
+
+Rebalancing (:meth:`QueueRouter.rebalance`) installs a higher-epoch map:
+gate → drain in-flight → census the shards whose band shrank or vanished
+→ pop exactly that many elements in heap order → re-insert each at its
+new home (FIFO-within-priority preserved, because a priority class moves
+wholly and in pop order) → refresh counts from censuses → reopen.  A
+shard that dies (connection lost, process killed) is marked dead: its
+keys get clean, retryable ``unavailable`` responses while every other
+band keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServiceError, UnavailableError, WireError
+from ..sim.rng import derive_seed
+from .admission import ShardedAdmission
+from .client import QueueClient
+from .federation import merge_shard_histories, namespace_node, namespace_uid
+from .partition import PartitionMap
+from .server import RESPONSE_MAX_FRAME
+from .wire import DEFAULT_MAX_FRAME, read_frame, write_frame
+
+__all__ = ["QueueRouter", "TOPOLOGIES", "default_band_range"]
+
+#: Service topologies the harness can front (the ``targets`` registry's
+#: source of truth): one process, or a router over shard processes.
+TOPOLOGIES = ("single", "federation")
+
+
+def default_band_range(proto: str, n_priorities: int = 3) -> tuple[int, int]:
+    """The priority interval a federation cuts into bands by default.
+
+    Skeap's priorities are exactly ``{1..n_priorities}``; Seap's are
+    arbitrary integers, so the default matches the loadtest's default
+    uniform mix.  Only the *cut points* come from this range — the outer
+    bands are unbounded, so any integer still routes somewhere.
+    """
+    if proto == "skeap":
+        return 1, n_priorities + 1
+    return 0, 1_000_000
+
+
+@dataclass
+class _RouterSession:
+    """One downstream client connection."""
+
+    session_id: int
+    name: str
+    writer: asyncio.StreamWriter
+    send_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    closed: bool = False
+
+
+@dataclass
+class _Upstream:
+    """The router's view of one shard."""
+
+    shard_id: int
+    host: str
+    port: int
+    client: QueueClient | None = None
+
+
+class QueueRouter:
+    """Route one logical queue's traffic across federation shards."""
+
+    def __init__(
+        self,
+        endpoints: dict[int, tuple[str, int]],
+        pmap: PartitionMap,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_per_shard: int = 64,
+        base_retry_after: float = 0.02,
+        seed: int = 0,
+        timeout: float = 30.0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ):
+        missing = set(pmap.shard_ids) - set(endpoints)
+        if missing:
+            raise ServiceError(f"no endpoint for shards {sorted(missing)}")
+        self.pmap = pmap
+        self.host = host
+        self.port = port  # rewritten with the bound port after start()
+        self.seed = int(seed)
+        self.timeout = float(timeout)
+        self.max_frame = int(max_frame)
+        self.admission = ShardedAdmission(
+            pmap.shard_ids,
+            window_per_shard=window_per_shard,
+            base_retry_after=base_retry_after,
+        )
+        self._upstreams: dict[int, _Upstream] = {
+            sid: _Upstream(sid, *endpoints[sid]) for sid in pmap.shard_ids
+        }
+        self._dead: set[int] = set()
+        #: decision-time net element count per shard (exact for Skeap,
+        #: self-correcting for Seap; reset from censuses at every barrier)
+        self._counts: dict[int, int] = {sid: 0 for sid in pmap.shard_ids}
+        self._sessions: dict[int, _RouterSession] = {}
+        self._session_ids = itertools.count()
+        #: strong refs to per-request tasks (asyncio only keeps weak ones)
+        self._request_tasks: set[asyncio.Task] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._started_at = 0.0
+        #: op gate: barriers/rebalance close it, drain, reopen
+        self._gate_open = asyncio.Event()
+        self._gate_open.set()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._active = 0
+        self._barrier_lock = asyncio.Lock()
+        #: upstream facts learned from the hello exchange
+        self.proto = ""
+        self.n_nodes = 0
+        #: observability counters
+        self.ops_completed = 0
+        self.ops_failed = 0
+        self.ops_unavailable = 0
+        self.rebalances = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServiceError("router already started")
+        for upstream in self._upstreams.values():
+            await self._connect_upstream(upstream)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def _connect_upstream(self, upstream: _Upstream) -> None:
+        client = await QueueClient.connect(
+            upstream.host,
+            upstream.port,
+            client=f"router-shard-{upstream.shard_id}",
+            timeout=self.timeout,
+            retry_jitter_seed=derive_seed(self.seed, "router", upstream.shard_id),
+        )
+        if self.proto and client.proto != self.proto:
+            await client.aclose()
+            raise ServiceError(
+                f"shard {upstream.shard_id} runs {client.proto!r}, "
+                f"federation runs {self.proto!r}"
+            )
+        self.proto = self.proto or client.proto
+        self.n_nodes += client.n_nodes
+        upstream.client = client
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._request_tasks):
+            task.cancel()
+        if self._request_tasks:
+            await asyncio.gather(*self._request_tasks, return_exceptions=True)
+        for upstream in self._upstreams.values():
+            if upstream.client is not None:
+                try:
+                    await upstream.client.aclose()
+                except Exception:  # noqa: BLE001 - shard may already be dead
+                    pass
+                upstream.client = None
+        for session in list(self._sessions.values()):
+            session.writer.close()
+
+    async def __aenter__(self) -> "QueueRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- shard roster ------------------------------------------------------
+
+    @property
+    def dead_shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._dead))
+
+    def _live_upstream(self, shard_id: int) -> QueueClient:
+        if shard_id in self._dead:
+            raise UnavailableError(f"shard {shard_id} is down")
+        upstream = self._upstreams.get(shard_id)
+        if upstream is None or upstream.client is None:
+            raise UnavailableError(f"shard {shard_id} is not connected")
+        return upstream.client
+
+    def _mark_dead(self, shard_id: int) -> None:
+        if shard_id not in self._dead:
+            self._dead.add(shard_id)
+            self.ops_unavailable += 1
+
+    def _live_bands(self):
+        return [b for b in self.pmap.bands if b.shard_id not in self._dead]
+
+    # -- the op path -------------------------------------------------------
+
+    async def _guarded(self, op_coro) -> Any:
+        """Run one routed op inside the gate/drain accounting.
+
+        No await separates the gate check from the active increment, so a
+        barrier that closes the gate and then waits for idle observes
+        every op that got through.
+        """
+        await self._gate_open.wait()
+        self._active += 1
+        self._idle.clear()
+        try:
+            return await op_coro()
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    def _post(self, sid: int, request: dict) -> asyncio.Future:
+        """Put one frame on a shard's wire *now* (no await — see below)."""
+        client = self._live_upstream(sid)
+        try:
+            return client.request_nowait(request)
+        except UnavailableError:
+            self._mark_dead(sid)
+            raise
+
+    def _route_delete(self) -> tuple[int, bool]:
+        """Pick the deletemin target: best non-empty band, else a ⊥ probe."""
+        live = self._live_bands()
+        if not live:
+            raise UnavailableError("no live shards")
+        for band in live:
+            if self._counts.get(band.shard_id, 0) > 0:
+                return band.shard_id, True
+        return live[0].shard_id, False
+
+    async def _op_insert(self, session: _RouterSession, rid, request: dict) -> dict:
+        priority = request.get("priority")
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            return _error(rid, "insert needs an integer 'priority'")
+        value = request.get("value")
+        started = time.monotonic()
+        sid = self.pmap.shard_for(priority)
+        decision = self.admission.try_admit(session.session_id, sid)
+        if not decision.admitted:
+            return {
+                "rid": rid,
+                "status": "retry_after",
+                "retry_after": decision.retry_after,
+                "reason": decision.reason,
+            }
+        try:
+            while True:
+                # Routing decision, wire write and count update run with no
+                # await between them, so per-shard submission order equals
+                # decision order and the counts stay decision-exact.
+                future = self._post(
+                    sid, {"op": "insert", "priority": priority, "value": value}
+                )
+                self._counts[sid] += 1
+                response = await self._await_upstream(sid, future)
+                if response.get("status") == "retry_after":
+                    self._counts[sid] -= 1  # the shard shed it; nothing landed
+                    await asyncio.sleep(float(response.get("retry_after", 0.02)))
+                    continue
+                if response.get("status") != "ok":
+                    self._counts[sid] -= 1
+                    self.ops_failed += 1
+                    return _error(rid, response.get("error", "shard error"))
+                break
+        except UnavailableError as exc:
+            return self._unavailable(rid, sid, exc)
+        finally:
+            self.admission.release(session.session_id, sid)
+        self.ops_completed += 1
+        node, seq = response["op"]
+        return {
+            "rid": rid,
+            "status": "ok",
+            "op": [namespace_node(sid, node), seq],
+            "latency": time.monotonic() - started,
+            "kind": "insert",
+            "uid": namespace_uid(sid, response["uid"]),
+            "stored": True,
+            "shard": sid,
+        }
+
+    async def _op_delete(self, session: _RouterSession, rid, request: dict) -> dict:
+        started = time.monotonic()
+        sid = None
+        try:
+            while True:
+                # Route, admit, post and update counts with no await in
+                # between: admission must precede the post (a posted delete
+                # executes at the shard — shedding its response afterwards
+                # would lose a matched element), and the atomic post keeps
+                # per-shard wire order equal to decision order.
+                sid, predicted = self._route_delete()
+                decision = self.admission.try_admit(session.session_id, sid)
+                if not decision.admitted:
+                    await asyncio.sleep(decision.retry_after)
+                    continue
+                try:
+                    future = self._post(sid, {"op": "deletemin"})
+                    if predicted:
+                        self._counts[sid] -= 1
+                    response = await self._await_upstream(sid, future)
+                finally:
+                    self.admission.release(session.session_id, sid)
+                if response.get("status") == "retry_after":
+                    if predicted:
+                        self._counts[sid] += 1  # nothing ran; restore
+                    await asyncio.sleep(float(response.get("retry_after", 0.02)))
+                    continue
+                if response.get("status") != "ok":
+                    if predicted:
+                        self._counts[sid] += 1
+                    self.ops_failed += 1
+                    return _error(rid, response.get("error", "shard error"))
+                self._settle_delete_counts(sid, predicted, response)
+                break
+        except UnavailableError as exc:
+            return self._unavailable(rid, sid, exc)
+        self.ops_completed += 1
+        node, seq = response["op"]
+        frame: dict[str, Any] = {
+            "rid": rid,
+            "status": "ok",
+            "op": [namespace_node(sid, node), seq],
+            "latency": time.monotonic() - started,
+            "kind": "deletemin",
+            "bot": bool(response.get("bot")),
+            "shard": sid,
+        }
+        if not frame["bot"]:
+            frame["uid"] = namespace_uid(sid, response["uid"])
+            frame["priority"] = response["priority"]
+            frame["value"] = response.get("value")
+        return frame
+
+    def _settle_delete_counts(self, sid: int, predicted: bool, response: dict) -> None:
+        """Reconcile the optimistic count update with what really happened."""
+        if response.get("status") != "ok":
+            if predicted:
+                self._counts[sid] += 1
+            return
+        got_bot = bool(response.get("bot"))
+        if predicted and got_bot:
+            self._counts[sid] += 1  # surprise ⊥ (Seap reordering)
+        elif not predicted and not got_bot:
+            self._counts[sid] -= 1  # surprise match on a ⊥ probe
+
+    async def _await_upstream(self, sid: int, future: asyncio.Future) -> dict:
+        try:
+            response = await asyncio.wait_for(future, self.timeout)
+        except (ConnectionError, ServiceError, WireError, asyncio.TimeoutError) as exc:
+            self._mark_dead(sid)
+            raise UnavailableError(f"shard {sid} lost mid-operation: {exc}") from exc
+        return response
+
+    def _unavailable(self, rid, sid, exc: Exception) -> dict:
+        self.ops_unavailable += 1
+        return {
+            "rid": rid,
+            "status": "unavailable",
+            "error": str(exc),
+            "shard": sid,
+            "retryable": True,
+        }
+
+    # -- barrier fan-outs --------------------------------------------------
+
+    async def _with_barrier(self, fn):
+        """Close the gate, drain in-flight ops, run ``fn``, reopen."""
+        async with self._barrier_lock:
+            self._gate_open.clear()
+            try:
+                await self._idle.wait()
+                return await fn()
+            finally:
+                self._gate_open.set()
+
+    async def _shard_barrier_call(self, call):
+        """Run a per-shard coroutine, translating loss into UnavailableError."""
+        try:
+            return await call()
+        except (ConnectionError, ServiceError, WireError, asyncio.TimeoutError) as exc:
+            raise UnavailableError(str(exc)) from exc
+
+    async def _merged_history(self, rid) -> dict:
+        payloads: dict[int, dict] = {}
+        for band in self._live_bands():
+            sid = band.shard_id
+            client = self._live_upstream(sid)
+            try:
+                payloads[sid] = await self._shard_barrier_call(client.history)
+            except UnavailableError:
+                self._mark_dead(sid)
+                continue
+            self._counts[sid] = len(payloads[sid]["stored_uids"])
+        merged = merge_shard_histories(payloads, self.pmap)
+        return {
+            "rid": rid,
+            "status": "ok",
+            "history": merged["history"],
+            "stored_uids": merged["stored_uids"],
+            "proto": merged["proto"],
+            "order": merged["order"],
+            "discipline": merged["discipline"],
+            "federation": {
+                "epoch": self.pmap.epoch,
+                "shards": merged["shards"],
+                "dead": sorted(self._dead),
+            },
+        }
+
+    async def _merged_kselect(self, rid, request: dict) -> dict:
+        k = request.get("k")
+        if not isinstance(k, int) or isinstance(k, bool):
+            return _error(rid, "kselect needs an integer 'k'")
+        censuses: list[tuple[int, int]] = []  # (shard, stored) in band order
+        for band in self._live_bands():
+            sid = band.shard_id
+            client = self._live_upstream(sid)
+            censuses.append((sid, await self._shard_barrier_call(client.census)))
+            self._counts[sid] = censuses[-1][1]
+        total = sum(stored for _, stored in censuses)
+        if not 1 <= k <= total or total == 0:
+            return _error(rid, f"k={k} out of range [1, {total}]")
+        residual = k
+        for sid, stored in censuses:
+            if residual <= stored:
+                client = self._live_upstream(sid)
+                result = await self._shard_barrier_call(
+                    lambda c=client, r=residual: c.kselect(r)
+                )
+                return {
+                    "rid": rid,
+                    "status": "ok",
+                    "k": k,
+                    "m": total,
+                    "priority": result.priority,
+                    "uid": namespace_uid(sid, result.uid),
+                    "shard": sid,
+                }
+            residual -= stored
+        return _error(rid, "census drifted during kselect")  # unreachable
+
+    async def _merged_census(self, rid) -> dict:
+        total = 0
+        per_shard = {}
+        for band in self._live_bands():
+            sid = band.shard_id
+            client = self._live_upstream(sid)
+            stored = await self._shard_barrier_call(client.census)
+            self._counts[sid] = stored
+            per_shard[str(sid)] = stored
+            total += stored
+        return {"rid": rid, "status": "ok", "stored": total, "per_shard": per_shard}
+
+    # -- rebalance ---------------------------------------------------------
+
+    async def rebalance(
+        self,
+        new_map: PartitionMap,
+        *,
+        new_endpoints: dict[int, tuple[str, int]] | None = None,
+    ) -> dict:
+        """Install a higher-epoch partition map, re-homing elements.
+
+        At the barrier (gate closed, in-flight drained) every shard whose
+        band shrank or disappeared is censused (exact count — no ⊥ is
+        ever recorded), popped exactly that many times in heap order, and
+        the popped elements are re-inserted at their new homes in pop
+        order, which preserves FIFO within each priority class (a class
+        moves wholly, through one drain).  Retired shards' upstream
+        connections are closed; added shards must appear in
+        ``new_endpoints``.  Returns a summary dict.
+        """
+        if new_map.epoch <= self.pmap.epoch:
+            raise ServiceError(
+                f"rebalance must raise the epoch: {new_map.epoch} <= {self.pmap.epoch}"
+            )
+        added = set(new_map.shard_ids) - set(self.pmap.shard_ids)
+        retired = set(self.pmap.shard_ids) - set(new_map.shard_ids)
+        endpoints = dict(new_endpoints or {})
+        if missing := added - set(endpoints):
+            raise ServiceError(f"no endpoint for new shards {sorted(missing)}")
+
+        async def run() -> dict:
+            for sid in sorted(added):
+                upstream = _Upstream(sid, *endpoints[sid])
+                await self._connect_upstream(upstream)
+                self._upstreams[sid] = upstream
+                self._counts[sid] = 0
+                self.admission.add_shard(sid)
+
+            draining = [
+                band.shard_id
+                for band in self.pmap.bands
+                if band.shard_id in retired
+                or not _covers(new_map.band_of(band.shard_id), band)
+            ]
+            if dead := [sid for sid in draining if sid in self._dead]:
+                raise UnavailableError(
+                    f"cannot rebalance: shards {dead} are down and hold "
+                    "elements that would need re-homing"
+                )
+            moved: list[tuple[int, Any]] = []
+            for sid in draining:
+                client = self._live_upstream(sid)
+                stored = await self._shard_barrier_call(client.census)
+                for _ in range(stored):
+                    result = await self._shard_barrier_call(client.delete_min)
+                    if result.bot:
+                        raise ServiceError(
+                            f"shard {sid}: ⊥ inside its censused {stored} elements"
+                        )
+                    moved.append((result.priority, result.value))
+            for priority, value in moved:
+                home = new_map.shard_for(priority)
+                client = self._live_upstream(home)
+                await self._shard_barrier_call(
+                    lambda c=client, p=priority, v=value: c.insert(p, value=v)
+                )
+
+            for sid in sorted(retired):
+                upstream = self._upstreams.pop(sid, None)
+                if upstream is not None and upstream.client is not None:
+                    self.n_nodes -= upstream.client.n_nodes
+                    await upstream.client.aclose()
+                self.admission.remove_shard(sid)
+                self._counts.pop(sid, None)
+                self._dead.discard(sid)
+
+            self.pmap = new_map
+            for band in self._live_bands():
+                sid = band.shard_id
+                client = self._live_upstream(sid)
+                self._counts[sid] = await self._shard_barrier_call(client.census)
+            self.rebalances += 1
+            return {
+                "epoch": new_map.epoch,
+                "moved": len(moved),
+                "drained": draining,
+                "added": sorted(added),
+                "retired": sorted(retired),
+            }
+
+        return await self._with_barrier(run)
+
+    # -- connections (downstream) ------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _RouterSession(
+            session_id=next(self._session_ids), name="", writer=writer
+        )
+        self.admission.register(session.session_id)
+        self._sessions[session.session_id] = session
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader, max_frame=self.max_frame)
+                except WireError as exc:
+                    await self._send_safe(session, _error(None, str(exc)))
+                    break
+                if request is None:
+                    break
+                if not await self._dispatch(session, request):
+                    break
+        finally:
+            session.closed = True
+            self.admission.unregister(session.session_id)
+            self._sessions.pop(session.session_id, None)
+            writer.close()
+
+    async def _dispatch(self, session: _RouterSession, request: dict) -> bool:
+        op = request.get("op")
+        rid = request.get("rid")
+        if op == "hello":
+            session.name = str(request.get("client", ""))
+            await self._send_safe(
+                session,
+                {
+                    "rid": rid,
+                    "status": "ok",
+                    "proto": self.proto,
+                    "n_nodes": self.n_nodes,
+                    "session": session.session_id,
+                    "node": -1,  # routed: no single home node
+                    "window": self.admission.window,
+                    "federation": self._federation_info(),
+                },
+            )
+            return True
+        if op == "ping":
+            await self._send_safe(session, {"rid": rid, "status": "ok", "pong": True})
+            return True
+        if op == "stats":
+            await self._send_safe(session, await self._stats_frame(rid))
+            return True
+        if op == "close":
+            await self._send_safe(session, {"rid": rid, "status": "ok", "bye": True})
+            return False
+        if op in ("insert", "deletemin", "history", "kselect", "census"):
+            # Each request gets its own task so one slow barrier cannot
+            # head-of-line-block this connection's other pipelined ops.
+            task = asyncio.get_running_loop().create_task(
+                self._serve_request(session, op, rid, request)
+            )
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
+            return True
+        await self._send_safe(session, _error(rid, f"unknown op {op!r}"))
+        return True
+
+    async def _serve_request(
+        self, session: _RouterSession, op: str, rid, request: dict
+    ) -> None:
+        try:
+            if op == "insert":
+                frame = await self._guarded(
+                    lambda: self._op_insert(session, rid, request)
+                )
+            elif op == "deletemin":
+                frame = await self._guarded(
+                    lambda: self._op_delete(session, rid, request)
+                )
+            elif op == "history":
+                frame = await self._with_barrier(lambda: self._merged_history(rid))
+            elif op == "kselect":
+                frame = await self._with_barrier(
+                    lambda: self._merged_kselect(rid, request)
+                )
+            else:  # census
+                frame = await self._with_barrier(lambda: self._merged_census(rid))
+        except UnavailableError as exc:
+            frame = self._unavailable(rid, None, exc)
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            frame = _error(rid, f"{type(exc).__name__}: {exc}")
+        await self._send_safe(session, frame)
+
+    def _federation_info(self) -> dict:
+        return {
+            "topology": "federation",
+            "epoch": self.pmap.epoch,
+            "map": self.pmap.to_jsonable(),
+            "shards": list(self.pmap.shard_ids),
+            "dead": sorted(self._dead),
+            "rebalances": self.rebalances,
+        }
+
+    async def _stats_frame(self, rid) -> dict:
+        per_shard: dict[str, Any] = {}
+        for band in self.pmap.bands:
+            sid = band.shard_id
+            if sid in self._dead:
+                per_shard[str(sid)] = {"alive": False}
+                continue
+            try:
+                client = self._live_upstream(sid)
+                upstream_stats = await self._shard_barrier_call(client.stats)
+            except UnavailableError:
+                self._mark_dead(sid)
+                per_shard[str(sid)] = {"alive": False}
+                continue
+            per_shard[str(sid)] = {
+                "alive": True,
+                "band": band.describe(),
+                "count_estimate": self._counts.get(sid, 0),
+                "ops_completed": upstream_stats.get("ops_completed"),
+                "pending": upstream_stats.get("pending"),
+                "history_ops": upstream_stats.get("history_ops"),
+            }
+        return {
+            "rid": rid,
+            "status": "ok",
+            "proto": self.proto,
+            "n_nodes": self.n_nodes,
+            "uptime": time.monotonic() - self._started_at,
+            "ops_completed": self.ops_completed,
+            "ops_failed": self.ops_failed,
+            "ops_unavailable": self.ops_unavailable,
+            "pending": self._active,
+            "admission": self.admission.snapshot(),
+            "federation": dict(self._federation_info(), per_shard=per_shard),
+        }
+
+    # -- frame output ------------------------------------------------------
+
+    async def _send_safe(self, session: _RouterSession, frame: dict) -> None:
+        if session.closed:
+            return
+        try:
+            async with session.send_lock:
+                await write_frame(
+                    session.writer, frame, max_frame=RESPONSE_MAX_FRAME
+                )
+        except (ConnectionError, WireError):
+            session.closed = True
+
+
+def _covers(new_band, old_band) -> bool:
+    """Does the new band fully contain the old one (no element moves)?"""
+    lo_ok = new_band.lo is None or (
+        old_band.lo is not None and old_band.lo >= new_band.lo
+    )
+    hi_ok = new_band.hi is None or (
+        old_band.hi is not None and old_band.hi <= new_band.hi
+    )
+    return lo_ok and hi_ok
+
+
+def _error(rid, message: str) -> dict:
+    return {"rid": rid, "status": "error", "error": message}

@@ -118,6 +118,7 @@ class QueueService:
         window: int = 64,
         base_retry_after: float = 0.02,
         pump_budget: int = 64,
+        idle_pump_budget: int = 8,
         idle_interval: float = 0.005,
         max_frame: int = DEFAULT_MAX_FRAME,
         heap=None,
@@ -137,6 +138,7 @@ class QueueService:
             window=window, base_retry_after=base_retry_after
         )
         self.pump_budget = int(pump_budget)
+        self.idle_pump_budget = int(idle_pump_budget)
         self.idle_interval = float(idle_interval)
         self.max_frame = int(max_frame)
         self._sessions: dict[int, _Session] = {}
@@ -219,9 +221,23 @@ class QueueService:
                 self._work.clear()
                 await self._work.wait()
             else:
-                runner.pump(self.pump_budget)
+                self._work.clear()
+                # A small idle budget: background coordination waves only
+                # need to tick, and a big idle pump is CPU stolen from
+                # whoever shares the machine — e.g. the sibling shards of
+                # a federation, each of which is idle most of the time.
+                runner.pump(self.idle_pump_budget)
                 self._resolve_landed()
-                await asyncio.sleep(self.idle_interval)
+                # Throttled, but *interruptible*: an op submitted during
+                # the idle wait starts pumping immediately instead of
+                # waiting out the interval (which would put a full
+                # idle_interval on every lightly-loaded op's latency —
+                # ruinous for federation shards, which each see only a
+                # band's worth of traffic).
+                try:
+                    await asyncio.wait_for(self._work.wait(), self.idle_interval)
+                except asyncio.TimeoutError:
+                    pass
 
     def _resolve_landed(self) -> None:
         """Resolve every pending op whose span landed (handle done).
@@ -279,6 +295,8 @@ class QueueService:
                 return self._history_frame(barrier.rid)
             if barrier.op == "kselect":
                 return self._kselect_frame(barrier.rid, barrier.payload)
+            if barrier.op == "census":
+                return self._census_frame(barrier.rid)
             raise ServiceError(f"unknown barrier op {barrier.op!r}")
         except Exception as exc:  # noqa: BLE001 - reported to the client
             return _error(barrier.rid, f"{type(exc).__name__}: {exc}")
@@ -292,6 +310,19 @@ class QueueService:
             "proto": self.proto,
             "order": getattr(self.heap, "order", "min"),
             "discipline": getattr(self.heap, "discipline", "fifo"),
+        }
+
+    def _census_frame(self, rid) -> dict:
+        """The drained-point element count (the federation's rebalance input).
+
+        Served at a barrier like ``history``, so the count is exact: no
+        admitted op is unresolved, hence no element is in flight between
+        "stored" and "returned".
+        """
+        return {
+            "rid": rid,
+            "status": "ok",
+            "stored": len(self.heap.stored_uids()),
         }
 
     def _kselect_frame(self, rid, payload: dict) -> dict:
@@ -395,7 +426,7 @@ class QueueService:
         if op == "close":
             await self._send_safe(session, {"rid": rid, "status": "ok", "bye": True})
             return False
-        if op in ("history", "kselect"):
+        if op in ("history", "kselect", "census"):
             self._barriers.append(
                 _Barrier(session=session, rid=rid, op=op, payload=request)
             )

@@ -26,7 +26,10 @@ def derive_seed(root_seed: int, *names: object) -> int:
     Stable across runs and platforms (pure SHA-256, no ``hash()``).
     """
     h = hashlib.sha256()
-    h.update(struct.pack("<q", root_seed & _MASK64))
+    # "<Q" (unsigned): masked values >= 2**63 — e.g. a seed that is itself
+    # a derive_seed output — must still pack.  Byte-identical to the old
+    # signed pack for every value below 2**63.
+    h.update(struct.pack("<Q", root_seed & _MASK64))
     for name in names:
         h.update(repr(name).encode("utf-8"))
         h.update(b"\x00")
@@ -74,7 +77,7 @@ class PseudoRandomHash:
 
     def _digest(self, args: tuple[object, ...]) -> bytes:
         h = hashlib.sha256()
-        h.update(struct.pack("<q", self.seed & _MASK64))
+        h.update(struct.pack("<Q", self.seed & _MASK64))
         h.update(self.namespace.encode("utf-8"))
         for a in args:
             h.update(b"\x1f")

@@ -1,0 +1,560 @@
+"""The federation test battery: merge, routing, rebalance, chaos, acceptance.
+
+Four layers, cheapest first:
+
+* **merge units** — synthetic per-shard history payloads through
+  :func:`merge_shard_histories`: namespacing, ⊥ alignment, loud failure
+  on locally inconsistent shards, heterogeneity rejection;
+* **in-process router** — real :class:`QueueRouter` over real
+  :class:`QueueService` instances in one event loop (no subprocesses):
+  band routing, global DeleteMin order, kselect/census fan-out,
+  unavailable semantics after a shard dies, split-rebalance;
+* **connect retry** — the client's seeded ECONNREFUSED backoff;
+* **cross-process acceptance + chaos** — :class:`ShardController` spawns
+  real shard OS processes: the 4-shard federation must beat a
+  single-shard service of the same total node count on the same seeded
+  mix, the merged history must pass the full checker stack, and a
+  SIGKILL'd shard must degrade to clean retryable errors with no silent
+  loss of survivor-acknowledged operations.
+"""
+
+import asyncio
+import random
+import socket
+
+import pytest
+
+from repro.errors import ConsistencyError, ServiceError, UnavailableError
+from repro.semantics.checkers import (
+    check_element_conservation,
+    check_seap_history,
+    check_skeap_history,
+)
+from repro.semantics.history import History
+from repro.service.client import QueueClient
+from repro.service.controller import ShardController
+from repro.service.federation import (
+    NODE_NAMESPACE,
+    UID_NAMESPACE,
+    merge_shard_histories,
+)
+from repro.service.loadgen import LoadReport, LoadSpec, run_loadtest
+from repro.service.partition import even_partition
+from repro.service.router import QueueRouter, default_band_range
+from repro.service.server import QueueService
+from repro.sim.rng import derive_seed
+from repro.workloads.generators import fixed_priorities, uniform_priorities
+
+
+# -- merge units ------------------------------------------------------------
+
+def _ins(node, seq, priority, uid, order):
+    return {"op": [node, seq], "kind": "ins", "priority": priority, "uid": uid,
+            "order": [order], "ret": None, "bot": False, "done": True}
+
+
+def _del(node, seq, order, *, ret=None, bot=False):
+    return {"op": [node, seq], "kind": "del", "priority": None, "uid": None,
+            "order": [order], "ret": ret, "bot": bot, "done": True}
+
+
+def _payload(ops, stored=(), proto="skeap", **extra):
+    return {"history": {"ops": list(ops)}, "stored_uids": list(stored),
+            "proto": proto, "order": "min", "discipline": "fifo", **extra}
+
+
+TWO_BANDS = even_partition(2, 1, 9)  # shard 0: (-inf, 5), shard 1: [5, +inf)
+
+
+class TestMergeShardHistories:
+    def test_namespacing_and_witness_pass_the_checkers(self):
+        payloads = {
+            0: _payload([_ins(0, 0, 1, 0, 0), _del(0, 1, 1, ret=0)]),
+            1: _payload([_ins(0, 0, 7, 0, 0), _del(0, 1, 1, ret=0)]),
+        }
+        merged = merge_shard_histories(payloads, TWO_BANDS)
+        ops = merged["history"]["ops"]
+        assert [tuple(e["op"]) for e in ops] == [
+            # phase 2 emits the worst band's ⊥-free suffix first
+            (NODE_NAMESPACE, 0), (NODE_NAMESPACE, 1), (0, 0), (0, 1),
+        ]
+        assert [e["order"] for e in ops] == [[0], [1], [2], [3]]
+        assert ops[0]["uid"] == UID_NAMESPACE  # shard 1's uid 0, lifted
+        assert merged["shards"] == [0, 1]
+        history = History.from_jsonable(merged["history"])
+        check_skeap_history(history, order="min")
+        check_element_conservation(history, merged["stored_uids"])
+
+    def test_bot_prefixes_align_where_all_bands_are_empty(self):
+        payloads = {
+            0: _payload([_del(0, 0, 0, bot=True), _ins(0, 1, 1, 0, 1)],
+                        stored=[0]),
+            1: _payload([_ins(0, 0, 7, 0, 0), _del(0, 1, 1, ret=0)]),
+        }
+        merged = merge_shard_histories(payloads, TWO_BANDS)
+        ops = merged["history"]["ops"]
+        # The ⊥ must come first (everyone else parked empty), then the
+        # worst band's suffix, then the best band's.
+        assert [tuple(e["op"]) for e in ops] == [
+            (0, 0), (NODE_NAMESPACE, 0), (NODE_NAMESPACE, 1), (0, 1),
+        ]
+        assert merged["stored_uids"] == [0]
+        history = History.from_jsonable(merged["history"])
+        check_skeap_history(history, order="min")
+        check_element_conservation(history, merged["stored_uids"])
+
+    def test_delete_before_insert_fails_loudly(self):
+        payloads = {0: _payload([_del(0, 0, 0, ret=0), _ins(0, 1, 1, 0, 1)]),
+                    1: _payload([])}
+        with pytest.raises(ConsistencyError, match="more deletes than inserts"):
+            merge_shard_histories(payloads, TWO_BANDS)
+
+    def test_bot_on_a_nonempty_shard_fails_loudly(self):
+        payloads = {0: _payload([_ins(0, 0, 1, 0, 0), _del(0, 1, 1, bot=True)],
+                                stored=[0]),
+                    1: _payload([])}
+        with pytest.raises(ConsistencyError, match="non-empty"):
+            merge_shard_histories(payloads, TWO_BANDS)
+
+    def test_heterogeneous_shards_rejected(self):
+        payloads = {0: _payload([]), 1: _payload([], proto="seap")}
+        with pytest.raises(ConsistencyError, match="heterogeneous"):
+            merge_shard_histories(payloads, TWO_BANDS)
+
+    def test_unsettled_ops_rejected(self):
+        entry = dict(_ins(0, 0, 1, 0, 0), done=False)
+        with pytest.raises(ConsistencyError, match="not settled"):
+            merge_shard_histories({0: _payload([entry])}, TWO_BANDS)
+        entry = dict(_ins(0, 0, 1, 0, 0), order=None)
+        with pytest.raises(ConsistencyError, match="not settled"):
+            merge_shard_histories({0: _payload([entry])}, TWO_BANDS)
+
+    def test_namespace_overflow_rejected(self):
+        too_big_node = _ins(NODE_NAMESPACE, 0, 1, 0, 0)
+        with pytest.raises(ConsistencyError, match="namespace stride"):
+            merge_shard_histories({0: _payload([too_big_node])}, TWO_BANDS)
+        too_big_uid = _ins(0, 0, 1, UID_NAMESPACE, 0)
+        with pytest.raises(ConsistencyError, match="namespace stride"):
+            merge_shard_histories({0: _payload([too_big_uid])}, TWO_BANDS)
+
+    def test_empty_and_max_order_rejected(self):
+        with pytest.raises(ConsistencyError, match="no shard histories"):
+            merge_shard_histories({}, TWO_BANDS)
+        payloads = {0: dict(_payload([]), order="max")}
+        with pytest.raises(ConsistencyError, match="min"):
+            merge_shard_histories(payloads, TWO_BANDS)
+
+
+# -- in-process federation --------------------------------------------------
+
+async def _start_federation(n_shards=2, *, proto="skeap", n_nodes=4,
+                            n_priorities=4, seed=0, lo=1, hi=5):
+    """Real router over real in-process services; returns live handles."""
+    services = []
+    for i in range(n_shards):
+        svc = QueueService(
+            proto, n_nodes, derive_seed(seed, "svc", i), n_priorities=n_priorities
+        )
+        await svc.start()
+        services.append(svc)
+    endpoints = {i: (svc.host, svc.port) for i, svc in enumerate(services)}
+    router = QueueRouter(endpoints, even_partition(n_shards, lo, hi), seed=seed)
+    await router.start()
+    client = await QueueClient.connect(router.host, router.port, client="fedtest")
+    return services, router, client
+
+
+async def _stop_federation(services, router, client):
+    await client.aclose()
+    await router.aclose()
+    for svc in services:
+        await svc.aclose()
+
+
+class TestRouterInProcess:
+    def test_inserts_route_by_band_and_deletes_return_global_min(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                homes = {}
+                for priority in (1, 2, 3, 4):
+                    frame = await client._request(
+                        {"op": "insert", "priority": priority}
+                    )
+                    homes[priority] = frame["shard"]
+                assert homes == {1: 0, 2: 0, 3: 1, 4: 1}
+                census = await client._request({"op": "census"})
+                assert census["stored"] == 4
+                assert census["per_shard"] == {"0": 2, "1": 2}
+                drained = [
+                    (await client.delete_min()).priority for _ in range(4)
+                ]
+                assert drained == [1, 2, 3, 4]  # global heap order, cross-shard
+                assert (await client.delete_min()).bot
+            finally:
+                await _stop_federation(services, router, client)
+
+        asyncio.run(scenario())
+
+    def test_kselect_walks_the_bands(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                for priority in (1, 1, 2, 4):
+                    await client.insert(priority)
+                assert (await client.kselect(1)).priority == 1
+                assert (await client.kselect(3)).priority == 2  # crosses bands
+                assert (await client.kselect(4)).priority == 4
+                with pytest.raises(ServiceError, match="out of range"):
+                    await client.kselect(5)
+            finally:
+                await _stop_federation(services, router, client)
+
+        asyncio.run(scenario())
+
+    def test_dead_shard_degrades_to_retryable_unavailable(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                await client.insert(1)
+                await client.insert(4)
+                await services[1].aclose()  # band [3, +inf) goes dark
+                frame = await client._request_raw({"op": "insert", "priority": 4})
+                assert frame["status"] == "unavailable"
+                assert frame["retryable"] is True
+                assert frame["shard"] == 1
+                # Survivor band keeps serving both directions.
+                ok = await client._request({"op": "insert", "priority": 2})
+                assert ok["shard"] == 0
+                assert (await client.delete_min()).priority == 1
+                assert router.dead_shards == (1,)
+                stats = await client.stats()
+                assert stats["federation"]["dead"] == [1]
+                assert stats["federation"]["per_shard"]["1"] == {"alive": False}
+                history = await client.history()
+                assert history["federation"]["dead"] == [1]
+                assert history["federation"]["shards"] == [0]
+            finally:
+                await _stop_federation(services, router, client)
+
+        asyncio.run(scenario())
+
+
+class TestRebalance:
+    def test_split_rehomes_elements_and_bumps_epoch(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            extra = None
+            try:
+                for priority in (1, 2, 3, 4, 4):
+                    await client.insert(priority)
+                extra = QueueService("skeap", 4, derive_seed(0, "svc", 2),
+                                     n_priorities=4)
+                await extra.start()
+                new_map = router.pmap.split(1, 4, 2)  # [3,+inf) -> [3,4)+[4,+inf)
+                summary = await router.rebalance(
+                    new_map, new_endpoints={2: (extra.host, extra.port)}
+                )
+                assert summary == {
+                    "epoch": 1, "moved": 3, "drained": [1],
+                    "added": [2], "retired": [],
+                }
+                assert router.rebalances == 1
+                census = await client._request({"op": "census"})
+                assert census["per_shard"] == {"0": 2, "1": 1, "2": 2}
+                # New inserts obey the new map.
+                frame = await client._request({"op": "insert", "priority": 4})
+                assert frame["shard"] == 2
+                drained = [
+                    (await client.delete_min()).priority for _ in range(6)
+                ]
+                assert drained == [1, 2, 3, 4, 4, 4]
+                payload = await client.history()
+                assert payload["federation"]["epoch"] == 1
+                history = History.from_jsonable(payload["history"])
+                check_skeap_history(history, order="min")
+                check_element_conservation(history, payload["stored_uids"])
+            finally:
+                await _stop_federation(services, router, client)
+                if extra is not None:
+                    await extra.aclose()
+
+        asyncio.run(scenario())
+
+    def test_stale_map_rejected(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                same_epoch = even_partition(2, 1, 5)
+                with pytest.raises(ServiceError, match="raise the epoch"):
+                    await router.rebalance(same_epoch)
+                assert router.pmap.epoch == 0  # nothing installed
+            finally:
+                await _stop_federation(services, router, client)
+
+        asyncio.run(scenario())
+
+
+# -- connect retry ----------------------------------------------------------
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestConnectRetry:
+    def test_retries_absorb_the_spawn_to_listen_race(self):
+        async def scenario():
+            port = _free_port()
+            service = QueueService("skeap", 4, 0, port=port)
+
+            async def late_start():
+                await asyncio.sleep(0.3)
+                await service.start()
+
+            starter = asyncio.create_task(late_start())
+            try:
+                client = await QueueClient.connect(
+                    "127.0.0.1", port, connect_retries=30, connect_backoff=0.05
+                )
+                assert client.proto == "skeap"
+                await client.aclose()
+            finally:
+                await starter
+                await service.aclose()
+
+        asyncio.run(scenario())
+
+    def test_zero_retries_fails_fast(self):
+        async def scenario():
+            with pytest.raises(ConnectionRefusedError):
+                await QueueClient.connect(
+                    "127.0.0.1", _free_port(), connect_retries=0
+                )
+
+        asyncio.run(scenario())
+
+    def test_non_refused_errors_propagate_immediately(self, monkeypatch):
+        calls = []
+
+        async def explode(*args, **kwargs):
+            calls.append(args)
+            raise ConnectionResetError("peer reset")
+
+        monkeypatch.setattr(asyncio, "open_connection", explode)
+
+        async def scenario():
+            with pytest.raises(ConnectionResetError):
+                await QueueClient.connect("127.0.0.1", 1, connect_retries=20)
+
+        asyncio.run(scenario())
+        assert len(calls) == 1  # no retry loop for non-ECONNREFUSED failures
+
+    def test_backoff_is_seeded_and_deterministic(self, monkeypatch):
+        recorded = []
+
+        async def refuse(*args, **kwargs):
+            raise ConnectionRefusedError
+
+        async def note_sleep(delay):
+            recorded.append(delay)
+
+        monkeypatch.setattr(asyncio, "open_connection", refuse)
+        monkeypatch.setattr(asyncio, "sleep", note_sleep)
+
+        async def scenario():
+            with pytest.raises(ConnectionRefusedError):
+                await QueueClient.connect(
+                    "127.0.0.1", 1,
+                    retry_jitter_seed=42, connect_retries=4, connect_backoff=0.05,
+                )
+
+        asyncio.run(scenario())
+        rng = random.Random(42 ^ 0x5EED)
+        expected = [
+            rng.uniform(base / 2, base)
+            for base in (0.05 * 2 ** min(k, 6) for k in range(4))
+        ]
+        assert recorded == expected
+
+
+# -- cross-process acceptance -----------------------------------------------
+
+#: The pinned acceptance mix: same mix and seeds for both topologies.
+_ACCEPTANCE_SEEDS = (13, 14, 15)
+
+
+def _acceptance_spec(seed: int) -> LoadSpec:
+    return LoadSpec(
+        n_clients=2, ops_per_client=30, concurrency=1,
+        priorities=fixed_priorities(8), seed=seed,
+    )
+
+
+async def _federated_loadtest(controller, pmap, spec, *, seed):
+    async with QueueRouter(controller.endpoints(), pmap, seed=seed) as router:
+        return await run_loadtest(router.host, router.port, spec)
+
+
+async def _best_of_trials(host, port) -> LoadReport:
+    """Best-of-N throughput over the pinned seeds (every trial must pass
+    its checks; the max smooths wave-coalescing luck on a 1-core box)."""
+    reports = []
+    for seed in _ACCEPTANCE_SEEDS:
+        report = await run_loadtest(host, port, _acceptance_spec(seed))
+        assert "conservation" in report.checks_passed
+        reports.append(report)
+    return max(reports, key=lambda r: r.throughput)
+
+
+class TestFederationAcceptance:
+    def test_skeap_federation_beats_a_single_shard_of_equal_size(self):
+        """4 shards × 16 nodes vs one 64-node service, same seeded mix.
+
+        On one core the federation cannot win by parallelism — it wins
+        because at low concurrency the single service pays a full Θ(64)
+        pump wave per op while each shard's wave costs Θ(16).
+        """
+        federation = ShardController(
+            proto="skeap", n_nodes=16, seed=13, n_priorities=8
+        )
+        try:
+            federation.spawn_many(range(4))
+            pmap = even_partition(4, *default_band_range("skeap", 8))
+
+            async def run_fed():
+                async with QueueRouter(
+                    federation.endpoints(), pmap, seed=13
+                ) as router:
+                    return await _best_of_trials(router.host, router.port)
+
+            fed_report = asyncio.run(run_fed())
+        finally:
+            federation.shutdown()
+        assert fed_report.checks_passed == [
+            "client-vs-server", "skeap(SC+heap+serial)", "conservation",
+        ]
+        assert fed_report.history_payload["federation"]["epoch"] == 0
+        assert fed_report.completed == 60
+
+        single = ShardController(proto="skeap", n_nodes=64, seed=13, n_priorities=8)
+        try:
+            single.spawn(0)
+            host, port = single.endpoints()[0]
+            single_report = asyncio.run(_best_of_trials(host, port))
+        finally:
+            single.shutdown()
+
+        # Calibrated headroom: ~67-77 vs ~52 ops/s on the CI box (the
+        # single service tops out at 2-way wave coalescing over Θ(64)
+        # rounds); the 1.05 margin keeps the assertion meaningful
+        # without being flaky.
+        assert fed_report.throughput > single_report.throughput * 1.05, (
+            f"federation {fed_report.throughput:.1f} ops/s did not beat "
+            f"single-shard {single_report.throughput:.1f} ops/s"
+        )
+
+    def test_seap_federation_passes_the_full_checker_stack(self):
+        spec = LoadSpec(
+            n_clients=3, ops_per_client=20, concurrency=2,
+            priorities=uniform_priorities(0, 1_000_000), seed=7,
+        )
+        controller = ShardController(proto="seap", n_nodes=8, seed=7)
+        try:
+            controller.spawn_many(range(2))
+            pmap = even_partition(2, *default_band_range("seap"))
+            report = asyncio.run(
+                _federated_loadtest(controller, pmap, spec, seed=7)
+            )
+        finally:
+            controller.shutdown()
+        assert report.checks_passed == [
+            "client-vs-server", "seap(serializable+heap)", "conservation",
+        ]
+        history = History.from_jsonable(report.history_payload["history"])
+        check_seap_history(history)
+
+
+class TestChaosShardKill:
+    def test_sigkill_degrades_cleanly_with_no_silent_survivor_loss(self):
+        controller = ShardController(
+            proto="skeap", n_nodes=6, seed=3, n_priorities=9
+        )
+        try:
+            controller.spawn_many(range(3))
+            pmap = even_partition(3, 1, 10)  # (-inf,4), [4,7), [7,+inf)
+            asyncio.run(self._scenario(controller, pmap))
+        finally:
+            controller.shutdown()
+
+    async def _scenario(self, controller, pmap):
+        acked = []  # (op_id, shard) pairs the router acknowledged
+        async with QueueRouter(controller.endpoints(), pmap, seed=3) as router:
+            client = await QueueClient.connect(
+                router.host, router.port, client="chaos"
+            )
+            try:
+                for priority in (*range(1, 10), *range(1, 10)):
+                    frame = await client._request(
+                        {"op": "insert", "priority": priority}
+                    )
+                    acked.append((tuple(frame["op"]), frame["shard"]))
+                for _ in range(4):
+                    frame = await client._request({"op": "deletemin"})
+                    acked.append((tuple(frame["op"]), frame["shard"]))
+
+                # Pipeline a burst and SIGKILL the worst-band shard while
+                # it is in flight: every response must still arrive, as
+                # either an ack or a clean retryable error — never a hang.
+                burst = [
+                    asyncio.create_task(
+                        client._request_raw({"op": "insert", "priority": p})
+                    )
+                    for p in (1, 4, 7, 8, 9, 2)
+                ]
+                controller.kill(2)
+                frames = await asyncio.gather(*burst)
+                for frame in frames:
+                    if frame["status"] == "ok":
+                        acked.append((tuple(frame["op"]), frame["shard"]))
+                    else:
+                        assert frame["status"] == "unavailable"
+                        assert frame["retryable"] is True
+                        assert frame["shard"] == 2
+
+                # The death is loud everywhere: controller and router.
+                assert controller.deaths() == [2]
+                health = controller.health()[2]
+                assert not health["alive"] and health["returncode"] == -9
+                frame = await client._request_raw(
+                    {"op": "insert", "priority": 9}
+                )
+                assert frame["status"] == "unavailable"
+                assert frame["shard"] == 2
+                assert router.dead_shards == (2,)
+
+                # Survivors keep serving both directions.
+                ok = await client._request({"op": "insert", "priority": 1})
+                assert ok["shard"] == 0
+                assert not (await client.delete_min()).bot
+
+                # No silent loss: every op acknowledged on a survivor is
+                # in the merged history, and the merge still certifies.
+                payload = await client.history()
+                assert payload["federation"]["dead"] == [2]
+                assert payload["federation"]["shards"] == [0, 1]
+                merged_ids = {
+                    tuple(e["op"]) for e in payload["history"]["ops"]
+                }
+                survivor_acked = [
+                    op for op, shard in acked if shard in (0, 1)
+                ]
+                assert survivor_acked  # the run did exercise survivors
+                missing = [op for op in survivor_acked if op not in merged_ids]
+                assert not missing, f"acknowledged ops vanished: {missing}"
+                history = History.from_jsonable(payload["history"])
+                check_skeap_history(history, order="min")
+                check_element_conservation(history, payload["stored_uids"])
+            finally:
+                await client.aclose()

@@ -1,0 +1,221 @@
+"""Property suite for the federation partition map.
+
+The partition map is the federation's routing ground truth, so its
+properties are checked the hard way: hypothesis generates arbitrary
+band layouts and priorities, and every routing claim is verified against
+a brute-force scan of ``Band.contains`` — totality (every priority has a
+home), disjointness (exactly one home), bisect-vs-linear agreement,
+split/merge coverage preservation, epoch monotonicity, and byte-stable
+routing across OS processes (the router and the shards are different
+processes and must agree on every key).
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.service.partition import Band, PartitionMap, even_partition
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# -- strategies -------------------------------------------------------------
+
+cut_points = st.lists(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    min_size=0, max_size=8, unique=True,
+).map(sorted)
+
+
+@st.composite
+def partition_maps(draw) -> PartitionMap:
+    cuts = draw(cut_points)
+    edges = [None, *cuts, None]
+    epoch = draw(st.integers(min_value=0, max_value=100))
+    bands = tuple(
+        Band(sid, edges[i], edges[i + 1]) for i, sid in enumerate(range(len(cuts) + 1))
+    )
+    return PartitionMap(epoch, bands)
+
+
+priorities = st.integers(min_value=-(10**7), max_value=10**7)
+
+
+# -- total + disjoint routing ----------------------------------------------
+
+class TestRoutingTotalAndDisjoint:
+    @given(pmap=partition_maps(), priority=priorities)
+    @settings(max_examples=200)
+    def test_every_priority_has_exactly_one_home(self, pmap, priority):
+        owners = [b.shard_id for b in pmap.bands if b.contains(priority)]
+        assert len(owners) == 1  # total (>=1) and disjoint (<=1)
+        assert pmap.shard_for(priority) == owners[0]
+
+    @given(pmap=partition_maps(), priority=priorities)
+    @settings(max_examples=200)
+    def test_bisect_rank_matches_linear_scan(self, pmap, priority):
+        linear = next(
+            rank for rank, b in enumerate(pmap.bands) if b.contains(priority)
+        )
+        assert pmap.rank_for(priority) == linear
+
+    @given(pmap=partition_maps())
+    def test_band_of_inverts_shard_ids(self, pmap):
+        for rank, sid in enumerate(pmap.shard_ids):
+            assert pmap.rank_of(sid) == rank
+            assert pmap.band_of(sid) is pmap.bands[rank]
+
+    def test_non_integer_priority_rejected(self):
+        pmap = even_partition(2, 0, 10)
+        for bad in ("3", 3.0, True, None):
+            with pytest.raises(ServiceError):
+                pmap.rank_for(bad)  # type: ignore[arg-type]
+
+
+# -- split / merge ----------------------------------------------------------
+
+class TestRebalancePrimitives:
+    @given(pmap=partition_maps(), priority=priorities, data=st.data())
+    @settings(max_examples=200)
+    def test_split_preserves_coverage_and_bumps_epoch(self, pmap, priority, data):
+        rank = data.draw(st.integers(0, pmap.n_shards - 1), label="rank")
+        band = pmap.bands[rank]
+        lo = band.lo if band.lo is not None else -(10**6) - 10
+        hi = band.hi if band.hi is not None else 10**6 + 10
+        if hi - lo < 2:
+            return  # nowhere to cut strictly inside
+        at = data.draw(st.integers(lo + 1, hi - 1), label="at")
+        new_sid = max(pmap.shard_ids) + 1
+        split = pmap.split(band.shard_id, at, new_sid)
+
+        assert split.epoch == pmap.epoch + 1
+        assert split.n_shards == pmap.n_shards + 1
+        owners = [b.shard_id for b in split.bands if b.contains(priority)]
+        assert len(owners) == 1  # still total + disjoint
+        old_home = pmap.shard_for(priority)
+        if old_home != band.shard_id:
+            assert owners[0] == old_home  # untouched keys don't move
+        else:
+            assert owners[0] == (band.shard_id if priority < at else new_sid)
+
+    @given(pmap=partition_maps(), priority=priorities, data=st.data())
+    @settings(max_examples=200)
+    def test_merge_preserves_coverage_and_bumps_epoch(self, pmap, priority, data):
+        if pmap.n_shards < 2:
+            return
+        rank = data.draw(st.integers(0, pmap.n_shards - 2), label="rank")
+        keep = pmap.bands[rank].shard_id
+        retired = pmap.bands[rank + 1].shard_id
+        merged = pmap.merge_adjacent(keep)
+
+        assert merged.epoch == pmap.epoch + 1
+        assert merged.n_shards == pmap.n_shards - 1
+        assert retired not in merged.shard_ids
+        owners = [b.shard_id for b in merged.bands if b.contains(priority)]
+        assert len(owners) == 1
+        old_home = pmap.shard_for(priority)
+        assert owners[0] == (keep if old_home in (keep, retired) else old_home)
+
+    @given(pmap=partition_maps(), data=st.data())
+    @settings(max_examples=100)
+    def test_epochs_are_strictly_monotone_along_any_rebalance_chain(self, pmap, data):
+        current = pmap
+        for _ in range(data.draw(st.integers(1, 4), label="steps")):
+            before = current.epoch
+            if current.n_shards >= 2 and data.draw(st.booleans(), label="merge?"):
+                keep = current.bands[
+                    data.draw(st.integers(0, current.n_shards - 2), label="rank")
+                ].shard_id
+                current = current.merge_adjacent(keep)
+            else:
+                band = current.bands[0]
+                hi = band.hi if band.hi is not None else 10**6 + 10
+                current = current.split(
+                    band.shard_id, hi - 1, max(current.shard_ids) + 1
+                )
+            assert current.epoch == before + 1
+
+    def test_split_rejects_cut_outside_band_and_duplicate_ids(self):
+        pmap = even_partition(2, 0, 10)  # bands: (-inf, 5), [5, +inf)
+        with pytest.raises(ServiceError, match="not strictly inside"):
+            pmap.split(0, 7, 9)  # 7 lives in shard 1's band
+        with pytest.raises(ServiceError, match="already in the map"):
+            pmap.split(0, 2, 1)
+        with pytest.raises(ServiceError, match="nothing above"):
+            pmap.merge_adjacent(1)  # last band has no upper neighbour
+
+
+# -- wire form and validation ----------------------------------------------
+
+class TestWireFormAndValidation:
+    @given(pmap=partition_maps())
+    @settings(max_examples=100)
+    def test_jsonable_round_trip_preserves_routing(self, pmap):
+        wire = json.loads(json.dumps(pmap.to_jsonable()))
+        back = PartitionMap.from_jsonable(wire)
+        assert back == pmap
+        assert back.epoch == pmap.epoch
+        assert back.shard_ids == pmap.shard_ids
+
+    def test_invalid_maps_rejected(self):
+        with pytest.raises(ServiceError, match="at least one band"):
+            PartitionMap(0, ())
+        with pytest.raises(ServiceError, match="unbounded"):
+            PartitionMap(0, (Band(0, 0, 5),))
+        with pytest.raises(ServiceError, match="not contiguous"):
+            PartitionMap(0, (Band(0, None, 3), Band(1, 4, None)))
+        with pytest.raises(ServiceError, match="duplicate shard ids"):
+            PartitionMap(0, (Band(0, None, 3), Band(0, 3, None)))
+        with pytest.raises(ServiceError, match="empty band"):
+            Band(0, 5, 5)
+        with pytest.raises(ServiceError, match="epoch"):
+            PartitionMap(-1, (Band(0, None, None),))
+
+    def test_even_partition_shapes(self):
+        single = even_partition(1, 0, 100)
+        assert single.bands == (Band(0, None, None),)
+        four = even_partition(4, 1, 9)
+        assert four.shard_ids == (0, 1, 2, 3)
+        assert [b.lo for b in four.bands] == [None, 3, 5, 7]
+        with pytest.raises(ServiceError, match="too narrow"):
+            even_partition(4, 0, 3)
+        with pytest.raises(ServiceError, match="at least one shard"):
+            even_partition(0, 0, 10)
+        custom = even_partition(2, 0, 10, shard_ids=(7, 3))
+        assert custom.shard_ids == (7, 3)
+
+
+# -- cross-process determinism ---------------------------------------------
+
+class TestCrossProcessDeterminism:
+    def test_routing_identical_in_a_separate_process(self):
+        """The router and every shard must route each key identically.
+
+        The same serialized map is routed here and in a fresh interpreter
+        (different PYTHONHASHSEED, so anything hash-order dependent would
+        diverge) and the decisions must match key for key.
+        """
+        pmap = even_partition(4, -100, 100).split(3, 80, 9)
+        keys = list(range(-150, 151, 7)) + [-(10**6), 10**6, 0]
+        local = [pmap.shard_for(k) for k in keys]
+
+        program = """
+import json, sys
+from repro.service.partition import PartitionMap
+payload = json.loads(sys.stdin.read())
+pmap = PartitionMap.from_jsonable(payload["map"])
+print(json.dumps([pmap.shard_for(k) for k in payload["keys"]]))
+"""
+        result = subprocess.run(
+            [sys.executable, "-c", program],
+            input=json.dumps({"map": pmap.to_jsonable(), "keys": keys}),
+            capture_output=True, text=True,
+            env={"PYTHONPATH": SRC, "PYTHONHASHSEED": "99"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert json.loads(result.stdout) == local
