@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Validate exported telemetry artifacts (CI's telemetry-smoke schema check).
+
+Usage::
+
+    python scripts/validate_metrics.py [--prom FILE]... [--jsonl FILE]...
+                                       [--slo FILE]...
+
+* ``--prom`` files must be valid Prometheus text exposition output:
+  every sample line parses, every histogram ships the complete
+  ``_bucket`` (with ``+Inf``) / ``_sum`` / ``_count`` triple;
+* ``--jsonl`` files must be one snapshot point per line, each passing
+  the snapshot schema check with a monotonically non-decreasing ``t``;
+* ``--slo`` files must be ``loadtest --slo-out`` reports: a JSON object
+  with a boolean ``slo.passed`` and one entry per declared objective.
+
+Exit code 0 on success, 1 with the problems listed on stderr otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.export import validate_jsonl, validate_prometheus_text  # noqa: E402
+
+
+def _check_slo(path: Path) -> list[str]:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable SLO report: {exc}"]
+    problems: list[str] = []
+    slo = payload.get("slo")
+    if not isinstance(slo, dict):
+        return [f"{path}: missing 'slo' object"]
+    if not isinstance(slo.get("passed"), bool):
+        problems.append(f"{path}: slo.passed must be a boolean")
+    objectives = slo.get("objectives")
+    if not isinstance(objectives, list) or not objectives:
+        problems.append(f"{path}: slo.objectives must be a non-empty list")
+        return problems
+    for i, obj in enumerate(objectives):
+        for field in ("metric", "direction", "threshold", "observed", "passed"):
+            if field not in obj:
+                problems.append(f"{path}: objective {i} missing {field!r}")
+    if isinstance(slo.get("passed"), bool):
+        derived = all(bool(o.get("passed")) for o in objectives)
+        if derived != slo["passed"]:
+            problems.append(
+                f"{path}: slo.passed={slo['passed']} contradicts its objectives"
+            )
+    return problems
+
+
+def _collect(args: list[str], flag: str) -> list[Path]:
+    paths: list[Path] = []
+    i = 0
+    while i < len(args):
+        if args[i] == flag:
+            if i + 1 >= len(args):
+                raise SystemExit(f"{flag} requires a path")
+            paths.append(Path(args[i + 1]))
+            del args[i : i + 2]
+        else:
+            i += 1
+    return paths
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    prom_paths = _collect(args, "--prom")
+    jsonl_paths = _collect(args, "--jsonl")
+    slo_paths = _collect(args, "--slo")
+    if args:
+        print(f"unknown arguments: {args}", file=sys.stderr)
+        return 2
+    if not (prom_paths or jsonl_paths or slo_paths):
+        print("nothing to validate (pass --prom/--jsonl/--slo)", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for path in prom_paths:
+        if not path.is_file():
+            problems.append(f"missing {path}")
+            continue
+        problems += [f"{path}: {p}" for p in validate_prometheus_text(path.read_text())]
+    for path in jsonl_paths:
+        if not path.is_file():
+            problems.append(f"missing {path}")
+            continue
+        problems += [f"{path}: {p}" for p in validate_jsonl(path.read_text())]
+    for path in slo_paths:
+        if not path.is_file():
+            problems.append(f"missing {path}")
+            continue
+        problems += _check_slo(path)
+    if problems:
+        for p in problems:
+            print(f"validate_metrics: {p}", file=sys.stderr)
+        return 1
+    checked = len(prom_paths) + len(jsonl_paths) + len(slo_paths)
+    print(f"validate_metrics: OK ({checked} artifacts)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

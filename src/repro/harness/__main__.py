@@ -21,6 +21,11 @@ Usage::
                                      [--mode closed|open] [--connect H:P]
                                      [--shards K] [--band-range LO:HI]
                                      [--manifest PATH] [--trace DIR]
+                                     [--slo p99=S,shed_rate=F,...]
+                                     [--slo-out PATH] [--slo-strict]
+    python -m repro.harness top --connect H:P [--interval S] [--count N]
+                                [--once] [--raw] [--prom PATH]
+                                [--jsonl PATH]
 
 ``--quick`` shrinks the parameter grids; ``--markdown`` emits GitHub
 tables (how EXPERIMENTS.md's body is produced); ``IDS`` selects specific
@@ -64,6 +69,15 @@ open/closed-loop generator and feeds the observed history (for a
 federation: the merged, witness-serialized cross-shard history) through
 the semantics checkers (``repro.harness.service_cli``) — self-hosting on
 an ephemeral port unless ``--connect`` points at a running server.
+``loadtest --slo`` declares service-level objectives (p99 latency, shed
+rate, throughput, ...) evaluated after the run: a pass/fail table plus a
+machine-readable ``--slo-out`` JSON report, with ``--slo-strict`` turning
+a miss into a non-zero exit.  ``top`` tails a running service's (or
+federation router's) telemetry over the streaming ``watch`` subscription
+— a live terminal view of throughput, latency quantiles, shedding and
+shard health — or, with ``--once``, takes a single ``metrics`` scrape;
+``--prom``/``--jsonl`` export what it saw in Prometheus text / JSONL
+form (``repro.harness.top_cli``).
 
 ``--manifest PATH`` additionally writes a run manifest for the table run:
 the exact command, seeds/grid config, git SHA, wall-clock, and a sha256
@@ -105,6 +119,10 @@ def main(argv: list[str]) -> int:
         from .service_cli import loadtest_main
 
         return loadtest_main(argv[1:])
+    if argv and argv[0] == "top":
+        from .top_cli import top_main
+
+        return top_main(argv[1:])
     if argv and argv[0] == "bench-kernel":
         from .bench_kernel import bench_kernel_main
 

@@ -103,6 +103,9 @@ def serve_main(argv: list[str]) -> int:
     runner = _flag_value(args, "--runner", "sync")
     shards = int(_flag_value(args, "--shards", 1))
     band = _flag_value(args, "--band-range", None)
+    metrics_interval = float(_flag_value(args, "--metrics-interval", 1.0))
+    telemetry = "--no-telemetry" not in args
+    args = [a for a in args if a != "--no-telemetry"]
     if args:
         print(f"unknown serve arguments: {args}", file=sys.stderr)
         return 2
@@ -111,12 +114,14 @@ def serve_main(argv: list[str]) -> int:
             proto=proto, n_nodes=n_nodes, seed=seed, host=host, port=port,
             window=window, n_priorities=n_priorities, runner=runner,
             shards=shards, band=band,
+            telemetry=telemetry, metrics_interval=metrics_interval,
         )
 
     async def run() -> None:
         service = QueueService(
             proto, n_nodes=n_nodes, seed=seed, host=host, port=port,
             runner=runner, n_priorities=n_priorities, window=window,
+            telemetry=telemetry, metrics_interval=metrics_interval,
         )
         await service.start()
         # The ready line is a contract: CI greps for it before connecting.
@@ -136,7 +141,7 @@ def serve_main(argv: list[str]) -> int:
 
 def _serve_federation(
     *, proto, n_nodes, seed, host, port, window, n_priorities, runner,
-    shards, band,
+    shards, band, telemetry=True, metrics_interval=1.0,
 ) -> int:
     """Spawn ``shards`` serve subprocesses and route them in the foreground.
 
@@ -161,6 +166,8 @@ def _serve_federation(
         router = QueueRouter(
             controller.endpoints(), pmap, host=host, port=port,
             window_per_shard=window, seed=seed,
+            telemetry=telemetry, metrics_interval=metrics_interval,
+            controller=controller,
         )
         await router.start()
         # Same ready-line contract as the single-process serve, with the
@@ -212,11 +219,26 @@ def loadtest_main(argv: list[str]) -> int:
     trace_dir = _flag_value(args, "--trace", None)
     shards = int(_flag_value(args, "--shards", 1))
     band = _flag_value(args, "--band-range", None)
+    slo_text = _flag_value(args, "--slo", None)
+    slo_out = _flag_value(args, "--slo-out", None)
+    slo_strict = "--slo-strict" in args
     markdown = "--markdown" in args
-    args = [a for a in args if a != "--markdown"]
+    args = [a for a in args if a not in ("--markdown", "--slo-strict")]
     if args:
         print(f"unknown loadtest arguments: {args}", file=sys.stderr)
         return 2
+    if (slo_out is not None or slo_strict) and slo_text is None:
+        print("--slo-out/--slo-strict need --slo OBJECTIVES", file=sys.stderr)
+        return 2
+    slo_specs = None
+    if slo_text is not None:
+        from ..service.loadgen import parse_slo
+
+        try:
+            slo_specs = parse_slo(slo_text)
+        except ReproError as exc:
+            print(f"bad --slo: {exc}", file=sys.stderr)
+            return 2
     if trace_dir is not None and connect is not None:
         print("--trace needs the self-hosted mode (drop --connect): the "
               "trace lives in the server process", file=sys.stderr)
@@ -255,6 +277,7 @@ def loadtest_main(argv: list[str]) -> int:
             router = QueueRouter(
                 controller.endpoints(), pmap,
                 window_per_shard=window, seed=seed,
+                controller=controller,
             )
             async with router:
                 report = await run_loadtest(router.host, router.port, spec)
@@ -297,6 +320,37 @@ def loadtest_main(argv: list[str]) -> int:
 
     table = report.table()
     print(table.to_markdown() if markdown else table.render())
+
+    slo_failed = False
+    if slo_specs is not None:
+        from ..service.loadgen import evaluate_slo
+
+        slo_report = evaluate_slo(report, slo_specs)
+        slo_table = slo_report.table()
+        print(slo_table.to_markdown() if markdown else slo_table.render())
+        slo_failed = not slo_report.passed
+        if slo_out is not None:
+            out = Path(slo_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(
+                json.dumps(
+                    {
+                        "slo": slo_report.to_jsonable(),
+                        "spec": slo_text,
+                        "proto": report.proto,
+                        "n_nodes": report.n_nodes,
+                        "completed": report.completed,
+                        "throughput": report.throughput,
+                        "shed": report.shed_total,
+                        "retries": report.retry_total,
+                        "seed": seed,
+                    },
+                    sort_keys=True,
+                    indent=2,
+                )
+                + "\n"
+            )
+            print(f"# slo report: {out}", file=sys.stderr)
 
     if tracer is not None:
         from .trace_export import (
@@ -350,4 +404,7 @@ def loadtest_main(argv: list[str]) -> int:
         )
         write_manifest(manifest_path, manifest)
         print(f"# manifest: {manifest_path}", file=sys.stderr)
+    if slo_failed and slo_strict:
+        print("loadtest failed: SLO objectives not met", file=sys.stderr)
+        return 1
     return 0

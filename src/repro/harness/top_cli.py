@@ -1,0 +1,184 @@
+"""``python -m repro.harness top`` — live telemetry view over ``watch``.
+
+Connects to a running service (or federation router — same wire
+protocol) and tails its telemetry: one line per ``--interval`` with
+completed-op rate, latency quantiles read from the mergeable histogram
+wire form, shed counts, pending depth, and — against a router — live and
+dead shard counts.  ``--once`` takes a single ``metrics`` scrape instead
+of subscribing; ``--raw`` prints the raw snapshot JSON for piping.
+
+``--prom PATH`` writes the last snapshot in Prometheus text exposition
+format and ``--jsonl PATH`` writes every observed point as JSONL — the
+same exporters the service's CI schema checks validate, so ``top`` can
+double as a scrape-to-file bridge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+from .fuzz import _flag_value
+
+__all__ = ["top_main"]
+
+
+def _merged_hist(snapshot: dict, name: str):
+    """Merge every histogram whose base name is ``name`` (labels vary)."""
+    from ..service.telemetry import Histogram, parse_metric_key
+
+    merged = None
+    for key, payload in snapshot.get("hists", {}).items():
+        if parse_metric_key(key)[0] != name:
+            continue
+        hist = Histogram.from_jsonable(payload)
+        if merged is None:
+            merged = hist
+        else:
+            merged.merge(hist)
+    return merged
+
+
+def _sum_metrics(snapshot: dict, section: str, name: str) -> float:
+    from ..service.telemetry import parse_metric_key
+
+    return sum(
+        value
+        for key, value in snapshot.get(section, {}).items()
+        if parse_metric_key(key)[0] == name
+    )
+
+
+def _render_line(snapshot: dict, prev: tuple[float, dict] | None, now: float) -> str:
+    ops = _sum_metrics(snapshot, "counters", "service_ops_total") or _sum_metrics(
+        snapshot, "counters", "router_ops_total"
+    )
+    rate = ""
+    if prev is not None:
+        prev_t, prev_snap = prev
+        prev_ops = _sum_metrics(
+            prev_snap, "counters", "service_ops_total"
+        ) or _sum_metrics(prev_snap, "counters", "router_ops_total")
+        dt = now - prev_t
+        if dt > 0:
+            rate = f" ({(ops - prev_ops) / dt:+.0f}/s)"
+    lat = _merged_hist(snapshot, "router_op_latency_seconds") or _merged_hist(
+        snapshot, "service_op_latency_seconds"
+    )
+    lat_s = (
+        f"p50 {lat.quantile(0.5) * 1e3:.2f}ms p99 {lat.quantile(0.99) * 1e3:.2f}ms"
+        if lat is not None and lat.count
+        else "p50 -- p99 --"
+    )
+    shed = _sum_metrics(snapshot, "counters", "service_sheds_total") + _sum_metrics(
+        snapshot, "counters", "router_upstream_sheds_total"
+    )
+    pending = _sum_metrics(snapshot, "gauges", "service_pending_ops") + _sum_metrics(
+        snapshot, "gauges", "router_active_ops"
+    )
+    parts = [
+        time.strftime("%H:%M:%S", time.localtime(now)),
+        f"ops {ops:.0f}{rate}",
+        lat_s,
+        f"shed {shed:.0f}",
+        f"pending {pending:.0f}",
+    ]
+    live = _sum_metrics(snapshot, "gauges", "router_shards_live")
+    dead = _sum_metrics(snapshot, "gauges", "router_shards_dead")
+    if live or dead:
+        parts.append(f"shards {live:.0f} live/{dead:.0f} dead")
+    frames = _sum_metrics(snapshot, "counters", "service_frames_in_total") + _sum_metrics(
+        snapshot, "counters", "router_frames_in_total"
+    )
+    errors = _sum_metrics(
+        snapshot, "counters", "service_framing_errors_total"
+    ) + _sum_metrics(snapshot, "counters", "router_framing_errors_total")
+    parts.append(f"frames {frames:.0f}" + (f" (!{errors:.0f} bad)" if errors else ""))
+    return "  ".join(parts)
+
+
+def _write_exports(
+    points: list[dict], prom_path: str | None, jsonl_path: str | None
+) -> None:
+    from ..service.export import series_to_jsonl, to_prometheus
+
+    if prom_path is not None and points:
+        last = {k: v for k, v in points[-1].items() if k != "t"}
+        out = Path(prom_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(to_prometheus(last))
+        print(f"# prometheus: {out}", file=sys.stderr)
+    if jsonl_path is not None and points:
+        out = Path(jsonl_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(series_to_jsonl(points))
+        print(f"# jsonl: {out}", file=sys.stderr)
+
+
+def top_main(argv: list[str]) -> int:
+    """``python -m repro.harness top --connect H:P [--interval S] ...``"""
+    from ..errors import ReproError
+    from ..service import QueueClient
+
+    args = list(argv)
+    connect = _flag_value(args, "--connect", None)
+    interval = float(_flag_value(args, "--interval", 1.0))
+    count_s = _flag_value(args, "--count", None)
+    prom_path = _flag_value(args, "--prom", None)
+    jsonl_path = _flag_value(args, "--jsonl", None)
+    once = "--once" in args
+    raw = "--raw" in args
+    args = [a for a in args if a not in ("--once", "--raw")]
+    if args:
+        print(f"unknown top arguments: {args}", file=sys.stderr)
+        return 2
+    if connect is None:
+        print("top needs --connect HOST:PORT (a running serve)", file=sys.stderr)
+        return 2
+    host, _, port_s = connect.rpartition(":")
+    try:
+        port = int(port_s)
+    except ValueError:
+        print(f"bad --connect {connect!r}: expected HOST:PORT", file=sys.stderr)
+        return 2
+    count = int(count_s) if count_s is not None else (1 if once else None)
+
+    points: list[dict] = []
+
+    async def run() -> None:
+        client = await QueueClient.connect(host or "127.0.0.1", port, client="top")
+        try:
+            if once:
+                response = await client.metrics()
+                snapshot = response["metrics"]
+                points.append(dict(snapshot, t=time.time()))
+                if raw:
+                    print(json.dumps(snapshot, sort_keys=True))
+                else:
+                    print(_render_line(snapshot, None, time.time()))
+                return
+            prev: tuple[float, dict] | None = None
+            async for frame in client.watch(interval=interval, count=count):
+                snapshot = frame["metrics"]
+                t = float(frame.get("t", time.time()))
+                points.append(dict(snapshot, t=t))
+                if raw:
+                    print(json.dumps(frame, sort_keys=True), flush=True)
+                else:
+                    print(_render_line(snapshot, prev, t), flush=True)
+                prev = (t, snapshot)
+        finally:
+            await client.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"top failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    _write_exports(points, prom_path, jsonl_path)
+    return 0

@@ -10,6 +10,16 @@ in-flight work and sheds overload with explicit ``RETRY_AFTER`` hints;
 :mod:`~repro.service.loadgen` drives it all with seeded open/closed-loop
 workloads and verifies the observed history post hoc.
 
+The telemetry plane (:mod:`~repro.service.telemetry`) threads a
+process-local :class:`MetricsRegistry` — counters, gauges, exactly
+mergeable log-bucketed histograms — through every layer above, exposes
+it over the wire as the ``metrics`` op and the streaming ``watch``
+subscription (federated through the router with counters summed and
+histograms merged bucket-wise), and exports it as Prometheus text or
+JSONL (:mod:`~repro.service.export`).  Loadtests can declare service
+level objectives (:func:`parse_slo` / :func:`evaluate_slo`) evaluated
+against the client-observed run.
+
 The simulator core never imports this package — ``import repro.service``
 is strictly additive, so simulator-only runs are byte-identical with it
 present or absent.
@@ -18,14 +28,41 @@ present or absent.
 from .admission import AdmissionController, AdmissionDecision, ShardedAdmission
 from .client import ClientResult, QueueClient
 from .controller import ShardController, ShardProcess, ShardSpec
+from .export import (
+    series_to_jsonl,
+    to_prometheus,
+    validate_jsonl,
+    validate_prometheus_text,
+)
 from .federation import merge_shard_histories
-from .loadgen import LoadReport, LoadSpec, run_loadtest, verify_observed_history
+from .loadgen import (
+    LoadReport,
+    LoadSpec,
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    evaluate_slo,
+    parse_slo,
+    run_loadtest,
+    verify_observed_history,
+)
 from .partition import Band, PartitionMap, even_partition
 from .router import QueueRouter, default_band_range
 from .server import QueueService
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetrySampler,
+    merge_snapshots,
+    validate_snapshot,
+)
 from .wire import (
     DEFAULT_MAX_FRAME,
     FrameDecoder,
+    WireStats,
     encode_frame,
     read_frame,
     write_frame,
@@ -49,10 +86,28 @@ __all__ = [
     "merge_shard_histories",
     "LoadReport",
     "LoadSpec",
+    "SLOReport",
+    "SLOResult",
+    "SLOSpec",
+    "parse_slo",
+    "evaluate_slo",
     "run_loadtest",
     "verify_observed_history",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "TelemetrySampler",
+    "merge_snapshots",
+    "validate_snapshot",
+    "to_prometheus",
+    "series_to_jsonl",
+    "validate_prometheus_text",
+    "validate_jsonl",
     "DEFAULT_MAX_FRAME",
     "FrameDecoder",
+    "WireStats",
     "encode_frame",
     "read_frame",
     "write_frame",

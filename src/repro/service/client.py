@@ -71,6 +71,8 @@ class QueueClient:
         self._jitter = random.Random(retry_jitter_seed)
         self._rids = itertools.count()
         self._waiters: dict[int, asyncio.Future] = {}
+        #: rid -> frame queue for streaming subscriptions (``watch``)
+        self._streams: dict[int, asyncio.Queue] = {}
         self._closed = False
         self._conn_error: Exception | None = None
         self._reader_task: asyncio.Task | None = None
@@ -169,6 +171,10 @@ class QueueClient:
                 if frame is None:
                     raise ServiceError("server closed the connection")
                 rid = frame.get("rid")
+                stream = self._streams.get(rid)
+                if stream is not None:
+                    stream.put_nowait(frame)
+                    continue
                 waiter = self._waiters.pop(rid, None)
                 if waiter is not None and not waiter.done():
                     waiter.set_result(frame)
@@ -187,6 +193,9 @@ class QueueClient:
         for waiter in waiters.values():
             if not waiter.done():
                 waiter.set_exception(exc)
+        streams, self._streams = self._streams, {}
+        for stream in streams.values():
+            stream.put_nowait(exc)
 
     async def _request_raw(self, request: dict) -> dict:
         if self._conn_error is not None:
@@ -319,6 +328,60 @@ class QueueClient:
 
     async def stats(self, timeout: float | None = None) -> dict:
         return await self._request({"op": "stats"}, timeout=timeout)
+
+    async def metrics(
+        self, *, series: bool = False, timeout: float | None = None
+    ) -> dict:
+        """One telemetry scrape: the server's full snapshot wire form.
+
+        Against a federation router this is the *aggregated* view —
+        counters summed and histograms merged bucket-wise across shards,
+        gauges labeled per shard (see ``merge_snapshots``).
+        """
+        return await self._request(
+            {"op": "metrics", "series": bool(series)}, timeout=timeout
+        )
+
+    async def watch(self, *, interval: float = 1.0, count: int | None = None):
+        """Stream telemetry snapshots; an async generator of frames.
+
+        Yields one frame per ``interval`` seconds until ``count`` frames
+        have arrived (forever if ``count`` is None — break out of the loop
+        to stop; the generator sends a best-effort ``unwatch`` on exit).
+        Each frame carries ``metrics`` (snapshot wire form) and ``watch``
+        (the server's sequence number).
+        """
+        if self._conn_error is not None:
+            raise ServiceError(f"connection lost: {self._conn_error}")
+        rid = next(self._rids)
+        queue: asyncio.Queue = asyncio.Queue()
+        self._streams[rid] = queue
+        request = {"op": "watch", "rid": rid, "interval": float(interval)}
+        if count is not None:
+            request["count"] = int(count)
+        try:
+            await write_frame(self._writer, request)
+            while True:
+                frame = await asyncio.wait_for(
+                    queue.get(), self.timeout + float(interval)
+                )
+                if isinstance(frame, Exception):
+                    raise ServiceError(f"connection lost: {frame}") from frame
+                if frame.get("status") == "error":
+                    raise ServiceError(frame.get("error", "watch failed"))
+                if frame.get("watch_done"):
+                    return
+                yield frame
+        finally:
+            self._streams.pop(rid, None)
+            if self._conn_error is None and not self._closed:
+                try:
+                    await self._request(
+                        {"op": "unwatch", "watch_rid": rid},
+                        timeout=min(self.timeout, 2.0),
+                    )
+                except Exception:  # noqa: BLE001 - best-effort cleanup
+                    pass
 
     async def census(self, timeout: float | None = None) -> int:
         """The drained-point stored-element count (a barrier request)."""

@@ -118,6 +118,10 @@ class ShardController:
         self.host = host
         self.spawn_timeout = float(spawn_timeout)
         self.shards: dict[int, ShardProcess] = {}
+        #: lifecycle counters (the router's telemetry hook reads these)
+        self.spawned_total = 0
+        self.killed_total = 0
+        self.stopped_total = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -150,6 +154,7 @@ class ShardController:
             process.wait()
             raise
         self.shards[shard_id] = shard
+        self.spawned_total += 1
         return shard
 
     def spawn_many(self, shard_ids) -> dict[int, ShardProcess]:
@@ -229,6 +234,17 @@ class ShardController:
         """Shard ids whose process has exited."""
         return [sid for sid, shard in self.shards.items() if not shard.alive]
 
+    def telemetry(self) -> dict[str, int]:
+        """Lifecycle tallies for the telemetry plane (router scrape hook)."""
+        alive = sum(1 for shard in self.shards.values() if shard.alive)
+        return {
+            "shards_spawned_total": self.spawned_total,
+            "shards_killed_total": self.killed_total,
+            "shards_stopped_total": self.stopped_total,
+            "shards_alive": alive,
+            "shards_exited": len(self.shards) - alive,
+        }
+
     # -- teardown ----------------------------------------------------------
 
     def kill(self, shard_id: int) -> None:
@@ -236,6 +252,7 @@ class ShardController:
         shard = self._get(shard_id)
         shard.process.kill()
         shard.process.wait()
+        self.killed_total += 1
 
     def stop(self, shard_id: int, *, timeout: float = 5.0) -> None:
         """Terminate a shard politely, escalating to kill on the deadline."""
@@ -247,6 +264,7 @@ class ShardController:
             except subprocess.TimeoutExpired:
                 shard.process.kill()
                 shard.process.wait()
+            self.stopped_total += 1
 
     def retire(self, shard_id: int, *, timeout: float = 5.0) -> None:
         """Stop a shard and drop it from the roster (post-merge cleanup)."""

@@ -1,0 +1,173 @@
+"""Exporters for telemetry snapshots: Prometheus text and JSONL series.
+
+Two consumers, two formats:
+
+* :func:`to_prometheus` renders one snapshot in the Prometheus text
+  exposition format — counters and gauges verbatim, histograms as the
+  classic cumulative ``_bucket{le="..."}`` / ``_sum`` / ``_count``
+  triple, with bucket bounds taken from the log-bucket shape so a real
+  Prometheus server could scrape the output unmodified;
+* :func:`series_to_jsonl` renders a sampler time series (or any list of
+  snapshot points) one canonical JSON object per line, the same idiom as
+  the trace exporter's ``events.jsonl``.
+
+Both directions ship with validators (:func:`validate_prometheus_text`,
+:func:`validate_jsonl`) that CI's telemetry-smoke job runs over the
+artifacts — the schema check that keeps the exporters honest.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable
+
+from .telemetry import Histogram, parse_metric_key, validate_snapshot
+
+__all__ = [
+    "to_prometheus",
+    "series_to_jsonl",
+    "validate_prometheus_text",
+    "validate_jsonl",
+]
+
+
+def _prom_key(key: str) -> str:
+    """``name{a=1}`` → ``name{a="1"}`` (Prometheus quotes label values)."""
+    name, labels = parse_metric_key(key)
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _fmt_value(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return "NaN" if value != value else ("+Inf" if value > 0 else "-Inf")
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render one snapshot as Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(key: str, kind: str) -> None:
+        name, _ = parse_metric_key(key)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        type_line(key, "counter")
+        lines.append(f"{_prom_key(key)} {_fmt_value(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        type_line(key, "gauge")
+        lines.append(f"{_prom_key(key)} {_fmt_value(value)}")
+    for key, payload in snapshot.get("hists", {}).items():
+        type_line(key, "histogram")
+        name, labels = parse_metric_key(key)
+        hist = Histogram.from_jsonable(payload)
+
+        def sample(suffix: str, extra: dict[str, str] | None = None) -> str:
+            merged = {**labels, **(extra or {})}
+            if not merged:
+                return f"{name}{suffix}"
+            inner = ",".join(f'{k}="{merged[k]}"' for k in sorted(merged))
+            return f"{name}{suffix}{{{inner}}}"
+
+        cumulative = 0
+        for idx in sorted(hist.counts):
+            cumulative += hist.counts[idx]
+            le = _fmt_value(hist.bucket_upper(idx))
+            lines.append(f"{sample('_bucket', {'le': le})} {cumulative}")
+        lines.append(f"{sample('_bucket', {'le': '+Inf'})} {hist.count}")
+        lines.append(f"{sample('_sum')} {_fmt_value(hist.sum)}")
+        lines.append(f"{sample('_count')} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def series_to_jsonl(series: Iterable[dict]) -> str:
+    """One canonical JSON object per line (sampler points or snapshots)."""
+    return "".join(
+        json.dumps(point, sort_keys=True, separators=(",", ":")) + "\n"
+        for point in series
+    )
+
+
+#: One Prometheus sample line: key, optional labels, a number.
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[^{}]*\})?"                       # optional label set
+    r" ((?:[-+]?[0-9.eE+-]+)|NaN|\+Inf|-Inf)$"  # value
+)
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Schema-check Prometheus text output; returns a list of problems."""
+    problems: list[str] = []
+    hist_parts: dict[str, set[str]] = {}
+    declared: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                problems.append(f"line {lineno}: malformed TYPE line {line!r}")
+            else:
+                declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        if not _PROM_LINE.match(line):
+            problems.append(f"line {lineno}: not a valid sample line {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)]
+            if name.endswith(suffix) and declared.get(base) == "histogram":
+                hist_parts.setdefault(base, set()).add(suffix)
+                if suffix == "_bucket" and 'le="+Inf"' in line:
+                    hist_parts[base].add("+Inf")
+    for name, kind in declared.items():
+        if kind != "histogram":
+            continue
+        parts = hist_parts.get(name, set())
+        for required in ("_bucket", "_sum", "_count", "+Inf"):
+            if required not in parts:
+                problems.append(
+                    f"histogram {name!r} missing {required} samples"
+                )
+    return problems
+
+
+def validate_jsonl(text: str) -> list[str]:
+    """Schema-check a JSONL metrics series; returns a list of problems."""
+    problems: list[str] = []
+    last_t: float | None = None
+    count = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        count += 1
+        try:
+            point = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON: {exc}")
+            continue
+        problems += [f"line {lineno}: {p}" for p in validate_snapshot(point)]
+        t = point.get("t") if isinstance(point, dict) else None
+        if not isinstance(t, (int, float)):
+            problems.append(f"line {lineno}: missing numeric timestamp 't'")
+        else:
+            if last_t is not None and t < last_t:
+                problems.append(
+                    f"line {lineno}: timestamp went backwards ({t} < {last_t})"
+                )
+            last_t = t
+    if count == 0:
+        problems.append("empty series: no JSONL points")
+    return problems

@@ -26,6 +26,7 @@ server serialized for that causal op id.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -51,6 +52,11 @@ __all__ = [
     "Observation",
     "LatencyStats",
     "LoadReport",
+    "SLOSpec",
+    "SLOResult",
+    "SLOReport",
+    "parse_slo",
+    "evaluate_slo",
     "run_loadtest",
     "verify_observed_history",
 ]
@@ -110,13 +116,41 @@ class LatencyStats:
     p99: float
     mean: float
 
+    @staticmethod
+    def percentile(sorted_vals: list[float], q: float) -> float:
+        """The ``q``-th percentile by linear interpolation of the order
+        statistics (numpy's default ``linear`` method, spelled out).
+
+        Small samples are handled exactly: n=1 returns the value for any
+        ``q``; n=2 interpolates between the two; n=3 puts p50 on the
+        middle value.  The previous implementation delegated blindly,
+        which hid that contract — it is now pinned by unit tests.
+        """
+        if not sorted_vals:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ServiceError(f"percentile must be in [0, 100], got {q}")
+        n = len(sorted_vals)
+        if n == 1:
+            return float(sorted_vals[0])
+        rank = (q / 100.0) * (n - 1)
+        lo = math.floor(rank)
+        hi = min(lo + 1, n - 1)
+        frac = rank - lo
+        return float(sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * frac)
+
     @classmethod
     def over(cls, latencies: list[float]) -> "LatencyStats":
         if not latencies:
             return cls(0, 0.0, 0.0, 0.0, 0.0)
-        arr = np.asarray(latencies)
-        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
-        return cls(len(latencies), float(p50), float(p95), float(p99), float(arr.mean()))
+        ordered = sorted(latencies)
+        return cls(
+            len(ordered),
+            cls.percentile(ordered, 50),
+            cls.percentile(ordered, 95),
+            cls.percentile(ordered, 99),
+            sum(ordered) / len(ordered),
+        )
 
 
 @dataclass
@@ -182,6 +216,184 @@ class LoadReport:
         if self.checks_passed:
             table.verdict = "CHECKS PASS: " + ", ".join(self.checks_passed)
         return table
+
+
+# -- SLO evaluation ---------------------------------------------------------
+
+#: Objectives the evaluator knows, with their default comparison
+#: direction: latency/shedding bound from above, throughput from below.
+SLO_METRICS = {
+    "p50": "<=",
+    "p95": "<=",
+    "p99": "<=",
+    "mean": "<=",
+    "shed_rate": "<=",
+    "retry_rate": "<=",
+    "error_rate": "<=",
+    "throughput": ">=",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SLOSpec:
+    """One objective: ``metric op threshold``.
+
+    Latency metrics (``p50``/``p95``/``p99``/``mean``) are in seconds
+    over all client-observed ops; ``shed_rate``/``retry_rate`` are
+    fractions of offered requests; ``error_rate`` is the server-side
+    failed fraction; ``throughput`` is completed ops/s.
+    """
+
+    metric: str
+    threshold: float
+    op: str = ""  # "<=" | ">="; "" means the metric's default direction
+
+    def __post_init__(self):
+        if self.metric not in SLO_METRICS:
+            raise ServiceError(
+                f"unknown SLO metric {self.metric!r}; "
+                f"available: {sorted(SLO_METRICS)}"
+            )
+        if self.op not in ("", "<=", ">="):
+            raise ServiceError(f"SLO comparison must be <= or >=, got {self.op!r}")
+
+    @property
+    def direction(self) -> str:
+        return self.op or SLO_METRICS[self.metric]
+
+
+@dataclass(frozen=True, slots=True)
+class SLOResult:
+    """One evaluated objective."""
+
+    metric: str
+    direction: str
+    threshold: float
+    observed: float
+    passed: bool
+
+    def to_jsonable(self) -> dict:
+        return {
+            "metric": self.metric,
+            "direction": self.direction,
+            "threshold": self.threshold,
+            "observed": self.observed,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class SLOReport:
+    """The pass/fail verdict over every declared objective."""
+
+    results: list[SLOResult]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "passed": self.passed,
+            "objectives": [r.to_jsonable() for r in self.results],
+        }
+
+    def table(self) -> Table:
+        table = Table(
+            "SLO",
+            "service-level objectives over the loadtest run",
+            "each declared objective against its client-observed value",
+            ["metric", "objective", "observed", "verdict"],
+        )
+        for r in self.results:
+            unit = " s" if r.metric in ("p50", "p95", "p99", "mean") else (
+                " ops/s" if r.metric == "throughput" else ""
+            )
+            table.add_row(
+                r.metric,
+                f"{r.direction} {r.threshold:g}{unit}",
+                f"{r.observed:.6g}{unit}",
+                "pass" if r.passed else "FAIL",
+            )
+        table.verdict = (
+            "SLO PASS: all objectives met"
+            if self.passed
+            else "SLO FAIL: "
+            + ", ".join(r.metric for r in self.results if not r.passed)
+        )
+        return table
+
+
+def parse_slo(text: str) -> list[SLOSpec]:
+    """Parse ``--slo p99=0.05,shed_rate=0.2,throughput>=100``.
+
+    Each comma-separated clause is ``metric=value`` (the metric's default
+    direction) or an explicit ``metric<=value`` / ``metric>=value``.
+    """
+    specs: list[SLOSpec] = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        for op in ("<=", ">="):
+            if op in clause:
+                metric, _, value = clause.partition(op)
+                break
+        else:
+            op = ""
+            metric, eq, value = clause.partition("=")
+            if not eq:
+                raise ServiceError(f"malformed SLO clause {clause!r}")
+        try:
+            threshold = float(value)
+        except ValueError:
+            raise ServiceError(
+                f"SLO clause {clause!r}: threshold {value!r} is not a number"
+            ) from None
+        specs.append(SLOSpec(metric=metric.strip(), threshold=threshold, op=op))
+    if not specs:
+        raise ServiceError(f"no SLO objectives in {text!r}")
+    return specs
+
+
+def evaluate_slo(report: LoadReport, specs: list[SLOSpec]) -> SLOReport:
+    """Evaluate every objective against one load report."""
+    latency = report.latency()
+    offered = report.completed + report.shed_total
+    server_completed = report.server_stats.get("ops_completed", 0) or 0
+    server_failed = report.server_stats.get("ops_failed", 0) or 0
+    observed_by_metric = {
+        "p50": latency.p50,
+        "p95": latency.p95,
+        "p99": latency.p99,
+        "mean": latency.mean,
+        "shed_rate": report.shed_total / offered if offered else 0.0,
+        "retry_rate": report.retry_total / offered if offered else 0.0,
+        "error_rate": (
+            server_failed / (server_completed + server_failed)
+            if server_completed + server_failed
+            else 0.0
+        ),
+        "throughput": report.throughput,
+    }
+    results = []
+    for spec in specs:
+        observed = observed_by_metric[spec.metric]
+        passed = (
+            observed <= spec.threshold
+            if spec.direction == "<="
+            else observed >= spec.threshold
+        )
+        results.append(
+            SLOResult(
+                metric=spec.metric,
+                direction=spec.direction,
+                threshold=spec.threshold,
+                observed=observed,
+                passed=passed,
+            )
+        )
+    return SLOReport(results=results)
 
 
 def _client_ops(spec: LoadSpec, client_idx: int) -> list[tuple[str, int | None]]:

@@ -50,7 +50,13 @@ from .client import QueueClient
 from .federation import merge_shard_histories, namespace_node, namespace_uid
 from .partition import PartitionMap
 from .server import RESPONSE_MAX_FRAME
-from .wire import DEFAULT_MAX_FRAME, read_frame, write_frame
+from .telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    TelemetrySampler,
+    merge_snapshots,
+)
+from .wire import DEFAULT_MAX_FRAME, WireStats, read_frame, write_frame
 
 __all__ = ["QueueRouter", "TOPOLOGIES", "default_band_range"]
 
@@ -108,6 +114,10 @@ class QueueRouter:
         seed: int = 0,
         timeout: float = 30.0,
         max_frame: int = DEFAULT_MAX_FRAME,
+        telemetry: bool = True,
+        metrics_interval: float = 1.0,
+        metrics_capacity: int = 512,
+        controller=None,
     ):
         missing = set(pmap.shard_ids) - set(endpoints)
         if missing:
@@ -151,6 +161,90 @@ class QueueRouter:
         self.ops_failed = 0
         self.ops_unavailable = 0
         self.rebalances = 0
+        #: the telemetry plane: registry + downstream wire tallies + sampler
+        self.controller = controller
+        self.metrics = MetricsRegistry() if telemetry else NullRegistry()
+        self.wire_stats = WireStats()
+        self.sampler: TelemetrySampler | None = (
+            TelemetrySampler(
+                self.metrics, interval=metrics_interval, capacity=metrics_capacity
+            )
+            if telemetry and metrics_interval > 0
+            else None
+        )
+        self._sampler_task: asyncio.Task | None = None
+        self._watches: dict[tuple[int, Any], asyncio.Task] = {}
+        self._init_instruments()
+
+    def _init_instruments(self) -> None:
+        """Pre-fetch hot-path metric objects; register the scrape hook."""
+        reg = self.metrics
+        self._m_lat = {
+            "insert": reg.histogram("router_op_latency_seconds", kind="insert"),
+            "deletemin": reg.histogram("router_op_latency_seconds", kind="deletemin"),
+        }
+        self._m_ok = {
+            kind: reg.counter("router_ops_total", kind=kind, outcome="ok")
+            for kind in ("insert", "deletemin")
+        }
+        self._m_err = {
+            kind: reg.counter("router_ops_total", kind=kind, outcome="error")
+            for kind in ("insert", "deletemin")
+        }
+        self._m_unavailable = reg.counter("router_unavailable_total")
+        self._m_shard_deaths = reg.counter("router_shard_deaths_total")
+        self._m_upstream_sheds = reg.counter("router_upstream_sheds_total")
+        self._m_barrier_wait = reg.histogram("router_barrier_wait_seconds")
+        self._m_rebalances = reg.counter("router_rebalances_total")
+        self._m_rebalance_moved = reg.counter("router_rebalance_moved_total")
+        self._m_scrapes = reg.counter("router_metrics_scrapes_total")
+        #: per-shard upstream round-trip histograms, created on demand
+        #: (the shard roster changes at rebalance)
+        self._m_upstream: dict[int, Any] = {}
+        reg.add_hook(self._refresh_gauges)
+
+    def _upstream_hist(self, sid: int):
+        hist = self._m_upstream.get(sid)
+        if hist is None:
+            hist = self._m_upstream[sid] = self.metrics.histogram(
+                "router_upstream_latency_seconds", shard=sid
+            )
+        return hist
+
+    def _refresh_gauges(self) -> None:
+        reg = self.metrics
+        reg.gauge("router_active_ops").set(self._active)
+        reg.gauge("router_sessions").set(len(self._sessions))
+        reg.gauge("router_shards_live").set(
+            len(self.pmap.shard_ids) - len(self._dead)
+        )
+        reg.gauge("router_shards_dead").set(len(self._dead))
+        reg.gauge("router_epoch").set(self.pmap.epoch)
+        reg.gauge("router_uptime_seconds").set(
+            time.monotonic() - self._started_at if self._started_at else 0.0
+        )
+        for sid, count in self._counts.items():
+            reg.gauge("router_count_estimate", shard=sid).set(count)
+        # Prefixed ``router_`` so federated merges never sum the router's
+        # front-door admission ledger into the shards' ``admission_*`` books.
+        snap = self.admission.snapshot()
+        reg.gauge("router_admission_window").set(snap["window"])
+        reg.gauge("router_admission_in_flight").set(snap["in_flight"])
+        reg.counter("router_admission_shed_total").value = snap["shed"]
+        reg.counter("router_admission_admitted_total").value = snap["admitted"]
+        ws = self.wire_stats
+        reg.counter("router_frames_in_total").value = ws.frames_in
+        reg.counter("router_bytes_in_total").value = ws.bytes_in
+        reg.counter("router_frames_out_total").value = ws.frames_out
+        reg.counter("router_bytes_out_total").value = ws.bytes_out
+        reg.counter("router_framing_errors_total").value = ws.framing_errors
+        reg.counter("router_oversize_errors_total").value = ws.oversize_errors
+        if self.controller is not None:
+            for name, value in self.controller.telemetry().items():
+                if name.endswith("_total"):
+                    reg.counter(f"controller_{name}").value = value
+                else:
+                    reg.gauge(f"controller_{name}").set(value)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -164,6 +258,10 @@ class QueueRouter:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if self.sampler is not None:
+            self._sampler_task = asyncio.create_task(
+                self.sampler.run(), name="router-telemetry-sampler"
+            )
 
     async def _connect_upstream(self, upstream: _Upstream) -> None:
         client = await QueueClient.connect(
@@ -191,6 +289,16 @@ class QueueRouter:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        for task in list(self._watches.values()):
+            task.cancel()
+        self._watches.clear()
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -234,6 +342,7 @@ class QueueRouter:
         if shard_id not in self._dead:
             self._dead.add(shard_id)
             self.ops_unavailable += 1
+            self._m_shard_deaths.inc()
 
     def _live_bands(self):
         return [b for b in self.pmap.bands if b.shard_id not in self._dead]
@@ -300,14 +409,20 @@ class QueueRouter:
                     sid, {"op": "insert", "priority": priority, "value": value}
                 )
                 self._counts[sid] += 1
-                response = await self._await_upstream(sid, future)
+                try:
+                    response = await self._await_upstream(sid, future)
+                except UnavailableError:
+                    self._counts[sid] -= 1  # reported unavailable, not stored
+                    raise
                 if response.get("status") == "retry_after":
                     self._counts[sid] -= 1  # the shard shed it; nothing landed
+                    self._m_upstream_sheds.inc()
                     await asyncio.sleep(float(response.get("retry_after", 0.02)))
                     continue
                 if response.get("status") != "ok":
                     self._counts[sid] -= 1
                     self.ops_failed += 1
+                    self._m_err["insert"].inc()
                     return _error(rid, response.get("error", "shard error"))
                 break
         except UnavailableError as exc:
@@ -315,6 +430,8 @@ class QueueRouter:
         finally:
             self.admission.release(session.session_id, sid)
         self.ops_completed += 1
+        self._m_ok["insert"].inc()
+        self._m_lat["insert"].observe(time.monotonic() - started)
         node, seq = response["op"]
         return {
             "rid": rid,
@@ -346,24 +463,33 @@ class QueueRouter:
                     future = self._post(sid, {"op": "deletemin"})
                     if predicted:
                         self._counts[sid] -= 1
-                    response = await self._await_upstream(sid, future)
+                    try:
+                        response = await self._await_upstream(sid, future)
+                    except UnavailableError:
+                        if predicted:
+                            self._counts[sid] += 1  # outcome unknown; keep estimate
+                        raise
                 finally:
                     self.admission.release(session.session_id, sid)
                 if response.get("status") == "retry_after":
                     if predicted:
                         self._counts[sid] += 1  # nothing ran; restore
+                    self._m_upstream_sheds.inc()
                     await asyncio.sleep(float(response.get("retry_after", 0.02)))
                     continue
                 if response.get("status") != "ok":
                     if predicted:
                         self._counts[sid] += 1
                     self.ops_failed += 1
+                    self._m_err["deletemin"].inc()
                     return _error(rid, response.get("error", "shard error"))
                 self._settle_delete_counts(sid, predicted, response)
                 break
         except UnavailableError as exc:
             return self._unavailable(rid, sid, exc)
         self.ops_completed += 1
+        self._m_ok["deletemin"].inc()
+        self._m_lat["deletemin"].observe(time.monotonic() - started)
         node, seq = response["op"]
         frame: dict[str, Any] = {
             "rid": rid,
@@ -393,15 +519,18 @@ class QueueRouter:
             self._counts[sid] -= 1  # surprise match on a ⊥ probe
 
     async def _await_upstream(self, sid: int, future: asyncio.Future) -> dict:
+        started = time.monotonic()
         try:
             response = await asyncio.wait_for(future, self.timeout)
         except (ConnectionError, ServiceError, WireError, asyncio.TimeoutError) as exc:
             self._mark_dead(sid)
             raise UnavailableError(f"shard {sid} lost mid-operation: {exc}") from exc
+        self._upstream_hist(sid).observe(time.monotonic() - started)
         return response
 
     def _unavailable(self, rid, sid, exc: Exception) -> dict:
         self.ops_unavailable += 1
+        self._m_unavailable.inc()
         return {
             "rid": rid,
             "status": "unavailable",
@@ -416,8 +545,10 @@ class QueueRouter:
         """Close the gate, drain in-flight ops, run ``fn``, reopen."""
         async with self._barrier_lock:
             self._gate_open.clear()
+            gated_at = time.monotonic()
             try:
                 await self._idle.wait()
+                self._m_barrier_wait.observe(time.monotonic() - gated_at)
                 return await fn()
             finally:
                 self._gate_open.set()
@@ -581,6 +712,8 @@ class QueueRouter:
                 client = self._live_upstream(sid)
                 self._counts[sid] = await self._shard_barrier_call(client.census)
             self.rebalances += 1
+            self._m_rebalances.inc()
+            self._m_rebalance_moved.inc(len(moved))
             return {
                 "epoch": new_map.epoch,
                 "moved": len(moved),
@@ -604,7 +737,9 @@ class QueueRouter:
         try:
             while True:
                 try:
-                    request = await read_frame(reader, max_frame=self.max_frame)
+                    request = await read_frame(
+                        reader, max_frame=self.max_frame, stats=self.wire_stats
+                    )
                 except WireError as exc:
                     await self._send_safe(session, _error(None, str(exc)))
                     break
@@ -616,6 +751,8 @@ class QueueRouter:
             session.closed = True
             self.admission.unregister(session.session_id)
             self._sessions.pop(session.session_id, None)
+            for key in [k for k in self._watches if k[0] == session.session_id]:
+                self._watches.pop(key).cancel()
             writer.close()
 
     async def _dispatch(self, session: _RouterSession, request: dict) -> bool:
@@ -642,6 +779,25 @@ class QueueRouter:
             return True
         if op == "stats":
             await self._send_safe(session, await self._stats_frame(rid))
+            return True
+        if op == "metrics":
+            # Federated scrape: runs at a barrier (like history/census) so
+            # per-shard snapshots are taken at drained points and the
+            # merged counters equal the sum of the per-shard scrapes.
+            task = asyncio.get_running_loop().create_task(
+                self._serve_metrics(session, rid, request)
+            )
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
+            return True
+        if op == "watch":
+            self._start_watch(session, rid, request)
+            return True
+        if op == "unwatch":
+            stopped = self._stop_watch(session, request.get("watch_rid", rid))
+            await self._send_safe(
+                session, {"rid": rid, "status": "ok", "stopped": stopped}
+            )
             return True
         if op == "close":
             await self._send_safe(session, {"rid": rid, "status": "ok", "bye": True})
@@ -684,6 +840,136 @@ class QueueRouter:
             frame = _error(rid, f"{type(exc).__name__}: {exc}")
         await self._send_safe(session, frame)
 
+    # -- federated telemetry -----------------------------------------------
+
+    async def _serve_metrics(
+        self, session: _RouterSession, rid, request: dict
+    ) -> None:
+        try:
+            if request.get("barrier", True):
+                frame = await self._with_barrier(lambda: self._merged_metrics(rid, request))
+            else:
+                frame = await self._merged_metrics(rid, request)
+        except Exception as exc:  # noqa: BLE001 - a scrape must never error
+            # The acceptance contract: scraping during chaos returns the
+            # survivors' metrics, not an error frame.  Whatever went wrong,
+            # answer with what the router itself knows.
+            frame = {
+                "rid": rid,
+                "status": "ok",
+                "metrics": self.metrics.snapshot(),
+                "federation": dict(
+                    self._federation_info(), scrape_error=str(exc)
+                ),
+            }
+        await self._send_safe(session, frame)
+
+    async def _merged_metrics(self, rid, request: dict) -> dict:
+        """One federated scrape: per-shard snapshots + the router's own.
+
+        Dead or dying shards never fail the scrape — each is marked in
+        ``federation.dead`` and the merge runs over the survivors.  The
+        router's own snapshot merges in under source ``"router"``, so the
+        aggregate view covers both planes (shard-side op service and
+        router-side federation overhead).
+        """
+        self._m_scrapes.inc()
+        per_shard: dict[int, dict] = {}
+        for band in self._live_bands():
+            sid = band.shard_id
+            try:
+                client = self._live_upstream(sid)
+                response = await self._shard_barrier_call(client.metrics)
+            except UnavailableError:
+                self._mark_dead(sid)
+                continue
+            per_shard[sid] = response["metrics"]
+        sources: dict[Any, dict] = {str(s): snap for s, snap in per_shard.items()}
+        sources["router"] = self.metrics.snapshot()
+        frame: dict[str, Any] = {
+            "rid": rid,
+            "status": "ok",
+            "proto": self.proto,
+            "metrics": merge_snapshots(sources),
+            "federation": dict(
+                self._federation_info(), scraped=sorted(per_shard)
+            ),
+        }
+        if request.get("per_shard"):
+            frame["per_shard"] = {str(s): snap for s, snap in per_shard.items()}
+        if request.get("series") and self.sampler is not None:
+            frame["series"] = self.sampler.series()
+        return frame
+
+    def _start_watch(self, session: _RouterSession, rid, request: dict) -> None:
+        key = (session.session_id, rid)
+        if key in self._watches:
+            self._send_task(session, _error(rid, f"watch {rid!r} already active"))
+            return
+        interval = request.get("interval", 1.0)
+        count = request.get("count")
+        if not isinstance(interval, (int, float)) or interval <= 0:
+            self._send_task(session, _error(rid, "watch needs a positive 'interval'"))
+            return
+        if count is not None and (
+            not isinstance(count, int) or isinstance(count, bool) or count < 1
+        ):
+            self._send_task(
+                session, _error(rid, "watch 'count' must be a positive int")
+            )
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._watch_loop(session, rid, float(interval), count),
+            name=f"router-watch-{session.session_id}-{rid}",
+        )
+        self._watches[key] = task
+        task.add_done_callback(lambda _t, _k=key: self._watches.pop(_k, None))
+
+    def _stop_watch(self, session: _RouterSession, rid) -> bool:
+        task = self._watches.pop((session.session_id, rid), None)
+        if task is None:
+            return False
+        task.cancel()
+        return True
+
+    def _send_task(self, session: _RouterSession, frame: dict) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._send_safe(session, frame)
+        )
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    async def _watch_loop(
+        self, session: _RouterSession, rid, interval: float, count: int | None
+    ) -> None:
+        """Stream federated scrapes without barriers: each tick is a
+        best-effort snapshot (no gate close — a monitor must not stall the
+        op path), so counters may be mid-flight by a frame's worth."""
+        sent = 0
+        try:
+            while count is None or sent < count:
+                frame = await self._merged_metrics(rid, {"barrier": False})
+                frame["watch"] = sent
+                frame["t"] = time.time()
+                await self._send_safe(session, frame)
+                sent += 1
+                if session.closed:
+                    return
+                if count is not None and sent >= count:
+                    break
+                await asyncio.sleep(interval)
+            await self._send_safe(
+                session,
+                {"rid": rid, "status": "ok", "watch_done": True, "sent": sent},
+            )
+        except asyncio.CancelledError:
+            if not session.closed:
+                self._send_task(
+                    session,
+                    {"rid": rid, "status": "ok", "watch_done": True, "sent": sent},
+                )
+            raise
+
     def _federation_info(self) -> dict:
         return {
             "topology": "federation",
@@ -695,26 +981,50 @@ class QueueRouter:
         }
 
     async def _stats_frame(self, rid) -> dict:
+        """Router stats with the *full* per-shard breakdown.
+
+        Every upstream stat the shard reports rides along per shard —
+        op counters, failure counters, pending depth, simulated rounds
+        and time, the shard's own admission snapshot and wire tallies —
+        plus the router-side view (band, count estimate, upstream p99).
+        Dead shards report ``alive: False`` with their last known band
+        and count estimate rather than vanishing from the map.
+        """
         per_shard: dict[str, Any] = {}
         for band in self.pmap.bands:
             sid = band.shard_id
             if sid in self._dead:
-                per_shard[str(sid)] = {"alive": False}
+                per_shard[str(sid)] = self._dead_shard_stats(sid, band)
                 continue
             try:
                 client = self._live_upstream(sid)
                 upstream_stats = await self._shard_barrier_call(client.stats)
             except UnavailableError:
                 self._mark_dead(sid)
-                per_shard[str(sid)] = {"alive": False}
+                per_shard[str(sid)] = self._dead_shard_stats(sid, band)
                 continue
+            hist = self._upstream_hist(sid) if self.metrics.enabled else None
             per_shard[str(sid)] = {
                 "alive": True,
                 "band": band.describe(),
                 "count_estimate": self._counts.get(sid, 0),
                 "ops_completed": upstream_stats.get("ops_completed"),
+                "ops_failed": upstream_stats.get("ops_failed"),
                 "pending": upstream_stats.get("pending"),
                 "history_ops": upstream_stats.get("history_ops"),
+                "rounds": upstream_stats.get("rounds"),
+                "sim_time": upstream_stats.get("sim_time"),
+                "uptime": upstream_stats.get("uptime"),
+                "n_nodes": upstream_stats.get("n_nodes"),
+                "admission": upstream_stats.get("admission"),
+                "wire": upstream_stats.get("wire"),
+                "upstream_latency": {
+                    "count": hist.count,
+                    "p50": hist.quantile(0.5),
+                    "p99": hist.quantile(0.99),
+                }
+                if hist is not None and hist.count
+                else None,
             }
         return {
             "rid": rid,
@@ -725,9 +1035,24 @@ class QueueRouter:
             "ops_completed": self.ops_completed,
             "ops_failed": self.ops_failed,
             "ops_unavailable": self.ops_unavailable,
+            "rebalances": self.rebalances,
             "pending": self._active,
             "admission": self.admission.snapshot(),
+            "wire": self.wire_stats.to_dict(),
             "federation": dict(self._federation_info(), per_shard=per_shard),
+        }
+
+    def _dead_shard_stats(self, sid: int, band) -> dict:
+        """What the router still knows about a shard that stopped talking."""
+        return {
+            "alive": False,
+            "band": band.describe(),
+            "count_estimate": self._counts.get(sid, 0),
+            "endpoint": (
+                [self._upstreams[sid].host, self._upstreams[sid].port]
+                if sid in self._upstreams
+                else None
+            ),
         }
 
     # -- frame output ------------------------------------------------------
@@ -738,7 +1063,8 @@ class QueueRouter:
         try:
             async with session.send_lock:
                 await write_frame(
-                    session.writer, frame, max_frame=RESPONSE_MAX_FRAME
+                    session.writer, frame, max_frame=RESPONSE_MAX_FRAME,
+                    stats=self.wire_stats,
                 )
         except (ConnectionError, WireError):
             session.closed = True

@@ -48,7 +48,8 @@ from ..seap import SeapHeap
 from ..semantics.history import DELETE, INSERT
 from ..skeap import SkeapHeap
 from .admission import AdmissionController
-from .wire import DEFAULT_MAX_FRAME, read_frame, write_frame
+from .telemetry import MetricsRegistry, NullRegistry, TelemetrySampler
+from .wire import DEFAULT_MAX_FRAME, WireStats, read_frame, write_frame
 
 __all__ = ["QueueService", "RESPONSE_MAX_FRAME", "PROTOS"]
 
@@ -100,6 +101,7 @@ class _Barrier:
     rid: Any
     op: str
     payload: dict
+    enqueued_at: float = 0.0
 
 
 class QueueService:
@@ -122,6 +124,9 @@ class QueueService:
         idle_interval: float = 0.005,
         max_frame: int = DEFAULT_MAX_FRAME,
         heap=None,
+        telemetry: bool = True,
+        metrics_interval: float = 1.0,
+        metrics_capacity: int = 512,
     ):
         if heap is not None:
             self.heap = heap
@@ -155,6 +160,81 @@ class QueueService:
         #: observability counters
         self.ops_completed = 0
         self.ops_failed = 0
+        #: the telemetry plane: registry + endpoint wire tallies + sampler
+        self.metrics = MetricsRegistry() if telemetry else NullRegistry()
+        self.wire_stats = WireStats()
+        self.sampler: TelemetrySampler | None = (
+            TelemetrySampler(
+                self.metrics, interval=metrics_interval, capacity=metrics_capacity
+            )
+            if telemetry and metrics_interval > 0
+            else None
+        )
+        self._sampler_task: asyncio.Task | None = None
+        #: live ``watch`` subscriptions, keyed (session_id, rid)
+        self._watches: dict[tuple[int, Any], asyncio.Task] = {}
+        self._init_instruments()
+
+    def _init_instruments(self) -> None:
+        """Pre-fetch every hot-path metric object; register scrape hooks.
+
+        Steady-state traffic mutates these cached objects directly — no
+        registry lookup, no key formatting — which is what keeps the
+        telemetry overhead contract (<5% on loadtest p99) honest.
+        """
+        reg = self.metrics
+        self._m_lat = {
+            "insert": reg.histogram("service_op_latency_seconds", kind="insert"),
+            "deletemin": reg.histogram("service_op_latency_seconds", kind="deletemin"),
+        }
+        self._m_ok = {
+            kind: reg.counter("service_ops_total", kind=kind, outcome="ok")
+            for kind in ("insert", "deletemin")
+        }
+        self._m_err = {
+            kind: reg.counter("service_ops_total", kind=kind, outcome="error")
+            for kind in ("insert", "deletemin")
+        }
+        self._m_shed = reg.counter("service_sheds_total")
+        self._m_retry_after = reg.histogram("service_retry_after_seconds")
+        self._m_pump_calls = reg.counter("service_pump_calls_total")
+        self._m_pump_rounds = reg.counter("service_pump_rounds_total")
+        self._m_pump_budget = reg.counter("service_pump_budget_total")
+        self._m_barrier_wait = reg.histogram("service_barrier_wait_seconds")
+        self._m_connections = reg.counter("service_connections_total")
+        self._m_scrapes = reg.counter("service_metrics_scrapes_total")
+        reg.add_hook(self._refresh_gauges)
+
+    def _refresh_gauges(self) -> None:
+        """Scrape-time gauges/counters whose truth lives outside the registry."""
+        reg = self.metrics
+        reg.gauge("service_pending_ops").set(len(self._pending))
+        reg.gauge("service_barriers_pending").set(len(self._barriers))
+        reg.gauge("service_sessions").set(len(self._sessions))
+        reg.gauge("service_uptime_seconds").set(
+            time.monotonic() - self._started_at if self._started_at else 0.0
+        )
+        budget = self._m_pump_budget.value
+        reg.gauge("service_pump_utilization").set(
+            self._m_pump_rounds.value / budget if budget else 0.0
+        )
+        snap = self.admission.snapshot()
+        reg.gauge("admission_window").set(snap["window"])
+        reg.gauge("admission_in_flight").set(snap["in_flight"])
+        reg.gauge("admission_fair_share").set(snap["fair_share"])
+        reg.gauge("admission_occupancy").set(
+            snap["in_flight"] / max(1, snap["window"])
+        )
+        reg.counter("admission_admitted_total").value = snap["admitted"]
+        reg.counter("admission_shed_total").value = snap["shed"]
+        reg.counter("admission_released_total").value = snap["released"]
+        ws = self.wire_stats
+        reg.counter("service_frames_in_total").value = ws.frames_in
+        reg.counter("service_bytes_in_total").value = ws.bytes_in
+        reg.counter("service_frames_out_total").value = ws.frames_out
+        reg.counter("service_bytes_out_total").value = ws.bytes_out
+        reg.counter("service_framing_errors_total").value = ws.framing_errors
+        reg.counter("service_oversize_errors_total").value = ws.oversize_errors
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -167,6 +247,10 @@ class QueueService:
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
         self._pump_task = asyncio.create_task(self._pump_loop(), name="queue-pump")
+        if self.sampler is not None:
+            self._sampler_task = asyncio.create_task(
+                self.sampler.run(), name="telemetry-sampler"
+            )
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -176,6 +260,16 @@ class QueueService:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        for task in list(self._watches.values()):
+            task.cancel()
+        self._watches.clear()
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
         if self._pump_task is not None:
             self._pump_task.cancel()
             try:
@@ -214,7 +308,10 @@ class QueueService:
         runner = self.heap.runner
         while True:
             if self._pending or self._barriers:
-                runner.pump(self.pump_budget)
+                rounds = runner.pump(self.pump_budget)
+                self._m_pump_calls.inc()
+                self._m_pump_rounds.inc(rounds)
+                self._m_pump_budget.inc(self.pump_budget)
                 self._resolve_landed()
                 await asyncio.sleep(0)
             elif runner.is_quiescent():
@@ -226,7 +323,10 @@ class QueueService:
                 # need to tick, and a big idle pump is CPU stolen from
                 # whoever shares the machine — e.g. the sibling shards of
                 # a federation, each of which is idle most of the time.
-                runner.pump(self.idle_pump_budget)
+                rounds = runner.pump(self.idle_pump_budget)
+                self._m_pump_calls.inc()
+                self._m_pump_rounds.inc(rounds)
+                self._m_pump_budget.inc(self.idle_pump_budget)
                 self._resolve_landed()
                 # Throttled, but *interruptible*: an op submitted during
                 # the idle wait starts pumping immediately instead of
@@ -250,17 +350,23 @@ class QueueService:
             landed = [
                 (op_id, op) for op_id, op in self._pending.items() if op.handle.done
             ]
+            now = time.monotonic()
             for op_id, op in landed:
                 del self._pending[op_id]
                 self.admission.release(op.session.session_id)
                 self.ops_completed += 1
+                kind = "insert" if op.handle.kind == INSERT else "deletemin"
+                self._m_lat[kind].observe(now - op.submitted_at)
+                self._m_ok[kind].inc()
                 self._send_soon(op.session, self._completion_frame(op_id, op))
             # Keep the heap's own outstanding list pruned (it tracks every
             # submitted handle; the service resolves them out of band).
             self.heap.outstanding()
         if self._barriers and not self._pending:
             barriers, self._barriers = self._barriers, []
+            now = time.monotonic()
             for barrier in barriers:
+                self._m_barrier_wait.observe(now - barrier.enqueued_at)
                 self._send_soon(barrier.session, self._serve_barrier(barrier))
 
     def _completion_frame(self, op_id, op: _PendingOp) -> dict:
@@ -365,10 +471,13 @@ class QueueService:
         session.node = session.session_id % self.heap.n_nodes
         self.admission.register(session.session_id)
         self._sessions[session.session_id] = session
+        self._m_connections.inc()
         try:
             while True:
                 try:
-                    request = await read_frame(reader, max_frame=self.max_frame)
+                    request = await read_frame(
+                        reader, max_frame=self.max_frame, stats=self.wire_stats
+                    )
                 except WireError as exc:
                     # A per-connection framing error: tell the peer if the
                     # pipe still works, then drop only this connection.
@@ -383,6 +492,7 @@ class QueueService:
             self.admission.unregister(session.session_id)
             self._sessions.pop(session.session_id, None)
             self._drop_session_state(session)
+            self._cancel_watches(session)
             writer.close()
 
     def _drop_session_state(self, session: _Session) -> None:
@@ -423,12 +533,27 @@ class QueueService:
         if op == "stats":
             await self._send_safe(session, self._stats_frame(rid))
             return True
+        if op == "metrics":
+            await self._send_safe(session, self._metrics_frame(rid, request))
+            return True
+        if op == "watch":
+            self._start_watch(session, rid, request)
+            return True
+        if op == "unwatch":
+            stopped = self._stop_watch(session, request.get("watch_rid", rid))
+            await self._send_safe(
+                session, {"rid": rid, "status": "ok", "stopped": stopped}
+            )
+            return True
         if op == "close":
             await self._send_safe(session, {"rid": rid, "status": "ok", "bye": True})
             return False
         if op in ("history", "kselect", "census"):
             self._barriers.append(
-                _Barrier(session=session, rid=rid, op=op, payload=request)
+                _Barrier(
+                    session=session, rid=rid, op=op, payload=request,
+                    enqueued_at=time.monotonic(),
+                )
             )
             self._work.set()
             return True
@@ -441,6 +566,8 @@ class QueueService:
     async def _submit(self, session: _Session, op: str, rid, request: dict) -> None:
         decision = self.admission.try_admit(session.session_id)
         if not decision.admitted:
+            self._m_shed.inc()
+            self._m_retry_after.observe(decision.retry_after)
             await self._send_safe(
                 session,
                 {
@@ -464,6 +591,7 @@ class QueueService:
         except Exception as exc:  # noqa: BLE001 - bad request, slot returned
             self.admission.release(session.session_id)
             self.ops_failed += 1
+            self._m_err[op].inc()
             await self._send_safe(session, _error(rid, f"{type(exc).__name__}: {exc}"))
             return
         self._pending[handle.op_id] = _PendingOp(
@@ -490,7 +618,104 @@ class QueueService:
             "sim_time": runner.now,
             "admission": self.admission.snapshot(),
             "history_ops": len(self.heap.history),
+            "wire": self.wire_stats.to_dict(),
         }
+
+    # -- telemetry scrape + watch stream -----------------------------------
+
+    def _metrics_frame(self, rid, request: dict | None = None) -> dict:
+        """One telemetry scrape: the full registry snapshot, wire form.
+
+        With ``series: true`` the sampler's ring buffer rides along —
+        the time-series consumers (JSONL export, ``harness top``
+        sparklines) read history without keeping their own state.
+        """
+        self._m_scrapes.inc()
+        frame: dict[str, Any] = {
+            "rid": rid,
+            "status": "ok",
+            "proto": self.proto,
+            "metrics": self.metrics.snapshot(),
+        }
+        if request and request.get("series") and self.sampler is not None:
+            frame["series"] = self.sampler.series()
+        return frame
+
+    def _start_watch(self, session: _Session, rid, request: dict) -> None:
+        """Begin a streaming subscription: one snapshot frame per interval.
+
+        Every frame shares the subscribing request's ``rid`` and carries a
+        ``watch`` sequence number; the stream ends with a ``watch_done``
+        frame when ``count`` is exhausted, ``unwatch`` arrives, or the
+        connection drops.
+        """
+        key = (session.session_id, rid)
+        if key in self._watches:
+            self._send_soon(session, _error(rid, f"watch {rid!r} already active"))
+            return
+        interval = request.get("interval", 1.0)
+        count = request.get("count")
+        if not isinstance(interval, (int, float)) or interval <= 0:
+            self._send_soon(session, _error(rid, "watch needs a positive 'interval'"))
+            return
+        if count is not None and (
+            not isinstance(count, int) or isinstance(count, bool) or count < 1
+        ):
+            self._send_soon(session, _error(rid, "watch 'count' must be a positive int"))
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._watch_loop(session, rid, float(interval), count),
+            name=f"watch-{session.session_id}-{rid}",
+        )
+        self._watches[key] = task
+        task.add_done_callback(lambda _t, _k=key: self._watches.pop(_k, None))
+
+    def _stop_watch(self, session: _Session, rid) -> bool:
+        task = self._watches.pop((session.session_id, rid), None)
+        if task is None:
+            return False
+        task.cancel()
+        return True
+
+    def _cancel_watches(self, session: _Session) -> None:
+        for key in [k for k in self._watches if k[0] == session.session_id]:
+            self._watches.pop(key).cancel()
+
+    async def _watch_loop(
+        self, session: _Session, rid, interval: float, count: int | None
+    ) -> None:
+        sent = 0
+        try:
+            while count is None or sent < count:
+                self._m_scrapes.inc()
+                await self._send_safe(
+                    session,
+                    {
+                        "rid": rid,
+                        "status": "ok",
+                        "watch": sent,
+                        "t": time.time(),
+                        "metrics": self.metrics.snapshot(),
+                    },
+                )
+                sent += 1
+                if session.closed:
+                    return
+                if count is not None and sent >= count:
+                    break
+                await asyncio.sleep(interval)
+            await self._send_safe(
+                session,
+                {"rid": rid, "status": "ok", "watch_done": True, "sent": sent},
+            )
+        except asyncio.CancelledError:
+            # unwatch / disconnect: best-effort terminal frame, then out.
+            if not session.closed:
+                self._send_soon(
+                    session,
+                    {"rid": rid, "status": "ok", "watch_done": True, "sent": sent},
+                )
+            raise
 
     # -- frame output ------------------------------------------------------
 
@@ -508,7 +733,8 @@ class QueueService:
         try:
             async with session.send_lock:
                 await write_frame(
-                    session.writer, frame, max_frame=RESPONSE_MAX_FRAME
+                    session.writer, frame, max_frame=RESPONSE_MAX_FRAME,
+                    stats=self.wire_stats,
                 )
         except (ConnectionError, WireError):
             session.closed = True

@@ -1,0 +1,484 @@
+"""Process-local metrics for the live service: counters, gauges, histograms.
+
+The telemetry plane has three constraints the rest of the service stack
+leans on:
+
+* **hot-path cost is one attribute increment** — a :class:`Counter` is a
+  bare ``__slots__`` int wrapper, a :class:`Histogram` observation is one
+  ``int.bit_length`` bucket index plus a dict increment, and the service
+  caches the metric objects it touches per operation so steady-state
+  traffic never performs a registry lookup;
+* **everything is exactly mergeable** — a :class:`Histogram` buckets on
+  integer powers of ``growth`` above ``base``, so two snapshots taken on
+  different shards bucket identical values identically and
+  :func:`merge_snapshots` can sum them *bucket-wise* with no loss; the
+  federation router exploits this to answer one ``metrics`` scrape for N
+  shard processes (counters summed, histograms merged, gauges re-labeled
+  per shard);
+* **the wire form is plain JSON** — :meth:`MetricsRegistry.snapshot`
+  returns a dict that travels through the existing frame codec unchanged
+  and round-trips through :meth:`Histogram.from_jsonable` for client-side
+  quantile reads (``harness top`` renders p50/p99 from the wire form).
+
+Keys follow the Prometheus convention ``name{label=value,...}`` with
+labels sorted, so the exporter in :mod:`repro.service.export` is a
+straight transliteration.
+
+Nothing in the simulator imports this module; like the rest of
+``repro.service`` it is strictly additive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from ..errors import ServiceError
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "TelemetrySampler",
+    "metric_key",
+    "parse_metric_key",
+    "merge_snapshots",
+    "validate_snapshot",
+]
+
+#: Version stamp on every snapshot wire form (scrape consumers check it).
+SNAPSHOT_VERSION = 1
+
+#: Histogram defaults: 1 µs base, powers of two — 64 buckets span ~9 days.
+DEFAULT_BASE = 1e-6
+DEFAULT_GROWTH = 2.0
+
+
+def metric_key(name: str, labels: dict[str, Any] | None = None) -> str:
+    """Canonical key: ``name`` or ``name{a=1,b=x}`` with labels sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`metric_key`; label values come back as strings."""
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    if not rest.endswith("}"):
+        raise ServiceError(f"malformed metric key {key!r}")
+    labels: dict[str, str] = {}
+    body = rest[:-1]
+    if body:
+        for part in body.split(","):
+            label, eq, value = part.partition("=")
+            if not eq:
+                raise ServiceError(f"malformed label {part!r} in key {key!r}")
+            labels[label] = value
+    return name, labels
+
+
+class Counter:
+    """A monotonic counter.  ``inc`` is the entire hot path."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (set/inc/dec; not monotonic)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Log-bucketed histogram with an exactly mergeable wire form.
+
+    Bucket ``i`` holds values in ``(base * growth**(i-1), base * growth**i]``;
+    values at or below ``base`` land in bucket 0.  Because bucket edges
+    depend only on ``(base, growth)``, two histograms with the same shape
+    parameters bucket identical observations identically — so merging is
+    a per-index integer sum, never a re-binning, and federated quantiles
+    are exactly the quantiles of the pooled buckets.
+
+    For the default ``growth=2`` shape the bucket index is computed with
+    integer ``bit_length`` arithmetic (no ``log`` call on the hot path).
+    """
+
+    __slots__ = ("base", "growth", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, base: float = DEFAULT_BASE, growth: float = DEFAULT_GROWTH):
+        if base <= 0 or growth <= 1.0:
+            raise ServiceError(f"histogram needs base > 0, growth > 1; "
+                               f"got base={base}, growth={growth}")
+        self.base = float(base)
+        self.growth = float(growth)
+        self.counts: dict[int, int] = {}
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording ---------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        if value <= self.base:
+            return 0
+        if self.growth == 2.0:
+            # ceil(log2(value/base)) via integer bit twiddling: exact for
+            # the quotient's integer part, cheap, and allocation-free.
+            q = value / self.base
+            n = int(q)
+            if n == q and n & (n - 1) == 0:  # exact power of two
+                return n.bit_length() - 1
+            return n.bit_length()
+        return max(0, math.ceil(math.log(value / self.base, self.growth) - 1e-12))
+
+    def observe(self, value: float) -> None:
+        idx = self.bucket_index(value)
+        self.counts[idx] = self.counts.get(idx, 0) + 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # -- reading -----------------------------------------------------------
+
+    def bucket_upper(self, idx: int) -> float:
+        """The inclusive upper bound of bucket ``idx``."""
+        return self.base * self.growth**idx
+
+    def bucket_lower(self, idx: int) -> float:
+        return 0.0 if idx == 0 else self.base * self.growth ** (idx - 1)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1), linearly interpolated within a bucket.
+
+        Exact to within one bucket's width (a factor of ``growth``); the
+        result is clamped to the recorded ``[min, max]`` so degenerate
+        populations (n=1, all-equal) come back exact.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ServiceError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        cumulative = 0
+        for idx in sorted(self.counts):
+            in_bucket = self.counts[idx]
+            if cumulative + in_bucket >= rank:
+                lo, hi = self.bucket_lower(idx), self.bucket_upper(idx)
+                frac = (rank - cumulative) / in_bucket if in_bucket else 0.0
+                value = lo + (hi - lo) * frac
+                return min(max(value, self.min), self.max)
+            cumulative += in_bucket
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        return {
+            "base": self.base,
+            "growth": self.growth,
+            "counts": {str(i): n for i, n in sorted(self.counts.items())},
+            "sum": self.sum,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "Histogram":
+        hist = cls(base=payload["base"], growth=payload["growth"])
+        hist.counts = {int(i): int(n) for i, n in payload["counts"].items()}
+        hist.sum = float(payload["sum"])
+        hist.count = int(payload["count"])
+        hist.min = payload["min"] if payload.get("min") is not None else math.inf
+        hist.max = payload["max"] if payload.get("max") is not None else -math.inf
+        return hist
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` in, bucket-wise.  Shapes must match exactly."""
+        if (other.base, other.growth) != (self.base, self.growth):
+            raise ServiceError(
+                f"cannot merge histograms of different shape: "
+                f"({self.base}, {self.growth}) vs ({other.base}, {other.growth})"
+            )
+        for idx, n in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + n
+        self.sum += other.sum
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class MetricsRegistry:
+    """All of one process's metrics, keyed Prometheus-style.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: instrumented
+    code fetches its metric objects once (at construction time, for hot
+    paths) and then mutates them directly.  ``add_hook`` registers a
+    callback run at snapshot time — the idiom for gauges whose truth
+    lives elsewhere (pending-op depth, admission occupancy, wire byte
+    tallies): rather than updating a gauge on every change, the hook
+    reads the source once per scrape.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._hists: dict[str, Histogram] = {}
+        self._hooks: list[Callable[[], None]] = []
+
+    #: real registries answer True; the NullRegistry answers False so
+    #: instrumented code can skip non-trivial label bookkeeping entirely.
+    enabled = True
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        base: float = DEFAULT_BASE,
+        growth: float = DEFAULT_GROWTH,
+        **labels: Any,
+    ) -> Histogram:
+        key = metric_key(name, labels)
+        metric = self._hists.get(key)
+        if metric is None:
+            metric = self._hists[key] = Histogram(base=base, growth=growth)
+        return metric
+
+    def add_hook(self, hook: Callable[[], None]) -> None:
+        self._hooks.append(hook)
+
+    def snapshot(self) -> dict:
+        """The full wire form: hooks run first, then everything serializes."""
+        for hook in self._hooks:
+            hook()
+        return {
+            "v": SNAPSHOT_VERSION,
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "hists": {k: h.to_jsonable() for k, h in sorted(self._hists.items())},
+        }
+
+
+class _NullMetric:
+    """Absorbs every mutation; reads as zero."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: Any = 1) -> None:
+        pass
+
+    def dec(self, n: Any = 1) -> None:
+        pass
+
+    def set(self, value: Any) -> None:
+        pass
+
+    def observe(self, value: Any) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The telemetry-off registry: same surface, every operation a no-op.
+
+    ``QueueService(telemetry=False)`` swaps this in, which is how the
+    overhead acceptance comparison (telemetry on vs off on the same seed)
+    gets a genuinely zero-cost baseline without a single ``if`` in the
+    instrumented code paths.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    gauge = counter
+    histogram = counter  # type: ignore[assignment]
+
+    def add_hook(self, hook: Callable[[], None]) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"v": SNAPSHOT_VERSION, "counters": {}, "gauges": {}, "hists": {}}
+
+
+def _relabel(key: str, label: str, value: Any) -> str:
+    name, labels = parse_metric_key(key)
+    labels[label] = value
+    return metric_key(name, labels)
+
+
+def merge_snapshots(
+    sources: dict[Any, dict], *, gauge_label: str = "shard"
+) -> dict:
+    """Federated aggregation over per-source snapshot wire forms.
+
+    Counters with the same key are **summed** (monotonic sums stay
+    monotonic), histograms with the same key are **merged bucket-wise**
+    (exact — see :meth:`Histogram.merge`), and gauges are **re-labeled**
+    with ``gauge_label=<source>`` (a point-in-time value summed across
+    shards is a lie; labeled per shard it is the per-shard truth).
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    hists: dict[str, Histogram] = {}
+    for source in sorted(sources, key=str):
+        snap = sources[source]
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snap.get("gauges", {}).items():
+            gauges[_relabel(key, gauge_label, source)] = value
+        for key, payload in snap.get("hists", {}).items():
+            incoming = Histogram.from_jsonable(payload)
+            existing = hists.get(key)
+            if existing is None:
+                hists[key] = incoming
+            else:
+                existing.merge(incoming)
+    return {
+        "v": SNAPSHOT_VERSION,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "hists": {k: h.to_jsonable() for k, h in sorted(hists.items())},
+    }
+
+
+def validate_snapshot(snapshot: Any) -> list[str]:
+    """Schema-check one snapshot wire form; returns a list of problems."""
+    problems: list[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"snapshot must be a dict, got {type(snapshot).__name__}"]
+    if snapshot.get("v") != SNAPSHOT_VERSION:
+        problems.append(f"unknown snapshot version {snapshot.get('v')!r}")
+    for section in ("counters", "gauges", "hists"):
+        if not isinstance(snapshot.get(section), dict):
+            problems.append(f"missing or non-dict section {section!r}")
+    if problems:
+        return problems
+    for key, value in snapshot["counters"].items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"counter {key!r} must be a non-negative number")
+        _check_key(key, problems)
+    for key, value in snapshot["gauges"].items():
+        if not isinstance(value, (int, float)):
+            problems.append(f"gauge {key!r} must be a number")
+        _check_key(key, problems)
+    for key, payload in snapshot["hists"].items():
+        _check_key(key, problems)
+        if not isinstance(payload, dict):
+            problems.append(f"histogram {key!r} must be a dict")
+            continue
+        missing = {"base", "growth", "counts", "sum", "count"} - set(payload)
+        if missing:
+            problems.append(f"histogram {key!r} missing fields {sorted(missing)}")
+            continue
+        total = sum(payload["counts"].values())
+        if total != payload["count"]:
+            problems.append(
+                f"histogram {key!r}: bucket total {total} != count {payload['count']}"
+            )
+        if payload["count"] > 0 and (
+            payload.get("min") is None or payload.get("max") is None
+        ):
+            problems.append(f"histogram {key!r}: populated but min/max missing")
+    return problems
+
+
+def _check_key(key: Any, problems: list[str]) -> None:
+    try:
+        parse_metric_key(key)
+    except (ServiceError, TypeError, AttributeError):
+        problems.append(f"malformed metric key {key!r}")
+
+
+class TelemetrySampler:
+    """Snapshot the registry on a cadence into a bounded time-series ring.
+
+    Each point is ``{"t": wall-clock, **snapshot}``; the deque's
+    ``maxlen`` bounds memory however long the service runs.  The service
+    runs :meth:`run` as a background asyncio task; tests and the
+    ``metrics`` op read :meth:`series`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | NullRegistry,
+        *,
+        interval: float = 1.0,
+        capacity: int = 512,
+    ):
+        if interval <= 0:
+            raise ServiceError(f"sampler interval must be positive, got {interval}")
+        if capacity < 1:
+            raise ServiceError(f"sampler capacity must be >= 1, got {capacity}")
+        self.registry = registry
+        self.interval = float(interval)
+        self._ring: deque[dict] = deque(maxlen=int(capacity))
+
+    def sample(self) -> dict:
+        point = dict(self.registry.snapshot(), t=time.time())
+        self._ring.append(point)
+        return point
+
+    def series(self) -> list[dict]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    async def run(self) -> None:
+        while True:
+            self.sample()
+            await asyncio.sleep(self.interval)

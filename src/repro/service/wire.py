@@ -29,6 +29,7 @@ from ..errors import WireError
 __all__ = [
     "DEFAULT_MAX_FRAME",
     "HEADER_SIZE",
+    "WireStats",
     "encode_frame",
     "FrameDecoder",
     "read_frame",
@@ -41,6 +42,43 @@ DEFAULT_MAX_FRAME = 1 << 20
 
 #: Big-endian unsigned 32-bit length prefix.
 HEADER_SIZE = 4
+
+
+class WireStats:
+    """Frame/byte/error tallies for one endpoint (shared across connections).
+
+    Plain ``__slots__`` ints mutated inline — the codec stays pure and
+    allocation-free; callers opt in by passing one ``stats`` object to the
+    decode/read/write entry points.  The server aggregates a single
+    instance across all its connections, which is what surfaces
+    per-connection framing-error isolation (previously only logged) in
+    ``stats`` frames and the telemetry plane.
+    """
+
+    __slots__ = (
+        "frames_in", "bytes_in", "frames_out", "bytes_out",
+        "framing_errors", "oversize_errors",
+    )
+
+    def __init__(self) -> None:
+        self.frames_in = 0
+        self.bytes_in = 0
+        self.frames_out = 0
+        self.bytes_out = 0
+        #: all framing violations (oversize included)
+        self.framing_errors = 0
+        #: the subset rejected on the declared length alone
+        self.oversize_errors = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "frames_in": self.frames_in,
+            "bytes_in": self.bytes_in,
+            "frames_out": self.frames_out,
+            "bytes_out": self.bytes_out,
+            "framing_errors": self.framing_errors,
+            "oversize_errors": self.oversize_errors,
+        }
 
 
 def encode_frame(obj: dict[str, Any], max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
@@ -63,10 +101,13 @@ class FrameDecoder:
     has lost framing and the connection must be dropped.
     """
 
-    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME):
+    def __init__(
+        self, max_frame: int = DEFAULT_MAX_FRAME, stats: WireStats | None = None
+    ):
         self.max_frame = int(max_frame)
         self._buffer = bytearray()
         self._poisoned = False
+        self.stats = stats
 
     @property
     def pending_bytes(self) -> int:
@@ -84,6 +125,9 @@ class FrameDecoder:
             length = int.from_bytes(self._buffer[:HEADER_SIZE], "big")
             if length > self.max_frame:
                 self._poisoned = True
+                if self.stats is not None:
+                    self.stats.oversize_errors += 1
+                    self.stats.framing_errors += 1
                 raise WireError(
                     f"declared frame length {length} exceeds max_frame={self.max_frame}"
                 )
@@ -91,16 +135,24 @@ class FrameDecoder:
                 return
             body = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
             del self._buffer[: HEADER_SIZE + length]
-            yield self._decode_body(body)
+            frame = self._decode_body(body)
+            if self.stats is not None:
+                self.stats.frames_in += 1
+                self.stats.bytes_in += HEADER_SIZE + length
+            yield frame
 
     def _decode_body(self, body: bytes) -> dict[str, Any]:
         try:
             obj = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             self._poisoned = True
+            if self.stats is not None:
+                self.stats.framing_errors += 1
             raise WireError(f"frame body is not valid JSON: {exc}") from exc
         if not isinstance(obj, dict):
             self._poisoned = True
+            if self.stats is not None:
+                self.stats.framing_errors += 1
             raise WireError(
                 f"frame body must be a JSON object, got {type(obj).__name__}"
             )
@@ -108,37 +160,57 @@ class FrameDecoder:
 
 
 async def read_frame(
-    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+    reader: asyncio.StreamReader,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    stats: WireStats | None = None,
 ) -> dict[str, Any] | None:
     """Read one frame from an asyncio stream.
 
     Returns ``None`` on a clean EOF *between* frames; raises
     :class:`~repro.errors.WireError` on EOF mid-frame (the peer vanished
-    halfway through a message) or any framing violation.
+    halfway through a message) or any framing violation.  With ``stats``
+    every outcome is tallied (frames/bytes on success, framing/oversize
+    errors on violations).
     """
     try:
         header = await reader.readexactly(HEADER_SIZE)
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None  # clean EOF on a frame boundary
+        if stats is not None:
+            stats.framing_errors += 1
         raise WireError("connection closed mid-header") from exc
     length = int.from_bytes(header, "big")
     if length > max_frame:
+        if stats is not None:
+            stats.oversize_errors += 1
+            stats.framing_errors += 1
         raise WireError(f"declared frame length {length} exceeds max_frame={max_frame}")
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
+        if stats is not None:
+            stats.framing_errors += 1
         raise WireError(
             f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
         ) from exc
-    return FrameDecoder(max_frame)._decode_body(body)
+    frame = FrameDecoder(max_frame, stats=stats)._decode_body(body)
+    if stats is not None:
+        stats.frames_in += 1
+        stats.bytes_in += HEADER_SIZE + length
+    return frame
 
 
 async def write_frame(
     writer: asyncio.StreamWriter,
     obj: dict[str, Any],
     max_frame: int = DEFAULT_MAX_FRAME,
+    stats: WireStats | None = None,
 ) -> None:
     """Encode ``obj`` and write it to an asyncio stream, with backpressure."""
-    writer.write(encode_frame(obj, max_frame=max_frame))
+    payload = encode_frame(obj, max_frame=max_frame)
+    writer.write(payload)
+    if stats is not None:
+        stats.frames_out += 1
+        stats.bytes_out += len(payload)
     await writer.drain()

@@ -5,6 +5,8 @@ is ever silently lost."""
 import asyncio
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ServiceError
 from repro.service import AdmissionController, QueueClient, QueueService
@@ -192,3 +194,59 @@ class TestLiveShedding:
         assert len(polite_results) == 4
         assert stats["admission"]["admitted"] == 20
         assert stats["admission"]["fair_share"] == 2
+
+
+class TestCounterInvariants:
+    """Property: the admission counters stay coherent under arbitrary
+    concurrent shed/retry storms — any interleaving of admits and
+    releases across any client population."""
+
+    @given(
+        window=st.integers(min_value=1, max_value=8),
+        events=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=4), st.booleans()),
+            max_size=80,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_storm_never_breaks_the_books(self, window, events):
+        ctl = AdmissionController(window=window)
+        for c in range(5):
+            ctl.register(f"c{c}")
+        offered = 0
+        held = {f"c{c}": 0 for c in range(5)}
+        for client_idx, is_admit in events:
+            name = f"c{client_idx}"
+            if is_admit:
+                offered += 1
+                if ctl.try_admit(name).admitted:
+                    held[name] += 1
+            elif held[name] > 0:
+                ctl.release(name)
+                held[name] -= 1
+            # Occupancy never exceeds the window bound, at any prefix.
+            assert 0 <= ctl.in_flight <= window
+            assert ctl.in_flight == sum(held.values())
+            # Every offered request was either admitted or shed: nothing
+            # is ever silently dropped or double-counted.
+            assert ctl.admitted_total + ctl.shed_total == offered
+            assert ctl.released_total == ctl.admitted_total - ctl.in_flight
+        snap = ctl.snapshot()
+        assert snap["in_flight"] == sum(held.values())
+        assert snap["admitted"] + snap["shed"] == offered
+
+    @given(
+        window=st.integers(min_value=1, max_value=6),
+        n_clients=st.integers(min_value=1, max_value=4),
+        attempts=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=50)
+    def test_pure_admit_storm_saturates_exactly(self, window, n_clients, attempts):
+        ctl = AdmissionController(window=window)
+        for c in range(n_clients):
+            ctl.register(f"c{c}")
+        admitted = sum(
+            ctl.try_admit(f"c{i % n_clients}").admitted for i in range(attempts)
+        )
+        assert admitted == ctl.in_flight <= window
+        assert ctl.admitted_total + ctl.shed_total == attempts

@@ -230,7 +230,13 @@ class TestRouterInProcess:
                 assert router.dead_shards == (1,)
                 stats = await client.stats()
                 assert stats["federation"]["dead"] == [1]
-                assert stats["federation"]["per_shard"]["1"] == {"alive": False}
+                # A dead shard still gets a stats entry: marked down, with
+                # the router-side view of what it was responsible for.
+                dead_entry = stats["federation"]["per_shard"]["1"]
+                assert dead_entry["alive"] is False
+                assert dead_entry["band"] == "[3, +inf)"
+                assert dead_entry["count_estimate"] == 1  # the priority-4 insert
+                assert dead_entry["endpoint"][1] == services[1].port
                 history = await client.history()
                 assert history["federation"]["dead"] == [1]
                 assert history["federation"]["shards"] == [0]

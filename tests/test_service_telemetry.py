@@ -1,0 +1,643 @@
+"""The telemetry plane: metric primitives, federated aggregation, wire ops.
+
+Four layers, cheapest first:
+
+* **primitives** — log-bucketed histogram indexing/quantiles/merging,
+  metric keys, registry get-or-create, snapshot hooks, the NullRegistry;
+* **aggregation** — :func:`merge_snapshots` sums counters, merges
+  histograms bucket-wise *exactly*, and re-labels gauges per shard;
+* **small-sample percentiles + SLO** — the loadgen percentile contract
+  on n=0..3, SLO parsing/evaluation, exporter schema validators;
+* **live wire** — a real service's ``metrics`` scrape and ``watch``
+  stream, wire-error surfacing in ``stats`` frames, and the federated
+  scrape: router aggregation equals per-shard sums at the same barrier,
+  and a dying shard degrades the scrape to survivors, never an error.
+"""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import QueueClient, QueueRouter, QueueService
+from repro.service.export import (
+    series_to_jsonl,
+    to_prometheus,
+    validate_jsonl,
+    validate_prometheus_text,
+)
+from repro.service.loadgen import (
+    LatencyStats,
+    LoadReport,
+    LoadSpec,
+    SLOSpec,
+    evaluate_slo,
+    parse_slo,
+)
+from repro.service.partition import even_partition
+from repro.service.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetrySampler,
+    merge_snapshots,
+    metric_key,
+    parse_metric_key,
+    validate_snapshot,
+)
+from repro.service.wire import HEADER_SIZE
+from repro.sim.rng import derive_seed
+
+
+# -- primitives -------------------------------------------------------------
+
+class TestMetricKeys:
+    def test_roundtrip_with_sorted_labels(self):
+        key = metric_key("ops", {"b": 2, "a": "x"})
+        assert key == "ops{a=x,b=2}"
+        assert parse_metric_key(key) == ("ops", {"a": "x", "b": "2"})
+        assert parse_metric_key("plain") == ("plain", {})
+
+    def test_malformed_keys_raise(self):
+        with pytest.raises(ServiceError):
+            parse_metric_key("ops{unclosed")
+        with pytest.raises(ServiceError):
+            parse_metric_key("ops{noequals}")
+
+
+class TestHistogram:
+    def test_bucket_index_matches_ceil_log2(self):
+        hist = Histogram(base=1e-6, growth=2.0)
+        for value in (1e-7, 1e-6, 2e-6, 3e-6, 1.5e-3, 1.0, 17.3):
+            idx = hist.bucket_index(value)
+            if value <= hist.base:
+                assert idx == 0
+            else:
+                expected = math.ceil(math.log2(value / hist.base) - 1e-9)
+                assert idx == expected, value
+            # The defining contract: value lies in (lower, upper].
+            assert hist.bucket_lower(idx) < value + 1e-18
+            assert value <= hist.bucket_upper(idx) * (1 + 1e-12)
+
+    def test_power_of_two_quotients_land_on_the_boundary_bucket(self):
+        hist = Histogram(base=1.0, growth=2.0)
+        assert hist.bucket_index(1.0) == 0
+        assert hist.bucket_index(2.0) == 1
+        assert hist.bucket_index(4.0) == 2
+        assert hist.bucket_index(4.0001) == 3
+
+    def test_quantiles_clamp_to_observed_range(self):
+        hist = Histogram(base=1.0, growth=2.0)
+        hist.observe(5.0)
+        assert hist.quantile(0.0) == 5.0
+        assert hist.quantile(0.5) == 5.0
+        assert hist.quantile(1.0) == 5.0
+        hist.observe(5.0)
+        assert hist.quantile(0.99) == 5.0  # all-equal population is exact
+
+    def test_merge_is_exactly_bucketwise(self):
+        a, b = Histogram(), Histogram()
+        for v in (1e-5, 3e-4, 0.1):
+            a.observe(v)
+        for v in (1e-5, 0.2, 0.2):
+            b.observe(v)
+        separate = {}
+        for h in (a, b):
+            for idx, n in h.counts.items():
+                separate[idx] = separate.get(idx, 0) + n
+        merged = Histogram.from_jsonable(a.to_jsonable())
+        merged.merge(Histogram.from_jsonable(b.to_jsonable()))
+        assert merged.counts == separate
+        assert merged.count == 6
+        assert merged.sum == pytest.approx(a.sum + b.sum)
+        assert merged.min == 1e-5 and merged.max == 0.2
+
+    def test_merge_rejects_shape_mismatch(self):
+        with pytest.raises(ServiceError, match="different shape"):
+            Histogram(base=1e-6).merge(Histogram(base=1e-3))
+
+    def test_wire_form_roundtrip(self):
+        hist = Histogram()
+        for v in (0.001, 0.002, 0.5):
+            hist.observe(v)
+        clone = Histogram.from_jsonable(hist.to_jsonable())
+        assert clone.counts == hist.counts
+        assert clone.count == hist.count
+        assert clone.quantile(0.5) == hist.quantile(0.5)
+        empty = Histogram.from_jsonable(Histogram().to_jsonable())
+        assert empty.count == 0 and empty.quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_object(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("ops", kind="insert")
+        c2 = reg.counter("ops", kind="insert")
+        assert c1 is c2
+        c1.inc(3)
+        snap = reg.snapshot()
+        assert snap["counters"]["ops{kind=insert}"] == 3
+        assert validate_snapshot(snap) == []
+
+    def test_hooks_run_at_snapshot_time(self):
+        reg = MetricsRegistry()
+        source = {"depth": 0}
+        reg.add_hook(lambda: reg.gauge("depth").set(source["depth"]))
+        source["depth"] = 7
+        assert reg.snapshot()["gauges"]["depth"] == 7
+
+    def test_null_registry_absorbs_everything(self):
+        reg = NullRegistry()
+        assert reg.enabled is False
+        reg.counter("x").inc()
+        reg.gauge("y").set(5)
+        reg.histogram("z").observe(1.0)
+        hook_ran = []
+        reg.add_hook(lambda: hook_ran.append(True))
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["gauges"] == {}
+        assert not hook_ran  # hooks are dropped, never invoked
+        assert validate_snapshot(snap) == []
+
+    def test_sampler_ring_is_bounded(self):
+        reg = MetricsRegistry()
+        sampler = TelemetrySampler(reg, interval=0.01, capacity=3)
+        for _ in range(5):
+            sampler.sample()
+        series = sampler.series()
+        assert len(series) == 3
+        assert all("t" in p and p["v"] == 1 for p in series)
+        assert series[0]["t"] <= series[-1]["t"]
+
+
+class TestMergeSnapshots:
+    def _snap(self, ops, lat_values):
+        reg = MetricsRegistry()
+        reg.counter("service_ops_total", kind="insert").inc(ops)
+        reg.gauge("service_pending_ops").set(ops)
+        hist = reg.histogram("service_op_latency_seconds")
+        for v in lat_values:
+            hist.observe(v)
+        return reg.snapshot()
+
+    def test_counters_sum_gauges_relabel_hists_merge_exactly(self):
+        snaps = {0: self._snap(3, [0.001, 0.02]), 1: self._snap(5, [0.001, 0.5])}
+        merged = merge_snapshots(snaps)
+        assert validate_snapshot(merged) == []
+        assert merged["counters"]["service_ops_total{kind=insert}"] == 8
+        # Gauges never sum across shards: each survives under its label.
+        assert merged["gauges"]["service_pending_ops{shard=0}"] == 3
+        assert merged["gauges"]["service_pending_ops{shard=1}"] == 5
+        hist = Histogram.from_jsonable(
+            merged["hists"]["service_op_latency_seconds"]
+        )
+        expected = {}
+        for snap in snaps.values():
+            for idx, n in snap["hists"]["service_op_latency_seconds"][
+                "counts"
+            ].items():
+                expected[int(idx)] = expected.get(int(idx), 0) + n
+        assert hist.counts == expected  # bucket totals reproduce exactly
+        assert hist.count == 4
+
+    def test_validate_snapshot_flags_corruption(self):
+        snap = MetricsRegistry().snapshot()
+        assert validate_snapshot(snap) == []
+        assert validate_snapshot({"v": 99}) != []
+        bad = self._snap(1, [0.1])
+        bad["hists"]["service_op_latency_seconds"]["count"] = 42
+        assert any("bucket total" in p for p in validate_snapshot(bad))
+
+
+# -- small-sample percentiles + SLO -----------------------------------------
+
+class TestLatencyStatsSmallSamples:
+    def test_empty_population(self):
+        stats = LatencyStats.over([])
+        assert (stats.count, stats.p50, stats.p95, stats.p99, stats.mean) == (
+            0, 0.0, 0.0, 0.0, 0.0,
+        )
+
+    def test_single_sample_is_every_percentile(self):
+        stats = LatencyStats.over([0.25])
+        assert stats.p50 == stats.p95 == stats.p99 == 0.25
+        assert stats.mean == 0.25
+
+    def test_two_samples_interpolate_linearly(self):
+        stats = LatencyStats.over([0.0, 1.0])
+        assert stats.p50 == pytest.approx(0.5)
+        assert stats.p95 == pytest.approx(0.95)
+        assert stats.p99 == pytest.approx(0.99)
+
+    def test_three_samples_put_p50_on_the_middle(self):
+        stats = LatencyStats.over([3.0, 1.0, 2.0])  # order must not matter
+        assert stats.p50 == 2.0
+        assert stats.p99 == pytest.approx(1.0 + 2.0 * 0.99)
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_matches_numpy_linear_interpolation(self):
+        import numpy as np
+
+        values = [0.004, 0.1, 0.03, 0.0001, 0.27, 0.005, 0.09]
+        stats = LatencyStats.over(values)
+        p50, p95, p99 = np.percentile(np.asarray(values), [50, 95, 99])
+        assert stats.p50 == pytest.approx(float(p50))
+        assert stats.p95 == pytest.approx(float(p95))
+        assert stats.p99 == pytest.approx(float(p99))
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ServiceError):
+            LatencyStats.percentile([1.0], 101)
+
+
+def _report(latencies, *, shed=0, retries=0, wall=1.0, stats=None):
+    from repro.service.loadgen import Observation
+
+    observations = [
+        Observation(
+            client=0, kind="ins", op_id=(0, i), uid=i, priority=1,
+            bot=False, retries=0, latency=lat, finished_at=0.0,
+        )
+        for i, lat in enumerate(latencies)
+    ]
+    return LoadReport(
+        spec=LoadSpec(), proto="skeap", n_nodes=4,
+        observations=observations, wall_seconds=wall,
+        shed_total=shed, retry_total=retries,
+        server_stats=stats or {"ops_completed": len(latencies), "ops_failed": 0},
+    )
+
+
+class TestSLO:
+    def test_parse_defaults_and_explicit_directions(self):
+        specs = parse_slo("p99=0.05, shed_rate<=0.2 ,throughput>=100")
+        assert [(s.metric, s.direction, s.threshold) for s in specs] == [
+            ("p99", "<=", 0.05),
+            ("shed_rate", "<=", 0.2),
+            ("throughput", ">=", 100.0),
+        ]
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ServiceError, match="unknown SLO metric"):
+            parse_slo("p42=1")
+        with pytest.raises(ServiceError, match="not a number"):
+            parse_slo("p99=fast")
+        with pytest.raises(ServiceError):
+            parse_slo("   ")
+
+    def test_evaluation_pass_and_fail(self):
+        report = _report([0.01, 0.02, 0.03], shed=1)
+        ok = evaluate_slo(report, parse_slo("p99=0.1,shed_rate=0.5,throughput>=1"))
+        assert ok.passed
+        assert all(r.passed for r in ok.results)
+        bad = evaluate_slo(report, parse_slo("p50=0.001"))
+        assert not bad.passed
+        table = bad.table()
+        assert "SLO FAIL" in table.verdict and "p50" in table.verdict
+        payload = bad.to_jsonable()
+        assert payload["passed"] is False
+        assert payload["objectives"][0]["observed"] == pytest.approx(0.02)
+
+    def test_shed_rate_counts_offered_requests(self):
+        report = _report([0.01] * 8, shed=2)
+        result = evaluate_slo(report, [SLOSpec("shed_rate", 0.5)]).results[0]
+        assert result.observed == pytest.approx(2 / 10)
+
+
+class TestExporters:
+    def _registry_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", kind="insert").inc(4)
+        reg.gauge("pending").set(2)
+        hist = reg.histogram("lat_seconds")
+        for v in (0.001, 0.004, 0.3):
+            hist.observe(v)
+        return reg.snapshot()
+
+    def test_prometheus_text_passes_its_own_validator(self):
+        text = to_prometheus(self._registry_snapshot())
+        assert validate_prometheus_text(text) == []
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'ops_total{kind="insert"} 4' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+    def test_prometheus_buckets_are_cumulative(self):
+        text = to_prometheus(self._registry_snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_prometheus_validator_flags_malformed_text(self):
+        assert validate_prometheus_text("not a metric line !!!\n") != []
+        # A histogram TYPE with no samples is incomplete.
+        assert any(
+            "missing" in p
+            for p in validate_prometheus_text("# TYPE h histogram\n")
+        )
+
+    def test_jsonl_roundtrip_and_validation(self):
+        sampler = TelemetrySampler(MetricsRegistry(), capacity=8)
+        for _ in range(3):
+            sampler.sample()
+        text = series_to_jsonl(sampler.series())
+        assert validate_jsonl(text) == []
+        assert validate_jsonl("") != []  # empty series is a failure
+        assert validate_jsonl("{broken\n") != []
+        assert any(
+            "backwards" in p
+            for p in validate_jsonl(
+                series_to_jsonl(
+                    [dict(MetricsRegistry().snapshot(), t=t) for t in (2.0, 1.0)]
+                )
+            )
+        )
+
+
+# -- live wire: single service ----------------------------------------------
+
+class TestServiceTelemetry:
+    def test_metrics_scrape_reflects_completed_ops(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as service:
+                client = await QueueClient.connect(
+                    service.host, service.port, client="scraper"
+                )
+                for i in range(4):
+                    await client.insert(i % 3 + 1, f"v{i}")
+                await client.delete_min()
+                response = await client.metrics()
+                await client.aclose()
+                return response
+
+        response = asyncio.run(scenario())
+        snap = response["metrics"]
+        assert validate_snapshot(snap) == []
+        counters = snap["counters"]
+        assert counters["service_ops_total{kind=insert,outcome=ok}"] == 4
+        assert counters["service_ops_total{kind=deletemin,outcome=ok}"] == 1
+        lat = Histogram.from_jsonable(
+            snap["hists"]["service_op_latency_seconds{kind=insert}"]
+        )
+        assert lat.count == 4 and lat.quantile(0.5) > 0
+        # The wire tallies made it into the registry via the scrape hook.
+        assert counters["service_frames_in_total"] > 0
+        assert counters["service_framing_errors_total"] == 0
+        assert snap["gauges"]["admission_window"] == 64
+
+    def test_stats_frame_surfaces_wire_error_counts(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as service:
+                # A raw connection that declares an oversized frame.
+                reader, writer = await asyncio.open_connection(
+                    service.host, service.port
+                )
+                writer.write((service.max_frame + 1).to_bytes(HEADER_SIZE, "big"))
+                await writer.drain()
+                error = await asyncio.wait_for(reader.read(4096), 5)
+                writer.close()
+                client = await QueueClient.connect(
+                    service.host, service.port, client="auditor"
+                )
+                stats = await client.stats()
+                metrics = (await client.metrics())["metrics"]
+                await client.aclose()
+                return error, stats, metrics
+
+        error, stats, metrics = asyncio.run(scenario())
+        assert b"exceeds max_frame" in error
+        wire = stats["wire"]
+        assert wire["framing_errors"] == 1
+        assert wire["oversize_errors"] == 1
+        assert wire["frames_out"] > 0 and wire["bytes_out"] > 0
+        assert metrics["counters"]["service_oversize_errors_total"] == 1
+
+    def test_watch_streams_snapshots_then_terminates(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as service:
+                client = await QueueClient.connect(
+                    service.host, service.port, client="watcher"
+                )
+                await client.insert(1, "x")
+                frames = []
+                async for frame in client.watch(interval=0.02, count=3):
+                    frames.append(frame)
+                # The stream ended cleanly: the connection still works.
+                pong = await client.ping()
+                await client.aclose()
+                return frames, pong
+
+        frames, pong = asyncio.run(scenario())
+        assert [f["watch"] for f in frames] == [0, 1, 2]
+        assert pong["pong"] is True
+        for frame in frames:
+            assert validate_snapshot(frame["metrics"]) == []
+        ops = [
+            f["metrics"]["counters"].get(
+                "service_ops_total{kind=insert,outcome=ok}", 0
+            )
+            for f in frames
+        ]
+        assert ops == sorted(ops)  # counters are monotonic across the stream
+
+    def test_watch_rejects_bad_parameters(self):
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=0) as service:
+                client = await QueueClient.connect(
+                    service.host, service.port, client="watcher"
+                )
+                with pytest.raises(ServiceError, match="interval"):
+                    async for _ in client.watch(interval=-1, count=1):
+                        pass
+                await client.aclose()
+
+        asyncio.run(scenario())
+
+    def test_telemetry_off_swaps_in_the_null_registry(self):
+        async def scenario():
+            async with QueueService(
+                "skeap", n_nodes=4, seed=0, telemetry=False
+            ) as service:
+                assert service.sampler is None
+                client = await QueueClient.connect(
+                    service.host, service.port, client="off"
+                )
+                await client.insert(1, "x")
+                response = await client.metrics()
+                stats = await client.stats()
+                await client.aclose()
+                return response, stats
+
+        response, stats = asyncio.run(scenario())
+        assert response["metrics"]["counters"] == {}
+        # The wire tallies are independent of the registry: still live.
+        assert stats["wire"]["frames_in"] > 0
+
+    def test_sampler_fills_the_series(self):
+        async def scenario():
+            async with QueueService(
+                "skeap", n_nodes=4, seed=0, metrics_interval=0.02
+            ) as service:
+                client = await QueueClient.connect(
+                    service.host, service.port, client="series"
+                )
+                await asyncio.sleep(0.1)
+                response = await client.metrics(series=True)
+                await client.aclose()
+                return response
+
+        response = asyncio.run(scenario())
+        series = response["series"]
+        assert len(series) >= 2
+        assert validate_jsonl(series_to_jsonl(series)) == []
+
+
+# -- live wire: federation --------------------------------------------------
+
+async def _start_federation(n_shards=2, *, seed=0):
+    services = []
+    for i in range(n_shards):
+        svc = QueueService(
+            "skeap", 4, derive_seed(seed, "svc", i), n_priorities=4
+        )
+        await svc.start()
+        services.append(svc)
+    endpoints = {i: (svc.host, svc.port) for i, svc in enumerate(services)}
+    router = QueueRouter(endpoints, even_partition(n_shards, 1, 5), seed=seed)
+    await router.start()
+    client = await QueueClient.connect(router.host, router.port, client="telfed")
+    return services, router, client
+
+
+async def _stop_federation(services, router, client):
+    await client.aclose()
+    await router.aclose()
+    for svc in services:
+        await svc.aclose()
+
+
+class TestFederatedTelemetry:
+    def test_router_aggregation_equals_per_shard_sums_at_the_barrier(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                for priority in (1, 2, 3, 4, 1, 4):
+                    await client._request({"op": "insert", "priority": priority})
+                await client._request({"op": "deletemin"})
+                return await client._request({"op": "metrics", "per_shard": True})
+            finally:
+                await _stop_federation(services, router, client)
+
+        response = asyncio.run(scenario())
+        merged, per_shard = response["metrics"], response["per_shard"]
+        assert validate_snapshot(merged) == []
+        assert sorted(per_shard) == ["0", "1"]
+        # Counters: the aggregated value is exactly the per-shard sum.
+        for key in {
+            k for snap in per_shard.values() for k in snap["counters"]
+        }:
+            assert merged["counters"][key] == sum(
+                snap["counters"].get(key, 0) for snap in per_shard.values()
+            ), key
+        # Histograms: merged buckets reproduce per-shard totals exactly.
+        for key in {k for snap in per_shard.values() for k in snap["hists"]}:
+            expected = {}
+            for snap in per_shard.values():
+                payload = snap["hists"].get(key)
+                if payload is None:
+                    continue
+                for idx, n in payload["counts"].items():
+                    expected[int(idx)] = expected.get(int(idx), 0) + n
+            got = Histogram.from_jsonable(merged["hists"][key])
+            assert got.counts == expected, key
+        # Both shards served inserts, so the summed count covers all 6.
+        assert (
+            merged["counters"]["service_ops_total{kind=insert,outcome=ok}"] == 6
+        )
+        # Gauges arrive labeled per source, router's own included.
+        gauge_names = {parse_metric_key(k)[1].get("shard") for k in merged["gauges"]}
+        assert {"0", "1", "router"} <= gauge_names
+
+    def test_scrape_during_shard_death_returns_survivors(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                for priority in (1, 4):
+                    await client._request({"op": "insert", "priority": priority})
+                # Shard 0 dies abruptly; the scrape must not error.
+                await services[0].aclose()
+                response = await client._request(
+                    {"op": "metrics", "per_shard": True}
+                )
+                stats = await client.stats()
+                return response, stats
+            finally:
+                await _stop_federation(services, router, client)
+
+        response, stats = asyncio.run(scenario())
+        assert response["status"] == "ok"
+        assert response["federation"]["dead"] == [0]
+        assert response["federation"]["scraped"] == [1]
+        assert sorted(response["per_shard"]) == ["1"]
+        # The survivor's ops are still in the aggregate.
+        assert (
+            response["metrics"]["counters"][
+                "service_ops_total{kind=insert,outcome=ok}"
+            ]
+            == 1
+        )
+        # The stats frame reports the dead shard with its router-side view.
+        dead_entry = stats["federation"]["per_shard"]["0"]
+        assert dead_entry["alive"] is False
+        assert "band" in dead_entry and "count_estimate" in dead_entry
+
+    def test_stats_frame_carries_full_per_shard_breakdown(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                for priority in (1, 4):
+                    await client._request({"op": "insert", "priority": priority})
+                return await client.stats()
+            finally:
+                await _stop_federation(services, router, client)
+
+        stats = asyncio.run(scenario())
+        assert stats["wire"]["frames_in"] > 0  # router's own endpoint tallies
+        for sid in ("0", "1"):
+            entry = stats["federation"]["per_shard"][sid]
+            assert entry["alive"] is True
+            assert entry["ops_completed"] == 1
+            assert entry["ops_failed"] == 0
+            assert entry["count_estimate"] == 1
+            assert isinstance(entry["admission"], dict)
+            assert entry["wire"]["frames_in"] > 0
+            assert entry["upstream_latency"]["count"] >= 1
+            assert entry["upstream_latency"]["p99"] > 0
+
+    def test_router_watch_streams_federated_snapshots(self):
+        async def scenario():
+            services, router, client = await _start_federation()
+            try:
+                await client._request({"op": "insert", "priority": 1})
+                frames = []
+                async for frame in client.watch(interval=0.02, count=2):
+                    frames.append(frame)
+                return frames
+            finally:
+                await _stop_federation(services, router, client)
+
+        frames = asyncio.run(scenario())
+        assert [f["watch"] for f in frames] == [0, 1]
+        for frame in frames:
+            assert validate_snapshot(frame["metrics"]) == []
+            assert (
+                frame["metrics"]["counters"][
+                    "service_ops_total{kind=insert,outcome=ok}"
+                ]
+                == 1
+            )
