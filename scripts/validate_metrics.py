@@ -4,7 +4,7 @@
 Usage::
 
     python scripts/validate_metrics.py [--prom FILE]... [--jsonl FILE]...
-                                       [--slo FILE]...
+                                       [--slo FILE]... [--expect NAME]...
 
 * ``--prom`` files must be valid Prometheus text exposition output:
   every sample line parses, every histogram ships the complete
@@ -12,7 +12,11 @@ Usage::
 * ``--jsonl`` files must be one snapshot point per line, each passing
   the snapshot schema check with a monotonically non-decreasing ``t``;
 * ``--slo`` files must be ``loadtest --slo-out`` reports: a JSON object
-  with a boolean ``slo.passed`` and one entry per declared objective.
+  with a boolean ``slo.passed`` and one entry per declared objective;
+* ``--expect NAME`` (repeatable) additionally requires every ``--prom``
+  file to carry at least one sample of metric ``NAME`` — how CI pins
+  down that e.g. the durability plane's journal/recovery series are
+  actually exported, not just schema-valid-by-absence.
 
 Exit code 0 on success, 1 with the problems listed on stderr otherwise.
 """
@@ -70,11 +74,31 @@ def _collect(args: list[str], flag: str) -> list[Path]:
     return paths
 
 
+def _check_expected(path: Path, text: str, names: list[str]) -> list[str]:
+    """Require a sample of every expected metric name in the prom text.
+
+    Histograms export as ``NAME_bucket``/``NAME_sum``/``NAME_count``, so
+    an expected histogram name matches via its suffixed series too.
+    """
+    import re
+
+    problems = []
+    for name in names:
+        pattern = rf"(?m)^{re.escape(name)}(?:_bucket|_sum|_count)?(?:\{{|\s)"
+        if not re.search(pattern, text):
+            problems.append(f"{path}: expected metric {name!r} not exported")
+    return problems
+
+
 def main(argv: list[str]) -> int:
     args = list(argv)
     prom_paths = _collect(args, "--prom")
     jsonl_paths = _collect(args, "--jsonl")
     slo_paths = _collect(args, "--slo")
+    expected = [str(p) for p in _collect(args, "--expect")]
+    if expected and not prom_paths:
+        print("--expect needs at least one --prom file", file=sys.stderr)
+        return 2
     if args:
         print(f"unknown arguments: {args}", file=sys.stderr)
         return 2
@@ -86,7 +110,9 @@ def main(argv: list[str]) -> int:
         if not path.is_file():
             problems.append(f"missing {path}")
             continue
-        problems += [f"{path}: {p}" for p in validate_prometheus_text(path.read_text())]
+        text = path.read_text()
+        problems += [f"{path}: {p}" for p in validate_prometheus_text(text)]
+        problems += _check_expected(path, text, expected)
     for path in jsonl_paths:
         if not path.is_file():
             problems.append(f"missing {path}")

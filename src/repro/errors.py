@@ -55,3 +55,13 @@ class UnavailableError(ServiceError):
     raises this for operations homed on a dead shard; everything else
     keeps serving.
     """
+
+
+class DurabilityError(ServiceError):
+    """The durability plane found unusable on-disk state.
+
+    Raised when a journal directory exists but cannot support a certified
+    recovery: no valid snapshot and missing segments, a census that
+    contradicts the replayed history, or a policy knob outside its domain.
+    A *torn journal tail* is never an error — it is truncated cleanly.
+    """

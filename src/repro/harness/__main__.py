@@ -17,12 +17,21 @@ Usage::
     python -m repro.harness serve [--proto P] [--nodes N] [--seed S]
                                   [--host H] [--port P] [--window W]
                                   [--shards K] [--band-range LO:HI]
+                                  [--journal DIR] [--fsync POLICY]
+                                  [--snapshot-every N]
     python -m repro.harness loadtest [--proto P] [--clients C] [--ops K]
                                      [--mode closed|open] [--connect H:P]
                                      [--shards K] [--band-range LO:HI]
                                      [--manifest PATH] [--trace DIR]
                                      [--slo p99=S,shed_rate=F,...]
                                      [--slo-out PATH] [--slo-strict]
+                                     [--journal DIR] [--fsync POLICY]
+                                     [--snapshot-every N]
+                                     [--chaos-kill SID] [--kill-after S]
+                                     [--client-faults PLAN.json]
+                                     [--fault-scale F]
+                                     [--retry-unavailable N]
+    python -m repro.harness recover JOURNAL_DIR [--json]
     python -m repro.harness top --connect H:P [--interval S] [--count N]
                                 [--once] [--raw] [--prom PATH]
                                 [--jsonl PATH]
@@ -79,6 +88,17 @@ shard health — or, with ``--once``, takes a single ``metrics`` scrape;
 ``--prom``/``--jsonl`` export what it saw in Prometheus text / JSONL
 form (``repro.harness.top_cli``).
 
+``serve --journal DIR`` turns on the durability plane: every acked op is
+written to a checksummed write-ahead journal (fsync per ``--fsync
+always|interval|off``) and compacted into heap snapshots every
+``--snapshot-every`` acked ops; a restart replays the journal and prints
+a ``RECOVERY CERTIFIED`` line before the ready line.  ``loadtest
+--chaos-kill SID`` (federation only, needs ``--journal``) SIGKILLs shard
+SID mid-burst, restarts it from its journal, revives the router upstream
+and verifies that no acked op was lost and no unacked op double-applied.
+``recover`` certifies a journal directory offline — snapshot + replay +
+the full checker stack, no service required.
+
 ``--manifest PATH`` additionally writes a run manifest for the table run:
 the exact command, seeds/grid config, git SHA, wall-clock, and a sha256
 over each rendered table — without changing stdout by a single byte.
@@ -119,6 +139,10 @@ def main(argv: list[str]) -> int:
         from .service_cli import loadtest_main
 
         return loadtest_main(argv[1:])
+    if argv and argv[0] == "recover":
+        from .service_cli import recover_main
+
+        return recover_main(argv[1:])
     if argv and argv[0] == "top":
         from .top_cli import top_main
 

@@ -37,7 +37,28 @@ from pathlib import Path
 
 from .fuzz import _flag_value
 
-__all__ = ["serve_main", "loadtest_main"]
+__all__ = ["serve_main", "loadtest_main", "recover_main"]
+
+
+def _durability_config(journal, fsync, snapshot_every):
+    """``--journal/--fsync/--snapshot-every`` → DurabilityConfig (or None)."""
+    if journal is None:
+        return None
+    from ..service.durability import DurabilityConfig
+
+    return DurabilityConfig(
+        dir=journal, fsync=fsync, snapshot_every=snapshot_every
+    )
+
+
+def _recovery_line(recovery: dict) -> str:
+    """The greppable one-line recovery certificate (CI contract)."""
+    return (
+        f"RECOVERY CERTIFIED gen={recovery['generation']} "
+        f"ops_replayed={recovery['ops_replayed']} "
+        f"elements={recovery['elements_restored']} "
+        f"checks={','.join(recovery['checks'])}"
+    )
 
 
 def _parse_mix(mix: str):
@@ -104,6 +125,9 @@ def serve_main(argv: list[str]) -> int:
     shards = int(_flag_value(args, "--shards", 1))
     band = _flag_value(args, "--band-range", None)
     metrics_interval = float(_flag_value(args, "--metrics-interval", 1.0))
+    journal = _flag_value(args, "--journal", None)
+    fsync = _flag_value(args, "--fsync", "interval")
+    snapshot_every = int(_flag_value(args, "--snapshot-every", 500))
     telemetry = "--no-telemetry" not in args
     args = [a for a in args if a != "--no-telemetry"]
     if args:
@@ -115,15 +139,28 @@ def serve_main(argv: list[str]) -> int:
             window=window, n_priorities=n_priorities, runner=runner,
             shards=shards, band=band,
             telemetry=telemetry, metrics_interval=metrics_interval,
+            journal=journal, fsync=fsync, snapshot_every=snapshot_every,
         )
 
     async def run() -> None:
-        service = QueueService(
-            proto, n_nodes=n_nodes, seed=seed, host=host, port=port,
-            runner=runner, n_priorities=n_priorities, window=window,
-            telemetry=telemetry, metrics_interval=metrics_interval,
-        )
+        from ..errors import ReproError
+
+        try:
+            service = QueueService(
+                proto, n_nodes=n_nodes, seed=seed, host=host, port=port,
+                runner=runner, n_priorities=n_priorities, window=window,
+                telemetry=telemetry, metrics_interval=metrics_interval,
+                durability=_durability_config(journal, fsync, snapshot_every),
+            )
+        except ReproError as exc:
+            print(f"serve failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+            raise SystemExit(1) from exc
         await service.start()
+        # Recovery is certified *before* the ready line: a consumer that
+        # waits for "serving ..." knows the journal replay already passed
+        # the full checker stack.
+        if service.recovery is not None:
+            print(_recovery_line(service.recovery), flush=True)
         # The ready line is a contract: CI greps for it before connecting.
         print(
             f"serving {proto} n={n_nodes} seed={seed} "
@@ -136,12 +173,15 @@ def serve_main(argv: list[str]) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; shutting down", file=sys.stderr)
+    except SystemExit as exc:
+        return int(exc.code or 0)
     return 0
 
 
 def _serve_federation(
     *, proto, n_nodes, seed, host, port, window, n_priorities, runner,
     shards, band, telemetry=True, metrics_interval=1.0,
+    journal=None, fsync="interval", snapshot_every=500,
 ) -> int:
     """Spawn ``shards`` serve subprocesses and route them in the foreground.
 
@@ -160,6 +200,7 @@ def _serve_federation(
     controller = ShardController(
         proto=proto, n_nodes=n_nodes, seed=seed, n_priorities=n_priorities,
         window=window, runner=runner,
+        journal_root=journal, fsync=fsync, snapshot_every=snapshot_every,
     )
 
     async def run() -> None:
@@ -182,6 +223,12 @@ def _serve_federation(
 
     try:
         controller.spawn_many(range(shards))
+        # Relay the children's recovery certificates (captured during the
+        # ready-line handshake) so one log shows the whole federation.
+        for shard in controller.shards.values():
+            for line in shard.ready_output:
+                if line.startswith("RECOVERY CERTIFIED"):
+                    print(f"{line} shard={shard.shard_id}", flush=True)
         asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; shutting down federation", file=sys.stderr)
@@ -190,6 +237,109 @@ def _serve_federation(
         return 1
     finally:
         controller.shutdown()
+    return 0
+
+
+async def _chaos_loadtest(router, controller, spec, *, shard_id, kill_after):
+    """SIGKILL one shard mid-burst, restart it from its journal, revive it.
+
+    The load itself runs with ``check=False``: the merged history must be
+    fetched *after* the revive, otherwise the dead shard's band would be
+    missing from the drained-point view.  The closing
+    ``verify_observed_history`` is the acceptance assertion — every
+    client-acked op appears exactly once in the spliced durable history
+    (no acked op lost, no unacked op double-applied; a client retry after
+    an ``unavailable`` is a *new* causal op id, so it can never collide
+    with the journaled original).
+    """
+    from ..service.client import QueueClient
+    from ..service.loadgen import run_loadtest, verify_observed_history
+
+    load = asyncio.create_task(
+        run_loadtest(router.host, router.port, spec, check=False)
+    )
+    try:
+        await asyncio.sleep(kill_after)
+        await asyncio.to_thread(controller.kill, shard_id)
+        print(f"CHAOS KILL shard={shard_id} signal=SIGKILL", flush=True)
+        shard = await asyncio.to_thread(controller.restart, shard_id)
+        for line in shard.ready_output:
+            if line.startswith("RECOVERY CERTIFIED"):
+                print(f"{line} shard={shard_id}", flush=True)
+        info = await router.revive(shard_id, endpoint=(shard.host, shard.port))
+        print(
+            f"REVIVED shard={shard_id} census={info['census']} "
+            f"endpoint={shard.host}:{shard.port}",
+            flush=True,
+        )
+    except BaseException:
+        load.cancel()
+        raise
+    report = await load
+    # A fresh probe fetches the post-revive merged history at a drained
+    # point; the report then goes through the ordinary checker stack.
+    probe = await QueueClient.connect(
+        router.host, router.port, client="chaos-probe", timeout=spec.timeout
+    )
+    try:
+        report.history_payload = await probe.history()
+    finally:
+        await probe.aclose()
+    report.checks_passed = verify_observed_history(report)
+    return report
+
+
+def recover_main(argv: list[str]) -> int:
+    """``python -m repro.harness recover DIR [--json]``.
+
+    Offline crash-recovery certification: load the newest valid snapshot
+    under ``DIR``, replay the journal tail, and run the recovered history
+    through the full semantics-checker stack — without starting a
+    service.  Exit 0 iff the on-disk state recovers and certifies.
+    """
+    from ..errors import ReproError
+    from ..service.durability import certify_recovery, recover
+
+    args = list(argv)
+    as_json = "--json" in args
+    args = [a for a in args if a != "--json"]
+    if len(args) != 1 or args[0].startswith("--"):
+        print("usage: recover JOURNAL_DIR [--json]", file=sys.stderr)
+        return 2
+    directory = Path(args[0])
+    try:
+        result = recover(directory)
+        if result is None:
+            print(
+                f"recover failed: {directory} holds no snapshot and no "
+                f"journal records", file=sys.stderr,
+            )
+            return 1
+        checks = certify_recovery(result)
+    except ReproError as exc:
+        print(f"recover failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if as_json:
+        print(json.dumps(
+            {
+                "generation": result.generation,
+                "ops_replayed": result.replayed_ops,
+                "settled_ops": len(result.records),
+                "elements": len(result.survivors),
+                "seq_base": result.seq_base,
+                "snapshot_index": result.snapshot_index,
+                "segments": result.segments,
+                "meta": result.meta,
+                "checks": checks,
+            },
+            sort_keys=True, indent=2,
+        ))
+    print(_recovery_line({
+        "generation": result.generation,
+        "ops_replayed": result.replayed_ops,
+        "elements_restored": len(result.survivors),
+        "checks": checks,
+    }) + f" settled_ops={len(result.records)} segments={result.segments}")
     return 0
 
 
@@ -219,6 +369,14 @@ def loadtest_main(argv: list[str]) -> int:
     trace_dir = _flag_value(args, "--trace", None)
     shards = int(_flag_value(args, "--shards", 1))
     band = _flag_value(args, "--band-range", None)
+    journal = _flag_value(args, "--journal", None)
+    fsync = _flag_value(args, "--fsync", "interval")
+    snapshot_every = int(_flag_value(args, "--snapshot-every", 500))
+    chaos_kill = _flag_value(args, "--chaos-kill", None)
+    kill_after = float(_flag_value(args, "--kill-after", 0.75))
+    client_faults = _flag_value(args, "--client-faults", None)
+    fault_scale = float(_flag_value(args, "--fault-scale", 0.01))
+    retry_unavailable = int(_flag_value(args, "--retry-unavailable", 0))
     slo_text = _flag_value(args, "--slo", None)
     slo_out = _flag_value(args, "--slo-out", None)
     slo_strict = "--slo-strict" in args
@@ -252,6 +410,35 @@ def loadtest_main(argv: list[str]) -> int:
               "processes, so their traces are not collectable here",
               file=sys.stderr)
         return 2
+    if chaos_kill is not None:
+        chaos_kill = int(chaos_kill)
+        if shards <= 1 or connect is not None:
+            print("--chaos-kill needs a self-hosted federation "
+                  "(--shards N, no --connect)", file=sys.stderr)
+            return 2
+        if journal is None:
+            print("--chaos-kill without --journal would lose the shard's "
+                  "acked ops; give the federation a journal directory",
+                  file=sys.stderr)
+            return 2
+        if not 0 <= chaos_kill < shards:
+            print(f"--chaos-kill {chaos_kill} is not a shard id of "
+                  f"--shards {shards}", file=sys.stderr)
+            return 2
+        if retry_unavailable == 0:
+            # The killed shard answers `unavailable` until revived; without
+            # a retry budget every op routed there during the outage fails.
+            retry_unavailable = 64
+    fault_plan = None
+    if client_faults is not None:
+        from ..sim.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_json(Path(client_faults).read_text())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"bad --client-faults {client_faults!r}: {exc}",
+                  file=sys.stderr)
+            return 2
 
     spec = LoadSpec(
         n_clients=n_clients,
@@ -262,6 +449,9 @@ def loadtest_main(argv: list[str]) -> int:
         insert_fraction=insert_frac,
         priorities=_parse_mix(mix or _default_mix(proto, n_priorities)),
         seed=seed,
+        retry_unavailable=retry_unavailable,
+        fault_plan=fault_plan,
+        fault_scale=fault_scale,
     )
 
     async def run():
@@ -280,12 +470,21 @@ def loadtest_main(argv: list[str]) -> int:
                 controller=controller,
             )
             async with router:
-                report = await run_loadtest(router.host, router.port, spec)
+                if chaos_kill is not None:
+                    report = await _chaos_loadtest(
+                        router, controller, spec,
+                        shard_id=chaos_kill, kill_after=kill_after,
+                    )
+                else:
+                    report = await run_loadtest(router.host, router.port, spec)
             return report, None
         service = QueueService(
             proto, n_nodes=n_nodes, seed=seed, runner=runner,
             n_priorities=n_priorities, window=window,
+            durability=_durability_config(journal, fsync, snapshot_every),
         )
+        if service.recovery is not None:
+            print(_recovery_line(service.recovery), flush=True)
         tracer = None
         if trace_dir is not None:
             from ..sim.trace import Tracer, tracing
@@ -306,6 +505,7 @@ def loadtest_main(argv: list[str]) -> int:
         controller = ShardController(
             proto=proto, n_nodes=n_nodes, seed=seed,
             n_priorities=n_priorities, window=window, runner=runner,
+            journal_root=journal, fsync=fsync, snapshot_every=snapshot_every,
         )
     try:
         if controller is not None:

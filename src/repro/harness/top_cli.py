@@ -52,6 +52,16 @@ def _sum_metrics(snapshot: dict, section: str, name: str) -> float:
     )
 
 
+def _has_metric(snapshot: dict, section: str, name: str) -> bool:
+    """True if any key in ``section`` has base name ``name`` (labels vary)."""
+    from ..service.telemetry import parse_metric_key
+
+    return any(
+        parse_metric_key(key)[0] == name
+        for key in snapshot.get(section, {})
+    )
+
+
 def _render_line(snapshot: dict, prev: tuple[float, dict] | None, now: float) -> str:
     ops = _sum_metrics(snapshot, "counters", "service_ops_total") or _sum_metrics(
         snapshot, "counters", "router_ops_total"
@@ -90,6 +100,15 @@ def _render_line(snapshot: dict, prev: tuple[float, dict] | None, now: float) ->
     dead = _sum_metrics(snapshot, "gauges", "router_shards_dead")
     if live or dead:
         parts.append(f"shards {live:.0f} live/{dead:.0f} dead")
+    # Durability plane, when journaling is on: recovery state + journal
+    # freshness.  Gauges are absent entirely on a non-durable service.
+    if _has_metric(snapshot, "gauges", "service_recovery_state"):
+        recovering = _sum_metrics(snapshot, "gauges", "service_recovery_state")
+        state = "recovering" if recovering else "durable"
+        replayed = _sum_metrics(snapshot, "counters", "service_ops_replayed_total")
+        age = _sum_metrics(snapshot, "gauges", "service_snapshot_age_seconds")
+        detail = f" replayed {replayed:.0f}" if replayed else ""
+        parts.append(f"{state}{detail} snap-age {age:.0f}s")
     frames = _sum_metrics(snapshot, "counters", "service_frames_in_total") + _sum_metrics(
         snapshot, "counters", "router_frames_in_total"
     )

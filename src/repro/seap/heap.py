@@ -56,9 +56,19 @@ class SeapHeap(OverlayCluster):
             self._submit_cursor += 1
         return self.middle_node(at)  # type: ignore[return-value]
 
-    def insert(self, priority: int, value: Any = None, at: int | None = None) -> OpHandle:
-        """Issue Insert(e) at real node ``at`` (round-robin if omitted)."""
-        handle = self._client(at).submit_insert(priority, value)
+    def insert(
+        self,
+        priority: int,
+        value: Any = None,
+        at: int | None = None,
+        uid: int | None = None,
+    ) -> OpHandle:
+        """Issue Insert(e) at real node ``at`` (round-robin if omitted).
+
+        ``uid`` pins the element's identity (crash recovery re-inserts
+        survivors under their original uids).
+        """
+        handle = self._client(at).submit_insert(priority, value, uid=uid)
         self._outstanding.append(handle)
         return handle
 

@@ -20,6 +20,13 @@ JSONL (:mod:`~repro.service.export`).  Loadtests can declare service
 level objectives (:func:`parse_slo` / :func:`evaluate_slo`) evaluated
 against the client-observed run.
 
+The durability plane (:mod:`~repro.service.durability`) makes the acked
+history crash-safe: a length-prefixed, checksummed write-ahead op
+journal (``--fsync always|interval|off``), periodic heap snapshots with
+journal truncation at snapshot boundaries, and a recovery path that
+replays the tail into a fresh cluster and re-certifies the spliced
+history with the *unmodified* semantics checkers before serving again.
+
 The simulator core never imports this package — ``import repro.service``
 is strictly additive, so simulator-only runs are byte-identical with it
 present or absent.
@@ -28,6 +35,16 @@ present or absent.
 from .admission import AdmissionController, AdmissionDecision, ShardedAdmission
 from .client import ClientResult, QueueClient
 from .controller import ShardController, ShardProcess, ShardSpec
+from .durability import (
+    DurabilityConfig,
+    DurabilityPlane,
+    Journal,
+    RecoveryResult,
+    certify_recovery,
+    decode_records,
+    encode_record,
+    recover,
+)
 from .export import (
     series_to_jsonl,
     to_prometheus,
@@ -79,6 +96,14 @@ __all__ = [
     "ShardController",
     "ShardProcess",
     "ShardSpec",
+    "DurabilityConfig",
+    "DurabilityPlane",
+    "Journal",
+    "RecoveryResult",
+    "certify_recovery",
+    "decode_records",
+    "encode_record",
+    "recover",
     "Band",
     "PartitionMap",
     "even_partition",

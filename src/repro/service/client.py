@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ServiceError, UnavailableError, WireError
+from ..sim.faults import DELAY, DROP, DUP, FaultPlan
 from .server import RESPONSE_MAX_FRAME
 from .wire import encode_frame, read_frame, write_frame
 
@@ -62,6 +63,10 @@ class QueueClient:
         timeout: float = 30.0,
         max_retries: int = 64,
         retry_jitter_seed: int = 0,
+        faults: FaultPlan | None = None,
+        fault_src: int = 0,
+        fault_time_scale: float = 0.01,
+        retry_unavailable: int = 0,
     ):
         self._reader = reader
         self._writer = writer
@@ -69,6 +74,21 @@ class QueueClient:
         self.timeout = float(timeout)
         self.max_retries = int(max_retries)
         self._jitter = random.Random(retry_jitter_seed)
+        #: frame-level chaos: the PR 2 fault plans, applied to this
+        #: client's op frames (see :meth:`_send_request`)
+        self._faults = faults
+        self.fault_src = int(fault_src)
+        self.fault_time_scale = float(fault_time_scale)
+        self._fault_nth = 0
+        self._fault_events: dict[int, list] = {}
+        if faults is not None:
+            for ev in faults.message_events():
+                if ev.src == self.fault_src:
+                    self._fault_events.setdefault(ev.nth, []).append(ev)
+        #: how many times to resubmit after a retryable ``unavailable``
+        #: (safe: an unavailable op was never acked, and the resubmission
+        #: is a *new* causal op — recovery's dedup never sees it twice)
+        self.retry_unavailable = int(retry_unavailable)
         self._rids = itertools.count()
         self._waiters: dict[int, asyncio.Future] = {}
         #: rid -> frame queue for streaming subscriptions (``watch``)
@@ -84,6 +104,13 @@ class QueueClient:
         #: client-observed totals (the load generator reads these)
         self.retry_total = 0
         self.shed_seen = 0
+        self.unavailable_seen = 0
+        #: what the chaos layer actually did
+        self.chaos_dropped = 0
+        self.chaos_retransmits = 0
+        self.chaos_lost = 0
+        self.chaos_delayed = 0
+        self.chaos_dups_suppressed = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -99,6 +126,10 @@ class QueueClient:
         retry_jitter_seed: int = 0,
         connect_retries: int = 20,
         connect_backoff: float = 0.05,
+        faults: FaultPlan | None = None,
+        fault_src: int = 0,
+        fault_time_scale: float = 0.01,
+        retry_unavailable: int = 0,
     ) -> "QueueClient":
         """Open a connection, absorbing the spawn-to-listen race.
 
@@ -126,6 +157,9 @@ class QueueClient:
             reader, writer,
             client=client, timeout=timeout, max_retries=max_retries,
             retry_jitter_seed=retry_jitter_seed,
+            faults=faults, fault_src=fault_src,
+            fault_time_scale=fault_time_scale,
+            retry_unavailable=retry_unavailable,
         )
         self._reader_task = asyncio.create_task(
             self._read_loop(), name=f"queue-client-{client or id(self)}"
@@ -205,10 +239,61 @@ class QueueClient:
         waiter: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters[rid] = waiter
         try:
-            await write_frame(self._writer, request)
+            await self._send_request(request)
             return await waiter
         finally:
             self._waiters.pop(rid, None)
+
+    async def _send_request(self, request: dict) -> None:
+        """Put one request frame on the wire, through the chaos layer.
+
+        With a :class:`~repro.sim.faults.FaultPlan` attached, **op frames**
+        (insert/deletemin) are matched against the plan's message events by
+        their ordinal on this client's channel — the same nth-transmission
+        targeting the simulator's :class:`~repro.sim.faults.FaultInjector`
+        uses, with ``src`` being this client's ``fault_src`` and ``dst``
+        ignored (one client has exactly one channel, to the server).
+        Session-control frames (hello/close/...) are never faulted — losing
+        those models a connection death, which :class:`QueueClient` already
+        exercises elsewhere.
+
+        * **drop** — reliable plans retransmit the frame after
+          ``retry_timeout * fault_time_scale`` seconds (the ack/timeout
+          discipline, with sim time units scaled to wall seconds);
+          unreliable plans lose it for good and the caller's timeout is
+          the symptom.
+        * **delay** — the frame is held ``hold * fault_time_scale``
+          seconds; pipelined siblings overtake it (adversarial
+          reordering at the TCP layer).
+        * **dup** — counted but *suppressed*: the live wire has no
+          sequence-number dedup, so a duplicated op frame would be a
+          genuine double execution, which the conservation checker
+          (correctly!) rejects.  The counter keeps seeded plans honest
+          about what they asked for.
+        """
+        if self._faults is not None and request.get("op") in ("insert", "deletemin"):
+            nth = self._fault_nth
+            self._fault_nth += 1
+            hold = 0.0
+            dropped = False
+            for ev in self._fault_events.get(nth, ()):
+                if ev.kind == DROP:
+                    dropped = True
+                elif ev.kind == DELAY:
+                    hold += max(ev.hold, 0.0) * self.fault_time_scale
+                    self.chaos_delayed += 1
+                elif ev.kind == DUP:
+                    self.chaos_dups_suppressed += 1
+            if dropped:
+                self.chaos_dropped += 1
+                if not self._faults.reliable:
+                    self.chaos_lost += 1
+                    return  # never sent; the caller's timeout reports it
+                hold += self._faults.retry_timeout * self.fault_time_scale
+                self.chaos_retransmits += 1
+            if hold > 0.0:
+                await asyncio.sleep(hold)
+        await write_frame(self._writer, request)
 
     def request_nowait(self, request: dict) -> asyncio.Future:
         """Put one frame on the wire *now*; await the returned future later.
@@ -254,10 +339,29 @@ class QueueClient:
     async def _request_with_retry(
         self, request: dict, timeout: float | None = None
     ) -> tuple[dict, int]:
-        """Send, absorbing RETRY_AFTER shedding with jittered backoff."""
+        """Send, absorbing RETRY_AFTER shedding with jittered backoff.
+
+        With ``retry_unavailable > 0``, retryable ``unavailable`` answers
+        (a federation shard down or mid-recovery) are also absorbed, with
+        seeded exponential backoff.  Resubmission is safe: an unavailable
+        op was never admitted anywhere, and the retry is a *new* causal
+        op id, so nothing can double-apply — the worst case is a delete
+        that executed at the shard but whose ack died with it, which is a
+        legal settled op the client simply never observed.
+        """
         retries = 0
+        unavailable = 0
         while True:
-            response = await self._request(request, timeout=timeout)
+            try:
+                response = await self._request(request, timeout=timeout)
+            except UnavailableError:
+                self.unavailable_seen += 1
+                if unavailable >= self.retry_unavailable:
+                    raise
+                unavailable += 1
+                base = 0.05 * (2 ** min(unavailable - 1, 6))
+                await asyncio.sleep(self._jitter.uniform(base / 2, base))
+                continue
             if response.get("status") != "retry_after":
                 return response, retries
             retries += 1

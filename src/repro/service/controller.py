@@ -49,9 +49,12 @@ class ShardSpec:
     window: int = 64
     runner: str = "sync"
     host: str = "127.0.0.1"
+    journal_dir: str | None = None
+    fsync: str = "interval"
+    snapshot_every: int = 500
 
     def argv(self) -> list[str]:
-        return [
+        argv = [
             sys.executable, "-u", "-m", "repro.harness", "serve",
             "--proto", self.proto,
             "--nodes", str(self.n_nodes),
@@ -62,6 +65,13 @@ class ShardSpec:
             "--host", self.host,
             "--port", "0",
         ]
+        if self.journal_dir is not None:
+            argv += [
+                "--journal", self.journal_dir,
+                "--fsync", self.fsync,
+                "--snapshot-every", str(self.snapshot_every),
+            ]
+        return argv
 
 
 @dataclass
@@ -108,6 +118,9 @@ class ShardController:
         runner: str = "sync",
         host: str = "127.0.0.1",
         spawn_timeout: float = 30.0,
+        journal_root: str | None = None,
+        fsync: str = "interval",
+        snapshot_every: int = 500,
     ):
         self.proto = proto
         self.n_nodes = int(n_nodes)
@@ -117,11 +130,16 @@ class ShardController:
         self.runner = runner
         self.host = host
         self.spawn_timeout = float(spawn_timeout)
+        #: per-shard journals live in ``<journal_root>/shard-<id>``
+        self.journal_root = journal_root
+        self.fsync = fsync
+        self.snapshot_every = int(snapshot_every)
         self.shards: dict[int, ShardProcess] = {}
         #: lifecycle counters (the router's telemetry hook reads these)
         self.spawned_total = 0
         self.killed_total = 0
         self.stopped_total = 0
+        self.restarted_total = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -129,6 +147,9 @@ class ShardController:
         """Launch one shard and block until its socket is ready."""
         if shard_id in self.shards and self.shards[shard_id].alive:
             raise ServiceError(f"shard {shard_id} is already running")
+        journal_dir = None
+        if self.journal_root is not None:
+            journal_dir = str(Path(self.journal_root) / f"shard-{shard_id}")
         spec = ShardSpec(
             shard_id=shard_id,
             proto=self.proto,
@@ -138,7 +159,13 @@ class ShardController:
             window=self.window,
             runner=self.runner,
             host=self.host,
+            journal_dir=journal_dir,
+            fsync=self.fsync,
+            snapshot_every=self.snapshot_every,
         )
+        return self._launch(spec)
+
+    def _launch(self, spec: ShardSpec) -> ShardProcess:
         process = subprocess.Popen(
             spec.argv(),
             stdout=subprocess.PIPE,
@@ -153,7 +180,7 @@ class ShardController:
             process.kill()
             process.wait()
             raise
-        self.shards[shard_id] = shard
+        self.shards[spec.shard_id] = shard
         self.spawned_total += 1
         return shard
 
@@ -161,6 +188,18 @@ class ShardController:
         for shard_id in shard_ids:
             self.spawn(shard_id)
         return dict(self.shards)
+
+    def restart(self, shard_id: int) -> ShardProcess:
+        """Respawn a dead shard from its recorded spec — same seed, same
+        journal directory, so (with journaling on) it recovers its band
+        instead of losing it.  Refuses to restart a live shard.
+        """
+        shard = self._get(shard_id)
+        if shard.alive:
+            raise ServiceError(f"shard {shard_id} is still running")
+        replacement = self._launch(shard.spec)
+        self.restarted_total += 1
+        return replacement
 
     def _await_ready(self, shard: ShardProcess) -> tuple[str, int]:
         """Parse the serve CLI's ready line, with a hard deadline.
@@ -241,6 +280,7 @@ class ShardController:
             "shards_spawned_total": self.spawned_total,
             "shards_killed_total": self.killed_total,
             "shards_stopped_total": self.stopped_total,
+            "shards_restarted_total": self.restarted_total,
             "shards_alive": alive,
             "shards_exited": len(self.shards) - alive,
         }

@@ -1,0 +1,624 @@
+"""Durability plane: write-ahead op journal, snapshots, certified recovery.
+
+A :class:`~repro.service.server.QueueService` with a journal directory
+survives ``kill -9``.  The design has three parts:
+
+* **Write-ahead op journal** — every *acknowledged* operation is appended
+  to the current journal segment *before* its completion frame is queued,
+  so the journal is the commit point: an op the client saw acked is on
+  disk, and an op that is on disk but was never acked is simply a settled
+  op whose response was lost (its client retries with a *new* causal op
+  id, so nothing double-applies).  Records are length-prefixed and
+  CRC32-checksummed; a torn tail (the process died mid-write) is detected
+  and truncated cleanly, never half-applied.  ``flush()`` runs on every
+  append batch — that is what ``kill -9`` safety needs (the OS keeps
+  flushed bytes) — while ``fsync`` runs per policy (``always`` /
+  ``interval`` / ``off``) to also survive OS/power loss.
+
+* **Snapshots** — at drained points (no admitted op unresolved, so the
+  history is settled and the census stable) the service writes the full
+  settled external history plus the live element census to
+  ``snapshot-NNNNNN.json`` (atomic: tmp + fsync + rename) and rotates to
+  journal segment ``NNNNNN``; older segments and snapshots are deleted
+  only after the rename, so a crash anywhere leaves a recoverable prefix.
+
+* **Recovery** — :func:`recover` loads the newest *valid* snapshot,
+  replays every journal segment at or after it (idempotent: records are
+  deduplicated by causal op id ``(owner, seq)``), derives the survivors
+  (inserted, never deleted) and the next generation/sequence base, and
+  :func:`certify_recovery` re-runs the *unmodified* semantics-checker
+  stack over the reconstructed history before the service serves a byte.
+
+Journal records are the service's external history entries (the
+``history`` frame's wire form) with the insert's ``value`` attached, and
+their order keys carry a **generation prefix** ``[generation, *key]`` —
+so the splice of all generations is one totally ordered, checkable
+history: every gen-``g`` op serializes after every gen-``g-1`` op, and
+within a generation the protocol's own witness order is preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import DurabilityError
+from ..semantics.checkers import (
+    check_element_conservation,
+    check_heap_consistency,
+    check_seap_history,
+    check_settled,
+    check_skeap_history,
+)
+from ..semantics.history import DELETE, INSERT, History
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "RECORD_HEADER",
+    "MAX_RECORD",
+    "DurabilityConfig",
+    "Journal",
+    "RecoveryResult",
+    "DurabilityPlane",
+    "encode_record",
+    "decode_records",
+    "write_snapshot",
+    "snapshot_files",
+    "journal_segments",
+    "recover",
+    "certify_recovery",
+]
+
+#: When to fsync the journal: every commit, at most once per interval, never.
+FSYNC_POLICIES = ("always", "interval", "off")
+
+#: 4-byte big-endian body length + 4-byte big-endian CRC32 of the body.
+RECORD_HEADER = 8
+
+#: A declared record length above this is treated as tail corruption.
+MAX_RECORD = 1 << 26
+
+
+def _segment_name(index: int) -> str:
+    return f"journal-{index:06d}.log"
+
+
+def _snapshot_name(index: int) -> str:
+    return f"snapshot-{index:06d}.json"
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """The durability knobs one service runs with."""
+
+    dir: Path
+    fsync: str = "interval"
+    fsync_interval: float = 0.05
+    snapshot_every: int = 500
+
+    def __post_init__(self):
+        object.__setattr__(self, "dir", Path(self.dir))
+        if self.fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {self.fsync!r}; available: {FSYNC_POLICIES}"
+            )
+        if self.fsync_interval <= 0:
+            raise DurabilityError("fsync_interval must be positive")
+        if self.snapshot_every < 1:
+            raise DurabilityError("snapshot_every must be >= 1")
+
+
+# -- record codec -----------------------------------------------------------
+
+
+def encode_record(entry: dict) -> bytes:
+    """One journal record: length + CRC32 + compact sorted JSON body."""
+    body = json.dumps(entry, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(body) > MAX_RECORD:
+        raise DurabilityError(f"journal record of {len(body)} bytes is oversized")
+    return (
+        len(body).to_bytes(4, "big")
+        + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "big")
+        + body
+    )
+
+
+def decode_records(data: bytes) -> tuple[list[dict], int]:
+    """Decode a segment's bytes into ``(records, clean_length)``.
+
+    Stops *cleanly* at the first sign of a torn tail — a short header, a
+    declared length beyond the buffer or :data:`MAX_RECORD`, a CRC
+    mismatch, or an unparsable body — and reports how many bytes formed
+    whole, verified records.  Never raises on corruption: a torn write is
+    an expected crash artifact, and recovery's contract is "replay the
+    record fully or drop it cleanly".
+    """
+    records: list[dict] = []
+    offset = 0
+    total = len(data)
+    while total - offset >= RECORD_HEADER:
+        length = int.from_bytes(data[offset : offset + 4], "big")
+        if length > MAX_RECORD or offset + RECORD_HEADER + length > total:
+            break
+        crc = int.from_bytes(data[offset + 4 : offset + 8], "big")
+        body = data[offset + RECORD_HEADER : offset + RECORD_HEADER + length]
+        if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+            break
+        try:
+            entry = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(entry, dict):
+            break
+        records.append(entry)
+        offset += RECORD_HEADER + length
+    return records, offset
+
+
+class Journal:
+    """An append-only segment file with checksummed records.
+
+    ``commit()`` is the durability boundary: it flushes the Python buffer
+    to the OS on every call (enough to survive ``kill -9`` of this
+    process) and fsyncs per policy (enough to survive the OS too).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: str = "interval",
+        fsync_interval: float = 0.05,
+        header: dict | None = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; available: {FSYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self.fsync_interval = float(fsync_interval)
+        self._fh = open(self.path, "ab")
+        self._last_fsync = time.monotonic()
+        self.bytes_written = 0
+        self.appends = 0
+        self.fsyncs = 0
+        if header is not None:
+            self.append({"_meta": header})
+            self.commit(force_fsync=self.fsync != "off")
+
+    def append(self, entry: dict) -> int:
+        """Buffer one record; returns its encoded size in bytes."""
+        data = encode_record(entry)
+        self._fh.write(data)
+        self.bytes_written += len(data)
+        self.appends += 1
+        return len(data)
+
+    def commit(self, *, force_fsync: bool = False) -> float:
+        """Flush buffered records; fsync per policy.  Returns fsync seconds."""
+        self._fh.flush()
+        now = time.monotonic()
+        due = self.fsync == "always" or (
+            self.fsync == "interval" and now - self._last_fsync >= self.fsync_interval
+        )
+        if not (due or force_fsync):
+            return 0.0
+        started = time.perf_counter()
+        os.fsync(self._fh.fileno())
+        self.fsyncs += 1
+        self._last_fsync = time.monotonic()
+        return time.perf_counter() - started
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        if self.fsync != "off":
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:
+                pass
+        self._fh.close()
+
+
+# -- snapshots --------------------------------------------------------------
+
+
+def write_snapshot(directory: str | Path, index: int, payload: dict) -> Path:
+    """Write ``snapshot-{index}.json`` atomically (tmp + fsync + rename)."""
+    directory = Path(directory)
+    final = directory / _snapshot_name(index)
+    tmp = directory / (_snapshot_name(index) + ".tmp")
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    _fsync_dir(directory)
+    return final
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make the rename itself durable where the platform allows it."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _indexed(directory: Path, prefix: str, suffix: str) -> list[tuple[int, Path]]:
+    out: list[tuple[int, Path]] = []
+    if not directory.is_dir():
+        return out
+    for path in directory.iterdir():
+        name = path.name
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        digits = name[len(prefix) : len(name) - len(suffix)]
+        if digits.isdigit():
+            out.append((int(digits), path))
+    out.sort()
+    return out
+
+
+def snapshot_files(directory: str | Path) -> list[tuple[int, Path]]:
+    """``(index, path)`` for every snapshot, ascending by index."""
+    return _indexed(Path(directory), "snapshot-", ".json")
+
+
+def journal_segments(directory: str | Path) -> list[tuple[int, Path]]:
+    """``(index, path)`` for every journal segment, ascending by index."""
+    return _indexed(Path(directory), "journal-", ".log")
+
+
+# -- recovery ---------------------------------------------------------------
+
+
+@dataclass
+class RecoveryResult:
+    """Everything a restarting service needs to resume where it died."""
+
+    #: the generation the *recovered* service runs as (prior + 1)
+    generation: int
+    #: the full settled external history across all prior generations
+    records: list[dict]
+    #: elements inserted but never deleted, in serialization order:
+    #: ``{"uid", "priority", "value", "order"}`` each
+    survivors: list[dict]
+    #: per-node ``_next_seq`` floor making new op ids/uids disjoint from
+    #: every prior generation's
+    seq_base: int
+    #: ops recovered from the journal tail beyond the snapshot
+    replayed_ops: int
+    #: the snapshot the replay started from (None: segments only)
+    snapshot_index: int | None
+    #: journal segments replayed
+    segments: int
+    #: proto/n_nodes/seed/order/discipline recorded by the prior incarnation
+    meta: dict = field(default_factory=dict)
+    #: the snapshot's live-element census (uids), for cross-checking
+    census: list[int] | None = None
+    #: how many of ``records`` came from the snapshot (its census refers to
+    #: exactly this prefix; the journal tail extends past it)
+    snapshot_ops: int = 0
+
+
+def recover(directory: str | Path) -> RecoveryResult | None:
+    """Reconstruct the prior state of a journal directory, or ``None``.
+
+    Loads the newest snapshot that parses (older ones are fallbacks for a
+    half-written or corrupted file), then replays every journal segment
+    with an index at or after it.  Replay is idempotent: records are
+    deduplicated by causal op id, so a record present in both the
+    snapshot and a segment — or twice in segments — applies once, and a
+    torn tail (see :func:`decode_records`) drops cleanly.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    base_records: list[dict] = []
+    base_index = 0
+    snapshot_index: int | None = None
+    meta: dict = {}
+    census: list[int] | None = None
+    for index, path in reversed(snapshot_files(directory)):
+        try:
+            payload = json.loads(path.read_text())
+            ops = payload["history"]["ops"]
+            if not isinstance(ops, list):
+                raise TypeError("history.ops is not a list")
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            continue  # half-written or corrupt: fall back to an older one
+        base_records = ops
+        base_index = index
+        snapshot_index = index
+        meta = dict(payload.get("meta") or {})
+        raw_census = payload.get("census")
+        if isinstance(raw_census, list):
+            census = [int(u) for u in raw_census]
+        break
+
+    segments = [
+        (i, path) for i, path in journal_segments(directory) if i >= base_index
+    ]
+    seen = {tuple(entry["op"]) for entry in base_records}
+    records = list(base_records)
+    replayed = 0
+    for _, path in segments:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            continue
+        entries, _ = decode_records(data)
+        for entry in entries:
+            if "_meta" in entry:
+                meta = dict(meta, **entry["_meta"])
+                continue
+            op_id = tuple(entry["op"])
+            if op_id in seen:
+                continue
+            seen.add(op_id)
+            records.append(entry)
+            replayed += 1
+
+    if snapshot_index is None and not segments:
+        return None  # nothing on disk: a genuinely fresh start
+
+    survivors = _derive_survivors(records)
+    max_seq = max((int(entry["op"][1]) for entry in records), default=-1)
+    prior_generation = int(meta.get("generation", 0))
+    return RecoveryResult(
+        generation=prior_generation + 1,
+        records=records,
+        survivors=survivors,
+        seq_base=max_seq + 1,
+        replayed_ops=replayed,
+        snapshot_index=snapshot_index,
+        segments=len(segments),
+        meta=meta,
+        census=census,
+        snapshot_ops=len(base_records),
+    )
+
+
+def _derive_survivors(records: list[dict]) -> list[dict]:
+    """Elements inserted but never deleted, in serialization-key order.
+
+    Two passes on purpose: records sit in journal *append* order (ack
+    order), and under concurrency a delete can be acked — and therefore
+    journaled — before the insert whose element it returned.  Matching
+    deletes against inserts set-wise makes the derivation independent of
+    that interleaving; uids are globally unique, so no order is needed.
+    """
+    inserted: dict[int, dict] = {}
+    deleted: set[int] = set()
+    for entry in records:
+        if entry["kind"] == INSERT:
+            inserted[entry["uid"]] = {
+                "uid": entry["uid"],
+                "priority": entry["priority"],
+                "value": entry.get("value"),
+                "order": entry.get("order"),
+            }
+        elif entry["kind"] == DELETE and entry.get("ret") is not None:
+            deleted.add(entry["ret"])
+    return sorted(
+        (s for uid, s in inserted.items() if uid not in deleted),
+        key=lambda s: tuple(s["order"]) if s["order"] is not None else (),
+    )
+
+
+def certify_recovery(result: RecoveryResult) -> list[str]:
+    """Run the unmodified semantics-checker stack over a recovery.
+
+    The reconstructed history must pass the same bundle a live loadtest's
+    history does, element conservation must hold against the derived
+    survivors, and (when the snapshot recorded one) the persisted census
+    must equal the replay's.  Returns the check names; raises
+    :class:`~repro.errors.ConsistencyError` /
+    :class:`~repro.errors.DurabilityError` on the first violation.
+    """
+    history = History.from_jsonable({"ops": result.records})
+    passed: list[str] = []
+    proto = result.meta.get("proto", "skeap")
+    order = result.meta.get("order", "min")
+    discipline = result.meta.get("discipline", "fifo")
+    if proto == "skeap" and discipline == "fifo":
+        check_skeap_history(history, order=order)
+        passed.append("skeap(SC+heap+serial)")
+    elif proto == "seap":
+        check_seap_history(history)
+        passed.append("seap(serializable+heap)")
+    else:
+        check_settled(history)
+        check_heap_consistency(history, order=order)
+        passed.append("heap-consistency")
+    survivor_uids = [s["uid"] for s in result.survivors]
+    check_element_conservation(history, survivor_uids)
+    passed.append("conservation")
+    if result.census is not None:
+        # The census describes the state *at the snapshot cut* — compare it
+        # against the snapshot prefix, not the tail-extended replay.
+        at_snapshot = sorted(
+            s["uid"] for s in _derive_survivors(result.records[: result.snapshot_ops])
+        )
+        if sorted(result.census) != at_snapshot:
+            raise DurabilityError(
+                f"snapshot census ({len(result.census)} elements) contradicts "
+                f"its own history prefix ({len(at_snapshot)} survivors)"
+            )
+        passed.append("census")
+    return passed
+
+
+# -- the plane one service drives -------------------------------------------
+
+
+class DurabilityPlane:
+    """File lifecycle for one service: segments, snapshots, pruning.
+
+    The :class:`~repro.service.server.QueueService` owns the policy
+    decisions (what to journal, when a drained point is reached); this
+    object owns the directory: which segment is current, how snapshots
+    rotate, and which files are safe to delete.
+    """
+
+    def __init__(self, config: DurabilityConfig, *, meta: dict | None = None):
+        self.config = config
+        self.meta = dict(meta or {})
+        self.config.dir.mkdir(parents=True, exist_ok=True)
+        self.generation = 0
+        self.segment = 0
+        self.journal: Journal | None = None
+        #: cumulative tallies (survive segment rotation)
+        self.bytes_total = 0
+        self.appends_total = 0
+        self.fsyncs_total = 0
+        self.snapshots_total = 0
+        self._last_snapshot = time.monotonic()
+
+    # -- startup -----------------------------------------------------------
+
+    def recover(self) -> RecoveryResult | None:
+        result = recover(self.config.dir)
+        if result is not None:
+            self.generation = result.generation
+        return result
+
+    def begin(
+        self,
+        records: list[dict],
+        census: list[int],
+        *,
+        state: dict | None = None,
+    ) -> None:
+        """Open this generation: startup snapshot + fresh journal segment.
+
+        The startup snapshot captures the recovered (or empty) history, so
+        every older segment and snapshot immediately becomes prunable —
+        the recovery chain never grows past one snapshot plus the current
+        generation's segments.
+        """
+        existing = [i for i, _ in journal_segments(self.config.dir)]
+        existing += [i for i, _ in snapshot_files(self.config.dir)]
+        self.segment = max(existing) + 1 if existing else 0
+        self._write_snapshot(records, census, state)
+        self._open_segment()
+        self._prune()
+
+    # -- the hot path --------------------------------------------------------
+
+    def append_batch(self, entries: list[dict]) -> tuple[int, float]:
+        """Journal a batch of acked-op records; returns (bytes, fsync secs).
+
+        The caller sends completion frames only after this returns: the
+        flush inside ``commit`` is the ack commit point.
+        """
+        if self.journal is None:
+            raise DurabilityError("durability plane has no open segment")
+        nbytes = 0
+        for entry in entries:
+            nbytes += self.journal.append(entry)
+        fsync_seconds = self.journal.commit()
+        self.bytes_total += nbytes
+        self.appends_total += len(entries)
+        if fsync_seconds:
+            self.fsyncs_total += 1
+        return nbytes, fsync_seconds
+
+    def rotate(
+        self,
+        records: list[dict],
+        census: list[int],
+        *,
+        state: dict | None = None,
+    ) -> float:
+        """Snapshot the settled state and truncate the journal behind it.
+
+        Returns the snapshot's write duration in seconds.  Crash-ordering
+        safety: the new snapshot is renamed into place *before* the old
+        segment is deleted, and the old segment's records are all inside
+        the snapshot (the caller rotates at drained points only), so a
+        crash between any two steps recovers to the same history.
+        """
+        started = time.perf_counter()
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+        self.segment += 1
+        self._write_snapshot(records, census, state)
+        self._open_segment()
+        self._prune()
+        return time.perf_counter() - started
+
+    def snapshot_age(self) -> float:
+        return time.monotonic() - self._last_snapshot
+
+    def telemetry(self) -> dict:
+        return {
+            "dir": str(self.config.dir),
+            "fsync": self.config.fsync,
+            "snapshot_every": self.config.snapshot_every,
+            "generation": self.generation,
+            "segment": self.segment,
+            "journal_bytes": self.bytes_total,
+            "journal_appends": self.appends_total,
+            "journal_fsyncs": self.fsyncs_total,
+            "snapshots": self.snapshots_total,
+            "snapshot_age": self.snapshot_age(),
+        }
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+
+    # -- internals -----------------------------------------------------------
+
+    def _header(self) -> dict:
+        return dict(self.meta, generation=self.generation, segment=self.segment)
+
+    def _write_snapshot(
+        self, records: list[dict], census: list[int], state: dict | None
+    ) -> None:
+        payload = {
+            "version": 1,
+            "meta": self._header(),
+            "history": {"ops": records},
+            "census": sorted(census),
+            "state": state or {},
+            "written_at": time.time(),
+        }
+        write_snapshot(self.config.dir, self.segment, payload)
+        self.snapshots_total += 1
+        self._last_snapshot = time.monotonic()
+
+    def _open_segment(self) -> None:
+        self.journal = Journal(
+            self.config.dir / _segment_name(self.segment),
+            fsync=self.config.fsync,
+            fsync_interval=self.config.fsync_interval,
+            header=self._header(),
+        )
+
+    def _prune(self) -> None:
+        """Delete segments/snapshots older than the current snapshot."""
+        for index, path in journal_segments(self.config.dir):
+            if index < self.segment:
+                path.unlink(missing_ok=True)
+        for index, path in snapshot_files(self.config.dir):
+            if index < self.segment:
+                path.unlink(missing_ok=True)

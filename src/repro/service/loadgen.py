@@ -43,6 +43,7 @@ from ..semantics.checkers import (
     check_skeap_history,
 )
 from ..semantics.history import DELETE, INSERT, History
+from ..sim.faults import FaultPlan
 from ..sim.rng import derive_seed
 from ..workloads.generators import PriorityDistribution, fixed_priorities
 from .client import ClientResult, QueueClient
@@ -77,6 +78,12 @@ class LoadSpec:
     )
     seed: int = 0
     timeout: float = 60.0
+    #: resubmit budget for retryable ``unavailable`` answers (chaos runs)
+    retry_unavailable: int = 0
+    #: frame-level chaos on every client's socket (see QueueClient)
+    fault_plan: FaultPlan | None = None
+    #: wall seconds per simulated time unit for fault holds/retries
+    fault_scale: float = 0.01
 
     def __post_init__(self):
         if self.n_clients < 1 or self.ops_per_client < 1:
@@ -483,6 +490,10 @@ async def run_loadtest(
                     client=f"loadgen-{i}",
                     timeout=spec.timeout,
                     retry_jitter_seed=derive_seed(spec.seed, "loadgen-jitter", i),
+                    faults=spec.fault_plan,
+                    fault_src=i + 1,  # plan channels: src = 1-based client
+                    fault_time_scale=spec.fault_scale,
+                    retry_unavailable=spec.retry_unavailable,
                 )
             )
         observations: list[Observation] = []

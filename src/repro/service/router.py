@@ -161,6 +161,7 @@ class QueueRouter:
         self.ops_failed = 0
         self.ops_unavailable = 0
         self.rebalances = 0
+        self.revives = 0
         #: the telemetry plane: registry + downstream wire tallies + sampler
         self.controller = controller
         self.metrics = MetricsRegistry() if telemetry else NullRegistry()
@@ -197,6 +198,7 @@ class QueueRouter:
         self._m_barrier_wait = reg.histogram("router_barrier_wait_seconds")
         self._m_rebalances = reg.counter("router_rebalances_total")
         self._m_rebalance_moved = reg.counter("router_rebalance_moved_total")
+        self._m_revives = reg.counter("router_shard_revives_total")
         self._m_scrapes = reg.counter("router_metrics_scrapes_total")
         #: per-shard upstream round-trip histograms, created on demand
         #: (the shard roster changes at rebalance)
@@ -724,6 +726,52 @@ class QueueRouter:
 
         return await self._with_barrier(run)
 
+    # -- revive (crash recovery) -------------------------------------------
+
+    async def revive(
+        self, shard_id: int, *, endpoint: tuple[str, int] | None = None
+    ) -> dict:
+        """Fold a restarted shard back into routing at a barrier.
+
+        While a shard is dead its band answers retryable ``unavailable``;
+        after the controller restarts it (from its journal, ideally) this
+        reconnects the upstream, clears the dead mark, and — crucially —
+        seeds the router's optimistic element count from the *recovered
+        census*, not zero: a revived journaling shard comes back holding
+        its band's elements, and assuming an empty shard would misroute
+        every deletemin probe until the next barrier corrected it.
+        """
+        if shard_id not in self._upstreams:
+            raise ServiceError(f"unknown shard {shard_id}")
+
+        async def run() -> dict:
+            upstream = self._upstreams[shard_id]
+            if upstream.client is not None:
+                # The stale connection's node count was folded into
+                # n_nodes at connect time; take it back out before the
+                # fresh hello re-adds the replacement's.
+                self.n_nodes -= upstream.client.n_nodes
+                try:
+                    await upstream.client.aclose()
+                except Exception:  # noqa: BLE001 - the old socket is dead
+                    pass
+                upstream.client = None
+            if endpoint is not None:
+                upstream.host, upstream.port = endpoint
+            await self._connect_upstream(upstream)
+            self._dead.discard(shard_id)
+            census = await self._shard_barrier_call(upstream.client.census)
+            self._counts[shard_id] = census
+            self.revives += 1
+            self._m_revives.inc()
+            return {
+                "shard": shard_id,
+                "census": census,
+                "endpoint": [upstream.host, upstream.port],
+            }
+
+        return await self._with_barrier(run)
+
     # -- connections (downstream) ------------------------------------------
 
     async def _handle_connection(
@@ -978,6 +1026,7 @@ class QueueRouter:
             "shards": list(self.pmap.shard_ids),
             "dead": sorted(self._dead),
             "rebalances": self.rebalances,
+            "revives": self.revives,
         }
 
     async def _stats_frame(self, rid) -> dict:

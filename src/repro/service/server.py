@@ -43,11 +43,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..errors import ServiceError, WireError
+from ..errors import DurabilityError, ServiceError, WireError
 from ..seap import SeapHeap
 from ..semantics.history import DELETE, INSERT
 from ..skeap import SkeapHeap
 from .admission import AdmissionController
+from .durability import DurabilityConfig, DurabilityPlane, certify_recovery
 from .telemetry import MetricsRegistry, NullRegistry, TelemetrySampler
 from .wire import DEFAULT_MAX_FRAME, WireStats, read_frame, write_frame
 
@@ -127,6 +128,7 @@ class QueueService:
         telemetry: bool = True,
         metrics_interval: float = 1.0,
         metrics_capacity: int = 512,
+        durability: DurabilityConfig | None = None,
     ):
         if heap is not None:
             self.heap = heap
@@ -173,7 +175,81 @@ class QueueService:
         self._sampler_task: asyncio.Task | None = None
         #: live ``watch`` subscriptions, keyed (session_id, rid)
         self._watches: dict[tuple[int, Any], asyncio.Task] = {}
+        #: the durability plane (None: this service forgets on crash)
+        self.durability: DurabilityPlane | None = None
+        self.generation = 0
+        self.recovery: dict | None = None
+        self._prior_records: list[dict] = []
+        self._gen_records: list[dict] = []
+        self._bootstrap_ids: set[tuple[int, int]] = set()
+        self._ops_since_snapshot = 0
+        self._recovering = False
+        if durability is not None:
+            self._open_durability(durability)
         self._init_instruments()
+
+    def _open_durability(self, config: DurabilityConfig) -> None:
+        """Recover from the journal directory (if any) and start journaling.
+
+        Runs synchronously before the service accepts a byte: the restored
+        heap is certified by the unmodified checker stack first, so a shard
+        never serves from state it cannot prove consistent.
+        """
+        self._recovering = True
+        self.durability = DurabilityPlane(
+            config,
+            meta={
+                "proto": self.proto,
+                "n_nodes": self.heap.n_nodes,
+                "seed": self.seed,
+                "order": getattr(self.heap, "order", "min"),
+                "discipline": getattr(self.heap, "discipline", "fifo"),
+            },
+        )
+        result = self.durability.recover()
+        if result is not None:
+            for key, current in (("proto", self.proto), ("n_nodes", self.heap.n_nodes)):
+                prior = result.meta.get(key)
+                if prior is not None and prior != current:
+                    raise DurabilityError(
+                        f"journal dir {config.dir} was written by {key}={prior!r}; "
+                        f"this service runs {key}={current!r}"
+                    )
+            checks = certify_recovery(result)
+            # Every future op id and auto-minted uid must be disjoint from
+            # all prior generations', or replay idempotence and the dup-uid
+            # history guard both collapse.
+            for real in range(self.heap.n_nodes):
+                self.heap.middle_node(real)._next_seq = result.seq_base
+            # Re-insert the survivors one at a time, in serialization-key
+            # order, under their original uids.  Sequential settling makes
+            # the live heap's FIFO tiebreak order equal the spliced
+            # history's ≺ — which the skeap replay-exactness check demands
+            # when this generation's deletes start draining them.
+            for survivor in result.survivors:
+                handle = self.heap.insert(
+                    priority=survivor["priority"],
+                    value=survivor["value"],
+                    uid=survivor["uid"],
+                )
+                self._bootstrap_ids.add(handle.op_id)
+                self.heap.settle()
+            self._prior_records = list(result.records)
+            self.generation = self.durability.generation
+            self.recovery = {
+                "generation": self.generation,
+                "ops_replayed": result.replayed_ops,
+                "elements_restored": len(result.survivors),
+                "snapshot_index": result.snapshot_index,
+                "segments": result.segments,
+                "checks": checks,
+            }
+        self.durability.begin(
+            list(self._prior_records),
+            sorted(self.heap.stored_uids()),
+            state={"admission": self.admission.snapshot()},
+        )
+        self._recovering = False
 
     def _init_instruments(self) -> None:
         """Pre-fetch every hot-path metric object; register scrape hooks.
@@ -203,6 +279,11 @@ class QueueService:
         self._m_barrier_wait = reg.histogram("service_barrier_wait_seconds")
         self._m_connections = reg.counter("service_connections_total")
         self._m_scrapes = reg.counter("service_metrics_scrapes_total")
+        if self.durability is not None:
+            self._m_journal_bytes = reg.counter("service_journal_bytes_total")
+            self._m_journal_appends = reg.counter("service_journal_appends_total")
+            self._m_fsync_lat = reg.histogram("service_journal_fsync_seconds")
+            self._m_snapshot_dur = reg.histogram("service_snapshot_duration_seconds")
         reg.add_hook(self._refresh_gauges)
 
     def _refresh_gauges(self) -> None:
@@ -235,6 +316,22 @@ class QueueService:
         reg.counter("service_bytes_out_total").value = ws.bytes_out
         reg.counter("service_framing_errors_total").value = ws.framing_errors
         reg.counter("service_oversize_errors_total").value = ws.oversize_errors
+        if self.durability is not None:
+            plane = self.durability
+            # 0 = serving, 1 = recovering (``harness top`` renders the label)
+            reg.gauge("service_recovery_state").set(1.0 if self._recovering else 0.0)
+            reg.gauge("service_generation").set(plane.generation)
+            reg.gauge("service_journal_segment").set(plane.segment)
+            reg.gauge("service_snapshot_age_seconds").set(plane.snapshot_age())
+            reg.counter("service_journal_fsyncs_total").value = plane.fsyncs_total
+            reg.counter("service_snapshots_total").value = plane.snapshots_total
+            rec = self.recovery or {}
+            reg.counter("service_ops_replayed_total").value = rec.get(
+                "ops_replayed", 0
+            )
+            reg.counter("service_recovery_elements_total").value = rec.get(
+                "elements_restored", 0
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -283,6 +380,8 @@ class QueueService:
             self._server = None
         for session in list(self._sessions.values()):
             session.writer.close()
+        if self.durability is not None:
+            self.durability.close()
 
     async def __aenter__(self) -> "QueueService":
         await self.start()
@@ -351,6 +450,20 @@ class QueueService:
                 (op_id, op) for op_id, op in self._pending.items() if op.handle.done
             ]
             now = time.monotonic()
+            if landed and self.durability is not None:
+                # Journal-then-ack: the batch hits the journal (and the OS,
+                # via flush) *before* any completion frame is queued, so an
+                # op the client saw acked is on disk by construction.
+                entries = [
+                    self._external_record(op_id, op.handle) for op_id, op in landed
+                ]
+                nbytes, fsync_s = self.durability.append_batch(entries)
+                self._gen_records.extend(entries)
+                self._ops_since_snapshot += len(entries)
+                self._m_journal_bytes.inc(nbytes)
+                self._m_journal_appends.inc(len(entries))
+                if fsync_s:
+                    self._m_fsync_lat.observe(fsync_s)
             for op_id, op in landed:
                 del self._pending[op_id]
                 self.admission.release(op.session.session_id)
@@ -368,6 +481,49 @@ class QueueService:
             for barrier in barriers:
                 self._m_barrier_wait.observe(now - barrier.enqueued_at)
                 self._send_soon(barrier.session, self._serve_barrier(barrier))
+        if (
+            self.durability is not None
+            and not self._pending
+            and self._ops_since_snapshot >= self.durability.config.snapshot_every
+        ):
+            # A drained point: the history is settled and the census stable,
+            # so the snapshot is a consistent cut by the same argument the
+            # barrier reads lean on.
+            duration = self.durability.rotate(
+                self._prior_records + self._gen_records,
+                sorted(self.heap.stored_uids()),
+                state={"admission": self.admission.snapshot()},
+            )
+            self._ops_since_snapshot = 0
+            self._m_snapshot_dur.observe(duration)
+
+    def _external_record(self, op_id, handle) -> dict:
+        """One acked op as a journal record (the wire history entry form).
+
+        The serialization key gets a generation prefix ``[gen, *key]`` so
+        the splice of all generations is one totally ordered history, and
+        inserts carry their ``value`` (the in-simulation
+        :class:`~repro.semantics.history.OpRecord` doesn't store it) so a
+        recovered element comes back payload and all.
+        """
+        rec = self.heap.history.ops[op_id]
+        entry: dict[str, Any] = {
+            "op": list(op_id),
+            "kind": rec.kind,
+            "priority": rec.priority,
+            "uid": rec.uid,
+            "order": (
+                [self.generation, *rec.order_key]
+                if rec.order_key is not None
+                else None
+            ),
+            "ret": rec.returned_uid,
+            "bot": rec.returned_bot,
+            "done": True,
+        }
+        if rec.kind == INSERT:
+            entry["value"] = getattr(handle, "value", None)
+        return entry
 
     def _completion_frame(self, op_id, op: _PendingOp) -> dict:
         handle = op.handle
@@ -408,15 +564,32 @@ class QueueService:
             return _error(barrier.rid, f"{type(exc).__name__}: {exc}")
 
     def _history_frame(self, rid) -> dict:
-        return {
+        frame = {
             "rid": rid,
             "status": "ok",
-            "history": self.heap.history.to_jsonable(),
+            "history": self._external_history(),
             "stored_uids": sorted(self.heap.stored_uids()),
             "proto": self.proto,
             "order": getattr(self.heap, "order", "min"),
             "discipline": getattr(self.heap, "discipline", "fifo"),
         }
+        if self.durability is not None:
+            frame["generation"] = self.generation
+        return frame
+
+    def _external_history(self) -> dict:
+        """The served history: live recorder, or the durable splice.
+
+        With durability on, the truth is the journaled record stream —
+        every prior generation's ops under their gen-prefixed order keys
+        plus this generation's acked ops — and the bootstrap re-inserts
+        are *excluded*: their elements are already accounted for by the
+        prior generations' insert records, and served at a drained point
+        the splice is complete (only landed ops exist, all journaled).
+        """
+        if self.durability is None:
+            return self.heap.history.to_jsonable()
+        return {"ops": self._prior_records + self._gen_records}
 
     def _census_frame(self, rid) -> dict:
         """The drained-point element count (the federation's rebalance input).
@@ -501,11 +674,19 @@ class QueueService:
         The *protocol* ops themselves still run to completion inside the
         simulation (they are already part of the history); only the
         response futures die with the connection.
+
+        With durability on, pending ops of the departed session are *kept*:
+        they will land, be journaled, and join the served history — which
+        element conservation requires, since their elements exist in the
+        census.  Their completion frames die quietly (``_send_soon`` skips
+        closed sessions) and their admission slots were already returned by
+        ``unregister``; ``release`` on an unregistered session is a no-op.
         """
-        for op_id in [
-            op_id for op_id, op in self._pending.items() if op.session is session
-        ]:
-            del self._pending[op_id]
+        if self.durability is None:
+            for op_id in [
+                op_id for op_id, op in self._pending.items() if op.session is session
+            ]:
+                del self._pending[op_id]
         self._barriers = [b for b in self._barriers if b.session is not session]
 
     async def _dispatch(self, session: _Session, request: dict) -> bool:
@@ -605,7 +786,7 @@ class QueueService:
 
     def _stats_frame(self, rid) -> dict:
         runner = self.heap.runner
-        return {
+        frame = {
             "rid": rid,
             "status": "ok",
             "proto": self.proto,
@@ -620,6 +801,17 @@ class QueueService:
             "history_ops": len(self.heap.history),
             "wire": self.wire_stats.to_dict(),
         }
+        if self.durability is not None:
+            rec = self.recovery or {}
+            frame["durability"] = self.durability.telemetry()
+            frame["recovery"] = {
+                "state": "recovering" if self._recovering else "serving",
+                "generation": self.generation,
+                "ops_replayed": rec.get("ops_replayed", 0),
+                "elements_restored": rec.get("elements_restored", 0),
+                "snapshot_age_seconds": self.durability.snapshot_age(),
+            }
+        return frame
 
     # -- telemetry scrape + watch stream -----------------------------------
 

@@ -70,9 +70,20 @@ class SkeapHeap(OverlayCluster):
             self._submit_cursor += 1
         return self.middle_node(at)
 
-    def insert(self, priority: int, value: Any = None, at: int | None = None) -> OpHandle:
-        """Issue Insert(e) at real node ``at`` (round-robin if omitted)."""
-        handle = self._client(at).submit_insert(priority, value)
+    def insert(
+        self,
+        priority: int,
+        value: Any = None,
+        at: int | None = None,
+        uid: int | None = None,
+    ) -> OpHandle:
+        """Issue Insert(e) at real node ``at`` (round-robin if omitted).
+
+        ``uid`` pins the element's identity instead of minting a fresh
+        one — how crash recovery re-inserts survivors under their
+        original uids so the spliced history stays checkable.
+        """
+        handle = self._client(at).submit_insert(priority, value, uid=uid)
         self._outstanding.append(handle)
         return handle
 

@@ -1,0 +1,479 @@
+"""The durability-plane test battery: codec, torn tails, recovery, chaos.
+
+Five layers, cheapest first:
+
+* **record codec** — property-based round-trips of the length-prefixed,
+  CRC32-checksummed journal record format;
+* **torn writes** — a journal truncated at *every* byte offset decodes
+  to a clean prefix of whole records, never raises, never half-applies;
+* **recovery units** — snapshot + segment replay through
+  :func:`~repro.service.durability.recover`: op-id dedup, fallback past
+  a corrupt newest snapshot, absent-state handling;
+* **live restart** — a durable :class:`QueueService` is torn down and
+  rebooted from its journal directory; elements, values, and FIFO order
+  survive, the spliced cross-generation history passes the unmodified
+  checker stack, and the recovery certificate is surfaced in ``stats``;
+* **wire chaos + revive** — the PR 2 fault-plan vocabulary applied to a
+  live client socket (drop/delay/dup), the unavailable-retry loop, and
+  the router's restart-revive path rebuilding its element counts from
+  the recovered shard's census.
+"""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DurabilityError
+from repro.semantics.history import History
+from repro.service import LoadSpec, QueueClient, QueueService, run_loadtest
+from repro.service.durability import (
+    RECORD_HEADER,
+    DurabilityConfig,
+    DurabilityPlane,
+    Journal,
+    certify_recovery,
+    decode_records,
+    encode_record,
+    journal_segments,
+    recover,
+    snapshot_files,
+    write_snapshot,
+)
+from repro.service.partition import even_partition
+from repro.service.router import QueueRouter
+from repro.sim.faults import DELAY, DROP, DUP, FaultEvent, FaultPlan
+
+
+def _entry(n, s, kind="ins", priority=1, uid=None, order=(0, 1)):
+    return {
+        "op": [n, s], "kind": kind, "priority": priority,
+        "uid": (n << 32) | s if uid is None else uid,
+        "order": list(order), "ret": None, "bot": False, "done": True,
+    }
+
+
+# -- record codec -----------------------------------------------------------
+
+_json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(-(2**53), 2**53),
+    st.text(max_size=20),
+)
+_json_values = st.recursive(
+    _json_scalars,
+    lambda inner: st.lists(inner, max_size=4)
+    | st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    max_leaves=10,
+)
+_entries = st.dictionaries(st.text(max_size=8), _json_values, max_size=6)
+
+
+class TestRecordCodec:
+    @given(entries=st.lists(_entries, max_size=8))
+    @settings(max_examples=40)
+    def test_round_trip(self, entries):
+        blob = b"".join(encode_record(e) for e in entries)
+        records, offset = decode_records(blob)
+        assert records == entries
+        assert offset == len(blob)
+
+    def test_header_layout(self):
+        data = encode_record({"a": 1})
+        body = json.dumps({"a": 1}, separators=(",", ":")).encode()
+        assert len(data) == RECORD_HEADER + len(body)
+        assert int.from_bytes(data[:4], "big") == len(body)
+
+    def test_oversized_record_refused(self):
+        with pytest.raises(DurabilityError):
+            encode_record({"blob": "x" * (1 << 26)})
+
+
+class TestTornWrites:
+    @given(cut=st.integers(0, 400), n_records=st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_any_truncation_yields_a_clean_prefix(self, cut, n_records):
+        entries = [_entry(0, s, priority=s % 5) for s in range(n_records)]
+        blob = b"".join(encode_record(e) for e in entries)
+        records, offset = decode_records(blob[: min(cut, len(blob))])
+        # Whole records only, in order, and the clean offset is exactly
+        # their encoded length — the torn tail is dropped, not guessed at.
+        assert records == entries[: len(records)]
+        assert offset == len(b"".join(encode_record(e) for e in records))
+
+    def test_every_byte_offset_of_a_real_journal(self, tmp_path):
+        path = tmp_path / "journal-000000.log"
+        journal = Journal(path, fsync="off")
+        entries = [_entry(1, s, kind="ins" if s % 2 else "del") for s in range(5)]
+        for e in entries:
+            journal.append(e)
+        journal.commit()
+        journal.close()
+        blob = path.read_bytes()
+        for cut in range(len(blob) + 1):
+            records, offset = decode_records(blob[:cut])
+            assert records == entries[: len(records)]
+            assert offset <= cut
+
+    def test_bit_rot_stops_cleanly_at_the_damage(self):
+        entries = [_entry(0, s) for s in range(3)]
+        blob = bytearray(b"".join(encode_record(e) for e in entries))
+        second = len(encode_record(entries[0]))
+        blob[second + RECORD_HEADER] ^= 0xFF  # corrupt record 1's body
+        records, offset = decode_records(bytes(blob))
+        assert records == entries[:1]
+        assert offset == second
+
+    def test_garbage_tail_after_valid_records(self):
+        blob = encode_record(_entry(0, 0)) + b"\xde\xad\xbe\xef" * 5
+        records, offset = decode_records(blob)
+        assert len(records) == 1
+        assert offset == len(encode_record(_entry(0, 0)))
+
+
+# -- recovery units ---------------------------------------------------------
+
+
+class TestRecover:
+    def test_missing_and_empty_dirs_recover_to_none(self, tmp_path):
+        assert recover(tmp_path / "nope") is None
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert recover(empty) is None
+
+    def test_snapshot_plus_tail_dedups_op_ids(self, tmp_path):
+        base = [_entry(0, 0, order=(0, 1)), _entry(0, 1, order=(0, 2))]
+        tail_only = _entry(0, 2, order=(0, 3))
+        write_snapshot(tmp_path, 4, {
+            "version": 1, "meta": {"generation": 0, "proto": "skeap"},
+            "history": {"ops": base},
+            "census": sorted(e["uid"] for e in base),
+            "state": {},
+        })
+        journal = Journal(tmp_path / "journal-000004.log", fsync="off")
+        journal.append(base[1])  # also present in the snapshot: must apply once
+        journal.append(tail_only)
+        journal.commit()
+        journal.close()
+        result = recover(tmp_path)
+        assert result is not None
+        assert [tuple(e["op"]) for e in result.records] == [(0, 0), (0, 1), (0, 2)]
+        assert result.replayed_ops == 1  # only the genuinely new tail op
+        assert result.snapshot_ops == 2
+        assert sorted(s["uid"] for s in result.survivors) == sorted(
+            e["uid"] for e in base + [tail_only]
+        )
+        assert result.seq_base == 3
+
+    def test_survivors_are_ack_order_independent(self):
+        # Under concurrency a delete can be acked — and journaled — before
+        # the insert whose element it returned; the survivor derivation
+        # must match them set-wise, not by record position.
+        from repro.service.durability import _derive_survivors
+
+        ins = _entry(1, 1, order=(0, 2))
+        dele = {
+            "op": [0, 1], "kind": "del", "priority": None, "uid": None,
+            "order": [0, 1], "ret": ins["uid"], "bot": False, "done": True,
+        }
+        assert _derive_survivors([dele, ins]) == []
+        assert _derive_survivors([ins, dele]) == []
+
+    def test_corrupt_newest_snapshot_falls_back_to_older(self, tmp_path):
+        ops = [_entry(0, 0)]
+        write_snapshot(tmp_path, 1, {
+            "version": 1, "meta": {"generation": 0},
+            "history": {"ops": ops}, "census": [ops[0]["uid"]], "state": {},
+        })
+        (tmp_path / "snapshot-000002.json").write_text("{not json")
+        result = recover(tmp_path)
+        assert result is not None
+        assert result.snapshot_index == 1
+        assert len(result.records) == 1
+
+    def test_segments_only_recovery(self, tmp_path):
+        journal = Journal(tmp_path / "journal-000000.log", fsync="off",
+                          header={"generation": 0, "proto": "skeap"})
+        ins = _entry(0, 0, order=(0, 1))
+        dele = {
+            "op": [0, 1], "kind": "del", "priority": None, "uid": None,
+            "order": [0, 2], "ret": ins["uid"], "bot": False, "done": True,
+        }
+        journal.append(ins)
+        journal.append(dele)
+        journal.commit()
+        journal.close()
+        result = recover(tmp_path)
+        assert result is not None
+        assert result.snapshot_index is None
+        assert result.survivors == []  # the one insert was deleted
+        assert result.meta.get("proto") == "skeap"
+
+    def test_plane_rotation_prunes_and_recovers(self, tmp_path):
+        config = DurabilityConfig(dir=tmp_path, fsync="off", snapshot_every=2)
+        plane = DurabilityPlane(config, meta={"proto": "skeap"})
+        assert plane.recover() is None
+        plane.begin([], [])
+        a, b = _entry(0, 0, order=(0, 1)), _entry(0, 1, order=(0, 2))
+        plane.append_batch([a, b])
+        plane.rotate([a, b], sorted([a["uid"], b["uid"]]))
+        # Rotation leaves exactly one snapshot + one open segment behind.
+        assert [i for i, _ in snapshot_files(tmp_path)] == [plane.segment]
+        assert [i for i, _ in journal_segments(tmp_path)] == [plane.segment]
+        plane.close()
+        result = recover(tmp_path)
+        assert result is not None
+        assert len(result.records) == 2 and result.replayed_ops == 0
+
+
+# -- live restart -----------------------------------------------------------
+
+
+async def _drive(client, inserts, deletes):
+    out = []
+    for priority, value in inserts:
+        out.append(await client.insert(priority, value))
+    for _ in range(deletes):
+        out.append(await client.delete_min())
+    return out
+
+
+def _durable(tmp_path, proto, **kw):
+    return QueueService(
+        proto, n_nodes=4, seed=11,
+        durability=DurabilityConfig(dir=tmp_path, fsync="off", **kw),
+    )
+
+
+class TestServiceRestart:
+    def test_skeap_elements_and_values_survive_restart(self, tmp_path):
+        async def generation_0():
+            async with _durable(tmp_path, "skeap", snapshot_every=4) as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                await _drive(
+                    client,
+                    [(1, "a"), (2, "b"), (3, "c"), (1, "d"), (2, "e")],
+                    deletes=2,
+                )
+                stats = await client.stats()
+                await client.aclose()
+                return stats
+
+        async def generation_1():
+            async with _durable(tmp_path, "skeap", snapshot_every=4) as svc:
+                assert svc.recovery is not None
+                assert svc.recovery["generation"] == 1
+                assert "conservation" in svc.recovery["checks"]
+                client = await QueueClient.connect(svc.host, svc.port)
+                stats = await client.stats()
+                drained = []
+                while True:
+                    result = await client.delete_min()
+                    if result.bot:
+                        break
+                    drained.append((result.priority, result.value))
+                payload = await client.history()
+                await client.aclose()
+                return stats, drained, payload
+
+        stats0 = asyncio.run(generation_0())
+        assert stats0["recovery"]["state"] == "serving"
+        stats1, drained, payload = asyncio.run(generation_1())
+        assert stats1["recovery"]["generation"] == 1
+        assert stats1["durability"]["generation"] == 1
+        # Two mins were taken in gen 0 (priorities 1, 1); the survivors
+        # drain in priority-then-FIFO order with their original values.
+        assert drained == [(2, "b"), (2, "e"), (3, "c")]
+        # The served durable history splices both generations and still
+        # satisfies the wire-history invariants (unique op ids and uids).
+        # Gen 1 contributed the 3 drains plus the terminating ⊥ delete.
+        history = History.from_jsonable(payload["history"])
+        assert len(history.ops) == stats0["ops_completed"] + len(drained) + 1
+
+    def test_seap_restart_certifies_and_orders(self, tmp_path):
+        async def generation_0():
+            async with _durable(tmp_path, "seap", snapshot_every=3) as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                for p in (500, 7, 123456, 42, 9):
+                    await client.insert(p, f"v{p}")
+                await client.aclose()
+
+        async def generation_1():
+            async with _durable(tmp_path, "seap", snapshot_every=3) as svc:
+                assert svc.recovery is not None
+                assert svc.recovery["elements_restored"] == 5
+                client = await QueueClient.connect(svc.host, svc.port)
+                drained = []
+                for _ in range(5):
+                    drained.append((await client.delete_min()).priority)
+                await client.aclose()
+                return drained
+
+        asyncio.run(generation_0())
+        assert asyncio.run(generation_1()) == [7, 9, 42, 500, 123456]
+
+    def test_third_generation_still_certifies(self, tmp_path):
+        async def boot(expect_gen, ops):
+            async with _durable(tmp_path, "skeap", snapshot_every=100) as svc:
+                assert (svc.recovery or {"generation": 0})["generation"] == expect_gen
+                client = await QueueClient.connect(svc.host, svc.port)
+                await _drive(client, ops, deletes=1)
+                await client.aclose()
+                return svc.recovery
+
+        asyncio.run(boot(0, [(1, "x"), (2, "y")]))
+        asyncio.run(boot(1, [(3, "z")]))
+        recovery = asyncio.run(boot(2, [(1, "w")]))
+        assert recovery["generation"] == 2
+        result = recover(tmp_path)
+        assert certify_recovery(result)  # offline pass over all three gens
+
+    def test_meta_mismatch_is_refused(self, tmp_path):
+        async def wrong_proto():
+            async with _durable(tmp_path, "skeap") as svc:
+                client = await QueueClient.connect(svc.host, svc.port)
+                await client.insert(1, "x")
+                await client.aclose()
+            _durable(tmp_path, "seap")
+
+        with pytest.raises(DurabilityError, match="proto"):
+            asyncio.run(wrong_proto())
+
+    def test_durable_loadtest_passes_checks(self, tmp_path):
+        async def scenario():
+            async with _durable(tmp_path, "skeap", snapshot_every=20) as svc:
+                return await run_loadtest(
+                    svc.host, svc.port,
+                    LoadSpec(n_clients=3, ops_per_client=20, concurrency=2, seed=5),
+                )
+
+        report = asyncio.run(scenario())
+        assert report.completed == 60
+        assert "skeap(SC+heap+serial)" in report.checks_passed
+        assert "conservation" in report.checks_passed
+
+
+# -- wire chaos + revive ----------------------------------------------------
+
+
+class TestClientChaos:
+    def test_reliable_drop_delay_dup_still_complete(self, tmp_path):
+        plan = FaultPlan(events=[
+            FaultEvent(kind=DROP, src=1, nth=0),
+            FaultEvent(kind=DELAY, src=1, nth=1, hold=3.0),
+            FaultEvent(kind=DUP, src=1, nth=2),
+            FaultEvent(kind=DROP, src=2, nth=0),  # other channel: not ours
+        ], reliable=True)
+
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=3) as svc:
+                client = await QueueClient.connect(
+                    svc.host, svc.port,
+                    faults=plan, fault_src=1, fault_time_scale=0.001,
+                )
+                r0 = await client.insert(1, "dropped-then-retransmitted")
+                r1 = await client.insert(2, "delayed")
+                r2 = await client.delete_min()
+                stats = (client.chaos_dropped, client.chaos_retransmits,
+                         client.chaos_lost, client.chaos_delayed,
+                         client.chaos_dups_suppressed)
+                await client.aclose()
+                return r0, r1, r2, stats
+
+        r0, r1, r2, stats = asyncio.run(scenario())
+        assert r0.uid is not None and r1.uid is not None
+        assert r2.uid == r0.uid  # min is the dropped-then-resent insert
+        assert stats == (1, 1, 0, 1, 1)
+
+    def test_unreliable_drop_loses_the_frame(self):
+        plan = FaultPlan(
+            events=[FaultEvent(kind=DROP, src=1, nth=0)], reliable=False
+        )
+
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=3) as svc:
+                client = await QueueClient.connect(
+                    svc.host, svc.port,
+                    faults=plan, fault_src=1, fault_time_scale=0.001,
+                )
+                with pytest.raises((asyncio.TimeoutError, TimeoutError)):
+                    await client.insert(1, "lost", timeout=0.3)
+                lost = client.chaos_lost
+                # The channel itself is fine: the next op goes through.
+                result = await client.insert(2, "after")
+                await client.aclose()
+                return lost, result
+
+        lost, result = asyncio.run(scenario())
+        assert lost == 1 and result.uid is not None
+
+    def test_loadtest_threads_fault_plan_to_clients(self):
+        plan = FaultPlan(events=[
+            FaultEvent(kind=DELAY, src=i + 1, nth=0, hold=1.0) for i in range(2)
+        ], reliable=True)
+
+        async def scenario():
+            async with QueueService("skeap", n_nodes=4, seed=9) as svc:
+                return await run_loadtest(
+                    svc.host, svc.port,
+                    LoadSpec(n_clients=2, ops_per_client=8, seed=2,
+                             fault_plan=plan, fault_scale=0.001),
+                )
+
+        report = asyncio.run(scenario())
+        assert report.completed == 16
+        assert "conservation" in report.checks_passed
+
+
+class TestRouterRevive:
+    def test_revive_rebuilds_counts_from_recovered_census(self, tmp_path):
+        pmap = even_partition(2, 1, 9)  # shard 0: (-inf, 5), shard 1: [5, +inf)
+
+        async def scenario():
+            dirs = [tmp_path / "shard-0", tmp_path / "shard-1"]
+            svcs = [
+                QueueService(
+                    "skeap", n_nodes=4, seed=s, n_priorities=8,
+                    durability=DurabilityConfig(dir=dirs[s], fsync="off"),
+                )
+                for s in range(2)
+            ]
+            for svc in svcs:
+                await svc.start()
+            endpoints = {s: (svc.host, svc.port) for s, svc in enumerate(svcs)}
+            async with QueueRouter(endpoints, pmap, seed=1) as router:
+                client = await QueueClient.connect(
+                    router.host, router.port, retry_unavailable=8
+                )
+                for p in (1, 2, 5, 7, 1, 6):  # both bands populated
+                    await client.insert(p, f"v{p}")
+                low_counts = router._counts[0]
+
+                # SIGKILL stand-in: drop shard 0 without a clean goodbye.
+                await svcs[0].aclose()
+
+                # Restart it from its journal and revive the upstream.
+                replacement = QueueService(
+                    "skeap", n_nodes=4, seed=0, n_priorities=8,
+                    durability=DurabilityConfig(dir=dirs[0], fsync="off"),
+                )
+                await replacement.start()
+                assert replacement.recovery is not None
+                info = await router.revive(
+                    0, endpoint=(replacement.host, replacement.port)
+                )
+                assert info["census"] == low_counts
+                assert router._counts[0] == low_counts
+                assert router.revives == 1
+
+                # Routing works across the revived shard: global min order.
+                drained = []
+                for _ in range(6):
+                    drained.append((await client.delete_min()).priority)
+                assert drained == sorted(drained) == [1, 1, 2, 5, 6, 7]
+                await client.aclose()
+                await replacement.aclose()
+            await svcs[1].aclose()
+
+        asyncio.run(scenario())
